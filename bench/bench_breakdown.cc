@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces the Section 8 overhead breakdown: "For each program we
+ * calculated the mean, over all monitor sessions, of the percentage
+ * of time taken by each of the operations corresponding to our
+ * timing variables." The paper reports: NH 100% NHFaultHandler;
+ * VM-4K 86-97% VMFaultHandler; TP ~97% TPFaultHandler; CP 98-99%
+ * SoftwareLookup.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "model/models.h"
+#include "report/table.h"
+
+int
+main()
+{
+    using namespace edb;
+    auto set = bench::runStudies();
+
+    std::printf("Section 8 breakdown: mean share of each timing "
+                "variable in total overhead,\nover all monitor "
+                "sessions (percent).\n\n");
+
+    for (model::Strategy strategy : model::allStrategies) {
+        std::printf("%s\n", model::strategyName(strategy));
+        report::TextTable table;
+
+        // Collect the union of component names for the header.
+        std::vector<std::string> header = {"Program"};
+        {
+            sim::SessionCounters dummy;
+            dummy.hits = 1;
+            for (const auto &[name, us] : model::overheadBreakdown(
+                     strategy, dummy, 1, set.profile)) {
+                header.push_back(name);
+            }
+        }
+        table.header(header);
+
+        for (const auto &study : set.studies) {
+            // Mean percentage over sessions.
+            std::map<std::string, double> share;
+            std::size_t counted = 0;
+            for (session::SessionId id : study.activeSessions) {
+                const auto &c = study.sim.counters[id];
+                auto parts = model::overheadBreakdown(
+                    strategy, c, study.sim.misses(id), set.profile);
+                double total = 0;
+                for (const auto &[name, us] : parts)
+                    total += us;
+                if (total <= 0)
+                    continue;
+                ++counted;
+                for (const auto &[name, us] : parts)
+                    share[name] += us / total;
+            }
+            std::vector<std::string> row = {study.program};
+            for (std::size_t i = 1; i < header.size(); ++i) {
+                double pct = counted
+                                 ? share[header[i]] * 100.0 /
+                                       (double)counted
+                                 : 0;
+                row.push_back(report::fmt(pct, 1));
+            }
+            table.row(row);
+        }
+        std::fputs(table.render().c_str(), stdout);
+        std::printf("\n");
+    }
+
+    std::printf("Paper's reported shares: NHFaultHandler 100%% (NH); "
+                "VMFaultHandler 86-97%% (VM-4K);\nTPFaultHandler "
+                "~97%% (TP); SoftwareLookup 98-99%% (CP).\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared driver for the table/figure reproduction binaries: runs all
+ * five workloads through the full phase-1/phase-2 pipeline once and
+ * hands each binary the per-program studies.
+ */
+
+#ifndef EDB_BENCH_BENCH_COMMON_H
+#define EDB_BENCH_BENCH_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "report/study.h"
+#include "trace/trace.h"
+
+namespace edb::bench {
+
+/** Everything a table/figure binary needs. */
+struct StudySet
+{
+    model::TimingProfile profile;
+    /** One study per workload, paper order (gcc ctex spice qcd bps). */
+    std::vector<report::ProgramStudy> studies;
+    /** The traces behind the studies, parallel to `studies`. */
+    std::vector<trace::Trace> traces;
+};
+
+/**
+ * Run all five workloads and analyze them under the paper's
+ * SPARCstation 2 timing profile (Table 2), with base times derived
+ * from each program's write density. Honors two environment
+ * variables:
+ *  - EDB_PROFILE=host     analyze under a freshly measured host
+ *                         profile with measured wall-clock base
+ *                         times instead (slower: runs Appendix A);
+ *  - EDB_WORKLOADS=a,b    restrict to a comma-separated subset.
+ */
+StudySet runStudies();
+
+/** Paper Table 4 values, for side-by-side printing. */
+struct PaperTable4Row
+{
+    const char *program;
+    /** [strategy][statistic]: min,max,tmean,mean,p90,p98. */
+    double values[5][6];
+};
+
+/** The paper's Table 4, transcribed. */
+const std::vector<PaperTable4Row> &paperTable4();
+
+/** Index into PaperTable4Row::values[s]: the six statistics. */
+enum PaperStat { psMin = 0, psMax, psTMean, psMean, psP90, psP98 };
+
+} // namespace edb::bench
+
+#endif // EDB_BENCH_BENCH_COMMON_H

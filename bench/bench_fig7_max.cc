@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces Figure 7: "Maximum relative overhead over all monitor
+ * sessions" — grouped bars per program and strategy, log scale.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "model/models.h"
+#include "report/figure.h"
+
+int
+main()
+{
+    using namespace edb;
+    auto set = bench::runStudies();
+
+    report::BarChart chart;
+    chart.title = "Figure 7: Maximum relative overhead over all "
+                  "monitor sessions";
+    for (model::Strategy s : model::allStrategies)
+        chart.series.emplace_back(model::strategyAbbrev(s));
+    for (const auto &study : set.studies) {
+        report::BarGroup group;
+        group.label = study.program;
+        for (std::size_t s = 0; s < 5; ++s)
+            group.values.push_back(study.overheadStats[s].max);
+        chart.groups.push_back(std::move(group));
+    }
+    std::fputs(chart.render().c_str(), stdout);
+
+    std::printf("\nPaper Figure 7 series (from Table 4 Max): the "
+                "same ordering per program\n(VM >= TP > NH > CP in "
+                "max) should be visible above.\n");
+    for (const auto &row : bench::paperTable4()) {
+        std::printf("  %-5s", row.program);
+        for (std::size_t s = 0; s < 5; ++s) {
+            std::printf("  %s=%.2f",
+                        model::strategyAbbrev(model::allStrategies[s]),
+                        row.values[s][bench::psMax]);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

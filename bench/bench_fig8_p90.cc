@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Figure 8: "90th percentile relative overhead over all
+ * monitor sessions".
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "model/models.h"
+#include "report/figure.h"
+
+int
+main()
+{
+    using namespace edb;
+    auto set = bench::runStudies();
+
+    report::BarChart chart;
+    chart.title = "Figure 8: 90th percentile relative overhead over "
+                  "all monitor sessions";
+    for (model::Strategy s : model::allStrategies)
+        chart.series.emplace_back(model::strategyAbbrev(s));
+    for (const auto &study : set.studies) {
+        report::BarGroup group;
+        group.label = study.program;
+        for (std::size_t s = 0; s < 5; ++s)
+            group.values.push_back(study.overheadStats[s].p90);
+        chart.groups.push_back(std::move(group));
+    }
+    std::fputs(chart.render().c_str(), stdout);
+
+    std::printf("\nPaper Figure 8 series (from Table 4 90%%):\n");
+    for (const auto &row : bench::paperTable4()) {
+        std::printf("  %-5s", row.program);
+        for (std::size_t s = 0; s < 5; ++s) {
+            std::printf("  %s=%.2f",
+                        model::strategyAbbrev(model::allStrategies[s]),
+                        row.values[s][bench::psP90]);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Figure 9: "Mean relative overhead over all monitor
+ * sessions whose relative overhead is between the 10th and 90th
+ * percentiles" (the trimmed mean).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "model/models.h"
+#include "report/figure.h"
+
+int
+main()
+{
+    using namespace edb;
+    auto set = bench::runStudies();
+
+    report::BarChart chart;
+    chart.title = "Figure 9: Mean relative overhead of sessions "
+                  "between the 10th and 90th percentiles";
+    for (model::Strategy s : model::allStrategies)
+        chart.series.emplace_back(model::strategyAbbrev(s));
+    for (const auto &study : set.studies) {
+        report::BarGroup group;
+        group.label = study.program;
+        for (std::size_t s = 0; s < 5; ++s)
+            group.values.push_back(study.overheadStats[s].tmean);
+        chart.groups.push_back(std::move(group));
+    }
+    std::fputs(chart.render().c_str(), stdout);
+
+    std::printf("\nPaper Figure 9 series (from Table 4 T-Mean):\n");
+    for (const auto &row : bench::paperTable4()) {
+        std::printf("  %-5s", row.program);
+        for (std::size_t s = 0; s < 5; ++s) {
+            std::printf("  %s=%.2f",
+                        model::strategyAbbrev(model::allStrategies[s]),
+                        row.values[s][bench::psTMean]);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

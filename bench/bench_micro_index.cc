@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Microbenchmarks of the monitor index under the paper's Appendix
+ * A.5 workload: the WorkingMonitorSet (100 non-overlapping random
+ * monitors in a 2 MB region) with random installs/removes/lookups.
+ * These are the live-measured analogues of SoftwareUpdate_tau and
+ * SoftwareLookup_tau.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "util/rng.h"
+#include "wms/monitor_index.h"
+
+namespace {
+
+using namespace edb;
+
+/** Appendix A's WorkingMonitorSet. */
+std::vector<AddrRange>
+workingMonitorSet(std::uint64_t seed, int count)
+{
+    Rng rng(seed);
+    constexpr Addr base = 0x4000'0000;
+    constexpr Addr region = 2u << 20;
+    Addr slot = region / (Addr)count;
+    std::vector<AddrRange> monitors;
+    for (int i = 0; i < count; ++i) {
+        Addr size =
+            wordBytes * (1 + rng.below(slot / (8 * wordBytes)));
+        Addr off = wordAlignDown(rng.below(slot - size));
+        Addr begin = base + (Addr)i * slot + off;
+        monitors.emplace_back(begin, begin + size);
+    }
+    return monitors;
+}
+
+void
+BM_LookupMiss(benchmark::State &state)
+{
+    auto monitors = workingMonitorSet(1, (int)state.range(0));
+    wms::MonitorIndex index;
+    for (const auto &m : monitors)
+        index.install(m);
+
+    Rng rng(2);
+    std::vector<Addr> probes(4096);
+    for (auto &a : probes) {
+        // Probe far from the monitored region: the pure miss path.
+        a = 0x1000'0000 + rng.below(16u << 20);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            index.lookup(AddrRange(probes[i], probes[i] + 4)));
+        i = (i + 1) % probes.size();
+    }
+}
+BENCHMARK(BM_LookupMiss)->Arg(100)->Arg(1000)->Arg(10000);
+
+void
+BM_LookupMixed(benchmark::State &state)
+{
+    // Appendix A.5.2: random addresses straddling the monitored
+    // region, so a realistic hit/miss mixture.
+    auto monitors = workingMonitorSet(1, (int)state.range(0));
+    wms::MonitorIndex index;
+    for (const auto &m : monitors)
+        index.install(m);
+
+    Rng rng(3);
+    std::vector<Addr> probes(4096);
+    for (auto &a : probes)
+        a = 0x4000'0000 - (1u << 20) + rng.below(4u << 20);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            index.lookup(AddrRange(probes[i], probes[i] + 4)));
+        i = (i + 1) % probes.size();
+    }
+}
+BENCHMARK(BM_LookupMixed)->Arg(100)->Arg(1000);
+
+void
+BM_LookupHit(benchmark::State &state)
+{
+    auto monitors = workingMonitorSet(1, 100);
+    wms::MonitorIndex index;
+    for (const auto &m : monitors)
+        index.install(m);
+    Rng rng(4);
+    std::vector<Addr> probes(4096);
+    for (std::size_t i = 0; i < probes.size(); ++i)
+        probes[i] = monitors[rng.below(monitors.size())].begin;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            index.lookup(AddrRange(probes[i], probes[i] + 4)));
+        i = (i + 1) % probes.size();
+    }
+}
+BENCHMARK(BM_LookupHit);
+
+void
+BM_InstallRemove(benchmark::State &state)
+{
+    // Appendix A.5.1: install the whole WorkingMonitorSet, then
+    // remove it, in random orders.
+    auto monitors = workingMonitorSet(1, (int)state.range(0));
+    wms::MonitorIndex index;
+    Rng rng(5);
+    for (auto _ : state) {
+        for (const auto &m : monitors)
+            index.install(m);
+        for (const auto &m : monitors)
+            index.remove(m);
+    }
+    state.SetItemsProcessed((std::int64_t)state.iterations() *
+                            (std::int64_t)monitors.size() * 2);
+}
+BENCHMARK(BM_InstallRemove)->Arg(100)->Arg(1000);
+
+void
+BM_ByteLookup(benchmark::State &state)
+{
+    auto monitors = workingMonitorSet(1, 100);
+    wms::MonitorIndex index;
+    for (const auto &m : monitors)
+        index.install(m);
+    Rng rng(6);
+    std::vector<Addr> probes(4096);
+    for (auto &a : probes)
+        a = 0x4000'0000 + rng.below(2u << 20);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(index.lookupByte(probes[i]));
+        i = (i + 1) % probes.size();
+    }
+}
+BENCHMARK(BM_ByteLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The paper's motivating scenario (Section 1): "An example data
+ * breakpoint suspends execution whenever a certain object is
+ * modified. Such a breakpoint would help identify pointer uses that
+ * are inadvertently modifying an otherwise unrelated data structure."
+ *
+ * A linked list's node is being corrupted by a stray pointer in an
+ * unrelated subsystem (an off-by-one buffer overrun). The data
+ * breakpoint catches the culprit write and reports its source line —
+ * precisely the debugging session data breakpoints exist for.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "runtime/instrument.h"
+#include "wms/software_wms.h"
+
+using namespace edb;
+
+namespace {
+
+/** The victim data structure: a singly linked list of accounts. */
+struct Account
+{
+    int id;
+    long balance;
+    Account *next;
+};
+
+wms::SoftwareWms *g_wms;
+
+/** An unrelated subsystem with a buffer overrun bug. */
+void
+processBatch(int *buffer, int count)
+{
+    // BUG: <= runs one element past the end of the buffer. The
+    // element past the end happens to be the neighbouring Account.
+    for (int i = 0; i <= count; ++i)
+        EDB_WRITE(*g_wms, buffer[i], i * 7);
+}
+
+} // namespace
+
+int
+main()
+{
+    wms::SoftwareWms wms;
+    g_wms = &wms;
+
+    // Memory layout that puts an account right after the batch
+    // buffer, as a real allocator might.
+    struct Arena
+    {
+        int batch_buffer[16];
+        Account account;
+    } arena;
+
+    arena.account = {1001, 50'000, nullptr};
+
+    std::printf("account #%d balance=%ld at %p\n", arena.account.id,
+                arena.account.balance, (void *)&arena.account);
+
+    // The user suspects *something* is clobbering the account:
+    // install a data breakpoint over it.
+    auto base = (Addr)(uintptr_t)&arena.account;
+    wms.installMonitor(AddrRange(base, base + sizeof(Account)));
+
+    bool caught = false;
+    wms.setNotificationHandler([&](const wms::Notification &n) {
+        caught = true;
+        std::printf("  >> CAUGHT: write of %zu byte(s) into the "
+                    "account at offset %llu, from source line %llu\n",
+                    (std::size_t)n.written.size(),
+                    (unsigned long long)(n.written.begin - base),
+                    (unsigned long long)n.pc);
+    });
+
+    // Legitimate work elsewhere: no notifications.
+    int scratch[32];
+    for (int i = 0; i < 32; ++i)
+        EDB_WRITE(wms, scratch[i], i);
+
+    // The buggy batch: its last iteration stomps the account's id.
+    std::printf("running batch processing...\n");
+    processBatch(arena.batch_buffer, 16);
+
+    std::printf("account #%d balance=%ld  <- id clobbered: %s\n",
+                arena.account.id, arena.account.balance,
+                arena.account.id == 1001 ? "no" : "yes");
+
+    if (caught) {
+        std::printf("the data breakpoint identified the corrupting "
+                    "store; fix the `<=` in processBatch.\n");
+    } else {
+        std::printf("missed the corruption — this should not "
+                    "happen.\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * NativeHardware watchpoints on real x86 debug registers (paper
+ * Section 3.1), via perf_event_open — and a live demonstration of
+ * the limitation that drives the paper's conclusion: exactly four
+ * monitor registers, so the fifth data breakpoint is refused while
+ * the software WMS takes thousands without blinking.
+ */
+
+#include <cstdio>
+
+#include "runtime/hw_wms.h"
+#include "wms/software_wms.h"
+
+using namespace edb;
+
+namespace {
+
+volatile std::uint64_t counters[8];
+
+} // namespace
+
+int
+main()
+{
+    if (!runtime::HwWms::available()) {
+        std::printf("hardware breakpoints are not available in this "
+                    "environment\n(perf_event_open restricted); the "
+                    "software WMS below still works.\n\n");
+    } else {
+        runtime::HwWms hw;
+        static volatile int hits;
+        hits = 0;
+        hw.setNotificationHandler(
+            [](const wms::Notification &) { ++hits; });
+
+        std::printf("installing hardware watchpoints "
+                    "(monitorCapacity = %zu)...\n",
+                    hw.monitorCapacity());
+        int installed = 0;
+        for (auto &c : counters) {
+            auto addr = (Addr)(uintptr_t)&c;
+            bool ok = hw.tryInstallMonitor(AddrRange(addr, addr + 8));
+            std::printf("  counters[%d]: %s\n", installed,
+                        ok ? "watching (debug register armed)"
+                           : "REFUSED - out of monitor registers");
+            if (!ok)
+                break;
+            ++installed;
+        }
+        std::printf("=> %d of 8 requested monitors fit; \"no "
+                    "widely-used chip today supports more\nthan four "
+                    "concurrent write monitors\" (Section 3.1) still "
+                    "true in 2026.\n\n",
+                    installed);
+
+        std::printf("writing the watched counters...\n");
+        for (int i = 0; i < installed; ++i)
+            counters[i] = (std::uint64_t)(i + 1);
+        std::printf("hardware delivered %d hit notifications "
+                    "(stats: %llu)\n\n",
+                    (int)hits, (unsigned long long)hw.stats().hits);
+    }
+
+    // The contrast the paper draws: CodePatch has no such limit.
+    wms::SoftwareWms sw;
+    constexpr int many = 5000;
+    for (Addr i = 0; i < many; ++i) {
+        Addr base = 0x6000'0000 + i * 64;
+        sw.installMonitor(AddrRange(base, base + 8));
+    }
+    std::printf("software WMS: %zu simultaneous monitors installed "
+                "(capacity: unlimited);\nper-write check still one "
+                "bitmap probe.\n",
+                sw.index().monitorCount());
+    bool hit = sw.checkWrite(0x6000'0000 + 4999 * 64, 8);
+    std::printf("check on monitor #%d: %s\n", many - 1,
+                hit ? "hit" : "miss (bug!)");
+    return hit ? 0 : 1;
+}

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * qei_debugger: a miniature source-level debugger with data
+ * breakpoints, built on the write monitor service — the paper's
+ * target application ("a sophisticated high-level debugging system
+ * called QEI", Section 9, for which the code-patching WMS was being
+ * built).
+ *
+ * The debuggee is a tiny register machine executing an embedded
+ * program with named global variables; every store the machine
+ * performs goes through SoftwareWms::checkWrite — the CodePatch
+ * strategy, i.e. the debuggee has been "compiled" with checked
+ * writes. The debugger on top maps variable names to addresses and
+ * exposes gdb-style commands:
+ *
+ *   watch <var>      set a data breakpoint on a variable
+ *   unwatch <var>    remove it
+ *   run [n]          run until a data breakpoint fires (or n steps)
+ *   print <var>      show a variable
+ *   info             show all variables, watchpoints, statistics
+ *   quit             exit
+ *
+ * Run interactively, pipe a script, or pass --demo for a canned
+ * session.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "wms/software_wms.h"
+#include "wms/value_watch.h"
+
+using namespace edb;
+
+namespace {
+
+/** @name The debuggee: a register machine with named globals */
+/// @{
+
+/** The debuggee's data memory: named cells the program mutates. */
+struct DebuggeeData
+{
+    long counter = 0;
+    long limit = 24;
+    long fib_a = 0;
+    long fib_b = 1;
+    long fib_tmp = 0;
+    long total = 0;
+    long buffer[8] = {};
+};
+
+enum OpCode { opAdd, opMov, opMod, opStoreIdx, opJumpLt, opHalt };
+
+/** op dst, src1, src2 over cell indices (immediates < 0 encode
+ *  constants as -(value+1)). */
+struct Insn
+{
+    OpCode op;
+    int dst;
+    int a;
+    int b;
+};
+
+/** Cell layout of DebuggeeData for the instruction operands. */
+enum Cell {
+    cCounter = 0, cLimit, cFibA, cFibB, cFibTmp, cTotal, cBuf0,
+    numNamedCells = cBuf0 + 8,
+};
+
+/**
+ * The embedded program: iterate `counter` to `limit`, computing
+ * Fibonacci numbers, accumulating them into `total`, and scattering
+ * values through `buffer` — enough traffic to make watching any one
+ * variable interesting.
+ *
+ *   while (counter < limit) {
+ *     fib_tmp = fib_a + fib_b; fib_a = fib_b; fib_b = fib_tmp;
+ *     total = total + fib_a;
+ *     buffer[counter % 8] = total;
+ *     counter = counter + 1;
+ *   }
+ */
+const Insn program[] = {
+    /* 0 */ {opAdd, cFibTmp, cFibA, cFibB},
+    /* 1 */ {opMov, cFibA, cFibB, 0},
+    /* 2 */ {opMov, cFibB, cFibTmp, 0},
+    /* 3 */ {opAdd, cTotal, cTotal, cFibA},
+    /* 4 */ {opMod, cFibTmp, cCounter, -(8 + 1)},
+    /* 5 */ {opStoreIdx, cBuf0, cFibTmp, cTotal},
+    /* 6 */ {opAdd, cCounter, cCounter, -(1 + 1)},
+    /* 7 */ {opJumpLt, 0, cCounter, cLimit},
+    /* 8 */ {opHalt, 0, 0, 0},
+};
+
+/** The debuggee VM; every store is a checked write. */
+class Debuggee
+{
+  public:
+    explicit Debuggee(wms::SoftwareWms &wms) : wms_(&wms) {}
+
+    long *
+    cell(int index)
+    {
+        return (long *)&data_ + index;
+    }
+
+    long
+    value(int index) const
+    {
+        return *((const long *)&data_ + index);
+    }
+
+    bool halted() const { return halted_; }
+    int pc() const { return pc_; }
+    std::uint64_t steps() const { return steps_; }
+
+    /**
+     * Execute one instruction.
+     * @return True when a monitored location was written.
+     */
+    bool
+    step()
+    {
+        if (halted_)
+            return false;
+        ++steps_;
+        const Insn &insn = program[pc_];
+        auto operand = [this](int x) {
+            return x < 0 ? (long)(-x - 1) : value(x);
+        };
+        bool hit = false;
+        switch (insn.op) {
+          case opAdd:
+            hit = store(insn.dst, operand(insn.a) + operand(insn.b));
+            ++pc_;
+            break;
+          case opMov:
+            hit = store(insn.dst, operand(insn.a));
+            ++pc_;
+            break;
+          case opMod:
+            hit = store(insn.dst, operand(insn.a) % operand(insn.b));
+            ++pc_;
+            break;
+          case opStoreIdx:
+            hit = store(insn.dst + (int)operand(insn.a),
+                        operand(insn.b));
+            ++pc_;
+            break;
+          case opJumpLt:
+            pc_ = operand(insn.a) < operand(insn.b) ? insn.dst
+                                                    : pc_ + 1;
+            break;
+          case opHalt:
+            halted_ = true;
+            break;
+        }
+        return hit;
+    }
+
+  private:
+    /** The "patched" store: write, then check (CodePatch). */
+    bool
+    store(int index, long v)
+    {
+        long *target = cell(index);
+        *target = v;
+        return wms_->checkWrite((Addr)(uintptr_t)target, sizeof(long),
+                                (Addr)pc_);
+    }
+
+    wms::SoftwareWms *wms_;
+    DebuggeeData data_;
+    int pc_ = 0;
+    bool halted_ = false;
+    std::uint64_t steps_ = 0;
+};
+
+/// @}
+
+/** @name The debugger front end */
+/// @{
+
+struct VarInfo
+{
+    const char *name;
+    int cell;
+    int count; ///< array element count (1 for scalars)
+};
+
+const VarInfo symbolTable[] = {
+    {"counter", cCounter, 1}, {"limit", cLimit, 1},
+    {"fib_a", cFibA, 1},      {"fib_b", cFibB, 1},
+    {"fib_tmp", cFibTmp, 1},  {"total", cTotal, 1},
+    {"buffer", cBuf0, 8},
+};
+
+class Debugger
+{
+  public:
+    Debugger() : debuggee_(wms_), values_(wms_, sizeof(long))
+    {
+        // ValueWatch owns the notification handler and reports
+        // word-level old/new values via shadow diffing.
+        values_.setChangeHandler([this](const wms::ValueChange &c) {
+            last_change_ = c;
+        });
+    }
+
+    /** Process one command line; returns false on quit. */
+    bool
+    command(const std::string &line)
+    {
+        std::istringstream in(line);
+        std::string cmd;
+        if (!(in >> cmd) || cmd[0] == '#')
+            return true;
+
+        if (cmd == "quit")
+            return false;
+        if (cmd == "watch" || cmd == "unwatch") {
+            std::string name;
+            in >> name;
+            const VarInfo *var = lookup(name);
+            if (!var) {
+                std::printf("no such variable: %s\n", name.c_str());
+                return true;
+            }
+            if (cmd == "watch") {
+                values_.watch(debuggee_.cell(var->cell),
+                              sizeof(long) * (std::size_t)var->count);
+                std::printf("watchpoint on %s (%zu bytes)\n",
+                            var->name,
+                            sizeof(long) * (std::size_t)var->count);
+            } else {
+                values_.unwatch(debuggee_.cell(var->cell));
+                std::printf("watchpoint on %s removed\n", var->name);
+            }
+            return true;
+        }
+        if (cmd == "run") {
+            long max_steps = 100000;
+            in >> max_steps;
+            runDebuggee(max_steps);
+            return true;
+        }
+        if (cmd == "print") {
+            std::string name;
+            in >> name;
+            const VarInfo *var = lookup(name);
+            if (var)
+                printVar(*var);
+            else
+                std::printf("no such variable: %s\n", name.c_str());
+            return true;
+        }
+        if (cmd == "info") {
+            for (const VarInfo &var : symbolTable)
+                printVar(var);
+            std::printf("executed %llu instructions; WMS: %llu hits, "
+                        "%llu misses, %zu monitors\n",
+                        (unsigned long long)debuggee_.steps(),
+                        (unsigned long long)wms_.stats().hits,
+                        (unsigned long long)wms_.stats().misses,
+                        wms_.index().monitorCount());
+            return true;
+        }
+        std::printf("commands: watch|unwatch <var>, run [n], "
+                    "print <var>, info, quit\n");
+        return true;
+    }
+
+  private:
+    const VarInfo *
+    lookup(const std::string &name) const
+    {
+        for (const VarInfo &var : symbolTable) {
+            if (name == var.name)
+                return &var;
+        }
+        return nullptr;
+    }
+
+    AddrRange
+    rangeOf(const VarInfo &var)
+    {
+        auto base = (Addr)(uintptr_t)debuggee_.cell(var.cell);
+        return AddrRange(base, base + sizeof(long) * (Addr)var.count);
+    }
+
+    void
+    printVar(const VarInfo &var)
+    {
+        std::printf("  %-8s = ", var.name);
+        if (var.count == 1) {
+            std::printf("%ld\n", debuggee_.value(var.cell));
+        } else {
+            std::printf("{");
+            for (int i = 0; i < var.count; ++i) {
+                std::printf("%s%ld", i ? ", " : "",
+                            debuggee_.value(var.cell + i));
+            }
+            std::printf("}\n");
+        }
+    }
+
+    void
+    runDebuggee(long max_steps)
+    {
+        for (long i = 0; i < max_steps; ++i) {
+            if (debuggee_.halted()) {
+                std::printf("program halted after %llu total "
+                            "instructions\n",
+                            (unsigned long long)debuggee_.steps());
+                return;
+            }
+            if (debuggee_.step()) {
+                // Which variable was hit?
+                const char *who = "?";
+                for (const VarInfo &var : symbolTable) {
+                    AddrRange changed(last_change_.addr,
+                                      last_change_.addr +
+                                          last_change_.width);
+                    if (rangeOf(var).intersects(changed))
+                        who = var.name;
+                }
+                std::printf("data breakpoint: %s written at "
+                            "debuggee pc %llu  (old %lld -> new "
+                            "%lld)\n",
+                            who,
+                            (unsigned long long)last_change_.pc,
+                            (long long)last_change_.oldValue,
+                            (long long)last_change_.newValue);
+                return;
+            }
+        }
+        std::printf("ran %ld steps (no breakpoint)\n", max_steps);
+    }
+
+    wms::SoftwareWms wms_;
+    Debuggee debuggee_;
+    wms::ValueWatch values_;
+    wms::ValueChange last_change_{};
+};
+
+/// @}
+
+const char *const demoScript[] = {
+    "info",
+    "watch total",
+    "run",
+    "run",
+    "print fib_b",
+    "unwatch total",
+    "watch buffer",
+    "run",
+    "unwatch buffer",
+    "run",
+    "info",
+    "quit",
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Debugger debugger;
+
+    bool demo = argc > 1 && std::strcmp(argv[1], "--demo") == 0;
+    if (demo) {
+        for (const char *line : demoScript) {
+            std::printf("(qei) %s\n", line);
+            if (!debugger.command(line))
+                return 0;
+        }
+        return 0;
+    }
+
+    std::printf("qei mini-debugger; 'info' lists variables, "
+                "'watch <var>' + 'run' to try it\n");
+    std::string line;
+    while (true) {
+        std::printf("(qei) ");
+        std::fflush(stdout);
+        if (!std::getline(std::cin, line))
+            break;
+        if (!debugger.command(line))
+            break;
+    }
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Session explorer: run one of the five benchmark workloads, list
+ * its most expensive monitor sessions, and break one session's
+ * predicted overhead down by strategy — the paper's whole pipeline
+ * (Figure 1) driven interactively.
+ *
+ * Usage: session_explorer [workload] [session-substring]
+ *   workload          gcc | ctex | spice | qcd | bps   (default bps)
+ *   session-substring select the first session whose description
+ *                     contains this string (default: the costliest
+ *                     NativeHardware session)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "model/models.h"
+#include "report/study.h"
+#include "workload/workload.h"
+
+using namespace edb;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "bps";
+    const char *needle = argc > 2 ? argv[2] : nullptr;
+
+    auto w = workload::makeWorkload(name);
+    std::printf("running %s: %s\n", w->name(), w->description());
+    trace::Trace trace = workload::runTraced(*w);
+    std::printf("trace: %llu writes, %zu events, %zu objects, %zu "
+                "functions\n\n",
+                (unsigned long long)trace.totalWrites,
+                trace.events.size(), trace.registry.objectCount(),
+                trace.registry.functionCount());
+
+    auto profile = model::sparcStation2();
+    report::ProgramStudy study = report::studyTrace(trace, profile);
+
+    // Rank sessions by NativeHardware overhead (i.e., by hits).
+    std::vector<session::SessionId> ranked(study.activeSessions);
+    std::sort(ranked.begin(), ranked.end(),
+              [&](session::SessionId a, session::SessionId b) {
+                  return study.sim.counters[a].hits >
+                         study.sim.counters[b].hits;
+              });
+
+    std::printf("%zu active monitor sessions; ten with the most "
+                "monitor hits:\n",
+                study.activeSessions.size());
+    for (std::size_t i = 0; i < ranked.size() && i < 10; ++i) {
+        session::SessionId id = ranked[i];
+        std::printf("  %8llu hits  %s\n",
+                    (unsigned long long)study.sim.counters[id].hits,
+                    study.sessions.describe(id, trace).c_str());
+    }
+
+    // Select the session to dissect.
+    session::SessionId chosen = ranked.front();
+    if (needle) {
+        bool found = false;
+        for (session::SessionId id : study.activeSessions) {
+            if (study.sessions.describe(id, trace).find(needle) !=
+                std::string::npos) {
+                chosen = id;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::printf("\nno session matching '%s'\n", needle);
+            return 1;
+        }
+    }
+
+    const auto &c = study.sim.counters[chosen];
+    std::printf("\nsession %s\n",
+                study.sessions.describe(chosen, trace).c_str());
+    std::printf("  counting variables: %llu installs, %llu hits, "
+                "%llu misses,\n"
+                "  VM-4K: %llu protects / %llu page misses; VM-8K: "
+                "%llu / %llu\n\n",
+                (unsigned long long)c.installs,
+                (unsigned long long)c.hits,
+                (unsigned long long)study.sim.misses(chosen),
+                (unsigned long long)c.vm[0].protects,
+                (unsigned long long)c.vm[0].activePageMisses,
+                (unsigned long long)c.vm[1].protects,
+                (unsigned long long)c.vm[1].activePageMisses);
+
+    std::printf("predicted overhead under %s\n"
+                "(base execution time %.0f ms):\n",
+                profile.name.c_str(), study.baseUs / 1000);
+    for (model::Strategy s : model::allStrategies) {
+        model::Overhead o = model::overheadFor(
+            s, c, study.sim.misses(chosen), profile);
+        std::printf("  %-17s %10.2f ms  (%.2fx base)\n",
+                    model::strategyName(s), o.totalUs() / 1000,
+                    model::relativeOverhead(o, study.baseUs));
+    }
+
+    std::printf("\nbreakdown of the VirtualMemory-4K estimate:\n");
+    for (const auto &[part, us] : model::overheadBreakdown(
+             model::Strategy::VirtualMemory4K, c,
+             study.sim.misses(chosen), profile)) {
+        std::printf("  %-16s %10.2f ms\n", part.c_str(), us / 1000);
+    }
+    return 0;
+}

@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Implementation of the Appendix A calibration harness.
+ */
+
+#include "calib/calibrate.h"
+
+#include <sys/mman.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "wms/monitor_index.h"
+
+// The faulting store used by the fault measurements. Placing it in a
+// global asm block gives the handler a fixed resume address, which
+// implements the paper's SkipInstruction(FaultingInstr) without an
+// instruction-length decoder.
+__asm__(
+    ".text\n"
+    ".globl edb_calib_store\n"
+    ".type edb_calib_store, @function\n"
+    "edb_calib_store:\n"
+    "    movq %rsi, (%rdi)\n"
+    ".globl edb_calib_store_resume\n"
+    "edb_calib_store_resume:\n"
+    "    ret\n"
+    ".size edb_calib_store, . - edb_calib_store\n");
+
+extern "C" void edb_calib_store(void *addr, unsigned long value);
+extern "C" char edb_calib_store_resume;
+
+namespace edb::calib {
+
+namespace {
+
+double
+nowUs()
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (double)ts.tv_sec * 1e6 + (double)ts.tv_nsec * 1e-3;
+}
+
+Addr
+pageBytes()
+{
+    return (Addr)sysconf(_SC_PAGESIZE);
+}
+
+/**
+ * The paper's WorkingSet: every other page of a contiguous region,
+ * totalling ~2 MB of data pages.
+ */
+class WorkingSet
+{
+  public:
+    WorkingSet()
+    {
+        page_ = pageBytes();
+        std::size_t data_pages = (2u << 20) / page_;
+        std::size_t span = data_pages * 2 * page_;
+        base_ = ::mmap(nullptr, span, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        EDB_ASSERT(base_ != MAP_FAILED, "mmap failed: %s",
+                   strerror(errno));
+        span_ = span;
+        for (std::size_t i = 0; i < data_pages; ++i) {
+            char *p = (char *)base_ + 2 * i * page_;
+            *p = 1; // touch so pages are resident
+            pages_.push_back(p);
+        }
+    }
+
+    ~WorkingSet() { ::munmap(base_, span_); }
+
+    /** Protect every page to `prot` and perform a matching access. */
+    void
+    protectAll(int prot)
+    {
+        for (char *p : pages_) {
+            int rc = ::mprotect(p, page_, prot);
+            EDB_ASSERT(rc == 0, "mprotect failed: %s", strerror(errno));
+            if (prot & PROT_WRITE)
+                *(volatile char *)p = 1;
+            else
+                (void)*(volatile char *)p;
+        }
+    }
+
+    const std::vector<char *> &pages() const { return pages_; }
+    Addr pageSize() const { return page_; }
+
+  private:
+    void *base_ = nullptr;
+    std::size_t span_ = 0;
+    Addr page_ = 0;
+    std::vector<char *> pages_;
+};
+
+/**
+ * The paper's WorkingMonitorSet: 100 non-overlapping write monitors
+ * with random size and location in a 2 MB region.
+ */
+std::vector<AddrRange>
+makeWorkingMonitorSet(std::uint64_t seed)
+{
+    Rng rng(seed);
+    constexpr Addr region_base = 0x4000'0000;
+    constexpr Addr region_size = 2u << 20;
+    constexpr int count = 100;
+    // Carve the region into `count` equal slots and place one
+    // random-size monitor at a random offset inside each slot, which
+    // gives random size/location with guaranteed non-overlap.
+    Addr slot = region_size / count;
+    std::vector<AddrRange> monitors;
+    monitors.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        Addr size =
+            wordBytes * (Addr)rng.between(1, (std::int64_t)(slot / 8 /
+                                                            wordBytes));
+        Addr max_off = slot - size;
+        Addr off =
+            wordAlignDown((Addr)rng.below(max_off ? max_off : 1));
+        Addr begin = region_base + (Addr)i * slot + off;
+        monitors.emplace_back(begin, begin + size);
+    }
+    return monitors;
+}
+
+/** @name Fault-measurement signal plumbing */
+/// @{
+
+enum class FaultMode { Skip, UnprotectReprotect };
+
+struct FaultState
+{
+    FaultMode mode = FaultMode::Skip;
+    Addr page = 0;
+    std::uint64_t faults = 0;
+};
+
+FaultState fault_state;
+
+void
+faultHandler(int, siginfo_t *info, void *ucontext)
+{
+    auto *uc = (ucontext_t *)ucontext;
+    ++fault_state.faults;
+    if (fault_state.mode == FaultMode::UnprotectReprotect) {
+        // A.2 VMFaultHandler: Protect(page, ReadWrite);
+        // Protect(page, Read); SkipInstruction(...).
+        Addr page = (Addr)(uintptr_t)info->si_addr &
+                    ~(fault_state.page - 1);
+        ::mprotect((void *)page, fault_state.page,
+                   PROT_READ | PROT_WRITE);
+        *(volatile char *)page; // the access the paper's Protect does
+        ::mprotect((void *)page, fault_state.page, PROT_READ);
+    }
+    // SkipInstruction: resume past the known faulting store.
+    uc->uc_mcontext.gregs[REG_RIP] =
+        (greg_t)(uintptr_t)&edb_calib_store_resume;
+}
+
+void
+trapHandler(int, siginfo_t *, void *)
+{
+    // int3 already advanced RIP; returning resumes execution.
+}
+
+/** RAII install/restore of a measurement signal handler. */
+class ScopedHandler
+{
+  public:
+    ScopedHandler(int sig, void (*fn)(int, siginfo_t *, void *))
+        : sig_(sig)
+    {
+        struct sigaction sa {};
+        sa.sa_sigaction = fn;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = SA_SIGINFO;
+        int rc = sigaction(sig_, &sa, &previous_);
+        EDB_ASSERT(rc == 0, "sigaction failed");
+    }
+
+    ~ScopedHandler() { sigaction(sig_, &previous_, nullptr); }
+
+  private:
+    int sig_;
+    struct sigaction previous_ {};
+};
+
+/// @}
+
+double
+measureFaults(FaultMode mode, const CalibOptions &opt)
+{
+    WorkingSet ws;
+    Rng rng(opt.seed);
+    // Precompute the random page sequence (paper: RandYesReplace with
+    // precomputed values "so that this operation is a simple array
+    // lookup").
+    std::vector<char *> sequence(opt.faultIterations);
+    for (auto &p : sequence)
+        p = ws.pages()[rng.below(ws.pages().size())];
+
+    fault_state.mode = mode;
+    fault_state.page = ws.pageSize();
+    ScopedHandler handler(SIGSEGV, faultHandler);
+
+    double total = 0;
+    for (int run = 0; run < opt.runs; ++run) {
+        ws.protectAll(PROT_READ);
+        fault_state.faults = 0;
+        double t0 = nowUs();
+        for (char *p : sequence)
+            edb_calib_store(p, 1); // causes a write fault
+        double t1 = nowUs();
+        EDB_ASSERT(fault_state.faults == (std::uint64_t)opt.faultIterations,
+                   "expected %d faults, saw %llu", opt.faultIterations,
+                   (unsigned long long)fault_state.faults);
+        ws.protectAll(PROT_READ | PROT_WRITE);
+        total += (t1 - t0) / opt.faultIterations;
+    }
+    return total / opt.runs;
+}
+
+} // namespace
+
+double
+measureNhFaultUs(const CalibOptions &opt)
+{
+    // "The time for a monitor hit trap is estimated to be the same as
+    // that of a virtual memory write fault for a resident page."
+    // (Section 7.) A.1's handler only skips the instruction.
+    return measureFaults(FaultMode::Skip, opt);
+}
+
+double
+measureVmFaultUs(const CalibOptions &opt)
+{
+    return measureFaults(FaultMode::UnprotectReprotect, opt);
+}
+
+double
+measureTpFaultUs(const CalibOptions &opt)
+{
+    ScopedHandler handler(SIGTRAP, trapHandler);
+    double total = 0;
+    for (int run = 0; run < opt.runs; ++run) {
+        double t0 = nowUs();
+        for (int i = 0; i < opt.faultIterations; ++i)
+            __asm__ volatile("int3" ::: "memory");
+        double t1 = nowUs();
+        total += (t1 - t0) / opt.faultIterations;
+    }
+    return total / opt.runs;
+}
+
+double
+measureVmProtectUs(const CalibOptions &opt)
+{
+    WorkingSet ws;
+    Rng rng(opt.seed);
+    double total = 0;
+    std::uint64_t pages = 0;
+    for (int run = 0; run < opt.runs; ++run) {
+        for (int sweep = 0; sweep < opt.protectSweeps; ++sweep) {
+            ws.protectAll(PROT_READ | PROT_WRITE);
+            // RandNoReplace: a random permutation of the pages.
+            std::vector<char *> order(ws.pages());
+            for (std::size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.below(i)]);
+            double t0 = nowUs();
+            for (char *p : order) {
+                ::mprotect(p, ws.pageSize(), PROT_READ);
+                (void)*(volatile char *)p;
+            }
+            double t1 = nowUs();
+            total += t1 - t0;
+            pages += order.size();
+        }
+        ws.protectAll(PROT_READ | PROT_WRITE);
+    }
+    return total / (double)pages;
+}
+
+double
+measureVmUnprotectUs(const CalibOptions &opt)
+{
+    WorkingSet ws;
+    Rng rng(opt.seed);
+    double total = 0;
+    std::uint64_t pages = 0;
+    for (int run = 0; run < opt.runs; ++run) {
+        for (int sweep = 0; sweep < opt.protectSweeps; ++sweep) {
+            ws.protectAll(PROT_READ);
+            std::vector<char *> order(ws.pages());
+            for (std::size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.below(i)]);
+            double t0 = nowUs();
+            for (char *p : order) {
+                ::mprotect(p, ws.pageSize(), PROT_READ | PROT_WRITE);
+                *(volatile char *)p = 1;
+            }
+            double t1 = nowUs();
+            total += t1 - t0;
+            pages += order.size();
+        }
+        ws.protectAll(PROT_READ | PROT_WRITE);
+    }
+    return total / (double)pages;
+}
+
+double
+measureSoftwareUpdateUs(const CalibOptions &opt)
+{
+    auto monitors = makeWorkingMonitorSet(opt.seed);
+    Rng rng(opt.seed + 1);
+    wms::MonitorIndex index;
+
+    double total = 0;
+    std::uint64_t updates = 0;
+    for (int run = 0; run < opt.runs; ++run) {
+        double t0 = nowUs();
+        for (int iter = 0; iter < opt.updateIterations; ++iter) {
+            // A.5.1: install all monitors in random order, then
+            // remove all in (another) random order.
+            std::vector<const AddrRange *> order;
+            order.reserve(monitors.size());
+            for (const auto &m : monitors)
+                order.push_back(&m);
+            for (std::size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.below(i)]);
+            for (const AddrRange *m : order)
+                index.install(*m);
+            for (std::size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.below(i)]);
+            for (const AddrRange *m : order)
+                index.remove(*m);
+        }
+        double t1 = nowUs();
+        total += t1 - t0;
+        updates += (std::uint64_t)opt.updateIterations *
+                   monitors.size() * 2;
+    }
+    return total / (double)updates;
+}
+
+double
+measureSoftwareLookupUs(const CalibOptions &opt)
+{
+    auto monitors = makeWorkingMonitorSet(opt.seed);
+    wms::MonitorIndex index;
+    for (const auto &m : monitors)
+        index.install(m);
+
+    // A.5.2 probes random addresses; the monitor region occupies 2 MB
+    // so most probes are misses, as in a real write stream.
+    Rng rng(opt.seed + 2);
+    constexpr Addr probe_base = 0x4000'0000 - (1u << 20);
+    constexpr Addr probe_span = 4u << 20;
+    std::vector<Addr> probes(opt.lookupIterations);
+    for (auto &a : probes)
+        a = probe_base + rng.below(probe_span);
+
+    volatile bool sink = false;
+    double total = 0;
+    for (int run = 0; run < opt.runs; ++run) {
+        double t0 = nowUs();
+        for (Addr a : probes)
+            sink = index.lookup(AddrRange(a, a + wordBytes));
+        double t1 = nowUs();
+        total += (t1 - t0) / opt.lookupIterations;
+    }
+    (void)sink;
+    return total / opt.runs;
+}
+
+double
+measureInstructionsPerUs(const CalibOptions &opt)
+{
+    // A ~4-instruction/iteration integer loop, timed. This intentionally
+    // measures sustained scalar throughput, not peak superscalar issue,
+    // which better matches a -g -O0 debuggee's execution rate.
+    volatile std::uint64_t sink = 0;
+    double best = 0;
+    for (int run = 0; run < opt.runs; ++run) {
+        constexpr std::uint64_t iters = 20'000'000;
+        std::uint64_t acc = 1;
+        double t0 = nowUs();
+        for (std::uint64_t i = 0; i < iters; ++i)
+            acc = acc * 3 + i;
+        double t1 = nowUs();
+        sink = acc;
+        double rate = 4.0 * (double)iters / (t1 - t0);
+        best = std::max(best, rate);
+    }
+    (void)sink;
+    return best;
+}
+
+model::TimingProfile
+measureHostProfile(const CalibOptions &opt)
+{
+    model::TimingProfile p;
+    p.name = "host (measured)";
+    p.softwareUpdateUs = measureSoftwareUpdateUs(opt);
+    p.softwareLookupUs = measureSoftwareLookupUs(opt);
+    p.nhFaultUs = measureNhFaultUs(opt);
+    p.vmFaultUs = measureVmFaultUs(opt);
+    p.vmProtectUs = measureVmProtectUs(opt);
+    p.vmUnprotectUs = measureVmUnprotectUs(opt);
+    p.tpFaultUs = measureTpFaultUs(opt);
+    p.instructionsPerUs = measureInstructionsPerUs(opt);
+    return p;
+}
+
+} // namespace edb::calib

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Implementation of the edb-trace tool commands.
+ */
+
+#include "cli/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+#include "calib/calibrate.h"
+#include "model/models.h"
+#include "report/study.h"
+#include "report/table.h"
+#include "trace/trace_io.h"
+#include "workload/workload.h"
+
+namespace edb::cli {
+
+namespace {
+
+/** Timing profile selection shared by analyze/session. */
+model::TimingProfile
+selectedProfile()
+{
+    const char *env = std::getenv("EDB_PROFILE");
+    if (env && std::strcmp(env, "host") == 0)
+        return calib::measureHostProfile();
+    return model::sparcStation2();
+}
+
+} // namespace
+
+const char *
+usage()
+{
+    return "usage: edb-trace <command> [args]\n"
+           "\n"
+           "commands:\n"
+           "  record <workload> <out.trc>  trace one benchmark "
+           "workload (gcc|ctex|spice|qcd|bps)\n"
+           "  info <trace.trc>             summarize a trace file\n"
+           "  sessions <trace.trc> [N]     list the top-N monitor "
+           "sessions by hits (default 20)\n"
+           "  analyze <trace.trc>          per-strategy relative "
+           "overhead statistics\n"
+           "  session <trace.trc> <substr> counting variables + "
+           "overheads for one session\n"
+           "\n"
+           "environment:\n"
+           "  EDB_PROFILE=host   use timing constants measured on "
+           "this host instead of the\n"
+           "                     paper's SPARCstation 2 values\n";
+}
+
+int
+cmdRecord(const std::string &workload, const std::string &path,
+          std::ostream &out)
+{
+    auto w = workload::makeWorkload(workload);
+    std::uint64_t checksum = 0;
+    trace::Trace trace = workload::runTraced(*w, &checksum);
+    trace::saveTrace(trace, path);
+    out << "recorded " << trace.totalWrites << " writes ("
+        << trace.events.size() << " events, "
+        << trace.registry.objectCount() << " objects) to " << path
+        << "\nworkload checksum: " << checksum << "\n";
+    return 0;
+}
+
+int
+cmdInfo(const std::string &path, std::ostream &out)
+{
+    trace::Trace trace = trace::loadTrace(path);
+
+    std::size_t by_kind[4] = {};
+    for (const auto &obj : trace.registry.objects())
+        ++by_kind[(std::size_t)obj.kind];
+
+    std::size_t counts[3] = {};
+    for (const auto &e : trace.events)
+        ++counts[(std::size_t)e.kind];
+
+    out << "program:       " << trace.program << "\n"
+        << "events:        " << trace.events.size() << " ("
+        << counts[0] << " installs, " << counts[1] << " removes, "
+        << counts[2] << " writes)\n"
+        << "total writes:  " << trace.totalWrites << "\n"
+        << "est. instrs:   " << trace.estimatedInstructions << "\n"
+        << "functions:     " << trace.registry.functionCount() << "\n"
+        << "write sites:   " << trace.writeSites.size() << "\n"
+        << "objects:       " << trace.registry.objectCount() << " ("
+        << by_kind[0] << " local auto, " << by_kind[1]
+        << " local static, " << by_kind[2] << " global, " << by_kind[3]
+        << " heap)\n";
+    return 0;
+}
+
+int
+cmdSessions(const std::string &path, std::size_t top,
+            std::ostream &out)
+{
+    trace::Trace trace = trace::loadTrace(path);
+    auto sessions = session::SessionSet::enumerate(trace);
+    auto sim = sim::simulate(trace, sessions);
+
+    std::vector<session::SessionId> ranked;
+    for (session::SessionId id = 0; id < sessions.size(); ++id) {
+        if (sim.counters[id].hits > 0)
+            ranked.push_back(id);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [&sim](session::SessionId a, session::SessionId b) {
+                  return sim.counters[a].hits > sim.counters[b].hits;
+              });
+
+    out << ranked.size() << " active monitor sessions (of "
+        << sessions.size() << " enumerated); top " << top
+        << " by monitor hits:\n";
+    report::TextTable table;
+    table.header({"Hits", "Installs", "Session"});
+    for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+        session::SessionId id = ranked[i];
+        table.row({report::fmtCount(sim.counters[id].hits),
+                   report::fmtCount(sim.counters[id].installs),
+                   sessions.describe(id, trace)});
+    }
+    out << table.render();
+    return 0;
+}
+
+int
+cmdAnalyze(const std::string &path, std::ostream &out)
+{
+    trace::Trace trace = trace::loadTrace(path);
+    auto profile = selectedProfile();
+    report::ProgramStudy study = report::studyTrace(trace, profile);
+
+    out << "program " << study.program << ": "
+        << study.activeSessions.size()
+        << " active sessions, base time "
+        << report::fmt(study.baseUs / 1000, 0) << " ms ("
+        << profile.name << ")\n\n";
+
+    report::TextTable table;
+    table.header({"Statistic", "NH", "VM-4K", "VM-8K", "TP", "CP"});
+    auto row = [&](const char *label, auto get) {
+        std::vector<std::string> cells = {label};
+        for (std::size_t s = 0; s < 5; ++s)
+            cells.push_back(report::fmt(get(study.overheadStats[s])));
+        table.row(cells);
+    };
+    using S = SummaryStats;
+    row("Min", [](const S &s) { return s.min; });
+    row("Max", [](const S &s) { return s.max; });
+    row("T-Mean", [](const S &s) { return s.tmean; });
+    row("Mean", [](const S &s) { return s.mean; });
+    row("90%", [](const S &s) { return s.p90; });
+    row("98%", [](const S &s) { return s.p98; });
+    out << table.render();
+    out << "\n(relative overhead: estimated monitoring time / base "
+           "execution time)\n";
+    return 0;
+}
+
+int
+cmdSession(const std::string &path, const std::string &needle,
+           std::ostream &out, std::ostream &err)
+{
+    trace::Trace trace = trace::loadTrace(path);
+    auto profile = selectedProfile();
+    report::ProgramStudy study = report::studyTrace(trace, profile);
+
+    session::SessionId chosen = 0xffffffff;
+    for (session::SessionId id : study.activeSessions) {
+        if (study.sessions.describe(id, trace).find(needle) !=
+            std::string::npos) {
+            chosen = id;
+            break;
+        }
+    }
+    if (chosen == 0xffffffff) {
+        err << "no active session matches '" << needle << "'\n";
+        return 1;
+    }
+
+    const auto &c = study.sim.counters[chosen];
+    out << study.sessions.describe(chosen, trace) << "\n"
+        << "  installs/removes: " << c.installs << "/" << c.removes
+        << "\n"
+        << "  hits:             " << c.hits << "\n"
+        << "  misses:           " << study.sim.misses(chosen) << "\n"
+        << "  VM-4K: " << c.vm[0].protects << " protects, "
+        << c.vm[0].activePageMisses << " active-page misses\n"
+        << "  VM-8K: " << c.vm[1].protects << " protects, "
+        << c.vm[1].activePageMisses << " active-page misses\n\n";
+
+    report::TextTable table;
+    table.header({"Strategy", "Overhead (ms)", "Relative"});
+    for (model::Strategy s : model::allStrategies) {
+        model::Overhead o = model::overheadFor(
+            s, c, study.sim.misses(chosen), profile);
+        table.row({model::strategyName(s),
+                   report::fmt(o.totalUs() / 1000, 2),
+                   report::fmt(
+                       model::relativeOverhead(o, study.baseUs), 2) +
+                       "x"});
+    }
+    out << table.render();
+    return 0;
+}
+
+int
+run(const std::vector<std::string> &args, std::ostream &out,
+    std::ostream &err)
+{
+    if (args.empty()) {
+        err << usage();
+        return 2;
+    }
+    const std::string &cmd = args[0];
+    try {
+        if (cmd == "record" && args.size() == 3)
+            return cmdRecord(args[1], args[2], out);
+        if (cmd == "info" && args.size() == 2)
+            return cmdInfo(args[1], out);
+        if (cmd == "sessions" &&
+            (args.size() == 2 || args.size() == 3)) {
+            std::size_t top =
+                args.size() == 3 ? (std::size_t)std::strtoul(
+                                       args[2].c_str(), nullptr, 10)
+                                 : 20;
+            return cmdSessions(args[1], top ? top : 20, out);
+        }
+        if (cmd == "analyze" && args.size() == 2)
+            return cmdAnalyze(args[1], out);
+        if (cmd == "session" && args.size() == 3)
+            return cmdSession(args[1], args[2], out, err);
+    } catch (const std::exception &e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    }
+    err << usage();
+    return 2;
+}
+
+} // namespace edb::cli

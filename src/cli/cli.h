@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The edb-trace command-line tool, as a library (the binary in
+ * tools/ is a thin main() so every command is unit-testable).
+ *
+ * Commands mirror the experiment's two phases (paper Figure 1):
+ *
+ *   edb-trace record <workload> <out.trc>    phase 1: generate a trace
+ *   edb-trace info <trace.trc>               inspect a trace artifact
+ *   edb-trace sessions <trace.trc> [N]       enumerate monitor sessions
+ *   edb-trace analyze <trace.trc>            phase 2: Table-4 statistics
+ *   edb-trace session <trace.trc> <substr>   dissect one session
+ *
+ * `analyze` and `session` honor EDB_PROFILE=host like the bench
+ * binaries.
+ */
+
+#ifndef EDB_CLI_CLI_H
+#define EDB_CLI_CLI_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edb::cli {
+
+/**
+ * Entry point: dispatch a command line.
+ *
+ * @param args Arguments excluding the program name.
+ * @param out  Stream for normal output.
+ * @param err  Stream for usage/error messages.
+ * @return Process exit code.
+ */
+int run(const std::vector<std::string> &args, std::ostream &out,
+        std::ostream &err);
+
+/** @name Individual commands (exposed for tests) */
+/// @{
+int cmdRecord(const std::string &workload, const std::string &path,
+              std::ostream &out);
+int cmdInfo(const std::string &path, std::ostream &out);
+int cmdSessions(const std::string &path, std::size_t top,
+                std::ostream &out);
+int cmdAnalyze(const std::string &path, std::ostream &out);
+int cmdSession(const std::string &path, const std::string &needle,
+               std::ostream &out, std::ostream &err);
+/// @}
+
+/** The usage text. */
+const char *usage();
+
+} // namespace edb::cli
+
+#endif // EDB_CLI_CLI_H

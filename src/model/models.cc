@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Implementation of the four analytical models.
+ */
+
+#include "model/models.h"
+
+#include "util/logging.h"
+
+namespace edb::model {
+
+const char *
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::NativeHardware: return "NativeHardware";
+      case Strategy::VirtualMemory4K: return "VirtualMemory-4K";
+      case Strategy::VirtualMemory8K: return "VirtualMemory-8K";
+      case Strategy::TrapPatch: return "TrapPatch";
+      case Strategy::CodePatch: return "CodePatch";
+    }
+    return "?";
+}
+
+const char *
+strategyAbbrev(Strategy s)
+{
+    switch (s) {
+      case Strategy::NativeHardware: return "NH";
+      case Strategy::VirtualMemory4K: return "VM-4K";
+      case Strategy::VirtualMemory8K: return "VM-8K";
+      case Strategy::TrapPatch: return "TP";
+      case Strategy::CodePatch: return "CP";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Which vmPageSizes slot a VM strategy reads its counters from. */
+std::size_t
+vmIndexOf(Strategy s)
+{
+    switch (s) {
+      case Strategy::VirtualMemory4K: return 0;
+      case Strategy::VirtualMemory8K: return 1;
+      default: EDB_PANIC("strategy %s is not VirtualMemory",
+                         strategyName(s));
+    }
+}
+
+} // namespace
+
+Overhead
+overheadFor(Strategy strategy, const sim::SessionCounters &c,
+            std::uint64_t monitor_misses, const TimingProfile &t)
+{
+    const auto hits = (double)c.hits;
+    const auto misses = (double)monitor_misses;
+    const auto installs = (double)c.installs;
+    const auto removes = (double)c.removes;
+
+    Overhead o;
+    switch (strategy) {
+      case Strategy::NativeHardware:
+        // Figure 3. Monitor registers are user-accessible; update
+        // cost "can be safely ignored", misses are free.
+        o.monitorHitUs = hits * t.nhFaultUs;
+        break;
+
+      case Strategy::VirtualMemory4K:
+      case Strategy::VirtualMemory8K: {
+        // Figure 4.
+        const auto &vm = c.vm[vmIndexOf(strategy)];
+        o.monitorHitUs = hits * (t.vmFaultUs + t.softwareLookupUs);
+        o.monitorMissUs = (double)vm.activePageMisses *
+                          (t.vmFaultUs + t.softwareLookupUs);
+        o.installUs =
+            installs *
+                (t.vmUnprotectUs + t.softwareUpdateUs + t.vmProtectUs) +
+            (double)vm.protects * t.vmProtectUs;
+        o.removeUs =
+            removes *
+                (t.vmUnprotectUs + t.softwareUpdateUs + t.vmProtectUs) +
+            (double)vm.unprotects * t.vmUnprotectUs;
+        break;
+      }
+
+      case Strategy::TrapPatch:
+        // Figure 5.
+        o.monitorHitUs = hits * (t.tpFaultUs + t.softwareLookupUs);
+        o.monitorMissUs = misses * (t.tpFaultUs + t.softwareLookupUs);
+        o.installUs = installs * t.softwareUpdateUs;
+        o.removeUs = removes * t.softwareUpdateUs;
+        break;
+
+      case Strategy::CodePatch:
+        // Figure 6.
+        o.monitorHitUs = hits * t.softwareLookupUs;
+        o.monitorMissUs = misses * t.softwareLookupUs;
+        o.installUs = installs * t.softwareUpdateUs;
+        o.removeUs = removes * t.softwareUpdateUs;
+        break;
+    }
+    return o;
+}
+
+std::vector<std::pair<std::string, double>>
+overheadBreakdown(Strategy strategy, const sim::SessionCounters &c,
+                  std::uint64_t monitor_misses, const TimingProfile &t)
+{
+    const auto hits = (double)c.hits;
+    const auto misses = (double)monitor_misses;
+    const auto installs = (double)c.installs;
+    const auto removes = (double)c.removes;
+    const auto updates = installs + removes;
+
+    std::vector<std::pair<std::string, double>> parts;
+    switch (strategy) {
+      case Strategy::NativeHardware:
+        parts.emplace_back("NHFaultHandler", hits * t.nhFaultUs);
+        break;
+
+      case Strategy::VirtualMemory4K:
+      case Strategy::VirtualMemory8K: {
+        const auto &vm = c.vm[vmIndexOf(strategy)];
+        double faults = hits + (double)vm.activePageMisses;
+        parts.emplace_back("VMFaultHandler", faults * t.vmFaultUs);
+        parts.emplace_back("SoftwareLookup",
+                           faults * t.softwareLookupUs);
+        parts.emplace_back("SoftwareUpdate",
+                           updates * t.softwareUpdateUs);
+        parts.emplace_back(
+            "VMProtect",
+            (updates + (double)vm.protects) * t.vmProtectUs);
+        parts.emplace_back(
+            "VMUnprotect",
+            (updates + (double)vm.unprotects) * t.vmUnprotectUs);
+        break;
+      }
+
+      case Strategy::TrapPatch:
+        parts.emplace_back("TPFaultHandler",
+                           (hits + misses) * t.tpFaultUs);
+        parts.emplace_back("SoftwareLookup",
+                           (hits + misses) * t.softwareLookupUs);
+        parts.emplace_back("SoftwareUpdate",
+                           updates * t.softwareUpdateUs);
+        break;
+
+      case Strategy::CodePatch:
+        parts.emplace_back("SoftwareLookup",
+                           (hits + misses) * t.softwareLookupUs);
+        parts.emplace_back("SoftwareUpdate",
+                           updates * t.softwareUpdateUs);
+        break;
+    }
+    return parts;
+}
+
+} // namespace edb::model

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The four analytical overhead models of the paper's Section 7.1
+ * (Figures 3 through 6), as code.
+ *
+ * "Each model consists of equations for calculating the overhead
+ * incurred installing monitors (InstallMonitor_ov), removing active
+ * monitors (RemoveMonitor_ov), handling monitor hits (MonitorHit_ov),
+ * and handling monitor misses (MonitorMiss_ov). The total overhead for
+ * a particular monitor session is simply their sum."
+ *
+ * The models deliberately "ignore secondary effects such as cache
+ * behavior, pipeline stalls, and virtual memory paging behavior",
+ * and so do we.
+ */
+
+#ifndef EDB_MODEL_MODELS_H
+#define EDB_MODEL_MODELS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/timing.h"
+#include "sim/counters.h"
+
+namespace edb::model {
+
+/** The strategies evaluated in Section 8 / Table 4, in table order. */
+enum class Strategy : std::uint8_t {
+    NativeHardware = 0, ///< NH  (Figure 3)
+    VirtualMemory4K = 1,///< VM-4K (Figure 4, 4096-byte pages)
+    VirtualMemory8K = 2,///< VM-8K (Figure 4, 8192-byte pages)
+    TrapPatch = 3,      ///< TP  (Figure 5)
+    CodePatch = 4,      ///< CP  (Figure 6)
+};
+
+constexpr std::array<Strategy, 5> allStrategies = {
+    Strategy::NativeHardware, Strategy::VirtualMemory4K,
+    Strategy::VirtualMemory8K, Strategy::TrapPatch, Strategy::CodePatch,
+};
+
+const char *strategyName(Strategy s);
+const char *strategyAbbrev(Strategy s);
+
+/**
+ * Overhead of one monitor session under one strategy, split by the
+ * four model equations. All values in microseconds.
+ */
+struct Overhead
+{
+    double monitorHitUs = 0;
+    double monitorMissUs = 0;
+    double installUs = 0;
+    double removeUs = 0;
+
+    double
+    totalUs() const
+    {
+        return monitorHitUs + monitorMissUs + installUs + removeUs;
+    }
+};
+
+/**
+ * Evaluate one strategy's analytical model for one session.
+ *
+ * @param strategy     Which of the four models (VM twice, per page
+ *                     size) to evaluate.
+ * @param counters     The session's counting variables from the
+ *                     simulator.
+ * @param monitor_misses MonitorMiss_sigma (total writes - hits).
+ * @param timing       The timing variables (Table 2 or measured).
+ */
+Overhead overheadFor(Strategy strategy,
+                     const sim::SessionCounters &counters,
+                     std::uint64_t monitor_misses,
+                     const TimingProfile &timing);
+
+/**
+ * Contribution of each timing variable to a session's total overhead,
+ * as (variable name, microseconds) pairs — the data behind the
+ * Section 8 "breakdown of where the time was spent".
+ */
+std::vector<std::pair<std::string, double>>
+overheadBreakdown(Strategy strategy, const sim::SessionCounters &counters,
+                  std::uint64_t monitor_misses,
+                  const TimingProfile &timing);
+
+/**
+ * Relative overhead: session overhead normalized to the base
+ * execution time of the program (Section 8).
+ */
+inline double
+relativeOverhead(const Overhead &overhead, double base_us)
+{
+    return base_us > 0 ? overhead.totalUs() / base_us : 0;
+}
+
+/**
+ * Base execution time derived from an instruction-count estimate and
+ * the profile's execution rate, in microseconds.
+ */
+inline double
+derivedBaseUs(std::uint64_t instructions, const TimingProfile &timing)
+{
+    return timing.instructionsPerUs > 0
+               ? (double)instructions / timing.instructionsPerUs
+               : 0;
+}
+
+} // namespace edb::model
+
+#endif // EDB_MODEL_MODELS_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Canned timing profiles.
+ */
+
+#include "model/timing.h"
+
+#include <cstdio>
+
+namespace edb::model {
+
+TimingProfile
+sparcStation2()
+{
+    TimingProfile p;
+    p.name = "SPARCstation2/SunOS4.1.1 (paper Table 2)";
+    p.softwareUpdateUs = 22;
+    p.softwareLookupUs = 2.75;
+    p.nhFaultUs = 131;
+    p.vmFaultUs = 561;
+    p.vmProtectUs = 80;
+    p.vmUnprotectUs = 299;
+    p.tpFaultUs = 102;
+    p.instructionsPerUs = 13;
+    return p;
+}
+
+std::string
+describeProfile(const TimingProfile &p)
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n"
+                  "  SoftwareUpdate_t   %8.2f us\n"
+                  "  SoftwareLookup_t   %8.2f us\n"
+                  "  NHFaultHandler_t   %8.2f us\n"
+                  "  VMFaultHandler_t   %8.2f us\n"
+                  "  VMProtectPage_t    %8.2f us\n"
+                  "  VMUnprotectPage_t  %8.2f us\n"
+                  "  TPFaultHandler_t   %8.2f us\n",
+                  p.name.c_str(), p.softwareUpdateUs, p.softwareLookupUs,
+                  p.nhFaultUs, p.vmFaultUs, p.vmProtectUs,
+                  p.vmUnprotectUs, p.tpFaultUs);
+    return buf;
+}
+
+} // namespace edb::model

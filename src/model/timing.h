@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Timing profiles: the timing variables of the paper's Table 2.
+ *
+ * "Our solution is to use a popular workstation, the SPARCstation 2
+ * running SunOS 4.1.1, and estimate the cost of non-existent services
+ * in terms of existing ones." (Section 7.)
+ *
+ * Two profiles are provided:
+ *  - sparcStation2(): the paper's Table 2 constants verbatim, plus an
+ *    execution-rate estimate used to derive base execution times from
+ *    instruction counts;
+ *  - a host profile measured by the calib module (Appendix A
+ *    re-implementation) at runtime.
+ */
+
+#ifndef EDB_MODEL_TIMING_H
+#define EDB_MODEL_TIMING_H
+
+#include <string>
+
+namespace edb::model {
+
+/**
+ * The timing variables of Table 2, in microseconds, plus machine
+ * execution rate for base-time derivation.
+ */
+struct TimingProfile
+{
+    std::string name;
+
+    /** SoftwareUpdate_tau: update the address->monitor mapping. */
+    double softwareUpdateUs = 0;
+    /** SoftwareLookup_tau: probe the address->monitor mapping. */
+    double softwareLookupUs = 0;
+    /** NHFaultHandler_tau: user-level monitor-register fault. */
+    double nhFaultUs = 0;
+    /** VMFaultHandler_tau: write fault + emulate + continue. */
+    double vmFaultUs = 0;
+    /** VMProtect_tau: protect one page. */
+    double vmProtectUs = 0;
+    /** VMUnprotect_tau: unprotect one page. */
+    double vmUnprotectUs = 0;
+    /** TPFaultHandler_tau: trap fault + emulate + continue. */
+    double tpFaultUs = 0;
+
+    /**
+     * Sustained execution rate in instructions per microsecond
+     * (i.e., MIPS), used to derive a base execution time from a
+     * trace's estimated instruction count when no measured base time
+     * is available: base_us = instructions / instructionsPerUs.
+     */
+    double instructionsPerUs = 0;
+};
+
+/**
+ * The paper's Table 2 profile: 40 MHz SPARCstation 2, SunOS 4.1.1.
+ *
+ * The execution rate is back-derived from the paper's own data: the
+ * five programs' write counts (Table 3), the 6.5% write-instruction
+ * fraction implied by the Section 8 code-expansion estimate, and the
+ * Table 1 base times give 7–21 instructions/us; we use the midpoint
+ * 13. Only the *relative* overhead magnitudes depend on it, and all
+ * strategies of a program scale together.
+ */
+TimingProfile sparcStation2();
+
+/** Render a profile as a Table 2-style listing. */
+std::string describeProfile(const TimingProfile &profile);
+
+} // namespace edb::model
+
+#endif // EDB_MODEL_TIMING_H

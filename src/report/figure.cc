@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Implementation of the ASCII bar-chart renderer.
+ */
+
+#include "report/figure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace edb::report {
+
+std::string
+BarChart::render() const
+{
+    std::string out;
+    out += title;
+    out += '\n';
+    out.append(title.size(), '=');
+    out += '\n';
+
+    double max_value = logFloor;
+    for (const BarGroup &g : groups)
+        for (double v : g.values)
+            max_value = std::max(max_value, v);
+
+    const double log_lo = std::log10(logFloor);
+    const double log_hi = std::log10(max_value * 1.05);
+    const double log_span = std::max(log_hi - log_lo, 1e-9);
+
+    std::size_t label_w = 0;
+    for (const BarGroup &g : groups)
+        label_w = std::max(label_w, g.label.size());
+    std::size_t series_w = 0;
+    for (const auto &s : series)
+        series_w = std::max(series_w, s.size());
+
+    for (const BarGroup &g : groups) {
+        out += g.label;
+        out += '\n';
+        for (std::size_t i = 0; i < g.values.size(); ++i) {
+            double v = g.values[i];
+            int len = 0;
+            if (v > logFloor) {
+                len = (int)std::lround((std::log10(v) - log_lo) /
+                                       log_span * barWidth);
+                len = std::clamp(len, 1, barWidth);
+            }
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "  %-*s |",
+                          (int)series_w,
+                          i < series.size() ? series[i].c_str() : "?");
+            out += buf;
+            out.append((std::size_t)len, '#');
+            std::snprintf(buf, sizeof(buf), " %.2f", v);
+            out += buf;
+            out += '\n';
+        }
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "(log scale; floor %.2g, full bar = %.2f)\n", logFloor,
+                  max_value);
+    out += buf;
+    return out;
+}
+
+} // namespace edb::report

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ASCII bar-chart rendering for the reproduced paper figures.
+ *
+ * Figures 7, 8 and 9 of the paper are grouped bar charts: one group
+ * per benchmark program, one bar per strategy, with relative overhead
+ * on a log-scaled axis (the data spans four orders of magnitude). We
+ * render the same series as horizontal log-scaled ASCII bars plus the
+ * numeric values, which conveys the figures' content in a terminal.
+ */
+
+#ifndef EDB_REPORT_FIGURE_H
+#define EDB_REPORT_FIGURE_H
+
+#include <string>
+#include <vector>
+
+namespace edb::report {
+
+/** One bar group (e.g., one benchmark program). */
+struct BarGroup
+{
+    std::string label;
+    /** One value per series, parallel to BarChart::series. */
+    std::vector<double> values;
+};
+
+/** A grouped bar chart with a log-scaled value axis. */
+struct BarChart
+{
+    std::string title;
+    /** Series (bar) names, e.g. strategy abbreviations. */
+    std::vector<std::string> series;
+    std::vector<BarGroup> groups;
+    /** Width in characters of the longest bar. */
+    int barWidth = 48;
+    /** Floor for the log scale; values at or below render no bar. */
+    double logFloor = 0.01;
+
+    /** Render the chart. */
+    std::string render() const;
+};
+
+} // namespace edb::report
+
+#endif // EDB_REPORT_FIGURE_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Implementation of the experiment driver.
+ */
+
+#include "report/study.h"
+
+#include "util/logging.h"
+
+namespace edb::report {
+
+ProgramStudy
+studyTrace(const trace::Trace &trace, const model::TimingProfile &timing,
+           double base_us)
+{
+    ProgramStudy study;
+    study.program = trace.program;
+    study.totalWrites = trace.totalWrites;
+    study.baseUs = base_us > 0
+                       ? base_us
+                       : model::derivedBaseUs(trace.estimatedInstructions,
+                                              timing);
+    EDB_ASSERT(study.baseUs > 0,
+               "no base time available: pass base_us or use a profile "
+               "with an execution rate");
+
+    study.sessions = session::SessionSet::enumerate(trace);
+    study.sim = sim::simulate(trace, study.sessions);
+
+    // Keep only sessions with at least one hit (Section 8).
+    for (session::SessionId id = 0; id < study.sessions.size(); ++id) {
+        if (study.sim.counters[id].hits == 0)
+            continue;
+        study.activeSessions.push_back(id);
+        ++study.activeByType[(std::size_t)study.sessions.session(id)
+                                 .type];
+    }
+
+    // Table 3 means and Table 4 populations.
+    const double n = (double)study.activeSessions.size();
+    for (auto &v : study.relativeOverheads)
+        v.reserve(study.activeSessions.size());
+
+    for (session::SessionId id : study.activeSessions) {
+        const auto &c = study.sim.counters[id];
+        const std::uint64_t misses = study.sim.misses(id);
+
+        study.meanCounters.installs += (double)c.installs / n;
+        study.meanCounters.removes += (double)c.removes / n;
+        study.meanCounters.hits += (double)c.hits / n;
+        study.meanCounters.misses += (double)misses / n;
+        for (std::size_t i = 0; i < sim::vmPageSizeCount; ++i) {
+            study.meanCounters.vmProtects[i] +=
+                (double)c.vm[i].protects / n;
+            study.meanCounters.vmUnprotects[i] +=
+                (double)c.vm[i].unprotects / n;
+            study.meanCounters.vmActivePageMisses[i] +=
+                (double)c.vm[i].activePageMisses / n;
+        }
+
+        for (std::size_t s = 0; s < model::allStrategies.size(); ++s) {
+            model::Overhead o = model::overheadFor(
+                model::allStrategies[s], c, misses, timing);
+            study.relativeOverheads[s].push_back(
+                model::relativeOverhead(o, study.baseUs));
+        }
+    }
+
+    for (std::size_t s = 0; s < model::allStrategies.size(); ++s)
+        study.overheadStats[s] = summarize(study.relativeOverheads[s]);
+
+    return study;
+}
+
+} // namespace edb::report

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The experiment driver: turns one trace into the per-program data
+ * behind Tables 1, 3, 4 and Figures 7–9.
+ *
+ * "For each benchmark program, we discovered all instances of the
+ * monitor session types described in Section 5. ... Monitor sessions
+ * that had no monitor hits were discarded under the assumption that
+ * they are unlikely candidates during debugging." (Section 8.)
+ */
+
+#ifndef EDB_REPORT_STUDY_H
+#define EDB_REPORT_STUDY_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "model/models.h"
+#include "session/session.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "util/stats.h"
+
+namespace edb::report {
+
+/** Mean counting-variable data over a program's sessions (Table 3). */
+struct MeanCounters
+{
+    double installs = 0;
+    double removes = 0;
+    double hits = 0;
+    double misses = 0;
+    /** Per vmPageSizes slot. */
+    std::array<double, sim::vmPageSizeCount> vmProtects{};
+    std::array<double, sim::vmPageSizeCount> vmUnprotects{};
+    std::array<double, sim::vmPageSizeCount> vmActivePageMisses{};
+};
+
+/**
+ * Everything the tables and figures need for one benchmark program.
+ */
+struct ProgramStudy
+{
+    std::string program;
+    std::uint64_t totalWrites = 0;
+    /** Base execution time used as the relative-overhead denominator. */
+    double baseUs = 0;
+
+    session::SessionSet sessions;
+    sim::SimResult sim;
+
+    /** Sessions retained for Table 4 (at least one monitor hit). */
+    std::vector<session::SessionId> activeSessions;
+    /** Retained-session count per session type (Table 1). */
+    std::array<std::size_t, session::sessionTypeCount> activeByType{};
+
+    /** Table 3: means over the retained sessions. */
+    MeanCounters meanCounters;
+
+    /**
+     * Per strategy (model::allStrategies order): relative overhead of
+     * each retained session, parallel to activeSessions.
+     */
+    std::array<std::vector<double>, 5> relativeOverheads;
+    /** Table 4 statistics of each strategy's population. */
+    std::array<SummaryStats, 5> overheadStats;
+};
+
+/**
+ * Run the full phase-2 analysis of one trace.
+ *
+ * @param trace        The phase-1 trace.
+ * @param timing       Timing profile for the analytical models.
+ * @param base_us      Base execution time in microseconds; pass 0 to
+ *                     derive it from the trace's instruction estimate
+ *                     and the profile's execution rate.
+ */
+ProgramStudy studyTrace(const trace::Trace &trace,
+                        const model::TimingProfile &timing,
+                        double base_us = 0);
+
+} // namespace edb::report
+
+#endif // EDB_REPORT_STUDY_H

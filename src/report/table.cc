@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Implementation of the text table renderer.
+ */
+
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace edb::report {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    EDB_ASSERT(header_.empty() || cells.size() == header_.size(),
+               "row has %zu cells, header has %zu", cells.size(),
+               header_.size());
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void
+TextTable::separator()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t ncols = header_.size();
+    for (const Row &r : rows_)
+        ncols = std::max(ncols, r.cells.size());
+
+    std::vector<std::size_t> widths(ncols, 0);
+    auto widen = [&widths](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const Row &r : rows_)
+        widen(r.cells);
+
+    // Row width: columns joined by two spaces (between columns only).
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w;
+    if (ncols > 1)
+        total += 2 * (ncols - 1);
+
+    std::string out;
+    auto emit_row = [&](const std::vector<std::string> &cells,
+                        bool right_align) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            std::size_t pad = widths[i] - cells[i].size();
+            // First column is left-aligned (labels); the rest are
+            // right-aligned (numbers), unless rendering the header.
+            if (i == 0 || !right_align) {
+                out += cells[i];
+                out.append(pad, ' ');
+            } else {
+                out.append(pad, ' ');
+                out += cells[i];
+            }
+            if (i + 1 < cells.size())
+                out += "  ";
+        }
+        out += '\n';
+    };
+
+    if (!header_.empty()) {
+        emit_row(header_, false);
+        out.append(total, '-');
+        out += '\n';
+    }
+    for (const Row &r : rows_) {
+        if (r.is_separator) {
+            out.append(total, '-');
+            out += '\n';
+        } else {
+            emit_row(r.cells, true);
+        }
+    }
+    return out;
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtCount(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+    return buf;
+}
+
+} // namespace edb::report

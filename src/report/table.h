@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fixed-width ASCII table rendering for the reproduced paper tables.
+ */
+
+#ifndef EDB_REPORT_TABLE_H
+#define EDB_REPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace edb::report {
+
+/**
+ * A simple column-aligned text table: set the header, append rows of
+ * cells, render. Column widths are computed from content.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. Defines the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header's column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render with columns padded and separated by two spaces. */
+    std::string render() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool is_separator = false;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+/** printf-style float formatting helpers for table cells. */
+std::string fmt(double v, int precision = 2);
+std::string fmtCount(std::uint64_t v);
+
+} // namespace edb::report
+
+#endif // EDB_REPORT_TABLE_H

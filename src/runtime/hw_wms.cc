@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Implementation of the live NativeHardware WMS.
+ */
+
+#include "runtime/hw_wms.h"
+
+#include <fcntl.h>
+#include <linux/hw_breakpoint.h>
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace edb::runtime {
+
+HwWms *HwWms::active_ = nullptr;
+
+namespace {
+
+/** Real-time signal used for breakpoint delivery (keeps SIGIO free). */
+int
+bpSignal()
+{
+    return SIGRTMIN + 4;
+}
+
+long
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu, int group_fd,
+              unsigned long flags)
+{
+    return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+} // namespace
+
+int
+HwWms::openBreakpoint(Addr addr, Addr len)
+{
+    perf_event_attr attr{};
+    attr.type = PERF_TYPE_BREAKPOINT;
+    attr.size = sizeof(attr);
+    attr.bp_type = HW_BREAKPOINT_W;
+    attr.bp_addr = addr;
+    attr.bp_len = len;
+    attr.sample_period = 1;
+    attr.wakeup_events = 1;
+    attr.disabled = 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+
+    int fd = (int)perfEventOpen(&attr, 0 /* this process */, -1, -1, 0);
+    if (fd < 0)
+        return -1;
+
+    // Route counter overflow (i.e., each hit) to our signal with
+    // si_fd identifying the slot.
+    struct f_owner_ex owner
+    {
+        F_OWNER_TID, (pid_t)syscall(SYS_gettid)
+    };
+    if (fcntl(fd, F_SETFL, O_ASYNC) != 0 ||
+        fcntl(fd, F_SETSIG, bpSignal()) != 0 ||
+        fcntl(fd, F_SETOWN_EX, &owner) != 0) {
+        close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+HwWms::available()
+{
+    static int cached = -1;
+    if (cached >= 0)
+        return cached == 1;
+    // Probe with a breakpoint on our own static; close immediately.
+    static std::uint64_t probe_word;
+    int fd = openBreakpoint((Addr)(uintptr_t)&probe_word, 8);
+    if (fd >= 0) {
+        close(fd);
+        cached = 1;
+    } else {
+        cached = 0;
+    }
+    return cached == 1;
+}
+
+HwWms::HwWms()
+{
+    EDB_ASSERT(active_ == nullptr,
+               "only one HwWms instance may be active at a time");
+    active_ = this;
+
+    struct sigaction sa {};
+    sa.sa_sigaction = &HwWms::sigHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_SIGINFO;
+    if (sigaction(bpSignal(), &sa, nullptr) != 0)
+        EDB_FATAL("sigaction for hardware breakpoints failed");
+}
+
+HwWms::~HwWms()
+{
+    for (Slot &slot : slots_) {
+        if (slot.fd >= 0)
+            close(slot.fd);
+    }
+    signal(bpSignal(), SIG_DFL);
+    active_ = nullptr;
+}
+
+bool
+HwWms::tryInstallMonitor(const AddrRange &r)
+{
+    Addr len = r.size();
+    // DR7 length encodings: 1, 2, 4 or 8 bytes, naturally aligned.
+    if (len != 1 && len != 2 && len != 4 && len != 8)
+        return false;
+    if (r.begin % len != 0)
+        return false;
+
+    for (Slot &slot : slots_) {
+        if (slot.fd >= 0)
+            continue;
+        int fd = openBreakpoint(r.begin, len);
+        if (fd < 0)
+            return false;
+        slot.fd = fd;
+        slot.range = r;
+        return true;
+    }
+    return false; // all four monitor registers busy
+}
+
+void
+HwWms::installMonitor(const AddrRange &r)
+{
+    if (!tryInstallMonitor(r)) {
+        EDB_FATAL("hardware monitor %s rejected: ranges must be "
+                  "1/2/4/8 bytes, naturally aligned, and at most %zu "
+                  "may be active (paper Section 3.1)",
+                  r.str().c_str(), numRegisters);
+    }
+}
+
+void
+HwWms::removeMonitor(const AddrRange &r)
+{
+    for (Slot &slot : slots_) {
+        if (slot.fd >= 0 && slot.range == r) {
+            close(slot.fd);
+            slot.fd = -1;
+            return;
+        }
+    }
+    EDB_FATAL("removeMonitor %s does not match an installed hardware "
+              "monitor", r.str().c_str());
+}
+
+void
+HwWms::setNotificationHandler(wms::NotificationHandler handler)
+{
+    handler_ = std::move(handler);
+}
+
+const HwWmsStats &
+HwWms::stats() const
+{
+    return stats_;
+}
+
+std::size_t
+HwWms::monitorsInUse() const
+{
+    std::size_t used = 0;
+    for (const Slot &slot : slots_) {
+        if (slot.fd >= 0)
+            ++used;
+    }
+    return used;
+}
+
+void
+HwWms::sigHandler(int, siginfo_t *info, void *)
+{
+    if (active_)
+        active_->handleHit(info->si_fd);
+}
+
+void
+HwWms::handleHit(int fd)
+{
+    for (Slot &slot : slots_) {
+        if (slot.fd != fd)
+            continue;
+        ++stats_.hits;
+        if (handler_) {
+            // The debug-register trap reports the monitored range; the
+            // precise faulting PC is not recoverable from the signal
+            // alone (it would need the perf ring buffer), so pc is 0.
+            handler_(wms::Notification{slot.range, 0});
+        }
+        // Re-arm delivery for the next overflow.
+        ioctl(fd, PERF_EVENT_IOC_REFRESH, 1);
+        return;
+    }
+}
+
+} // namespace edb::runtime

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Source-level write instrumentation for the CodePatch runtime.
+ *
+ * The paper's CodePatch strategy patches every write instruction at
+ * compile time so that "the target of every write instruction is
+ * checked" (Section 3.3). For programs built with this library, the
+ * equivalent is to route stores to monitorable state through these
+ * helpers, which perform the store and then call
+ * SoftwareWms::checkWrite — the same check-per-write cost structure,
+ * inserted by the front end instead of an assembly postprocessor.
+ *
+ * Two styles are offered:
+ *  - EDB_WRITE(wms, lvalue, value): explicit per-store macro; the
+ *    notification PC is the source line, which debugger front ends
+ *    can map back to code.
+ *  - Watched<T>: a value wrapper whose set() routes every assignment
+ *    through a SoftwareWms automatically.
+ */
+
+#ifndef EDB_RUNTIME_INSTRUMENT_H
+#define EDB_RUNTIME_INSTRUMENT_H
+
+#include <source_location>
+
+#include "wms/software_wms.h"
+
+namespace edb::runtime {
+
+/**
+ * Perform `*target = value` and run the CodePatch check.
+ *
+ * @return True when the store hit a monitor.
+ */
+template <typename T>
+bool
+checkedStore(wms::SoftwareWms &wms, T *target, const T &value,
+             Addr pc = 0)
+{
+    *target = value;
+    return wms.checkWrite((Addr)(uintptr_t)target, sizeof(T), pc);
+}
+
+/**
+ * A value of type T whose mutations are checked against a
+ * SoftwareWms. The wrapped value lives inside the wrapper, so
+ * monitoring `&watched.raw()` monitors the real storage.
+ */
+template <typename T>
+class Watched
+{
+  public:
+    explicit Watched(wms::SoftwareWms &wms, const T &initial = T{})
+        : wms_(&wms), value_(initial)
+    {
+    }
+
+    /**
+     * Checked assignment; records the call site's line as the
+     * notification PC.
+     */
+    void
+    set(const T &v,
+        std::source_location loc = std::source_location::current())
+    {
+        value_ = v;
+        wms_->checkWrite((Addr)(uintptr_t)&value_, sizeof(T),
+                         (Addr)loc.line());
+    }
+
+    Watched &
+    operator=(const T &v)
+    {
+        set(v);
+        return *this;
+    }
+
+    /** Read access (reads are never monitored — write monitors). */
+    const T &get() const { return value_; }
+    operator const T &() const { return value_; }
+
+    /** Address/size of the underlying storage, for installMonitor. */
+    AddrRange
+    range() const
+    {
+        auto a = (Addr)(uintptr_t)&value_;
+        return AddrRange(a, a + sizeof(T));
+    }
+
+    /** Direct access to the storage (unchecked writes bypass WMS). */
+    T &raw() { return value_; }
+
+  private:
+    wms::SoftwareWms *wms_;
+    T value_;
+};
+
+} // namespace edb::runtime
+
+/**
+ * Store `value` into `lvalue` and check the write against `wms`,
+ * reporting the current source line as the notification PC.
+ */
+#define EDB_WRITE(wms, lvalue, value)                                    \
+    do {                                                                 \
+        (lvalue) = (value);                                              \
+        (wms).checkWrite((::edb::Addr)(uintptr_t)&(lvalue),              \
+                         sizeof(lvalue), (::edb::Addr)__LINE__);         \
+    } while (0)
+
+#endif // EDB_RUNTIME_INSTRUMENT_H

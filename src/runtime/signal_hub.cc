@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Implementation of the shared signal dispatcher.
+ */
+
+#include "runtime/signal_hub.h"
+
+#include <array>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace edb::runtime {
+
+namespace {
+
+constexpr std::size_t maxHooks = 4;
+
+struct HookChain
+{
+    std::array<SignalHook, maxHooks> hooks{};
+    std::size_t count = 0;
+    bool installed = false;
+    struct sigaction previous {};
+};
+
+HookChain segv_chain;
+HookChain trap_chain;
+
+/** One shared alternate stack so handlers survive stack-page faults. */
+bool altstack_ready = false;
+
+void
+ensureAltStack()
+{
+    if (altstack_ready)
+        return;
+    // SIGSTKSZ is no longer a compile-time constant on modern glibc;
+    // 64 KiB comfortably exceeds it everywhere.
+    static char stack_mem[64 * 1024];
+    stack_t ss{};
+    ss.ss_sp = stack_mem;
+    ss.ss_size = sizeof(stack_mem);
+    ss.ss_flags = 0;
+    if (sigaltstack(&ss, nullptr) != 0)
+        EDB_FATAL("sigaltstack failed");
+    altstack_ready = true;
+}
+
+HookChain &
+chainFor(int sig)
+{
+    return sig == SIGSEGV ? segv_chain : trap_chain;
+}
+
+void
+dispatch(int sig, siginfo_t *info, void *ucontext)
+{
+    HookChain &chain = chainFor(sig);
+    for (std::size_t i = 0; i < chain.count; ++i) {
+        if (chain.hooks[i] && chain.hooks[i](info, ucontext))
+            return;
+    }
+    // Unclaimed: restore the previous disposition and re-raise so a
+    // genuine crash produces the normal core/abort behaviour.
+    sigaction(sig, &chain.previous, nullptr);
+    raise(sig);
+}
+
+void
+installHandler(int sig)
+{
+    HookChain &chain = chainFor(sig);
+    if (chain.installed)
+        return;
+    ensureAltStack();
+    struct sigaction sa {};
+    sa.sa_sigaction = +[](int s, siginfo_t *i, void *u) {
+        dispatch(s, i, u);
+    };
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
+    if (sigaction(sig, &sa, &chain.previous) != 0)
+        EDB_FATAL("sigaction(%d) failed", sig);
+    chain.installed = true;
+}
+
+void
+addHook(int sig, SignalHook hook)
+{
+    installHandler(sig);
+    HookChain &chain = chainFor(sig);
+    for (std::size_t i = 0; i < chain.count; ++i) {
+        if (chain.hooks[i] == hook)
+            return;
+    }
+    EDB_ASSERT(chain.count < maxHooks, "too many signal hooks");
+    chain.hooks[chain.count++] = hook;
+}
+
+void
+removeHook(int sig, SignalHook hook)
+{
+    HookChain &chain = chainFor(sig);
+    for (std::size_t i = 0; i < chain.count; ++i) {
+        if (chain.hooks[i] == hook) {
+            for (std::size_t j = i + 1; j < chain.count; ++j)
+                chain.hooks[j - 1] = chain.hooks[j];
+            --chain.count;
+            return;
+        }
+    }
+}
+
+} // namespace
+
+void
+SignalHub::addSegvHook(SignalHook hook)
+{
+    addHook(SIGSEGV, hook);
+}
+
+void
+SignalHub::removeSegvHook(SignalHook hook)
+{
+    removeHook(SIGSEGV, hook);
+}
+
+void
+SignalHub::addTrapHook(SignalHook hook)
+{
+    addHook(SIGTRAP, hook);
+}
+
+void
+SignalHub::removeTrapHook(SignalHook hook)
+{
+    removeHook(SIGTRAP, hook);
+}
+
+} // namespace edb::runtime

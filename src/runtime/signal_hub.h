@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared signal dispatch for the live WMS runtimes.
+ *
+ * The VirtualMemory runtime needs SIGSEGV (write faults on protected
+ * pages) and SIGTRAP (single-step reprotection); the TrapPatch runtime
+ * needs SIGTRAP (int3 breakpoints). Section 3.3 of the paper notes
+ * that trap-based schemes "require the WMS to be integrated with the
+ * operating system signal facility" — this hub is that integration
+ * point: it owns the process's SIGSEGV/SIGTRAP handlers (running on a
+ * dedicated sigaltstack) and chains registered hooks, restoring
+ * default behaviour for faults no runtime claims so genuine crashes
+ * still crash.
+ *
+ * All hook functions run in signal context and must be
+ * async-signal-safe.
+ */
+
+#ifndef EDB_RUNTIME_SIGNAL_HUB_H
+#define EDB_RUNTIME_SIGNAL_HUB_H
+
+#include <csignal>
+
+namespace edb::runtime {
+
+/**
+ * A hook invoked from the process signal handler.
+ *
+ * @return True when the hook handled the signal; false to let the
+ *         next hook (or the default action) run.
+ */
+using SignalHook = bool (*)(siginfo_t *info, void *ucontext);
+
+/**
+ * Process-wide signal dispatcher. All methods are idempotent and
+ * not thread-safe (register hooks from the main thread before
+ * monitoring starts).
+ */
+class SignalHub
+{
+  public:
+    /** Register a SIGSEGV hook (installs the handler on first use). */
+    static void addSegvHook(SignalHook hook);
+    static void removeSegvHook(SignalHook hook);
+
+    /** Register a SIGTRAP hook (installs the handler on first use). */
+    static void addTrapHook(SignalHook hook);
+    static void removeTrapHook(SignalHook hook);
+
+  private:
+    SignalHub() = delete;
+};
+
+} // namespace edb::runtime
+
+#endif // EDB_RUNTIME_SIGNAL_HUB_H

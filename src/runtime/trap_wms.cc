@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Implementation of the live TrapPatch WMS.
+ */
+
+#include "runtime/trap_wms.h"
+
+#include "runtime/signal_hub.h"
+#include "util/logging.h"
+
+namespace edb::runtime {
+
+TrapWms *TrapWms::active_ = nullptr;
+
+TrapWms::TrapWms()
+{
+    EDB_ASSERT(active_ == nullptr,
+               "only one TrapWms instance may be active at a time");
+    active_ = this;
+    SignalHub::addTrapHook(&TrapWms::trapHook);
+}
+
+TrapWms::~TrapWms()
+{
+    SignalHub::removeTrapHook(&TrapWms::trapHook);
+    active_ = nullptr;
+}
+
+void
+TrapWms::installMonitor(const AddrRange &r)
+{
+    index_.install(r);
+}
+
+void
+TrapWms::removeMonitor(const AddrRange &r)
+{
+    index_.remove(r);
+}
+
+void
+TrapWms::setNotificationHandler(wms::NotificationHandler handler)
+{
+    handler_ = std::move(handler);
+}
+
+const TrapWmsStats &
+TrapWms::stats() const
+{
+    return stats_;
+}
+
+bool
+TrapWms::trapHook(siginfo_t *, void *)
+{
+    return active_ && active_->handleTrap();
+}
+
+bool
+TrapWms::handleTrap()
+{
+    if (!pending_armed_)
+        return false; // not our int3
+    pending_armed_ = false;
+    ++stats_.traps;
+
+    AddrRange written(pending_addr_, pending_addr_ + pending_size_);
+    if (index_.lookup(written)) {
+        ++stats_.hits;
+        if (handler_)
+            handler_(wms::Notification{written, pending_pc_});
+    } else {
+        ++stats_.misses;
+    }
+    // int3 leaves RIP past the trap instruction; simply returning
+    // resumes execution at the store.
+    return true;
+}
+
+} // namespace edb::runtime

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The TrapPatch write monitor service (paper Section 3.3, Figure 5).
+ *
+ * "TrapPatch, at compile time, replaces all write instructions with
+ * trap instructions. In the trap handler, as in VirtualMemory, the
+ * faulting instruction is emulated, and execution is continued after
+ * the faulting instruction. ... This method is used by the UNIX
+ * debuggers gdb and dbx."
+ *
+ * Our instrumented stores call checkedWrite(), which arms a pending
+ * write descriptor and executes a real `int3` — the same user-level
+ * trap round trip the paper times as TPFaultHandler_tau. The SIGTRAP
+ * handler performs the monitor lookup and notification; the store
+ * itself completes after the handler returns (equivalent to the
+ * paper's in-handler emulation: one trap per write, write visible
+ * before the notification is consumed).
+ */
+
+#ifndef EDB_RUNTIME_TRAP_WMS_H
+#define EDB_RUNTIME_TRAP_WMS_H
+
+#include <csignal>
+#include <cstdint>
+
+#include "wms/monitor_index.h"
+#include "wms/write_monitor_service.h"
+
+namespace edb::runtime {
+
+/** Hit/miss counters for the trap runtime. */
+struct TrapWmsStats
+{
+    std::uint64_t traps = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+/**
+ * Live TrapPatch WMS. At most one instance may exist at a time.
+ * Single-threaded debuggees only.
+ */
+class TrapWms : public wms::WriteMonitorService
+{
+  public:
+    TrapWms();
+    ~TrapWms() override;
+
+    TrapWms(const TrapWms &) = delete;
+    TrapWms &operator=(const TrapWms &) = delete;
+
+    void installMonitor(const AddrRange &r) override;
+    void removeMonitor(const AddrRange &r) override;
+    void setNotificationHandler(wms::NotificationHandler handler) override;
+
+    /**
+     * The "patched" store: traps into the WMS (real int3 + SIGTRAP
+     * round trip), then performs the assignment.
+     *
+     * @param target Location to store to.
+     * @param value  Value to store.
+     * @param pc     Caller-chosen write-site identifier reported in
+     *               notifications.
+     */
+    template <typename T>
+    void
+    checkedWrite(T *target, const T &value, Addr pc = 0)
+    {
+        trap((Addr)(uintptr_t)target, sizeof(T), pc);
+        *target = value;
+    }
+
+    /** Trap for a store of `size` bytes at `addr` (store done by
+     *  the caller afterwards). */
+    void
+    trap(Addr addr, Addr size, Addr pc)
+    {
+        pending_addr_ = addr;
+        pending_size_ = size;
+        pending_pc_ = pc;
+        pending_armed_ = true;
+        // A real breakpoint trap: this is what TrapPatch pays per
+        // write instruction.
+        __asm__ volatile("int3" ::: "memory");
+    }
+
+    /** Counters (out of line; updated in signal context). */
+    const TrapWmsStats &stats() const;
+    const wms::MonitorIndex &index() const { return index_; }
+
+  private:
+    static bool trapHook(siginfo_t *info, void *ucontext);
+    bool handleTrap();
+
+    wms::MonitorIndex index_;
+    wms::NotificationHandler handler_;
+    TrapWmsStats stats_;
+
+    volatile Addr pending_addr_ = 0;
+    volatile Addr pending_size_ = 0;
+    volatile Addr pending_pc_ = 0;
+    volatile bool pending_armed_ = false;
+
+    static TrapWms *active_;
+};
+
+} // namespace edb::runtime
+
+#endif // EDB_RUNTIME_TRAP_WMS_H

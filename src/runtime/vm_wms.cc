@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Implementation of the live VirtualMemory WMS.
+ */
+
+#include "runtime/vm_wms.h"
+
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "runtime/signal_hub.h"
+#include "util/logging.h"
+
+namespace edb::runtime {
+
+VmWms *VmWms::active_ = nullptr;
+
+namespace {
+
+/** x86-64 EFLAGS trap flag: single-step after the next instruction. */
+constexpr unsigned long trapFlag = 0x100;
+
+Addr
+hostPageBytes()
+{
+    long sz = sysconf(_SC_PAGESIZE);
+    EDB_ASSERT(sz > 0, "sysconf(_SC_PAGESIZE) failed");
+    return (Addr)sz;
+}
+
+} // namespace
+
+VmWms::VmWms(Delivery delivery)
+    : page_bytes_(hostPageBytes()),
+      delivery_(delivery),
+      index_(hostPageBytes())
+{
+    EDB_ASSERT(active_ == nullptr,
+               "only one VmWms instance may be active at a time");
+    active_ = this;
+    SignalHub::addSegvHook(&VmWms::segvHook);
+    SignalHub::addTrapHook(&VmWms::trapHook);
+}
+
+VmWms::~VmWms()
+{
+    // Unprotect everything we protected so the process is sane even
+    // if monitors were leaked.
+    for (const auto &[base, refs] : page_refs_) {
+        if (refs > 0)
+            ::mprotect((void *)base, page_bytes_,
+                       PROT_READ | PROT_WRITE);
+    }
+    SignalHub::removeSegvHook(&VmWms::segvHook);
+    SignalHub::removeTrapHook(&VmWms::trapHook);
+    active_ = nullptr;
+}
+
+void
+VmWms::checkSelfOverlap(const AddrRange &r) const
+{
+    // Refuse monitors whose pages contain this object; the fault
+    // handler must be able to write its own state. (Section 3.4: WMS
+    // data structures in the debuggee's address space "must be
+    // protected against corruption" — here, against self-deadlock.)
+    Addr self_first = (Addr)(uintptr_t)this / page_bytes_;
+    Addr self_last =
+        ((Addr)(uintptr_t)this + sizeof(*this) - 1) / page_bytes_;
+    auto [first, last] = pageSpan(r, page_bytes_);
+    if (first <= self_last && self_first <= last) {
+        EDB_FATAL("monitor %s shares a page with the VmWms instance; "
+                  "allocate monitored objects elsewhere",
+                  r.str().c_str());
+    }
+}
+
+void
+VmWms::protectPage(Addr page_base)
+{
+    if (::mprotect((void *)page_base, page_bytes_, PROT_READ) != 0)
+        EDB_FATAL("mprotect(PROT_READ) failed: %s", strerror(errno));
+    ++stats_.pageProtects;
+}
+
+void
+VmWms::unprotectPage(Addr page_base)
+{
+    if (::mprotect((void *)page_base, page_bytes_,
+                   PROT_READ | PROT_WRITE) != 0) {
+        EDB_FATAL("mprotect(PROT_READ|PROT_WRITE) failed: %s",
+                  strerror(errno));
+    }
+    ++stats_.pageUnprotects;
+}
+
+void
+VmWms::installMonitor(const AddrRange &r)
+{
+    checkSelfOverlap(r);
+    index_.install(r);
+    auto [first, last] = pageSpan(r, page_bytes_);
+    for (Addr p = first; p <= last; ++p) {
+        if (++page_refs_[p * page_bytes_] == 1)
+            protectPage(p * page_bytes_);
+    }
+}
+
+void
+VmWms::removeMonitor(const AddrRange &r)
+{
+    index_.remove(r);
+    auto [first, last] = pageSpan(r, page_bytes_);
+    for (Addr p = first; p <= last; ++p) {
+        auto it = page_refs_.find(p * page_bytes_);
+        EDB_ASSERT(it != page_refs_.end() && it->second > 0,
+                   "removeMonitor %s does not match an install",
+                   r.str().c_str());
+        if (--it->second == 0) {
+            unprotectPage(p * page_bytes_);
+            page_refs_.erase(it);
+        }
+    }
+}
+
+void
+VmWms::setNotificationHandler(wms::NotificationHandler handler)
+{
+    handler_ = std::move(handler);
+}
+
+const VmWmsStats &
+VmWms::stats() const
+{
+    // Out of line on purpose: the counters are written from signal
+    // handlers, and an inline accessor would let the compiler cache
+    // values across the faulting stores that update them.
+    return stats_;
+}
+
+bool
+VmWms::segvHook(siginfo_t *info, void *ucontext)
+{
+    return active_ && active_->handleSegv(info, ucontext);
+}
+
+bool
+VmWms::trapHook(siginfo_t *info, void *ucontext)
+{
+    return active_ && active_->handleTrap(info, ucontext);
+}
+
+bool
+VmWms::handleSegv(siginfo_t *info, void *ucontext)
+{
+    const Addr fault_addr = (Addr)(uintptr_t)info->si_addr;
+    const Addr page_base = fault_addr & ~(page_bytes_ - 1);
+
+    auto it = page_refs_.find(page_base);
+    if (it == page_refs_.end() || it->second == 0)
+        return false; // not ours: a genuine crash
+
+    auto *uc = (ucontext_t *)ucontext;
+
+    if (pending_count_ < maxPendingPages) {
+        pending_pages_[pending_count_++] = page_base;
+    } else {
+        // Pathological instruction touching many protected pages;
+        // give up on reprotecting beyond the ring (counted nowhere,
+        // but execution stays correct).
+    }
+    // mprotect is async-signal-safe per POSIX.
+    if (::mprotect((void *)page_base, page_bytes_,
+                   PROT_READ | PROT_WRITE) != 0) {
+        return false;
+    }
+    ++stats_.writeFaults;
+    ++stats_.pageUnprotects;
+
+    pending_addr_ = fault_addr;
+    pending_pc_ = (Addr)uc->uc_mcontext.gregs[REG_RIP];
+    // Hit when the faulting address lands in a monitored word; a miss
+    // on a protected page is the paper's VMActivePageMiss.
+    pending_hit_ = index_.lookupByte(fault_addr);
+
+    // Single-step: let exactly the faulting instruction execute, then
+    // take a SIGTRAP to reprotect and notify.
+    uc->uc_mcontext.gregs[REG_EFL] |= (long long)trapFlag;
+    return true;
+}
+
+bool
+VmWms::handleTrap(siginfo_t *, void *ucontext)
+{
+    if (pending_count_ == 0)
+        return false; // not a pending single-step of ours
+
+    auto *uc = (ucontext_t *)ucontext;
+    uc->uc_mcontext.gregs[REG_EFL] &= ~(long long)trapFlag;
+
+    for (int i = 0; i < pending_count_; ++i) {
+        if (::mprotect((void *)pending_pages_[i], page_bytes_,
+                       PROT_READ) == 0) {
+            ++stats_.pageProtects;
+        }
+    }
+    pending_count_ = 0;
+
+    if (pending_hit_) {
+        ++stats_.monitorHits;
+        wms::Notification n;
+        n.written = AddrRange(pending_addr_, pending_addr_ + 1);
+        n.pc = pending_pc_;
+        if (delivery_ == Delivery::InHandler) {
+            if (handler_)
+                handler_(n);
+        } else {
+            std::size_t next = (queue_tail_ + 1) % queueCapacity;
+            if (next == queue_head_) {
+                ++queue_dropped_;
+            } else {
+                queue_[queue_tail_] = n;
+                queue_tail_ = next;
+            }
+        }
+    } else {
+        ++stats_.activePageMisses;
+    }
+    return true;
+}
+
+std::size_t
+VmWms::drainQueuedNotifications()
+{
+    std::size_t delivered = 0;
+    while (queue_head_ != queue_tail_) {
+        wms::Notification n = queue_[queue_head_];
+        queue_head_ = (queue_head_ + 1) % queueCapacity;
+        if (handler_)
+            handler_(n);
+        ++delivered;
+    }
+    if (queue_dropped_ > 0) {
+        warn("VmWms dropped %llu notifications (queue overflow)",
+             (unsigned long long)queue_dropped_);
+        queue_dropped_ = 0;
+    }
+    return delivered;
+}
+
+} // namespace edb::runtime

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The VirtualMemory write monitor service (paper Section 3.2),
+ * implemented for real on Linux.
+ *
+ * "When a write monitor is installed, the WMS protects all pages the
+ * monitor resides on. The WMS can register a fault handler, allowing
+ * it to detect monitor hits when the debuggee attempts to write to a
+ * protected page. The WMS must arrange for execution to continue while
+ * insuring that the page is protected for subsequent writes. This may
+ * be accomplished by unprotecting the necessary pages, single-stepping
+ * the program, and reprotecting the pages."
+ *
+ * We implement exactly the unprotect / single-step / reprotect cycle:
+ * the SIGSEGV handler unprotects the faulting page and sets the x86
+ * trap flag (EFLAGS.TF) in the interrupted context; after the write
+ * instruction executes, the resulting SIGTRAP handler reprotects the
+ * page, clears TF, and delivers the MonitorNotification with the
+ * faulting address and PC captured at fault time. Notification occurs
+ * after the write has succeeded — a write monitor, not a write barrier
+ * (Section 1).
+ *
+ * Constraints of an in-process implementation (documented rather than
+ * hidden):
+ *  - single-threaded debuggees only: the trap flag and pending-page
+ *    state are per-process here;
+ *  - the page(s) holding this VmWms object and its index must not be
+ *    monitored (installMonitor refuses); the paper's Section 3.4
+ *    discusses exactly this self-protection problem;
+ *  - the notification handler runs in signal context and must be
+ *    async-signal-safe, or notifications can be queued and drained
+ *    with drainQueuedNotifications() from normal context.
+ */
+
+#ifndef EDB_RUNTIME_VM_WMS_H
+#define EDB_RUNTIME_VM_WMS_H
+
+#include <csignal>
+#include <cstdint>
+#include <unordered_map>
+
+#include "wms/monitor_index.h"
+#include "wms/write_monitor_service.h"
+
+namespace edb::runtime {
+
+/** Counters mirroring the paper's VM counting variables, measured. */
+struct VmWmsStats
+{
+    std::uint64_t writeFaults = 0;
+    std::uint64_t monitorHits = 0;
+    std::uint64_t activePageMisses = 0;
+    std::uint64_t pageProtects = 0;
+    std::uint64_t pageUnprotects = 0;
+};
+
+/**
+ * Live VirtualMemory WMS over host memory. At most one instance may
+ * be active (have installed monitors) at a time.
+ */
+class VmWms : public wms::WriteMonitorService
+{
+  public:
+    /** Delivery mode for notifications. */
+    enum class Delivery
+    {
+        /** Call the handler from the SIGTRAP handler (immediate). */
+        InHandler,
+        /** Queue; client drains with drainQueuedNotifications(). */
+        Queued,
+    };
+
+    explicit VmWms(Delivery delivery = Delivery::InHandler);
+    ~VmWms() override;
+
+    VmWms(const VmWms &) = delete;
+    VmWms &operator=(const VmWms &) = delete;
+
+    void installMonitor(const AddrRange &r) override;
+    void removeMonitor(const AddrRange &r) override;
+    void setNotificationHandler(wms::NotificationHandler handler) override;
+
+    /**
+     * Deliver queued notifications (Delivery::Queued mode) to the
+     * handler from normal (non-signal) context.
+     *
+     * @return Number of notifications delivered.
+     */
+    std::size_t drainQueuedNotifications();
+
+    /**
+     * Lifetime counters. Defined out of line: they change inside
+     * signal handlers, so reads must not be cached across faulting
+     * stores.
+     */
+    const VmWmsStats &stats() const;
+    const wms::MonitorIndex &index() const { return index_; }
+
+    /** Host page size this instance protects at. */
+    Addr pageBytes() const { return page_bytes_; }
+
+  private:
+    static bool segvHook(siginfo_t *info, void *ucontext);
+    static bool trapHook(siginfo_t *info, void *ucontext);
+
+    bool handleSegv(siginfo_t *info, void *ucontext);
+    bool handleTrap(siginfo_t *info, void *ucontext);
+
+    void protectPage(Addr page_base);
+    void unprotectPage(Addr page_base);
+
+    /** Refuse monitors overlapping the WMS's own state (S3.4). */
+    void checkSelfOverlap(const AddrRange &r) const;
+
+    Addr page_bytes_;
+    Delivery delivery_;
+    wms::MonitorIndex index_;
+    /** page base -> number of monitors with bytes on the page. */
+    std::unordered_map<Addr, std::uint32_t> page_refs_;
+    wms::NotificationHandler handler_;
+    VmWmsStats stats_;
+
+    /** @name Pending single-step state (written in signal context). */
+    /// @{
+    static constexpr int maxPendingPages = 4;
+    Addr pending_pages_[maxPendingPages];
+    int pending_count_ = 0;
+    Addr pending_addr_ = 0;
+    Addr pending_pc_ = 0;
+    bool pending_hit_ = false;
+    /// @}
+
+    /**
+     * Queued-notification ring (Delivery::Queued). Fixed capacity so
+     * the signal handler never allocates; overflow is counted.
+     */
+    static constexpr std::size_t queueCapacity = 4096;
+    wms::Notification queue_[queueCapacity];
+    std::size_t queue_head_ = 0;
+    std::size_t queue_tail_ = 0;
+    std::uint64_t queue_dropped_ = 0;
+
+    /** The active instance (at most one). */
+    static VmWms *active_;
+};
+
+} // namespace edb::runtime
+
+#endif // EDB_RUNTIME_VM_WMS_H

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Session enumeration and the object -> session inverted index.
+ */
+
+#include "session/session.h"
+
+#include <algorithm>
+#include <map>
+
+namespace edb::session {
+
+const char *
+sessionTypeName(SessionType type)
+{
+    switch (type) {
+      case SessionType::OneLocalAuto: return "OneLocalAuto";
+      case SessionType::AllLocalInFunc: return "AllLocalInFunc";
+      case SessionType::OneGlobalStatic: return "OneGlobalStatic";
+      case SessionType::OneHeap: return "OneHeap";
+      case SessionType::AllHeapInFunc: return "AllHeapInFunc";
+    }
+    return "?";
+}
+
+SessionSet
+SessionSet::enumerate(const trace::Trace &trace)
+{
+    using trace::ObjectKind;
+
+    SessionSet set;
+    const auto &objects = trace.registry.objects();
+    set.object_sessions_.resize(objects.size());
+
+    auto add_session = [&set](SessionType type, ObjectId obj,
+                              FunctionId func) {
+        auto id = (SessionId)set.sessions_.size();
+        set.sessions_.push_back(SessionInfo{id, type, obj, func});
+        ++set.counts_[(std::size_t)type];
+        return id;
+    };
+
+    // Per-function session ids, created lazily in function-id order so
+    // enumeration is deterministic.
+    std::map<FunctionId, SessionId> all_local_sessions;
+    std::map<FunctionId, SessionId> all_heap_sessions;
+
+    // Pass 1: the One* sessions, in object-id order.
+    for (const auto &obj : objects) {
+        switch (obj.kind) {
+          case ObjectKind::LocalAuto:
+            set.object_sessions_[obj.id].push_back(
+                add_session(SessionType::OneLocalAuto, obj.id,
+                            obj.owner));
+            break;
+          case ObjectKind::GlobalStatic:
+            set.object_sessions_[obj.id].push_back(
+                add_session(SessionType::OneGlobalStatic, obj.id,
+                            trace::invalidFunction));
+            break;
+          case ObjectKind::Heap:
+            set.object_sessions_[obj.id].push_back(
+                add_session(SessionType::OneHeap, obj.id, obj.owner));
+            break;
+          case ObjectKind::LocalStatic:
+            // Local statics have no One* session of their own; they
+            // participate only in AllLocalInFunc (Section 5).
+            break;
+        }
+    }
+
+    // Pass 2: collect the function sets for the All*InFunc types.
+    for (const auto &obj : objects) {
+        if (obj.kind == ObjectKind::LocalAuto ||
+            obj.kind == ObjectKind::LocalStatic) {
+            all_local_sessions.try_emplace(obj.owner, 0);
+        } else if (obj.kind == ObjectKind::Heap) {
+            for (FunctionId f : obj.allocContext)
+                all_heap_sessions.try_emplace(f, 0);
+        }
+    }
+    for (auto &[func, sid] : all_local_sessions) {
+        sid = add_session(SessionType::AllLocalInFunc,
+                          trace::invalidObject, func);
+    }
+    for (auto &[func, sid] : all_heap_sessions) {
+        sid = add_session(SessionType::AllHeapInFunc,
+                          trace::invalidObject, func);
+    }
+
+    // Pass 3: complete the inverted index with the All*InFunc
+    // memberships.
+    for (const auto &obj : objects) {
+        auto &sessions = set.object_sessions_[obj.id];
+        if (obj.kind == ObjectKind::LocalAuto ||
+            obj.kind == ObjectKind::LocalStatic) {
+            sessions.push_back(all_local_sessions.at(obj.owner));
+        } else if (obj.kind == ObjectKind::Heap) {
+            // "created by a function f and any other functions
+            // executing in the dynamic context of f": every distinct
+            // function on the allocation call stack defines a session
+            // this object belongs to.
+            std::vector<FunctionId> ctx(obj.allocContext);
+            std::sort(ctx.begin(), ctx.end());
+            ctx.erase(std::unique(ctx.begin(), ctx.end()), ctx.end());
+            for (FunctionId f : ctx)
+                sessions.push_back(all_heap_sessions.at(f));
+        }
+        std::sort(sessions.begin(), sessions.end());
+    }
+
+    return set;
+}
+
+std::string
+SessionSet::describe(SessionId id, const trace::Trace &trace) const
+{
+    const SessionInfo &s = session(id);
+    std::string out = sessionTypeName(s.type);
+    out += '(';
+    switch (s.type) {
+      case SessionType::OneLocalAuto: {
+        const auto &obj = trace.registry.object(s.object);
+        out += trace.registry.functionName(obj.owner);
+        out += "::";
+        out += obj.name;
+        break;
+      }
+      case SessionType::OneGlobalStatic:
+      case SessionType::OneHeap:
+        out += trace.registry.object(s.object).name;
+        break;
+      case SessionType::AllLocalInFunc:
+      case SessionType::AllHeapInFunc:
+        out += trace.registry.functionName(s.function);
+        break;
+    }
+    out += ')';
+    return out;
+}
+
+} // namespace edb::session

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Monitor sessions: the paper's program-independent debugging
+ * scenarios (Section 5).
+ *
+ * "A monitor session characterizes the write monitor activity with
+ * respect to one run of the program." The study defines five
+ * program-independent session *types* and instantiates every instance
+ * of each type found in a program:
+ *
+ *  - OneLocalAuto    — one local automatic variable (all of its
+ *                      instantiations belong to the same session)
+ *  - AllLocalInFunc  — all locals of one function, including local
+ *                      statics
+ *  - OneGlobalStatic — one global static variable
+ *  - OneHeap         — one heap object
+ *  - AllHeapInFunc   — all heap objects created by a function f and by
+ *                      functions executing in the dynamic context of f
+ *
+ * SessionSet enumerates every instance from a trace's object registry
+ * and builds the object-to-sessions inverted index the one-pass
+ * simulator needs.
+ */
+
+#ifndef EDB_SESSION_SESSION_H
+#define EDB_SESSION_SESSION_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace edb::session {
+
+using trace::FunctionId;
+using trace::ObjectId;
+
+/** Index of a session within a SessionSet. */
+using SessionId = std::uint32_t;
+
+/** The five monitor-session types of the paper's Section 5. */
+enum class SessionType : std::uint8_t {
+    OneLocalAuto = 0,
+    AllLocalInFunc = 1,
+    OneGlobalStatic = 2,
+    OneHeap = 3,
+    AllHeapInFunc = 4,
+};
+
+constexpr std::size_t sessionTypeCount = 5;
+
+const char *sessionTypeName(SessionType type);
+
+/** One enumerated monitor session instance. */
+struct SessionInfo
+{
+    SessionId id = 0;
+    SessionType type = SessionType::OneLocalAuto;
+    /** The monitored object, for the One* session types. */
+    ObjectId object = trace::invalidObject;
+    /** The defining function, for the All*InFunc session types. */
+    FunctionId function = trace::invalidFunction;
+};
+
+/**
+ * Every monitor-session instance discovered in one trace, plus the
+ * object -> sessions inverted index.
+ */
+class SessionSet
+{
+  public:
+    /** Enumerate all session instances for a trace. */
+    static SessionSet enumerate(const trace::Trace &trace);
+
+    std::size_t size() const { return sessions_.size(); }
+
+    const SessionInfo &
+    session(SessionId id) const
+    {
+        EDB_ASSERT(id < sessions_.size(), "session id %u out of range",
+                   id);
+        return sessions_[id];
+    }
+
+    const std::vector<SessionInfo> &sessions() const { return sessions_; }
+
+    /**
+     * Sessions whose monitored set contains the given object. Installs
+     * and removes of the object, and hits on it, are attributed to
+     * exactly these sessions.
+     */
+    const std::vector<SessionId> &
+    sessionsOf(ObjectId obj) const
+    {
+        EDB_ASSERT(obj < object_sessions_.size(),
+                   "object id %u out of range", obj);
+        return object_sessions_[obj];
+    }
+
+    /** Number of sessions of each type. */
+    const std::array<std::size_t, sessionTypeCount> &
+    countsByType() const
+    {
+        return counts_;
+    }
+
+    /** Human-readable description of a session, for reports. */
+    std::string describe(SessionId id, const trace::Trace &trace) const;
+
+  private:
+    std::vector<SessionInfo> sessions_;
+    /** object id -> session ids containing it (sorted). */
+    std::vector<std::vector<SessionId>> object_sessions_;
+    std::array<std::size_t, sessionTypeCount> counts_{};
+};
+
+} // namespace edb::session
+
+#endif // EDB_SESSION_SESSION_H

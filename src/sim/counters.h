@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The counting variables of the paper's Section 7 (Figure 2 and the
+ * VirtualMemory-specific additions of Figure 4), one set per monitor
+ * session.
+ */
+
+#ifndef EDB_SIM_COUNTERS_H
+#define EDB_SIM_COUNTERS_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/addr.h"
+
+namespace edb::sim {
+
+/** Page sizes the VirtualMemory strategy is evaluated at (Section 4:
+ *  "we are interested in how page size affects the performance of
+ *  strategies based on virtual memory protection"). */
+constexpr std::array<Addr, 2> vmPageSizes = {4096, 8192};
+constexpr std::size_t vmPageSizeCount = vmPageSizes.size();
+
+/** Per-page-size VirtualMemory counting variables (Figure 4). */
+struct VmCounters
+{
+    /** VMProtect_sigma: active-monitor count on a page went 0 -> 1. */
+    std::uint64_t protects = 0;
+    /** VMUnprotect_sigma: active-monitor count went 1 -> 0. */
+    std::uint64_t unprotects = 0;
+    /**
+     * VMActivePageMiss_sigma: monitor misses that wrote to a page
+     * containing an active write monitor of this session.
+     */
+    std::uint64_t activePageMisses = 0;
+};
+
+/** The full counting-variable set for one monitor session. */
+struct SessionCounters
+{
+    /** InstallMonitor_sigma. */
+    std::uint64_t installs = 0;
+    /** RemoveMonitor_sigma. */
+    std::uint64_t removes = 0;
+    /** MonitorHit_sigma. */
+    std::uint64_t hits = 0;
+    /** Indexed parallel to vmPageSizes. */
+    std::array<VmCounters, vmPageSizeCount> vm{};
+};
+
+/** Result of simulating every session of a trace in one pass. */
+struct SimResult
+{
+    /** Total write events in the trace. */
+    std::uint64_t totalWrites = 0;
+    /** Counting variables, indexed by SessionId. */
+    std::vector<SessionCounters> counters;
+
+    /** MonitorMiss_sigma = total writes - MonitorHit_sigma. */
+    std::uint64_t
+    misses(std::size_t session) const
+    {
+        return totalWrites - counters[session].hits;
+    }
+};
+
+} // namespace edb::sim
+
+#endif // EDB_SIM_COUNTERS_H

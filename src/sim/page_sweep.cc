@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Implementation of the page-size sweep: the one-pass simulator's VM
+ * accounting generalized to a runtime list of page sizes.
+ */
+
+#include "sim/page_sweep.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace edb::sim {
+
+using session::SessionId;
+using trace::Event;
+using trace::EventKind;
+
+PageSweepResult
+sweepPageSizes(const trace::Trace &trace,
+               const session::SessionSet &sessions,
+               const std::vector<Addr> &page_sizes)
+{
+    for (Addr size : page_sizes) {
+        EDB_ASSERT(size >= wordBytes && (size & (size - 1)) == 0,
+                   "page size %llu is not a power of two",
+                   (unsigned long long)size);
+    }
+
+    PageSweepResult result;
+    result.pageSizes = page_sizes;
+    result.counters.assign(
+        page_sizes.size(),
+        std::vector<SweepCounters>(sessions.size()));
+
+    const std::size_t nsizes = page_sizes.size();
+
+    // Live objects (for hit resolution), as in the main simulator.
+    struct LiveObj
+    {
+        Addr end;
+        trace::ObjectId obj;
+    };
+    std::map<Addr, LiveObj> live;
+
+    using PageSessionVec =
+        std::vector<std::pair<SessionId, std::uint32_t>>;
+    std::vector<std::unordered_map<Addr, PageSessionVec>> pages(nsizes);
+
+    std::vector<std::uint64_t> hit_epoch(sessions.size(), 0);
+    std::vector<std::vector<std::uint64_t>> miss_epoch(
+        nsizes, std::vector<std::uint64_t>(sessions.size(), 0));
+    std::uint64_t epoch = 0;
+
+    for (const Event &e : trace.events) {
+        switch (e.kind) {
+          case EventKind::InstallMonitor: {
+            const AddrRange r = e.range();
+            live.emplace(r.begin, LiveObj{r.end, e.aux});
+            for (SessionId s : sessions.sessionsOf(e.aux)) {
+                for (std::size_t i = 0; i < nsizes; ++i) {
+                    auto [first, last] = pageSpan(r, page_sizes[i]);
+                    for (Addr p = first; p <= last; ++p) {
+                        PageSessionVec &vec = pages[i][p];
+                        auto entry = std::find_if(
+                            vec.begin(), vec.end(),
+                            [s](const auto &kv) {
+                                return kv.first == s;
+                            });
+                        if (entry == vec.end()) {
+                            vec.emplace_back(s, 1);
+                            ++result.counters[i][s].protects;
+                        } else {
+                            ++entry->second;
+                        }
+                    }
+                }
+            }
+            break;
+          }
+
+          case EventKind::RemoveMonitor: {
+            const AddrRange r = e.range();
+            live.erase(r.begin);
+            for (SessionId s : sessions.sessionsOf(e.aux)) {
+                for (std::size_t i = 0; i < nsizes; ++i) {
+                    auto [first, last] = pageSpan(r, page_sizes[i]);
+                    for (Addr p = first; p <= last; ++p) {
+                        auto page_it = pages[i].find(p);
+                        EDB_ASSERT(page_it != pages[i].end(),
+                                   "sweep page table corrupt");
+                        PageSessionVec &vec = page_it->second;
+                        auto entry = std::find_if(
+                            vec.begin(), vec.end(),
+                            [s](const auto &kv) {
+                                return kv.first == s;
+                            });
+                        EDB_ASSERT(entry != vec.end(),
+                                   "sweep page table corrupt");
+                        if (--entry->second == 0) {
+                            ++result.counters[i][s].unprotects;
+                            *entry = vec.back();
+                            vec.pop_back();
+                            if (vec.empty())
+                                pages[i].erase(page_it);
+                        }
+                    }
+                }
+            }
+            break;
+          }
+
+          case EventKind::Write: {
+            ++epoch;
+            const AddrRange w = e.range();
+
+            auto it = live.upper_bound(w.begin);
+            if (it != live.begin()) {
+                auto prev = std::prev(it);
+                if (prev->second.end > w.begin)
+                    it = prev;
+            }
+            for (; it != live.end() && it->first < w.end; ++it) {
+                if (it->second.end <= w.begin)
+                    continue;
+                for (SessionId s :
+                     sessions.sessionsOf(it->second.obj)) {
+                    hit_epoch[s] = epoch;
+                }
+            }
+
+            for (std::size_t i = 0; i < nsizes; ++i) {
+                auto [first, last] = pageSpan(w, page_sizes[i]);
+                for (Addr p = first; p <= last; ++p) {
+                    auto page_it = pages[i].find(p);
+                    if (page_it == pages[i].end())
+                        continue;
+                    for (const auto &[s, count] : page_it->second) {
+                        if (hit_epoch[s] == epoch ||
+                            miss_epoch[i][s] == epoch) {
+                            continue;
+                        }
+                        miss_epoch[i][s] = epoch;
+                        ++result.counters[i][s].activePageMisses;
+                    }
+                }
+            }
+            break;
+          }
+        }
+    }
+    return result;
+}
+
+} // namespace edb::sim

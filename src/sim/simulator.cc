@@ -1,0 +1,290 @@
+/**
+ * @file
+ * One-pass multi-session simulator and the per-session oracle.
+ */
+
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace edb::sim {
+
+using session::SessionId;
+using session::SessionSet;
+using trace::Event;
+using trace::EventKind;
+using trace::ObjectId;
+using trace::Trace;
+
+namespace {
+
+/** A currently installed object instance. */
+struct LiveObj
+{
+    Addr end;
+    ObjectId obj;
+};
+
+/**
+ * Per-page set of sessions that currently have at least one active
+ * monitor on the page, with the active-monitor count. Entries are
+ * removed when the count returns to zero, keeping the per-write scan
+ * proportional to the sessions actually active on the page.
+ */
+using PageSessionVec = std::vector<std::pair<SessionId, std::uint32_t>>;
+
+} // namespace
+
+SimResult
+simulate(const Trace &trace, const SessionSet &sessions)
+{
+    SimResult result;
+    result.counters.resize(sessions.size());
+
+    // Currently installed objects, keyed by begin address. Installed
+    // objects never overlap (the tracer's address space guarantees
+    // it), which makes write resolution a single bounded map probe.
+    std::map<Addr, LiveObj> live;
+
+    std::array<std::unordered_map<Addr, PageSessionVec>,
+               vmPageSizeCount> pages;
+
+    // Epoch marks for per-write session deduplication.
+    std::vector<std::uint64_t> hit_epoch(sessions.size(), 0);
+    std::array<std::vector<std::uint64_t>, vmPageSizeCount> miss_epoch;
+    for (auto &v : miss_epoch)
+        v.assign(sessions.size(), 0);
+    std::uint64_t epoch = 0;
+
+    for (const Event &e : trace.events) {
+        switch (e.kind) {
+          case EventKind::InstallMonitor: {
+            const AddrRange r = e.range();
+            auto [it, inserted] = live.emplace(r.begin,
+                                               LiveObj{r.end, e.aux});
+            EDB_ASSERT(inserted, "overlapping install at %s",
+                       r.str().c_str());
+            if (it != live.begin()) {
+                auto prev = std::prev(it);
+                EDB_ASSERT(prev->second.end <= r.begin,
+                           "install %s overlaps a live object",
+                           r.str().c_str());
+            }
+            if (auto next = std::next(it); next != live.end()) {
+                EDB_ASSERT(r.end <= next->first,
+                           "install %s overlaps a live object",
+                           r.str().c_str());
+            }
+
+            for (SessionId s : sessions.sessionsOf(e.aux)) {
+                ++result.counters[s].installs;
+                for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+                    auto [first, last] = pageSpan(r, vmPageSizes[i]);
+                    for (Addr p = first; p <= last; ++p) {
+                        PageSessionVec &vec = pages[i][p];
+                        auto entry = std::find_if(
+                            vec.begin(), vec.end(),
+                            [s](const auto &kv) {
+                                return kv.first == s;
+                            });
+                        if (entry == vec.end()) {
+                            vec.emplace_back(s, 1);
+                            ++result.counters[s].vm[i].protects;
+                        } else {
+                            ++entry->second;
+                        }
+                    }
+                }
+            }
+            break;
+          }
+
+          case EventKind::RemoveMonitor: {
+            const AddrRange r = e.range();
+            auto it = live.find(r.begin);
+            EDB_ASSERT(it != live.end() && it->second.end == r.end &&
+                           it->second.obj == e.aux,
+                       "remove %s does not match a live install",
+                       r.str().c_str());
+            live.erase(it);
+
+            for (SessionId s : sessions.sessionsOf(e.aux)) {
+                ++result.counters[s].removes;
+                for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+                    auto [first, last] = pageSpan(r, vmPageSizes[i]);
+                    for (Addr p = first; p <= last; ++p) {
+                        auto page_it = pages[i].find(p);
+                        EDB_ASSERT(page_it != pages[i].end(),
+                                   "page table corrupt on remove");
+                        PageSessionVec &vec = page_it->second;
+                        auto entry = std::find_if(
+                            vec.begin(), vec.end(),
+                            [s](const auto &kv) {
+                                return kv.first == s;
+                            });
+                        EDB_ASSERT(entry != vec.end(),
+                                   "page table corrupt on remove");
+                        if (--entry->second == 0) {
+                            ++result.counters[s].vm[i].unprotects;
+                            *entry = vec.back();
+                            vec.pop_back();
+                            if (vec.empty())
+                                pages[i].erase(page_it);
+                        }
+                    }
+                }
+            }
+            break;
+          }
+
+          case EventKind::Write: {
+            ++result.totalWrites;
+            ++epoch;
+            const AddrRange w = e.range();
+
+            // Resolve the objects the write touches: the predecessor
+            // (if it extends into the write) plus every live object
+            // starting inside the write.
+            auto it = live.upper_bound(w.begin);
+            if (it != live.begin()) {
+                auto prev = std::prev(it);
+                if (prev->second.end > w.begin)
+                    it = prev;
+            }
+            for (; it != live.end() && it->first < w.end; ++it) {
+                if (it->second.end <= w.begin)
+                    continue;
+                for (SessionId s : sessions.sessionsOf(it->second.obj)) {
+                    if (hit_epoch[s] != epoch) {
+                        hit_epoch[s] = epoch;
+                        ++result.counters[s].hits;
+                    }
+                }
+            }
+
+            // VirtualMemory active-page misses: sessions with a
+            // monitor on a written page that this write did not hit.
+            for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+                auto [first, last] = pageSpan(w, vmPageSizes[i]);
+                for (Addr p = first; p <= last; ++p) {
+                    auto page_it = pages[i].find(p);
+                    if (page_it == pages[i].end())
+                        continue;
+                    for (const auto &[s, count] : page_it->second) {
+                        if (hit_epoch[s] == epoch ||
+                            miss_epoch[i][s] == epoch) {
+                            continue;
+                        }
+                        miss_epoch[i][s] = epoch;
+                        ++result.counters[s].vm[i].activePageMisses;
+                    }
+                }
+            }
+            break;
+          }
+        }
+    }
+
+    EDB_ASSERT(result.totalWrites == trace.totalWrites,
+               "trace totalWrites header (%llu) disagrees with events "
+               "(%llu)",
+               (unsigned long long)trace.totalWrites,
+               (unsigned long long)result.totalWrites);
+    return result;
+}
+
+SessionCounters
+simulateOneSession(const Trace &trace, const SessionSet &sessions,
+                   SessionId id)
+{
+    SessionCounters c;
+
+    // Live monitors of this session only, as a flat list — an
+    // intentionally different (and obviously correct) structure from
+    // the one-pass simulator's, so tests can use this as an oracle.
+    std::vector<std::pair<AddrRange, ObjectId>> monitors;
+    std::array<std::unordered_map<Addr, std::uint32_t>,
+               vmPageSizeCount> page_counts;
+
+    auto in_session = [&](ObjectId obj) {
+        const auto &s = sessions.sessionsOf(obj);
+        return std::binary_search(s.begin(), s.end(), id);
+    };
+
+    for (const Event &e : trace.events) {
+        switch (e.kind) {
+          case EventKind::InstallMonitor: {
+            if (!in_session(e.aux))
+                break;
+            ++c.installs;
+            const AddrRange r = e.range();
+            monitors.emplace_back(r, e.aux);
+            for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+                auto [first, last] = pageSpan(r, vmPageSizes[i]);
+                for (Addr p = first; p <= last; ++p) {
+                    if (++page_counts[i][p] == 1)
+                        ++c.vm[i].protects;
+                }
+            }
+            break;
+          }
+
+          case EventKind::RemoveMonitor: {
+            if (!in_session(e.aux))
+                break;
+            ++c.removes;
+            const AddrRange r = e.range();
+            auto it = std::find_if(
+                monitors.begin(), monitors.end(), [&](const auto &m) {
+                    return m.first == r && m.second == e.aux;
+                });
+            EDB_ASSERT(it != monitors.end(),
+                       "oracle: remove %s without install",
+                       r.str().c_str());
+            monitors.erase(it);
+            for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+                auto [first, last] = pageSpan(r, vmPageSizes[i]);
+                for (Addr p = first; p <= last; ++p) {
+                    auto pc = page_counts[i].find(p);
+                    EDB_ASSERT(pc != page_counts[i].end() &&
+                                   pc->second > 0,
+                               "oracle: page count corrupt");
+                    if (--pc->second == 0) {
+                        ++c.vm[i].unprotects;
+                        page_counts[i].erase(pc);
+                    }
+                }
+            }
+            break;
+          }
+
+          case EventKind::Write: {
+            const AddrRange w = e.range();
+            bool hit = std::any_of(
+                monitors.begin(), monitors.end(),
+                [&](const auto &m) { return m.first.intersects(w); });
+            if (hit) {
+                ++c.hits;
+                break;
+            }
+            for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+                auto [first, last] = pageSpan(w, vmPageSizes[i]);
+                for (Addr p = first; p <= last; ++p) {
+                    auto pc = page_counts[i].find(p);
+                    if (pc != page_counts[i].end() && pc->second > 0) {
+                        ++c.vm[i].activePageMisses;
+                        break;
+                    }
+                }
+            }
+            break;
+          }
+        }
+    }
+    return c;
+}
+
+} // namespace edb::sim

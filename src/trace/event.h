@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The program event trace produced by phase 1 of the experiment.
+ *
+ * Paper, Section 6: "the assembly code was postprocessed so that at
+ * run-time a program event trace was generated. The trace consisted of
+ * the following three events and their arguments:
+ *   InstallMonitorEvent [ObjectDesc, BA, EA]
+ *   RemoveMonitorEvent  [ObjectDesc, BA, EA]
+ *   WriteEvent          [BA, EA]
+ * The event trace is independent of any particular monitor session."
+ *
+ * Our events mirror that exactly; ObjectDesc is an index into the
+ * trace's ObjectRegistry. Write events additionally carry a pseudo
+ * program counter identifying the write site, which the paper's
+ * MonitorNotification interface needs and which our examples use to
+ * attribute corrupting writes.
+ */
+
+#ifndef EDB_TRACE_EVENT_H
+#define EDB_TRACE_EVENT_H
+
+#include <cstdint>
+
+#include "util/addr.h"
+
+namespace edb::trace {
+
+/** Index of a program object in the ObjectRegistry. */
+using ObjectId = std::uint32_t;
+/** Index of a function in the ObjectRegistry's function table. */
+using FunctionId = std::uint32_t;
+
+constexpr ObjectId invalidObject = 0xffffffff;
+constexpr FunctionId invalidFunction = 0xffffffff;
+
+/** The three trace event kinds of the paper's Section 6. */
+enum class EventKind : std::uint8_t {
+    InstallMonitor = 0,
+    RemoveMonitor = 1,
+    Write = 2,
+};
+
+/**
+ * One trace event. Kept deliberately small: traces run to millions of
+ * events per workload.
+ */
+struct Event
+{
+    /** Beginning address (BA). */
+    Addr begin;
+    /** Size in bytes (EA = begin + size). */
+    std::uint32_t size;
+    /**
+     * InstallMonitor/RemoveMonitor: the object id.
+     * Write: the pseudo program counter of the write site.
+     */
+    std::uint32_t aux;
+    EventKind kind;
+
+    AddrRange range() const { return AddrRange(begin, begin + size); }
+
+    static Event
+    install(ObjectId obj, const AddrRange &r)
+    {
+        return {r.begin, (std::uint32_t)r.size(), obj,
+                EventKind::InstallMonitor};
+    }
+
+    static Event
+    remove(ObjectId obj, const AddrRange &r)
+    {
+        return {r.begin, (std::uint32_t)r.size(), obj,
+                EventKind::RemoveMonitor};
+    }
+
+    static Event
+    write(const AddrRange &r, std::uint32_t pc)
+    {
+        return {r.begin, (std::uint32_t)r.size(), pc, EventKind::Write};
+    }
+
+    bool operator==(const Event &o) const = default;
+};
+
+} // namespace edb::trace
+
+#endif // EDB_TRACE_EVENT_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Implementation of the trace object registry.
+ */
+
+#include "trace/object_registry.h"
+
+namespace edb::trace {
+
+const char *
+objectKindName(ObjectKind kind)
+{
+    switch (kind) {
+      case ObjectKind::LocalAuto: return "LocalAuto";
+      case ObjectKind::LocalStatic: return "LocalStatic";
+      case ObjectKind::GlobalStatic: return "GlobalStatic";
+      case ObjectKind::Heap: return "Heap";
+    }
+    return "?";
+}
+
+FunctionId
+ObjectRegistry::internFunction(std::string_view name)
+{
+    auto it = function_ids_.find(std::string(name));
+    if (it != function_ids_.end())
+        return it->second;
+    auto id = (FunctionId)functions_.size();
+    functions_.emplace_back(name);
+    function_ids_.emplace(functions_.back(), id);
+    return id;
+}
+
+ObjectId
+ObjectRegistry::internVariable(ObjectKind kind, FunctionId owner,
+                               std::string_view name, Addr size)
+{
+    EDB_ASSERT(kind != ObjectKind::Heap,
+               "heap objects are not interned; use addHeapObject");
+    std::string key;
+    key.reserve(name.size() + 16);
+    key += (char)('0' + (int)kind);
+    key += std::to_string(owner);
+    key += ':';
+    key += name;
+    auto it = variable_ids_.find(key);
+    if (it != variable_ids_.end()) {
+        EDB_ASSERT(objects_[it->second].size == size,
+                   "variable '%s' re-interned with a different size",
+                   std::string(name).c_str());
+        return it->second;
+    }
+    auto id = (ObjectId)objects_.size();
+    ObjectInfo info;
+    info.id = id;
+    info.kind = kind;
+    info.name = std::string(name);
+    info.owner = owner;
+    info.size = size;
+    objects_.push_back(std::move(info));
+    variable_ids_.emplace(std::move(key), id);
+    return id;
+}
+
+ObjectId
+ObjectRegistry::addHeapObject(std::string_view site,
+                              std::vector<FunctionId> alloc_context,
+                              Addr size)
+{
+    auto id = (ObjectId)objects_.size();
+    ObjectInfo info;
+    info.id = id;
+    info.kind = ObjectKind::Heap;
+    info.name = std::string(site);
+    info.owner = alloc_context.empty() ? invalidFunction
+                                       : alloc_context.back();
+    info.size = size;
+    info.allocContext = std::move(alloc_context);
+    objects_.push_back(std::move(info));
+    return id;
+}
+
+const ObjectInfo &
+ObjectRegistry::object(ObjectId id) const
+{
+    EDB_ASSERT(id < objects_.size(), "object id %u out of range", id);
+    return objects_[id];
+}
+
+const std::string &
+ObjectRegistry::functionName(FunctionId id) const
+{
+    EDB_ASSERT(id < functions_.size(), "function id %u out of range", id);
+    return functions_[id];
+}
+
+FunctionId
+ObjectRegistry::findFunction(std::string_view name) const
+{
+    auto it = function_ids_.find(std::string(name));
+    return it == function_ids_.end() ? invalidFunction : it->second;
+}
+
+} // namespace edb::trace

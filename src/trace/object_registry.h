@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Registry of functions and program objects referenced by a trace.
+ *
+ * The paper's InstallMonitorEvent carries an ObjectDesc that
+ * "identifies the program object corresponding to the write monitor.
+ * This is used by the simulator to determine which write monitors are
+ * active in the current monitor session." This registry is the table
+ * those descriptors index into. It records enough static information
+ * to enumerate every monitor-session instance of Section 5:
+ *
+ *  - variable kind (local automatic, local static, global static, heap)
+ *  - the owning function for locals
+ *  - for heap objects, the full function call context at allocation,
+ *    which defines membership in AllHeapInFunc(f) sessions ("heap
+ *    objects created by a function f and any other functions executing
+ *    in the dynamic context of f")
+ */
+
+#ifndef EDB_TRACE_OBJECT_REGISTRY_H
+#define EDB_TRACE_OBJECT_REGISTRY_H
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.h"
+#include "util/addr.h"
+
+namespace edb::trace {
+
+/** Kinds of program objects a monitor session can name. */
+enum class ObjectKind : std::uint8_t {
+    LocalAuto = 0,   ///< automatic local variable
+    LocalStatic = 1, ///< function-scope static variable
+    GlobalStatic = 2,///< file/global-scope static variable
+    Heap = 3,        ///< one dynamically allocated object
+};
+
+const char *objectKindName(ObjectKind kind);
+
+/** Static description of one program object. */
+struct ObjectInfo
+{
+    ObjectId id = invalidObject;
+    ObjectKind kind = ObjectKind::GlobalStatic;
+    /** Variable name, or the allocation-site label for heap objects. */
+    std::string name;
+    /**
+     * Owning function for locals and local statics; allocating
+     * function for heap objects; invalidFunction for globals.
+     */
+    FunctionId owner = invalidFunction;
+    /** Declared size in bytes (heap: size at first allocation). */
+    Addr size = 0;
+    /**
+     * Heap only: the call stack at allocation, outermost first,
+     * innermost (the allocating function) last. Empty otherwise.
+     */
+    std::vector<FunctionId> allocContext;
+};
+
+/**
+ * Functions and objects referenced by one trace. Variables are
+ * interned — all instantiations of local `x` in function `f` share one
+ * ObjectId, because "all instantiations of the variable belong to the
+ * same monitor session" (Section 5) — while every heap allocation
+ * creates a fresh object.
+ */
+class ObjectRegistry
+{
+  public:
+    /** Intern a function by name; repeated calls return the same id. */
+    FunctionId internFunction(std::string_view name);
+
+    /**
+     * Intern a variable (non-heap) object. Repeated calls with the
+     * same (kind, owner, name) return the same id.
+     */
+    ObjectId internVariable(ObjectKind kind, FunctionId owner,
+                            std::string_view name, Addr size);
+
+    /**
+     * Register a fresh heap object allocated at `site` with the given
+     * allocation call context.
+     */
+    ObjectId addHeapObject(std::string_view site,
+                           std::vector<FunctionId> alloc_context,
+                           Addr size);
+
+    const ObjectInfo &object(ObjectId id) const;
+    const std::string &functionName(FunctionId id) const;
+    FunctionId findFunction(std::string_view name) const;
+
+    std::size_t objectCount() const { return objects_.size(); }
+    std::size_t functionCount() const { return functions_.size(); }
+
+    const std::vector<ObjectInfo> &objects() const { return objects_; }
+    const std::vector<std::string> &functions() const
+    {
+        return functions_;
+    }
+
+  private:
+    std::vector<std::string> functions_;
+    std::unordered_map<std::string, FunctionId> function_ids_;
+    std::vector<ObjectInfo> objects_;
+    /** (kind, owner, name) -> id for interned variables. */
+    std::unordered_map<std::string, ObjectId> variable_ids_;
+};
+
+} // namespace edb::trace
+
+#endif // EDB_TRACE_OBJECT_REGISTRY_H

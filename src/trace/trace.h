@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The trace artifact: everything phase 2 of the experiment needs.
+ *
+ * A Trace corresponds to one run of one instrumented program (paper
+ * Figure 1, "Program Event Trace"). It is monitor-session independent:
+ * install/remove events exist for *every* object any session could
+ * monitor, and the simulator selects among them per session.
+ */
+
+#ifndef EDB_TRACE_TRACE_H
+#define EDB_TRACE_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+#include "trace/object_registry.h"
+
+namespace edb::trace {
+
+/** Base pseudo-PC assigned to write site 0 (text-segment flavoured). */
+constexpr Addr writeSitePcBase = 0x0040'0000;
+
+/** Pseudo program counter for a write-site index. */
+inline Addr
+pcForSite(std::uint32_t site)
+{
+    return writeSitePcBase + 4 * (Addr)site;
+}
+
+/** Inverse of pcForSite(). */
+inline std::uint32_t
+siteForPc(Addr pc)
+{
+    return (std::uint32_t)((pc - writeSitePcBase) / 4);
+}
+
+/** A complete phase-1 program event trace. */
+struct Trace
+{
+    /** Workload/program name ("gcc", "ctex", "spice", "qcd", "bps"). */
+    std::string program;
+    /** Functions and monitored-eligible objects. */
+    ObjectRegistry registry;
+    /** The event stream, in program order. */
+    std::vector<Event> events;
+    /** Labels of the static write sites; index == Event::aux. */
+    std::vector<std::string> writeSites;
+    /** Total number of write events (cached; == count in events). */
+    std::uint64_t totalWrites = 0;
+    /**
+     * Estimated instructions the untraced program executes, used with
+     * an execution-rate model to derive a base execution time for a
+     * 1992-class machine (see model::TimingProfile). Derived from the
+     * write count and the paper's write-instruction fraction.
+     */
+    std::uint64_t estimatedInstructions = 0;
+};
+
+} // namespace edb::trace
+
+#endif // EDB_TRACE_TRACE_H

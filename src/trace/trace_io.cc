@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Implementation of the binary trace format.
+ */
+
+#include "trace/trace_io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace edb::trace {
+
+namespace {
+
+constexpr char magic[8] = {'E', 'D', 'B', 'T', 'R', 'C', '0', '2'};
+
+/** LEB128 unsigned varint writer. */
+void
+putVarint(std::ostream &os, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        os.put((char)((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    os.put((char)v);
+}
+
+/** LEB128 unsigned varint reader. */
+std::uint64_t
+getVarint(std::istream &is)
+{
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+        int c = is.get();
+        if (c == EOF)
+            EDB_FATAL("trace file truncated inside a varint");
+        v |= (std::uint64_t)(c & 0x7f) << shift;
+        if (!(c & 0x80))
+            return v;
+        shift += 7;
+        if (shift >= 64)
+            EDB_FATAL("trace file varint overflows 64 bits");
+    }
+}
+
+/** Zig-zag encode a signed delta into an unsigned varint payload. */
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return ((std::uint64_t)v << 1) ^ (std::uint64_t)(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return (std::int64_t)(v >> 1) ^ -(std::int64_t)(v & 1);
+}
+
+void
+putString(std::ostream &os, const std::string &s)
+{
+    putVarint(os, s.size());
+    os.write(s.data(), (std::streamsize)s.size());
+}
+
+std::string
+getString(std::istream &is)
+{
+    auto n = getVarint(is);
+    if (n > (1u << 20))
+        EDB_FATAL("trace file string length %llu implausible",
+                  (unsigned long long)n);
+    std::string s(n, '\0');
+    is.read(s.data(), (std::streamsize)n);
+    if ((std::uint64_t)is.gcount() != n)
+        EDB_FATAL("trace file truncated inside a string");
+    return s;
+}
+
+} // namespace
+
+void
+writeTrace(const Trace &trace, std::ostream &os)
+{
+    os.write(magic, sizeof(magic));
+    putString(os, trace.program);
+
+    // Function table.
+    putVarint(os, trace.registry.functionCount());
+    for (const auto &name : trace.registry.functions())
+        putString(os, name);
+
+    // Write-site table.
+    putVarint(os, trace.writeSites.size());
+    for (const auto &site : trace.writeSites)
+        putString(os, site);
+
+    // Object table.
+    putVarint(os, trace.registry.objectCount());
+    for (const auto &obj : trace.registry.objects()) {
+        putVarint(os, (std::uint64_t)obj.kind);
+        putString(os, obj.name);
+        putVarint(os, obj.owner == invalidFunction
+                          ? 0
+                          : (std::uint64_t)obj.owner + 1);
+        putVarint(os, obj.size);
+        putVarint(os, obj.allocContext.size());
+        for (FunctionId f : obj.allocContext)
+            putVarint(os, f);
+    }
+
+    // Event stream, delta-encoded.
+    putVarint(os, trace.events.size());
+    Addr prev_begin = 0;
+    for (const Event &e : trace.events) {
+        putVarint(os, (std::uint64_t)e.kind);
+        putVarint(os, zigzag((std::int64_t)(e.begin - prev_begin)));
+        putVarint(os, e.size);
+        putVarint(os, e.aux);
+        prev_begin = e.begin;
+    }
+
+    putVarint(os, trace.totalWrites);
+    putVarint(os, trace.estimatedInstructions);
+    if (!os)
+        EDB_FATAL("I/O error while writing trace");
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    char got[sizeof(magic)];
+    is.read(got, sizeof(got));
+    if (is.gcount() != sizeof(got) ||
+        !std::equal(std::begin(got), std::end(got), std::begin(magic))) {
+        EDB_FATAL("not an EDB trace file (bad magic)");
+    }
+
+    Trace trace;
+    trace.program = getString(is);
+
+    // Sanity caps: a corrupt varint must not drive a giant
+    // allocation before the stream runs dry.
+    constexpr std::uint64_t maxTableEntries = 1u << 28;
+
+    auto nfuncs = getVarint(is);
+    if (nfuncs > maxTableEntries)
+        EDB_FATAL("trace file function count %llu implausible",
+                  (unsigned long long)nfuncs);
+    for (std::uint64_t i = 0; i < nfuncs; ++i) {
+        FunctionId id = trace.registry.internFunction(getString(is));
+        if (id != i)
+            EDB_FATAL("duplicate function name in trace file");
+    }
+
+    auto nsites = getVarint(is);
+    if (nsites > maxTableEntries)
+        EDB_FATAL("trace file write-site count %llu implausible",
+                  (unsigned long long)nsites);
+    trace.writeSites.reserve(nsites);
+    for (std::uint64_t i = 0; i < nsites; ++i)
+        trace.writeSites.push_back(getString(is));
+
+    auto nobjs = getVarint(is);
+    if (nobjs > maxTableEntries)
+        EDB_FATAL("trace file object count %llu implausible",
+                  (unsigned long long)nobjs);
+    for (std::uint64_t i = 0; i < nobjs; ++i) {
+        auto kind = (ObjectKind)getVarint(is);
+        std::string name = getString(is);
+        auto owner_raw = getVarint(is);
+        FunctionId owner = owner_raw == 0
+                               ? invalidFunction
+                               : (FunctionId)(owner_raw - 1);
+        Addr size = getVarint(is);
+        auto nctx = getVarint(is);
+        if (nctx > maxTableEntries)
+            EDB_FATAL("trace file context length %llu implausible",
+                      (unsigned long long)nctx);
+        std::vector<FunctionId> ctx;
+        ctx.reserve(nctx);
+        for (std::uint64_t j = 0; j < nctx; ++j)
+            ctx.push_back((FunctionId)getVarint(is));
+
+        if (owner != invalidFunction && owner >= nfuncs)
+            EDB_FATAL("trace file object owner out of range");
+        for (FunctionId fid : ctx) {
+            if (fid >= nfuncs)
+                EDB_FATAL("trace file alloc context out of range");
+        }
+        if ((std::uint64_t)kind > (std::uint64_t)ObjectKind::Heap)
+            EDB_FATAL("trace file object kind invalid");
+
+        ObjectId id;
+        if (kind == ObjectKind::Heap)
+            id = trace.registry.addHeapObject(name, std::move(ctx), size);
+        else
+            id = trace.registry.internVariable(kind, owner, name, size);
+        if (id != i)
+            EDB_FATAL("object table corrupt in trace file");
+    }
+
+    auto nevents = getVarint(is);
+    if (nevents > (1ull << 33))
+        EDB_FATAL("trace file event count %llu implausible",
+                  (unsigned long long)nevents);
+    // Reserve conservatively: a corrupt count must fail on stream
+    // exhaustion, not on allocation.
+    trace.events.reserve((std::size_t)std::min<std::uint64_t>(
+        nevents, 1u << 20));
+    Addr prev_begin = 0;
+    for (std::uint64_t i = 0; i < nevents; ++i) {
+        Event e;
+        auto kind_raw = getVarint(is);
+        if (kind_raw > (std::uint64_t)EventKind::Write)
+            EDB_FATAL("trace file event kind invalid");
+        e.kind = (EventKind)kind_raw;
+        e.begin = prev_begin + (Addr)unzigzag(getVarint(is));
+        e.size = (std::uint32_t)getVarint(is);
+        e.aux = (std::uint32_t)getVarint(is);
+        prev_begin = e.begin;
+        trace.events.push_back(e);
+    }
+
+    trace.totalWrites = getVarint(is);
+    trace.estimatedInstructions = getVarint(is);
+    return trace;
+}
+
+void
+saveTrace(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        EDB_FATAL("cannot open '%s' for writing", path.c_str());
+    writeTrace(trace, os);
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        EDB_FATAL("cannot open '%s' for reading", path.c_str());
+    return readTrace(is);
+}
+
+} // namespace edb::trace

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Binary serialization of Trace artifacts.
+ *
+ * Phase 1 (trace generation) is expensive — the paper notes that for
+ * several test programs re-running per monitor session "would be
+ * impractical" — so traces are first-class on-disk artifacts that can
+ * be generated once and analyzed many times (paper Figure 1's "Program
+ * Event Trace" box).
+ *
+ * Format: a magic/version header, the string tables (functions, write
+ * sites), object descriptors, then the event stream. Integers are
+ * LEB128 varints; event addresses are delta-encoded against the
+ * previous event's begin address, which compresses the strong spatial
+ * locality of real write streams.
+ */
+
+#ifndef EDB_TRACE_TRACE_IO_H
+#define EDB_TRACE_TRACE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace edb::trace {
+
+/** Serialize a trace to a stream. Throws nothing; fatals on I/O error. */
+void writeTrace(const Trace &trace, std::ostream &os);
+
+/** Serialize a trace to a file. */
+void saveTrace(const Trace &trace, const std::string &path);
+
+/** Deserialize a trace from a stream; fatals on malformed input. */
+Trace readTrace(std::istream &is);
+
+/** Deserialize a trace from a file. */
+Trace loadTrace(const std::string &path);
+
+} // namespace edb::trace
+
+#endif // EDB_TRACE_TRACE_IO_H

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Implementation of the phase-1 tracer.
+ */
+
+#include "trace/tracer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edb::trace {
+
+Tracer::Tracer(std::string program, bool enabled)
+    : program_(std::move(program)), enabled_(enabled)
+{
+    trace_.program = program_;
+    frames_.reserve(64);
+}
+
+void
+Tracer::emitInstall(const Placement &p)
+{
+    if (enabled_)
+        trace_.events.push_back(Event::install(p.object, p.range()));
+}
+
+void
+Tracer::emitRemove(const Placement &p)
+{
+    if (enabled_)
+        trace_.events.push_back(Event::remove(p.object, p.range()));
+}
+
+FunctionId
+Tracer::enterFunction(std::string_view name)
+{
+    FunctionId id = trace_.registry.internFunction(name);
+    vaspace_.pushFrame();
+    frames_.push_back(Frame{id, {}});
+    return id;
+}
+
+void
+Tracer::exitFunction()
+{
+    EDB_ASSERT(!frames_.empty(), "exitFunction with no open frame");
+    Frame &frame = frames_.back();
+    // Locals are removed in reverse declaration order, mirroring
+    // destruction order.
+    for (auto it = frame.locals.rbegin(); it != frame.locals.rend(); ++it)
+        emitRemove(*it);
+    frames_.pop_back();
+    vaspace_.popFrame();
+}
+
+FunctionId
+Tracer::currentFunction() const
+{
+    return frames_.empty() ? invalidFunction : frames_.back().func;
+}
+
+Tracer::Placement
+Tracer::declareLocal(std::string_view name, Addr size)
+{
+    EDB_ASSERT(!frames_.empty(), "local '%s' declared outside a function",
+               std::string(name).c_str());
+    ObjectId id = trace_.registry.internVariable(
+        ObjectKind::LocalAuto, frames_.back().func, name, size);
+    Placement p{id, vaspace_.allocLocal(size), size};
+    frames_.back().locals.push_back(p);
+    emitInstall(p);
+    return p;
+}
+
+Tracer::Placement
+Tracer::declareLocalStatic(std::string_view name, Addr size)
+{
+    EDB_ASSERT(!frames_.empty(),
+               "local static '%s' declared outside a function",
+               std::string(name).c_str());
+    ObjectId id = trace_.registry.internVariable(
+        ObjectKind::LocalStatic, frames_.back().func, name, size);
+    auto it = static_index_.find(id);
+    if (it != static_index_.end())
+        return static_objects_[it->second];
+    // First execution: allocate in the static segment and install for
+    // the remainder of the run.
+    Placement p{id, vaspace_.allocGlobal(size), size};
+    static_index_.emplace(id, static_objects_.size());
+    static_objects_.push_back(p);
+    emitInstall(p);
+    return p;
+}
+
+Tracer::Placement
+Tracer::declareGlobal(std::string_view name, Addr size)
+{
+    ObjectId id = trace_.registry.internVariable(
+        ObjectKind::GlobalStatic, invalidFunction, name, size);
+    auto it = static_index_.find(id);
+    if (it != static_index_.end())
+        return static_objects_[it->second];
+    Placement p{id, vaspace_.allocGlobal(size), size};
+    static_index_.emplace(id, static_objects_.size());
+    static_objects_.push_back(p);
+    emitInstall(p);
+    return p;
+}
+
+Tracer::Placement
+Tracer::heapAlloc(std::string_view site, Addr size)
+{
+    std::vector<FunctionId> context;
+    context.reserve(frames_.size());
+    for (const Frame &f : frames_)
+        context.push_back(f.func);
+    ObjectId id =
+        trace_.registry.addHeapObject(site, std::move(context), size);
+    Placement p{id, vaspace_.allocHeap(size), size};
+    live_heap_.emplace(id, p);
+    emitInstall(p);
+    return p;
+}
+
+Tracer::Placement
+Tracer::heapRealloc(const Placement &p, Addr new_size)
+{
+    auto it = live_heap_.find(p.object);
+    EDB_ASSERT(it != live_heap_.end(), "realloc of dead heap object %u",
+               p.object);
+    emitRemove(it->second);
+    Addr addr = vaspace_.reallocHeap(p.addr, p.size, new_size);
+    Placement np{p.object, addr, new_size};
+    it->second = np;
+    emitInstall(np);
+    return np;
+}
+
+void
+Tracer::heapFree(const Placement &p)
+{
+    auto it = live_heap_.find(p.object);
+    EDB_ASSERT(it != live_heap_.end(), "double free of heap object %u",
+               p.object);
+    emitRemove(it->second);
+    vaspace_.freeHeap(it->second.addr, it->second.size);
+    live_heap_.erase(it);
+}
+
+std::uint32_t
+Tracer::internWriteSite(std::string_view label)
+{
+    auto it = site_ids_.find(std::string(label));
+    if (it != site_ids_.end())
+        return it->second;
+    auto id = (std::uint32_t)trace_.writeSites.size();
+    trace_.writeSites.emplace_back(label);
+    site_ids_.emplace(trace_.writeSites.back(), id);
+    return id;
+}
+
+Trace
+Tracer::finish()
+{
+    EDB_ASSERT(!finished_, "Tracer::finish called twice");
+    finished_ = true;
+
+    // Close any frames left open (abnormal termination paths).
+    while (!frames_.empty())
+        exitFunction();
+
+    // Leaked heap objects stay monitored until program end. Removal
+    // order is sorted by object id so traces are bit-reproducible.
+    std::vector<Placement> leaked;
+    leaked.reserve(live_heap_.size());
+    for (auto &[id, p] : live_heap_)
+        leaked.push_back(p);
+    std::sort(leaked.begin(), leaked.end(),
+              [](const Placement &a, const Placement &b) {
+                  return a.object < b.object;
+              });
+    for (const Placement &p : leaked)
+        emitRemove(p);
+    live_heap_.clear();
+
+    // Globals and local statics live to program end.
+    for (auto it = static_objects_.rbegin(); it != static_objects_.rend();
+         ++it) {
+        emitRemove(*it);
+    }
+    static_objects_.clear();
+
+    trace_.totalWrites = total_writes_;
+    trace_.estimatedInstructions = (std::uint64_t)std::llround(
+        (double)total_writes_ / writeInstructionFraction);
+    return std::move(trace_);
+}
+
+} // namespace edb::trace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Implementation of the simulated address space.
+ */
+
+#include "trace/vaspace.h"
+
+namespace edb::trace {
+
+namespace {
+
+Addr
+alignUp(Addr a, Addr align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+VirtualAddressSpace::VirtualAddressSpace()
+{
+    frames_.reserve(64);
+}
+
+Addr
+VirtualAddressSpace::allocGlobal(Addr size, Addr align)
+{
+    EDB_ASSERT(size > 0, "zero-size global allocation");
+    Addr addr = alignUp(global_top_, align);
+    global_top_ = addr + size;
+    EDB_ASSERT(global_top_ < heapBase, "global segment overflow");
+    return addr;
+}
+
+void
+VirtualAddressSpace::pushFrame()
+{
+    frames_.push_back(stack_ptr_);
+    // A call consumes a little control state (return address, saved
+    // registers) before any locals, as on a real machine.
+    stack_ptr_ -= 16;
+}
+
+Addr
+VirtualAddressSpace::allocLocal(Addr size, Addr align)
+{
+    EDB_ASSERT(!frames_.empty(), "local allocated outside any frame");
+    EDB_ASSERT(size > 0, "zero-size local allocation");
+    stack_ptr_ = (stack_ptr_ - size) & ~(align - 1);
+    EDB_ASSERT(stack_ptr_ > heapBase, "stack segment overflow");
+    return stack_ptr_;
+}
+
+void
+VirtualAddressSpace::popFrame()
+{
+    EDB_ASSERT(!frames_.empty(), "frame pop with empty stack");
+    stack_ptr_ = frames_.back();
+    frames_.pop_back();
+}
+
+Addr
+VirtualAddressSpace::allocHeap(Addr size)
+{
+    EDB_ASSERT(size > 0, "zero-size heap allocation");
+    Addr cls = sizeClass(size);
+    auto it = free_lists_.find(cls);
+    if (it != free_lists_.end() && !it->second.empty()) {
+        Addr addr = it->second.back();
+        it->second.pop_back();
+        return addr;
+    }
+    Addr addr = heap_top_;
+    heap_top_ += cls;
+    EDB_ASSERT(heap_top_ < stackBase - (1u << 24),
+               "heap segment overflow");
+    return addr;
+}
+
+void
+VirtualAddressSpace::freeHeap(Addr addr, Addr size)
+{
+    free_lists_[sizeClass(size)].push_back(addr);
+}
+
+Addr
+VirtualAddressSpace::reallocHeap(Addr addr, Addr old_size, Addr new_size)
+{
+    if (sizeClass(old_size) == sizeClass(new_size))
+        return addr;
+    freeHeap(addr, old_size);
+    return allocHeap(new_size);
+}
+
+} // namespace edb::trace

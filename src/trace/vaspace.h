@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic simulated address space for traced workloads.
+ *
+ * Traces must be bit-identical across runs so that every reproduced
+ * table is stable, which rules out using real (ASLR-randomized) host
+ * addresses in events. Instead each workload lays its traced objects
+ * out in a simulated address space shaped like a classic Unix process
+ * image: a global/static segment, a downward-growing stack with real
+ * frame push/pop (so re-instantiated locals reuse addresses and many
+ * frames share pages, which drives the VirtualMemory strategy's
+ * active-page-miss behaviour exactly as on the paper's SPARCstation),
+ * and an upward-growing heap with size-class free-list reuse (so freed
+ * heap slots are recycled, as malloc does).
+ */
+
+#ifndef EDB_TRACE_VASPACE_H
+#define EDB_TRACE_VASPACE_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/addr.h"
+
+namespace edb::trace {
+
+/**
+ * Bump/stack/free-list allocator over a simulated address space.
+ * Purely bookkeeping: no backing memory is allocated.
+ */
+class VirtualAddressSpace
+{
+  public:
+    /** Segment layout defaults (64-bit-process flavoured). */
+    static constexpr Addr globalBase = 0x0100'0000;
+    static constexpr Addr heapBase = 0x2000'0000;
+    static constexpr Addr stackBase = 0x7f00'0000;
+
+    VirtualAddressSpace();
+
+    /** Allocate a global/static object; never freed. */
+    Addr allocGlobal(Addr size, Addr align = wordBytes);
+
+    /** Open a new stack frame (function entry). */
+    void pushFrame();
+
+    /** Allocate a local in the current frame. */
+    Addr allocLocal(Addr size, Addr align = wordBytes);
+
+    /** Close the current frame, releasing its locals (function exit). */
+    void popFrame();
+
+    /** Current stack depth in frames. */
+    std::size_t frameDepth() const { return frames_.size(); }
+
+    /** Allocate a heap object, reusing freed slots of the same class. */
+    Addr allocHeap(Addr size);
+
+    /** Free a heap object previously returned by allocHeap(size). */
+    void freeHeap(Addr addr, Addr size);
+
+    /**
+     * Reallocate: returns the same address when the size class is
+     * unchanged, otherwise frees and allocates. (Paper footnote 4:
+     * "Heap objects whose size is changed via a call to realloc are
+     * considered to be the same object.")
+     */
+    Addr reallocHeap(Addr addr, Addr old_size, Addr new_size);
+
+    /** High-water mark of the heap segment, in bytes. */
+    Addr heapBytes() const { return heap_top_ - heapBase; }
+
+    /** High-water mark of the global segment, in bytes. */
+    Addr globalBytes() const { return global_top_ - globalBase; }
+
+  private:
+    static Addr
+    sizeClass(Addr size)
+    {
+        // 16-byte classes up to 256 bytes, then 64-byte classes.
+        if (size <= 256)
+            return (size + 15) & ~Addr(15);
+        return (size + 63) & ~Addr(63);
+    }
+
+    Addr global_top_ = globalBase;
+    Addr heap_top_ = heapBase;
+    Addr stack_ptr_ = stackBase;
+    std::vector<Addr> frames_;
+    /** size class -> LIFO list of freed slot addresses. */
+    std::unordered_map<Addr, std::vector<Addr>> free_lists_;
+};
+
+} // namespace edb::trace
+
+#endif // EDB_TRACE_VASPACE_H

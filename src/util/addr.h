@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Address and address-range primitives shared by the entire library.
+ *
+ * The paper's write-monitor-service interface is expressed in terms of
+ * (BA, EA) pairs — beginning address and ending address of a contiguous
+ * region. We represent such a region as a half-open interval
+ * [begin, end) of byte addresses, which composes cleanly (adjacent
+ * ranges neither overlap nor leave gaps) and makes empty ranges
+ * representable as begin == end.
+ */
+
+#ifndef EDB_UTIL_ADDR_H
+#define EDB_UTIL_ADDR_H
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace edb {
+
+/** A byte address in the traced program's (possibly simulated) memory. */
+using Addr = std::uint64_t;
+
+/** Number of bytes in a monitor-granularity word (paper footnote 7). */
+constexpr Addr wordBytes = 4;
+
+/**
+ * A half-open range of byte addresses [begin, end).
+ *
+ * This is the "write monitor descriptor" of the paper's Section 2: a
+ * contiguous region of memory. It is also used for write footprints.
+ */
+struct AddrRange
+{
+    Addr begin = 0;
+    Addr end = 0;
+
+    AddrRange() = default;
+
+    AddrRange(Addr b, Addr e) : begin(b), end(e)
+    {
+        EDB_ASSERT(b <= e, "range [%llu, %llu) is inverted",
+                   (unsigned long long)b, (unsigned long long)e);
+    }
+
+    /** Number of bytes covered. */
+    Addr size() const { return end - begin; }
+
+    /** True when the range covers no bytes. */
+    bool empty() const { return begin == end; }
+
+    /** True when byte address a lies inside the range. */
+    bool contains(Addr a) const { return a >= begin && a < end; }
+
+    /** True when the two ranges share at least one byte. */
+    bool
+    intersects(const AddrRange &o) const
+    {
+        return begin < o.end && o.begin < end;
+    }
+
+    /** True when every byte of o lies inside this range. */
+    bool
+    covers(const AddrRange &o) const
+    {
+        return o.begin >= begin && o.end <= end;
+    }
+
+    /** The (possibly empty) overlap of the two ranges. */
+    AddrRange
+    intersection(const AddrRange &o) const
+    {
+        Addr b = std::max(begin, o.begin);
+        Addr e = std::min(end, o.end);
+        return b < e ? AddrRange(b, e) : AddrRange();
+    }
+
+    bool operator==(const AddrRange &o) const = default;
+
+    /** Render as "[0x..., 0x...)" for diagnostics. */
+    std::string
+    str() const
+    {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "[0x%llx, 0x%llx)",
+                      (unsigned long long)begin, (unsigned long long)end);
+        return buf;
+    }
+};
+
+/** Round a byte address down to its containing word. */
+inline Addr
+wordAlignDown(Addr a)
+{
+    return a & ~(wordBytes - 1);
+}
+
+/** Round a byte address up to the next word boundary. */
+inline Addr
+wordAlignUp(Addr a)
+{
+    return (a + wordBytes - 1) & ~(wordBytes - 1);
+}
+
+/** Index of the page containing byte address a for the given page size. */
+inline Addr
+pageOf(Addr a, Addr page_bytes)
+{
+    return a / page_bytes;
+}
+
+/**
+ * The inclusive page-index range [first, last] spanned by an address
+ * range for the given page size. The range must be non-empty.
+ */
+inline std::pair<Addr, Addr>
+pageSpan(const AddrRange &r, Addr page_bytes)
+{
+    EDB_ASSERT(!r.empty(), "page span of empty range");
+    return {r.begin / page_bytes, (r.end - 1) / page_bytes};
+}
+
+} // namespace edb
+
+#endif // EDB_UTIL_ADDR_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Status-message and error-handling primitives, in the spirit of
+ * gem5's logging.hh: panic() for internal invariant violations,
+ * fatal() for unrecoverable user errors, warn()/inform() for
+ * status messages that do not stop execution.
+ */
+
+#ifndef EDB_UTIL_LOGGING_H
+#define EDB_UTIL_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace edb {
+
+/**
+ * Print a printf-style message tagged "info:" to stderr.
+ * Use for normal operating messages the user should see.
+ */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Print a printf-style message tagged "warn:" to stderr.
+ * Use when functionality is degraded but execution can continue
+ * (e.g., hardware breakpoints unavailable in this environment).
+ */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate with exit(1) after printing a "fatal:" message.
+ * Use for conditions that are the user's fault: bad configuration,
+ * unreadable trace file, invalid arguments.
+ */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/**
+ * Terminate with abort() after printing a "panic:" message.
+ * Use for conditions that indicate a bug in this library itself,
+ * never for user errors.
+ */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace edb
+
+#define EDB_FATAL(...) ::edb::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define EDB_PANIC(...) ::edb::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/**
+ * Assert an internal invariant; panics (library bug) when violated.
+ * Active in all build types, unlike assert().
+ */
+#define EDB_ASSERT(cond, ...)                                            \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::edb::panicImpl(__FILE__, __LINE__,                         \
+                             "assertion '" #cond "' failed. "            \
+                             __VA_ARGS__);                               \
+        }                                                                \
+    } while (0)
+
+#endif // EDB_UTIL_LOGGING_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Small deterministic pseudo-random number generator.
+ *
+ * The workloads and property tests need reproducible randomness that
+ * does not depend on the standard library's unspecified distribution
+ * implementations, so that traces — and therefore every reproduced
+ * table — are bit-identical across runs and across platforms.
+ */
+
+#ifndef EDB_UTIL_RNG_H
+#define EDB_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace edb {
+
+/**
+ * xoshiro256** generator with a splitmix64 seeding routine.
+ * Deterministic for a given seed on every platform.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 expansion of the seed into the four state words.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Debiased multiply-shift rejection (Lemire).
+        std::uint64_t x = next();
+        __uint128_t m = (__uint128_t)x * bound;
+        std::uint64_t lo = (std::uint64_t)m;
+        if (lo < bound) {
+            std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                x = next();
+                m = (__uint128_t)x * bound;
+                lo = (std::uint64_t)m;
+            }
+        }
+        return (std::uint64_t)(m >> 64);
+    }
+
+    /** Uniform integer in the inclusive range [lo, hi]. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + (std::int64_t)below((std::uint64_t)(hi - lo) + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (double)(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace edb
+
+#endif // EDB_UTIL_RNG_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Implementation of the descriptive statistics helpers.
+ */
+
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edb {
+
+double
+percentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    if (q <= 0)
+        return values.front();
+    if (q >= 1)
+        return values.back();
+    // Linear interpolation between closest ranks ("exclusive" variant
+    // matching common statistics-package behaviour for large n).
+    double rank = q * (double)(values.size() - 1);
+    std::size_t lo = (std::size_t)rank;
+    double frac = rank - (double)lo;
+    if (lo + 1 >= values.size())
+        return values.back();
+    return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
+double
+meanBetween(const std::vector<double> &values, double lo, double hi)
+{
+    double sum = 0;
+    std::size_t n = 0;
+    for (double v : values) {
+        if (v >= lo && v <= hi) {
+            sum += v;
+            ++n;
+        }
+    }
+    return n ? sum / (double)n : 0;
+}
+
+SummaryStats
+summarize(const std::vector<double> &values)
+{
+    SummaryStats s;
+    if (values.empty())
+        return s;
+
+    std::vector<double> sorted(values);
+    std::sort(sorted.begin(), sorted.end());
+
+    s.count = sorted.size();
+    s.min = sorted.front();
+    s.max = sorted.back();
+
+    double sum = 0;
+    for (double v : sorted)
+        sum += v;
+    s.mean = sum / (double)s.count;
+
+    double sq = 0;
+    for (double v : sorted) {
+        double d = v - s.mean;
+        sq += d * d;
+    }
+    s.stddev = s.count > 1 ? std::sqrt(sq / (double)(s.count - 1)) : 0;
+
+    s.p90 = percentile(sorted, 0.90);
+    s.p98 = percentile(sorted, 0.98);
+
+    double p10 = percentile(sorted, 0.10);
+    s.tmean = meanBetween(sorted, p10, s.p90);
+    return s;
+}
+
+} // namespace edb

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Descriptive statistics over populations of per-session overheads.
+ *
+ * Table 4 of the paper reports, for each (program, strategy) pair, the
+ * minimum, maximum, mean, trimmed mean ("T-Mean": mean of the sessions
+ * whose relative overhead lies between the 10th and 90th percentiles),
+ * and the 90th and 98th percentiles. This module computes exactly those
+ * statistics, plus a few extras used by the figures and tests.
+ */
+
+#ifndef EDB_UTIL_STATS_H
+#define EDB_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace edb {
+
+/**
+ * The Table 4 statistic set for one population of values.
+ * All fields are 0 for an empty population.
+ */
+struct SummaryStats
+{
+    std::size_t count = 0;
+    double min = 0;
+    double max = 0;
+    double mean = 0;
+    /** Mean of values between the 10th and 90th percentiles. */
+    double tmean = 0;
+    double p90 = 0;
+    double p98 = 0;
+    double stddev = 0;
+};
+
+/**
+ * Value at the q-quantile (q in [0, 1]) of a population, using linear
+ * interpolation between closest ranks. The input need not be sorted.
+ *
+ * @param values The population; copied and sorted internally.
+ * @param q      Quantile in [0, 1]; 0 yields the minimum, 1 the maximum.
+ */
+double percentile(std::vector<double> values, double q);
+
+/**
+ * Mean of the values v with lo <= v <= hi; 0 if none qualify.
+ */
+double meanBetween(const std::vector<double> &values, double lo, double hi);
+
+/**
+ * Compute the full Table 4 statistic set for one population.
+ */
+SummaryStats summarize(const std::vector<double> &values);
+
+} // namespace edb
+
+#endif // EDB_UTIL_STATS_H

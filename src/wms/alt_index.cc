@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Implementation of the alternative monitor indexes.
+ */
+
+#include "wms/alt_index.h"
+
+#include <algorithm>
+
+namespace edb::wms {
+
+void
+SortedRangeIndex::install(const AddrRange &r)
+{
+    EDB_ASSERT(!r.empty(), "installing empty monitor range");
+    auto pos = std::lower_bound(
+        ranges_.begin(), ranges_.end(), r,
+        [](const AddrRange &a, const AddrRange &b) {
+            return a.begin < b.begin;
+        });
+    ranges_.insert(pos, r);
+}
+
+void
+SortedRangeIndex::remove(const AddrRange &r)
+{
+    auto pos = std::lower_bound(
+        ranges_.begin(), ranges_.end(), r,
+        [](const AddrRange &a, const AddrRange &b) {
+            return a.begin < b.begin;
+        });
+    while (pos != ranges_.end() && pos->begin == r.begin) {
+        if (*pos == r) {
+            ranges_.erase(pos);
+            return;
+        }
+        ++pos;
+    }
+    EDB_PANIC("remove of %s does not match an install", r.str().c_str());
+}
+
+bool
+SortedRangeIndex::lookup(const AddrRange &r) const
+{
+    if (ranges_.empty() || r.empty())
+        return false;
+    // First range starting at or after the probe's begin.
+    auto pos = std::lower_bound(
+        ranges_.begin(), ranges_.end(), r,
+        [](const AddrRange &a, const AddrRange &b) {
+            return a.begin < b.begin;
+        });
+    if (pos != ranges_.end() && pos->begin < r.end)
+        return true;
+    // Earlier-starting ranges may still extend into the probe. The
+    // vector is sorted by begin only, so walk left until begins drop
+    // below any possible overlap. Worst case O(n); typical monitor
+    // sets are small and disjoint, keeping this short.
+    while (pos != ranges_.begin()) {
+        --pos;
+        if (pos->end > r.begin)
+            return true;
+    }
+    return false;
+}
+
+void
+TreeIndex::install(const AddrRange &r)
+{
+    EDB_ASSERT(!r.empty(), "installing empty monitor range");
+    map_[r.begin].push_back(r.end);
+    max_len_ = std::max(max_len_, r.size());
+    ++count_;
+}
+
+void
+TreeIndex::remove(const AddrRange &r)
+{
+    auto it = map_.find(r.begin);
+    EDB_ASSERT(it != map_.end(), "remove of %s does not match an install",
+               r.str().c_str());
+    auto &ends = it->second;
+    auto end_it = std::find(ends.begin(), ends.end(), r.end);
+    EDB_ASSERT(end_it != ends.end(),
+               "remove of %s does not match an install", r.str().c_str());
+    *end_it = ends.back();
+    ends.pop_back();
+    if (ends.empty())
+        map_.erase(it);
+    EDB_ASSERT(count_ > 0, "monitor count underflow");
+    --count_;
+}
+
+bool
+TreeIndex::lookup(const AddrRange &r) const
+{
+    if (map_.empty() || r.empty())
+        return false;
+    // Ranges starting inside the probe.
+    auto it = map_.lower_bound(r.begin);
+    if (it != map_.end() && it->first < r.end)
+        return true;
+    // Ranges starting before the probe that may extend into it: only
+    // those whose begin is within max_len_ of the probe can overlap.
+    while (it != map_.begin()) {
+        --it;
+        for (Addr end : it->second) {
+            if (end > r.begin)
+                return true;
+        }
+        if (r.begin - it->first > max_len_)
+            break;
+    }
+    return false;
+}
+
+} // namespace edb::wms

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Alternative address-to-monitor index implementations.
+ *
+ * The paper (Appendix A.5) picks a page-keyed hash of word bitmaps and
+ * measures SoftwareLookup_tau = 2.75us on it. That choice is a design
+ * decision worth ablating: these two alternatives trade the bitmap's
+ * O(1) miss path for lower memory or simpler code, and
+ * bench_ablation_index compares all three under the paper's workload
+ * (100 random monitors in a 2 MB region, random lookups).
+ *
+ * All three expose the same install/remove/lookup shape so the
+ * property tests can run one oracle against every implementation.
+ */
+
+#ifndef EDB_WMS_ALT_INDEX_H
+#define EDB_WMS_ALT_INDEX_H
+
+#include <map>
+#include <vector>
+
+#include "util/addr.h"
+
+namespace edb::wms {
+
+/**
+ * Sorted vector of disjoint-or-overlapping monitor ranges with
+ * binary-search lookup. Install/remove are O(n); lookup is
+ * O(log n + overlap). Represents the "simple debugger list"
+ * implementation older debuggers used.
+ */
+class SortedRangeIndex
+{
+  public:
+    void install(const AddrRange &r);
+    void remove(const AddrRange &r);
+    bool lookup(const AddrRange &r) const;
+
+    std::size_t monitorCount() const { return ranges_.size(); }
+    void clear() { ranges_.clear(); }
+
+  private:
+    /** Ranges sorted by begin address (duplicates allowed). */
+    std::vector<AddrRange> ranges_;
+};
+
+/**
+ * Ordered-map interval index: a std::map keyed by range begin, with
+ * lookup scanning the neighbourhood of the probe address. O(log n)
+ * install/remove/lookup but with pointer-chasing constants the paper's
+ * bitmap avoids.
+ */
+class TreeIndex
+{
+  public:
+    void install(const AddrRange &r);
+    void remove(const AddrRange &r);
+    bool lookup(const AddrRange &r) const;
+
+    std::size_t monitorCount() const { return count_; }
+    void clear() { map_.clear(); count_ = 0; }
+
+  private:
+    /**
+     * begin -> multiset of ends (one entry per installed range with
+     * that begin). Lookup must consider predecessors whose end
+     * extends past the probe; the maximum range length bounds that
+     * scan.
+     */
+    std::map<Addr, std::vector<Addr>> map_;
+    std::size_t count_ = 0;
+    Addr max_len_ = 0;
+};
+
+} // namespace edb::wms
+
+#endif // EDB_WMS_ALT_INDEX_H

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Implementation of the page-bitmap monitor index.
+ */
+
+#include "wms/monitor_index.h"
+
+#include <bit>
+
+namespace edb::wms {
+
+MonitorIndex::MonitorIndex(Addr page_bytes) : page_bytes_(page_bytes)
+{
+    EDB_ASSERT(page_bytes >= wordBytes &&
+                   (page_bytes & (page_bytes - 1)) == 0,
+               "page size %llu not a power-of-two multiple of the word "
+               "size", (unsigned long long)page_bytes);
+}
+
+MonitorIndex::PageEntry &
+MonitorIndex::pageFor(Addr page_num)
+{
+    PageEntry &entry = pages_[page_num];
+    if (entry.bitmap.empty())
+        entry.bitmap.assign((wordsPerPage() + 63) / 64, 0);
+    return entry;
+}
+
+void
+MonitorIndex::install(const AddrRange &r)
+{
+    EDB_ASSERT(!r.empty(), "installing empty monitor range");
+    ++generation_;
+    ++monitor_count_;
+
+    Addr first_word = wordAlignDown(r.begin) / wordBytes;
+    Addr last_word = (wordAlignUp(r.end) / wordBytes) - 1;
+    Addr words_per_page = wordsPerPage();
+
+    Addr page = first_word / words_per_page;
+    Addr last_page = last_word / words_per_page;
+    Addr word = first_word;
+    for (; page <= last_page; ++page) {
+        PageEntry &entry = pageFor(page);
+        ++entry.touching_monitors;
+        Addr page_end_word = (page + 1) * words_per_page;
+        for (; word <= last_word && word < page_end_word; ++word) {
+            auto idx = (std::uint32_t)(word % words_per_page);
+            std::uint64_t &chunk = entry.bitmap[idx / 64];
+            std::uint64_t bit = 1ull << (idx % 64);
+            if (chunk & bit) {
+                // Word already covered by another monitor; count it.
+                ++entry.overflow[idx];
+            } else {
+                chunk |= bit;
+                ++entry.active_words;
+            }
+        }
+    }
+}
+
+void
+MonitorIndex::remove(const AddrRange &r)
+{
+    EDB_ASSERT(!r.empty(), "removing empty monitor range");
+    EDB_ASSERT(monitor_count_ > 0, "remove with no monitors installed");
+    ++generation_;
+    --monitor_count_;
+
+    Addr first_word = wordAlignDown(r.begin) / wordBytes;
+    Addr last_word = (wordAlignUp(r.end) / wordBytes) - 1;
+    Addr words_per_page = wordsPerPage();
+
+    Addr page = first_word / words_per_page;
+    Addr last_page = last_word / words_per_page;
+    Addr word = first_word;
+    for (; page <= last_page; ++page) {
+        auto it = pages_.find(page);
+        EDB_ASSERT(it != pages_.end(),
+                   "remove of %s does not match an install",
+                   r.str().c_str());
+        PageEntry &entry = it->second;
+        EDB_ASSERT(entry.touching_monitors > 0,
+                   "page monitor count underflow removing %s",
+                   r.str().c_str());
+        --entry.touching_monitors;
+
+        Addr page_end_word = (page + 1) * words_per_page;
+        for (; word <= last_word && word < page_end_word; ++word) {
+            auto idx = (std::uint32_t)(word % words_per_page);
+            auto ov = entry.overflow.find(idx);
+            if (ov != entry.overflow.end()) {
+                // Another monitor still covers this word.
+                if (--ov->second == 0)
+                    entry.overflow.erase(ov);
+                continue;
+            }
+            std::uint64_t &chunk = entry.bitmap[idx / 64];
+            std::uint64_t bit = 1ull << (idx % 64);
+            EDB_ASSERT(chunk & bit,
+                       "remove of %s does not match an install",
+                       r.str().c_str());
+            chunk &= ~bit;
+            --entry.active_words;
+        }
+
+        if (entry.active_words == 0 && entry.touching_monitors == 0)
+            pages_.erase(it);
+    }
+}
+
+bool
+MonitorIndex::lookup(const AddrRange &r) const
+{
+    if (pages_.empty() || r.empty())
+        return false;
+
+    Addr first_word = wordAlignDown(r.begin) / wordBytes;
+    Addr last_word = (wordAlignUp(r.end) / wordBytes) - 1;
+    Addr words_per_page = wordsPerPage();
+
+    Addr page = first_word / words_per_page;
+    Addr last_page = last_word / words_per_page;
+    Addr word = first_word;
+    for (; page <= last_page; ++page) {
+        auto it = pages_.find(page);
+        Addr page_end_word = (page + 1) * words_per_page;
+        if (it == pages_.end()) {
+            word = page_end_word;
+            continue;
+        }
+        const PageEntry &entry = it->second;
+        if (entry.active_words == 0) {
+            word = page_end_word;
+            continue;
+        }
+        for (; word <= last_word && word < page_end_word; ++word) {
+            auto idx = (std::uint32_t)(word % words_per_page);
+            if (entry.bitmap[idx / 64] & (1ull << (idx % 64)))
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+MonitorIndex::lookupByte(Addr a) const
+{
+    if (pages_.empty())
+        return false;
+    Addr word = a / wordBytes;
+    Addr words_per_page = wordsPerPage();
+    auto it = pages_.find(word / words_per_page);
+    if (it == pages_.end())
+        return false;
+    auto idx = (std::uint32_t)(word % words_per_page);
+    return (it->second.bitmap[idx / 64] >> (idx % 64)) & 1;
+}
+
+bool
+MonitorIndex::pageMonitored(Addr page_num) const
+{
+    auto it = pages_.find(page_num);
+    return it != pages_.end() && it->second.active_words > 0;
+}
+
+std::uint32_t
+MonitorIndex::monitorsOnPage(Addr page_num) const
+{
+    auto it = pages_.find(page_num);
+    return it == pages_.end() ? 0 : it->second.touching_monitors;
+}
+
+void
+MonitorIndex::clear()
+{
+    ++generation_;
+    pages_.clear();
+    monitor_count_ = 0;
+}
+
+} // namespace edb::wms

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The address-to-write-monitor mapping at the heart of every software
+ * or virtual-memory WMS implementation.
+ *
+ * This is the data structure the paper designs in Appendix A.5 to
+ * obtain SoftwareUpdate_tau and SoftwareLookup_tau: "For each page that
+ * has an active write monitor we maintain a bitmap; each bit
+ * corresponds to a word of memory. Using the page number as a key, the
+ * bitmaps are stored in a hash table." Per footnote 7, monitors are
+ * word-aligned; higher-level clients compensate for sub-word objects.
+ *
+ * Our implementation extends the paper's in one way needed for
+ * production use: monitors may overlap (two sessions can monitor
+ * intersecting regions). Words covered by more than one monitor keep
+ * an exact reference count in a small per-page side table, so
+ * removeMonitor() of one overlapping monitor never un-monitors words
+ * that another monitor still covers.
+ */
+
+#ifndef EDB_WMS_MONITOR_INDEX_H
+#define EDB_WMS_MONITOR_INDEX_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/addr.h"
+
+namespace edb::wms {
+
+/**
+ * Hash table from page number to per-page word bitmap, supporting
+ * install/remove of word-aligned monitors and intersection lookup.
+ *
+ * Not thread-safe; callers serialize access (the runtime WMS layers
+ * do so where needed).
+ */
+class MonitorIndex
+{
+  public:
+    /**
+     * @param page_bytes Page size used for bucketing; must be a
+     *                   power of two multiple of the word size.
+     */
+    explicit MonitorIndex(Addr page_bytes = 4096);
+
+    /**
+     * Install a write monitor covering the word-aligned hull of r.
+     * Overlapping installs are reference-counted per word.
+     */
+    void install(const AddrRange &r);
+
+    /**
+     * Remove a previously installed monitor. The range must exactly
+     * match a prior install() (the usual discipline for the paper's
+     * InstallMonitor/RemoveMonitor pairs).
+     */
+    void remove(const AddrRange &r);
+
+    /**
+     * True when the word-aligned hull of r intersects at least one
+     * active monitor. This is the per-write check on the CodePatch
+     * fast path, so it is engineered for the miss case: one hash
+     * probe, then bitmap tests.
+     */
+    bool lookup(const AddrRange &r) const;
+
+    /** True when a single byte address lies in a monitored word. */
+    bool lookupByte(Addr a) const;
+
+    /** True when any monitor covers any word of the given page. */
+    bool pageMonitored(Addr page_num) const;
+
+    /** Number of distinct monitors whose range touches the page. */
+    std::uint32_t monitorsOnPage(Addr page_num) const;
+
+    /** Number of currently installed (not yet removed) monitors. */
+    std::size_t monitorCount() const { return monitor_count_; }
+
+    /** Number of pages with at least one monitored word. */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /**
+     * Monotonic counter bumped by every install()/remove(). Used by
+     * RangeGuard (the paper's Section 9 loop-invariant optimization)
+     * to detect that a previously clear range may have changed.
+     */
+    std::uint64_t generation() const { return generation_; }
+
+    /** Page size this index buckets by. */
+    Addr pageBytes() const { return page_bytes_; }
+
+    /** Remove every monitor. */
+    void clear();
+
+  private:
+    struct PageEntry
+    {
+        /** One bit per word of the page; set = word monitored. */
+        std::vector<std::uint64_t> bitmap;
+        /** Count of set bits, for fast page-teardown detection. */
+        std::uint32_t active_words = 0;
+        /** Number of monitors whose range touches this page. */
+        std::uint32_t touching_monitors = 0;
+        /**
+         * Words covered by more than one monitor: word index within
+         * page -> extra covers beyond the first.
+         */
+        std::unordered_map<std::uint32_t, std::uint32_t> overflow;
+    };
+
+    /** Words per page (page_bytes_ / wordBytes). */
+    Addr wordsPerPage() const { return page_bytes_ / wordBytes; }
+
+    PageEntry &pageFor(Addr page_num);
+
+    Addr page_bytes_;
+    std::unordered_map<Addr, PageEntry> pages_;
+    std::size_t monitor_count_ = 0;
+    std::uint64_t generation_ = 0;
+};
+
+} // namespace edb::wms
+
+#endif // EDB_WMS_MONITOR_INDEX_H

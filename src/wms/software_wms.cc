@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Out-of-line parts of the software (CodePatch) WMS.
+ */
+
+#include "wms/software_wms.h"
+
+namespace edb::wms {
+
+SoftwareWms::SoftwareWms(Addr page_bytes) : index_(page_bytes)
+{
+}
+
+void
+SoftwareWms::installMonitor(const AddrRange &r)
+{
+    index_.install(r);
+    ++stats_.installs;
+}
+
+void
+SoftwareWms::removeMonitor(const AddrRange &r)
+{
+    index_.remove(r);
+    ++stats_.removes;
+}
+
+void
+SoftwareWms::setNotificationHandler(NotificationHandler handler)
+{
+    handler_ = std::move(handler);
+}
+
+} // namespace edb::wms

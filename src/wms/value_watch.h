@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Old-value/new-value reporting on top of any write monitor service.
+ *
+ * The paper's MonitorNotification(BA, EA, PC) reports *where* a write
+ * landed; a source-level debugger also wants to show *what changed*
+ * ("Old value = 3, New value = 7", as gdb prints for watchpoints).
+ * Because notification is after-the-fact — a write monitor, not a
+ * write barrier (Section 1) — the old value must come from a shadow
+ * copy maintained by the client. ValueWatch is that client: it wraps
+ * a WriteMonitorService, keeps shadows of every watched region, and
+ * on each hit diffs the affected words, reporting old/new pairs
+ * before refreshing the shadow.
+ *
+ * Works with any WMS implementation. With VmWms, prefer
+ * Delivery::Queued and drain from normal context: the diff callback
+ * is ordinary code, not async-signal-safe.
+ */
+
+#ifndef EDB_WMS_VALUE_WATCH_H
+#define EDB_WMS_VALUE_WATCH_H
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "wms/write_monitor_service.h"
+
+namespace edb::wms {
+
+/** One reported word-level change within a watched region. */
+struct ValueChange
+{
+    /** Address of the changed word. */
+    Addr addr = 0;
+    /** Bytes of the word before and after the write. */
+    std::uint64_t oldValue = 0;
+    std::uint64_t newValue = 0;
+    /** Width of the compared word in bytes (<= 8). */
+    std::uint32_t width = 0;
+    /** PC from the underlying notification. */
+    Addr pc = 0;
+};
+
+/** Callback invoked once per changed word. */
+using ChangeHandler = std::function<void(const ValueChange &)>;
+
+/**
+ * Watches host-memory objects through a WMS and reports value-level
+ * changes. Takes over the service's notification handler; clients
+ * register a ChangeHandler here instead. Not thread-safe.
+ */
+class ValueWatch
+{
+  public:
+    /**
+     * @param wms   The underlying monitor service. ValueWatch
+     *              installs its own notification handler on it.
+     * @param width Comparison granularity in bytes (1, 2, 4 or 8).
+     */
+    explicit ValueWatch(WriteMonitorService &wms, std::uint32_t width = 8)
+        : wms_(&wms), width_(width)
+    {
+        EDB_ASSERT(width == 1 || width == 2 || width == 4 || width == 8,
+                   "unsupported comparison width %u", width);
+        wms_->setNotificationHandler(
+            [this](const Notification &n) { onNotification(n); });
+    }
+
+    ~ValueWatch()
+    {
+        if (wms_)
+            wms_->setNotificationHandler(nullptr);
+    }
+
+    ValueWatch(const ValueWatch &) = delete;
+    ValueWatch &operator=(const ValueWatch &) = delete;
+
+    /** Report changes through this handler. */
+    void setChangeHandler(ChangeHandler handler)
+    {
+        handler_ = std::move(handler);
+    }
+
+    /**
+     * Begin watching `size` bytes at `object`: installs a monitor
+     * and snapshots the current contents.
+     */
+    void
+    watch(const void *object, std::size_t size)
+    {
+        Region region;
+        region.base = (Addr)(uintptr_t)object;
+        region.shadow.assign((const unsigned char *)object,
+                             (const unsigned char *)object + size);
+        regions_.push_back(std::move(region));
+        wms_->installMonitor(
+            AddrRange(regions_.back().base,
+                      regions_.back().base + size));
+    }
+
+    /** Stop watching a region previously passed to watch(). */
+    void
+    unwatch(const void *object)
+    {
+        auto base = (Addr)(uintptr_t)object;
+        for (std::size_t i = 0; i < regions_.size(); ++i) {
+            if (regions_[i].base == base) {
+                wms_->removeMonitor(AddrRange(
+                    base, base + regions_[i].shadow.size()));
+                regions_.erase(regions_.begin() + (std::ptrdiff_t)i);
+                return;
+            }
+        }
+        EDB_FATAL("unwatch of %#llx without a matching watch",
+                  (unsigned long long)base);
+    }
+
+    /** Number of watched regions. */
+    std::size_t regionCount() const { return regions_.size(); }
+
+    /**
+     * Re-scan every watched region against its shadow, reporting any
+     * changes that happened through *unmonitored* paths (or while
+     * notifications were queued) and refreshing the shadows.
+     *
+     * @return Number of changed words reported.
+     */
+    std::size_t
+    sync()
+    {
+        std::size_t reported = 0;
+        for (Region &region : regions_)
+            reported += diffRegion(region, 0, region.shadow.size(), 0);
+        return reported;
+    }
+
+  private:
+    struct Region
+    {
+        Addr base = 0;
+        std::vector<unsigned char> shadow;
+    };
+
+    /**
+     * Diff the word-aligned hull of [offset, offset+len) in a region
+     * against live memory; report and refresh changed words.
+     */
+    std::size_t
+    diffRegion(Region &region, std::size_t offset, std::size_t len,
+               Addr pc)
+    {
+        std::size_t begin = offset & ~(std::size_t)(width_ - 1);
+        std::size_t end = offset + len;
+        std::size_t reported = 0;
+        for (std::size_t at = begin; at < end; at += width_) {
+            std::size_t chunk =
+                std::min<std::size_t>(width_,
+                                      region.shadow.size() - at);
+            if (at >= region.shadow.size())
+                break;
+            const auto *live =
+                (const unsigned char *)(uintptr_t)(region.base + at);
+            if (std::memcmp(&region.shadow[at], live, chunk) == 0)
+                continue;
+            ValueChange change;
+            change.addr = region.base + at;
+            change.width = (std::uint32_t)chunk;
+            change.pc = pc;
+            std::memcpy(&change.oldValue, &region.shadow[at], chunk);
+            std::memcpy(&change.newValue, live, chunk);
+            std::memcpy(&region.shadow[at], live, chunk);
+            ++reported;
+            if (handler_)
+                handler_(change);
+        }
+        return reported;
+    }
+
+    void
+    onNotification(const Notification &n)
+    {
+        for (Region &region : regions_) {
+            AddrRange span(region.base,
+                           region.base + region.shadow.size());
+            if (!span.intersects(n.written))
+                continue;
+            AddrRange overlap = span.intersection(n.written);
+            // VmWms reports a 1-byte fault address: widen to the
+            // containing word so the whole written word is diffed.
+            std::size_t offset =
+                (std::size_t)(overlap.begin - region.base);
+            std::size_t len =
+                std::max<std::size_t>((std::size_t)overlap.size(),
+                                      width_);
+            diffRegion(region, offset, len, n.pc);
+        }
+    }
+
+    WriteMonitorService *wms_;
+    std::uint32_t width_;
+    ChangeHandler handler_;
+    std::vector<Region> regions_;
+};
+
+} // namespace edb::wms
+
+#endif // EDB_WMS_VALUE_WATCH_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The abstract Write Monitor Service interface from Section 2 of the
+ * paper.
+ *
+ * "The interface to a write monitor service is quite simple. ... The
+ * interface consists of the following functions: InstallMonitor(BA, EA),
+ * RemoveMonitor(BA, EA), MonitorNotification(BA, EA, PC)."
+ *
+ * Concrete implementations: wms::SoftwareWms (CodePatch strategy,
+ * portable, unlimited monitors), runtime::VmWms (VirtualMemory strategy,
+ * mprotect + fault handler), runtime::TrapWms (TrapPatch strategy),
+ * runtime::HwWms (NativeHardware strategy via debug registers, at most
+ * four monitors).
+ */
+
+#ifndef EDB_WMS_WRITE_MONITOR_SERVICE_H
+#define EDB_WMS_WRITE_MONITOR_SERVICE_H
+
+#include <functional>
+
+#include "util/addr.h"
+
+namespace edb::wms {
+
+/**
+ * A monitor hit delivered to clients: the written range and the
+ * program counter of the write instruction. After-the-fact delivery
+ * distinguishes write monitors from write barriers (paper Section 1).
+ */
+struct Notification
+{
+    /** Bytes actually written that intersect a monitor. */
+    AddrRange written;
+    /** Program counter of the write instruction (0 if unavailable). */
+    Addr pc = 0;
+};
+
+/** Client callback invoked once per monitor hit. */
+using NotificationHandler = std::function<void(const Notification &)>;
+
+/**
+ * Abstract write monitor service.
+ *
+ * Implementations guarantee that once installMonitor() returns, every
+ * subsequent write intersecting the monitored region produces exactly
+ * one notification, until the matching removeMonitor().
+ */
+class WriteMonitorService
+{
+  public:
+    virtual ~WriteMonitorService() = default;
+
+    /** Begin monitoring the region [r.begin, r.end). */
+    virtual void installMonitor(const AddrRange &r) = 0;
+
+    /**
+     * Stop monitoring a region previously passed to installMonitor().
+     */
+    virtual void removeMonitor(const AddrRange &r) = 0;
+
+    /**
+     * Register the handler that receives MonitorNotification upcalls.
+     * A null handler silently drops notifications (counting still
+     * happens; see implementation statistics).
+     */
+    virtual void setNotificationHandler(NotificationHandler handler) = 0;
+
+    /**
+     * Upper bound on concurrently installed monitors, or 0 for
+     * unlimited. NativeHardware implementations report the number of
+     * monitor registers (typically 4, paper Section 3.1).
+     */
+    virtual std::size_t monitorCapacity() const { return 0; }
+};
+
+} // namespace edb::wms
+
+#endif // EDB_WMS_WRITE_MONITOR_SERVICE_H

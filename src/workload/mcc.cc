@@ -1,0 +1,1557 @@
+/**
+ * @file
+ * The `mcc` workload: a C-subset compiler and stack virtual machine.
+ *
+ * Stands in for "GCC v1.4 ... Input was the 811 line GCC source file
+ * rtl.c" (paper Section 6). A complete toolchain run is performed
+ * from scratch: an embedded ~120-line program in MC (a C subset with
+ * int scalars, global int arrays, functions, while/if, and full
+ * expression syntax) is lexed, parsed into a heap-allocated AST,
+ * constant-folded, compiled to stack-machine bytecode, linked, and
+ * executed. The program (sieve, matrix multiply, bubble sort,
+ * Fibonacci, gcd) computes verifiable results.
+ *
+ * The write/object profile mirrors a compiler's: many short-lived
+ * heap objects (tokens, AST nodes, per-function code buffers —
+ * created and freed across repeated compilations, exercising
+ * free-list reuse), deep recursive-descent call frames full of
+ * locals, global symbol/state tables, and hot interpreter induction
+ * variables.
+ */
+
+#include "workload/workload.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/instr.h"
+
+namespace edb::workload {
+
+namespace {
+
+/** How many times the source is re-compiled (fresh AST each time). */
+constexpr int compileRepeats = 3;
+
+/** The embedded MC source program. */
+const char *const mcSource = R"MC(
+int primes[3200];
+int mat_a[144];
+int mat_b[144];
+int mat_c[144];
+int data[160];
+int checksum;
+
+int gcd(int a, int b) {
+  while (b != 0) { int t; t = b; b = a % b; a = t; }
+  return a;
+}
+
+int fib(int n) {
+  int a; int b; int i; int t;
+  a = 0; b = 1; i = 0;
+  while (i < n) { t = a + b; a = b; b = t; i = i + 1; }
+  return a;
+}
+
+int sieve(int n) {
+  int i; int j; int count;
+  i = 0;
+  while (i < n) { primes[i] = 1; i = i + 1; }
+  primes[0] = 0;
+  primes[1] = 0;
+  i = 2;
+  while (i * i < n) {
+    if (primes[i]) {
+      j = i * i;
+      while (j < n) { primes[j] = 0; j = j + i; }
+    }
+    i = i + 1;
+  }
+  count = 0;
+  i = 0;
+  while (i < n) { count = count + primes[i]; i = i + 1; }
+  return count;
+}
+
+int matinit(int n) {
+  int i; int j;
+  i = 0;
+  while (i < n) {
+    j = 0;
+    while (j < n) {
+      mat_a[i * n + j] = (i * 7 + j * 3) % 11;
+      mat_b[i * n + j] = (i * 5 + j * 2) % 13;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+int matmul(int n) {
+  int i; int j; int k; int acc;
+  i = 0;
+  while (i < n) {
+    j = 0;
+    while (j < n) {
+      acc = 0;
+      k = 0;
+      while (k < n) {
+        acc = acc + mat_a[i * n + k] * mat_b[k * n + j];
+        k = k + 1;
+      }
+      mat_c[i * n + j] = acc;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return mat_c[(n - 1) * n + (n - 1)];
+}
+
+int sortinit(int n) {
+  int i;
+  i = 0;
+  while (i < n) { data[i] = (i * 73 + 41) % 199; i = i + 1; }
+  return 0;
+}
+
+int bubble(int n) {
+  int i; int j; int t; int swaps;
+  swaps = 0;
+  i = 0;
+  while (i < n) {
+    j = 0;
+    while (j < n - 1 - i) {
+      if (data[j] > data[j + 1]) {
+        t = data[j];
+        data[j] = data[j + 1];
+        data[j + 1] = t;
+        swaps = swaps + 1;
+      }
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return swaps;
+}
+
+int main() {
+  int total; int r;
+  total = 0;
+  total = total + sieve(3000);
+  r = matinit(12);
+  r = 0;
+  while (r < 6) { total = total + matmul(12); r = r + 1; }
+  r = sortinit(160);
+  total = total + bubble(160);
+  total = total + fib(30) % 100000;
+  total = total + gcd(123456, 7890);
+  print(total);
+  checksum = total;
+  return total;
+}
+)MC";
+
+/** @name Tokens */
+/// @{
+
+enum TokKind : int {
+    tkEof = 0, tkInt, tkIdent, tkNumber, tkIf, tkElse, tkWhile,
+    tkReturn, tkPrint,
+    tkLParen, tkRParen, tkLBrace, tkRBrace, tkLBrack, tkRBrack,
+    tkSemi, tkComma, tkAssign,
+    tkPlus, tkMinus, tkStar, tkSlash, tkPercent,
+    tkLt, tkGt, tkLe, tkGe, tkEq, tkNe, tkAndAnd, tkOrOr, tkNot,
+};
+
+struct Token
+{
+    int kind;
+    int value;          ///< number literal value
+    std::uint64_t name; ///< identifier hash
+    int pos;            ///< source offset, for diagnostics
+};
+
+std::uint64_t
+identHash(const char *s, int len)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (int i = 0; i < len; ++i)
+        h = (h ^ (std::uint64_t)(unsigned char)s[i]) * 1099511628211ull;
+    return h ? h : 1;
+}
+
+/// @}
+
+/** @name AST */
+/// @{
+
+enum NodeKind : int {
+    nkNumber, nkVar, nkIndex, nkBinop, nkUnop, nkCall, nkAssign,
+    nkAssignIndex, nkIf, nkWhile, nkReturn, nkPrint, nkBlock,
+    nkSeq, nkDeclLocal, nkExprStmt,
+};
+
+/** Reference to an AST node in the compiler's obstack. */
+using NodeRef = std::uint32_t;
+constexpr NodeRef nullNode = 0xffffffff;
+
+/** One AST node; children are obstack references. */
+struct AstNode
+{
+    int kind;
+    int op;             ///< binop/unop token kind
+    long long value;    ///< literal value
+    std::uint64_t name; ///< identifier hash
+    int symbol;         ///< resolved symbol index (-1 until sema)
+    NodeRef a;
+    NodeRef b;
+    NodeRef c;
+};
+
+/**
+ * GCC-style obstack for AST nodes: allocation bumps within chunked
+ * heap blocks, and the whole stack is released at once when the
+ * compilation is done (GCC v1.4 allocated its trees and RTL exactly
+ * this way, which is why its heap-object population was dominated by
+ * a modest number of obstack chunks rather than one object per
+ * node).
+ */
+class NodeObstack
+{
+  public:
+    static constexpr std::size_t chunkNodes = 64;
+
+    /** Allocate and initialize a node (one chunk write). */
+    NodeRef
+    alloc(int kind)
+    {
+        std::size_t idx = count_ % chunkNodes;
+        if (idx == 0) {
+            chunks_.push_back(
+                HeapArr<AstNode>::make("ast_obstack", chunkNodes));
+        }
+        AstNode init{};
+        init.kind = kind;
+        init.symbol = -1;
+        init.a = init.b = init.c = nullNode;
+        chunks_.back().set(idx, init);
+        return (NodeRef)count_++;
+    }
+
+    const AstNode &
+    node(NodeRef r) const
+    {
+        return chunks_[r / chunkNodes][r % chunkNodes];
+    }
+
+    /** Tracked store of one field of a node. */
+    template <typename F>
+    void
+    put(NodeRef r, F AstNode::*member, const F &v)
+    {
+        chunks_[r / chunkNodes].setField(r % chunkNodes, member, v);
+    }
+
+    /** Free every chunk (end of compilation). */
+    void
+    release()
+    {
+        for (auto &chunk : chunks_)
+            chunk.destroy();
+        chunks_.clear();
+        count_ = 0;
+    }
+
+  private:
+    std::vector<HeapArr<AstNode>> chunks_;
+    std::size_t count_ = 0;
+};
+
+/// @}
+
+/** @name Symbols */
+/// @{
+
+enum SymKind : int { syGlobal, syGlobalArr, syFunc, syLocal, syParam };
+
+struct Symbol
+{
+    std::uint64_t name;
+    int kind;
+    int addr;  ///< global slot / fp offset / code address
+    int size;  ///< array element count / param count
+    int scope; ///< owning function symbol, -1 for file scope
+};
+
+/// @}
+
+/** @name Bytecode */
+/// @{
+
+enum Op : int {
+    opHalt = 0, opPush, opLoadG, opStoreG, opLoadGA, opStoreGA,
+    opLoadL, opStoreL, opAdd, opSub, opMul, opDiv, opMod, opNeg,
+    opNot, opLt, opLe, opGt, opGe, opEq, opNe, opAnd, opOr,
+    opJmp, opJz, opCall, opEnter, opRet, opPrint, opPop, opDup,
+};
+
+/// @}
+
+/** Fatal compile error with source position. */
+[[noreturn]] void
+mccError(const char *what, int pos)
+{
+    EDB_FATAL("mcc: %s at source offset %d", what, pos);
+}
+
+/** The compiler's traced state for one compilation. */
+struct Compiler
+{
+    /** Token stream (one heap buffer, realloc-grown like an
+     *  obstack). */
+    HeapArr<Token> tokens;
+    Global<int> tokenCount;
+    /** Symbol table storage and its hash index. */
+    HeapArr<Symbol> symbols;
+    Global<int> symbolCount;
+    GlobalArr<int> symHash; ///< open addressing, -1 empty
+    /** Global data layout of the compiled program. */
+    Global<int> globalTop;
+    /** AST storage (released wholesale after each compilation). */
+    NodeObstack ast;
+    /** Per-function code buffers, linked into the image later. */
+    std::vector<HeapArr<int>> funcCode;
+    std::vector<int> funcSym;
+    /** Statistics the driver reports (a compiler's -ftime-report). */
+    Global<int> nodesBuilt;
+    Global<int> nodesFolded;
+    Global<int> instrsEmitted;
+
+    Compiler()
+        : tokens(HeapArr<Token>::make("token_buffer", 256)),
+          tokenCount("token_count", 0),
+          symbols(HeapArr<Symbol>::make("symbol_table", 64)),
+          symbolCount("symbol_count", 0),
+          symHash("sym_hash", 512, -1),
+          globalTop("global_top", 0),
+          nodesBuilt("nodes_built", 0),
+          nodesFolded("nodes_folded", 0),
+          instrsEmitted("instrs_emitted", 0)
+    {
+    }
+};
+
+/** @name Lexer */
+/// @{
+
+struct Keyword
+{
+    const char *text;
+    int kind;
+};
+
+constexpr Keyword keywords[] = {
+    {"int", tkInt},       {"if", tkIf},     {"else", tkElse},
+    {"while", tkWhile},   {"return", tkReturn},
+    {"print", tkPrint},
+};
+
+void
+pushToken(Compiler &cc, Token t)
+{
+    int i = cc.tokenCount.get();
+    if ((std::size_t)i >= cc.tokens.size())
+        cc.tokens.grow(cc.tokens.size() * 2);
+    cc.tokens.set((std::size_t)i, t);
+    cc.tokenCount += 1;
+}
+
+void
+lex(Compiler &cc, const char *src)
+{
+    Scope scope("lex");
+    Var<int> pos("pos", 0);
+    Var<int> line("line", 1);
+    int len = (int)std::strlen(src);
+    while (pos < len) {
+        char ch = src[pos.get()];
+        if (ch == '\n') {
+            ++line;
+            ++pos;
+            continue;
+        }
+        if (ch == ' ' || ch == '\t' || ch == '\r') {
+            ++pos;
+            continue;
+        }
+        int start = pos.get();
+        if ((ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+            ch == '_') {
+            while (pos < len) {
+                char c2 = src[pos.get()];
+                if (!((c2 >= 'a' && c2 <= 'z') ||
+                      (c2 >= 'A' && c2 <= 'Z') ||
+                      (c2 >= '0' && c2 <= '9') || c2 == '_')) {
+                    break;
+                }
+                ++pos;
+            }
+            int wlen = pos.get() - start;
+            int kind = tkIdent;
+            for (const Keyword &kw : keywords) {
+                if ((int)std::strlen(kw.text) == wlen &&
+                    std::strncmp(kw.text, src + start, (std::size_t)wlen) ==
+                        0) {
+                    kind = kw.kind;
+                    break;
+                }
+            }
+            pushToken(cc, Token{kind, 0,
+                                kind == tkIdent
+                                    ? identHash(src + start, wlen)
+                                    : 0,
+                                start});
+            continue;
+        }
+        if (ch >= '0' && ch <= '9') {
+            Var<int> value("value", 0);
+            while (pos < len && src[pos.get()] >= '0' &&
+                   src[pos.get()] <= '9') {
+                value = value * 10 + (src[pos.get()] - '0');
+                ++pos;
+            }
+            pushToken(cc, Token{tkNumber, value.get(), 0, start});
+            continue;
+        }
+        auto two = [&](char a, char b, int kind) {
+            if (ch == a && pos.get() + 1 < len &&
+                src[pos.get() + 1] == b) {
+                pushToken(cc, Token{kind, 0, 0, start});
+                pos += 2;
+                return true;
+            }
+            return false;
+        };
+        if (two('<', '=', tkLe) || two('>', '=', tkGe) ||
+            two('=', '=', tkEq) || two('!', '=', tkNe) ||
+            two('&', '&', tkAndAnd) || two('|', '|', tkOrOr)) {
+            continue;
+        }
+        int kind;
+        switch (ch) {
+          case '(': kind = tkLParen; break;
+          case ')': kind = tkRParen; break;
+          case '{': kind = tkLBrace; break;
+          case '}': kind = tkRBrace; break;
+          case '[': kind = tkLBrack; break;
+          case ']': kind = tkRBrack; break;
+          case ';': kind = tkSemi; break;
+          case ',': kind = tkComma; break;
+          case '=': kind = tkAssign; break;
+          case '+': kind = tkPlus; break;
+          case '-': kind = tkMinus; break;
+          case '*': kind = tkStar; break;
+          case '/': kind = tkSlash; break;
+          case '%': kind = tkPercent; break;
+          case '<': kind = tkLt; break;
+          case '>': kind = tkGt; break;
+          case '!': kind = tkNot; break;
+          default: mccError("unexpected character", start);
+        }
+        pushToken(cc, Token{kind, 0, 0, start});
+        ++pos;
+    }
+    pushToken(cc, Token{tkEof, 0, 0, len});
+}
+
+/// @}
+
+/** @name Symbol table */
+/// @{
+
+int
+symInsert(Compiler &cc, std::uint64_t name, int kind, int addr,
+          int size, int in_scope)
+{
+    Scope scope("sym_insert");
+    int idx = cc.symbolCount.get();
+    if ((std::size_t)idx >= cc.symbols.size())
+        cc.symbols.grow(cc.symbols.size() * 2);
+    cc.symbols.set((std::size_t)idx,
+                   Symbol{name, kind, addr, size, in_scope});
+    cc.symbolCount += 1;
+
+    Var<int> probe("probe",
+                   (int)(name % (std::uint64_t)cc.symHash.size()));
+    while (cc.symHash[(std::size_t)probe.get()] >= 0)
+        probe = (probe + 1) % (int)cc.symHash.size();
+    cc.symHash.set((std::size_t)probe.get(), idx);
+    return idx;
+}
+
+/**
+ * Find a symbol visible in `in_scope` (locals/params of that
+ * function shadow file scope). Returns -1 when undefined.
+ */
+int
+symLookup(const Compiler &cc, std::uint64_t name, int in_scope)
+{
+    // Prefer the innermost match; the hash chain may contain both a
+    // local and a global of the same name.
+    int best = -1;
+    int probe = (int)(name % (std::uint64_t)cc.symHash.size());
+    while (cc.symHash[(std::size_t)probe] >= 0) {
+        int idx = cc.symHash[(std::size_t)probe];
+        const Symbol &sym = *&cc.symbols[(std::size_t)idx];
+        if (sym.name == name) {
+            if (sym.scope == in_scope)
+                return idx;
+            if (sym.scope == -1)
+                best = idx;
+        }
+        probe = (probe + 1) % (int)cc.symHash.size();
+    }
+    return best;
+}
+
+/// @}
+
+/** @name Parser (recursive descent) */
+/// @{
+
+struct Parser
+{
+    Compiler &cc;
+    int pos = 0;
+    int currentFunc = -1; ///< symbol of the function being parsed
+    int nextLocal = 0;    ///< next fp-relative local slot
+
+    const Token &peek() const { return cc.tokens[(std::size_t)pos]; }
+
+    Token
+    next()
+    {
+        Token t = cc.tokens[(std::size_t)pos];
+        ++pos;
+        return t;
+    }
+
+    void
+    expect(int kind, const char *what)
+    {
+        if (peek().kind != kind)
+            mccError(what, peek().pos);
+        ++pos;
+    }
+
+    bool
+    accept(int kind)
+    {
+        if (peek().kind == kind) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+};
+
+NodeRef
+newNode(Compiler &cc, int kind)
+{
+    cc.nodesBuilt += 1;
+    return cc.ast.alloc(kind);
+}
+
+NodeRef parseExpr(Parser &p);
+
+NodeRef
+parseCallArgs(Parser &p, std::uint64_t name)
+{
+    Scope scope("parse_call");
+    Var<int> nargs("nargs", 0);
+    NodeObstack &ast = p.cc.ast;
+    NodeRef call = newNode(p.cc, nkCall);
+    ast.put(call, &AstNode::name, name);
+    // Arguments chain through nkSeq nodes in field a.
+    NodeRef head = nullNode;
+    NodeRef tail = nullNode;
+    if (p.peek().kind != tkRParen) {
+        do {
+            NodeRef arg = parseExpr(p);
+            NodeRef link = newNode(p.cc, nkSeq);
+            ast.put(link, &AstNode::a, arg);
+            if (head == nullNode) {
+                head = link;
+            } else {
+                ast.put(tail, &AstNode::b, link);
+            }
+            tail = link;
+            ++nargs;
+        } while (p.accept(tkComma));
+    }
+    p.expect(tkRParen, "expected ')' in call");
+    ast.put(call, &AstNode::a, head);
+    ast.put(call, &AstNode::value, (long long)nargs.get());
+    return call;
+}
+
+NodeRef
+parsePrimary(Parser &p)
+{
+    Scope scope("parse_primary");
+    NodeObstack &ast = p.cc.ast;
+    Token t = p.next();
+    switch (t.kind) {
+      case tkNumber: {
+        NodeRef n = newNode(p.cc, nkNumber);
+        ast.put(n, &AstNode::value, (long long)t.value);
+        return n;
+      }
+      case tkIdent: {
+        if (p.accept(tkLParen))
+            return parseCallArgs(p, t.name);
+        if (p.accept(tkLBrack)) {
+            NodeRef idx = parseExpr(p);
+            p.expect(tkRBrack, "expected ']'");
+            NodeRef n = newNode(p.cc, nkIndex);
+            ast.put(n, &AstNode::name, t.name);
+            ast.put(n, &AstNode::a, idx);
+            return n;
+        }
+        NodeRef n = newNode(p.cc, nkVar);
+        ast.put(n, &AstNode::name, t.name);
+        return n;
+      }
+      case tkLParen: {
+        NodeRef n = parseExpr(p);
+        p.expect(tkRParen, "expected ')'");
+        return n;
+      }
+      case tkMinus: {
+        NodeRef n = newNode(p.cc, nkUnop);
+        ast.put(n, &AstNode::op, (int)tkMinus);
+        ast.put(n, &AstNode::a, parsePrimary(p));
+        return n;
+      }
+      case tkNot: {
+        NodeRef n = newNode(p.cc, nkUnop);
+        ast.put(n, &AstNode::op, (int)tkNot);
+        ast.put(n, &AstNode::a, parsePrimary(p));
+        return n;
+      }
+      default: mccError("expected expression", t.pos);
+    }
+}
+
+/** Binding power of a binary operator, 0 when not binary. */
+int
+binPower(int kind)
+{
+    switch (kind) {
+      case tkStar: case tkSlash: case tkPercent: return 60;
+      case tkPlus: case tkMinus: return 50;
+      case tkLt: case tkLe: case tkGt: case tkGe: return 40;
+      case tkEq: case tkNe: return 35;
+      case tkAndAnd: return 30;
+      case tkOrOr: return 25;
+    }
+    return 0;
+}
+
+NodeRef
+parseBinRhs(Parser &p, int min_power, NodeRef lhs)
+{
+    Scope scope("parse_bin_rhs");
+    Var<int> depth("depth", 0);
+    NodeObstack &ast = p.cc.ast;
+    while (true) {
+        int power = binPower(p.peek().kind);
+        if (power < min_power || power == 0)
+            return lhs;
+        Token op = p.next();
+        NodeRef rhs = parsePrimary(p);
+        while (binPower(p.peek().kind) > power)
+            rhs = parseBinRhs(p, power + 1, rhs);
+        NodeRef n = newNode(p.cc, nkBinop);
+        ast.put(n, &AstNode::op, op.kind);
+        ast.put(n, &AstNode::a, lhs);
+        ast.put(n, &AstNode::b, rhs);
+        lhs = n;
+        ++depth;
+    }
+}
+
+NodeRef
+parseExpr(Parser &p)
+{
+    Scope scope("parse_expr");
+    return parseBinRhs(p, 1, parsePrimary(p));
+}
+
+NodeRef parseStmt(Parser &p);
+
+NodeRef
+parseBlock(Parser &p)
+{
+    Scope scope("parse_block");
+    Var<int> nstmts("nstmts", 0);
+    NodeObstack &ast = p.cc.ast;
+    NodeRef block = newNode(p.cc, nkBlock);
+    NodeRef tail = nullNode;
+    while (!p.accept(tkRBrace)) {
+        NodeRef s = parseStmt(p);
+        NodeRef link = newNode(p.cc, nkSeq);
+        ast.put(link, &AstNode::a, s);
+        if (ast.node(block).a == nullNode) {
+            ast.put(block, &AstNode::a, link);
+        } else {
+            ast.put(tail, &AstNode::b, link);
+        }
+        tail = link;
+        ++nstmts;
+    }
+    return block;
+}
+
+NodeRef
+parseStmt(Parser &p)
+{
+    Scope scope("parse_stmt");
+    NodeObstack &ast = p.cc.ast;
+    Token t = p.peek();
+    switch (t.kind) {
+      case tkLBrace:
+        p.next();
+        return parseBlock(p);
+      case tkInt: {
+        p.next();
+        Token name = p.next();
+        if (name.kind != tkIdent)
+            mccError("expected local variable name", name.pos);
+        int slot = p.nextLocal++;
+        int sym = symInsert(p.cc, name.name, syLocal, slot, 1,
+                            p.currentFunc);
+        NodeRef n = newNode(p.cc, nkDeclLocal);
+        ast.put(n, &AstNode::symbol, sym);
+        if (p.accept(tkAssign))
+            ast.put(n, &AstNode::a, parseExpr(p));
+        p.expect(tkSemi, "expected ';' after declaration");
+        return n;
+      }
+      case tkIf: {
+        p.next();
+        p.expect(tkLParen, "expected '(' after if");
+        NodeRef n = newNode(p.cc, nkIf);
+        ast.put(n, &AstNode::a, parseExpr(p));
+        p.expect(tkRParen, "expected ')' after condition");
+        ast.put(n, &AstNode::b, parseStmt(p));
+        if (p.accept(tkElse))
+            ast.put(n, &AstNode::c, parseStmt(p));
+        return n;
+      }
+      case tkWhile: {
+        p.next();
+        p.expect(tkLParen, "expected '(' after while");
+        NodeRef n = newNode(p.cc, nkWhile);
+        ast.put(n, &AstNode::a, parseExpr(p));
+        p.expect(tkRParen, "expected ')' after condition");
+        ast.put(n, &AstNode::b, parseStmt(p));
+        return n;
+      }
+      case tkReturn: {
+        p.next();
+        NodeRef n = newNode(p.cc, nkReturn);
+        ast.put(n, &AstNode::a, parseExpr(p));
+        p.expect(tkSemi, "expected ';' after return");
+        return n;
+      }
+      case tkPrint: {
+        p.next();
+        p.expect(tkLParen, "expected '(' after print");
+        NodeRef n = newNode(p.cc, nkPrint);
+        ast.put(n, &AstNode::a, parseExpr(p));
+        p.expect(tkRParen, "expected ')'");
+        p.expect(tkSemi, "expected ';'");
+        return n;
+      }
+      case tkIdent: {
+        // assignment, indexed assignment, or expression statement
+        p.next();
+        if (p.accept(tkAssign)) {
+            NodeRef n = newNode(p.cc, nkAssign);
+            ast.put(n, &AstNode::name, t.name);
+            ast.put(n, &AstNode::a, parseExpr(p));
+            p.expect(tkSemi, "expected ';'");
+            return n;
+        }
+        if (p.peek().kind == tkLBrack) {
+            p.next();
+            NodeRef idx = parseExpr(p);
+            p.expect(tkRBrack, "expected ']'");
+            p.expect(tkAssign, "expected '=' after index");
+            NodeRef n = newNode(p.cc, nkAssignIndex);
+            ast.put(n, &AstNode::name, t.name);
+            ast.put(n, &AstNode::a, idx);
+            ast.put(n, &AstNode::b, parseExpr(p));
+            p.expect(tkSemi, "expected ';'");
+            return n;
+        }
+        if (p.peek().kind == tkLParen) {
+            p.next();
+            NodeRef call = parseCallArgs(p, t.name);
+            p.expect(tkSemi, "expected ';'");
+            NodeRef n = newNode(p.cc, nkExprStmt);
+            ast.put(n, &AstNode::a, call);
+            return n;
+        }
+        mccError("expected statement", t.pos);
+      }
+      default: mccError("expected statement", t.pos);
+    }
+}
+
+/// @}
+
+/** @name Constant folding */
+/// @{
+
+long long
+foldBinop(int op, long long x, long long y, int pos)
+{
+    switch (op) {
+      case tkPlus: return x + y;
+      case tkMinus: return x - y;
+      case tkStar: return x * y;
+      case tkSlash:
+        if (y == 0)
+            mccError("constant division by zero", pos);
+        return x / y;
+      case tkPercent:
+        if (y == 0)
+            mccError("constant modulo by zero", pos);
+        return x % y;
+      case tkLt: return x < y;
+      case tkLe: return x <= y;
+      case tkGt: return x > y;
+      case tkGe: return x >= y;
+      case tkEq: return x == y;
+      case tkNe: return x != y;
+      case tkAndAnd: return x != 0 && y != 0;
+      case tkOrOr: return x != 0 || y != 0;
+    }
+    EDB_PANIC("mcc: unknown binop %d in folder", op);
+}
+
+/**
+ * Bottom-up constant folding over an expression tree. Folded
+ * children become obstack garbage, reclaimed when the obstack is
+ * released (exactly how obstack-based compilers discard dead trees).
+ */
+void
+foldConstants(Compiler &cc, NodeRef n)
+{
+    if (n == nullNode)
+        return;
+    Scope scope("fold_constants");
+    NodeObstack &ast = cc.ast;
+    foldConstants(cc, ast.node(n).a);
+    foldConstants(cc, ast.node(n).b);
+    foldConstants(cc, ast.node(n).c);
+
+    const AstNode &nn = ast.node(n);
+    if (nn.kind == nkBinop && nn.a != nullNode && nn.b != nullNode &&
+        ast.node(nn.a).kind == nkNumber &&
+        ast.node(nn.b).kind == nkNumber) {
+        long long v = foldBinop(nn.op, ast.node(nn.a).value,
+                                ast.node(nn.b).value, 0);
+        ast.put(n, &AstNode::kind, (int)nkNumber);
+        ast.put(n, &AstNode::value, v);
+        ast.put(n, &AstNode::a, nullNode);
+        ast.put(n, &AstNode::b, nullNode);
+        cc.nodesFolded += 1;
+    } else if (nn.kind == nkUnop && nn.a != nullNode &&
+               ast.node(nn.a).kind == nkNumber) {
+        long long v = nn.op == tkMinus
+                          ? -ast.node(nn.a).value
+                          : (ast.node(nn.a).value == 0 ? 1 : 0);
+        ast.put(n, &AstNode::kind, (int)nkNumber);
+        ast.put(n, &AstNode::value, v);
+        ast.put(n, &AstNode::a, nullNode);
+        cc.nodesFolded += 1;
+    }
+}
+
+/// @}
+
+/** @name Code generation */
+/// @{
+
+struct CodeGen
+{
+    Compiler &cc;
+    HeapArr<int> code;
+    Global<int> &emitted;
+    int funcSym;
+    int here = 0;
+
+    void
+    emit(int op)
+    {
+        if ((std::size_t)here >= code.size())
+            code.grow(code.size() * 2);
+        code.set((std::size_t)here, op);
+        ++here;
+        emitted += 1;
+    }
+
+    void
+    emit2(int op, int arg)
+    {
+        emit(op);
+        emit(arg);
+    }
+
+    /** Reserve a jump operand; patch later. */
+    int
+    emitJump(int op)
+    {
+        emit(op);
+        int at = here;
+        emit(0);
+        return at;
+    }
+
+    void
+    patch(int at, int target)
+    {
+        code.set((std::size_t)at, target);
+    }
+};
+
+void genExpr(CodeGen &g, NodeRef n);
+
+void
+genCall(CodeGen &g, NodeRef n)
+{
+    Scope scope("gen_call");
+    Var<int> nargs("nargs", 0);
+    NodeObstack &ast = g.cc.ast;
+    for (NodeRef link = ast.node(n).a; link != nullNode;
+         link = ast.node(link).b) {
+        genExpr(g, ast.node(link).a);
+        ++nargs;
+    }
+    int fn = symLookup(g.cc, ast.node(n).name, -1);
+    if (fn < 0 || g.cc.symbols[(std::size_t)fn].kind != syFunc)
+        mccError("call of undefined function", 0);
+    // Operand is the function *symbol*; the linker rewrites it to a
+    // code address.
+    g.emit2(opCall, fn);
+    g.emit(nargs.get());
+}
+
+void
+genExpr(CodeGen &g, NodeRef nref)
+{
+    Scope scope("gen_expr");
+    const AstNode &n = g.cc.ast.node(nref);
+    switch (n.kind) {
+      case nkNumber:
+        g.emit2(opPush, (int)n.value);
+        break;
+      case nkVar: {
+        int sym = symLookup(g.cc, n.name, g.funcSym);
+        if (sym < 0)
+            mccError("use of undefined variable", 0);
+        const Symbol &s = g.cc.symbols[(std::size_t)sym];
+        if (s.kind == syGlobal) {
+            g.emit2(opLoadG, s.addr);
+        } else if (s.kind == syLocal) {
+            g.emit2(opLoadL, s.addr);
+        } else if (s.kind == syParam) {
+            g.emit2(opLoadL, s.addr);
+        } else {
+            mccError("array used as scalar", 0);
+        }
+        break;
+      }
+      case nkIndex: {
+        int sym = symLookup(g.cc, n.name, g.funcSym);
+        if (sym < 0 ||
+            g.cc.symbols[(std::size_t)sym].kind != syGlobalArr)
+            mccError("indexing a non-array", 0);
+        genExpr(g, n.a);
+        g.emit2(opLoadGA, g.cc.symbols[(std::size_t)sym].addr);
+        break;
+      }
+      case nkBinop:
+        genExpr(g, n.a);
+        genExpr(g, n.b);
+        switch (n.op) {
+          case tkPlus: g.emit(opAdd); break;
+          case tkMinus: g.emit(opSub); break;
+          case tkStar: g.emit(opMul); break;
+          case tkSlash: g.emit(opDiv); break;
+          case tkPercent: g.emit(opMod); break;
+          case tkLt: g.emit(opLt); break;
+          case tkLe: g.emit(opLe); break;
+          case tkGt: g.emit(opGt); break;
+          case tkGe: g.emit(opGe); break;
+          case tkEq: g.emit(opEq); break;
+          case tkNe: g.emit(opNe); break;
+          // Logical ops are value-producing and non-short-circuit
+          // in MC (both operands already evaluated).
+          case tkAndAnd: g.emit(opAnd); break;
+          case tkOrOr: g.emit(opOr); break;
+          default: mccError("unknown binary operator", 0);
+        }
+        break;
+      case nkUnop:
+        genExpr(g, n.a);
+        g.emit(n.op == tkMinus ? opNeg : opNot);
+        break;
+      case nkCall:
+        genCall(g, nref);
+        break;
+      default:
+        mccError("expected expression node", 0);
+    }
+}
+
+void
+genStmt(CodeGen &g, NodeRef nref)
+{
+    Scope scope("gen_stmt");
+    NodeObstack &ast = g.cc.ast;
+    const AstNode &n = ast.node(nref);
+    switch (n.kind) {
+      case nkBlock:
+        for (NodeRef link = n.a; link != nullNode;
+             link = ast.node(link).b) {
+            genStmt(g, ast.node(link).a);
+        }
+        break;
+      case nkDeclLocal:
+        if (n.a != nullNode) {
+            genExpr(g, n.a);
+            g.emit2(opStoreL,
+                    g.cc.symbols[(std::size_t)n.symbol].addr);
+        }
+        break;
+      case nkAssign: {
+        int sym = symLookup(g.cc, n.name, g.funcSym);
+        if (sym < 0)
+            mccError("assignment to undefined variable", 0);
+        genExpr(g, n.a);
+        const Symbol &s = g.cc.symbols[(std::size_t)sym];
+        if (s.kind == syGlobal)
+            g.emit2(opStoreG, s.addr);
+        else
+            g.emit2(opStoreL, s.addr);
+        break;
+      }
+      case nkAssignIndex: {
+        int sym = symLookup(g.cc, n.name, g.funcSym);
+        if (sym < 0 ||
+            g.cc.symbols[(std::size_t)sym].kind != syGlobalArr)
+            mccError("indexed assignment to a non-array", 0);
+        genExpr(g, n.a); // index
+        genExpr(g, n.b); // value
+        g.emit2(opStoreGA, g.cc.symbols[(std::size_t)sym].addr);
+        break;
+      }
+      case nkIf: {
+        genExpr(g, n.a);
+        int jz = g.emitJump(opJz);
+        genStmt(g, n.b);
+        if (n.c != nullNode) {
+            int jend = g.emitJump(opJmp);
+            g.patch(jz, g.here);
+            genStmt(g, n.c);
+            g.patch(jend, g.here);
+        } else {
+            g.patch(jz, g.here);
+        }
+        break;
+      }
+      case nkWhile: {
+        int top = g.here;
+        genExpr(g, n.a);
+        int jz = g.emitJump(opJz);
+        genStmt(g, n.b);
+        int jback = g.emitJump(opJmp);
+        g.patch(jback, top);
+        g.patch(jz, g.here);
+        break;
+      }
+      case nkReturn: {
+        genExpr(g, n.a);
+        const Symbol &f = g.cc.symbols[(std::size_t)g.funcSym];
+        g.emit2(opRet, f.size); // operand: the arg count to pop
+        break;
+      }
+      case nkPrint:
+        genExpr(g, n.a);
+        g.emit(opPrint);
+        break;
+      case nkExprStmt:
+        genExpr(g, n.a);
+        g.emit(opPop);
+        break;
+      default:
+        mccError("expected statement node", 0);
+    }
+}
+
+/// @}
+
+/** Parse and compile one function definition. */
+void
+compileFunction(Compiler &cc, Parser &p)
+{
+    Scope scope("compile_function");
+    Token name = p.next();
+    if (name.kind != tkIdent)
+        mccError("expected function name", name.pos);
+    p.expect(tkLParen, "expected '(' after function name");
+
+    int fn = symInsert(cc, name.name, syFunc, -1, 0, -1);
+    p.currentFunc = fn;
+    p.nextLocal = 0;
+
+    // Parameters: int name, ...
+    Var<int> nparams("nparams", 0);
+    if (!p.accept(tkRParen)) {
+        do {
+            p.expect(tkInt, "expected 'int' in parameter list");
+            Token pn = p.next();
+            if (pn.kind != tkIdent)
+                mccError("expected parameter name", pn.pos);
+            symInsert(cc, pn.name, syParam, 0, 1, fn);
+            ++nparams;
+        } while (p.accept(tkComma));
+        p.expect(tkRParen, "expected ')' after parameters");
+    }
+    // Param i lives at fp - 2 - nparams + i; assign offsets now that
+    // the count is known.
+    {
+        int assigned = 0;
+        for (int i = 0; i < cc.symbolCount.get(); ++i) {
+            const Symbol &s = cc.symbols[(std::size_t)i];
+            if (s.scope == fn && s.kind == syParam) {
+                Symbol fixed = s;
+                fixed.addr = -2 - nparams.get() + assigned;
+                cc.symbols.set((std::size_t)i, fixed);
+                ++assigned;
+            }
+        }
+    }
+    {
+        Symbol f = cc.symbols[(std::size_t)fn];
+        f.size = nparams.get();
+        cc.symbols.set((std::size_t)fn, f);
+    }
+
+    p.expect(tkLBrace, "expected '{' before function body");
+    NodeRef body = parseBlock(p);
+    foldConstants(cc, body);
+
+    CodeGen gen{cc, HeapArr<int>::make("func_code", 64),
+                cc.instrsEmitted, fn, 0};
+    // Frame setup: the operand is patched to the local count after
+    // the body (locals are discovered while parsing statements).
+    gen.emit(opEnter);
+    int enter_at = gen.here;
+    gen.emit(0);
+    genStmt(gen, body);
+    // Implicit `return 0` for functions that fall off the end.
+    gen.emit2(opPush, 0);
+    gen.emit2(opRet, nparams.get());
+    gen.patch(enter_at, p.nextLocal);
+
+    cc.funcCode.push_back(gen.code);
+    cc.funcSym.push_back(fn);
+
+    Symbol f = cc.symbols[(std::size_t)fn];
+    f.addr = gen.here; // temporarily the code length; linker fixes
+    cc.symbols.set((std::size_t)fn, f);
+}
+
+/** Parse the whole translation unit. */
+void
+compileUnit(Compiler &cc)
+{
+    Scope scope("compile_unit");
+    Parser p{cc};
+    while (p.peek().kind != tkEof) {
+        p.expect(tkInt, "expected 'int' at top level");
+        // Look ahead: ident then '(' means function.
+        Token name = cc.tokens[(std::size_t)p.pos];
+        Token after = cc.tokens[(std::size_t)p.pos + 1];
+        if (name.kind == tkIdent && after.kind == tkLParen) {
+            compileFunction(cc, p);
+            continue;
+        }
+        // Global scalar or array.
+        p.next();
+        if (name.kind != tkIdent)
+            mccError("expected global name", name.pos);
+        if (p.accept(tkLBrack)) {
+            Token sz = p.next();
+            if (sz.kind != tkNumber)
+                mccError("expected array size literal", sz.pos);
+            p.expect(tkRBrack, "expected ']'");
+            symInsert(cc, name.name, syGlobalArr, cc.globalTop.get(),
+                      sz.value, -1);
+            cc.globalTop += sz.value;
+        } else {
+            symInsert(cc, name.name, syGlobal, cc.globalTop.get(), 1,
+                      -1);
+            cc.globalTop += 1;
+        }
+        p.expect(tkSemi, "expected ';' after global");
+    }
+}
+
+/** @name Linker and virtual machine */
+/// @{
+
+constexpr int codeCapacity = 8192;
+constexpr int stackCapacity = 4096;
+constexpr int globalCapacity = 4096;
+constexpr long long maxSteps = 40'000'000;
+
+/** The traced VM image and machine state. */
+struct Vm
+{
+    GlobalArr<int> code;
+    Global<int> codeLen;
+    GlobalArr<long long> stack;
+    GlobalArr<long long> globals;
+    Global<long long> printAcc;
+    Global<long long> steps;
+
+    Vm()
+        : code("vm_code", codeCapacity, 0),
+          codeLen("vm_code_len", 0),
+          stack("vm_stack", stackCapacity, 0),
+          globals("vm_globals", globalCapacity, 0),
+          printAcc("vm_print_acc", 0),
+          steps("vm_steps", 0)
+    {
+    }
+};
+
+/**
+ * Link the per-function code buffers into the VM image, rewriting
+ * call operands from function symbols to code addresses.
+ */
+void
+link(Compiler &cc, Vm &vm)
+{
+    Scope scope("link");
+    // Entry stub: call main, then halt.
+    Var<int> here("here", 0);
+    int main_sym = symLookup(cc, identHash("main", 4), -1);
+    EDB_ASSERT(main_sym >= 0, "mcc: program has no main");
+
+    vm.code.set(0, opCall);
+    vm.code.set(1, main_sym); // patched below like any call
+    vm.code.set(2, 0);
+    vm.code.set(3, opHalt);
+    here = 4;
+
+    // Place the functions, recording addresses in the symbol table.
+    std::vector<int> func_addr(cc.funcCode.size());
+    for (std::size_t f = 0; f < cc.funcCode.size(); ++f) {
+        int sym = cc.funcSym[f];
+        Symbol s = cc.symbols[(std::size_t)sym];
+        int len = s.addr; // length stored by compileFunction
+        func_addr[f] = here.get();
+        s.addr = here.get();
+        cc.symbols.set((std::size_t)sym, s);
+        EDB_ASSERT(here.get() + len <= codeCapacity,
+                   "mcc: code image full");
+        // Copy with relocation: jump targets are function-local and
+        // must be rebased to the image; call operands stay symbolic
+        // until the rewrite pass below.
+        int base = here.get();
+        int i = 0;
+        while (i < len) {
+            int op = cc.funcCode[f][(std::size_t)i];
+            vm.code.set((std::size_t)(base + i), op);
+            switch (op) {
+              case opJmp: case opJz:
+                vm.code.set((std::size_t)(base + i + 1),
+                            base + cc.funcCode[f][(std::size_t)(i + 1)]);
+                i += 2;
+                break;
+              case opCall:
+                vm.code.set((std::size_t)(base + i + 1),
+                            cc.funcCode[f][(std::size_t)(i + 1)]);
+                vm.code.set((std::size_t)(base + i + 2),
+                            cc.funcCode[f][(std::size_t)(i + 2)]);
+                i += 3;
+                break;
+              case opPush: case opLoadG: case opStoreG: case opLoadGA:
+              case opStoreGA: case opLoadL: case opStoreL: case opEnter:
+              case opRet:
+                vm.code.set((std::size_t)(base + i + 1),
+                            cc.funcCode[f][(std::size_t)(i + 1)]);
+                i += 2;
+                break;
+              default:
+                i += 1;
+                break;
+            }
+        }
+        here += len;
+    }
+    vm.codeLen = here.get();
+
+    // Rewrite call operands (symbol -> address).
+    Var<int> pc("pc", 0);
+    while (pc < vm.codeLen.get()) {
+        int op = vm.code[(std::size_t)pc.get()];
+        switch (op) {
+          case opCall: {
+            int sym = vm.code[(std::size_t)(pc.get() + 1)];
+            vm.code.set((std::size_t)(pc.get() + 1),
+                        cc.symbols[(std::size_t)sym].addr);
+            pc += 3;
+            break;
+          }
+          case opPush: case opLoadG: case opStoreG: case opLoadGA:
+          case opStoreGA: case opLoadL: case opStoreL: case opJmp:
+          case opJz: case opEnter: case opRet:
+            pc += 2;
+            break;
+          default:
+            pc += 1;
+            break;
+        }
+    }
+}
+
+/** Execute the linked image; returns main's return value. */
+long long
+execute(Vm &vm)
+{
+    Scope scope("vm_execute");
+    Var<int> pc("pc", 0);
+    Var<int> sp("sp", 0);
+    Var<int> fp("fp", 0);
+
+    auto push = [&](long long v) {
+        EDB_ASSERT(sp.get() < stackCapacity, "mcc: VM stack overflow");
+        vm.stack.set((std::size_t)sp.get(), v);
+        ++sp;
+    };
+    auto pop = [&]() {
+        --sp;
+        return vm.stack[(std::size_t)sp.get()];
+    };
+
+    while (true) {
+        vm.steps += 1;
+        EDB_ASSERT(vm.steps.get() < maxSteps, "mcc: VM runaway");
+        int op = vm.code[(std::size_t)pc.get()];
+        switch (op) {
+          case opHalt:
+            return vm.printAcc.get();
+          case opPush:
+            push(vm.code[(std::size_t)(pc.get() + 1)]);
+            pc += 2;
+            break;
+          case opLoadG:
+            push(vm.globals[(std::size_t)vm.code[(std::size_t)(
+                pc.get() + 1)]]);
+            pc += 2;
+            break;
+          case opStoreG:
+            vm.globals.set(
+                (std::size_t)vm.code[(std::size_t)(pc.get() + 1)],
+                pop());
+            pc += 2;
+            break;
+          case opLoadGA: {
+            long long idx = pop();
+            int base = vm.code[(std::size_t)(pc.get() + 1)];
+            EDB_ASSERT(idx >= 0 && base + idx < globalCapacity,
+                       "mcc: array read out of bounds");
+            push(vm.globals[(std::size_t)(base + idx)]);
+            pc += 2;
+            break;
+          }
+          case opStoreGA: {
+            long long value = pop();
+            long long idx = pop();
+            int base = vm.code[(std::size_t)(pc.get() + 1)];
+            EDB_ASSERT(idx >= 0 && base + idx < globalCapacity,
+                       "mcc: array write out of bounds");
+            vm.globals.set((std::size_t)(base + idx), value);
+            pc += 2;
+            break;
+          }
+          case opLoadL: {
+            int off = vm.code[(std::size_t)(pc.get() + 1)];
+            push(vm.stack[(std::size_t)(fp.get() + off)]);
+            pc += 2;
+            break;
+          }
+          case opStoreL: {
+            int off = vm.code[(std::size_t)(pc.get() + 1)];
+            vm.stack.set((std::size_t)(fp.get() + off), pop());
+            pc += 2;
+            break;
+          }
+#define EDB_MCC_BINOP(opcode, expr)                                      \
+          case opcode: {                                                 \
+            long long y = pop();                                         \
+            long long x = pop();                                         \
+            (void)x; (void)y;                                            \
+            push(expr);                                                  \
+            pc += 1;                                                     \
+            break;                                                       \
+          }
+          EDB_MCC_BINOP(opAdd, x + y)
+          EDB_MCC_BINOP(opSub, x - y)
+          EDB_MCC_BINOP(opMul, x * y)
+          EDB_MCC_BINOP(opDiv, y == 0 ? 0 : x / y)
+          EDB_MCC_BINOP(opMod, y == 0 ? 0 : x % y)
+          EDB_MCC_BINOP(opLt, x < y ? 1 : 0)
+          EDB_MCC_BINOP(opLe, x <= y ? 1 : 0)
+          EDB_MCC_BINOP(opGt, x > y ? 1 : 0)
+          EDB_MCC_BINOP(opGe, x >= y ? 1 : 0)
+          EDB_MCC_BINOP(opEq, x == y ? 1 : 0)
+          EDB_MCC_BINOP(opNe, x != y ? 1 : 0)
+          EDB_MCC_BINOP(opAnd, (x != 0 && y != 0) ? 1 : 0)
+          EDB_MCC_BINOP(opOr, (x != 0 || y != 0) ? 1 : 0)
+#undef EDB_MCC_BINOP
+          case opNeg:
+            push(-pop());
+            pc += 1;
+            break;
+          case opNot:
+            push(pop() == 0 ? 1 : 0);
+            pc += 1;
+            break;
+          case opJmp:
+            pc = vm.code[(std::size_t)(pc.get() + 1)];
+            break;
+          case opJz: {
+            long long c = pop();
+            if (c == 0)
+                pc = vm.code[(std::size_t)(pc.get() + 1)];
+            else
+                pc += 2;
+            break;
+          }
+          case opCall: {
+            int target = vm.code[(std::size_t)(pc.get() + 1)];
+            push(pc.get() + 3); // return address
+            push(fp.get());
+            fp = sp.get();
+            pc = target;
+            break;
+          }
+          case opEnter:
+            sp += vm.code[(std::size_t)(pc.get() + 1)];
+            pc += 2;
+            break;
+          case opRet: {
+            int nargs = vm.code[(std::size_t)(pc.get() + 1)];
+            long long value = pop();
+            int old_fp = (int)vm.stack[(std::size_t)(fp.get() - 1)];
+            int ret_pc = (int)vm.stack[(std::size_t)(fp.get() - 2)];
+            sp = fp.get() - 2 - nargs;
+            fp = old_fp;
+            pc = ret_pc;
+            push(value);
+            break;
+          }
+          case opPrint:
+            vm.printAcc = vm.printAcc * 31 + pop();
+            pc += 1;
+            break;
+          case opPop:
+            pop();
+            pc += 1;
+            break;
+          default:
+            EDB_PANIC("mcc: bad opcode %d at pc %d", op, pc.get());
+        }
+    }
+}
+
+/// @}
+
+/** Free the compiler's heap structures (end-of-compilation). */
+void
+releaseCompiler(Compiler &cc)
+{
+    Scope scope("release_compiler");
+    cc.ast.release();
+    cc.tokens.destroy();
+    cc.symbols.destroy();
+    for (auto &code : cc.funcCode)
+        code.destroy();
+    cc.funcCode.clear();
+}
+
+class MccWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "gcc"; }
+
+    const char *
+    description() const override
+    {
+        return "C-subset compiler + stack VM over an embedded "
+               "program (stands in for GCC v1.4 on rtl.c)";
+    }
+
+    double writeFraction() const override { return 0.063; }
+
+    std::uint64_t
+    run(trace::Tracer &tracer) const override
+    {
+        Ctx ctx(tracer);
+        Scope scope("mcc_main");
+
+        std::uint64_t sum = 0;
+        long long result = 0;
+        for (int rep = 0; rep < compileRepeats; ++rep) {
+            Compiler cc;
+            lex(cc, mcSource);
+            compileUnit(cc);
+            sum = sum * 31 + (std::uint64_t)cc.nodesBuilt.get();
+            sum = sum * 31 + (std::uint64_t)cc.nodesFolded.get();
+            sum = sum * 31 + (std::uint64_t)cc.instrsEmitted.get();
+
+            if (rep == compileRepeats - 1) {
+                // Link and run the final compilation.
+                Vm vm;
+                link(cc, vm);
+                result = execute(vm);
+                sum = sum * 1000003u + (std::uint64_t)result;
+            }
+            releaseCompiler(cc);
+        }
+        return sum;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMccWorkload()
+{
+    return std::make_unique<MccWorkload>();
+}
+
+} // namespace edb::workload

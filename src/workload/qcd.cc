@@ -1,0 +1,481 @@
+/**
+ * @file
+ * The `qcd` workload: an SU(2) lattice gauge theory simulation.
+ *
+ * Stands in for the Perfect Club QCD benchmark (paper Section 6).
+ * A 4-dimensional periodic lattice carries SU(2) link matrices
+ * (stored as unit quaternions); Metropolis sweeps update every link
+ * against the Wilson action, and the average plaquette is measured
+ * each sweep. The computational character matches the original:
+ * almost all time in regular array sweeps over a large global lattice
+ * with tight inner loops — the "induction variables and functions
+ * that allocated large numbers of heap objects" the paper identifies
+ * as NativeHardware's expensive sessions come, for QCD, from exactly
+ * these hot loop counters and accumulators.
+ */
+
+#include "workload/workload.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/rng.h"
+#include "workload/instr.h"
+
+namespace edb::workload {
+
+namespace {
+
+/** Lattice extent per dimension (4^4 sites, 4 links per site). */
+constexpr int L = 4;
+constexpr int nd = 4;
+constexpr int nsites = L * L * L * L;
+constexpr int nlinks = nsites * nd;
+/** Metropolis sweeps over the whole lattice. */
+constexpr int nsweeps = 76;
+/** Inverse coupling (Wilson beta) — confined phase for SU(2). */
+constexpr double beta = 2.3;
+
+/** A quaternion q0 + i q·sigma representing an SU(2) element. */
+struct Su2
+{
+    double q[4];
+};
+
+Su2
+su2Identity()
+{
+    return Su2{{1, 0, 0, 0}};
+}
+
+/** SU(2) product (quaternion multiplication). */
+Su2
+su2Mul(const Su2 &a, const Su2 &b)
+{
+    Su2 r;
+    r.q[0] = a.q[0] * b.q[0] - a.q[1] * b.q[1] - a.q[2] * b.q[2] -
+             a.q[3] * b.q[3];
+    r.q[1] = a.q[0] * b.q[1] + a.q[1] * b.q[0] + a.q[2] * b.q[3] -
+             a.q[3] * b.q[2];
+    r.q[2] = a.q[0] * b.q[2] - a.q[1] * b.q[3] + a.q[2] * b.q[0] +
+             a.q[3] * b.q[1];
+    r.q[3] = a.q[0] * b.q[3] + a.q[1] * b.q[2] - a.q[2] * b.q[1] +
+             a.q[3] * b.q[0];
+    return r;
+}
+
+/** Hermitian conjugate (quaternion conjugate). */
+Su2
+su2Dag(const Su2 &a)
+{
+    return Su2{{a.q[0], -a.q[1], -a.q[2], -a.q[3]}};
+}
+
+/** Sum is not in SU(2), but staple sums live in the group algebra. */
+Su2
+su2Add(const Su2 &a, const Su2 &b)
+{
+    Su2 r;
+    for (int i = 0; i < 4; ++i)
+        r.q[i] = a.q[i] + b.q[i];
+    return r;
+}
+
+/** (1/2) Re Tr(a b) = a0 b0 - a.b for quaternion-represented SU(2). */
+double
+halfReTrMul(const Su2 &a, const Su2 &b)
+{
+    return a.q[0] * b.q[0] - a.q[1] * b.q[1] - a.q[2] * b.q[2] -
+           a.q[3] * b.q[3];
+}
+
+/** Random SU(2) element near the identity (Metropolis proposal). */
+Su2
+su2SmallRandom(Rng &rng, double eps)
+{
+    double v1 = rng.uniform() * 2 - 1;
+    double v2 = rng.uniform() * 2 - 1;
+    double v3 = rng.uniform() * 2 - 1;
+    double norm = std::sqrt(v1 * v1 + v2 * v2 + v3 * v3) + 1e-12;
+    double s = eps * (rng.uniform() * 2 - 1);
+    double c = std::sqrt(1 - s * s);
+    return Su2{{c, s * v1 / norm, s * v2 / norm, s * v3 / norm}};
+}
+
+/** The traced lattice state shared by the phases. */
+struct QcdState
+{
+    /** Link variables: 4 doubles per link, globals like the Fortran
+     *  original's COMMON blocks. */
+    GlobalArr<double> u;
+    /** site x direction -> neighbour site, both orientations. */
+    GlobalArr<int> nbrUp;
+    GlobalArr<int> nbrDn;
+    Global<double> avgPlaquette;
+    Global<double> accepts;
+    Global<int> sweepNo;
+    Global<double> polyakov;
+    Global<double> wilson22;
+    Global<int> renormalized;
+    Global<double> plaqSum;
+    Global<double> plaqPrev;
+    Global<int> plaqCount;
+    Global<double> autocorr;
+
+    QcdState()
+        : u("u_links", nlinks * 4, 0.0),
+          nbrUp("nbr_up", nsites * nd, 0),
+          nbrDn("nbr_dn", nsites * nd, 0),
+          avgPlaquette("avg_plaquette", 0.0),
+          accepts("accepts", 0.0),
+          sweepNo("sweep_no", 0),
+          polyakov("polyakov", 0.0),
+          wilson22("wilson_2x2", 0.0),
+          renormalized("renormalized", 0),
+          plaqSum("plaq_acc_sum", 0.0),
+          plaqPrev("plaq_prev", 0.0),
+          plaqCount("plaq_acc_count", 0),
+          autocorr("autocorr", 0.0)
+    {
+    }
+
+    Su2
+    link(int site, int mu) const
+    {
+        int base = (site * nd + mu) * 4;
+        return Su2{{u[base], u[base + 1], u[base + 2], u[base + 3]}};
+    }
+
+    void
+    setLink(int site, int mu, const Su2 &v)
+    {
+        int base = (site * nd + mu) * 4;
+        for (int i = 0; i < 4; ++i)
+            u.set(base + i, v.q[i]);
+    }
+};
+
+/** Decompose a site index into coordinates. */
+void
+siteCoords(int s, int c[nd])
+{
+    for (int d = 0; d < nd; ++d) {
+        c[d] = s % L;
+        s /= L;
+    }
+}
+
+int
+coordsSite(const int c[nd])
+{
+    int s = 0;
+    for (int d = nd - 1; d >= 0; --d)
+        s = s * L + c[d];
+    return s;
+}
+
+/** Build the periodic neighbour tables. */
+void
+initLattice(QcdState &st)
+{
+    Scope scope("init_lattice");
+    Var<int> s("s", 0);
+    for (s = 0; s < nsites; ++s) {
+        int c[nd];
+        siteCoords(s, c);
+        for (int d = 0; d < nd; ++d) {
+            int cc[nd];
+            std::memcpy(cc, c, sizeof(cc));
+            cc[d] = (c[d] + 1) % L;
+            st.nbrUp.set(s * nd + d, coordsSite(cc));
+            cc[d] = (c[d] + L - 1) % L;
+            st.nbrDn.set(s * nd + d, coordsSite(cc));
+        }
+        // Cold start: all links at the identity.
+        for (int mu = 0; mu < nd; ++mu)
+            st.setLink(s, mu, su2Identity());
+    }
+}
+
+/**
+ * Staple sum around link (site, mu): the six plaquette completions.
+ */
+Su2
+stapleSum(const QcdState &st, int site, int mu)
+{
+    Scope scope("staple_sum");
+    LocalArr<double> acc("staple_acc", 4, 0.0);
+    for (int nu = 0; nu < nd; ++nu) {
+        if (nu == mu)
+            continue;
+        int x_mu = st.nbrUp[site * nd + mu];
+        int x_nu = st.nbrUp[site * nd + nu];
+        int x_dn = st.nbrDn[site * nd + nu];
+        int x_mu_dn = st.nbrDn[x_mu * nd + nu];
+
+        // Upper staple: U_nu(x+mu) U_mu(x+nu)^ U_nu(x)^
+        Su2 up = su2Mul(su2Mul(st.link(x_mu, nu),
+                               su2Dag(st.link(x_nu, mu))),
+                        su2Dag(st.link(site, nu)));
+        // Lower staple: U_nu(x+mu-nu)^ U_mu(x-nu)^ U_nu(x-nu)
+        Su2 dn = su2Mul(su2Mul(su2Dag(st.link(x_mu_dn, nu)),
+                               su2Dag(st.link(x_dn, mu))),
+                        st.link(x_dn, nu));
+        Su2 sum = su2Add(up, dn);
+        for (int i = 0; i < 4; ++i)
+            acc.set(i, acc[i] + sum.q[i]);
+    }
+    return Su2{{acc[0], acc[1], acc[2], acc[3]}};
+}
+
+/**
+ * Metropolis update of one link.
+ *
+ * @return 1 when the proposal was accepted.
+ */
+int
+updateLink(QcdState &st, Rng &rng, int site, int mu)
+{
+    Scope scope("update_link");
+    Su2 staple = stapleSum(st, site, mu);
+    Su2 old_link = st.link(site, mu);
+    Su2 proposal = su2Mul(su2SmallRandom(rng, 0.45), old_link);
+
+    // dS = -beta/2 Re Tr[(U' - U) staple]
+    Var<double> action_delta("action_delta", 0.0);
+    action_delta = -beta * (halfReTrMul(proposal, staple) -
+                            halfReTrMul(old_link, staple));
+
+    if (action_delta <= 0 || rng.uniform() < std::exp(-action_delta)) {
+        st.setLink(site, mu, proposal);
+        return 1;
+    }
+    return 0;
+}
+
+/** Average plaquette over the lattice: <(1/2) Re Tr U_p>. */
+double
+measurePlaquette(const QcdState &st)
+{
+    Scope scope("measure_plaquette");
+    Var<double> sum("plaq_sum", 0.0);
+    Var<int> count("plaq_count", 0);
+    for (int s = 0; s < nsites; ++s) {
+        for (int mu = 0; mu < nd; ++mu) {
+            for (int nu = mu + 1; nu < nd; ++nu) {
+                int x_mu = st.nbrUp[s * nd + mu];
+                int x_nu = st.nbrUp[s * nd + nu];
+                Su2 p = su2Mul(
+                    su2Mul(st.link(s, mu), st.link(x_mu, nu)),
+                    su2Mul(su2Dag(st.link(x_nu, mu)),
+                           su2Dag(st.link(s, nu))));
+                sum = sum + p.q[0]; // (1/2)Tr U_p = q0
+                ++count;
+            }
+        }
+    }
+    return sum / (double)count;
+}
+
+/**
+ * Polyakov loop: trace of the product of time-direction links along
+ * each spatial site's temporal line — the deconfinement order
+ * parameter.
+ */
+double
+measurePolyakov(QcdState &st)
+{
+    Scope scope("measure_polyakov");
+    Var<double> re_sum("poly_re_sum", 0.0);
+    Var<double> abs_sum("poly_abs_sum", 0.0);
+    Var<int> lines("poly_lines", 0);
+    constexpr int tdir = nd - 1;
+    // Iterate over sites with t == 0.
+    for (int s = 0; s < nsites; ++s) {
+        int c[nd];
+        siteCoords(s, c);
+        if (c[tdir] != 0)
+            continue;
+        Su2 line = su2Identity();
+        Var<int> t("t", 0);
+        int x = s;
+        for (t = 0; t < L; ++t) {
+            line = su2Mul(line, st.link(x, tdir));
+            x = st.nbrUp[x * nd + tdir];
+        }
+        double tr = 2.0 * line.q[0];
+        re_sum += tr;
+        abs_sum += tr < 0 ? -tr : tr;
+        ++lines;
+    }
+    st.polyakov = re_sum / (double)lines;
+    return abs_sum / (double)lines;
+}
+
+/** 2x2 Wilson loops: the next-size creutz-ratio ingredient. */
+double
+measureWilson2x2(QcdState &st)
+{
+    Scope scope("measure_wilson2x2");
+    Var<double> sum("w22_sum", 0.0);
+    Var<int> count("w22_count", 0);
+    Var<int> s("w22_site", 0);
+    for (s = 0; s < nsites; ++s) {
+        for (int mu = 0; mu < nd; ++mu) {
+            for (int nu = mu + 1; nu < nd; ++nu) {
+                // Walk the 2x2 rectangle: two steps mu, two steps
+                // nu, two steps back mu, two back nu.
+                Su2 loop = su2Identity();
+                Var<int> x("w22_x", s.get());
+                for (int leg = 0; leg < 2; ++leg) {
+                    loop = su2Mul(loop, st.link(x, mu));
+                    x = st.nbrUp[x.get() * nd + mu];
+                }
+                for (int leg = 0; leg < 2; ++leg) {
+                    loop = su2Mul(loop, st.link(x, nu));
+                    x = st.nbrUp[x.get() * nd + nu];
+                }
+                for (int leg = 0; leg < 2; ++leg) {
+                    x = st.nbrDn[x.get() * nd + mu];
+                    loop = su2Mul(loop, su2Dag(st.link(x, mu)));
+                }
+                for (int leg = 0; leg < 2; ++leg) {
+                    x = st.nbrDn[x.get() * nd + nu];
+                    loop = su2Mul(loop, su2Dag(st.link(x, nu)));
+                }
+                sum += loop.q[0];
+                ++count;
+            }
+        }
+    }
+    st.wilson22 = sum / (double)count;
+    return st.wilson22;
+}
+
+/**
+ * Renormalize every link back onto the group manifold, countering
+ * floating-point drift (production lattice codes do this
+ * periodically).
+ */
+void
+renormalizeLinks(QcdState &st)
+{
+    Scope scope("renormalize_links");
+    Var<int> fixed("renorm_fixed", 0);
+    Var<double> worst_drift("worst_drift", 0.0);
+    Var<int> s("renorm_site", 0);
+    for (s = 0; s < nsites; ++s) {
+        for (int mu = 0; mu < nd; ++mu) {
+            Su2 u = st.link(s.get(), mu);
+            double norm2 = u.q[0] * u.q[0] + u.q[1] * u.q[1] +
+                           u.q[2] * u.q[2] + u.q[3] * u.q[3];
+            double drift = norm2 - 1.0;
+            if (drift < 0)
+                drift = -drift;
+            if (drift > worst_drift)
+                worst_drift = drift;
+            if (drift > 1e-13) {
+                double inv = 1.0 / std::sqrt(norm2);
+                for (int i = 0; i < 4; ++i)
+                    u.q[i] *= inv;
+                st.setLink(s.get(), mu, u);
+                ++fixed;
+            }
+        }
+    }
+    st.renormalized += fixed.get();
+}
+
+/**
+ * Streaming autocorrelation estimate of the plaquette series, as a
+ * production run would monitor to set its measurement stride.
+ */
+void
+updateAutocorrelation(QcdState &st, double plaq)
+{
+    Scope scope("update_autocorrelation");
+    Var<double> mean("ac_mean", 0.0);
+    Var<double> num("ac_num", 0.0);
+    Var<double> den("ac_den", 0.0);
+    st.plaqCount += 1;
+    st.plaqSum += plaq;
+    mean = st.plaqSum / (double)st.plaqCount.get();
+    num = (plaq - mean) * (st.plaqPrev - mean);
+    den = (plaq - mean) * (plaq - mean);
+    if (den.get() > 1e-18)
+        st.autocorr = num / den;
+    st.plaqPrev = plaq;
+}
+
+/** One Metropolis sweep over every link. */
+void
+sweep(QcdState &st, Rng &rng)
+{
+    Scope scope("sweep");
+    Var<int> site("site", 0);
+    Var<int> mu("mu", 0);
+    Var<int> accepted("accepted", 0);
+    for (site = 0; site < nsites; ++site) {
+        for (mu = 0; mu < nd; ++mu)
+            accepted += updateLink(st, rng, site, mu);
+    }
+    st.accepts += (double)accepted.get();
+}
+
+class QcdWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "qcd"; }
+
+    const char *
+    description() const override
+    {
+        return "SU(2) lattice gauge Metropolis simulation, 4^4 "
+               "lattice (stands in for Perfect Club QCD)";
+    }
+
+    double writeFraction() const override { return 0.0885; }
+
+    std::uint64_t
+    run(trace::Tracer &tracer) const override
+    {
+        Ctx ctx(tracer);
+        Scope scope("qcd_main");
+        QcdState st;
+        Rng rng(0x9cd5eed);
+        initLattice(st);
+
+        double plaq_series = 0;
+        double poly_series = 0;
+        for (int s = 0; s < nsweeps; ++s) {
+            st.sweepNo = s;
+            sweep(st, rng);
+            double plaq = measurePlaquette(st);
+            st.avgPlaquette = plaq;
+            plaq_series += plaq * (s + 1);
+            updateAutocorrelation(st, plaq);
+            poly_series += measurePolyakov(st);
+            measureWilson2x2(st);
+            if (s % 8 == 7)
+                renormalizeLinks(st);
+        }
+
+        // Checksum: quantized observables plus acceptances.
+        auto bits = (std::uint64_t)std::llround(plaq_series * 1e9);
+        bits = bits * 31 +
+               (std::uint64_t)std::llround(poly_series * 1e6);
+        bits = bits * 31 +
+               (std::uint64_t)std::llround(st.wilson22.get() * 1e9);
+        return bits * 1000003u + (std::uint64_t)st.accepts.get();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeQcdWorkload()
+{
+    return std::make_unique<QcdWorkload>();
+}
+
+} // namespace edb::workload

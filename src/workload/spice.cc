@@ -1,0 +1,427 @@
+/**
+ * @file
+ * The `spice` workload: a nonlinear transient circuit simulator.
+ *
+ * Stands in for "Spice v3c1 ... Transient analysis for a simple
+ * differential pair circuit was computed for 20ns at 5ns intervals"
+ * (paper Section 6). The same analysis is implemented from scratch:
+ * modified nodal analysis (MNA) assembles the circuit equations, a
+ * simplified Ebers-Moll BJT model is linearized by Newton iteration
+ * at every time point, capacitors use backward-Euler companion
+ * models, and the dense system is solved by in-place LU decomposition
+ * with partial pivoting — the classic Spice inner loops, with the
+ * classic write profile: repeated dense-matrix stamping and
+ * elimination over a modest set of arrays.
+ *
+ * The circuit: a resistively loaded BJT differential pair with a
+ * resistor tail, driven by an antiphase 10 mV sine, 20 ns of
+ * simulated time.
+ */
+
+#include "workload/workload.h"
+
+#include <cmath>
+
+#include "workload/instr.h"
+
+namespace edb::workload {
+
+namespace {
+
+/** Node numbering (0 = ground). */
+enum NodeId : int {
+    nGnd = 0,
+    nVcc = 1,
+    nB1 = 2,
+    nB2 = 3,
+    nC1 = 4,
+    nC2 = 5,
+    nE = 6,
+    nVee = 7,
+};
+constexpr int numNodes = 7; // non-ground nodes
+
+/** Extra MNA rows: currents of the four voltage sources. */
+enum SourceId : int { sVcc = 0, sVin1 = 1, sVin2 = 2, sVee = 3 };
+constexpr int numSources = 4;
+constexpr int n = numNodes + numSources;
+
+/** Component values. */
+constexpr double rc = 4.7e3;     ///< collector load resistors
+constexpr double re = 10.0e3;    ///< emitter tail resistor
+constexpr double rb = 100.0;     ///< base series resistance (lumped)
+constexpr double cl = 2e-12;     ///< collector load capacitance
+constexpr double vcc = 12.0;
+constexpr double vee = -12.0;
+constexpr double vinAmp = 0.010; ///< differential drive amplitude
+constexpr double vinFreq = 100e6;
+
+/** BJT model parameters (simplified forward-active Ebers-Moll). */
+constexpr double bjtIs = 1e-14;
+constexpr double bjtBeta = 100.0;
+constexpr double vThermal = 0.02585;
+/** Minimum node-to-ground conductance (Spice's gmin). */
+constexpr double gMin = 1e-12;
+
+/** Transient schedule: 20 ns total. */
+constexpr double tStop = 20e-9;
+constexpr int nSteps = 320;
+constexpr double hStep = tStop / nSteps;
+
+constexpr int maxNewton = 25;
+constexpr double newtonTol = 1e-9;
+
+/** The traced solver state (the program's global arrays). */
+struct SpiceState
+{
+    GlobalArr<double> a;    ///< MNA matrix, row-major n x n
+    GlobalArr<double> z;    ///< right-hand side
+    GlobalArr<double> x;    ///< current Newton solution
+    GlobalArr<double> xOld; ///< previous time-point solution
+    GlobalArr<int> pivots;  ///< LU row permutation
+    Global<int> newtonTotal;
+    Global<int> stepNo;
+    Global<double> timeNow;
+
+    SpiceState()
+        : a("mna_matrix", n * n, 0.0),
+          z("mna_rhs", n, 0.0),
+          x("solution", n, 0.0),
+          xOld("prev_solution", n, 0.0),
+          pivots("lu_pivots", n, 0),
+          newtonTotal("newton_total", 0),
+          stepNo("step_no", 0),
+          timeNow("time_now", 0.0)
+    {
+    }
+
+    /** Voltage of a node in the current Newton iterate. */
+    double
+    volt(int node) const
+    {
+        return node == nGnd ? 0.0 : x[(std::size_t)node - 1];
+    }
+
+    double
+    voltOld(int node) const
+    {
+        return node == nGnd ? 0.0 : xOld[(std::size_t)node - 1];
+    }
+
+    /** Accumulate into A (MNA "stamp"). */
+    void
+    addA(int row, int col, double v)
+    {
+        if (row == 0 || col == 0)
+            return; // ground row/column eliminated
+        std::size_t idx =
+            (std::size_t)(row - 1) * n + (std::size_t)(col - 1);
+        a.set(idx, a[idx] + v);
+    }
+
+    void
+    addZ(int row, double v)
+    {
+        if (row == 0)
+            return;
+        z.set((std::size_t)row - 1, z[(std::size_t)row - 1] + v);
+    }
+};
+
+/** Stamp a two-terminal conductance. */
+void
+stampConductance(SpiceState &st, int n1, int n2, double g)
+{
+    st.addA(n1, n1, g);
+    st.addA(n2, n2, g);
+    st.addA(n1, n2, -g);
+    st.addA(n2, n1, -g);
+}
+
+/** Stamp an independent voltage source on MNA row numNodes+src. */
+void
+stampVoltageSource(SpiceState &st, int src, int pos, int neg, double v)
+{
+    int row = numNodes + src + 1; // 1-based MNA row index
+    st.addA(row, pos, 1);
+    st.addA(row, neg, -1);
+    st.addA(pos, row, 1);
+    st.addA(neg, row, -1);
+    st.addZ(row, v);
+}
+
+/**
+ * Stamp one BJT (forward-active Ebers-Moll linearized at the current
+ * Newton iterate): a base-emitter diode with conductance gbe and
+ * companion current, plus a collector current beta times the diode
+ * current, as a vbe-controlled source.
+ */
+void
+stampBjt(SpiceState &st, int nc, int nb, int ne)
+{
+    Scope scope("stamp_bjt");
+    Var<double> vbe("vbe", 0.0);
+    vbe = st.volt(nb) - st.volt(ne);
+    // Junction voltage limiting for Newton robustness (as Spice's
+    // pnjlim does).
+    double v = vbe;
+    if (v > 0.9)
+        v = 0.9;
+
+    double ex = std::exp(v / vThermal);
+    Var<double> ide("ide", 0.0);
+    Var<double> gbe("gbe", 0.0);
+    ide = bjtIs * (ex - 1.0);
+    gbe = (bjtIs / vThermal) * ex + 1e-12;
+
+    // Companion current so the linearized diode passes through the
+    // operating point: Ieq = Ide - gbe * v.
+    Var<double> ieq("ieq", 0.0);
+    ieq = ide - gbe * v;
+
+    // Base-emitter diode (carries the base current Ide).
+    stampConductance(st, nb, ne, gbe.get());
+    st.addZ(nb, -ieq);
+    st.addZ(ne, ieq);
+
+    // Collector current beta*Ide: vbe-controlled current source
+    // from collector to emitter.
+    double gm = bjtBeta * gbe;
+    st.addA(nc, nb, gm);
+    st.addA(nc, ne, -gm);
+    st.addA(ne, nb, -gm);
+    st.addA(ne, ne, gm);
+    st.addZ(nc, -bjtBeta * ieq);
+    st.addZ(ne, bjtBeta * ieq);
+}
+
+/** Zero and re-stamp the full system at simulation time t. */
+void
+stampCircuit(SpiceState &st, double t)
+{
+    Scope scope("stamp_circuit");
+    Var<int> i("i", 0);
+    for (i = 0; i < n * n; ++i)
+        st.a.set((std::size_t)i.get(), 0.0);
+    for (i = 0; i < n; ++i)
+        st.z.set((std::size_t)i.get(), 0.0);
+
+    // gmin from every node to ground, for conditioning while the
+    // junctions are off (as Spice does).
+    for (int node = 1; node <= numNodes; ++node)
+        st.addA(node, node, gMin);
+
+    // Linear elements.
+    stampConductance(st, nVcc, nC1, 1 / rc);
+    stampConductance(st, nVcc, nC2, 1 / rc);
+    stampConductance(st, nE, nVee, 1 / re);
+
+    // Collector load capacitors: backward-Euler companion
+    // conductance C/h with history current.
+    double gc = cl / hStep;
+    for (int node : {nC1, nC2}) {
+        stampConductance(st, node, nGnd, gc);
+        st.addZ(node, gc * st.voltOld(node));
+    }
+
+    // Drive: antiphase sines behind lumped base resistance.
+    double win = 2 * M_PI * vinFreq * t;
+    double vin1 = vinAmp * std::sin(win);
+    double vin2 = -vinAmp * std::sin(win);
+    // Base resistors connect the source nodes... the sources drive
+    // the bases directly through rb folded into the source stamps'
+    // series conductance; for simplicity rb appears as conductance
+    // from base to source node replaced by ideal sources at the
+    // bases (rb kept for the operating point via gbe limiting).
+    (void)rb;
+    stampVoltageSource(st, sVcc, nVcc, nGnd, vcc);
+    stampVoltageSource(st, sVee, nVee, nGnd, vee);
+    stampVoltageSource(st, sVin1, nB1, nGnd, vin1);
+    stampVoltageSource(st, sVin2, nB2, nGnd, vin2);
+
+    // Nonlinear devices, linearized at the current iterate.
+    stampBjt(st, nC1, nB1, nE);
+    stampBjt(st, nC2, nB2, nE);
+}
+
+/** In-place LU decomposition with partial pivoting, then solve. */
+bool
+luSolve(SpiceState &st)
+{
+    Scope scope("lu_solve");
+    Var<int> k("k", 0);
+    Var<int> i("i", 0);
+    Var<int> j("j", 0);
+
+    for (k = 0; k < n; ++k) {
+        // Pivot search.
+        Var<int> pivot("pivot", k.get());
+        Var<double> best("best", std::fabs(st.a[(std::size_t)(
+                                     k.get() * n + k.get())]));
+        for (i = k + 1; i < n; ++i) {
+            double mag =
+                std::fabs(st.a[(std::size_t)(i.get() * n + k.get())]);
+            if (mag > best) {
+                best = mag;
+                pivot = i.get();
+            }
+        }
+        if (best.get() < 1e-18)
+            return false;
+        st.pivots.set((std::size_t)k.get(), pivot.get());
+        if (pivot.get() != k.get()) {
+            for (j = 0; j < n; ++j) {
+                std::size_t kj = (std::size_t)(k.get() * n + j.get());
+                std::size_t pj =
+                    (std::size_t)(pivot.get() * n + j.get());
+                double tmp = st.a[kj];
+                st.a.set(kj, st.a[pj]);
+                st.a.set(pj, tmp);
+            }
+            std::size_t zk = (std::size_t)k.get();
+            std::size_t zp = (std::size_t)pivot.get();
+            double tmp = st.z[zk];
+            st.z.set(zk, st.z[zp]);
+            st.z.set(zp, tmp);
+        }
+
+        // Elimination below the pivot.
+        double akk = st.a[(std::size_t)(k.get() * n + k.get())];
+        for (i = k + 1; i < n; ++i) {
+            std::size_t ik = (std::size_t)(i.get() * n + k.get());
+            double factor = st.a[ik] / akk;
+            if (factor == 0.0)
+                continue;
+            st.a.set(ik, factor);
+            for (j = k + 1; j < n; ++j) {
+                std::size_t ij = (std::size_t)(i.get() * n + j.get());
+                std::size_t kj = (std::size_t)(k.get() * n + j.get());
+                st.a.set(ij, st.a[ij] - factor * st.a[kj]);
+            }
+            st.z.set((std::size_t)i.get(),
+                     st.z[(std::size_t)i.get()] -
+                         factor * st.z[(std::size_t)k.get()]);
+        }
+    }
+
+    // Back substitution into x.
+    for (i = n - 1; i >= 0; --i) {
+        Var<double> sum("bs_sum", st.z[(std::size_t)i.get()]);
+        for (j = i + 1; j < n; ++j) {
+            sum = sum - st.a[(std::size_t)(i.get() * n + j.get())] *
+                            st.x[(std::size_t)j.get()];
+        }
+        st.x.set((std::size_t)i.get(),
+                 sum / st.a[(std::size_t)(i.get() * n + i.get())]);
+    }
+    return true;
+}
+
+/**
+ * One accepted output point, kept on the heap as Spice keeps its
+ * rawfile rows.
+ */
+struct TimePoint
+{
+    double t;
+    double vc1;
+    double vc2;
+};
+
+/** Solve one time point with Newton iteration; returns iterations. */
+int
+solveTimePoint(SpiceState &st, double t)
+{
+    Scope scope("solve_time_point");
+    Var<int> iter("iter", 0);
+    LocalArr<double> prev("prev_iterate", n, 0.0);
+    for (iter = 0; iter < maxNewton; ++iter) {
+        for (int i = 0; i < n; ++i)
+            prev.set((std::size_t)i, st.x[(std::size_t)i]);
+
+        stampCircuit(st, t);
+        bool ok = luSolve(st);
+        EDB_ASSERT(ok, "spice: singular MNA matrix at t=%g", t);
+
+        // Convergence test on the largest node-voltage change. The
+        // junction exp clamp in stampBjt (Spice's pnjlim) provides
+        // Newton robustness; node voltages themselves are not damped
+        // or the +/-12 V rails could never be reached.
+        Var<double> worst("worst", 0.0);
+        for (int i = 0; i < n; ++i) {
+            double dv = st.x[(std::size_t)i] - prev[(std::size_t)i];
+            if (std::fabs(dv) > worst)
+                worst = std::fabs(dv);
+        }
+        if (worst.get() < newtonTol)
+            return iter.get() + 1;
+    }
+    return maxNewton;
+}
+
+class SpiceWorkload : public Workload
+{
+  public:
+    const char *name() const override { return "spice"; }
+
+    const char *
+    description() const override
+    {
+        return "MNA transient analysis of a BJT differential pair, "
+               "20ns (stands in for Spice v3c1)";
+    }
+
+    double writeFraction() const override { return 0.047; }
+
+    std::uint64_t
+    run(trace::Tracer &tracer) const override
+    {
+        Ctx ctx(tracer);
+        Scope scope("spice_main");
+        SpiceState st;
+
+        // Output storage, one heap record per accepted time point.
+        HeapArr<Box<TimePoint>> wave =
+            HeapArr<Box<TimePoint>>::make("rawfile", nSteps + 1);
+
+        // DC operating point (t = 0 drive).
+        solveTimePoint(st, 0.0);
+        for (int i = 0; i < n; ++i)
+            st.xOld.set((std::size_t)i, st.x[(std::size_t)i]);
+
+        double out_acc = 0;
+        for (int step = 1; step <= nSteps; ++step) {
+            st.stepNo = step;
+            double t = step * hStep;
+            st.timeNow = t;
+            int iters = solveTimePoint(st, t);
+            st.newtonTotal += iters;
+
+            for (int i = 0; i < n; ++i)
+                st.xOld.set((std::size_t)i, st.x[(std::size_t)i]);
+
+            Box<TimePoint> pt = Box<TimePoint>::make("time_point");
+            pt.put(&TimePoint::t, t);
+            pt.put(&TimePoint::vc1, st.volt(nC1));
+            pt.put(&TimePoint::vc2, st.volt(nC2));
+            wave.set((std::size_t)step, pt);
+
+            out_acc += (st.volt(nC1) - st.volt(nC2)) * step;
+        }
+
+        // Checksum over the quantized differential output waveform.
+        auto q = (std::int64_t)std::llround(out_acc * 1e6);
+        return (std::uint64_t)q * 1000003u +
+               (std::uint64_t)st.newtonTotal.get();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSpiceWorkload()
+{
+    return std::make_unique<SpiceWorkload>();
+}
+
+} // namespace edb::workload

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the edb-trace command-line tool (library form).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "cli/cli.h"
+
+namespace edb::cli {
+namespace {
+
+/** Temp trace file recorded once and shared by the read commands. */
+class CliTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        path_ = new std::string(::testing::TempDir() +
+                                "/edb_cli_test.trc");
+        std::ostringstream out;
+        ASSERT_EQ(cmdRecord("bps", *path_, out), 0);
+        ASSERT_NE(out.str().find("recorded"), std::string::npos);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        std::remove(path_->c_str());
+        delete path_;
+        path_ = nullptr;
+    }
+
+    static std::string *path_;
+};
+
+std::string *CliTest::path_ = nullptr;
+
+TEST_F(CliTest, InfoSummarizesTrace)
+{
+    std::ostringstream out;
+    EXPECT_EQ(cmdInfo(*path_, out), 0);
+    std::string text = out.str();
+    EXPECT_NE(text.find("program:       bps"), std::string::npos);
+    EXPECT_NE(text.find("total writes:"), std::string::npos);
+    EXPECT_NE(text.find("heap)"), std::string::npos);
+}
+
+TEST_F(CliTest, SessionsListsTopByHits)
+{
+    std::ostringstream out;
+    EXPECT_EQ(cmdSessions(*path_, 5, out), 0);
+    std::string text = out.str();
+    EXPECT_NE(text.find("active monitor sessions"), std::string::npos);
+    EXPECT_NE(text.find("AllHeapInFunc"), std::string::npos);
+    // Top-5 means at most 5 data rows (+2 header lines + 1 summary).
+    std::size_t lines = (std::size_t)std::count(text.begin(),
+                                                text.end(), '\n');
+    EXPECT_LE(lines, 9u);
+}
+
+TEST_F(CliTest, AnalyzePrintsAllStrategies)
+{
+    std::ostringstream out;
+    EXPECT_EQ(cmdAnalyze(*path_, out), 0);
+    std::string text = out.str();
+    for (const char *needle :
+         {"NH", "VM-4K", "VM-8K", "TP", "CP", "T-Mean", "98%"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST_F(CliTest, SessionDissectsByName)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(cmdSession(*path_, "open_size", out, err), 0);
+    std::string text = out.str();
+    EXPECT_NE(text.find("OneGlobalStatic(open_size)"),
+              std::string::npos);
+    EXPECT_NE(text.find("active-page misses"), std::string::npos);
+    EXPECT_NE(text.find("CodePatch"), std::string::npos);
+}
+
+TEST_F(CliTest, SessionReportsMissingMatch)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(cmdSession(*path_, "no_such_variable_xyz", out, err), 1);
+    EXPECT_NE(err.str().find("no active session"), std::string::npos);
+}
+
+TEST_F(CliTest, RunDispatchesAndValidates)
+{
+    std::ostringstream out, err;
+    // No args: usage, exit 2.
+    EXPECT_EQ(run({}, out, err), 2);
+    EXPECT_NE(err.str().find("usage:"), std::string::npos);
+
+    // Unknown command: usage, exit 2.
+    err.str("");
+    EXPECT_EQ(run({"frobnicate"}, out, err), 2);
+
+    // Wrong arity: usage, exit 2.
+    err.str("");
+    EXPECT_EQ(run({"info"}, out, err), 2);
+
+    // Valid dispatch.
+    out.str("");
+    err.str("");
+    EXPECT_EQ(run({"info", *path_}, out, err), 0);
+    EXPECT_NE(out.str().find("program:"), std::string::npos);
+
+    // sessions with explicit N.
+    out.str("");
+    EXPECT_EQ(run({"sessions", *path_, "3"}, out, err), 0);
+}
+
+TEST(CliUsage, MentionsEveryCommand)
+{
+    std::string text = usage();
+    for (const char *cmd :
+         {"record", "info", "sessions", "analyze", "session",
+          "EDB_PROFILE"}) {
+        EXPECT_NE(text.find(cmd), std::string::npos) << cmd;
+    }
+}
+
+} // namespace
+} // namespace edb::cli

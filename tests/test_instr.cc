@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Tests for the workload instrumentation layer: Var/StaticVar/Global,
+ * the array wrappers, and the heap Box/HeapArr handles. These are the
+ * "compile-time patches" of our CodePatch analogue, so their event
+ * emission must be exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/instr.h"
+
+namespace edb::workload {
+namespace {
+
+using trace::EventKind;
+
+struct Fixture
+{
+    trace::Tracer tracer{"instr"};
+    Ctx ctx{tracer};
+};
+
+std::size_t
+writesIn(const trace::Trace &t)
+{
+    return (std::size_t)std::count_if(
+        t.events.begin(), t.events.end(),
+        [](const trace::Event &e) { return e.kind == EventKind::Write; });
+}
+
+TEST(Instr, VarEmitsWritesOnMutation)
+{
+    Fixture f;
+    {
+        Scope scope("fn");
+        Var<int> x("x", 5); // init is one write
+        EXPECT_EQ((int)x, 5);
+        x = 7;       // write
+        x += 3;      // write
+        ++x;         // write
+        x *= 2;      // write
+        EXPECT_EQ(x.get(), 22);
+    }
+    trace::Trace t = f.tracer.finish();
+    EXPECT_EQ(t.totalWrites, 5u);
+    EXPECT_EQ(writesIn(t), 5u);
+    // All writes target the variable's 4-byte slot.
+    for (const auto &e : t.events) {
+        if (e.kind == EventKind::Write)
+            EXPECT_EQ(e.size, 4u);
+    }
+}
+
+TEST(Instr, VarReadsAreFree)
+{
+    Fixture f;
+    {
+        Scope scope("fn");
+        Var<int> x("x", 1);
+        int sum = 0;
+        for (int i = 0; i < 100; ++i)
+            sum += x; // reads: no events
+        EXPECT_EQ(sum, 100);
+    }
+    trace::Trace t = f.tracer.finish();
+    EXPECT_EQ(t.totalWrites, 1u); // just the init
+}
+
+TEST(Instr, WriteSiteAttribution)
+{
+    // A Var's writes are attributed to its declaration site (C++
+    // operator= cannot capture the caller's source_location), while
+    // array set() calls record their own call sites.
+    Fixture f;
+    {
+        Scope scope("fn");
+        Var<int> x("x", 0);
+        x = 1;
+        x = 2;
+        LocalArr<int> arr("arr", 4, 0);
+        arr.set(0, 1); // distinct site
+        arr.set(1, 2); // distinct site
+    }
+    trace::Trace t = f.tracer.finish();
+    // Sites: the Var declaration + two arr.set call sites.
+    EXPECT_EQ(t.writeSites.size(), 3u);
+    EXPECT_EQ(t.totalWrites, 5u);
+    // All three Var writes share one pseudo-PC.
+    std::vector<std::uint32_t> var_sites;
+    for (const auto &e : t.events) {
+        if (e.kind == EventKind::Write && e.size == 4 &&
+            var_sites.size() < 3) {
+            var_sites.push_back(e.aux);
+        }
+    }
+    ASSERT_GE(var_sites.size(), 3u);
+    EXPECT_EQ(var_sites[0], var_sites[1]);
+    EXPECT_EQ(var_sites[1], var_sites[2]);
+}
+
+TEST(Instr, GlobalAndStaticLifetimes)
+{
+    Fixture f;
+    Global<long> g("g", 42);
+    {
+        Scope scope("fn");
+        StaticVar<int> s("s", 0);
+        s = 1;
+        g = 43;
+    }
+    {
+        Scope scope("fn");
+        StaticVar<int> s("s", 0); // same static: no new install
+        s += 1;
+        // Its value does NOT reset: statics persist per object
+        // identity... (wrapper value is per-instantiation; the
+        // *traced object* is what persists). The traced event
+        // stream is what we verify:
+    }
+    trace::Trace t = f.tracer.finish();
+    std::size_t installs = 0;
+    for (const auto &e : t.events) {
+        if (e.kind == EventKind::InstallMonitor)
+            ++installs;
+    }
+    // One for the global + one for the static (first execution only).
+    EXPECT_EQ(installs, 2u);
+}
+
+TEST(Instr, LocalArrElementWrites)
+{
+    Fixture f;
+    {
+        Scope scope("fn");
+        LocalArr<double> arr("arr", 8, 0.0);
+        arr.set(3, 2.5);
+        arr.set(7, 1.5);
+        EXPECT_EQ(arr[3], 2.5);
+        EXPECT_EQ(arr.size(), 8u);
+        EXPECT_EQ(arr.addrOf(1) - arr.addrOf(0), sizeof(double));
+    }
+    trace::Trace t = f.tracer.finish();
+    EXPECT_EQ(t.totalWrites, 2u);
+    // The element writes land at distinct offsets within the array.
+    std::vector<Addr> addrs;
+    for (const auto &e : t.events) {
+        if (e.kind == EventKind::Write)
+            addrs.push_back(e.begin);
+    }
+    ASSERT_EQ(addrs.size(), 2u);
+    EXPECT_EQ(addrs[1] - addrs[0], 4 * sizeof(double));
+}
+
+TEST(Instr, GlobalArrCoversItsRange)
+{
+    Fixture f;
+    GlobalArr<int> arr("table", 64, -1);
+    arr.set(0, 10);
+    arr.set(63, 20);
+    trace::Trace t = f.tracer.finish();
+
+    const auto &obj = t.registry.object(0);
+    EXPECT_EQ(obj.size, 64 * sizeof(int));
+    EXPECT_EQ(obj.kind, trace::ObjectKind::GlobalStatic);
+    EXPECT_EQ(arr.range().size(), 64 * sizeof(int));
+}
+
+TEST(Instr, BoxFieldWrites)
+{
+    struct Node
+    {
+        int key;
+        double weight;
+        Box<Node> next;
+    };
+
+    Fixture f;
+    {
+        Scope scope("fn");
+        Box<Node> a = Box<Node>::make("node");
+        Box<Node> b = Box<Node>::make("node");
+        a.put(&Node::key, 1);
+        a.put(&Node::weight, 2.5);
+        a.put(&Node::next, b);
+        EXPECT_EQ(a->key, 1);
+        EXPECT_EQ(a->weight, 2.5);
+        EXPECT_TRUE(a->next == b);
+        b.destroy();
+        a.destroy();
+    }
+    trace::Trace t = f.tracer.finish();
+    // 2 installs, 3 writes, 2 removes.
+    EXPECT_EQ(t.totalWrites, 3u);
+    std::size_t installs = 0, removes = 0;
+    for (const auto &e : t.events) {
+        installs += e.kind == EventKind::InstallMonitor;
+        removes += e.kind == EventKind::RemoveMonitor;
+    }
+    EXPECT_EQ(installs, 2u);
+    EXPECT_EQ(removes, 2u);
+}
+
+TEST(Instr, BoxRawPointerPut)
+{
+    struct Blob
+    {
+        int cells[16];
+    };
+    Fixture f;
+    {
+        Scope scope("fn");
+        Box<Blob> blob = Box<Blob>::make("blob");
+        blob.put(&blob.raw().cells[5], 99);
+        EXPECT_EQ(blob->cells[5], 99);
+    }
+    trace::Trace t = f.tracer.finish();
+    // The write lands at offset 5*4 within the heap object.
+    Addr obj_base = 0;
+    Addr write_at = 0;
+    for (const auto &e : t.events) {
+        if (e.kind == EventKind::InstallMonitor)
+            obj_base = e.begin;
+        if (e.kind == EventKind::Write)
+            write_at = e.begin;
+    }
+    EXPECT_EQ(write_at - obj_base, 20u);
+}
+
+TEST(InstrDeath, BoxPutOutsidePayloadPanics)
+{
+    struct Blob
+    {
+        int cells[4];
+    };
+    Fixture f;
+    Scope scope("fn");
+    Box<Blob> blob = Box<Blob>::make("blob");
+    int outside = 0;
+    EXPECT_DEATH(blob.put(&outside, 1), "outside the payload");
+}
+
+TEST(Instr, HeapArrGrowKeepsIdentity)
+{
+    Fixture f;
+    {
+        Scope scope("fn");
+        HeapArr<int> arr = HeapArr<int>::make("arr", 4, 0);
+        arr.set(0, 1);
+        arr.grow(100);
+        arr.set(99, 7);
+        EXPECT_EQ(arr[99], 7);
+        EXPECT_EQ(arr[0], 1);
+        EXPECT_EQ(arr.size(), 100u);
+        arr.destroy();
+    }
+    trace::Trace t = f.tracer.finish();
+    // Exactly one heap object despite the growth (realloc identity,
+    // paper footnote 4).
+    std::size_t heap_objects = 0;
+    for (const auto &obj : t.registry.objects())
+        heap_objects += obj.kind == trace::ObjectKind::Heap;
+    EXPECT_EQ(heap_objects, 1u);
+}
+
+TEST(Instr, HeapArrSetFieldWritesFieldGranularity)
+{
+    struct Record
+    {
+        int id;
+        double score;
+    };
+    Fixture f;
+    {
+        Scope scope("fn");
+        HeapArr<Record> pool = HeapArr<Record>::make("pool", 4);
+        pool.setField(2, &Record::id, 7);
+        pool.setField(2, &Record::score, 1.5);
+        EXPECT_EQ(pool[2].id, 7);
+        EXPECT_EQ(pool[2].score, 1.5);
+        pool.destroy();
+    }
+    trace::Trace t = f.tracer.finish();
+    // Two field-sized writes at the element's offsets, not two
+    // whole-element writes.
+    std::vector<std::pair<Addr, std::uint32_t>> writes;
+    Addr base = 0;
+    for (const auto &e : t.events) {
+        if (e.kind == EventKind::InstallMonitor)
+            base = e.begin;
+        if (e.kind == EventKind::Write)
+            writes.emplace_back(e.begin, e.size);
+    }
+    ASSERT_EQ(writes.size(), 2u);
+    EXPECT_EQ(writes[0].first - base, 2 * sizeof(Record));
+    EXPECT_EQ(writes[0].second, sizeof(int));
+    EXPECT_EQ(writes[1].first - base,
+              2 * sizeof(Record) + offsetof(Record, score));
+    EXPECT_EQ(writes[1].second, sizeof(double));
+}
+
+TEST(Instr, NestedContextsRestoreOnExit)
+{
+    trace::Tracer outer_tracer("outer");
+    Ctx outer(outer_tracer);
+    outer_tracer.enterFunction("main");
+    {
+        trace::Tracer inner_tracer("inner");
+        Ctx inner(inner_tracer);
+        inner_tracer.enterFunction("main");
+        Var<int> x("x", 1); // records into the inner tracer
+        inner_tracer.exitFunction();
+        (void)inner_tracer.finish();
+    }
+    // Back to the outer context.
+    Var<int> y("y", 2);
+    (void)y;
+    outer_tracer.exitFunction();
+    trace::Trace t = outer_tracer.finish();
+    EXPECT_EQ(t.totalWrites, 1u); // only y's init
+}
+
+TEST(InstrDeath, TracedStateOutsideRunPanics)
+{
+    // Using traced state with no Ctx active is a programming error.
+    EXPECT_DEATH(
+        {
+            trace::Tracer t("x");
+            // no Ctx constructed
+            Global<int> g("g", 0);
+        },
+        "no instrumentation context");
+}
+
+} // namespace
+} // namespace edb::workload

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Integration tests across the full pipeline: workload -> trace ->
+ * file round trip -> sessions -> simulator -> models -> statistics,
+ * plus end-to-end consistency between the live SoftwareWms runtime
+ * and the simulator on the same write stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "report/study.h"
+#include "trace/trace_io.h"
+#include "trace/tracer.h"
+#include "wms/software_wms.h"
+#include "workload/workload.h"
+
+namespace edb {
+namespace {
+
+TEST(Integration, StudySurvivesTraceFileRoundTrip)
+{
+    auto w = workload::makeWorkload("bps");
+    trace::Trace original = workload::runTraced(*w);
+
+    std::stringstream ss;
+    trace::writeTrace(original, ss);
+    trace::Trace loaded = trace::readTrace(ss);
+
+    auto profile = model::sparcStation2();
+    report::ProgramStudy a = report::studyTrace(original, profile);
+    report::ProgramStudy b = report::studyTrace(loaded, profile);
+
+    ASSERT_EQ(a.activeSessions.size(), b.activeSessions.size());
+    EXPECT_EQ(a.totalWrites, b.totalWrites);
+    for (std::size_t s = 0; s < 5; ++s) {
+        EXPECT_DOUBLE_EQ(a.overheadStats[s].mean,
+                         b.overheadStats[s].mean);
+        EXPECT_DOUBLE_EQ(a.overheadStats[s].max,
+                         b.overheadStats[s].max);
+    }
+}
+
+/**
+ * Replay a trace's write stream through the live SoftwareWms with
+ * one session's monitors installed: its hit count must equal the
+ * simulator's MonitorHit_sigma for that session. This ties the
+ * modeled CodePatch strategy to the shipping runtime implementation.
+ */
+TEST(Integration, SoftwareWmsAgreesWithSimulatorPerSession)
+{
+    auto w = workload::makeWorkload("spice");
+    trace::Trace t = workload::runTraced(*w);
+    auto sessions = session::SessionSet::enumerate(t);
+    sim::SimResult sim_result = sim::simulate(t, sessions);
+
+    // Pick a handful of interesting sessions: largest hit counts of
+    // each type.
+    std::vector<session::SessionId> picks;
+    for (std::size_t type = 0; type < session::sessionTypeCount;
+         ++type) {
+        session::SessionId best = 0;
+        std::uint64_t best_hits = 0;
+        for (const auto &s : sessions.sessions()) {
+            if ((std::size_t)s.type != type)
+                continue;
+            if (sim_result.counters[s.id].hits >= best_hits) {
+                best_hits = sim_result.counters[s.id].hits;
+                best = s.id;
+            }
+        }
+        if (best_hits > 0)
+            picks.push_back(best);
+    }
+    ASSERT_FALSE(picks.empty());
+
+    for (session::SessionId sid : picks) {
+        wms::SoftwareWms live;
+        auto in_session = [&](trace::ObjectId obj) {
+            const auto &of = sessions.sessionsOf(obj);
+            return std::binary_search(of.begin(), of.end(), sid);
+        };
+        std::uint64_t live_hits = 0;
+        for (const auto &e : t.events) {
+            switch (e.kind) {
+              case trace::EventKind::InstallMonitor:
+                if (in_session(e.aux))
+                    live.installMonitor(e.range());
+                break;
+              case trace::EventKind::RemoveMonitor:
+                if (in_session(e.aux))
+                    live.removeMonitor(e.range());
+                break;
+              case trace::EventKind::Write:
+                live_hits += live.checkWrite(e.range()) ? 1 : 0;
+                break;
+            }
+        }
+        EXPECT_EQ(live_hits, sim_result.counters[sid].hits)
+            << sessions.describe(sid, t);
+    }
+}
+
+TEST(Integration, HeadlineResultOrderingHolds)
+{
+    // The paper's conclusions, as executable assertions, on a real
+    // workload under the paper's timing profile:
+    //  1. CodePatch is far cheaper than TrapPatch (both low
+    //     variance).
+    //  2. NativeHardware has the best typical (trimmed-mean) cost.
+    //  3. CodePatch beats NativeHardware on the most demanding
+    //     sessions (max).
+    //  4. VirtualMemory is unacceptably slow for many sessions.
+    auto w = workload::makeWorkload("qcd");
+    trace::Trace t = workload::runTraced(*w);
+    auto study = report::studyTrace(t, model::sparcStation2());
+
+    auto stat = [&](model::Strategy s) {
+        return study.overheadStats[(std::size_t)s];
+    };
+    using model::Strategy;
+
+    // (1)
+    EXPECT_LT(stat(Strategy::CodePatch).mean,
+              stat(Strategy::TrapPatch).mean / 10);
+    EXPECT_LT(stat(Strategy::CodePatch).max -
+                  stat(Strategy::CodePatch).min,
+              5.0);
+    // (2)
+    EXPECT_LT(stat(Strategy::NativeHardware).tmean,
+              stat(Strategy::CodePatch).tmean);
+    // (3)
+    EXPECT_LT(stat(Strategy::CodePatch).max,
+              stat(Strategy::NativeHardware).max);
+    // (4)
+    EXPECT_GT(stat(Strategy::VirtualMemory4K).p90, 50.0);
+    // And VM-8K never beats VM-4K on misses.
+    EXPECT_GE(stat(Strategy::VirtualMemory8K).mean,
+              stat(Strategy::VirtualMemory4K).mean * 0.999);
+}
+
+TEST(Integration, DerivedBaseTimesLandNearPaperMagnitudes)
+{
+    // With each workload's write fraction and the SS2 execution
+    // rate, derived base times must be the same order as Table 1
+    // (0.8s - 4.5s).
+    for (auto name : workload::workloadNames()) {
+        auto w = workload::makeWorkload(name);
+        trace::Trace t = workload::runTraced(*w);
+        double base_us =
+            model::derivedBaseUs(t.estimatedInstructions,
+                                 model::sparcStation2());
+        EXPECT_GT(base_us, 0.3e6) << name;
+        EXPECT_LT(base_us, 10e6) << name;
+    }
+}
+
+TEST(Integration, StudyAllWorkloadsProducesFullTable4Population)
+{
+    for (auto name : workload::workloadNames()) {
+        auto w = workload::makeWorkload(name);
+        trace::Trace t = workload::runTraced(*w);
+        auto study = report::studyTrace(t, model::sparcStation2());
+        EXPECT_GT(study.activeSessions.size(), 10u) << name;
+        for (std::size_t s = 0; s < 5; ++s) {
+            EXPECT_GT(study.overheadStats[s].max, 0.0)
+                << name << " strategy " << s;
+            EXPECT_GE(study.overheadStats[s].p98,
+                      study.overheadStats[s].p90)
+                << name;
+            EXPECT_GE(study.overheadStats[s].max,
+                      study.overheadStats[s].p98)
+                << name;
+            EXPECT_GE(study.overheadStats[s].mean,
+                      study.overheadStats[s].min)
+                << name;
+        }
+    }
+}
+
+} // namespace
+} // namespace edb

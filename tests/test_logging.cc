@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the logging/error primitives: message shapes, exit
+ * behaviour (fatal exits, panic aborts), assertion macro semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/vaspace.h"
+#include "util/logging.h"
+
+namespace edb {
+namespace {
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(EDB_FATAL("user error %d", 42),
+                ::testing::ExitedWithCode(1), "fatal:.*user error 42");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(EDB_PANIC("internal bug %s", "here"),
+                 "panic:.*internal bug here");
+}
+
+TEST(LoggingDeath, AssertMessageIncludesConditionText)
+{
+    int x = 3;
+    EXPECT_DEATH(EDB_ASSERT(x == 4, "x was %d", x),
+                 "assertion 'x == 4' failed. x was 3");
+}
+
+TEST(LoggingDeath, AssertWithoutMessage)
+{
+    EXPECT_DEATH(EDB_ASSERT(false), "assertion 'false' failed");
+}
+
+TEST(Logging, AssertPassesSilently)
+{
+    // No output, no death.
+    EDB_ASSERT(1 + 1 == 2, "arithmetic broke");
+    SUCCEED();
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("this is a %s", "warning");
+    inform("status %d", 7);
+    SUCCEED();
+}
+
+TEST(VaspaceDeath, LocalOutsideFramePanics)
+{
+    trace::VirtualAddressSpace vas;
+    EXPECT_DEATH((void)vas.allocLocal(8), "outside any frame");
+}
+
+TEST(VaspaceDeath, UnderflowPopPanics)
+{
+    trace::VirtualAddressSpace vas;
+    EXPECT_DEATH(vas.popFrame(), "empty stack");
+}
+
+TEST(VaspaceDeath, ZeroSizeAllocationsPanic)
+{
+    trace::VirtualAddressSpace vas;
+    EXPECT_DEATH((void)vas.allocGlobal(0), "zero-size");
+    EXPECT_DEATH((void)vas.allocHeap(0), "zero-size");
+}
+
+TEST(VaspaceDeath, GlobalSegmentOverflowPanics)
+{
+    trace::VirtualAddressSpace vas;
+    // The global segment spans [globalBase, heapBase); exhaust it.
+    EXPECT_DEATH(
+        {
+            for (int i = 0; i < 1024; ++i)
+                (void)vas.allocGlobal(1 << 20);
+        },
+        "global segment overflow");
+}
+
+} // namespace
+} // namespace edb

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit and property tests for the monitor indexes: the paper's
+ * page-bitmap hash (MonitorIndex) and the two ablation structures,
+ * all checked against a brute-force oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+#include "wms/alt_index.h"
+#include "wms/monitor_index.h"
+
+namespace edb::wms {
+namespace {
+
+TEST(MonitorIndex, EmptyLookupMisses)
+{
+    MonitorIndex idx;
+    EXPECT_FALSE(idx.lookup(AddrRange(0x1000, 0x1004)));
+    EXPECT_FALSE(idx.lookupByte(0x1000));
+    EXPECT_EQ(idx.monitorCount(), 0u);
+    EXPECT_EQ(idx.pageCount(), 0u);
+}
+
+TEST(MonitorIndex, InstallLookupRemove)
+{
+    MonitorIndex idx;
+    idx.install(AddrRange(0x1000, 0x1010));
+    EXPECT_EQ(idx.monitorCount(), 1u);
+    EXPECT_TRUE(idx.lookup(AddrRange(0x1000, 0x1004)));
+    EXPECT_TRUE(idx.lookup(AddrRange(0x100c, 0x1010)));
+    EXPECT_TRUE(idx.lookupByte(0x100f));
+    EXPECT_FALSE(idx.lookup(AddrRange(0x1010, 0x1014)));
+    EXPECT_FALSE(idx.lookup(AddrRange(0x0ff0, 0x1000)));
+
+    idx.remove(AddrRange(0x1000, 0x1010));
+    EXPECT_EQ(idx.monitorCount(), 0u);
+    EXPECT_FALSE(idx.lookup(AddrRange(0x1000, 0x1004)));
+    EXPECT_EQ(idx.pageCount(), 0u);
+}
+
+TEST(MonitorIndex, WordGranularity)
+{
+    // Sub-word monitors cover their whole word (paper footnote 7).
+    MonitorIndex idx;
+    idx.install(AddrRange(0x1001, 0x1002));
+    EXPECT_TRUE(idx.lookupByte(0x1000));
+    EXPECT_TRUE(idx.lookupByte(0x1003));
+    EXPECT_FALSE(idx.lookupByte(0x1004));
+    idx.remove(AddrRange(0x1001, 0x1002));
+    EXPECT_FALSE(idx.lookupByte(0x1000));
+}
+
+TEST(MonitorIndex, WriteSpanningMonitorEdge)
+{
+    MonitorIndex idx;
+    idx.install(AddrRange(0x1000, 0x1008));
+    // A write straddling the end of the monitor still hits.
+    EXPECT_TRUE(idx.lookup(AddrRange(0x1004, 0x100c)));
+    // A write fully before it misses.
+    EXPECT_FALSE(idx.lookup(AddrRange(0x0ffc, 0x1000)));
+}
+
+TEST(MonitorIndex, PageSpanningMonitor)
+{
+    MonitorIndex idx(4096);
+    idx.install(AddrRange(0x1ff0, 0x2010)); // spans pages 1 and 2
+    EXPECT_TRUE(idx.pageMonitored(1));
+    EXPECT_TRUE(idx.pageMonitored(2));
+    EXPECT_EQ(idx.monitorsOnPage(1), 1u);
+    EXPECT_EQ(idx.monitorsOnPage(2), 1u);
+    EXPECT_TRUE(idx.lookup(AddrRange(0x1ff0, 0x1ff4)));
+    EXPECT_TRUE(idx.lookup(AddrRange(0x200c, 0x2010)));
+    EXPECT_FALSE(idx.lookup(AddrRange(0x2010, 0x2014)));
+    idx.remove(AddrRange(0x1ff0, 0x2010));
+    EXPECT_FALSE(idx.pageMonitored(1));
+    EXPECT_FALSE(idx.pageMonitored(2));
+}
+
+TEST(MonitorIndex, OverlappingMonitorsRefcount)
+{
+    MonitorIndex idx;
+    idx.install(AddrRange(0x1000, 0x1020));
+    idx.install(AddrRange(0x1010, 0x1030));
+    EXPECT_EQ(idx.monitorCount(), 2u);
+
+    // Removing one monitor must keep the other's words monitored,
+    // including the shared words.
+    idx.remove(AddrRange(0x1000, 0x1020));
+    EXPECT_TRUE(idx.lookupByte(0x1010));
+    EXPECT_TRUE(idx.lookupByte(0x102f));
+    EXPECT_FALSE(idx.lookupByte(0x1000));
+
+    idx.remove(AddrRange(0x1010, 0x1030));
+    EXPECT_FALSE(idx.lookupByte(0x1010));
+    EXPECT_EQ(idx.pageCount(), 0u);
+}
+
+TEST(MonitorIndex, DuplicateInstallsRefcount)
+{
+    MonitorIndex idx;
+    idx.install(AddrRange(0x1000, 0x1004));
+    idx.install(AddrRange(0x1000, 0x1004));
+    idx.remove(AddrRange(0x1000, 0x1004));
+    EXPECT_TRUE(idx.lookupByte(0x1000));
+    idx.remove(AddrRange(0x1000, 0x1004));
+    EXPECT_FALSE(idx.lookupByte(0x1000));
+}
+
+TEST(MonitorIndex, GenerationBumps)
+{
+    MonitorIndex idx;
+    auto g0 = idx.generation();
+    idx.install(AddrRange(0x1000, 0x1004));
+    auto g1 = idx.generation();
+    EXPECT_GT(g1, g0);
+    idx.remove(AddrRange(0x1000, 0x1004));
+    EXPECT_GT(idx.generation(), g1);
+}
+
+TEST(MonitorIndex, ClearRemovesEverything)
+{
+    MonitorIndex idx;
+    idx.install(AddrRange(0x1000, 0x1100));
+    idx.install(AddrRange(0x9000, 0x9004));
+    idx.clear();
+    EXPECT_EQ(idx.monitorCount(), 0u);
+    EXPECT_FALSE(idx.lookupByte(0x1000));
+    EXPECT_FALSE(idx.lookupByte(0x9000));
+}
+
+TEST(MonitorIndex, NonDefaultPageSize)
+{
+    MonitorIndex idx(8192);
+    idx.install(AddrRange(0x1000, 0x1004));
+    EXPECT_TRUE(idx.pageMonitored(0x1000 / 8192));
+    EXPECT_TRUE(idx.lookupByte(0x1000));
+}
+
+TEST(MonitorIndexDeath, RemoveWithoutInstallPanics)
+{
+    MonitorIndex idx;
+    idx.install(AddrRange(0x2000, 0x2004));
+    EXPECT_DEATH(idx.remove(AddrRange(0x9000, 0x9004)), "");
+}
+
+/**
+ * Brute-force oracle: a list of ranges, intersection by scan over
+ * word-aligned hulls.
+ */
+class OracleIndex
+{
+  public:
+    void install(const AddrRange &r) { ranges_.push_back(r); }
+
+    void
+    remove(const AddrRange &r)
+    {
+        for (std::size_t i = 0; i < ranges_.size(); ++i) {
+            if (ranges_[i] == r) {
+                ranges_.erase(ranges_.begin() + (std::ptrdiff_t)i);
+                return;
+            }
+        }
+        FAIL() << "oracle remove without install";
+    }
+
+    bool
+    lookup(const AddrRange &r) const
+    {
+        AddrRange hull(wordAlignDown(r.begin), wordAlignUp(r.end));
+        for (const AddrRange &m : ranges_) {
+            AddrRange mh(wordAlignDown(m.begin), wordAlignUp(m.end));
+            if (mh.intersects(hull))
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    std::vector<AddrRange> ranges_;
+};
+
+/** Random word-aligned range within a compact arena. */
+AddrRange
+randomRange(Rng &rng, Addr arena_base, Addr arena_size)
+{
+    Addr size = wordBytes * (1 + rng.below(64));
+    Addr begin =
+        arena_base + wordAlignDown(rng.below(arena_size - size));
+    return AddrRange(begin, begin + size);
+}
+
+/**
+ * Property test harness shared by the three index implementations:
+ * random interleaved installs/removes/lookups, compared against the
+ * oracle at every step.
+ */
+template <typename Index>
+void
+runAgainstOracle(std::uint64_t seed, bool word_granular)
+{
+    Rng rng(seed);
+    Index idx;
+    OracleIndex oracle;
+    std::vector<AddrRange> live;
+
+    constexpr Addr arena_base = 0x40000000;
+    constexpr Addr arena_size = 1 << 16;
+
+    for (int step = 0; step < 2000; ++step) {
+        double action = rng.uniform();
+        if (action < 0.35 || live.empty()) {
+            AddrRange r = randomRange(rng, arena_base, arena_size);
+            idx.install(r);
+            oracle.install(r);
+            live.push_back(r);
+        } else if (action < 0.55) {
+            std::size_t pick = rng.below(live.size());
+            AddrRange r = live[pick];
+            live.erase(live.begin() + (std::ptrdiff_t)pick);
+            idx.remove(r);
+            oracle.remove(r);
+        } else {
+            AddrRange probe = randomRange(rng, arena_base, arena_size);
+            bool expected = word_granular
+                                ? oracle.lookup(probe)
+                                : oracle.lookup(probe);
+            ASSERT_EQ(idx.lookup(probe), expected)
+                << "step " << step << " probe " << probe.str();
+        }
+    }
+}
+
+class IndexPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(IndexPropertyTest, BitmapIndexMatchesOracle)
+{
+    runAgainstOracle<MonitorIndex>(GetParam(), true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+/**
+ * The ablation structures are exact-range (not word-granular), so
+ * they get word-aligned inputs, making all three implementations
+ * semantically identical.
+ */
+template <typename Index>
+void
+runAlignedAgainstOracle(std::uint64_t seed)
+{
+    runAgainstOracle<Index>(seed, false);
+}
+
+class AltIndexPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AltIndexPropertyTest, SortedRangeIndexMatchesOracle)
+{
+    runAlignedAgainstOracle<SortedRangeIndex>(GetParam());
+}
+
+TEST_P(AltIndexPropertyTest, TreeIndexMatchesOracle)
+{
+    runAlignedAgainstOracle<TreeIndex>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AltIndexPropertyTest,
+                         ::testing::Values(4, 7, 11, 18, 29));
+
+/** The bitmap index must be page-size agnostic in semantics. */
+class PageSizeProperty : public ::testing::TestWithParam<Addr>
+{
+};
+
+TEST_P(PageSizeProperty, SemanticsIndependentOfPageSize)
+{
+    Rng rng(0xfeed + GetParam());
+    MonitorIndex idx(GetParam());
+    OracleIndex oracle;
+    std::vector<AddrRange> live;
+
+    for (int step = 0; step < 800; ++step) {
+        double action = rng.uniform();
+        if (action < 0.35 || live.empty()) {
+            AddrRange r = randomRange(rng, 0x100000, 1 << 14);
+            idx.install(r);
+            oracle.install(r);
+            live.push_back(r);
+        } else if (action < 0.55) {
+            std::size_t pick = rng.below(live.size());
+            idx.remove(live[pick]);
+            oracle.remove(live[pick]);
+            live.erase(live.begin() + (std::ptrdiff_t)pick);
+        } else {
+            AddrRange probe = randomRange(rng, 0x100000, 1 << 14);
+            ASSERT_EQ(idx.lookup(probe), oracle.lookup(probe))
+                << "page size " << GetParam() << " step " << step;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PageSizeProperty,
+                         ::testing::Values(256, 1024, 4096, 8192,
+                                           65536));
+
+TEST(AltIndex, SortedRangeBasics)
+{
+    SortedRangeIndex idx;
+    idx.install(AddrRange(0x1000, 0x1010));
+    idx.install(AddrRange(0x2000, 0x2004));
+    EXPECT_TRUE(idx.lookup(AddrRange(0x1008, 0x100c)));
+    EXPECT_TRUE(idx.lookup(AddrRange(0x0ffc, 0x1004)));
+    EXPECT_FALSE(idx.lookup(AddrRange(0x1800, 0x1804)));
+    idx.remove(AddrRange(0x1000, 0x1010));
+    EXPECT_FALSE(idx.lookup(AddrRange(0x1008, 0x100c)));
+    EXPECT_EQ(idx.monitorCount(), 1u);
+}
+
+TEST(AltIndex, TreeBasics)
+{
+    TreeIndex idx;
+    idx.install(AddrRange(0x1000, 0x1010));
+    idx.install(AddrRange(0x2000, 0x2004));
+    EXPECT_TRUE(idx.lookup(AddrRange(0x1008, 0x100c)));
+    EXPECT_TRUE(idx.lookup(AddrRange(0x0ffc, 0x1004)));
+    EXPECT_FALSE(idx.lookup(AddrRange(0x1800, 0x1804)));
+    idx.remove(AddrRange(0x2000, 0x2004));
+    EXPECT_FALSE(idx.lookup(AddrRange(0x2000, 0x2004)));
+}
+
+} // namespace
+} // namespace edb::wms

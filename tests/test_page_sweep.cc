@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the page-size sweep extension: its 4K/8K columns must
+ * equal the main simulator's, and the scaling invariants must hold
+ * across arbitrary sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/page_sweep.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace edb::sim {
+namespace {
+
+TEST(PageSweep, MatchesMainSimulatorAt4KAnd8K)
+{
+    auto w = workload::makeWorkload("bps");
+    trace::Trace t = workload::runTraced(*w);
+    auto sessions = session::SessionSet::enumerate(t);
+    SimResult main_sim = simulate(t, sessions);
+
+    PageSweepResult sweep =
+        sweepPageSizes(t, sessions, {4096, 8192});
+
+    for (session::SessionId s = 0; s < sessions.size(); ++s) {
+        for (std::size_t i = 0; i < 2; ++i) {
+            EXPECT_EQ(sweep.counters[i][s].protects,
+                      main_sim.counters[s].vm[i].protects)
+                << sessions.describe(s, t);
+            EXPECT_EQ(sweep.counters[i][s].unprotects,
+                      main_sim.counters[s].vm[i].unprotects)
+                << sessions.describe(s, t);
+            EXPECT_EQ(sweep.counters[i][s].activePageMisses,
+                      main_sim.counters[s].vm[i].activePageMisses)
+                << sessions.describe(s, t);
+        }
+    }
+}
+
+TEST(PageSweep, MonotoneInvariantsAcrossSizes)
+{
+    auto w = workload::makeWorkload("spice");
+    trace::Trace t = workload::runTraced(*w);
+    auto sessions = session::SessionSet::enumerate(t);
+
+    const std::vector<Addr> sizes = {512, 2048, 8192, 32768};
+    PageSweepResult sweep = sweepPageSizes(t, sessions, sizes);
+
+    for (session::SessionId s = 0; s < sessions.size(); ++s) {
+        for (std::size_t i = 1; i < sizes.size(); ++i) {
+            // Coarser pages: at least as many active-page misses,
+            // at most as many protect transitions.
+            EXPECT_GE(sweep.counters[i][s].activePageMisses,
+                      sweep.counters[i - 1][s].activePageMisses)
+                << sessions.describe(s, t) << " size " << sizes[i];
+            EXPECT_LE(sweep.counters[i][s].protects,
+                      sweep.counters[i - 1][s].protects)
+                << sessions.describe(s, t) << " size " << sizes[i];
+            // Transitions always balance.
+            EXPECT_EQ(sweep.counters[i][s].protects,
+                      sweep.counters[i][s].unprotects);
+        }
+    }
+}
+
+TEST(PageSweepDeath, RejectsNonPowerOfTwo)
+{
+    trace::Trace t;
+    t.program = "x";
+    auto sessions = session::SessionSet::enumerate(t);
+    EXPECT_DEATH((void)sweepPageSizes(t, sessions, {3000}),
+                 "power of two");
+}
+
+} // namespace
+} // namespace edb::sim

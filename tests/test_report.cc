@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the table and figure renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/figure.h"
+#include "report/table.h"
+
+namespace edb::report {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable table;
+    table.header({"Program", "Sessions", "Overhead"});
+    table.row({"gcc", "1616", "85.79"});
+    table.row({"bps", "5995", "53.11"});
+    std::string out = table.render();
+
+    // Header present, separator line, both rows.
+    EXPECT_NE(out.find("Program"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_NE(out.find("gcc"), std::string::npos);
+    EXPECT_NE(out.find("53.11"), std::string::npos);
+
+    // Every line has the same length (fixed-width rendering).
+    std::size_t expected = out.find('\n');
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        std::size_t next = out.find('\n', pos);
+        ASSERT_NE(next, std::string::npos);
+        // Rows may be shorter only through trailing-space trimming,
+        // which we do not do; require exact width.
+        EXPECT_EQ(next - pos, expected);
+        pos = next + 1;
+    }
+}
+
+TEST(TextTable, SeparatorRows)
+{
+    TextTable table;
+    table.header({"A", "B"});
+    table.row({"1", "2"});
+    table.separator();
+    table.row({"3", "4"});
+    std::string out = table.render();
+    // Two separator lines: one under the header, one explicit.
+    std::size_t first = out.find("---");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_NE(out.find("---", first + 3), std::string::npos);
+}
+
+TEST(TextTable, NumbersRightAligned)
+{
+    TextTable table;
+    table.header({"Name", "Value"});
+    table.row({"x", "7"});
+    table.row({"y", "12345"});
+    std::string out = table.render();
+    // "7" must be right-aligned under "Value": padded on the left.
+    EXPECT_NE(out.find("    7"), std::string::npos);
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmtCount(1234567), "1234567");
+}
+
+TEST(TextTableDeath, MismatchedRowPanics)
+{
+    TextTable table;
+    table.header({"A", "B"});
+    EXPECT_DEATH(table.row({"only-one"}), "cells");
+}
+
+TEST(BarChart, RendersAllSeriesAndGroups)
+{
+    BarChart chart;
+    chart.title = "Figure 7: Maximum relative overhead";
+    chart.series = {"NH", "VM-4K", "TP", "CP"};
+    chart.groups = {
+        {"gcc", {10.45, 102.76, 87.94, 4.58}},
+        {"bps", {28.16, 158.96, 53.99, 2.09}},
+    };
+    std::string out = chart.render();
+    for (const char *needle :
+         {"Figure 7", "gcc", "bps", "NH", "VM-4K", "TP", "CP",
+          "102.76", "2.09", "#"}) {
+        EXPECT_NE(out.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(BarChart, LogScaleOrdersBarLengths)
+{
+    BarChart chart;
+    chart.title = "t";
+    chart.series = {"small", "large"};
+    chart.groups = {{"g", {1.0, 100.0}}};
+    std::string out = chart.render();
+
+    auto bar_len = [&out](const char *label) {
+        std::size_t at = out.find(label);
+        EXPECT_NE(at, std::string::npos);
+        std::size_t bar = out.find('|', at);
+        std::size_t n = 0;
+        for (std::size_t i = bar + 1; i < out.size() && out[i] == '#';
+             ++i)
+            ++n;
+        return n;
+    };
+    EXPECT_GT(bar_len("large"), bar_len("small"));
+    EXPECT_GE(bar_len("small"), 1u);
+}
+
+TEST(BarChart, ValuesAtOrBelowFloorGetNoBar)
+{
+    BarChart chart;
+    chart.title = "t";
+    chart.series = {"zero", "big"};
+    chart.groups = {{"g", {0.0, 50.0}}};
+    std::string out = chart.render();
+    std::size_t at = out.find("zero");
+    std::size_t bar = out.find('|', at);
+    EXPECT_NE(out[bar + 1], '#');
+}
+
+} // namespace
+} // namespace edb::report

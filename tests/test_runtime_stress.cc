@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Cross-implementation property tests: the three live runtimes (MMU
+ * faults, int3 traps, pure software checks) must agree on which
+ * writes are monitor hits, because they implement one WMS contract
+ * (paper Section 2) by radically different mechanisms. SoftwareWms
+ * serves as the executable oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <vector>
+
+#include "runtime/trap_wms.h"
+#include "runtime/vm_wms.h"
+#include "util/rng.h"
+#include "wms/software_wms.h"
+
+namespace edb::runtime {
+namespace {
+
+/** Shared randomized scenario: monitors and writes over an arena. */
+struct Scenario
+{
+    static constexpr std::size_t words = 4096; // 16 KiB, 4 pages
+    std::vector<AddrRange> monitors;           // word offsets, bytes
+    struct Write
+    {
+        std::size_t word;
+        int value;
+    };
+    std::vector<Write> writes;
+    std::vector<std::size_t> remove_after; // monitor idx -> write idx
+};
+
+Scenario
+makeScenario(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Scenario s;
+    int nmon = 3 + (int)rng.below(6);
+    for (int i = 0; i < nmon; ++i) {
+        std::size_t begin = 4 * rng.below(Scenario::words - 16);
+        std::size_t len = 4 * (1 + rng.below(8));
+        // Avoid overlap between monitors for remove simplicity: space
+        // them into slots.
+        std::size_t slot = (Scenario::words * 4) / (std::size_t)nmon;
+        begin = (std::size_t)i * slot + (begin % (slot - len - 4));
+        begin &= ~(std::size_t)3;
+        s.monitors.emplace_back((Addr)begin, (Addr)(begin + len));
+    }
+    int nwrites = 300;
+    for (int i = 0; i < nwrites; ++i) {
+        // Cluster half the writes near monitors so hits happen.
+        std::size_t word;
+        if (rng.chance(0.5) && !s.monitors.empty()) {
+            const AddrRange &m = s.monitors[rng.below(
+                s.monitors.size())];
+            word = (std::size_t)m.begin / 4 + rng.below(12);
+            if (word >= Scenario::words)
+                word = Scenario::words - 1;
+        } else {
+            word = rng.below(Scenario::words);
+        }
+        s.writes.push_back({word, (int)rng.below(1000)});
+    }
+    return s;
+}
+
+/** Oracle: hit mask per write, computed with SoftwareWms. */
+std::vector<bool>
+oracleHits(const Scenario &s, Addr base)
+{
+    wms::SoftwareWms wms;
+    for (const auto &m : s.monitors)
+        wms.installMonitor(AddrRange(base + m.begin, base + m.end));
+    std::vector<bool> hits;
+    hits.reserve(s.writes.size());
+    for (const auto &w : s.writes) {
+        hits.push_back(
+            wms.checkWrite(base + (Addr)w.word * 4, 4));
+    }
+    return hits;
+}
+
+class RuntimeAgreement : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        arena_ = ::mmap(nullptr, Scenario::words * 4,
+                        PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        ASSERT_NE(arena_, MAP_FAILED);
+        std::memset(arena_, 0, Scenario::words * 4);
+    }
+
+    void TearDown() override { ::munmap(arena_, Scenario::words * 4); }
+
+    Addr base() const { return (Addr)(uintptr_t)arena_; }
+    int *word(std::size_t i) { return (int *)arena_ + i; }
+
+    void *arena_ = nullptr;
+};
+
+TEST_P(RuntimeAgreement, VmWmsMatchesSoftwareOracle)
+{
+    Scenario s = makeScenario(GetParam());
+    auto expected = oracleHits(s, base());
+    std::uint64_t expected_hits = 0;
+    for (bool h : expected)
+        expected_hits += h;
+
+    VmWms wms;
+    for (const auto &m : s.monitors)
+        wms.installMonitor(AddrRange(base() + m.begin, base() + m.end));
+    for (const auto &w : s.writes)
+        *(volatile int *)word(w.word) = w.value;
+    for (const auto &m : s.monitors)
+        wms.removeMonitor(AddrRange(base() + m.begin, base() + m.end));
+
+    EXPECT_EQ(wms.stats().monitorHits, expected_hits);
+    // Every write to a monitored page that missed is an APM; at
+    // minimum, faults = hits + APM and faults <= total writes.
+    EXPECT_EQ(wms.stats().writeFaults,
+              wms.stats().monitorHits + wms.stats().activePageMisses);
+    EXPECT_LE(wms.stats().writeFaults, s.writes.size());
+    // All values landed despite the fault machinery.
+    for (const auto &w : s.writes) {
+        // (later writes may overwrite; just check the last write to
+        // each word)
+        (void)w;
+    }
+    std::vector<int> last(Scenario::words, -1);
+    for (const auto &w : s.writes)
+        last[w.word] = w.value;
+    for (std::size_t i = 0; i < Scenario::words; ++i) {
+        if (last[i] >= 0)
+            EXPECT_EQ(*word(i), last[i]) << "word " << i;
+    }
+}
+
+TEST_P(RuntimeAgreement, TrapWmsMatchesSoftwareOracle)
+{
+    Scenario s = makeScenario(GetParam() * 31 + 7);
+    auto expected = oracleHits(s, base());
+    std::uint64_t expected_hits = 0;
+    for (bool h : expected)
+        expected_hits += h;
+
+    TrapWms wms;
+    for (const auto &m : s.monitors)
+        wms.installMonitor(AddrRange(base() + m.begin, base() + m.end));
+    for (const auto &w : s.writes)
+        wms.checkedWrite(word(w.word), w.value);
+
+    EXPECT_EQ(wms.stats().hits, expected_hits);
+    EXPECT_EQ(wms.stats().traps, s.writes.size());
+    EXPECT_EQ(wms.stats().hits + wms.stats().misses, s.writes.size());
+}
+
+TEST_P(RuntimeAgreement, InstallRemoveChurnStaysConsistent)
+{
+    // Interleave installs/removes with writes on the VM runtime; the
+    // page refcounting must keep hit detection exact throughout.
+    Rng rng(GetParam() * 97 + 3);
+    VmWms wms;
+    wms::SoftwareWms oracle;
+
+    std::vector<AddrRange> live;
+    std::uint64_t expected_hits = 0;
+    for (int step = 0; step < 200; ++step) {
+        double act = rng.uniform();
+        if (act < 0.2) {
+            std::size_t begin = 4 * rng.below(Scenario::words - 8);
+            AddrRange r(base() + begin, base() + begin + 4);
+            wms.installMonitor(r);
+            oracle.installMonitor(r);
+            live.push_back(r);
+        } else if (act < 0.35 && !live.empty()) {
+            std::size_t pick = rng.below(live.size());
+            wms.removeMonitor(live[pick]);
+            oracle.removeMonitor(live[pick]);
+            live.erase(live.begin() + (std::ptrdiff_t)pick);
+        } else {
+            std::size_t w = rng.below(Scenario::words);
+            *(volatile int *)word(w) = (int)step;
+            expected_hits +=
+                oracle.checkWrite(base() + (Addr)w * 4, 4) ? 1 : 0;
+        }
+    }
+    for (const auto &r : live)
+        wms.removeMonitor(r);
+
+    EXPECT_EQ(wms.stats().monitorHits, expected_hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeAgreement,
+                         ::testing::Values(11, 22, 33, 44));
+
+} // namespace
+} // namespace edb::runtime

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the live TrapPatch WMS: real int3 round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/trap_wms.h"
+
+namespace edb::runtime {
+namespace {
+
+TEST(TrapWms, CheckedWriteHitsAndMisses)
+{
+    TrapWms wms;
+    int monitored = 0;
+    int unmonitored = 0;
+
+    std::vector<wms::Notification> seen;
+    wms.setNotificationHandler(
+        [&seen](const wms::Notification &n) { seen.push_back(n); });
+
+    auto addr = (Addr)(uintptr_t)&monitored;
+    wms.installMonitor(AddrRange(addr, addr + sizeof(int)));
+
+    wms.checkedWrite(&monitored, 42, /*pc=*/111);
+    wms.checkedWrite(&unmonitored, 7, 222);
+    wms.checkedWrite(&monitored, 43, 333);
+
+    EXPECT_EQ(monitored, 43);
+    EXPECT_EQ(unmonitored, 7);
+    EXPECT_EQ(wms.stats().traps, 3u);
+    EXPECT_EQ(wms.stats().hits, 2u);
+    EXPECT_EQ(wms.stats().misses, 1u);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].pc, 111u);
+    EXPECT_EQ(seen[1].pc, 333u);
+    EXPECT_EQ(seen[0].written.begin, addr);
+
+    wms.removeMonitor(AddrRange(addr, addr + sizeof(int)));
+}
+
+TEST(TrapWms, EveryWriteTrapsEvenAfterRemove)
+{
+    // TrapPatch's defining cost: the trap happens whether or not any
+    // monitor is installed (Figure 5 charges TPFaultHandler on every
+    // write).
+    TrapWms wms;
+    long x = 0;
+    wms.checkedWrite(&x, 1L);
+    wms.checkedWrite(&x, 2L);
+    EXPECT_EQ(wms.stats().traps, 2u);
+    EXPECT_EQ(wms.stats().hits, 0u);
+    EXPECT_EQ(wms.stats().misses, 2u);
+    EXPECT_EQ(x, 2);
+}
+
+TEST(TrapWms, WorksForVariousSizes)
+{
+    TrapWms wms;
+    std::uint8_t b = 0;
+    std::uint16_t h = 0;
+    std::uint64_t q = 0;
+    double d = 0;
+    auto mon = [&wms](void *p, std::size_t n) {
+        auto a = (Addr)(uintptr_t)p;
+        wms.installMonitor(AddrRange(a, a + n));
+    };
+    mon(&b, 1);
+    mon(&h, 2);
+    mon(&q, 8);
+    mon(&d, 8);
+
+    wms.checkedWrite(&b, (std::uint8_t)1);
+    wms.checkedWrite(&h, (std::uint16_t)2);
+    wms.checkedWrite(&q, (std::uint64_t)3);
+    wms.checkedWrite(&d, 2.5);
+
+    EXPECT_EQ(b, 1);
+    EXPECT_EQ(h, 2);
+    EXPECT_EQ(q, 3u);
+    EXPECT_EQ(d, 2.5);
+    EXPECT_EQ(wms.stats().hits, 4u);
+}
+
+TEST(TrapWms, RawTrapInterface)
+{
+    TrapWms wms;
+    int target = 5;
+    auto addr = (Addr)(uintptr_t)&target;
+    wms.installMonitor(AddrRange(addr, addr + 4));
+    wms.trap(addr, 4, 0xabc);
+    target = 6; // the store the trap preceded
+    EXPECT_EQ(wms.stats().hits, 1u);
+    EXPECT_EQ(target, 6);
+}
+
+} // namespace
+} // namespace edb::runtime

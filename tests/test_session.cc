@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for monitor-session enumeration (paper Section 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "session/session.h"
+#include "trace/tracer.h"
+
+namespace edb::session {
+namespace {
+
+using trace::Tracer;
+
+/**
+ * Build a trace exercising every object kind:
+ *   main() with local `x`, calling build() twice; build() has local
+ *   `y` and a local static `s`, allocates two heap nodes; one global
+ *   `tab`; main also allocates one heap node directly.
+ */
+trace::Trace
+makeFixtureTrace()
+{
+    Tracer tracer("fixture");
+    auto tab = tracer.declareGlobal("tab", 64);
+    tracer.enterFunction("main");
+    auto x = tracer.declareLocal("x", 8);
+    tracer.write(x.addr, 8, 0);
+    auto hm = tracer.heapAlloc("main_node", 32);
+    tracer.write(hm.addr, 4, 0);
+    for (int i = 0; i < 2; ++i) {
+        tracer.enterFunction("build");
+        auto y = tracer.declareLocal("y", 4);
+        tracer.declareLocalStatic("s", 4);
+        tracer.write(y.addr, 4, 0);
+        auto h = tracer.heapAlloc("node", 48);
+        tracer.write(h.addr + 4, 4, 0);
+        tracer.exitFunction();
+    }
+    tracer.write(tab.addr, 4, 0);
+    tracer.exitFunction();
+    return tracer.finish();
+}
+
+TEST(SessionSet, CountsByType)
+{
+    trace::Trace t = makeFixtureTrace();
+    SessionSet set = SessionSet::enumerate(t);
+
+    const auto &counts = set.countsByType();
+    // OneLocalAuto: main::x, build::y.
+    EXPECT_EQ(counts[(std::size_t)SessionType::OneLocalAuto], 2u);
+    // AllLocalInFunc: main (x), build (y and static s).
+    EXPECT_EQ(counts[(std::size_t)SessionType::AllLocalInFunc], 2u);
+    // OneGlobalStatic: tab (the local static is not a global).
+    EXPECT_EQ(counts[(std::size_t)SessionType::OneGlobalStatic], 1u);
+    // OneHeap: main_node + 2x node.
+    EXPECT_EQ(counts[(std::size_t)SessionType::OneHeap], 3u);
+    // AllHeapInFunc: main and build both allocate (directly or in
+    // their dynamic context).
+    EXPECT_EQ(counts[(std::size_t)SessionType::AllHeapInFunc], 2u);
+}
+
+TEST(SessionSet, LocalStaticOnlyInAllLocalSession)
+{
+    trace::Trace t = makeFixtureTrace();
+    SessionSet set = SessionSet::enumerate(t);
+
+    // Find the static object.
+    trace::ObjectId static_obj = trace::invalidObject;
+    for (const auto &obj : t.registry.objects()) {
+        if (obj.kind == trace::ObjectKind::LocalStatic)
+            static_obj = obj.id;
+    }
+    ASSERT_NE(static_obj, trace::invalidObject);
+
+    const auto &sessions = set.sessionsOf(static_obj);
+    ASSERT_EQ(sessions.size(), 1u);
+    EXPECT_EQ(set.session(sessions[0]).type,
+              SessionType::AllLocalInFunc);
+    EXPECT_EQ(t.registry.functionName(set.session(sessions[0]).function),
+              "build");
+}
+
+TEST(SessionSet, HeapObjectBelongsToWholeAllocationContext)
+{
+    // "Monitors all heap objects created by a function f and any
+    // other functions executing in the dynamic context of f."
+    trace::Trace t = makeFixtureTrace();
+    SessionSet set = SessionSet::enumerate(t);
+
+    trace::FunctionId main_fn = t.registry.findFunction("main");
+    trace::FunctionId build_fn = t.registry.findFunction("build");
+
+    for (const auto &obj : t.registry.objects()) {
+        if (obj.kind != trace::ObjectKind::Heap)
+            continue;
+        std::size_t all_heap_memberships = 0;
+        bool in_main = false, in_build = false;
+        for (SessionId sid : set.sessionsOf(obj.id)) {
+            const SessionInfo &s = set.session(sid);
+            if (s.type == SessionType::AllHeapInFunc) {
+                ++all_heap_memberships;
+                in_main |= s.function == main_fn;
+                in_build |= s.function == build_fn;
+            }
+        }
+        if (obj.name == "node") {
+            // Allocated by build inside main: member of both.
+            EXPECT_EQ(all_heap_memberships, 2u);
+            EXPECT_TRUE(in_main && in_build);
+        } else {
+            // main_node: allocated directly by main.
+            EXPECT_EQ(all_heap_memberships, 1u);
+            EXPECT_TRUE(in_main);
+            EXPECT_FALSE(in_build);
+        }
+    }
+}
+
+TEST(SessionSet, RecursiveAllocationContextDeduplicated)
+{
+    trace::Trace t = [&] {
+        Tracer tr("rec");
+        tr.enterFunction("main");
+        tr.enterFunction("rec");
+        tr.enterFunction("rec");
+        auto hh = tr.heapAlloc("deep_node", 16);
+        tr.write(hh.addr, 4, 0);
+        return tr.finish();
+    }();
+    SessionSet set = SessionSet::enumerate(t);
+    // Despite `rec` appearing twice in the context, the object joins
+    // the AllHeapInFunc(rec) session once.
+    trace::ObjectId obj = trace::invalidObject;
+    for (const auto &o : t.registry.objects()) {
+        if (o.kind == trace::ObjectKind::Heap)
+            obj = o.id;
+    }
+    ASSERT_NE(obj, trace::invalidObject);
+    const auto &sessions = set.sessionsOf(obj);
+    // OneHeap + AllHeapInFunc(main) + AllHeapInFunc(rec).
+    EXPECT_EQ(sessions.size(), 3u);
+    // Sorted and unique.
+    EXPECT_TRUE(std::is_sorted(sessions.begin(), sessions.end()));
+    EXPECT_EQ(std::adjacent_find(sessions.begin(), sessions.end()),
+              sessions.end());
+}
+
+TEST(SessionSet, InvertedIndexConsistent)
+{
+    trace::Trace t = makeFixtureTrace();
+    SessionSet set = SessionSet::enumerate(t);
+    // Every One* session's object maps back to that session.
+    for (const SessionInfo &s : set.sessions()) {
+        if (s.object == trace::invalidObject)
+            continue;
+        const auto &sessions = set.sessionsOf(s.object);
+        EXPECT_TRUE(std::binary_search(sessions.begin(), sessions.end(),
+                                       s.id))
+            << "session " << s.id;
+    }
+}
+
+TEST(SessionSet, Describe)
+{
+    trace::Trace t = makeFixtureTrace();
+    SessionSet set = SessionSet::enumerate(t);
+    bool saw_local = false, saw_allheap = false;
+    for (const SessionInfo &s : set.sessions()) {
+        std::string d = set.describe(s.id, t);
+        if (d == "OneLocalAuto(main::x)")
+            saw_local = true;
+        if (d == "AllHeapInFunc(build)")
+            saw_allheap = true;
+    }
+    EXPECT_TRUE(saw_local);
+    EXPECT_TRUE(saw_allheap);
+}
+
+TEST(SessionSet, EmptyTrace)
+{
+    Tracer tracer("empty");
+    trace::Trace t = tracer.finish();
+    SessionSet set = SessionSet::enumerate(t);
+    EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(SessionSet, TypeNames)
+{
+    EXPECT_STREQ(sessionTypeName(SessionType::OneLocalAuto),
+                 "OneLocalAuto");
+    EXPECT_STREQ(sessionTypeName(SessionType::AllHeapInFunc),
+                 "AllHeapInFunc");
+}
+
+} // namespace
+} // namespace edb::session

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the CodePatch software WMS and the RangeGuard
+ * loop-invariant optimization (paper Sections 3.3 and 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "wms/software_wms.h"
+
+namespace edb::wms {
+namespace {
+
+TEST(SoftwareWms, HitAndMissCounting)
+{
+    SoftwareWms wms;
+    wms.installMonitor(AddrRange(0x1000, 0x1010));
+
+    EXPECT_TRUE(wms.checkWrite(0x1004, 4));
+    EXPECT_FALSE(wms.checkWrite(0x2000, 4));
+    EXPECT_FALSE(wms.checkWrite(0x0ff0, 8));
+    EXPECT_TRUE(wms.checkWrite(0x100e, 4)); // straddles the end word
+
+    EXPECT_EQ(wms.stats().hits, 2u);
+    EXPECT_EQ(wms.stats().misses, 2u);
+    EXPECT_EQ(wms.stats().installs, 1u);
+    EXPECT_EQ(wms.stats().removes, 0u);
+}
+
+TEST(SoftwareWms, NotificationDelivery)
+{
+    SoftwareWms wms;
+    wms.installMonitor(AddrRange(0x1000, 0x1004));
+
+    std::vector<Notification> seen;
+    wms.setNotificationHandler(
+        [&seen](const Notification &n) { seen.push_back(n); });
+
+    wms.checkWrite(0x1000, 4, /*pc=*/0x400123);
+    wms.checkWrite(0x5000, 4, 0x400456); // miss: no notification
+
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0].written, AddrRange(0x1000, 0x1004));
+    EXPECT_EQ(seen[0].pc, 0x400123u);
+}
+
+TEST(SoftwareWms, ExactlyOneNotificationPerHit)
+{
+    // A write hitting two overlapping monitors is still one hit with
+    // one notification (paper Section 2: "There is a single monitor
+    // notification for each monitor hit").
+    SoftwareWms wms;
+    wms.installMonitor(AddrRange(0x1000, 0x1010));
+    wms.installMonitor(AddrRange(0x1008, 0x1020));
+
+    int notifications = 0;
+    wms.setNotificationHandler([&](const Notification &) {
+        ++notifications;
+    });
+    wms.checkWrite(0x1008, 8);
+    EXPECT_EQ(notifications, 1);
+    EXPECT_EQ(wms.stats().hits, 1u);
+}
+
+TEST(SoftwareWms, RemoveStopsNotifications)
+{
+    SoftwareWms wms;
+    wms.installMonitor(AddrRange(0x1000, 0x1004));
+    wms.removeMonitor(AddrRange(0x1000, 0x1004));
+    EXPECT_FALSE(wms.checkWrite(0x1000, 4));
+    EXPECT_EQ(wms.stats().removes, 1u);
+}
+
+TEST(SoftwareWms, UnlimitedMonitors)
+{
+    // The headline CodePatch property: "provides for any number of
+    // breakpoints" — far beyond NativeHardware's four.
+    SoftwareWms wms;
+    EXPECT_EQ(wms.monitorCapacity(), 0u); // unlimited
+    for (Addr i = 0; i < 10000; ++i)
+        wms.installMonitor(AddrRange(0x100000 + i * 16,
+                                     0x100000 + i * 16 + 8));
+    EXPECT_EQ(wms.index().monitorCount(), 10000u);
+    EXPECT_TRUE(wms.checkWrite(0x100000 + 9999 * 16, 4));
+    EXPECT_FALSE(wms.checkWrite(0x100000 + 9999 * 16 + 8, 4));
+}
+
+TEST(RangeGuard, ClearWhileUnmonitored)
+{
+    SoftwareWms wms;
+    RangeGuard guard(wms, AddrRange(0x8000, 0x9000));
+    EXPECT_TRUE(guard.clear());
+    // Stays clear without intervening installs.
+    EXPECT_TRUE(guard.clear());
+}
+
+TEST(RangeGuard, InvalidatedByInstall)
+{
+    SoftwareWms wms;
+    RangeGuard guard(wms, AddrRange(0x8000, 0x9000));
+    ASSERT_TRUE(guard.clear());
+
+    // An unrelated install forces revalidation but stays clear.
+    wms.installMonitor(AddrRange(0x1000, 0x1004));
+    EXPECT_TRUE(guard.clear());
+
+    // A monitor inside the guarded range must flip it.
+    wms.installMonitor(AddrRange(0x8800, 0x8804));
+    EXPECT_FALSE(guard.clear());
+
+    // Removing it re-arms the fast path (the paper's dynamic
+    // re-patching, in reverse).
+    wms.removeMonitor(AddrRange(0x8800, 0x8804));
+    EXPECT_TRUE(guard.clear());
+}
+
+TEST(RangeGuard, GuardConstructedOverMonitoredRange)
+{
+    SoftwareWms wms;
+    wms.installMonitor(AddrRange(0x8000, 0x8010));
+    RangeGuard guard(wms, AddrRange(0x8000, 0x9000));
+    EXPECT_FALSE(guard.clear());
+}
+
+TEST(SoftwareWms, ResetStats)
+{
+    SoftwareWms wms;
+    wms.installMonitor(AddrRange(0x1000, 0x1004));
+    wms.checkWrite(0x1000, 4);
+    wms.resetStats();
+    EXPECT_EQ(wms.stats().hits, 0u);
+    EXPECT_EQ(wms.stats().installs, 0u);
+    // Monitors themselves survive a stats reset.
+    EXPECT_TRUE(wms.checkWrite(0x1000, 4));
+}
+
+} // namespace
+} // namespace edb::wms

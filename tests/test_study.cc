@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the experiment driver (studyTrace): session filtering,
+ * Table 3 means, Table 4 statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/study.h"
+#include "trace/tracer.h"
+
+namespace edb::report {
+namespace {
+
+/** Trace with one hot global, one cold global, one never-written. */
+trace::Trace
+makeTrace()
+{
+    trace::Tracer tracer("study");
+    auto hot = tracer.declareGlobal("hot", 8);
+    auto cold = tracer.declareGlobal("cold", 8);
+    tracer.declareGlobal("untouched", 8);
+    tracer.enterFunction("main");
+    for (int i = 0; i < 100; ++i)
+        tracer.write(hot.addr, 4, 0);
+    tracer.write(cold.addr, 4, 0);
+    for (int i = 0; i < 899; ++i)
+        tracer.write(0x7000'0000 + (Addr)i * 64, 4, 0);
+    tracer.exitFunction();
+    return tracer.finish();
+}
+
+TEST(Study, DiscardsZeroHitSessions)
+{
+    // "Monitor sessions that had no monitor hits were discarded"
+    // (Section 8).
+    trace::Trace t = makeTrace();
+    ProgramStudy study = studyTrace(t, model::sparcStation2());
+
+    EXPECT_EQ(study.sessions.size(), 3u);
+    EXPECT_EQ(study.activeSessions.size(), 2u);
+    EXPECT_EQ(study.activeByType[(std::size_t)
+                                     session::SessionType::
+                                         OneGlobalStatic],
+              2u);
+}
+
+TEST(Study, MeanCountersOverActiveSessions)
+{
+    trace::Trace t = makeTrace();
+    ProgramStudy study = studyTrace(t, model::sparcStation2());
+
+    EXPECT_EQ(study.totalWrites, 1000u);
+    // Hits: (100 + 1) / 2 sessions.
+    EXPECT_NEAR(study.meanCounters.hits, 50.5, 1e-9);
+    EXPECT_NEAR(study.meanCounters.misses, (900 + 999) / 2.0, 1e-9);
+    EXPECT_NEAR(study.meanCounters.installs, 1.0, 1e-9);
+}
+
+TEST(Study, RelativeOverheadPopulations)
+{
+    trace::Trace t = makeTrace();
+    ProgramStudy study = studyTrace(t, model::sparcStation2());
+
+    for (std::size_t s = 0; s < model::allStrategies.size(); ++s) {
+        ASSERT_EQ(study.relativeOverheads[s].size(),
+                  study.activeSessions.size());
+        EXPECT_EQ(study.overheadStats[s].count,
+                  study.activeSessions.size());
+        for (double v : study.relativeOverheads[s])
+            EXPECT_GE(v, 0.0);
+    }
+
+    // NativeHardware: the hot session (100 hits) must cost 100x the
+    // cold one (1 hit).
+    const auto &nh = study.relativeOverheads[(std::size_t)
+                                                 model::Strategy::
+                                                     NativeHardware];
+    double ratio = std::max(nh[0], nh[1]) / std::min(nh[0], nh[1]);
+    EXPECT_NEAR(ratio, 100.0, 1e-6);
+
+    // CodePatch pays lookup on every write, so both sessions cost
+    // nearly the same: low variance, the paper's headline CP trait.
+    const auto &cp = study.relativeOverheads[(std::size_t)
+                                                 model::Strategy::
+                                                     CodePatch];
+    EXPECT_NEAR(cp[0], cp[1], cp[0] * 0.01);
+}
+
+TEST(Study, ExplicitBaseOverridesDerived)
+{
+    trace::Trace t = makeTrace();
+    ProgramStudy a = studyTrace(t, model::sparcStation2());
+    ProgramStudy b = studyTrace(t, model::sparcStation2(), 2e6);
+    EXPECT_DOUBLE_EQ(b.baseUs, 2e6);
+    EXPECT_NE(a.baseUs, b.baseUs);
+    // Relative overheads scale inversely with the base.
+    double scale = a.baseUs / b.baseUs;
+    for (std::size_t s = 0; s < 5; ++s) {
+        for (std::size_t i = 0; i < a.relativeOverheads[s].size();
+             ++i) {
+            EXPECT_NEAR(a.relativeOverheads[s][i] * scale,
+                        b.relativeOverheads[s][i],
+                        1e-9 * (1 + b.relativeOverheads[s][i]));
+        }
+    }
+}
+
+TEST(StudyDeath, NoBaseTimeIsFatal)
+{
+    trace::Trace t = makeTrace();
+    model::TimingProfile profile = model::sparcStation2();
+    profile.instructionsPerUs = 0; // no rate, no override
+    EXPECT_DEATH((void)studyTrace(t, profile), "base time");
+}
+
+} // namespace
+} // namespace edb::report

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for the tracer, the simulated address space, and the object
+ * registry: the phase-1 machinery of the experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/tracer.h"
+
+namespace edb::trace {
+namespace {
+
+/** Count events of one kind. */
+std::size_t
+countKind(const Trace &trace, EventKind kind)
+{
+    return (std::size_t)std::count_if(
+        trace.events.begin(), trace.events.end(),
+        [kind](const Event &e) { return e.kind == kind; });
+}
+
+TEST(VirtualAddressSpace, SegmentsAreDisjoint)
+{
+    VirtualAddressSpace vas;
+    Addr g = vas.allocGlobal(64);
+    vas.pushFrame();
+    Addr l = vas.allocLocal(16);
+    Addr h = vas.allocHeap(32);
+    EXPECT_GE(g, VirtualAddressSpace::globalBase);
+    EXPECT_LT(g, VirtualAddressSpace::heapBase);
+    EXPECT_GE(h, VirtualAddressSpace::heapBase);
+    EXPECT_LT(h, VirtualAddressSpace::stackBase);
+    EXPECT_LT(l, VirtualAddressSpace::stackBase);
+    EXPECT_GT(l, VirtualAddressSpace::heapBase);
+    vas.popFrame();
+}
+
+TEST(VirtualAddressSpace, StackFramesReuseAddresses)
+{
+    VirtualAddressSpace vas;
+    vas.pushFrame();
+    Addr a1 = vas.allocLocal(8);
+    vas.popFrame();
+    vas.pushFrame();
+    Addr a2 = vas.allocLocal(8);
+    vas.popFrame();
+    // Re-instantiated frames land at the same place, like a real
+    // stack — essential for VirtualMemory page behaviour.
+    EXPECT_EQ(a1, a2);
+}
+
+TEST(VirtualAddressSpace, NestedFramesDescend)
+{
+    VirtualAddressSpace vas;
+    vas.pushFrame();
+    Addr outer = vas.allocLocal(8);
+    vas.pushFrame();
+    Addr inner = vas.allocLocal(8);
+    EXPECT_LT(inner, outer);
+    vas.popFrame();
+    vas.popFrame();
+}
+
+TEST(VirtualAddressSpace, HeapFreeListReuse)
+{
+    VirtualAddressSpace vas;
+    Addr a = vas.allocHeap(24);
+    vas.freeHeap(a, 24);
+    Addr b = vas.allocHeap(20); // same 16-byte size class (17..32)
+    EXPECT_EQ(a, b);
+    // A different class does not reuse the slot.
+    Addr c = vas.allocHeap(200);
+    EXPECT_NE(c, a);
+}
+
+TEST(VirtualAddressSpace, ReallocSameClassKeepsAddress)
+{
+    VirtualAddressSpace vas;
+    Addr a = vas.allocHeap(100);
+    EXPECT_EQ(vas.reallocHeap(a, 100, 110), a);
+    Addr b = vas.reallocHeap(a, 110, 400);
+    EXPECT_NE(b, a);
+}
+
+TEST(VirtualAddressSpace, AlignmentHonoured)
+{
+    VirtualAddressSpace vas;
+    vas.allocGlobal(3);
+    Addr g = vas.allocGlobal(8, 8);
+    EXPECT_EQ(g % 8, 0u);
+    vas.pushFrame();
+    vas.allocLocal(5);
+    Addr l = vas.allocLocal(8, 8);
+    EXPECT_EQ(l % 8, 0u);
+    vas.popFrame();
+}
+
+TEST(Tracer, LocalLifecycleOnFunctionBoundaries)
+{
+    // "Write monitors for automatic variables are installed and
+    // removed on function boundaries" (Section 6).
+    Tracer tracer("test");
+    tracer.enterFunction("f");
+    auto p = tracer.declareLocal("x", 8);
+    tracer.write(p.addr, 8, 0);
+    tracer.exitFunction();
+    Trace trace = tracer.finish();
+
+    ASSERT_EQ(trace.events.size(), 3u);
+    EXPECT_EQ(trace.events[0].kind, EventKind::InstallMonitor);
+    EXPECT_EQ(trace.events[0].aux, p.object);
+    EXPECT_EQ(trace.events[1].kind, EventKind::Write);
+    EXPECT_EQ(trace.events[2].kind, EventKind::RemoveMonitor);
+    EXPECT_EQ(trace.events[2].aux, p.object);
+    EXPECT_EQ(trace.totalWrites, 1u);
+}
+
+TEST(Tracer, ReinstantiatedLocalSharesObjectId)
+{
+    // "All instantiations of the variable belong to the same monitor
+    // session" (Section 5).
+    Tracer tracer("test");
+    tracer.enterFunction("f");
+    auto p1 = tracer.declareLocal("x", 4);
+    tracer.exitFunction();
+    tracer.enterFunction("f");
+    auto p2 = tracer.declareLocal("x", 4);
+    tracer.exitFunction();
+    (void)tracer.finish();
+    EXPECT_EQ(p1.object, p2.object);
+    EXPECT_EQ(p1.addr, p2.addr); // same stack slot, too
+}
+
+TEST(Tracer, SameNameDifferentFunctionsDistinct)
+{
+    Tracer tracer("test");
+    tracer.enterFunction("f");
+    auto pf = tracer.declareLocal("x", 4);
+    tracer.enterFunction("g");
+    auto pg = tracer.declareLocal("x", 4);
+    tracer.exitFunction();
+    tracer.exitFunction();
+    (void)tracer.finish();
+    EXPECT_NE(pf.object, pg.object);
+}
+
+TEST(Tracer, LocalStaticInstalledOnce)
+{
+    Tracer tracer("test");
+    tracer.enterFunction("f");
+    auto p1 = tracer.declareLocalStatic("counter", 4);
+    tracer.exitFunction();
+    tracer.enterFunction("f");
+    auto p2 = tracer.declareLocalStatic("counter", 4);
+    tracer.exitFunction();
+    Trace trace = tracer.finish();
+
+    EXPECT_EQ(p1.object, p2.object);
+    EXPECT_EQ(p1.addr, p2.addr);
+    // One install (first execution), one remove (program end).
+    EXPECT_EQ(countKind(trace, EventKind::InstallMonitor), 1u);
+    EXPECT_EQ(countKind(trace, EventKind::RemoveMonitor), 1u);
+    EXPECT_EQ(trace.registry.object(p1.object).kind,
+              ObjectKind::LocalStatic);
+}
+
+TEST(Tracer, GlobalSpansWholeRun)
+{
+    Tracer tracer("test");
+    auto g = tracer.declareGlobal("table", 128);
+    tracer.enterFunction("main");
+    tracer.write(g.addr + 16, 4, 0);
+    tracer.exitFunction();
+    Trace trace = tracer.finish();
+
+    EXPECT_EQ(trace.events.front().kind, EventKind::InstallMonitor);
+    EXPECT_EQ(trace.events.back().kind, EventKind::RemoveMonitor);
+    EXPECT_EQ(trace.events.back().aux, g.object);
+}
+
+TEST(Tracer, HeapObjectLifecycleAndContext)
+{
+    Tracer tracer("test");
+    tracer.enterFunction("main");
+    tracer.enterFunction("build_tree");
+    auto h = tracer.heapAlloc("node", 40);
+    tracer.heapFree(h);
+    tracer.exitFunction();
+    tracer.exitFunction();
+    Trace trace = tracer.finish();
+
+    const ObjectInfo &obj = trace.registry.object(h.object);
+    EXPECT_EQ(obj.kind, ObjectKind::Heap);
+    ASSERT_EQ(obj.allocContext.size(), 2u);
+    EXPECT_EQ(trace.registry.functionName(obj.allocContext[0]), "main");
+    EXPECT_EQ(trace.registry.functionName(obj.allocContext[1]),
+              "build_tree");
+    EXPECT_EQ(obj.owner, obj.allocContext[1]);
+}
+
+TEST(Tracer, HeapReallocKeepsObjectIdentity)
+{
+    // Paper footnote 4: realloc'd heap objects are the same object.
+    Tracer tracer("test");
+    tracer.enterFunction("main");
+    auto h = tracer.heapAlloc("buf", 64);
+    auto h2 = tracer.heapRealloc(h, 256);
+    EXPECT_EQ(h.object, h2.object);
+    tracer.heapFree(h2);
+    tracer.exitFunction();
+    Trace trace = tracer.finish();
+
+    // alloc-install, realloc-remove, realloc-install, free-remove.
+    EXPECT_EQ(countKind(trace, EventKind::InstallMonitor), 2u);
+    EXPECT_EQ(countKind(trace, EventKind::RemoveMonitor), 2u);
+}
+
+TEST(Tracer, LeakedHeapRemovedAtFinish)
+{
+    Tracer tracer("test");
+    tracer.enterFunction("main");
+    auto h = tracer.heapAlloc("leak", 16);
+    tracer.exitFunction();
+    Trace trace = tracer.finish();
+    EXPECT_EQ(trace.events.back().kind, EventKind::RemoveMonitor);
+    EXPECT_EQ(trace.events.back().aux, h.object);
+}
+
+TEST(Tracer, OpenFramesClosedAtFinish)
+{
+    Tracer tracer("test");
+    tracer.enterFunction("main");
+    tracer.enterFunction("helper");
+    auto p = tracer.declareLocal("x", 4);
+    Trace trace = tracer.finish(); // no explicit exits
+    EXPECT_EQ(countKind(trace, EventKind::RemoveMonitor), 1u);
+    EXPECT_EQ(trace.events.back().aux, p.object);
+}
+
+TEST(Tracer, DisabledTracerRecordsNoEvents)
+{
+    Tracer tracer("test", /*enabled=*/false);
+    tracer.enterFunction("f");
+    auto p = tracer.declareLocal("x", 4);
+    tracer.write(p.addr, 4, 0);
+    tracer.exitFunction();
+    Trace trace = tracer.finish();
+    EXPECT_TRUE(trace.events.empty());
+    // Write counting still happens (needed for estimates).
+    EXPECT_EQ(trace.totalWrites, 1u);
+}
+
+TEST(Tracer, WriteSiteInterning)
+{
+    Tracer tracer("test");
+    auto s1 = tracer.internWriteSite("a.cc:10");
+    auto s2 = tracer.internWriteSite("a.cc:11");
+    auto s3 = tracer.internWriteSite("a.cc:10");
+    EXPECT_EQ(s1, s3);
+    EXPECT_NE(s1, s2);
+    Trace trace = tracer.finish();
+    ASSERT_EQ(trace.writeSites.size(), 2u);
+    EXPECT_EQ(trace.writeSites[s1], "a.cc:10");
+    EXPECT_EQ(siteForPc(pcForSite(s2)), s2);
+}
+
+TEST(Tracer, EstimatedInstructionsFromWriteFraction)
+{
+    Tracer tracer("test");
+    tracer.enterFunction("f");
+    auto p = tracer.declareLocal("x", 4);
+    for (int i = 0; i < 650; ++i)
+        tracer.write(p.addr, 4, 0);
+    tracer.exitFunction();
+    Trace trace = tracer.finish();
+    EXPECT_EQ(trace.totalWrites, 650u);
+    EXPECT_EQ(trace.estimatedInstructions, 10000u); // 650 / 0.065
+}
+
+TEST(ObjectRegistry, KindNames)
+{
+    EXPECT_STREQ(objectKindName(ObjectKind::LocalAuto), "LocalAuto");
+    EXPECT_STREQ(objectKindName(ObjectKind::Heap), "Heap");
+}
+
+TEST(ObjectRegistry, FunctionInterning)
+{
+    ObjectRegistry reg;
+    auto f1 = reg.internFunction("alpha");
+    auto f2 = reg.internFunction("beta");
+    auto f3 = reg.internFunction("alpha");
+    EXPECT_EQ(f1, f3);
+    EXPECT_NE(f1, f2);
+    EXPECT_EQ(reg.findFunction("beta"), f2);
+    EXPECT_EQ(reg.findFunction("gamma"), invalidFunction);
+}
+
+} // namespace
+} // namespace edb::trace

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the util substrate: address ranges, RNG, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/addr.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace edb {
+namespace {
+
+TEST(AddrRange, BasicProperties)
+{
+    AddrRange r(0x1000, 0x1010);
+    EXPECT_EQ(r.size(), 0x10u);
+    EXPECT_FALSE(r.empty());
+    EXPECT_TRUE(r.contains(0x1000));
+    EXPECT_TRUE(r.contains(0x100f));
+    EXPECT_FALSE(r.contains(0x1010));
+    EXPECT_FALSE(r.contains(0xfff));
+}
+
+TEST(AddrRange, EmptyRange)
+{
+    AddrRange e;
+    EXPECT_TRUE(e.empty());
+    EXPECT_EQ(e.size(), 0u);
+    EXPECT_FALSE(e.contains(0));
+    EXPECT_FALSE(e.intersects(AddrRange(0, 100)));
+}
+
+TEST(AddrRange, Intersection)
+{
+    AddrRange a(10, 20), b(15, 30), c(20, 25);
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_TRUE(b.intersects(a));
+    // Half-open: touching ranges do not intersect.
+    EXPECT_FALSE(a.intersects(c));
+    EXPECT_EQ(a.intersection(b), AddrRange(15, 20));
+    EXPECT_TRUE(a.intersection(c).empty());
+}
+
+TEST(AddrRange, Covers)
+{
+    AddrRange a(10, 20);
+    EXPECT_TRUE(a.covers(AddrRange(10, 20)));
+    EXPECT_TRUE(a.covers(AddrRange(12, 18)));
+    EXPECT_FALSE(a.covers(AddrRange(9, 20)));
+    EXPECT_FALSE(a.covers(AddrRange(10, 21)));
+}
+
+TEST(AddrRange, WordAlignment)
+{
+    EXPECT_EQ(wordAlignDown(0x1003), 0x1000u);
+    EXPECT_EQ(wordAlignDown(0x1004), 0x1004u);
+    EXPECT_EQ(wordAlignUp(0x1001), 0x1004u);
+    EXPECT_EQ(wordAlignUp(0x1004), 0x1004u);
+}
+
+TEST(AddrRange, PageSpan)
+{
+    auto [first, last] = pageSpan(AddrRange(0x1000, 0x1001), 4096);
+    EXPECT_EQ(first, 1u);
+    EXPECT_EQ(last, 1u);
+
+    // A range ending exactly on a page boundary does not touch the
+    // next page.
+    std::tie(first, last) = pageSpan(AddrRange(0x1000, 0x2000), 4096);
+    EXPECT_EQ(first, 1u);
+    EXPECT_EQ(last, 1u);
+
+    std::tie(first, last) = pageSpan(AddrRange(0x1ffc, 0x2004), 4096);
+    EXPECT_EQ(first, 1u);
+    EXPECT_EQ(last, 2u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i)
+        differs |= a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+    // below(1) is always 0.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Stats, PercentileEdges)
+{
+    std::vector<double> v = {3, 1, 2};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1);
+    EXPECT_DOUBLE_EQ(percentile(v, 1), 3);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2);
+    EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0);
+    EXPECT_DOUBLE_EQ(percentile({7}, 0.9), 7);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> v = {0, 10};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.75), 7.5);
+}
+
+TEST(Stats, MeanBetween)
+{
+    std::vector<double> v = {1, 2, 3, 4, 100};
+    EXPECT_DOUBLE_EQ(meanBetween(v, 2, 4), 3.0);
+    EXPECT_DOUBLE_EQ(meanBetween(v, 500, 600), 0.0);
+}
+
+TEST(Stats, SummarizeKnownPopulation)
+{
+    // 1..100: mean 50.5, p90 = 90.1 by linear interpolation.
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(i);
+    SummaryStats s = summarize(v);
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.min, 1);
+    EXPECT_DOUBLE_EQ(s.max, 100);
+    EXPECT_DOUBLE_EQ(s.mean, 50.5);
+    EXPECT_NEAR(s.p90, 90.1, 1e-9);
+    EXPECT_NEAR(s.p98, 98.02, 1e-9);
+    // T-Mean over [p10, p90] = mean of 11..90 (values within the
+    // interpolated bounds 10.9..90.1).
+    EXPECT_NEAR(s.tmean, (11 + 90) / 2.0, 0.01);
+}
+
+TEST(Stats, SummarizeEmptyAndSingle)
+{
+    SummaryStats e = summarize({});
+    EXPECT_EQ(e.count, 0u);
+    EXPECT_EQ(e.mean, 0);
+
+    SummaryStats one = summarize({5});
+    EXPECT_EQ(one.count, 1u);
+    EXPECT_DOUBLE_EQ(one.min, 5);
+    EXPECT_DOUBLE_EQ(one.max, 5);
+    EXPECT_DOUBLE_EQ(one.mean, 5);
+    EXPECT_DOUBLE_EQ(one.tmean, 5);
+    EXPECT_DOUBLE_EQ(one.stddev, 0);
+}
+
+TEST(Stats, TrimmedMeanDropsOutliers)
+{
+    // 18 ones plus two huge outliers: the outliers lie above p90 and
+    // must not influence the trimmed mean.
+    std::vector<double> v(18, 1.0);
+    v.push_back(1e6);
+    v.push_back(2e6);
+    SummaryStats s = summarize(v);
+    EXPECT_DOUBLE_EQ(s.tmean, 1.0);
+    EXPECT_GT(s.mean, 1000.0);
+}
+
+} // namespace
+} // namespace edb

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for ValueWatch: gdb-style old-value/new-value reporting on
+ * top of the WMS notification interface, via shadow diffing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <vector>
+
+#include "runtime/instrument.h"
+#include "runtime/vm_wms.h"
+#include "wms/software_wms.h"
+#include "wms/value_watch.h"
+
+namespace edb::wms {
+namespace {
+
+TEST(ValueWatch, ReportsOldAndNewValues)
+{
+    SoftwareWms wms;
+    ValueWatch watch(wms);
+
+    std::uint64_t account = 500;
+    watch.watch(&account, sizeof(account));
+
+    std::vector<ValueChange> changes;
+    watch.setChangeHandler(
+        [&changes](const ValueChange &c) { changes.push_back(c); });
+
+    // The CodePatch discipline: store, then check.
+    account = 750;
+    wms.checkWrite((Addr)(uintptr_t)&account, 8, /*pc=*/0x1234);
+
+    ASSERT_EQ(changes.size(), 1u);
+    EXPECT_EQ(changes[0].oldValue, 500u);
+    EXPECT_EQ(changes[0].newValue, 750u);
+    EXPECT_EQ(changes[0].addr, (Addr)(uintptr_t)&account);
+    EXPECT_EQ(changes[0].pc, 0x1234u);
+    EXPECT_EQ(changes[0].width, 8u);
+
+    // Unchanged writes (same value) report nothing.
+    account = 750;
+    wms.checkWrite((Addr)(uintptr_t)&account, 8);
+    EXPECT_EQ(changes.size(), 1u);
+
+    watch.unwatch(&account);
+}
+
+TEST(ValueWatch, PerWordDiffsWithinStruct)
+{
+    SoftwareWms wms;
+    ValueWatch watch(wms, /*width=*/4);
+
+    struct Config
+    {
+        std::uint32_t a = 1, b = 2, c = 3, d = 4;
+    } config;
+    watch.watch(&config, sizeof(config));
+
+    std::vector<ValueChange> changes;
+    watch.setChangeHandler(
+        [&changes](const ValueChange &c) { changes.push_back(c); });
+
+    // One 16-byte store changing fields b and d only.
+    config.b = 20;
+    config.d = 40;
+    wms.checkWrite((Addr)(uintptr_t)&config, sizeof(config));
+
+    ASSERT_EQ(changes.size(), 2u);
+    EXPECT_EQ(changes[0].addr, (Addr)(uintptr_t)&config.b);
+    EXPECT_EQ(changes[0].oldValue, 2u);
+    EXPECT_EQ(changes[0].newValue, 20u);
+    EXPECT_EQ(changes[1].addr, (Addr)(uintptr_t)&config.d);
+    EXPECT_EQ(changes[1].oldValue, 4u);
+    EXPECT_EQ(changes[1].newValue, 40u);
+}
+
+TEST(ValueWatch, MultipleRegions)
+{
+    SoftwareWms wms;
+    ValueWatch watch(wms, 4);
+
+    std::uint32_t x = 7, y = 9;
+    watch.watch(&x, sizeof(x));
+    watch.watch(&y, sizeof(y));
+    EXPECT_EQ(watch.regionCount(), 2u);
+
+    int hits = 0;
+    watch.setChangeHandler([&](const ValueChange &c) {
+        ++hits;
+        if (c.addr == (Addr)(uintptr_t)&x)
+            EXPECT_EQ(c.newValue, 8u);
+        else
+            EXPECT_EQ(c.newValue, 10u);
+    });
+
+    x = 8;
+    wms.checkWrite((Addr)(uintptr_t)&x, 4);
+    y = 10;
+    wms.checkWrite((Addr)(uintptr_t)&y, 4);
+    EXPECT_EQ(hits, 2);
+
+    watch.unwatch(&x);
+    EXPECT_EQ(watch.regionCount(), 1u);
+    watch.unwatch(&y);
+}
+
+TEST(ValueWatch, SyncCatchesUnmonitoredMutation)
+{
+    // Changes made behind the WMS's back (e.g. by code that was not
+    // instrumented) are caught by an explicit sync() pass.
+    SoftwareWms wms;
+    ValueWatch watch(wms, 8);
+    std::uint64_t sneaky = 1;
+    watch.watch(&sneaky, sizeof(sneaky));
+
+    std::vector<ValueChange> changes;
+    watch.setChangeHandler(
+        [&changes](const ValueChange &c) { changes.push_back(c); });
+
+    sneaky = 2; // raw store, never checked
+    EXPECT_EQ(watch.sync(), 1u);
+    ASSERT_EQ(changes.size(), 1u);
+    EXPECT_EQ(changes[0].oldValue, 1u);
+    EXPECT_EQ(changes[0].newValue, 2u);
+
+    // Second sync: shadow refreshed, nothing to report.
+    EXPECT_EQ(watch.sync(), 0u);
+}
+
+TEST(ValueWatch, WorksOverVmWmsQueuedDelivery)
+{
+    // The zero-instrumentation pairing: MMU watchpoints + queued
+    // notifications + value diffing on drain.
+    void *arena = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    ASSERT_NE(arena, MAP_FAILED);
+    auto *cell = (volatile std::uint64_t *)arena;
+    *cell = 111;
+
+    {
+        runtime::VmWms wms(runtime::VmWms::Delivery::Queued);
+        ValueWatch watch(wms, 8);
+        watch.watch((const void *)arena, 8);
+
+        std::vector<ValueChange> changes;
+        watch.setChangeHandler([&changes](const ValueChange &c) {
+            changes.push_back(c);
+        });
+
+        *cell = 222; // plain store; MMU catches it
+        EXPECT_TRUE(changes.empty()); // not drained yet
+        wms.drainQueuedNotifications();
+        ASSERT_EQ(changes.size(), 1u);
+        EXPECT_EQ(changes[0].oldValue, 111u);
+        EXPECT_EQ(changes[0].newValue, 222u);
+        EXPECT_NE(changes[0].pc, 0u); // real faulting PC
+
+        watch.unwatch((const void *)arena);
+    }
+    ::munmap(arena, 4096);
+}
+
+TEST(ValueWatchDeath, UnwatchWithoutWatchIsFatal)
+{
+    SoftwareWms wms;
+    ValueWatch watch(wms);
+    int x = 0;
+    EXPECT_EXIT(watch.unwatch(&x), ::testing::ExitedWithCode(1),
+                "without a matching watch");
+}
+
+} // namespace
+} // namespace edb::wms

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Thin main() for the edb-trace command-line tool; all logic lives
+ * in src/cli so it is unit-testable.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return edb::cli::run(args, std::cout, std::cerr);
+}
