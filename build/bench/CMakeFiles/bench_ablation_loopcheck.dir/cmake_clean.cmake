@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_loopcheck.dir/bench_ablation_loopcheck.cc.o"
+  "CMakeFiles/bench_ablation_loopcheck.dir/bench_ablation_loopcheck.cc.o.d"
+  "bench_ablation_loopcheck"
+  "bench_ablation_loopcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_loopcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_code_expansion.dir/bench_code_expansion.cc.o"
+  "CMakeFiles/bench_code_expansion.dir/bench_code_expansion.cc.o.d"
+  "bench_code_expansion"
+  "bench_code_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_code_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

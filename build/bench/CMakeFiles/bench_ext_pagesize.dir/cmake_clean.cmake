@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pagesize.dir/bench_ext_pagesize.cc.o"
+  "CMakeFiles/bench_ext_pagesize.dir/bench_ext_pagesize.cc.o.d"
+  "bench_ext_pagesize"
+  "bench_ext_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

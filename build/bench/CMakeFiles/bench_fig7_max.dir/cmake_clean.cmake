@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_max.dir/bench_fig7_max.cc.o"
+  "CMakeFiles/bench_fig7_max.dir/bench_fig7_max.cc.o.d"
+  "bench_fig7_max"
+  "bench_fig7_max.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_max.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

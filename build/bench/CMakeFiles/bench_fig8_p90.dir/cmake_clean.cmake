@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_p90.dir/bench_fig8_p90.cc.o"
+  "CMakeFiles/bench_fig8_p90.dir/bench_fig8_p90.cc.o.d"
+  "bench_fig8_p90"
+  "bench_fig8_p90.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_p90.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

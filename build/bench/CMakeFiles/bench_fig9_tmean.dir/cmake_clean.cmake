@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_tmean.dir/bench_fig9_tmean.cc.o"
+  "CMakeFiles/bench_fig9_tmean.dir/bench_fig9_tmean.cc.o.d"
+  "bench_fig9_tmean"
+  "bench_fig9_tmean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tmean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

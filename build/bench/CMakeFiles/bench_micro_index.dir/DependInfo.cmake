@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_index.cc" "bench/CMakeFiles/bench_micro_index.dir/bench_micro_index.cc.o" "gcc" "bench/CMakeFiles/bench_micro_index.dir/bench_micro_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/edb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/edb_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/edb_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/edb_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/wms/CMakeFiles/edb_wms.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/edb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/edb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/session/CMakeFiles/edb_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/edb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/edb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_counting.dir/bench_table3_counting.cc.o"
+  "CMakeFiles/bench_table3_counting.dir/bench_table3_counting.cc.o.d"
+  "bench_table3_counting"
+  "bench_table3_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edb_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/edb_bench_common.dir/bench_common.cc.o.d"
+  "libedb_bench_common.a"
+  "libedb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

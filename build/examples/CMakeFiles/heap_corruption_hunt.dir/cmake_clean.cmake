@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_corruption_hunt.dir/heap_corruption_hunt.cpp.o"
+  "CMakeFiles/heap_corruption_hunt.dir/heap_corruption_hunt.cpp.o.d"
+  "heap_corruption_hunt"
+  "heap_corruption_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_corruption_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_watchpoint_demo.dir/hw_watchpoint_demo.cpp.o"
+  "CMakeFiles/hw_watchpoint_demo.dir/hw_watchpoint_demo.cpp.o.d"
+  "hw_watchpoint_demo"
+  "hw_watchpoint_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_watchpoint_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

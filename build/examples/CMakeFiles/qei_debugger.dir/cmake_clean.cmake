@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qei_debugger.dir/qei_debugger.cpp.o"
+  "CMakeFiles/qei_debugger.dir/qei_debugger.cpp.o.d"
+  "qei_debugger"
+  "qei_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qei_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_explorer.dir/session_explorer.cpp.o"
+  "CMakeFiles/session_explorer.dir/session_explorer.cpp.o.d"
+  "session_explorer"
+  "session_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

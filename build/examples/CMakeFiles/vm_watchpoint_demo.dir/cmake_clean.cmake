@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_watchpoint_demo.dir/vm_watchpoint_demo.cpp.o"
+  "CMakeFiles/vm_watchpoint_demo.dir/vm_watchpoint_demo.cpp.o.d"
+  "vm_watchpoint_demo"
+  "vm_watchpoint_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_watchpoint_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edb_calib.dir/calibrate.cc.o"
+  "CMakeFiles/edb_calib.dir/calibrate.cc.o.d"
+  "libedb_calib.a"
+  "libedb_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edb_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edb_cli.dir/cli.cc.o"
+  "CMakeFiles/edb_cli.dir/cli.cc.o.d"
+  "libedb_cli.a"
+  "libedb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edb_model.dir/models.cc.o"
+  "CMakeFiles/edb_model.dir/models.cc.o.d"
+  "CMakeFiles/edb_model.dir/timing.cc.o"
+  "CMakeFiles/edb_model.dir/timing.cc.o.d"
+  "libedb_model.a"
+  "libedb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/figure.cc" "src/report/CMakeFiles/edb_report.dir/figure.cc.o" "gcc" "src/report/CMakeFiles/edb_report.dir/figure.cc.o.d"
+  "/root/repo/src/report/study.cc" "src/report/CMakeFiles/edb_report.dir/study.cc.o" "gcc" "src/report/CMakeFiles/edb_report.dir/study.cc.o.d"
+  "/root/repo/src/report/table.cc" "src/report/CMakeFiles/edb_report.dir/table.cc.o" "gcc" "src/report/CMakeFiles/edb_report.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/edb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/edb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/session/CMakeFiles/edb_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/edb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edb_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

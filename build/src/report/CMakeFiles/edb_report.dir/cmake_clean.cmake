@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edb_report.dir/figure.cc.o"
+  "CMakeFiles/edb_report.dir/figure.cc.o.d"
+  "CMakeFiles/edb_report.dir/study.cc.o"
+  "CMakeFiles/edb_report.dir/study.cc.o.d"
+  "CMakeFiles/edb_report.dir/table.cc.o"
+  "CMakeFiles/edb_report.dir/table.cc.o.d"
+  "libedb_report.a"
+  "libedb_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edb_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

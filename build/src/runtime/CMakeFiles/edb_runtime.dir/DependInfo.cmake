@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/hw_wms.cc" "src/runtime/CMakeFiles/edb_runtime.dir/hw_wms.cc.o" "gcc" "src/runtime/CMakeFiles/edb_runtime.dir/hw_wms.cc.o.d"
+  "/root/repo/src/runtime/signal_hub.cc" "src/runtime/CMakeFiles/edb_runtime.dir/signal_hub.cc.o" "gcc" "src/runtime/CMakeFiles/edb_runtime.dir/signal_hub.cc.o.d"
+  "/root/repo/src/runtime/trap_wms.cc" "src/runtime/CMakeFiles/edb_runtime.dir/trap_wms.cc.o" "gcc" "src/runtime/CMakeFiles/edb_runtime.dir/trap_wms.cc.o.d"
+  "/root/repo/src/runtime/vm_wms.cc" "src/runtime/CMakeFiles/edb_runtime.dir/vm_wms.cc.o" "gcc" "src/runtime/CMakeFiles/edb_runtime.dir/vm_wms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wms/CMakeFiles/edb_wms.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/edb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edb_runtime.dir/hw_wms.cc.o"
+  "CMakeFiles/edb_runtime.dir/hw_wms.cc.o.d"
+  "CMakeFiles/edb_runtime.dir/signal_hub.cc.o"
+  "CMakeFiles/edb_runtime.dir/signal_hub.cc.o.d"
+  "CMakeFiles/edb_runtime.dir/trap_wms.cc.o"
+  "CMakeFiles/edb_runtime.dir/trap_wms.cc.o.d"
+  "CMakeFiles/edb_runtime.dir/vm_wms.cc.o"
+  "CMakeFiles/edb_runtime.dir/vm_wms.cc.o.d"
+  "libedb_runtime.a"
+  "libedb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

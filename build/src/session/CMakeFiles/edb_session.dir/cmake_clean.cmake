@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edb_session.dir/session.cc.o"
+  "CMakeFiles/edb_session.dir/session.cc.o.d"
+  "libedb_session.a"
+  "libedb_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edb_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

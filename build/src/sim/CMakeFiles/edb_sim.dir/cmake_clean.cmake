@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edb_sim.dir/page_sweep.cc.o"
+  "CMakeFiles/edb_sim.dir/page_sweep.cc.o.d"
+  "CMakeFiles/edb_sim.dir/simulator.cc.o"
+  "CMakeFiles/edb_sim.dir/simulator.cc.o.d"
+  "libedb_sim.a"
+  "libedb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

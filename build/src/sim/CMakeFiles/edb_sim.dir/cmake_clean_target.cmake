@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedb_sim.a"
+)

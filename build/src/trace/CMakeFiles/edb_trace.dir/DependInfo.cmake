@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/object_registry.cc" "src/trace/CMakeFiles/edb_trace.dir/object_registry.cc.o" "gcc" "src/trace/CMakeFiles/edb_trace.dir/object_registry.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/edb_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/edb_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/tracer.cc" "src/trace/CMakeFiles/edb_trace.dir/tracer.cc.o" "gcc" "src/trace/CMakeFiles/edb_trace.dir/tracer.cc.o.d"
+  "/root/repo/src/trace/vaspace.cc" "src/trace/CMakeFiles/edb_trace.dir/vaspace.cc.o" "gcc" "src/trace/CMakeFiles/edb_trace.dir/vaspace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/edb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

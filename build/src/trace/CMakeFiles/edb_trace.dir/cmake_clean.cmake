@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edb_trace.dir/object_registry.cc.o"
+  "CMakeFiles/edb_trace.dir/object_registry.cc.o.d"
+  "CMakeFiles/edb_trace.dir/trace_io.cc.o"
+  "CMakeFiles/edb_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/edb_trace.dir/tracer.cc.o"
+  "CMakeFiles/edb_trace.dir/tracer.cc.o.d"
+  "CMakeFiles/edb_trace.dir/vaspace.cc.o"
+  "CMakeFiles/edb_trace.dir/vaspace.cc.o.d"
+  "libedb_trace.a"
+  "libedb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edb_util.dir/logging.cc.o"
+  "CMakeFiles/edb_util.dir/logging.cc.o.d"
+  "CMakeFiles/edb_util.dir/stats.cc.o"
+  "CMakeFiles/edb_util.dir/stats.cc.o.d"
+  "libedb_util.a"
+  "libedb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wms/alt_index.cc" "src/wms/CMakeFiles/edb_wms.dir/alt_index.cc.o" "gcc" "src/wms/CMakeFiles/edb_wms.dir/alt_index.cc.o.d"
+  "/root/repo/src/wms/monitor_index.cc" "src/wms/CMakeFiles/edb_wms.dir/monitor_index.cc.o" "gcc" "src/wms/CMakeFiles/edb_wms.dir/monitor_index.cc.o.d"
+  "/root/repo/src/wms/software_wms.cc" "src/wms/CMakeFiles/edb_wms.dir/software_wms.cc.o" "gcc" "src/wms/CMakeFiles/edb_wms.dir/software_wms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/edb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edb_wms.dir/alt_index.cc.o"
+  "CMakeFiles/edb_wms.dir/alt_index.cc.o.d"
+  "CMakeFiles/edb_wms.dir/monitor_index.cc.o"
+  "CMakeFiles/edb_wms.dir/monitor_index.cc.o.d"
+  "CMakeFiles/edb_wms.dir/software_wms.cc.o"
+  "CMakeFiles/edb_wms.dir/software_wms.cc.o.d"
+  "libedb_wms.a"
+  "libedb_wms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edb_wms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

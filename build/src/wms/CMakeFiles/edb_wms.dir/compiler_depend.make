@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for edb_wms.
+# This may be replaced when dependencies are built.

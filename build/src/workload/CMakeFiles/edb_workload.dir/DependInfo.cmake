@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/bps.cc" "src/workload/CMakeFiles/edb_workload.dir/bps.cc.o" "gcc" "src/workload/CMakeFiles/edb_workload.dir/bps.cc.o.d"
+  "/root/repo/src/workload/ctex.cc" "src/workload/CMakeFiles/edb_workload.dir/ctex.cc.o" "gcc" "src/workload/CMakeFiles/edb_workload.dir/ctex.cc.o.d"
+  "/root/repo/src/workload/instr.cc" "src/workload/CMakeFiles/edb_workload.dir/instr.cc.o" "gcc" "src/workload/CMakeFiles/edb_workload.dir/instr.cc.o.d"
+  "/root/repo/src/workload/mcc.cc" "src/workload/CMakeFiles/edb_workload.dir/mcc.cc.o" "gcc" "src/workload/CMakeFiles/edb_workload.dir/mcc.cc.o.d"
+  "/root/repo/src/workload/qcd.cc" "src/workload/CMakeFiles/edb_workload.dir/qcd.cc.o" "gcc" "src/workload/CMakeFiles/edb_workload.dir/qcd.cc.o.d"
+  "/root/repo/src/workload/spice.cc" "src/workload/CMakeFiles/edb_workload.dir/spice.cc.o" "gcc" "src/workload/CMakeFiles/edb_workload.dir/spice.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/edb_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/edb_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/edb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/edb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edb_workload.dir/bps.cc.o"
+  "CMakeFiles/edb_workload.dir/bps.cc.o.d"
+  "CMakeFiles/edb_workload.dir/ctex.cc.o"
+  "CMakeFiles/edb_workload.dir/ctex.cc.o.d"
+  "CMakeFiles/edb_workload.dir/instr.cc.o"
+  "CMakeFiles/edb_workload.dir/instr.cc.o.d"
+  "CMakeFiles/edb_workload.dir/mcc.cc.o"
+  "CMakeFiles/edb_workload.dir/mcc.cc.o.d"
+  "CMakeFiles/edb_workload.dir/qcd.cc.o"
+  "CMakeFiles/edb_workload.dir/qcd.cc.o.d"
+  "CMakeFiles/edb_workload.dir/spice.cc.o"
+  "CMakeFiles/edb_workload.dir/spice.cc.o.d"
+  "CMakeFiles/edb_workload.dir/workload.cc.o"
+  "CMakeFiles/edb_workload.dir/workload.cc.o.d"
+  "libedb_workload.a"
+  "libedb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_calib.cc" "tests/CMakeFiles/edb_tests.dir/test_calib.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_calib.cc.o.d"
+  "/root/repo/tests/test_cli.cc" "tests/CMakeFiles/edb_tests.dir/test_cli.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_cli.cc.o.d"
+  "/root/repo/tests/test_instr.cc" "tests/CMakeFiles/edb_tests.dir/test_instr.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_instr.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/edb_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/edb_tests.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_model.cc" "tests/CMakeFiles/edb_tests.dir/test_model.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_model.cc.o.d"
+  "/root/repo/tests/test_monitor_index.cc" "tests/CMakeFiles/edb_tests.dir/test_monitor_index.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_monitor_index.cc.o.d"
+  "/root/repo/tests/test_page_sweep.cc" "tests/CMakeFiles/edb_tests.dir/test_page_sweep.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_page_sweep.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/edb_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_runtime_hw.cc" "tests/CMakeFiles/edb_tests.dir/test_runtime_hw.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_runtime_hw.cc.o.d"
+  "/root/repo/tests/test_runtime_stress.cc" "tests/CMakeFiles/edb_tests.dir/test_runtime_stress.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_runtime_stress.cc.o.d"
+  "/root/repo/tests/test_runtime_trap.cc" "tests/CMakeFiles/edb_tests.dir/test_runtime_trap.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_runtime_trap.cc.o.d"
+  "/root/repo/tests/test_runtime_vm.cc" "tests/CMakeFiles/edb_tests.dir/test_runtime_vm.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_runtime_vm.cc.o.d"
+  "/root/repo/tests/test_session.cc" "tests/CMakeFiles/edb_tests.dir/test_session.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_session.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/edb_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_sim_property.cc" "tests/CMakeFiles/edb_tests.dir/test_sim_property.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_sim_property.cc.o.d"
+  "/root/repo/tests/test_software_wms.cc" "tests/CMakeFiles/edb_tests.dir/test_software_wms.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_software_wms.cc.o.d"
+  "/root/repo/tests/test_study.cc" "tests/CMakeFiles/edb_tests.dir/test_study.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_study.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/edb_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_trace_io.cc" "tests/CMakeFiles/edb_tests.dir/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_trace_io.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/edb_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/test_value_watch.cc" "tests/CMakeFiles/edb_tests.dir/test_value_watch.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_value_watch.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/edb_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/edb_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/edb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/edb_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/edb_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/edb_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/wms/CMakeFiles/edb_wms.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/edb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/edb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/session/CMakeFiles/edb_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/edb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/edb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

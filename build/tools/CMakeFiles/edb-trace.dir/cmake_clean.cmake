@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edb-trace.dir/edb_trace_main.cc.o"
+  "CMakeFiles/edb-trace.dir/edb_trace_main.cc.o.d"
+  "edb-trace"
+  "edb-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edb-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
