@@ -42,6 +42,15 @@ runStudies()
             names.emplace_back(name);
     }
 
+    // EDB_JOBS=N runs every phase-2 simulation on the sharded
+    // parallel simulator with N workers (0 = hardware concurrency);
+    // unset keeps the sequential one-pass simulator.
+    unsigned jobs = 1;
+    if (const char *jobs_env = std::getenv("EDB_JOBS")) {
+        long n = std::strtol(jobs_env, nullptr, 10);
+        jobs = n >= 0 ? (unsigned)n : 1;
+    }
+
     for (const auto &name : names) {
         auto w = workload::makeWorkload(name);
         inform("tracing %s...", w->name());
@@ -50,7 +59,7 @@ runStudies()
         if (host)
             base_us = workload::measureBaseUs(*w, 3);
         set.studies.push_back(
-            report::studyTrace(trace, set.profile, base_us));
+            report::studyTrace(trace, set.profile, base_us, jobs));
         set.traces.push_back(std::move(trace));
     }
     return set;

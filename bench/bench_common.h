@@ -29,12 +29,15 @@ struct StudySet
 /**
  * Run all five workloads and analyze them under the paper's
  * SPARCstation 2 timing profile (Table 2), with base times derived
- * from each program's write density. Honors two environment
+ * from each program's write density. Honors three environment
  * variables:
  *  - EDB_PROFILE=host     analyze under a freshly measured host
  *                         profile with measured wall-clock base
  *                         times instead (slower: runs Appendix A);
- *  - EDB_WORKLOADS=a,b    restrict to a comma-separated subset.
+ *  - EDB_WORKLOADS=a,b    restrict to a comma-separated subset;
+ *  - EDB_JOBS=N           run phase 2 on the sharded parallel
+ *                         simulator with N workers (0 = one per
+ *                         hardware thread).
  */
 StudySet runStudies();
 

@@ -14,7 +14,9 @@
 #include "model/models.h"
 #include "report/study.h"
 #include "report/table.h"
+#include "sim/parallel_sim.h"
 #include "trace/trace_io.h"
+#include "util/thread_pool.h"
 #include "workload/workload.h"
 
 namespace edb::cli {
@@ -29,6 +31,18 @@ selectedProfile()
     if (env && std::strcmp(env, "host") == 0)
         return calib::measureHostProfile();
     return model::sparcStation2();
+}
+
+/** Run the phase-2 simulator with the selected degree of parallelism. */
+sim::SimResult
+simulateWithJobs(const trace::Trace &trace,
+                 const session::SessionSet &sessions, unsigned jobs)
+{
+    if (jobs == 1)
+        return sim::simulate(trace, sessions);
+    sim::ParallelOptions opts;
+    opts.jobs = jobs;
+    return sim::parallelSimulate(trace, sessions, opts);
 }
 
 } // namespace
@@ -49,10 +63,18 @@ usage()
            "  session <trace.trc> <substr> counting variables + "
            "overheads for one session\n"
            "\n"
+           "options:\n"
+           "  --jobs N, -j N     phase-2 simulation worker threads "
+           "(sessions/analyze/session);\n"
+           "                     0 = one per hardware thread, "
+           "default 1\n"
+           "\n"
            "environment:\n"
            "  EDB_PROFILE=host   use timing constants measured on "
            "this host instead of the\n"
-           "                     paper's SPARCstation 2 values\n";
+           "                     paper's SPARCstation 2 values\n"
+           "  EDB_JOBS=N         default for --jobs 0 and the bench "
+           "binaries\n";
 }
 
 int
@@ -100,11 +122,11 @@ cmdInfo(const std::string &path, std::ostream &out)
 
 int
 cmdSessions(const std::string &path, std::size_t top,
-            std::ostream &out)
+            std::ostream &out, unsigned jobs)
 {
     trace::Trace trace = trace::loadTrace(path);
     auto sessions = session::SessionSet::enumerate(trace);
-    auto sim = sim::simulate(trace, sessions);
+    auto sim = simulateWithJobs(trace, sessions, jobs);
 
     std::vector<session::SessionId> ranked;
     for (session::SessionId id = 0; id < sessions.size(); ++id) {
@@ -132,11 +154,12 @@ cmdSessions(const std::string &path, std::size_t top,
 }
 
 int
-cmdAnalyze(const std::string &path, std::ostream &out)
+cmdAnalyze(const std::string &path, std::ostream &out, unsigned jobs)
 {
     trace::Trace trace = trace::loadTrace(path);
     auto profile = selectedProfile();
-    report::ProgramStudy study = report::studyTrace(trace, profile);
+    report::ProgramStudy study =
+        report::studyTrace(trace, profile, 0, jobs);
 
     out << "program " << study.program << ": "
         << study.activeSessions.size()
@@ -167,11 +190,12 @@ cmdAnalyze(const std::string &path, std::ostream &out)
 
 int
 cmdSession(const std::string &path, const std::string &needle,
-           std::ostream &out, std::ostream &err)
+           std::ostream &out, std::ostream &err, unsigned jobs)
 {
     trace::Trace trace = trace::loadTrace(path);
     auto profile = selectedProfile();
-    report::ProgramStudy study = report::studyTrace(trace, profile);
+    report::ProgramStudy study =
+        report::studyTrace(trace, profile, 0, jobs);
 
     session::SessionId chosen = 0xffffffff;
     for (session::SessionId id : study.activeSessions) {
@@ -216,28 +240,53 @@ int
 run(const std::vector<std::string> &args, std::ostream &out,
     std::ostream &err)
 {
-    if (args.empty()) {
+    // Extract the global --jobs/-j flag; everything else is
+    // positional. --jobs 0 resolves to the EDB_JOBS/hardware default.
+    std::vector<std::string> rest;
+    unsigned jobs = 1;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--jobs" || args[i] == "-j") {
+            if (i + 1 == args.size()) {
+                err << "error: " << args[i] << " needs a value\n";
+                return 2;
+            }
+            // strtoul silently wraps a leading '-', so screen it out.
+            char *end = nullptr;
+            unsigned long v = std::strtoul(args[++i].c_str(), &end, 10);
+            if (args[i].empty() || args[i][0] == '-' || !end ||
+                *end != '\0' || v > ThreadPool::maxJobs) {
+                err << "error: invalid job count '" << args[i]
+                    << "'\n";
+                return 2;
+            }
+            jobs = v == 0 ? ThreadPool::defaultJobs() : (unsigned)v;
+        } else {
+            rest.push_back(args[i]);
+        }
+    }
+
+    if (rest.empty()) {
         err << usage();
         return 2;
     }
-    const std::string &cmd = args[0];
+    const std::string &cmd = rest[0];
     try {
-        if (cmd == "record" && args.size() == 3)
-            return cmdRecord(args[1], args[2], out);
-        if (cmd == "info" && args.size() == 2)
-            return cmdInfo(args[1], out);
+        if (cmd == "record" && rest.size() == 3)
+            return cmdRecord(rest[1], rest[2], out);
+        if (cmd == "info" && rest.size() == 2)
+            return cmdInfo(rest[1], out);
         if (cmd == "sessions" &&
-            (args.size() == 2 || args.size() == 3)) {
+            (rest.size() == 2 || rest.size() == 3)) {
             std::size_t top =
-                args.size() == 3 ? (std::size_t)std::strtoul(
-                                       args[2].c_str(), nullptr, 10)
+                rest.size() == 3 ? (std::size_t)std::strtoul(
+                                       rest[2].c_str(), nullptr, 10)
                                  : 20;
-            return cmdSessions(args[1], top ? top : 20, out);
+            return cmdSessions(rest[1], top ? top : 20, out, jobs);
         }
-        if (cmd == "analyze" && args.size() == 2)
-            return cmdAnalyze(args[1], out);
-        if (cmd == "session" && args.size() == 3)
-            return cmdSession(args[1], args[2], out, err);
+        if (cmd == "analyze" && rest.size() == 2)
+            return cmdAnalyze(rest[1], out, jobs);
+        if (cmd == "session" && rest.size() == 3)
+            return cmdSession(rest[1], rest[2], out, err, jobs);
     } catch (const std::exception &e) {
         err << "error: " << e.what() << "\n";
         return 1;

@@ -12,7 +12,9 @@
  *   edb-trace session <trace.trc> <substr>   dissect one session
  *
  * `analyze` and `session` honor EDB_PROFILE=host like the bench
- * binaries.
+ * binaries. The phase-2 commands (sessions/analyze/session) accept a
+ * global `--jobs N` (or `-j N`) flag selecting the sharded parallel
+ * simulator; `--jobs 0` means "one worker per hardware thread".
  */
 
 #ifndef EDB_CLI_CLI_H
@@ -41,10 +43,12 @@ int cmdRecord(const std::string &workload, const std::string &path,
               std::ostream &out);
 int cmdInfo(const std::string &path, std::ostream &out);
 int cmdSessions(const std::string &path, std::size_t top,
-                std::ostream &out);
-int cmdAnalyze(const std::string &path, std::ostream &out);
+                std::ostream &out, unsigned jobs = 1);
+int cmdAnalyze(const std::string &path, std::ostream &out,
+               unsigned jobs = 1);
 int cmdSession(const std::string &path, const std::string &needle,
-               std::ostream &out, std::ostream &err);
+               std::ostream &out, std::ostream &err,
+               unsigned jobs = 1);
 /// @}
 
 /** The usage text. */

@@ -5,13 +5,14 @@
 
 #include "report/study.h"
 
+#include "sim/parallel_sim.h"
 #include "util/logging.h"
 
 namespace edb::report {
 
 ProgramStudy
 studyTrace(const trace::Trace &trace, const model::TimingProfile &timing,
-           double base_us)
+           double base_us, unsigned jobs)
 {
     ProgramStudy study;
     study.program = trace.program;
@@ -25,7 +26,13 @@ studyTrace(const trace::Trace &trace, const model::TimingProfile &timing,
                "with an execution rate");
 
     study.sessions = session::SessionSet::enumerate(trace);
-    study.sim = sim::simulate(trace, study.sessions);
+    if (jobs == 1) {
+        study.sim = sim::simulate(trace, study.sessions);
+    } else {
+        sim::ParallelOptions opts;
+        opts.jobs = jobs;
+        study.sim = sim::parallelSimulate(trace, study.sessions, opts);
+    }
 
     // Keep only sessions with at least one hit (Section 8).
     for (session::SessionId id = 0; id < study.sessions.size(); ++id) {

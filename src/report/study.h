@@ -75,10 +75,14 @@ struct ProgramStudy
  * @param base_us      Base execution time in microseconds; pass 0 to
  *                     derive it from the trace's instruction estimate
  *                     and the profile's execution rate.
+ * @param jobs         Simulation worker threads: 1 runs the
+ *                     sequential one-pass simulator, more run the
+ *                     sharded parallel one (bit-identical results),
+ *                     0 picks a default from EDB_JOBS / the hardware.
  */
 ProgramStudy studyTrace(const trace::Trace &trace,
                         const model::TimingProfile &timing,
-                        double base_us = 0);
+                        double base_us = 0, unsigned jobs = 1);
 
 } // namespace edb::report
 

@@ -26,10 +26,16 @@ sessionTypeName(SessionType type)
 SessionSet
 SessionSet::enumerate(const trace::Trace &trace)
 {
+    return enumerate(trace.registry);
+}
+
+SessionSet
+SessionSet::enumerate(const trace::ObjectRegistry &registry)
+{
     using trace::ObjectKind;
 
     SessionSet set;
-    const auto &objects = trace.registry.objects();
+    const auto &objects = registry.objects();
     set.object_sessions_.resize(objects.size());
 
     auto add_session = [&set](SessionType type, ObjectId obj,

@@ -73,6 +73,13 @@ class SessionSet
     /** Enumerate all session instances for a trace. */
     static SessionSet enumerate(const trace::Trace &trace);
 
+    /**
+     * Enumerate from a registry alone. Sessions are defined entirely
+     * by the static object table, so a streaming reader can enumerate
+     * them from the trace header without materializing the events.
+     */
+    static SessionSet enumerate(const trace::ObjectRegistry &registry);
+
     std::size_t size() const { return sessions_.size(); }
 
     const SessionInfo &

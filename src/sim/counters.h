@@ -49,6 +49,32 @@ struct SessionCounters
     std::array<VmCounters, vmPageSizeCount> vm{};
 };
 
+/**
+ * Merge one page-size slot into another. Every VmCounters field is a
+ * sum of per-event contributions, so merging partial results from
+ * disjoint event ranges is plain addition.
+ */
+inline VmCounters &
+operator+=(VmCounters &lhs, const VmCounters &rhs)
+{
+    lhs.protects += rhs.protects;
+    lhs.unprotects += rhs.unprotects;
+    lhs.activePageMisses += rhs.activePageMisses;
+    return lhs;
+}
+
+/** Merge a session's counters; see operator+=(VmCounters&, ...). */
+inline SessionCounters &
+operator+=(SessionCounters &lhs, const SessionCounters &rhs)
+{
+    lhs.installs += rhs.installs;
+    lhs.removes += rhs.removes;
+    lhs.hits += rhs.hits;
+    for (std::size_t i = 0; i < vmPageSizeCount; ++i)
+        lhs.vm[i] += rhs.vm[i];
+    return lhs;
+}
+
 /** Result of simulating every session of a trace in one pass. */
 struct SimResult
 {
@@ -62,6 +88,25 @@ struct SimResult
     misses(std::size_t session) const
     {
         return totalWrites - counters[session].hits;
+    }
+
+    /**
+     * Fold another partial result (the counters of a disjoint shard of
+     * the event stream) into this one. The empty result (no sessions)
+     * adopts the other's session count; otherwise the session counts
+     * must agree.
+     */
+    SimResult &
+    merge(const SimResult &other)
+    {
+        if (counters.empty())
+            counters.resize(other.counters.size());
+        EDB_ASSERT(counters.size() == other.counters.size(),
+                   "merging results over different session sets");
+        totalWrites += other.totalWrites;
+        for (std::size_t s = 0; s < counters.size(); ++s)
+            counters[s] += other.counters[s];
+        return *this;
     }
 };
 

@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Implementation of the sharded parallel simulator: boundary snapshot
+ * maintenance, the per-shard replayer, and the two dispatch front ends
+ * (in-memory and streaming).
+ */
+
+#include "sim/parallel_sim.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace edb::sim {
+
+using session::SessionId;
+using session::SessionSet;
+using trace::Event;
+using trace::EventKind;
+using trace::ObjectId;
+using trace::Trace;
+using trace::TraceReader;
+
+namespace {
+
+/** One live monitor in a shard-boundary snapshot. */
+struct LiveMonitor
+{
+    Addr begin;
+    Addr end;
+    ObjectId obj;
+};
+
+/** The installed-monitor state at a shard boundary, sorted by begin. */
+using Snapshot = std::vector<LiveMonitor>;
+
+/**
+ * The running install/remove state the sequential scanner maintains
+ * between shard dispatches: begin -> (end, object).
+ */
+using LiveMap = std::map<Addr, std::pair<Addr, ObjectId>>;
+
+Snapshot
+snapshotOf(const LiveMap &live)
+{
+    Snapshot snap;
+    snap.reserve(live.size());
+    for (const auto &[begin, rest] : live)
+        snap.push_back(LiveMonitor{begin, rest.first, rest.second});
+    return snap;
+}
+
+/**
+ * Advance the running state over one shard's install/remove events.
+ * Writes are ignored here — the scanner only tracks what the *next*
+ * shard's boundary snapshot needs.
+ */
+void
+advanceLiveState(LiveMap &live, const Event *events, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const Event &e = events[i];
+        if (e.kind == EventKind::InstallMonitor) {
+            const AddrRange r = e.range();
+            auto [it, inserted] =
+                live.emplace(r.begin, std::make_pair(r.end, e.aux));
+            EDB_ASSERT(inserted, "overlapping install at %s",
+                       r.str().c_str());
+            (void)it;
+        } else if (e.kind == EventKind::RemoveMonitor) {
+            const AddrRange r = e.range();
+            auto it = live.find(r.begin);
+            EDB_ASSERT(it != live.end() && it->second.first == r.end &&
+                           it->second.second == e.aux,
+                       "remove %s does not match a live install",
+                       r.str().c_str());
+            live.erase(it);
+        }
+    }
+}
+
+/** A currently installed object instance, as the replayer tracks it. */
+struct LiveObj
+{
+    Addr end;
+    ObjectId obj;
+};
+
+/** Per-page (session, active-monitor-count) entries; see simulator.cc. */
+using PageSessionVec = std::vector<std::pair<SessionId, std::uint32_t>>;
+
+/**
+ * Replay one shard against its boundary snapshot, producing partial
+ * counters. The event-processing logic deliberately mirrors
+ * simulate()'s — the differential test asserts the two agree — with
+ * one difference: the live/page state is *seeded* from the snapshot
+ * without counting, because the install events that created that state
+ * were counted by the shards that contain them.
+ */
+SimResult
+replayShard(const Event *events, std::size_t n, const Snapshot &snap,
+            const SessionSet &sessions)
+{
+    SimResult result;
+    result.counters.resize(sessions.size());
+
+    std::map<Addr, LiveObj> live;
+    std::array<std::unordered_map<Addr, PageSessionVec>,
+               vmPageSizeCount> pages;
+
+    // Seed the interval map and the per-page active counts from the
+    // boundary snapshot. Page counts are a pure function of the live
+    // set, so no protect/unprotect transitions are implied here.
+    for (const LiveMonitor &m : snap) {
+        live.emplace(m.begin, LiveObj{m.end, m.obj});
+        const AddrRange r(m.begin, m.end);
+        for (SessionId s : sessions.sessionsOf(m.obj)) {
+            for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+                auto [first, last] = pageSpan(r, vmPageSizes[i]);
+                for (Addr p = first; p <= last; ++p) {
+                    PageSessionVec &vec = pages[i][p];
+                    auto entry = std::find_if(
+                        vec.begin(), vec.end(), [s](const auto &kv) {
+                            return kv.first == s;
+                        });
+                    if (entry == vec.end())
+                        vec.emplace_back(s, 1);
+                    else
+                        ++entry->second;
+                }
+            }
+        }
+    }
+
+    std::vector<std::uint64_t> hit_epoch(sessions.size(), 0);
+    std::array<std::vector<std::uint64_t>, vmPageSizeCount> miss_epoch;
+    for (auto &v : miss_epoch)
+        v.assign(sessions.size(), 0);
+    std::uint64_t epoch = 0;
+
+    for (std::size_t idx = 0; idx < n; ++idx) {
+        const Event &e = events[idx];
+        switch (e.kind) {
+          case EventKind::InstallMonitor: {
+            const AddrRange r = e.range();
+            auto [it, inserted] = live.emplace(r.begin,
+                                               LiveObj{r.end, e.aux});
+            EDB_ASSERT(inserted, "overlapping install at %s",
+                       r.str().c_str());
+            if (it != live.begin()) {
+                auto prev = std::prev(it);
+                EDB_ASSERT(prev->second.end <= r.begin,
+                           "install %s overlaps a live object",
+                           r.str().c_str());
+            }
+            if (auto next = std::next(it); next != live.end()) {
+                EDB_ASSERT(r.end <= next->first,
+                           "install %s overlaps a live object",
+                           r.str().c_str());
+            }
+
+            for (SessionId s : sessions.sessionsOf(e.aux)) {
+                ++result.counters[s].installs;
+                for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+                    auto [first, last] = pageSpan(r, vmPageSizes[i]);
+                    for (Addr p = first; p <= last; ++p) {
+                        PageSessionVec &vec = pages[i][p];
+                        auto entry = std::find_if(
+                            vec.begin(), vec.end(),
+                            [s](const auto &kv) {
+                                return kv.first == s;
+                            });
+                        if (entry == vec.end()) {
+                            vec.emplace_back(s, 1);
+                            ++result.counters[s].vm[i].protects;
+                        } else {
+                            ++entry->second;
+                        }
+                    }
+                }
+            }
+            break;
+          }
+
+          case EventKind::RemoveMonitor: {
+            const AddrRange r = e.range();
+            auto it = live.find(r.begin);
+            EDB_ASSERT(it != live.end() && it->second.end == r.end &&
+                           it->second.obj == e.aux,
+                       "remove %s does not match a live install",
+                       r.str().c_str());
+            live.erase(it);
+
+            for (SessionId s : sessions.sessionsOf(e.aux)) {
+                ++result.counters[s].removes;
+                for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+                    auto [first, last] = pageSpan(r, vmPageSizes[i]);
+                    for (Addr p = first; p <= last; ++p) {
+                        auto page_it = pages[i].find(p);
+                        EDB_ASSERT(page_it != pages[i].end(),
+                                   "page table corrupt on remove");
+                        PageSessionVec &vec = page_it->second;
+                        auto entry = std::find_if(
+                            vec.begin(), vec.end(),
+                            [s](const auto &kv) {
+                                return kv.first == s;
+                            });
+                        EDB_ASSERT(entry != vec.end(),
+                                   "page table corrupt on remove");
+                        if (--entry->second == 0) {
+                            ++result.counters[s].vm[i].unprotects;
+                            *entry = vec.back();
+                            vec.pop_back();
+                            if (vec.empty())
+                                pages[i].erase(page_it);
+                        }
+                    }
+                }
+            }
+            break;
+          }
+
+          case EventKind::Write: {
+            ++result.totalWrites;
+            ++epoch;
+            const AddrRange w = e.range();
+
+            auto it = live.upper_bound(w.begin);
+            if (it != live.begin()) {
+                auto prev = std::prev(it);
+                if (prev->second.end > w.begin)
+                    it = prev;
+            }
+            for (; it != live.end() && it->first < w.end; ++it) {
+                if (it->second.end <= w.begin)
+                    continue;
+                for (SessionId s : sessions.sessionsOf(it->second.obj)) {
+                    if (hit_epoch[s] != epoch) {
+                        hit_epoch[s] = epoch;
+                        ++result.counters[s].hits;
+                    }
+                }
+            }
+
+            for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+                auto [first, last] = pageSpan(w, vmPageSizes[i]);
+                for (Addr p = first; p <= last; ++p) {
+                    auto page_it = pages[i].find(p);
+                    if (page_it == pages[i].end())
+                        continue;
+                    for (const auto &[s, count] : page_it->second) {
+                        if (hit_epoch[s] == epoch ||
+                            miss_epoch[i][s] == epoch) {
+                            continue;
+                        }
+                        miss_epoch[i][s] = epoch;
+                        ++result.counters[s].vm[i].activePageMisses;
+                    }
+                }
+            }
+            break;
+          }
+        }
+    }
+    return result;
+}
+
+/**
+ * Shared dispatch loop. `next` yields the shard buffers one at a time
+ * (empty span = end of stream); ownership of each buffer stays with
+ * the caller-provided shared_ptr so the worker can hold it until its
+ * replay finishes.
+ */
+template <typename NextShard>
+SimResult
+dispatchShards(NextShard &&next, const SessionSet &sessions,
+               const ParallelOptions &opts, ParallelStats *stats)
+{
+    const unsigned jobs = std::min(
+        opts.jobs ? opts.jobs : ThreadPool::defaultJobs(),
+        ThreadPool::maxJobs);
+    const std::size_t shard_events =
+        std::max<std::size_t>(opts.shardEvents, 1);
+
+    SimResult merged;
+    merged.counters.resize(sessions.size());
+
+    ParallelStats local_stats;
+    local_stats.jobs = jobs;
+
+    // Declared before the pool so workers never outlive them.
+    std::deque<SimResult> parts;
+    std::atomic<std::size_t> buffered{0};
+    std::atomic<std::size_t> peak_buffered{0};
+    LiveMap running;
+    {
+        // Queue bound = jobs: with the jobs shards being replayed,
+        // at most 2 x jobs + 1 shards are resident at once.
+        ThreadPool pool(jobs, jobs);
+
+        while (true) {
+            auto buf = std::make_shared<std::vector<Event>>();
+            if (!next(*buf, shard_events))
+                break;
+
+            Snapshot snap = snapshotOf(running);
+            // The scanner consumes the shard's install/removes now;
+            // the worker only ever reads the buffer.
+            advanceLiveState(running, buf->data(), buf->size());
+
+            std::size_t resident =
+                buffered.fetch_add(buf->size(),
+                                   std::memory_order_relaxed) +
+                buf->size();
+            std::size_t seen =
+                peak_buffered.load(std::memory_order_relaxed);
+            while (resident > seen &&
+                   !peak_buffered.compare_exchange_weak(
+                       seen, resident, std::memory_order_relaxed)) {
+            }
+
+            parts.emplace_back();
+            SimResult *out = &parts.back();
+            ++local_stats.shards;
+
+            pool.submit([buf, snap = std::move(snap), out, &sessions,
+                         &buffered] {
+                *out = replayShard(buf->data(), buf->size(), snap,
+                                   sessions);
+                buffered.fetch_sub(buf->size(),
+                                   std::memory_order_relaxed);
+            });
+        }
+        pool.wait();
+    }
+
+    for (const SimResult &part : parts)
+        merged.merge(part);
+
+    local_stats.peakBufferedEvents =
+        peak_buffered.load(std::memory_order_relaxed);
+    if (stats)
+        *stats = local_stats;
+    return merged;
+}
+
+} // namespace
+
+SimResult
+parallelSimulate(const Trace &trace, const SessionSet &sessions,
+                 const ParallelOptions &opts, ParallelStats *stats)
+{
+    std::size_t offset = 0;
+    auto next = [&](std::vector<Event> &buf, std::size_t shard_events) {
+        if (offset >= trace.events.size())
+            return false;
+        std::size_t n = std::min(shard_events,
+                                 trace.events.size() - offset);
+        buf.assign(trace.events.begin() + (std::ptrdiff_t)offset,
+                   trace.events.begin() + (std::ptrdiff_t)(offset + n));
+        offset += n;
+        return true;
+    };
+
+    SimResult result = dispatchShards(next, sessions, opts, stats);
+    EDB_ASSERT(result.totalWrites == trace.totalWrites,
+               "trace totalWrites header (%llu) disagrees with events "
+               "(%llu)",
+               (unsigned long long)trace.totalWrites,
+               (unsigned long long)result.totalWrites);
+    return result;
+}
+
+SimResult
+parallelSimulate(TraceReader &reader, const SessionSet &sessions,
+                 const ParallelOptions &opts, ParallelStats *stats)
+{
+    EDB_ASSERT(reader.eventsRead() == 0,
+               "streaming simulation needs a fresh TraceReader");
+
+    auto next = [&](std::vector<Event> &buf, std::size_t shard_events) {
+        buf.resize(shard_events);
+        std::size_t n = reader.read(buf.data(), shard_events);
+        buf.resize(n);
+        return n > 0;
+    };
+
+    SimResult result = dispatchShards(next, sessions, opts, stats);
+    // The reader validated its trailer against the stream; cross-check
+    // the replay against both.
+    EDB_ASSERT(result.totalWrites == reader.totalWrites(),
+               "replayed write count (%llu) disagrees with the trace "
+               "trailer (%llu)",
+               (unsigned long long)result.totalWrites,
+               (unsigned long long)reader.totalWrites());
+    return result;
+}
+
+} // namespace edb::sim

@@ -31,18 +31,26 @@ ObjectRegistry::internFunction(std::string_view name)
     return id;
 }
 
-ObjectId
-ObjectRegistry::internVariable(ObjectKind kind, FunctionId owner,
-                               std::string_view name, Addr size)
+std::string
+ObjectRegistry::variableKey(ObjectKind kind, FunctionId owner,
+                            std::string_view name)
 {
-    EDB_ASSERT(kind != ObjectKind::Heap,
-               "heap objects are not interned; use addHeapObject");
     std::string key;
     key.reserve(name.size() + 16);
     key += (char)('0' + (int)kind);
     key += std::to_string(owner);
     key += ':';
     key += name;
+    return key;
+}
+
+ObjectId
+ObjectRegistry::internVariable(ObjectKind kind, FunctionId owner,
+                               std::string_view name, Addr size)
+{
+    EDB_ASSERT(kind != ObjectKind::Heap,
+               "heap objects are not interned; use addHeapObject");
+    std::string key = variableKey(kind, owner, name);
     auto it = variable_ids_.find(key);
     if (it != variable_ids_.end()) {
         EDB_ASSERT(objects_[it->second].size == size,
@@ -99,6 +107,14 @@ ObjectRegistry::findFunction(std::string_view name) const
 {
     auto it = function_ids_.find(std::string(name));
     return it == function_ids_.end() ? invalidFunction : it->second;
+}
+
+ObjectId
+ObjectRegistry::findVariable(ObjectKind kind, FunctionId owner,
+                             std::string_view name) const
+{
+    auto it = variable_ids_.find(variableKey(kind, owner, name));
+    return it == variable_ids_.end() ? invalidObject : it->second;
 }
 
 } // namespace edb::trace

@@ -93,6 +93,14 @@ class ObjectRegistry
     const std::string &functionName(FunctionId id) const;
     FunctionId findFunction(std::string_view name) const;
 
+    /**
+     * Look up an interned variable; invalidObject when absent. Lets
+     * the trace reader reject a corrupt duplicate object record as a
+     * parse error instead of tripping internVariable's invariants.
+     */
+    ObjectId findVariable(ObjectKind kind, FunctionId owner,
+                          std::string_view name) const;
+
     std::size_t objectCount() const { return objects_.size(); }
     std::size_t functionCount() const { return functions_.size(); }
 
@@ -103,6 +111,9 @@ class ObjectRegistry
     }
 
   private:
+    static std::string variableKey(ObjectKind kind, FunctionId owner,
+                                   std::string_view name);
+
     std::vector<std::string> functions_;
     std::unordered_map<std::string, FunctionId> function_ids_;
     std::vector<ObjectInfo> objects_;

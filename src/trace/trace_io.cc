@@ -1,23 +1,44 @@
 /**
  * @file
- * Implementation of the binary trace format.
+ * Implementation of the binary trace format: the streaming TraceReader
+ * decoder and the whole-trace convenience wrappers built on it.
  */
 
 #include "trace/trace_io.h"
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdint>
-#include <fstream>
+#include <cstdio>
 #include <istream>
+#include <limits>
 #include <ostream>
-
-#include "util/logging.h"
 
 namespace edb::trace {
 
 namespace {
 
 constexpr char magic[8] = {'E', 'D', 'B', 'T', 'R', 'C', '0', '2'};
+
+/** Sanity caps: a corrupt varint must not drive a giant allocation
+ *  before the stream runs dry. */
+constexpr std::uint64_t maxTableEntries = 1u << 28;
+constexpr std::uint64_t maxStringBytes = 1u << 20;
+constexpr std::uint64_t maxEvents = 1ull << 33;
+
+[[noreturn]] void
+parseError(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void
+parseError(const char *fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    throw TraceError(buf);
+}
 
 /** LEB128 unsigned varint writer. */
 void
@@ -30,23 +51,11 @@ putVarint(std::ostream &os, std::uint64_t v)
     os.put((char)v);
 }
 
-/** LEB128 unsigned varint reader. */
-std::uint64_t
-getVarint(std::istream &is)
+void
+putString(std::ostream &os, const std::string &s)
 {
-    std::uint64_t v = 0;
-    int shift = 0;
-    while (true) {
-        int c = is.get();
-        if (c == EOF)
-            EDB_FATAL("trace file truncated inside a varint");
-        v |= (std::uint64_t)(c & 0x7f) << shift;
-        if (!(c & 0x80))
-            return v;
-        shift += 7;
-        if (shift >= 64)
-            EDB_FATAL("trace file varint overflows 64 bits");
-    }
+    putVarint(os, s.size());
+    os.write(s.data(), (std::streamsize)s.size());
 }
 
 /** Zig-zag encode a signed delta into an unsigned varint payload. */
@@ -62,28 +71,237 @@ unzigzag(std::uint64_t v)
     return (std::int64_t)(v >> 1) ^ -(std::int64_t)(v & 1);
 }
 
-void
-putString(std::ostream &os, const std::string &s)
+} // namespace
+
+TraceReader::TraceReader(std::istream &is, std::size_t buffer_bytes)
+    : is_(&is), buf_(std::max<std::size_t>(buffer_bytes, 64))
 {
-    putVarint(os, s.size());
-    os.write(s.data(), (std::streamsize)s.size());
+    parseHeader();
+}
+
+TraceReader::TraceReader(const std::string &path,
+                         std::size_t buffer_bytes)
+    : file_(path, std::ios::binary), is_(&file_),
+      buf_(std::max<std::size_t>(buffer_bytes, 64))
+{
+    if (!file_)
+        parseError("cannot open '%s' for reading", path.c_str());
+    parseHeader();
+}
+
+void
+TraceReader::refill()
+{
+    is_->read(buf_.data(), (std::streamsize)buf_.size());
+    buf_len_ = (std::size_t)is_->gcount();
+    buf_pos_ = 0;
+}
+
+int
+TraceReader::getByte()
+{
+    if (buf_pos_ == buf_len_) {
+        refill();
+        if (buf_len_ == 0)
+            return -1;
+    }
+    return (unsigned char)buf_[buf_pos_++];
+}
+
+void
+TraceReader::getBytes(char *out, std::size_t n)
+{
+    while (n > 0) {
+        if (buf_pos_ == buf_len_) {
+            refill();
+            if (buf_len_ == 0)
+                parseError("trace file truncated");
+        }
+        std::size_t take = std::min(n, buf_len_ - buf_pos_);
+        std::copy_n(buf_.data() + buf_pos_, take, out);
+        buf_pos_ += take;
+        out += take;
+        n -= take;
+    }
+}
+
+std::uint64_t
+TraceReader::getVarint()
+{
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+        int c = getByte();
+        if (c < 0)
+            parseError("trace file truncated inside a varint");
+        v |= (std::uint64_t)(c & 0x7f) << shift;
+        if (!(c & 0x80))
+            return v;
+        shift += 7;
+        if (shift >= 64)
+            parseError("trace file varint overflows 64 bits");
+    }
 }
 
 std::string
-getString(std::istream &is)
+TraceReader::getString()
 {
-    auto n = getVarint(is);
-    if (n > (1u << 20))
-        EDB_FATAL("trace file string length %llu implausible",
-                  (unsigned long long)n);
-    std::string s(n, '\0');
-    is.read(s.data(), (std::streamsize)n);
-    if ((std::uint64_t)is.gcount() != n)
-        EDB_FATAL("trace file truncated inside a string");
+    auto n = getVarint();
+    if (n > maxStringBytes)
+        parseError("trace file string length %llu implausible",
+                   (unsigned long long)n);
+    std::string s((std::size_t)n, '\0');
+    getBytes(s.data(), (std::size_t)n);
     return s;
 }
 
-} // namespace
+void
+TraceReader::parseHeader()
+{
+    char got[sizeof(magic)];
+    getBytes(got, sizeof(got));
+    if (!std::equal(std::begin(got), std::end(got), std::begin(magic)))
+        parseError("not an EDB trace file (bad magic)");
+
+    program_ = getString();
+
+    auto nfuncs = getVarint();
+    if (nfuncs > maxTableEntries)
+        parseError("trace file function count %llu implausible",
+                   (unsigned long long)nfuncs);
+    for (std::uint64_t i = 0; i < nfuncs; ++i) {
+        FunctionId id = registry_.internFunction(getString());
+        if (id != i)
+            parseError("duplicate function name in trace file");
+    }
+
+    auto nsites = getVarint();
+    if (nsites > maxTableEntries)
+        parseError("trace file write-site count %llu implausible",
+                   (unsigned long long)nsites);
+    write_sites_.reserve((std::size_t)std::min<std::uint64_t>(
+        nsites, maxStringBytes));
+    for (std::uint64_t i = 0; i < nsites; ++i)
+        write_sites_.push_back(getString());
+
+    auto nobjs = getVarint();
+    if (nobjs > maxTableEntries)
+        parseError("trace file object count %llu implausible",
+                   (unsigned long long)nobjs);
+    for (std::uint64_t i = 0; i < nobjs; ++i) {
+        auto kind_raw = getVarint();
+        if (kind_raw > (std::uint64_t)ObjectKind::Heap)
+            parseError("trace file object kind invalid");
+        auto kind = (ObjectKind)kind_raw;
+        std::string name = getString();
+        auto owner_raw = getVarint();
+        FunctionId owner = owner_raw == 0
+                               ? invalidFunction
+                               : (FunctionId)(owner_raw - 1);
+        Addr size = getVarint();
+        auto nctx = getVarint();
+        if (nctx > maxTableEntries)
+            parseError("trace file context length %llu implausible",
+                       (unsigned long long)nctx);
+        std::vector<FunctionId> ctx;
+        ctx.reserve((std::size_t)nctx);
+        for (std::uint64_t j = 0; j < nctx; ++j)
+            ctx.push_back((FunctionId)getVarint());
+
+        if (owner != invalidFunction && owner >= nfuncs)
+            parseError("trace file object owner out of range");
+        for (FunctionId fid : ctx) {
+            if (fid >= nfuncs)
+                parseError("trace file alloc context out of range");
+        }
+
+        ObjectId id;
+        if (kind == ObjectKind::Heap) {
+            id = registry_.addHeapObject(name, std::move(ctx), size);
+        } else {
+            // A duplicate record would either collide in the interner
+            // (wrong id) or trip its same-size invariant; reject both
+            // as corruption before interning.
+            if (registry_.findVariable(kind, owner, name) !=
+                invalidObject) {
+                parseError("duplicate object record in trace file");
+            }
+            id = registry_.internVariable(kind, owner, name, size);
+        }
+        if (id != i)
+            parseError("object table corrupt in trace file");
+    }
+
+    event_count_ = getVarint();
+    if (event_count_ > maxEvents)
+        parseError("trace file event count %llu implausible",
+                   (unsigned long long)event_count_);
+    if (event_count_ == 0)
+        parseTrailer();
+}
+
+std::size_t
+TraceReader::read(Event *out, std::size_t max)
+{
+    std::size_t produced = 0;
+    while (produced < max && events_read_ < event_count_) {
+        Event e;
+        auto kind_raw = getVarint();
+        if (kind_raw > (std::uint64_t)EventKind::Write)
+            parseError("trace file event kind invalid");
+        e.kind = (EventKind)kind_raw;
+        e.begin = prev_begin_ + (Addr)unzigzag(getVarint());
+        auto size = getVarint();
+        if (size > std::numeric_limits<std::uint32_t>::max())
+            parseError("trace file event size %llu implausible",
+                       (unsigned long long)size);
+        e.size = (std::uint32_t)size;
+        auto aux = getVarint();
+        if (aux > std::numeric_limits<std::uint32_t>::max())
+            parseError("trace file event aux %llu implausible",
+                       (unsigned long long)aux);
+        e.aux = (std::uint32_t)aux;
+        prev_begin_ = e.begin;
+        if (e.kind == EventKind::Write) {
+            ++writes_seen_;
+        } else if (e.aux >= registry_.objectCount()) {
+            parseError("trace file event object id out of range");
+        }
+        out[produced++] = e;
+        ++events_read_;
+    }
+    if (events_read_ == event_count_ && !done_)
+        parseTrailer();
+    return produced;
+}
+
+void
+TraceReader::parseTrailer()
+{
+    total_writes_ = getVarint();
+    estimated_instructions_ = getVarint();
+    if (total_writes_ != writes_seen_) {
+        parseError("trace file write-count trailer (%llu) disagrees "
+                   "with the event stream (%llu)",
+                   (unsigned long long)total_writes_,
+                   (unsigned long long)writes_seen_);
+    }
+    done_ = true;
+}
+
+std::uint64_t
+TraceReader::totalWrites() const
+{
+    EDB_ASSERT(done_, "trailer read before the event stream ended");
+    return total_writes_;
+}
+
+std::uint64_t
+TraceReader::estimatedInstructions() const
+{
+    EDB_ASSERT(done_, "trailer read before the event stream ended");
+    return estimated_instructions_;
+}
 
 void
 writeTrace(const Trace &trace, std::ostream &os)
@@ -129,107 +347,29 @@ writeTrace(const Trace &trace, std::ostream &os)
     putVarint(os, trace.totalWrites);
     putVarint(os, trace.estimatedInstructions);
     if (!os)
-        EDB_FATAL("I/O error while writing trace");
+        throw TraceError("I/O error while writing trace");
 }
 
 Trace
 readTrace(std::istream &is)
 {
-    char got[sizeof(magic)];
-    is.read(got, sizeof(got));
-    if (is.gcount() != sizeof(got) ||
-        !std::equal(std::begin(got), std::end(got), std::begin(magic))) {
-        EDB_FATAL("not an EDB trace file (bad magic)");
-    }
+    TraceReader reader(is);
 
     Trace trace;
-    trace.program = getString(is);
+    trace.program = reader.program();
+    trace.registry = reader.registry();
+    trace.writeSites = reader.writeSites();
 
-    // Sanity caps: a corrupt varint must not drive a giant
-    // allocation before the stream runs dry.
-    constexpr std::uint64_t maxTableEntries = 1u << 28;
-
-    auto nfuncs = getVarint(is);
-    if (nfuncs > maxTableEntries)
-        EDB_FATAL("trace file function count %llu implausible",
-                  (unsigned long long)nfuncs);
-    for (std::uint64_t i = 0; i < nfuncs; ++i) {
-        FunctionId id = trace.registry.internFunction(getString(is));
-        if (id != i)
-            EDB_FATAL("duplicate function name in trace file");
-    }
-
-    auto nsites = getVarint(is);
-    if (nsites > maxTableEntries)
-        EDB_FATAL("trace file write-site count %llu implausible",
-                  (unsigned long long)nsites);
-    trace.writeSites.reserve(nsites);
-    for (std::uint64_t i = 0; i < nsites; ++i)
-        trace.writeSites.push_back(getString(is));
-
-    auto nobjs = getVarint(is);
-    if (nobjs > maxTableEntries)
-        EDB_FATAL("trace file object count %llu implausible",
-                  (unsigned long long)nobjs);
-    for (std::uint64_t i = 0; i < nobjs; ++i) {
-        auto kind = (ObjectKind)getVarint(is);
-        std::string name = getString(is);
-        auto owner_raw = getVarint(is);
-        FunctionId owner = owner_raw == 0
-                               ? invalidFunction
-                               : (FunctionId)(owner_raw - 1);
-        Addr size = getVarint(is);
-        auto nctx = getVarint(is);
-        if (nctx > maxTableEntries)
-            EDB_FATAL("trace file context length %llu implausible",
-                      (unsigned long long)nctx);
-        std::vector<FunctionId> ctx;
-        ctx.reserve(nctx);
-        for (std::uint64_t j = 0; j < nctx; ++j)
-            ctx.push_back((FunctionId)getVarint(is));
-
-        if (owner != invalidFunction && owner >= nfuncs)
-            EDB_FATAL("trace file object owner out of range");
-        for (FunctionId fid : ctx) {
-            if (fid >= nfuncs)
-                EDB_FATAL("trace file alloc context out of range");
-        }
-        if ((std::uint64_t)kind > (std::uint64_t)ObjectKind::Heap)
-            EDB_FATAL("trace file object kind invalid");
-
-        ObjectId id;
-        if (kind == ObjectKind::Heap)
-            id = trace.registry.addHeapObject(name, std::move(ctx), size);
-        else
-            id = trace.registry.internVariable(kind, owner, name, size);
-        if (id != i)
-            EDB_FATAL("object table corrupt in trace file");
-    }
-
-    auto nevents = getVarint(is);
-    if (nevents > (1ull << 33))
-        EDB_FATAL("trace file event count %llu implausible",
-                  (unsigned long long)nevents);
     // Reserve conservatively: a corrupt count must fail on stream
     // exhaustion, not on allocation.
     trace.events.reserve((std::size_t)std::min<std::uint64_t>(
-        nevents, 1u << 20));
-    Addr prev_begin = 0;
-    for (std::uint64_t i = 0; i < nevents; ++i) {
-        Event e;
-        auto kind_raw = getVarint(is);
-        if (kind_raw > (std::uint64_t)EventKind::Write)
-            EDB_FATAL("trace file event kind invalid");
-        e.kind = (EventKind)kind_raw;
-        e.begin = prev_begin + (Addr)unzigzag(getVarint(is));
-        e.size = (std::uint32_t)getVarint(is);
-        e.aux = (std::uint32_t)getVarint(is);
-        prev_begin = e.begin;
-        trace.events.push_back(e);
-    }
+        reader.eventCount(), 1u << 20));
+    Event chunk[4096];
+    while (std::size_t n = reader.read(chunk, std::size(chunk)))
+        trace.events.insert(trace.events.end(), chunk, chunk + n);
 
-    trace.totalWrites = getVarint(is);
-    trace.estimatedInstructions = getVarint(is);
+    trace.totalWrites = reader.totalWrites();
+    trace.estimatedInstructions = reader.estimatedInstructions();
     return trace;
 }
 
@@ -238,7 +378,7 @@ saveTrace(const Trace &trace, const std::string &path)
 {
     std::ofstream os(path, std::ios::binary);
     if (!os)
-        EDB_FATAL("cannot open '%s' for writing", path.c_str());
+        parseError("cannot open '%s' for writing", path.c_str());
     writeTrace(trace, os);
 }
 
@@ -247,7 +387,7 @@ loadTrace(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        EDB_FATAL("cannot open '%s' for reading", path.c_str());
+        parseError("cannot open '%s' for reading", path.c_str());
     return readTrace(is);
 }
 

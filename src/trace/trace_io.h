@@ -12,29 +12,150 @@
  * sites), object descriptors, then the event stream. Integers are
  * LEB128 varints; event addresses are delta-encoded against the
  * previous event's begin address, which compresses the strong spatial
- * locality of real write streams.
+ * locality of real write streams. docs/FORMAT.md specifies the layout.
+ *
+ * Two read paths share one decoder:
+ *
+ *  - readTrace/loadTrace materialize a whole Trace, for tools that
+ *    need random access to the event stream;
+ *  - TraceReader streams events in caller-sized chunks after parsing
+ *    the header tables, so phase-2 analysis of a trace runs in O(chunk)
+ *    memory instead of O(trace) (the parallel simulator's streaming
+ *    mode is built on it).
+ *
+ * Malformed or truncated input raises TraceError — a recoverable
+ * error, never a process abort — and corrupt length fields are capped
+ * before they can drive unbounded allocation.
  */
 
 #ifndef EDB_TRACE_TRACE_IO_H
 #define EDB_TRACE_TRACE_IO_H
 
+#include <cstddef>
+#include <fstream>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "trace/trace.h"
 
 namespace edb::trace {
 
-/** Serialize a trace to a stream. Throws nothing; fatals on I/O error. */
+/**
+ * Error reading or writing a trace artifact: unopenable file, bad
+ * magic, truncation, a value out of range, or an inconsistency between
+ * the trailer and the event stream. Recoverable — callers own the
+ * policy (the CLI reports and exits; tests assert on it; a server
+ * would drop the one bad artifact).
+ */
+class TraceError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Incremental trace decoder.
+ *
+ * Construction parses the header and the function/write-site/object
+ * tables (small, O(registry)); the event stream is then pulled in
+ * chunks with read(). After the last event the trailer is parsed and
+ * cross-checked against the stream (the write count must match the
+ * writes actually decoded).
+ *
+ * Input is consumed through an internal refill buffer, one block at a
+ * time, so decoding never touches the stream byte-wise and never needs
+ * the whole artifact in memory.
+ *
+ * Throws TraceError on any malformed input.
+ */
+class TraceReader
+{
+  public:
+    /** Decode from an open stream (caller keeps it alive). */
+    explicit TraceReader(std::istream &is,
+                         std::size_t buffer_bytes = defaultBufferBytes);
+
+    /** Open a file and decode from it. */
+    explicit TraceReader(const std::string &path,
+                         std::size_t buffer_bytes = defaultBufferBytes);
+
+    /** @name Header data, available immediately after construction */
+    /// @{
+    const std::string &program() const { return program_; }
+    const ObjectRegistry &registry() const { return registry_; }
+    const std::vector<std::string> &writeSites() const
+    {
+        return write_sites_;
+    }
+    /** Number of events the header declares. */
+    std::uint64_t eventCount() const { return event_count_; }
+    /// @}
+
+    /**
+     * Decode up to `max` events into `out`.
+     *
+     * @return The number of events produced; 0 exactly when the stream
+     *         is exhausted (at which point the trailer has been parsed
+     *         and validated).
+     */
+    std::size_t read(Event *out, std::size_t max);
+
+    /** Events decoded so far. */
+    std::uint64_t eventsRead() const { return events_read_; }
+
+    /** True once every event and the trailer have been consumed. */
+    bool done() const { return done_; }
+
+    /** @name Trailer data, valid once done() */
+    /// @{
+    std::uint64_t totalWrites() const;
+    std::uint64_t estimatedInstructions() const;
+    /// @}
+
+    static constexpr std::size_t defaultBufferBytes = 256 * 1024;
+
+  private:
+    void refill();
+    int getByte();
+    void getBytes(char *out, std::size_t n);
+    std::uint64_t getVarint();
+    std::string getString();
+    void parseHeader();
+    void parseTrailer();
+
+    std::ifstream file_; ///< backing storage for the path constructor
+    std::istream *is_;
+    std::vector<char> buf_;
+    std::size_t buf_pos_ = 0;
+    std::size_t buf_len_ = 0;
+
+    std::string program_;
+    ObjectRegistry registry_;
+    std::vector<std::string> write_sites_;
+    std::uint64_t event_count_ = 0;
+    std::uint64_t events_read_ = 0;
+    std::uint64_t writes_seen_ = 0;
+    Addr prev_begin_ = 0;
+    bool done_ = false;
+    std::uint64_t total_writes_ = 0;
+    std::uint64_t estimated_instructions_ = 0;
+};
+
+/** Serialize a trace to a stream. Throws TraceError on I/O error. */
 void writeTrace(const Trace &trace, std::ostream &os);
 
-/** Serialize a trace to a file. */
+/** Serialize a trace to a file. Throws TraceError on I/O error. */
 void saveTrace(const Trace &trace, const std::string &path);
 
-/** Deserialize a trace from a stream; fatals on malformed input. */
+/**
+ * Deserialize a whole trace from a stream. Throws TraceError on
+ * malformed input.
+ */
 Trace readTrace(std::istream &is);
 
-/** Deserialize a trace from a file. */
+/** Deserialize a trace from a file. Throws TraceError. */
 Trace loadTrace(const std::string &path);
 
 } // namespace edb::trace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Implementation of the bounded-queue worker pool.
+ */
+
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace edb {
+
+ThreadPool::ThreadPool(unsigned threads, std::size_t max_queued)
+    : max_queued_(max_queued)
+{
+    if (threads == 0)
+        threads = 1;
+    if (threads > maxJobs)
+        threads = maxJobs;
+    workers_.reserve(threads);
+    try {
+        for (unsigned i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    } catch (...) {
+        // Thread creation failed partway (resource exhaustion): shut
+        // down the workers that did start, then rethrow. Without this
+        // the vector of joinable threads would std::terminate.
+        {
+            std::unique_lock lock(mutex_);
+            stopping_ = true;
+        }
+        queue_not_empty_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+        throw;
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock lock(mutex_);
+        all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+        stopping_ = true;
+    }
+    queue_not_empty_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock lock(mutex_);
+        queue_not_full_.wait(lock, [this] {
+            return max_queued_ == 0 || queue_.size() < max_queued_;
+        });
+        queue_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    queue_not_empty_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(mutex_);
+    all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    if (first_error_) {
+        std::exception_ptr e = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(e);
+    }
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("EDB_JOBS")) {
+        long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return (unsigned)n;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            queue_not_empty_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ with nothing left to run
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        queue_not_full_.notify_one();
+
+        try {
+            task();
+        } catch (...) {
+            std::unique_lock lock(mutex_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+
+        {
+            std::unique_lock lock(mutex_);
+            if (--in_flight_ == 0)
+                all_idle_.notify_all();
+        }
+    }
+}
+
+} // namespace edb

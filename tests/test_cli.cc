@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "cli/cli.h"
 
 namespace edb::cli {
@@ -20,8 +22,13 @@ class CliTest : public ::testing::Test
     static void
     SetUpTestSuite()
     {
+        // Per-process name: ctest runs each case of this suite in its
+        // own process, concurrently under -j; a shared fixed path
+        // would let one process delete or rewrite the trace while
+        // another is reading it.
         path_ = new std::string(::testing::TempDir() +
-                                "/edb_cli_test.trc");
+                                "/edb_cli_test." +
+                                std::to_string(::getpid()) + ".trc");
         std::ostringstream out;
         ASSERT_EQ(cmdRecord("bps", *path_, out), 0);
         ASSERT_NE(out.str().find("recorded"), std::string::npos);

@@ -9,9 +9,6 @@
 #include <cstdio>
 #include <sstream>
 
-#include <csignal>
-#include <sys/wait.h>
-
 #include "trace/trace_io.h"
 #include "trace/tracer.h"
 #include "util/rng.h"
@@ -136,42 +133,74 @@ TEST(TraceIo, EncodingIsCompact)
     EXPECT_LT(encoded, in_memory / 2);
 }
 
-TEST(TraceIoDeath, BadMagicIsFatal)
+TEST(TraceIoErrors, BadMagicThrows)
 {
     std::stringstream ss;
     ss << "NOTATRACEFILE.....";
-    EXPECT_EXIT((void)readTrace(ss), ::testing::ExitedWithCode(1),
-                "bad magic");
+    try {
+        (void)readTrace(ss);
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad magic"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
-TEST(TraceIoDeath, TruncatedFileIsFatal)
+TEST(TraceIoErrors, TruncatedFileThrows)
 {
     Trace original = makeSampleTrace();
     std::stringstream full;
     writeTrace(original, full);
     std::string bytes = full.str();
     std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
-    EXPECT_EXIT((void)readTrace(truncated),
-                ::testing::ExitedWithCode(1), "truncated");
+    try {
+        (void)readTrace(truncated);
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
-TEST(TraceIoDeath, MissingFileIsFatal)
+TEST(TraceIoErrors, MissingFileThrows)
 {
-    EXPECT_EXIT((void)loadTrace("/nonexistent/path/trace.trc"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    try {
+        (void)loadTrace("/nonexistent/path/trace.trc");
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find("cannot open"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceIoErrors, ErrorIsRecoverable)
+{
+    // The recoverable contract: after a failed parse the process is
+    // intact and can go on to load a good trace.
+    std::stringstream bad("EDBTRC02\xff\xff\xff\xff garbage");
+    EXPECT_THROW((void)readTrace(bad), TraceError);
+
+    Trace original = makeSampleTrace();
+    std::stringstream good;
+    writeTrace(original, good);
+    Trace loaded = readTrace(good);
+    expectTracesEqual(original, loaded);
 }
 
 /**
  * Byte-flip fuzzing: a corrupted trace must either load (the flip
- * landed somewhere semantically inert) or terminate through the
- * fatal/panic path — never hang, crash with UB, or allocate
- * unboundedly. Each fuzz case runs in a death-test child.
+ * landed somewhere semantically inert) or throw TraceError — never
+ * hang, abort, crash with UB, or allocate unboundedly. Runs
+ * in-process so sanitizer builds check the failure path too.
  */
 class TraceIoFuzz : public ::testing::TestWithParam<int>
 {
 };
 
-TEST_P(TraceIoFuzz, CorruptedBytesNeverCauseUb)
+TEST_P(TraceIoFuzz, CorruptedBytesLoadOrThrow)
 {
     Trace original = makeSampleTrace();
     std::stringstream ss;
@@ -179,34 +208,24 @@ TEST_P(TraceIoFuzz, CorruptedBytesNeverCauseUb)
     std::string bytes = ss.str();
 
     Rng rng((std::uint64_t)GetParam() * 2654435761u + 17);
-    // Flip 1-3 bytes somewhere after the magic.
-    std::string mutated = bytes;
-    constexpr std::size_t magic_len = 8;
-    int flips = 1 + (int)rng.below(3);
-    for (int i = 0; i < flips; ++i) {
-        std::size_t at =
-            magic_len + rng.below(mutated.size() - magic_len);
-        mutated[at] = (char)(mutated[at] ^ (1 << rng.below(8)));
-    }
+    for (int round = 0; round < 40; ++round) {
+        // Flip 1-3 bytes somewhere after the magic.
+        std::string mutated = bytes;
+        constexpr std::size_t magic_len = 8;
+        int flips = 1 + (int)rng.below(3);
+        for (int i = 0; i < flips; ++i) {
+            std::size_t at =
+                magic_len + rng.below(mutated.size() - magic_len);
+            mutated[at] = (char)(mutated[at] ^ (1 << rng.below(8)));
+        }
 
-    // Run the parse in a forked child via EXPECT_EXIT with a
-    // predicate accepting both outcomes: clean load (exit 0) or a
-    // controlled fatal/panic (exit 1 or SIGABRT).
-    auto attempt = [&mutated]() {
         std::stringstream in(mutated);
-        (void)readTrace(in);
-        std::exit(0);
-    };
-    EXPECT_EXIT(attempt(),
-                [](int status) {
-                    if (WIFEXITED(status)) {
-                        int code = WEXITSTATUS(status);
-                        return code == 0 || code == 1;
-                    }
-                    return WIFSIGNALED(status) &&
-                           WTERMSIG(status) == SIGABRT;
-                },
-                "");
+        try {
+            (void)readTrace(in);
+        } catch (const TraceError &) {
+            // A clean, recoverable rejection.
+        }
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Flips, TraceIoFuzz, ::testing::Range(0, 24));

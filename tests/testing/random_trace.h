@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared randomized-trace generator for property and differential
+ * tests: a random but well-formed trace with a random call tree,
+ * locals, globals, heap churn, and writes biased toward live objects
+ * (so monitor hits actually occur). Deterministic per seed.
+ */
+
+#ifndef EDB_TESTS_TESTING_RANDOM_TRACE_H
+#define EDB_TESTS_TESTING_RANDOM_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "trace/tracer.h"
+#include "trace/vaspace.h"
+#include "util/rng.h"
+
+namespace edb::testgen {
+
+inline trace::Trace
+randomTrace(std::uint64_t seed, int steps = 800)
+{
+    Rng rng(seed);
+    trace::Tracer tracer("random");
+
+    int nglobals = 1 + (int)rng.below(4);
+    std::vector<trace::Tracer::Placement> globals;
+    for (int i = 0; i < nglobals; ++i) {
+        globals.push_back(tracer.declareGlobal(
+            ("g" + std::to_string(i)).c_str(),
+            8 + rng.below(6000)));
+    }
+
+    std::vector<trace::Tracer::Placement> live_heap;
+    std::vector<trace::Tracer::Placement> live_locals;
+    std::vector<std::size_t> frame_local_base = {0};
+    const char *funcs[] = {"alpha", "beta", "gamma", "delta"};
+    int depth = 0;
+    tracer.enterFunction("main");
+
+    for (int step = 0; step < steps; ++step) {
+        double act = rng.uniform();
+        if (act < 0.08 && depth < 6) {
+            tracer.enterFunction(funcs[rng.below(4)]);
+            frame_local_base.push_back(live_locals.size());
+            ++depth;
+        } else if (act < 0.14 && depth > 0) {
+            live_locals.resize(frame_local_base.back());
+            frame_local_base.pop_back();
+            tracer.exitFunction();
+            --depth;
+        } else if (act < 0.22) {
+            // Variable size is part of the name: re-instantiated
+            // variables must keep their declared size.
+            Addr size = 4 + 4 * rng.below(8);
+            live_locals.push_back(tracer.declareLocal(
+                ("v" + std::to_string(rng.below(3)) + "_" +
+                 std::to_string(size))
+                    .c_str(),
+                size));
+        } else if (act < 0.30) {
+            live_heap.push_back(tracer.heapAlloc(
+                ("site" + std::to_string(rng.below(3))).c_str(),
+                8 + rng.below(120)));
+        } else if (act < 0.36 && !live_heap.empty()) {
+            std::size_t pick = rng.below(live_heap.size());
+            if (rng.chance(0.3)) {
+                live_heap[pick] = tracer.heapRealloc(
+                    live_heap[pick], 8 + rng.below(300));
+            } else {
+                tracer.heapFree(live_heap[pick]);
+                live_heap.erase(live_heap.begin() +
+                                (std::ptrdiff_t)pick);
+            }
+        } else {
+            // A write: 60% at a live object, 40% anywhere nearby.
+            Addr addr;
+            Addr size = 1 + rng.below(8);
+            double where = rng.uniform();
+            const trace::Tracer::Placement *target = nullptr;
+            if (where < 0.25 && !live_locals.empty())
+                target = &live_locals[rng.below(live_locals.size())];
+            else if (where < 0.45 && !live_heap.empty())
+                target = &live_heap[rng.below(live_heap.size())];
+            else if (where < 0.60)
+                target = &globals[rng.below(globals.size())];
+            if (target) {
+                Addr off = rng.below(target->size + 32);
+                addr = target->addr + off;
+                if (rng.chance(0.2) && addr >= 8)
+                    addr -= 4; // sometimes straddle the front edge
+            } else {
+                // Arbitrary address in one of the segments.
+                switch (rng.below(3)) {
+                  case 0:
+                    addr = trace::VirtualAddressSpace::globalBase +
+                           rng.below(1 << 14);
+                    break;
+                  case 1:
+                    addr = trace::VirtualAddressSpace::heapBase +
+                           rng.below(1 << 14);
+                    break;
+                  default:
+                    addr = trace::VirtualAddressSpace::stackBase -
+                           rng.below(1 << 12);
+                    break;
+                }
+            }
+            tracer.write(addr, size, (std::uint32_t)rng.below(64));
+        }
+    }
+    return tracer.finish();
+}
+
+} // namespace edb::testgen
+
+#endif // EDB_TESTS_TESTING_RANDOM_TRACE_H
