@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Adaptive-versus-fixed strategy comparison over all five workloads.
+ *
+ * For every retained monitor session the StrategyAdvisor's pick is
+ * compared against the best and worst *fixed* strategy under the
+ * Section-7 models, where "best fixed" is feasibility-aware: a fixed
+ * NativeHardware deployment simply cannot run a session that needs
+ * more concurrent monitors than the register file holds (paper
+ * Section 9: "no existing processor could have supported all of the
+ * monitor sessions used in our experiment"), so such sessions compare
+ * against the best strategy that can.
+ *
+ * The differential acceptance bound is checked here: per session,
+ * adaptive modeled overhead must be within 5% of the best feasible
+ * fixed strategy's. Any violation fails the benchmark. Emits
+ * BENCH_adaptive.json.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "model/advisor.h"
+#include "report/table.h"
+
+namespace {
+
+using namespace edb;
+
+struct ProgramRow
+{
+    std::string program;
+    std::size_t sessions = 0;
+    std::size_t hwFeasible = 0;
+    /** Sessions where adaptive == best feasible fixed. */
+    std::size_t optimal = 0;
+    std::size_t violations = 0;
+    double adaptiveMean = 0;
+    double bestFixedMean = 0;
+    double worstFixedMean = 0;
+    /** Max of adaptive/bestFixed overhead ratios (1.0 = optimal). */
+    double worstRatio = 1.0;
+    std::array<std::size_t, 5> picks{};
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::StudySet set = bench::runStudies();
+    // The acceptance bound from the differential criterion.
+    const double bound = 1.05;
+
+    std::vector<ProgramRow> rows;
+    bool ok = true;
+
+    for (const report::ProgramStudy &study : set.studies) {
+        ProgramRow row;
+        row.program = study.program;
+        row.sessions = study.activeSessions.size();
+        row.hwFeasible = study.hwFeasibleSessions;
+        row.picks = study.pickCounts;
+
+        const double n = row.sessions ? (double)row.sessions : 1;
+        for (std::size_t pos = 0; pos < study.activeSessions.size();
+             ++pos) {
+            const model::Advice &advice = study.advice[pos];
+            const double adaptive = advice.pickedOverhead().totalUs();
+
+            // Best/worst fixed strategy this session could actually
+            // run on, from the same ranking the advisor computed.
+            double best = -1, worst = -1;
+            for (const model::RankedStrategy &r : advice.ranking) {
+                if (!r.feasible)
+                    continue;
+                double us = r.overhead.totalUs();
+                if (best < 0 || us < best)
+                    best = us;
+                if (us > worst)
+                    worst = us;
+            }
+
+            row.adaptiveMean += adaptive / n;
+            row.bestFixedMean += best / n;
+            row.worstFixedMean += worst / n;
+
+            const double ratio = best > 0 ? adaptive / best : 1.0;
+            row.worstRatio = std::max(row.worstRatio, ratio);
+            if (adaptive <= best * bound)
+                ++row.optimal;
+            else {
+                ++row.violations;
+                ok = false;
+                std::fprintf(
+                    stderr,
+                    "FAIL: %s session %u: adaptive %.1f us > best "
+                    "fixed %.1f us * %.2f\n",
+                    study.program.c_str(), study.activeSessions[pos],
+                    adaptive, best, bound);
+            }
+        }
+        rows.push_back(row);
+    }
+
+    report::TextTable table;
+    table.header({"Program", "Sessions", "HW-fit", "Adaptive",
+                  "Best fixed", "Worst fixed", "Max ratio"});
+    for (const ProgramRow &r : rows) {
+        table.row({r.program, report::fmtCount(r.sessions),
+                   report::fmtCount(r.hwFeasible),
+                   report::fmt(r.adaptiveMean / 1000, 1),
+                   report::fmt(r.bestFixedMean / 1000, 1),
+                   report::fmt(r.worstFixedMean / 1000, 1),
+                   report::fmt(r.worstRatio, 3)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("(mean modeled overhead per session, ms; Max ratio = "
+                "worst adaptive/best-fixed; bound %.2f)\n",
+                bound);
+
+    std::FILE *json = std::fopen("BENCH_adaptive.json", "w");
+    if (!json) {
+        std::perror("BENCH_adaptive.json");
+        return 1;
+    }
+    std::fprintf(json,
+                 "{\n"
+                 "  \"profile\": \"%s\",\n"
+                 "  \"bound\": %.2f,\n"
+                 "  \"ok\": %s,\n"
+                 "  \"programs\": [\n",
+                 set.profile.name.c_str(), bound, ok ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ProgramRow &r = rows[i];
+        std::fprintf(
+            json,
+            "    {\"program\": \"%s\", \"sessions\": %zu, "
+            "\"hw_feasible\": %zu, \"optimal\": %zu, "
+            "\"violations\": %zu,\n"
+            "     \"adaptive_mean_us\": %.1f, \"best_fixed_mean_us\": "
+            "%.1f, \"worst_fixed_mean_us\": %.1f, "
+            "\"worst_ratio\": %.4f,\n"
+            "     \"picks\": {\"NH\": %zu, \"VM4K\": %zu, \"VM8K\": "
+            "%zu, \"TP\": %zu, \"CP\": %zu}}%s\n",
+            r.program.c_str(), r.sessions, r.hwFeasible, r.optimal,
+            r.violations, r.adaptiveMean, r.bestFixedMean,
+            r.worstFixedMean, r.worstRatio, r.picks[0], r.picks[1],
+            r.picks[2], r.picks[3], r.picks[4],
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nWrote BENCH_adaptive.json\n");
+
+    return ok ? 0 : 1;
+}

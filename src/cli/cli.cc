@@ -62,12 +62,17 @@ usage()
            "overhead statistics\n"
            "  session <trace.trc> <substr> counting variables + "
            "overheads for one session\n"
+           "  advise <trace.trc> [N]       recommend the cheapest "
+           "feasible strategy per session\n"
+           "                               (adaptive vs fixed "
+           "aggregate + top-N detail, default 20)\n"
            "\n"
            "options:\n"
            "  --jobs N, -j N     phase-2 simulation worker threads "
-           "(sessions/analyze/session);\n"
+           "(sessions/analyze/session/advise);\n"
            "                     0 = one per hardware thread, "
            "default 1\n"
+           "  --help, -h         print this message and exit\n"
            "\n"
            "environment:\n"
            "  EDB_PROFILE=host   use timing constants measured on "
@@ -237,6 +242,78 @@ cmdSession(const std::string &path, const std::string &needle,
 }
 
 int
+cmdAdvise(const std::string &path, std::size_t top, std::ostream &out,
+          unsigned jobs)
+{
+    trace::Trace trace = trace::loadTrace(path);
+    auto profile = selectedProfile();
+    report::ProgramStudy study =
+        report::studyTrace(trace, profile, 0, jobs);
+
+    out << "program " << study.program << ": "
+        << study.activeSessions.size() << " active sessions, "
+        << study.hwFeasibleSessions << " fit the "
+        << model::AdvisorPolicy{}.hwRegisters
+        << "-register hardware; base time "
+        << report::fmt(study.baseUs / 1000, 0) << " ms ("
+        << profile.name << ")\n\n";
+
+    // Adaptive (the advisor's per-session pick) against every fixed
+    // strategy, over the retained-session population.
+    report::TextTable agg;
+    agg.header({"Strategy", "Mean", "90%", "Max", "Picked"});
+    auto statRow = [&](const std::string &name, const SummaryStats &s,
+                       std::size_t picked) {
+        agg.row({name, report::fmt(s.mean), report::fmt(s.p90),
+                 report::fmt(s.max), report::fmtCount(picked)});
+    };
+    statRow("Adaptive", study.adaptiveStats,
+            study.activeSessions.size());
+    for (std::size_t s = 0; s < model::allStrategies.size(); ++s)
+        statRow(model::strategyName(model::allStrategies[s]),
+                study.overheadStats[s], study.pickCounts[s]);
+    out << agg.render()
+        << "(relative overhead; Picked = sessions for which the "
+           "advisor chose the strategy)\n\n";
+
+    // Per-session detail: top-N positions by monitor hits. The
+    // adaptive vectors are parallel to activeSessions, so rank the
+    // positions, not the session ids.
+    std::vector<std::size_t> ranked(study.activeSessions.size());
+    for (std::size_t i = 0; i < ranked.size(); ++i)
+        ranked[i] = i;
+    std::sort(ranked.begin(), ranked.end(),
+              [&study](std::size_t a, std::size_t b) {
+                  return study.sim.counters[study.activeSessions[a]]
+                             .hits >
+                         study.sim.counters[study.activeSessions[b]]
+                             .hits;
+              });
+
+    out << "top " << top << " sessions by monitor hits:\n";
+    report::TextTable table;
+    table.header({"Hits", "Peak", "Best", "Rel", "Session"});
+    for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+        std::size_t pos = ranked[i];
+        session::SessionId id = study.activeSessions[pos];
+        const model::Advice &advice = study.advice[pos];
+        std::string best = model::strategyAbbrev(advice.pick);
+        if (advice.pick != advice.unconstrained)
+            best += "*";
+        table.row({report::fmtCount(study.sim.counters[id].hits),
+                   report::fmtCount(study.shapes[pos].peakLiveMonitors),
+                   best,
+                   report::fmt(study.adaptiveRelativeOverheads[pos], 2) +
+                       "x",
+                   study.sessions.describe(id, trace)});
+    }
+    out << table.render()
+        << "(Peak = concurrent monitors; * = pick constrained by the "
+           "register file)\n";
+    return 0;
+}
+
+int
 run(const std::vector<std::string> &args, std::ostream &out,
     std::ostream &err)
 {
@@ -244,8 +321,14 @@ run(const std::vector<std::string> &args, std::ostream &out,
     // positional. --jobs 0 resolves to the EDB_JOBS/hardware default.
     std::vector<std::string> rest;
     unsigned jobs = 1;
+    bool jobs_given = false;
     for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--help" || args[i] == "-h") {
+            out << usage();
+            return 0;
+        }
         if (args[i] == "--jobs" || args[i] == "-j") {
+            jobs_given = true;
             if (i + 1 == args.size()) {
                 err << "error: " << args[i] << " needs a value\n";
                 return 2;
@@ -270,6 +353,13 @@ run(const std::vector<std::string> &args, std::ostream &out,
         return 2;
     }
     const std::string &cmd = rest[0];
+    // --jobs configures the phase-2 simulator; accepting it on the
+    // phase-1 commands would silently do nothing, so reject it.
+    if (jobs_given && (cmd == "record" || cmd == "info")) {
+        err << "error: --jobs does not apply to the phase-1 command '"
+            << cmd << "' (it selects phase-2 simulation workers)\n";
+        return 2;
+    }
     try {
         if (cmd == "record" && rest.size() == 3)
             return cmdRecord(rest[1], rest[2], out);
@@ -287,6 +377,13 @@ run(const std::vector<std::string> &args, std::ostream &out,
             return cmdAnalyze(rest[1], out, jobs);
         if (cmd == "session" && rest.size() == 3)
             return cmdSession(rest[1], rest[2], out, err, jobs);
+        if (cmd == "advise" && (rest.size() == 2 || rest.size() == 3)) {
+            std::size_t top =
+                rest.size() == 3 ? (std::size_t)std::strtoul(
+                                       rest[2].c_str(), nullptr, 10)
+                                 : 20;
+            return cmdAdvise(rest[1], top ? top : 20, out, jobs);
+        }
     } catch (const std::exception &e) {
         err << "error: " << e.what() << "\n";
         return 1;

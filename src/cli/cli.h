@@ -10,11 +10,14 @@
  *   edb-trace sessions <trace.trc> [N]       enumerate monitor sessions
  *   edb-trace analyze <trace.trc>            phase 2: Table-4 statistics
  *   edb-trace session <trace.trc> <substr>   dissect one session
+ *   edb-trace advise <trace.trc> [N]         per-session strategy advice
  *
- * `analyze` and `session` honor EDB_PROFILE=host like the bench
- * binaries. The phase-2 commands (sessions/analyze/session) accept a
- * global `--jobs N` (or `-j N`) flag selecting the sharded parallel
- * simulator; `--jobs 0` means "one worker per hardware thread".
+ * `analyze`, `session` and `advise` honor EDB_PROFILE=host like the
+ * bench binaries. The phase-2 commands (sessions/analyze/session/
+ * advise) accept a global `--jobs N` (or `-j N`) flag selecting the
+ * sharded parallel simulator; `--jobs 0` means "one worker per
+ * hardware thread". Phase-1 commands (record/info) reject --jobs.
+ * `--help`/`-h` prints usage to stdout and exits 0.
  */
 
 #ifndef EDB_CLI_CLI_H
@@ -49,6 +52,8 @@ int cmdAnalyze(const std::string &path, std::ostream &out,
 int cmdSession(const std::string &path, const std::string &needle,
                std::ostream &out, std::ostream &err,
                unsigned jobs = 1);
+int cmdAdvise(const std::string &path, std::size_t top,
+              std::ostream &out, unsigned jobs = 1);
 /// @}
 
 /** The usage text. */

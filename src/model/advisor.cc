@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Strategy advisor implementation: shape pass + model ranking.
+ */
+
+#include "model/advisor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace edb::model {
+
+std::vector<SessionShape>
+computeSessionShapes(const trace::Trace &trace,
+                     const session::SessionSet &sessions)
+{
+    using trace::EventKind;
+
+    std::vector<SessionShape> shapes(sessions.size());
+    // Live monitors per session. Only install/remove events touch it,
+    // and those are a small fraction of any realistic trace.
+    std::vector<std::uint32_t> live(sessions.size(), 0);
+
+    for (const trace::Event &e : trace.events) {
+        switch (e.kind) {
+          case EventKind::InstallMonitor:
+            for (session::SessionId s : sessions.sessionsOf(e.aux)) {
+                SessionShape &shape = shapes[s];
+                shape.peakLiveMonitors =
+                    std::max(shape.peakLiveMonitors, ++live[s]);
+                shape.maxMonitorBytes =
+                    std::max(shape.maxMonitorBytes, (Addr)e.size);
+            }
+            break;
+          case EventKind::RemoveMonitor:
+            for (session::SessionId s : sessions.sessionsOf(e.aux)) {
+                EDB_ASSERT(live[s] > 0,
+                           "remove without install in session %u", s);
+                --live[s];
+            }
+            break;
+          case EventKind::Write:
+            break;
+        }
+    }
+    return shapes;
+}
+
+StrategyAdvisor::StrategyAdvisor(TimingProfile profile,
+                                 AdvisorPolicy policy)
+    : profile_(std::move(profile)), policy_(policy)
+{
+}
+
+bool
+StrategyAdvisor::hardwareFeasible(const SessionShape &shape) const
+{
+    if (shape.peakLiveMonitors > policy_.hwRegisters)
+        return false;
+    return policy_.hwMaxRegisterBytes == 0 ||
+           shape.maxMonitorBytes <= policy_.hwMaxRegisterBytes;
+}
+
+Advice
+StrategyAdvisor::advise(const sim::SessionCounters &counters,
+                        std::uint64_t misses,
+                        const SessionShape &shape) const
+{
+    Advice advice;
+    for (std::size_t i = 0; i < allStrategies.size(); ++i) {
+        Strategy s = allStrategies[i];
+        advice.ranking[i] = RankedStrategy{
+            s, overheadFor(s, counters, misses, profile_),
+            s != Strategy::NativeHardware || hardwareFeasible(shape)};
+    }
+
+    // Feasible strategies first, cheapest first; ties resolve in
+    // table (enum) order so recommendations are deterministic.
+    std::stable_sort(advice.ranking.begin(), advice.ranking.end(),
+                     [](const RankedStrategy &a, const RankedStrategy &b) {
+                         if (a.feasible != b.feasible)
+                             return a.feasible;
+                         return a.overhead.totalUs() <
+                                b.overhead.totalUs();
+                     });
+
+    advice.pick = advice.ranking[0].strategy;
+    advice.unconstrained =
+        std::min_element(advice.ranking.begin(), advice.ranking.end(),
+                         [](const RankedStrategy &a,
+                            const RankedStrategy &b) {
+                             return a.overhead.totalUs() <
+                                    b.overhead.totalUs();
+                         })
+            ->strategy;
+    return advice;
+}
+
+} // namespace edb::model

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Cost-model-driven strategy selection: the hybrid the paper's
+ * Section 9 proposes as future work.
+ *
+ * "A hybrid strategy, for example one combining CodePatch and
+ * NativeHardware, could provide better performance than either
+ * strategy alone." The paper's own data motivates the rule: NH is
+ * fastest whenever a session fits in the monitor registers, CP wins
+ * on the demanding sessions, and "no existing processor could have
+ * supported all of the monitor sessions used in our experiment".
+ *
+ * The StrategyAdvisor turns that observation into code: given one
+ * session's counting variables (Section 7) and its *shape* — the peak
+ * number of concurrently installed monitors versus the 4-register
+ * hardware limit, and the widest monitored region — it evaluates all
+ * five analytical models and returns a ranked recommendation in which
+ * strategies the session cannot run on (NativeHardware beyond the
+ * register file) are marked infeasible and never picked.
+ *
+ * The advisor is the *planning* half of the adaptive subsystem; the
+ * *live* half is wms::AdaptiveWms, which starts a session on the
+ * advisor's pick and re-evaluates the same crossovers online from
+ * observed counters (DESIGN.md section 8).
+ */
+
+#ifndef EDB_MODEL_ADVISOR_H
+#define EDB_MODEL_ADVISOR_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "model/models.h"
+#include "session/session.h"
+#include "trace/trace.h"
+
+namespace edb::model {
+
+/**
+ * Per-session shape facts the analytical models do not capture but
+ * feasibility does: how many monitors the session needs *at once*
+ * (versus the hardware register file) and how wide its regions are
+ * (versus a debug register / a VM page).
+ */
+struct SessionShape
+{
+    /** Peak number of concurrently installed monitors. */
+    std::uint32_t peakLiveMonitors = 0;
+    /** Size in bytes of the widest monitored region. */
+    Addr maxMonitorBytes = 0;
+};
+
+/**
+ * One pass over a trace's install/remove events computing every
+ * session's shape. O(events); write events are skipped, so this is
+ * cheap even for multi-million-event traces.
+ */
+std::vector<SessionShape>
+computeSessionShapes(const trace::Trace &trace,
+                     const session::SessionSet &sessions);
+
+/** Hardware limits the advisor gates NativeHardware on. */
+struct AdvisorPolicy
+{
+    /**
+     * Monitor registers available concurrently (paper Section 3.1:
+     * "No widely-used chip today supports more than four").
+     */
+    std::size_t hwRegisters = 4;
+    /**
+     * Widest region one register can cover; 0 means unlimited — the
+     * paper's idealized monitor registers, which its own NH model
+     * assumes ("an extended SS2"). The live runtime uses 8 (x86 DR7
+     * length encodings); see wms::AdaptiveWms.
+     */
+    Addr hwMaxRegisterBytes = 0;
+};
+
+/** One strategy's position in a ranked recommendation. */
+struct RankedStrategy
+{
+    Strategy strategy = Strategy::CodePatch;
+    /** The Section-7 model's predicted overhead for this session. */
+    Overhead overhead;
+    /** False when the session cannot run on this strategy at all. */
+    bool feasible = true;
+};
+
+/**
+ * A ranked strategy recommendation for one monitor session: feasible
+ * strategies first, cheapest first within each group.
+ */
+struct Advice
+{
+    std::array<RankedStrategy, allStrategies.size()> ranking;
+
+    /** The recommendation: cheapest feasible strategy. */
+    Strategy pick = Strategy::CodePatch;
+    /**
+     * Cheapest strategy ignoring feasibility — what the paper's
+     * hypothetical extended hardware would pick. Differs from `pick`
+     * exactly when the session outgrows the register file.
+     */
+    Strategy unconstrained = Strategy::CodePatch;
+
+    /** The picked strategy's predicted overhead. */
+    const Overhead &
+    pickedOverhead() const
+    {
+        return ranking[0].overhead;
+    }
+};
+
+/**
+ * Scores monitor sessions against the Section-7 analytical models
+ * plus session shape and recommends the fastest feasible strategy.
+ */
+class StrategyAdvisor
+{
+  public:
+    explicit StrategyAdvisor(TimingProfile profile,
+                             AdvisorPolicy policy = {});
+
+    /**
+     * Rank all five strategies for one session.
+     *
+     * @param counters The session's counting variables.
+     * @param misses   MonitorMiss_sigma (total writes - hits).
+     * @param shape    The session's shape facts.
+     */
+    Advice advise(const sim::SessionCounters &counters,
+                  std::uint64_t misses, const SessionShape &shape) const;
+
+    /** True when the session fits the hardware register file. */
+    bool hardwareFeasible(const SessionShape &shape) const;
+
+    const TimingProfile &profile() const { return profile_; }
+    const AdvisorPolicy &policy() const { return policy_; }
+
+  private:
+    TimingProfile profile_;
+    AdvisorPolicy policy_;
+};
+
+} // namespace edb::model
+
+#endif // EDB_MODEL_ADVISOR_H

@@ -43,10 +43,20 @@ studyTrace(const trace::Trace &trace, const model::TimingProfile &timing,
                                  .type];
     }
 
+    // Session shapes + advisor recommendations (DESIGN.md section 8).
+    // The shape pass only touches install/remove events, so it is
+    // cheap next to the simulation itself.
+    model::StrategyAdvisor advisor(timing);
+    std::vector<model::SessionShape> all_shapes =
+        model::computeSessionShapes(trace, study.sessions);
+
     // Table 3 means and Table 4 populations.
     const double n = (double)study.activeSessions.size();
     for (auto &v : study.relativeOverheads)
         v.reserve(study.activeSessions.size());
+    study.shapes.reserve(study.activeSessions.size());
+    study.advice.reserve(study.activeSessions.size());
+    study.adaptiveRelativeOverheads.reserve(study.activeSessions.size());
 
     for (session::SessionId id : study.activeSessions) {
         const auto &c = study.sim.counters[id];
@@ -71,10 +81,22 @@ studyTrace(const trace::Trace &trace, const model::TimingProfile &timing,
             study.relativeOverheads[s].push_back(
                 model::relativeOverhead(o, study.baseUs));
         }
+
+        const model::SessionShape &shape = all_shapes[id];
+        model::Advice advice = advisor.advise(c, misses, shape);
+        study.adaptiveRelativeOverheads.push_back(
+            model::relativeOverhead(advice.pickedOverhead(),
+                                    study.baseUs));
+        ++study.pickCounts[(std::size_t)advice.pick];
+        if (advisor.hardwareFeasible(shape))
+            ++study.hwFeasibleSessions;
+        study.shapes.push_back(shape);
+        study.advice.push_back(std::move(advice));
     }
 
     for (std::size_t s = 0; s < model::allStrategies.size(); ++s)
         study.overheadStats[s] = summarize(study.relativeOverheads[s]);
+    study.adaptiveStats = summarize(study.adaptiveRelativeOverheads);
 
     return study;
 }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "model/advisor.h"
 #include "model/models.h"
 #include "session/session.h"
 #include "sim/simulator.h"
@@ -65,6 +66,26 @@ struct ProgramStudy
     std::array<std::vector<double>, 5> relativeOverheads;
     /** Table 4 statistics of each strategy's population. */
     std::array<SummaryStats, 5> overheadStats;
+
+    /** @name Adaptive strategy selection (DESIGN.md section 8) */
+    /// @{
+    /** Session shapes, parallel to activeSessions. */
+    std::vector<model::SessionShape> shapes;
+    /** Advisor recommendations, parallel to activeSessions. */
+    std::vector<model::Advice> advice;
+    /**
+     * Relative overhead of the advisor's pick per retained session —
+     * what an adaptive WMS that chose the fastest feasible backend
+     * would cost. Parallel to activeSessions.
+     */
+    std::vector<double> adaptiveRelativeOverheads;
+    /** Statistics of the adaptive population. */
+    SummaryStats adaptiveStats;
+    /** Retained sessions picking each strategy (allStrategies order). */
+    std::array<std::size_t, 5> pickCounts{};
+    /** Retained sessions where NativeHardware is shape-feasible. */
+    std::size_t hwFeasibleSessions = 0;
+    /// @}
 };
 
 /**

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Adaptive runtime glue implementation.
+ */
+
+#include "runtime/adaptive.h"
+
+#include "runtime/hw_wms.h"
+#include "runtime/vm_wms.h"
+
+namespace edb::runtime {
+
+wms::AdaptiveCosts
+adaptiveCostsFrom(const model::TimingProfile &t)
+{
+    wms::AdaptiveCosts c;
+    c.softwareUpdateUs = t.softwareUpdateUs;
+    c.softwareLookupUs = t.softwareLookupUs;
+    c.nhFaultUs = t.nhFaultUs;
+    c.vmFaultUs = t.vmFaultUs;
+    c.vmProtectUs = t.vmProtectUs;
+    c.vmUnprotectUs = t.vmUnprotectUs;
+    return c;
+}
+
+wms::AdaptiveBackend
+backendFor(model::Strategy s)
+{
+    switch (s) {
+      case model::Strategy::NativeHardware:
+        return wms::AdaptiveBackend::Hardware;
+      case model::Strategy::VirtualMemory4K:
+      case model::Strategy::VirtualMemory8K:
+        return wms::AdaptiveBackend::VirtualMemory;
+      case model::Strategy::TrapPatch:
+      case model::Strategy::CodePatch:
+        return wms::AdaptiveBackend::CodePatch;
+    }
+    return wms::AdaptiveBackend::CodePatch;
+}
+
+std::unique_ptr<wms::AdaptiveWms>
+makeAdaptiveWms(const model::TimingProfile &profile, model::Strategy pick,
+                const AdaptiveRuntimeOptions &ro)
+{
+    wms::AdaptiveOptions opts;
+    opts.costs = adaptiveCostsFrom(profile);
+    opts.initial = backendFor(pick);
+    opts.hwRegisters = HwWms::numRegisters;
+    opts.hwMaxRegisterBytes = 8; // DR7 length encodings
+
+    const bool hwLive = ro.engageHardware && HwWms::available();
+
+    std::unique_ptr<VmWms> vm;
+    if (ro.engageVirtualMemory) {
+        vm = std::make_unique<VmWms>();
+        opts.pageBytes = vm->pageBytes();
+    }
+
+    // The advisor's pick assumed its mechanism exists; when a live
+    // deployment was requested and the mechanism is missing, fall back
+    // to the always-available CodePatch path rather than emulating.
+    if (opts.initial == wms::AdaptiveBackend::Hardware &&
+        ro.engageHardware && !hwLive)
+        opts.initial = wms::AdaptiveBackend::CodePatch;
+    if (opts.initial == wms::AdaptiveBackend::VirtualMemory &&
+        ro.engageVirtualMemory && !vm)
+        opts.initial = wms::AdaptiveBackend::CodePatch;
+
+    auto adaptive = std::make_unique<wms::AdaptiveWms>(opts);
+
+    if (hwLive)
+        adaptive->attachBackend(wms::AdaptiveBackend::Hardware,
+                                std::make_unique<HwWms>());
+    if (vm) {
+        wms::AdaptiveBackendHooks hooks;
+        const VmWms *raw = vm.get();
+        hooks.activePageMisses = [raw] {
+            return raw->stats().activePageMisses;
+        };
+        adaptive->attachBackend(wms::AdaptiveBackend::VirtualMemory,
+                                std::move(vm), std::move(hooks));
+    }
+    return adaptive;
+}
+
+} // namespace edb::runtime

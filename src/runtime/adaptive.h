@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Glue between the model layer's StrategyAdvisor and the live
+ * wms::AdaptiveWms: timing-profile conversion, strategy-to-backend
+ * mapping, and a factory that probes which live mechanisms this host
+ * actually supports.
+ *
+ * This lives in runtime (not wms) on purpose: the wms layer sits
+ * below model in the library stack and must not depend on
+ * model::TimingProfile or model::Advice, while runtime already links
+ * both sides.
+ */
+
+#ifndef EDB_RUNTIME_ADAPTIVE_H
+#define EDB_RUNTIME_ADAPTIVE_H
+
+#include <memory>
+
+#include "model/advisor.h"
+#include "model/timing.h"
+#include "wms/adaptive_wms.h"
+
+namespace edb::runtime {
+
+/** Convert a model timing profile to the adaptive cost table. */
+wms::AdaptiveCosts adaptiveCostsFrom(const model::TimingProfile &t);
+
+/**
+ * Which live backend implements a modeled strategy. TrapPatch maps to
+ * CodePatch: its model is dominated by CodePatch for every counter
+ * mix (same lookups and updates plus a trap per write), so the
+ * advisor never picks it and the adaptive runtime does not carry it.
+ */
+wms::AdaptiveBackend backendFor(model::Strategy s);
+
+/** Live-mechanism knobs for makeAdaptiveWms. */
+struct AdaptiveRuntimeOptions
+{
+    /**
+     * Attach a live runtime::HwWms when HwWms::available(). Off by
+     * default: engaging real mechanisms restricts the debuggee to a
+     * single thread (see the runtime class docs).
+     */
+    bool engageHardware = false;
+    /** Attach a live runtime::VmWms (same caveat, plus mprotect). */
+    bool engageVirtualMemory = false;
+};
+
+/**
+ * Build an AdaptiveWms for this host: costs from the timing profile,
+ * the initial backend from the advisor's pick (clamped to CodePatch
+ * when the pick's live mechanism is requested but unavailable), and
+ * live backends attached per the options with their counter hooks
+ * (VmWms's activePageMisses feeds the thrash-demotion policy).
+ *
+ * @param profile Timing profile driving migration decisions.
+ * @param pick    The advisor's recommended strategy for the session
+ *                about to run (model::Advice::pick).
+ */
+std::unique_ptr<wms::AdaptiveWms>
+makeAdaptiveWms(const model::TimingProfile &profile,
+                model::Strategy pick = model::Strategy::CodePatch,
+                const AdaptiveRuntimeOptions &opts = {});
+
+} // namespace edb::runtime
+
+#endif // EDB_RUNTIME_ADAPTIVE_H

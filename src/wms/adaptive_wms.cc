@@ -1,0 +1,429 @@
+/**
+ * @file
+ * AdaptiveWms implementation: backend arbitration, the online cost
+ * models, and monitor migration.
+ */
+
+#include "wms/adaptive_wms.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace edb::wms {
+
+const char *
+adaptiveBackendName(AdaptiveBackend b)
+{
+    switch (b) {
+      case AdaptiveBackend::Hardware: return "Hardware";
+      case AdaptiveBackend::VirtualMemory: return "VirtualMemory";
+      case AdaptiveBackend::CodePatch: return "CodePatch";
+    }
+    return "?";
+}
+
+AdaptiveWms::AdaptiveWms(AdaptiveOptions opts)
+    : opts_(opts), mode_(opts.initial), software_(opts.pageBytes)
+{
+    EDB_ASSERT(opts_.pageBytes > 0 && opts_.reviewInterval > 0,
+               "bad adaptive options");
+}
+
+AdaptiveWms::~AdaptiveWms()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (WriteMonitorService *live = activeAttachmentLocked()) {
+        for (const AddrRange &r : attached_monitors_)
+            live->removeMonitor(r);
+        attached_monitors_.clear();
+    }
+}
+
+WriteMonitorService *
+AdaptiveWms::activeAttachmentLocked() const
+{
+    return attachments_[(std::size_t)mode_].service.get();
+}
+
+bool
+AdaptiveWms::hwExpressible(const AddrRange &r) const
+{
+    const Addr size = r.size();
+    if (size == 0)
+        return false;
+    if (opts_.hwMaxRegisterBytes == 0)
+        return true; // idealized monitor registers (paper Section 3.1)
+    // One real debug register: power-of-two width up to the limit,
+    // naturally aligned.
+    return size <= opts_.hwMaxRegisterBytes && (size & (size - 1)) == 0 &&
+           r.begin % size == 0;
+}
+
+bool
+AdaptiveWms::hwFeasibleLocked() const
+{
+    return monitors_.size() <= opts_.hwRegisters && hwInexpressible_ == 0;
+}
+
+void
+AdaptiveWms::pageRefsInstallLocked(const AddrRange &r)
+{
+    if (r.empty())
+        return;
+    auto [first, last] = pageSpan(r, opts_.pageBytes);
+    for (Addr p = first; p <= last; ++p) {
+        if (++page_refs_[p] == 1) {
+            ++stats_.pageProtects;
+            ++window_.pageProtects;
+        }
+    }
+}
+
+void
+AdaptiveWms::pageRefsRemoveLocked(const AddrRange &r)
+{
+    if (r.empty())
+        return;
+    auto [first, last] = pageSpan(r, opts_.pageBytes);
+    for (Addr p = first; p <= last; ++p) {
+        auto it = page_refs_.find(p);
+        EDB_ASSERT(it != page_refs_.end() && it->second > 0,
+                   "page refcount underflow at page %llu",
+                   (unsigned long long)p);
+        if (--it->second == 0) {
+            page_refs_.erase(it);
+            ++stats_.pageUnprotects;
+            ++window_.pageUnprotects;
+        }
+    }
+}
+
+bool
+AdaptiveWms::pageMonitoredLocked(const AddrRange &r) const
+{
+    if (r.empty() || page_refs_.empty())
+        return false;
+    auto [first, last] = pageSpan(r, opts_.pageBytes);
+    for (Addr p = first; p <= last; ++p) {
+        if (page_refs_.count(p))
+            return true;
+    }
+    return false;
+}
+
+void
+AdaptiveWms::installMonitor(const AddrRange &r)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.installs;
+    ++window_.installs;
+
+    monitors_.emplace(r.begin, r.end);
+    if (!hwExpressible(r))
+        ++hwInexpressible_;
+    pageRefsInstallLocked(r);
+    software_.installMonitor(r);
+
+    if (mode_ == AdaptiveBackend::Hardware && !hwFeasibleLocked()) {
+        // The install that exhausts (or outgrows) the register file.
+        // Feasibility demotions are unconditional — the session cannot
+        // stay on hardware at any price.
+        ++stats_.capacityDemotions;
+        double vm = windowCostLocked(AdaptiveBackend::VirtualMemory);
+        double cp = windowCostLocked(AdaptiveBackend::CodePatch);
+        switchToLocked(vm < opts_.switchMargin * cp
+                           ? AdaptiveBackend::VirtualMemory
+                           : AdaptiveBackend::CodePatch);
+    } else if (WriteMonitorService *live = activeAttachmentLocked()) {
+        live->installMonitor(r);
+        attached_monitors_.push_back(r);
+    }
+}
+
+void
+AdaptiveWms::removeMonitor(const AddrRange &r)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [lo, hi] = monitors_.equal_range(r.begin);
+    auto it = std::find_if(lo, hi, [&](const auto &kv) {
+        return kv.second == r.end;
+    });
+    EDB_ASSERT(it != hi, "removeMonitor of uninstalled range %s",
+               r.str().c_str());
+    monitors_.erase(it);
+
+    if (!hwExpressible(r)) {
+        EDB_ASSERT(hwInexpressible_ > 0, "inexpressible-count underflow");
+        --hwInexpressible_;
+    }
+    pageRefsRemoveLocked(r);
+    software_.removeMonitor(r);
+
+    if (WriteMonitorService *live = activeAttachmentLocked()) {
+        auto at = std::find(attached_monitors_.begin(),
+                            attached_monitors_.end(), r);
+        if (at != attached_monitors_.end()) {
+            live->removeMonitor(r);
+            attached_monitors_.erase(at);
+        }
+    }
+
+    ++stats_.removes;
+    ++window_.removes;
+    maybePromoteLocked();
+}
+
+void
+AdaptiveWms::setNotificationHandler(NotificationHandler handler)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    handler_ = std::move(handler);
+}
+
+bool
+AdaptiveWms::checkWrite(const AddrRange &written, Addr pc)
+{
+    bool deliver = false;
+    bool hit = false;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.writes;
+        ++window_.writes;
+        ++stats_.writesByBackend[(std::size_t)mode_];
+
+        if (activeAttachmentLocked() == nullptr) {
+            // Emulated / CodePatch path: the instrumented check is
+            // the detection mechanism.
+            hit = software_.index().lookup(written);
+            if (hit) {
+                ++stats_.hits;
+                ++window_.hits;
+                deliver = handler_ != nullptr;
+            } else {
+                ++stats_.misses;
+                ++window_.misses;
+                // An active-page miss under (emulated or prospective)
+                // VirtualMemory: the write faulted for nothing.
+                if (pageMonitoredLocked(written)) {
+                    ++stats_.activePageMisses;
+                    ++window_.activePageMisses;
+                }
+            }
+        }
+        // else: a live backend is engaged — the raw store already
+        // trapped (or didn't) and the runtime delivers the
+        // notification; this call is the elided fast path.
+
+        if (window_.writes >= opts_.reviewInterval)
+            reviewLocked();
+    }
+    // Deliver outside the lock: the handler may call back into the
+    // service (install/remove/checkWrite) without deadlocking.
+    if (deliver)
+        handler_(Notification{written, pc});
+    return hit;
+}
+
+void
+AdaptiveWms::attachBackend(AdaptiveBackend which,
+                           std::unique_ptr<WriteMonitorService> svc,
+                           AdaptiveBackendHooks hooks)
+{
+    EDB_ASSERT(which != AdaptiveBackend::CodePatch,
+               "the CodePatch backend is embedded");
+    EDB_ASSERT(svc != nullptr, "null backend");
+
+    std::lock_guard<std::mutex> lk(mu_);
+    // Forward live notifications: count the hit (atomically — live
+    // runtimes deliver from signal context where mu_ is off limits)
+    // and pass it straight to the client handler.
+    svc->setNotificationHandler([this](const Notification &n) {
+        forwarded_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (handler_)
+            handler_(n);
+    });
+
+    Attachment &slot = attachments_[(std::size_t)which];
+    EDB_ASSERT(slot.service == nullptr, "backend %s already attached",
+               adaptiveBackendName(which));
+    slot.hooks = std::move(hooks);
+    slot.apmBase =
+        slot.hooks.activePageMisses ? slot.hooks.activePageMisses() : 0;
+    slot.service = std::move(svc);
+
+    if (which == mode_) {
+        // Attached after monitors were already installed: engage them.
+        for (const auto &[begin, end] : monitors_) {
+            AddrRange r(begin, end);
+            slot.service->installMonitor(r);
+            attached_monitors_.push_back(r);
+        }
+    }
+}
+
+AdaptiveBackend
+AdaptiveWms::backend() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return mode_;
+}
+
+AdaptiveWmsStats
+AdaptiveWms::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    AdaptiveWmsStats s = stats_;
+    s.forwardedHits = forwarded_hits_.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::size_t
+AdaptiveWms::monitorsInstalled() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return monitors_.size();
+}
+
+double
+AdaptiveWms::windowCostLocked(AdaptiveBackend b) const
+{
+    // The observed window, with live-backend counters folded in: while
+    // a live backend is engaged the instrumented path cannot see hits
+    // (the runtime absorbs them), so read them from the forwarding
+    // counter; VmWms likewise absorbs active-page misses, so probe its
+    // hook. Windows are homogeneous per backend — every migration
+    // resets them — so the folded counters never double count.
+    const Attachment &active = attachments_[(std::size_t)mode_];
+    double hits = (double)window_.hits;
+    double misses = (double)window_.misses;
+    double apm = (double)window_.activePageMisses;
+    if (active.service) {
+        hits += (double)(forwarded_hits_.load(std::memory_order_relaxed) -
+                         forwarded_base_);
+        misses = (double)window_.writes - hits;
+        if (misses < 0)
+            misses = 0;
+        if (active.hooks.activePageMisses)
+            apm += (double)(active.hooks.activePageMisses() -
+                            active.apmBase);
+        else if (mode_ == AdaptiveBackend::VirtualMemory)
+            apm = misses; // worst case: assume misses share hot pages
+    }
+    const double installs = (double)window_.installs;
+    const double removes = (double)window_.removes;
+    const AdaptiveCosts &c = opts_.costs;
+
+    // The Section-7 models (Figures 3, 4, 6) applied to the window.
+    switch (b) {
+      case AdaptiveBackend::Hardware:
+        return hits * c.nhFaultUs;
+      case AdaptiveBackend::VirtualMemory:
+        return (hits + apm) * (c.vmFaultUs + c.softwareLookupUs) +
+               installs *
+                   (c.vmUnprotectUs + c.softwareUpdateUs + c.vmProtectUs) +
+               (double)window_.pageProtects * c.vmProtectUs +
+               removes *
+                   (c.vmUnprotectUs + c.softwareUpdateUs + c.vmProtectUs) +
+               (double)window_.pageUnprotects * c.vmUnprotectUs;
+      case AdaptiveBackend::CodePatch:
+        return (hits + misses) * c.softwareLookupUs +
+               (installs + removes) * c.softwareUpdateUs;
+    }
+    return 0;
+}
+
+void
+AdaptiveWms::switchToLocked(AdaptiveBackend to)
+{
+    if (to == mode_)
+        return;
+
+    // Disengage the old live backend (if any). Its removeMonitor()
+    // tears down traps/protections before the mode flips, so no write
+    // can be detected by two mechanisms at once.
+    if (WriteMonitorService *old = activeAttachmentLocked()) {
+        for (const AddrRange &r : attached_monitors_)
+            old->removeMonitor(r);
+        attached_monitors_.clear();
+    }
+
+    mode_ = to;
+    ++stats_.migrations;
+    if (to == AdaptiveBackend::Hardware)
+        ++stats_.promotions;
+
+    // Engage the new backend with every installed monitor. The shared
+    // software index was maintained all along, so the CodePatch path
+    // needs no work.
+    if (WriteMonitorService *live = activeAttachmentLocked()) {
+        attached_monitors_.reserve(monitors_.size());
+        for (const auto &[begin, end] : monitors_) {
+            AddrRange r(begin, end);
+            live->installMonitor(r);
+            attached_monitors_.push_back(r);
+        }
+    }
+    resetWindowLocked();
+}
+
+void
+AdaptiveWms::reviewLocked()
+{
+    const bool vmThrashing =
+        mode_ == AdaptiveBackend::VirtualMemory &&
+        windowCostLocked(AdaptiveBackend::VirtualMemory) > 0 &&
+        window_.activePageMisses + (window_.writes - window_.hits) > 0;
+
+    AdaptiveBackend best = mode_;
+    double bestCost = windowCostLocked(mode_);
+    for (AdaptiveBackend b :
+         {AdaptiveBackend::Hardware, AdaptiveBackend::VirtualMemory,
+          AdaptiveBackend::CodePatch}) {
+        if (b == mode_)
+            continue;
+        if (b == AdaptiveBackend::Hardware && !hwFeasibleLocked())
+            continue;
+        double cost = windowCostLocked(b);
+        // Hysteresis: the challenger must beat the incumbent by the
+        // configured margin, and the best challenger wins.
+        if (cost < opts_.switchMargin * bestCost) {
+            best = b;
+            bestCost = cost;
+        }
+    }
+
+    if (best != mode_) {
+        if (vmThrashing)
+            ++stats_.thrashDemotions;
+        switchToLocked(best); // resets the window
+    } else {
+        resetWindowLocked();
+    }
+}
+
+void
+AdaptiveWms::maybePromoteLocked()
+{
+    if (mode_ == AdaptiveBackend::Hardware || !hwFeasibleLocked())
+        return;
+    // A remove just brought the session back inside the register file.
+    // Promote when the observed window would have been no more
+    // expensive on hardware (an empty window — e.g. right after a
+    // migration — promotes: hits cost is zero).
+    if (windowCostLocked(AdaptiveBackend::Hardware) <=
+        windowCostLocked(mode_))
+        switchToLocked(AdaptiveBackend::Hardware);
+}
+
+void
+AdaptiveWms::resetWindowLocked()
+{
+    window_ = Window{};
+    forwarded_base_ = forwarded_hits_.load(std::memory_order_relaxed);
+    Attachment &active = attachments_[(std::size_t)mode_];
+    if (active.service && active.hooks.activePageMisses)
+        active.apmBase = active.hooks.activePageMisses();
+}
+
+} // namespace edb::wms

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * The live adaptive write monitor service — the hybrid strategy the
+ * paper's Section 9 proposes as future work ("a hybrid strategy, for
+ * example one combining CodePatch and NativeHardware, could provide
+ * better performance than either strategy alone").
+ *
+ * AdaptiveWms fronts three backends behind the one WMS contract:
+ *
+ *  - Hardware     — NativeHardware monitor registers: at most four
+ *                   concurrent monitors, each 1/2/4/8 bytes and
+ *                   naturally aligned (the x86 DR7 encodings that
+ *                   runtime::HwWms drives). Misses are free.
+ *  - VirtualMemory — page protection: unlimited monitors, but every
+ *                   write to a page holding a monitor faults, hit or
+ *                   miss (the paper's VMActivePageMiss problem).
+ *  - CodePatch    — the embedded SoftwareWms: every instrumented
+ *                   write pays one MonitorIndex lookup; unlimited
+ *                   monitors, no faults.
+ *
+ * Sessions start on the advisor's pick (model::StrategyAdvisor; see
+ * runtime::makeAdaptiveWms for the glue) and *migrate* when the
+ * observed hit/miss/protect mix crosses a model crossover:
+ *
+ *  - a 5th concurrent monitor — or one too wide for a register —
+ *    exhausts the hardware and demotes the session immediately;
+ *  - hot-page thrashing (active-page misses) demotes VirtualMemory;
+ *  - periodic reviews re-score the observed window against the
+ *    analytic models and switch when another backend is cheaper by a
+ *    hysteresis margin (hit-heavy sessions leave Hardware for
+ *    CodePatch, exactly the paper's "demanding sessions" result).
+ *
+ * Like the paper's CodePatch strategy, the debuggee is instrumented:
+ * every store to monitorable state is followed by checkWrite(). The
+ * backend decides what that call costs. On CodePatch (and whenever no
+ * live mechanism is attached) checkWrite performs the software lookup
+ * and delivers the notification itself. When a live HwWms/VmWms is
+ * attached and active, the raw store already trapped — checkWrite is
+ * an elided fast path (the Section 9 "dynamically patched" check) and
+ * the live backend delivers the notification. Exactly one
+ * notification is produced per monitored write in either state, and
+ * across migrations between states; DESIGN.md section 8 gives the
+ * argument.
+ *
+ * Thread safety: installMonitor / removeMonitor / checkWrite are
+ * serialized by an internal mutex, so multithreaded *instrumented*
+ * debuggees are supported (the exactly-once stress test runs under
+ * TSan). Attaching live Hardware/VirtualMemory backends inherits
+ * those runtimes' single-threaded-debuggee constraint for raw writes.
+ * The notification handler is invoked outside the lock (and must not
+ * assume otherwise be re-entered from signal context when a live
+ * backend delivers it); set it before the first write.
+ */
+
+#ifndef EDB_WMS_ADAPTIVE_WMS_H
+#define EDB_WMS_ADAPTIVE_WMS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "wms/software_wms.h"
+#include "wms/write_monitor_service.h"
+
+namespace edb::wms {
+
+/** The three live backends an AdaptiveWms arbitrates between. */
+enum class AdaptiveBackend : std::uint8_t {
+    Hardware = 0,      ///< NativeHardware (runtime::HwWms)
+    VirtualMemory = 1, ///< VirtualMemory (runtime::VmWms)
+    CodePatch = 2,     ///< embedded SoftwareWms
+};
+
+constexpr std::size_t adaptiveBackendCount = 3;
+
+const char *adaptiveBackendName(AdaptiveBackend b);
+
+/**
+ * Per-event costs (microseconds) driving migration decisions — the
+ * timing variables of the paper's Table 2 that the Section-7 models
+ * consume. Defaults are the SPARCstation 2 constants; use
+ * runtime::adaptiveCostsFrom() to fill from any model::TimingProfile
+ * (kept as plain doubles here so the wms layer stays below model).
+ */
+struct AdaptiveCosts
+{
+    double softwareUpdateUs = 22;
+    double softwareLookupUs = 2.75;
+    double nhFaultUs = 131;
+    double vmFaultUs = 561;
+    double vmProtectUs = 80;
+    double vmUnprotectUs = 299;
+};
+
+/** Tuning knobs for the adaptive policy. */
+struct AdaptiveOptions
+{
+    AdaptiveCosts costs;
+
+    /** Backend the first session starts on (the advisor's pick). */
+    AdaptiveBackend initial = AdaptiveBackend::Hardware;
+
+    /** Hardware register file size (paper Section 3.1: four). */
+    std::size_t hwRegisters = 4;
+    /** Widest range one register covers (x86 DR7: 8 bytes). */
+    Addr hwMaxRegisterBytes = 8;
+
+    /** Page size for VirtualMemory cost accounting. */
+    Addr pageBytes = 4096;
+
+    /** Observed writes between policy reviews. */
+    std::uint64_t reviewInterval = 4096;
+    /**
+     * Cost-based migrations require the challenger to beat the
+     * incumbent by this factor (hysteresis against flapping).
+     * Feasibility-based migrations (register exhaustion) are
+     * unconditional.
+     */
+    double switchMargin = 0.8;
+};
+
+/** Lifetime counters kept by AdaptiveWms. */
+struct AdaptiveWmsStats
+{
+    std::uint64_t writes = 0;
+    /** Hits detected by the software (instrumented-check) path. */
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /** Misses that landed on a page holding a monitor. */
+    std::uint64_t activePageMisses = 0;
+    std::uint64_t installs = 0;
+    std::uint64_t removes = 0;
+    /** Page 0->1 / 1->0 monitor transitions (VM cost accounting). */
+    std::uint64_t pageProtects = 0;
+    std::uint64_t pageUnprotects = 0;
+
+    /** Total backend switches. */
+    std::uint64_t migrations = 0;
+    /** Migrations forced by hardware register exhaustion. */
+    std::uint64_t capacityDemotions = 0;
+    /** Migrations out of VirtualMemory driven by active-page misses. */
+    std::uint64_t thrashDemotions = 0;
+    /** Migrations into Hardware. */
+    std::uint64_t promotions = 0;
+
+    /** Notifications delivered by an attached live backend. */
+    std::uint64_t forwardedHits = 0;
+
+    /** Writes observed while each backend was active. */
+    std::array<std::uint64_t, adaptiveBackendCount> writesByBackend{};
+};
+
+/**
+ * Hooks letting an attached live backend report counters the
+ * instrumented path cannot observe while that backend is active
+ * (e.g. VmWms's activePageMisses, which are absorbed in its fault
+ * handler). All hooks return cumulative counts and are called with
+ * the AdaptiveWms lock held.
+ */
+struct AdaptiveBackendHooks
+{
+    std::function<std::uint64_t()> activePageMisses;
+};
+
+/**
+ * Live adaptive WMS: starts on the cheapest predicted backend and
+ * migrates monitors as the observed write mix crosses the analytic
+ * models' crossover points.
+ */
+class AdaptiveWms : public WriteMonitorService
+{
+  public:
+    explicit AdaptiveWms(AdaptiveOptions opts = {});
+    ~AdaptiveWms() override;
+
+    AdaptiveWms(const AdaptiveWms &) = delete;
+    AdaptiveWms &operator=(const AdaptiveWms &) = delete;
+
+    void installMonitor(const AddrRange &r) override;
+    void removeMonitor(const AddrRange &r) override;
+    void setNotificationHandler(NotificationHandler handler) override;
+    /** Unlimited: the CodePatch fallback always absorbs overflow. */
+    std::size_t monitorCapacity() const override { return 0; }
+
+    /**
+     * The instrumented-write hook (call after every store to
+     * monitorable state, as with SoftwareWms).
+     *
+     * @return True when the software path detected a hit. False when
+     *         a live backend is active — detection then happens on
+     *         the raw store and the notification arrives through the
+     *         attached runtime.
+     */
+    bool checkWrite(const AddrRange &written, Addr pc = 0);
+
+    /** Convenience overload for a store of size bytes at addr. */
+    bool
+    checkWrite(Addr addr, Addr size, Addr pc = 0)
+    {
+        return checkWrite(AddrRange(addr, addr + size), pc);
+    }
+
+    /**
+     * Attach a live runtime (runtime::HwWms / runtime::VmWms) to the
+     * Hardware or VirtualMemory slot. While the matching backend is
+     * active, monitors are installed in the runtime, raw writes trap
+     * for real, and checkWrite elides the software lookup. Without an
+     * attachment the backend is *emulated*: detection stays on the
+     * instrumented path while selection and accounting behave
+     * identically. Attach before installing monitors.
+     *
+     * @param which CodePatch is embedded and cannot be replaced.
+     */
+    void attachBackend(AdaptiveBackend which,
+                       std::unique_ptr<WriteMonitorService> svc,
+                       AdaptiveBackendHooks hooks = {});
+
+    /** The currently active backend. */
+    AdaptiveBackend backend() const;
+
+    /** Snapshot of the lifetime counters (copied under the lock). */
+    AdaptiveWmsStats stats() const;
+
+    /** Currently installed monitors. */
+    std::size_t monitorsInstalled() const;
+
+    const AdaptiveOptions &options() const { return opts_; }
+
+  private:
+    /** Counting window since the last review/migration. */
+    struct Window
+    {
+        std::uint64_t writes = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t activePageMisses = 0;
+        std::uint64_t installs = 0;
+        std::uint64_t removes = 0;
+        std::uint64_t pageProtects = 0;
+        std::uint64_t pageUnprotects = 0;
+    };
+
+    /** A live runtime occupying a backend slot. */
+    struct Attachment
+    {
+        std::unique_ptr<WriteMonitorService> service;
+        AdaptiveBackendHooks hooks;
+        /** hooks.activePageMisses value at the last window reset. */
+        std::uint64_t apmBase = 0;
+    };
+
+    /** The live runtime for the active backend, or null (emulated). */
+    WriteMonitorService *activeAttachmentLocked() const;
+
+    bool hwExpressible(const AddrRange &r) const;
+    bool hwFeasibleLocked() const;
+
+    /** Model the window's cost under each backend (Figures 3/4/6). */
+    double windowCostLocked(AdaptiveBackend b) const;
+
+    void switchToLocked(AdaptiveBackend to);
+    void reviewLocked();
+    void maybePromoteLocked();
+    void resetWindowLocked();
+
+    void pageRefsInstallLocked(const AddrRange &r);
+    void pageRefsRemoveLocked(const AddrRange &r);
+    bool pageMonitoredLocked(const AddrRange &r) const;
+
+    AdaptiveOptions opts_;
+
+    mutable std::mutex mu_;
+    AdaptiveBackend mode_;
+    SoftwareWms software_; ///< CodePatch path + shared monitor index
+    /** Installed monitors, keyed by begin (duplicates allowed). */
+    std::multimap<Addr, Addr> monitors_;
+    /** Monitors not individually expressible by a register. */
+    std::size_t hwInexpressible_ = 0;
+    /** page number -> monitors touching it (VM accounting). */
+    std::unordered_map<Addr, std::uint32_t> page_refs_;
+
+    std::array<Attachment, adaptiveBackendCount> attachments_;
+    /** Monitors currently installed in the active attachment. */
+    std::vector<AddrRange> attached_monitors_;
+
+    Window window_;
+    AdaptiveWmsStats stats_;
+    NotificationHandler handler_;
+
+    /**
+     * Hits forwarded from live backends; atomic because HwWms/VmWms
+     * deliver from signal context, where mu_ must not be taken.
+     */
+    std::atomic<std::uint64_t> forwarded_hits_{0};
+    /** forwarded_hits_ at the last window reset. */
+    std::uint64_t forwarded_base_ = 0;
+};
+
+} // namespace edb::wms
+
+#endif // EDB_WMS_ADAPTIVE_WMS_H

@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Tests for the live adaptive WMS: backend selection, capacity and
+ * thrash demotions, promotion, exactly-once notification across
+ * migrations (including a multithreaded stress test meant to run
+ * under -DEDB_SANITIZE=thread), and live-runtime attachment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/adaptive.h"
+#include "runtime/hw_wms.h"
+#include "wms/adaptive_wms.h"
+
+namespace edb::wms {
+namespace {
+
+TEST(AdaptiveWms, StartsOnInitialBackendAndDetectsHits)
+{
+    AdaptiveWms wms; // defaults: initial Hardware, emulated
+    EXPECT_EQ(wms.backend(), AdaptiveBackend::Hardware);
+    EXPECT_EQ(wms.monitorCapacity(), 0u); // adaptive never refuses
+
+    int notified = 0;
+    wms.setNotificationHandler([&](const Notification &) {
+        ++notified;
+    });
+    wms.installMonitor(AddrRange(0x1000, 0x1008));
+
+    EXPECT_TRUE(wms.checkWrite(0x1000, 4, 0x40));
+    EXPECT_FALSE(wms.checkWrite(0x2000, 4, 0x44));
+    EXPECT_EQ(notified, 1);
+
+    AdaptiveWmsStats s = wms.stats();
+    EXPECT_EQ(s.writes, 2u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.installs, 1u);
+    EXPECT_EQ(s.migrations, 0u);
+    EXPECT_EQ(s.writesByBackend[(std::size_t)AdaptiveBackend::Hardware],
+              2u);
+}
+
+TEST(AdaptiveWms, FifthInstallDemotesFromHardware)
+{
+    AdaptiveWms wms;
+    for (Addr i = 0; i < 4; ++i)
+        wms.installMonitor(
+            AddrRange(0x1000 + i * 8, 0x1000 + i * 8 + 8));
+    EXPECT_EQ(wms.backend(), AdaptiveBackend::Hardware);
+
+    // The paper's register-file wall: the 5th concurrent monitor
+    // cannot be hardware-backed at any price.
+    wms.installMonitor(AddrRange(0x2000, 0x2008));
+    EXPECT_EQ(wms.backend(), AdaptiveBackend::CodePatch);
+
+    AdaptiveWmsStats s = wms.stats();
+    EXPECT_EQ(s.capacityDemotions, 1u);
+    EXPECT_EQ(s.migrations, 1u);
+    EXPECT_EQ(wms.monitorsInstalled(), 5u);
+
+    // All five monitors survive the migration.
+    for (Addr i = 0; i < 4; ++i)
+        EXPECT_TRUE(wms.checkWrite(0x1000 + i * 8, 4));
+    EXPECT_TRUE(wms.checkWrite(0x2000, 4));
+}
+
+TEST(AdaptiveWms, WideMonitorIsInexpressibleByRegisters)
+{
+    // 16 bytes exceeds the 8-byte DR7 width: immediately demoted even
+    // though only one monitor is installed.
+    AdaptiveWms wms;
+    wms.installMonitor(AddrRange(0x1000, 0x1010));
+    EXPECT_EQ(wms.backend(), AdaptiveBackend::CodePatch);
+    EXPECT_EQ(wms.stats().capacityDemotions, 1u);
+
+    // Removing it re-opens hardware; the next narrow monitor stays.
+    wms.removeMonitor(AddrRange(0x1000, 0x1010));
+    EXPECT_EQ(wms.backend(), AdaptiveBackend::Hardware);
+    wms.installMonitor(AddrRange(0x3000, 0x3004));
+    EXPECT_EQ(wms.backend(), AdaptiveBackend::Hardware);
+}
+
+TEST(AdaptiveWms, RemovalPromotesBackToHardware)
+{
+    AdaptiveWms wms;
+    for (Addr i = 0; i < 5; ++i)
+        wms.installMonitor(
+            AddrRange(0x1000 + i * 8, 0x1000 + i * 8 + 8));
+    ASSERT_EQ(wms.backend(), AdaptiveBackend::CodePatch);
+
+    // Dropping back to 4 concurrent monitors makes hardware feasible
+    // again, and the quiet window since the demotion makes it the
+    // cheaper choice.
+    wms.removeMonitor(AddrRange(0x1000 + 4 * 8, 0x1000 + 4 * 8 + 8));
+    EXPECT_EQ(wms.backend(), AdaptiveBackend::Hardware);
+
+    AdaptiveWmsStats s = wms.stats();
+    EXPECT_EQ(s.promotions, 1u);
+    EXPECT_EQ(s.migrations, 2u);
+}
+
+TEST(AdaptiveWms, HitHeavySessionDemotesToCodePatchAtReview)
+{
+    // The paper's demanding-session result, live: a hit-heavy mix
+    // makes NativeHardware's 131 us fault dwarf CodePatch's 2.75 us
+    // lookup, so the periodic review migrates off hardware.
+    AdaptiveOptions opts;
+    opts.reviewInterval = 64;
+    AdaptiveWms wms(opts);
+    wms.installMonitor(AddrRange(0x1000, 0x1008));
+
+    int notified = 0;
+    wms.setNotificationHandler([&](const Notification &) {
+        ++notified;
+    });
+    for (int i = 0; i < 64; ++i)
+        EXPECT_TRUE(wms.checkWrite(0x1000, 4));
+
+    EXPECT_EQ(wms.backend(), AdaptiveBackend::CodePatch);
+    AdaptiveWmsStats s = wms.stats();
+    EXPECT_EQ(s.migrations, 1u);
+    EXPECT_EQ(s.capacityDemotions, 0u); // cost-driven, not forced
+    // Exactly one notification per monitored write across the
+    // migration.
+    EXPECT_EQ(notified, 64);
+    EXPECT_EQ(s.hits, 64u);
+}
+
+TEST(AdaptiveWms, VmThrashingDemotesToCodePatch)
+{
+    // Five monitors pin the session off hardware; start it on
+    // VirtualMemory and hammer *misses* into the monitored page. Every
+    // such write is an active-page miss — a 561 us fault for nothing —
+    // and the review demotes to CodePatch.
+    AdaptiveOptions opts;
+    opts.initial = AdaptiveBackend::VirtualMemory;
+    opts.reviewInterval = 64;
+    AdaptiveWms wms(opts);
+    for (Addr i = 0; i < 5; ++i)
+        wms.installMonitor(AddrRange(0x1000 + i * 8, 0x1000 + i * 8 + 4));
+    ASSERT_EQ(wms.backend(), AdaptiveBackend::VirtualMemory);
+
+    // Same 4K page as the monitors, but unmonitored words.
+    for (int i = 0; i < 64; ++i)
+        EXPECT_FALSE(wms.checkWrite(0x1800 + (Addr)i * 4, 4));
+
+    EXPECT_EQ(wms.backend(), AdaptiveBackend::CodePatch);
+    AdaptiveWmsStats s = wms.stats();
+    EXPECT_EQ(s.thrashDemotions, 1u);
+    EXPECT_EQ(s.activePageMisses, 64u);
+    EXPECT_EQ(s.pageProtects, 1u); // five monitors share one page
+}
+
+TEST(AdaptiveWms, PageAccountingAcrossInstallAndRemove)
+{
+    AdaptiveWms wms;
+    wms.installMonitor(AddrRange(0x1000, 0x1004)); // page 1
+    wms.installMonitor(AddrRange(0x1800, 0x1804)); // page 1 again
+    wms.installMonitor(AddrRange(0x5000, 0x5004)); // page 5
+    AdaptiveWmsStats s = wms.stats();
+    EXPECT_EQ(s.pageProtects, 2u);
+
+    wms.removeMonitor(AddrRange(0x1000, 0x1004));
+    EXPECT_EQ(wms.stats().pageUnprotects, 0u); // page 1 still covered
+    wms.removeMonitor(AddrRange(0x1800, 0x1804));
+    EXPECT_EQ(wms.stats().pageUnprotects, 1u);
+}
+
+/**
+ * A scriptable fake live backend: records install/remove traffic and
+ * lets the test deliver "raw write trapped" notifications, standing in
+ * for HwWms/VmWms without signals.
+ */
+class FakeBackend : public WriteMonitorService
+{
+  public:
+    void
+    installMonitor(const AddrRange &r) override
+    {
+        installed.push_back(r);
+    }
+
+    void
+    removeMonitor(const AddrRange &r) override
+    {
+        auto it = std::find(installed.begin(), installed.end(), r);
+        ASSERT_NE(it, installed.end());
+        installed.erase(it);
+    }
+
+    void
+    setNotificationHandler(NotificationHandler h) override
+    {
+        handler = std::move(h);
+    }
+
+    /** Simulate the hardware trapping a raw monitored store. */
+    void
+    trap(Addr addr, Addr size, Addr pc)
+    {
+        ASSERT_TRUE(handler);
+        handler(Notification{AddrRange(addr, addr + size), pc});
+    }
+
+    std::vector<AddrRange> installed;
+    NotificationHandler handler;
+};
+
+TEST(AdaptiveWms, AttachedBackendCarriesMonitorsAndNotifications)
+{
+    AdaptiveWms wms;
+    auto owned = std::make_unique<FakeBackend>();
+    FakeBackend *fake = owned.get();
+    wms.attachBackend(AdaptiveBackend::Hardware, std::move(owned));
+
+    std::vector<Notification> seen;
+    wms.setNotificationHandler([&](const Notification &n) {
+        seen.push_back(n);
+    });
+
+    // Engaged: installs flow into the live backend.
+    wms.installMonitor(AddrRange(0x1000, 0x1008));
+    ASSERT_EQ(fake->installed.size(), 1u);
+
+    // With a live backend the instrumented check is elided — the raw
+    // store traps instead, and the notification is forwarded.
+    EXPECT_FALSE(wms.checkWrite(0x1000, 4, 0x40));
+    EXPECT_TRUE(seen.empty());
+    fake->trap(0x1000, 4, 0x40);
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0].pc, 0x40u);
+    EXPECT_EQ(wms.stats().forwardedHits, 1u);
+
+    // Capacity demotion disengages the live backend: its monitors are
+    // withdrawn and detection moves to the software path — still
+    // exactly one notification per monitored write.
+    for (Addr i = 1; i < 5; ++i)
+        wms.installMonitor(
+            AddrRange(0x1000 + i * 8, 0x1000 + i * 8 + 8));
+    EXPECT_EQ(wms.backend(), AdaptiveBackend::CodePatch);
+    EXPECT_TRUE(fake->installed.empty());
+    EXPECT_TRUE(wms.checkWrite(0x1000, 4, 0x44));
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[1].pc, 0x44u);
+
+    // Miss-heavy traffic makes hardware the cheaper window again, so
+    // the remove that re-enters the register file promotes and
+    // re-engages the live backend with every surviving monitor.
+    for (int i = 0; i < 60; ++i)
+        EXPECT_FALSE(wms.checkWrite(0x9000 + (Addr)i * 8, 4));
+    wms.removeMonitor(AddrRange(0x1020, 0x1028));
+    EXPECT_EQ(wms.backend(), AdaptiveBackend::Hardware);
+    EXPECT_EQ(fake->installed.size(), 4u);
+}
+
+TEST(AdaptiveWmsStress, ExactlyOnceAcrossMigrationsUnderLoad)
+{
+    // The live-runtime acceptance test: writer threads hammer
+    // checkWrite while a churn thread repeatedly pushes the session
+    // across the 4-register limit and back, forcing backend
+    // migrations mid-stream. Every write of the hot monitored word
+    // must produce exactly one notification — no loss, no duplicate —
+    // regardless of which backend was active when it happened.
+    // Meant to run under -DEDB_SANITIZE=thread.
+    AdaptiveOptions opts;
+    opts.reviewInterval = 512;
+    AdaptiveWms wms(opts);
+
+    constexpr Addr hotBase = 0x10000;
+    wms.installMonitor(AddrRange(hotBase, hotBase + 8)); // never removed
+
+    std::atomic<std::uint64_t> delivered{0};
+    wms.setNotificationHandler([&](const Notification &) {
+        delivered.fetch_add(1, std::memory_order_relaxed);
+    });
+
+    constexpr int writers = 4;
+    constexpr int iters = 20000;
+    std::atomic<std::uint64_t> hotWrites{0};
+
+    std::vector<std::thread> threads;
+    for (int w = 0; w < writers; ++w) {
+        threads.emplace_back([&, w] {
+            // Per-writer cold region, never monitored.
+            const Addr cold = 0x100000 + (Addr)w * 0x10000;
+            unsigned rng = 0x9e3779b9u * (unsigned)(w + 1);
+            for (int i = 0; i < iters; ++i) {
+                rng = rng * 1664525u + 1013904223u;
+                if (rng % 128 == 0) { // ~0.8% hit rate
+                    bool hit = wms.checkWrite(hotBase, 4, 0x40);
+                    hotWrites.fetch_add(1,
+                                        std::memory_order_relaxed);
+                    EXPECT_TRUE(hit);
+                } else {
+                    wms.checkWrite(cold + (rng % 1024) * 8, 4, 0x44);
+                }
+            }
+        });
+    }
+    // Churn: 6 extra monitors in and out — crossing the register
+    // limit each cycle (1+6 = 7 > 4, then back to 1).
+    threads.emplace_back([&] {
+        constexpr Addr churnBase = 0x20000; // never written
+        for (int cycle = 0; cycle < 50; ++cycle) {
+            for (Addr i = 0; i < 6; ++i)
+                wms.installMonitor(AddrRange(churnBase + i * 8,
+                                             churnBase + i * 8 + 8));
+            for (Addr i = 0; i < 6; ++i)
+                wms.removeMonitor(AddrRange(churnBase + i * 8,
+                                            churnBase + i * 8 + 8));
+        }
+    });
+    for (auto &t : threads)
+        t.join();
+
+    AdaptiveWmsStats s = wms.stats();
+    EXPECT_EQ(delivered.load(), hotWrites.load());
+    EXPECT_EQ(s.hits, hotWrites.load());
+    EXPECT_EQ(s.writes, (std::uint64_t)writers * iters);
+    EXPECT_GT(s.migrations, 0u);
+    EXPECT_GT(s.capacityDemotions, 0u);
+    std::uint64_t byBackend = 0;
+    for (std::uint64_t n : s.writesByBackend)
+        byBackend += n;
+    EXPECT_EQ(byBackend, s.writes);
+}
+
+} // namespace
+} // namespace edb::wms
+
+namespace edb::runtime {
+namespace {
+
+TEST(AdaptiveRuntime, CostsAndBackendMapping)
+{
+    model::TimingProfile t = model::sparcStation2();
+    wms::AdaptiveCosts c = adaptiveCostsFrom(t);
+    EXPECT_DOUBLE_EQ(c.nhFaultUs, t.nhFaultUs);
+    EXPECT_DOUBLE_EQ(c.vmFaultUs, t.vmFaultUs);
+    EXPECT_DOUBLE_EQ(c.softwareLookupUs, t.softwareLookupUs);
+
+    EXPECT_EQ(backendFor(model::Strategy::NativeHardware),
+              wms::AdaptiveBackend::Hardware);
+    EXPECT_EQ(backendFor(model::Strategy::VirtualMemory4K),
+              wms::AdaptiveBackend::VirtualMemory);
+    EXPECT_EQ(backendFor(model::Strategy::VirtualMemory8K),
+              wms::AdaptiveBackend::VirtualMemory);
+    EXPECT_EQ(backendFor(model::Strategy::TrapPatch),
+              wms::AdaptiveBackend::CodePatch);
+    EXPECT_EQ(backendFor(model::Strategy::CodePatch),
+              wms::AdaptiveBackend::CodePatch);
+}
+
+TEST(AdaptiveRuntime, FactoryBuildsEmulatedServiceByDefault)
+{
+    auto wms = makeAdaptiveWms(model::sparcStation2(),
+                               model::Strategy::NativeHardware);
+    ASSERT_NE(wms, nullptr);
+    EXPECT_EQ(wms->backend(), wms::AdaptiveBackend::Hardware);
+    EXPECT_EQ(wms->options().hwRegisters, HwWms::numRegisters);
+
+    // Emulated hardware still detects through the software path.
+    wms->installMonitor(AddrRange(0x1000, 0x1008));
+    EXPECT_TRUE(wms->checkWrite(0x1000, 4));
+}
+
+TEST(AdaptiveRuntimeLive, HardwareBackendDeliversRealTraps)
+{
+    if (!HwWms::available())
+        GTEST_SKIP() << "hardware breakpoints unavailable here";
+
+    AdaptiveRuntimeOptions ro;
+    ro.engageHardware = true;
+    auto wms = makeAdaptiveWms(model::sparcStation2(),
+                               model::Strategy::NativeHardware, ro);
+    ASSERT_EQ(wms->backend(), wms::AdaptiveBackend::Hardware);
+
+    static volatile std::uint64_t watched = 0;
+    static volatile int hits;
+    hits = 0;
+    wms->setNotificationHandler(
+        [](const wms::Notification &) { ++hits; });
+
+    auto addr = (Addr)(uintptr_t)&watched;
+    wms->installMonitor(AddrRange(addr, addr + 8));
+    watched = 1; // raw store: the debug register traps it
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(wms->stats().forwardedHits, 1u);
+
+    // Exhaust the register file: the live backend disengages and the
+    // same address is now caught by the instrumented path instead —
+    // still exactly one notification per write.
+    static std::uint64_t spill[8];
+    for (Addr i = 0; i < 4; ++i) {
+        auto a = (Addr)(uintptr_t)&spill[i];
+        wms->installMonitor(AddrRange(a, a + 8));
+    }
+    EXPECT_EQ(wms->backend(), wms::AdaptiveBackend::CodePatch);
+    watched = 2; // raw store no longer traps...
+    EXPECT_EQ(hits, 1);
+    wms->checkWrite(addr, 8, 0); // ...the patched-in check catches it
+    EXPECT_EQ(hits, 2);
+
+    // Enough misses to make the observed window hardware-friendly
+    // again, then shrink back inside the register file.
+    for (int i = 0; i < 20; ++i)
+        wms->checkWrite(0x9000 + (Addr)i * 8, 8, 0);
+    for (Addr i = 0; i < 4; ++i) {
+        auto a = (Addr)(uintptr_t)&spill[i];
+        wms->removeMonitor(AddrRange(a, a + 8));
+    }
+    EXPECT_EQ(wms->backend(), wms::AdaptiveBackend::Hardware);
+    watched = 3; // re-engaged: raw store traps again
+    EXPECT_EQ(hits, 3);
+    wms->removeMonitor(AddrRange(addr, addr + 8));
+}
+
+} // namespace
+} // namespace edb::runtime

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the StrategyAdvisor: hand-computed model crossovers,
+ * shape-based feasibility, the session-shape pass, and the
+ * adaptive-vs-fixed differential bound on a full workload study.
+ *
+ * All hand computations use the SPARCstation 2 constants (Table 2):
+ * update 22, lookup 2.75, NH fault 131, VM fault 561, protect 80,
+ * unprotect 299, TP fault 102 (microseconds).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/advisor.h"
+#include "report/study.h"
+#include "trace/tracer.h"
+#include "workload/workload.h"
+
+namespace edb::model {
+namespace {
+
+sim::SessionCounters
+counters(std::uint64_t installs, std::uint64_t removes,
+         std::uint64_t hits)
+{
+    sim::SessionCounters c;
+    c.installs = installs;
+    c.removes = removes;
+    c.hits = hits;
+    return c;
+}
+
+TEST(Advisor, PicksCodePatchForHitHeavySession)
+{
+    StrategyAdvisor advisor(sparcStation2());
+    SessionShape shape{/*peakLiveMonitors=*/1, /*maxMonitorBytes=*/4};
+
+    // 100 hits, 0 misses, one install/remove pair:
+    //   NH    = 100*131                          = 13100
+    //   VM-4K = 100*(561+2.75) + 2*(299+22+80)   = 57177
+    //   TP    = 100*(102+2.75) + 2*22            = 10519
+    //   CP    = 100*2.75 + 2*22                  = 319
+    Advice a = advisor.advise(counters(1, 1, 100), /*misses=*/0, shape);
+
+    EXPECT_EQ(a.pick, Strategy::CodePatch);
+    EXPECT_EQ(a.unconstrained, Strategy::CodePatch);
+    EXPECT_DOUBLE_EQ(a.pickedOverhead().totalUs(), 319.0);
+
+    // The full ranking, cheapest first, every strategy feasible.
+    EXPECT_EQ(a.ranking[0].strategy, Strategy::CodePatch);
+    EXPECT_EQ(a.ranking[1].strategy, Strategy::TrapPatch);
+    EXPECT_DOUBLE_EQ(a.ranking[1].overhead.totalUs(), 10519.0);
+    EXPECT_EQ(a.ranking[2].strategy, Strategy::NativeHardware);
+    EXPECT_DOUBLE_EQ(a.ranking[2].overhead.totalUs(), 13100.0);
+    for (const RankedStrategy &r : a.ranking)
+        EXPECT_TRUE(r.feasible);
+}
+
+TEST(Advisor, NhCpCrossoverPinnedByHand)
+{
+    // With one hit and no updates, NH costs 131 regardless of misses
+    // while CP costs (1+m)*2.75: the crossover sits between m=45
+    // (CP 126.5, cheaper) and m=50 (CP 140.25, dearer) — the ~2.1%
+    // hit-fraction boundary of DESIGN.md section 8.
+    StrategyAdvisor advisor(sparcStation2());
+    SessionShape shape{1, 4};
+
+    Advice cheap = advisor.advise(counters(0, 0, 1), 45, shape);
+    EXPECT_EQ(cheap.pick, Strategy::CodePatch);
+    EXPECT_DOUBLE_EQ(cheap.pickedOverhead().totalUs(), 126.5);
+
+    Advice dear = advisor.advise(counters(0, 0, 1), 50, shape);
+    EXPECT_EQ(dear.pick, Strategy::NativeHardware);
+    EXPECT_DOUBLE_EQ(dear.pickedOverhead().totalUs(), 131.0);
+}
+
+TEST(Advisor, RegisterFileConstrainsThePick)
+{
+    StrategyAdvisor advisor(sparcStation2());
+
+    // Miss-heavy session: NH (10*131 = 1310) wins on cost by far.
+    sim::SessionCounters c = counters(1, 1, 10);
+    // Make both VM page sizes thrash so they cannot sneak in as the
+    // fallback (active-page misses at 561+2.75 us each).
+    c.vm[0].activePageMisses = 200000;
+    c.vm[1].activePageMisses = 200000;
+
+    // With 4 concurrent monitors the hardware can run it...
+    Advice fits = advisor.advise(c, 100000, SessionShape{4, 4});
+    EXPECT_EQ(fits.pick, Strategy::NativeHardware);
+    EXPECT_DOUBLE_EQ(fits.pickedOverhead().totalUs(), 1310.0);
+
+    // ...but a 5th concurrent monitor exhausts the register file: the
+    // pick falls to CodePatch while `unconstrained` still records what
+    // extended hardware would choose.
+    Advice constrained = advisor.advise(c, 100000, SessionShape{5, 4});
+    EXPECT_EQ(constrained.pick, Strategy::CodePatch);
+    EXPECT_DOUBLE_EQ(constrained.pickedOverhead().totalUs(),
+                     100010 * 2.75 + 2 * 22);
+    EXPECT_EQ(constrained.unconstrained, Strategy::NativeHardware);
+    // NH sorts behind every feasible strategy once infeasible.
+    EXPECT_EQ(constrained.ranking.back().strategy,
+              Strategy::NativeHardware);
+    EXPECT_FALSE(constrained.ranking.back().feasible);
+    for (std::size_t i = 0; i + 1 < constrained.ranking.size(); ++i)
+        EXPECT_TRUE(constrained.ranking[i].feasible);
+}
+
+TEST(Advisor, RegisterWidthPolicy)
+{
+    // The default policy models the paper's idealized monitor
+    // registers (any width); a live x86 policy caps one register at 8
+    // naturally aligned bytes.
+    StrategyAdvisor idealized(sparcStation2());
+    EXPECT_TRUE(idealized.hardwareFeasible(SessionShape{1, 4096}));
+
+    AdvisorPolicy real;
+    real.hwMaxRegisterBytes = 8;
+    StrategyAdvisor live(sparcStation2(), real);
+    EXPECT_TRUE(live.hardwareFeasible(SessionShape{1, 8}));
+    EXPECT_FALSE(live.hardwareFeasible(SessionShape{1, 16}));
+    EXPECT_FALSE(live.hardwareFeasible(SessionShape{5, 8}));
+}
+
+TEST(Advisor, ComputeSessionShapes)
+{
+    // main() holds three heap objects at once, frees one, allocates a
+    // fourth: AllHeapInFunc(main) peaks at 3 live monitors and its
+    // widest region is the 64-byte d; OneHeap(a) peaks at 1.
+    trace::Tracer tracer("shapes");
+    tracer.enterFunction("main");
+    auto a = tracer.heapAlloc("a", 16);
+    auto b = tracer.heapAlloc("b", 32);
+    auto c = tracer.heapAlloc("c", 8);
+    tracer.write(a.addr, 4, 0);
+    tracer.heapFree(b);
+    auto d = tracer.heapAlloc("d", 64);
+    tracer.write(d.addr, 4, 0);
+    tracer.heapFree(a);
+    tracer.heapFree(c);
+    tracer.heapFree(d);
+    tracer.exitFunction();
+    trace::Trace t = tracer.finish();
+
+    auto sessions = session::SessionSet::enumerate(t);
+    std::vector<SessionShape> shapes = computeSessionShapes(t, sessions);
+    ASSERT_EQ(shapes.size(), sessions.size());
+
+    bool sawAllHeap = false, sawOneHeap = false;
+    for (const auto &s : sessions.sessions()) {
+        const std::string desc = sessions.describe(s.id, t);
+        if (desc == "AllHeapInFunc(main)") {
+            sawAllHeap = true;
+            EXPECT_EQ(shapes[s.id].peakLiveMonitors, 3u);
+            EXPECT_EQ(shapes[s.id].maxMonitorBytes, 64u);
+        } else if (desc == "OneHeap(a)") {
+            sawOneHeap = true;
+            EXPECT_EQ(shapes[s.id].peakLiveMonitors, 1u);
+            EXPECT_EQ(shapes[s.id].maxMonitorBytes, 16u);
+        }
+    }
+    EXPECT_TRUE(sawAllHeap);
+    EXPECT_TRUE(sawOneHeap);
+}
+
+TEST(Advisor, StudyAdaptiveNeverWorseThanBestFeasibleFixed)
+{
+    // The differential criterion on a real workload: per retained
+    // session, the advisor's pick must be within 5% of the best fixed
+    // strategy the session could actually run on. (bench_adaptive
+    // checks all five workloads; this pins one in the tier-1 gate.)
+    auto w = workload::makeWorkload("bps");
+    trace::Trace t = workload::runTraced(*w);
+    report::ProgramStudy study =
+        report::studyTrace(t, sparcStation2());
+
+    ASSERT_EQ(study.advice.size(), study.activeSessions.size());
+    ASSERT_EQ(study.shapes.size(), study.activeSessions.size());
+    ASSERT_EQ(study.adaptiveRelativeOverheads.size(),
+              study.activeSessions.size());
+
+    std::size_t picked = 0;
+    for (std::size_t s = 0; s < allStrategies.size(); ++s)
+        picked += study.pickCounts[s];
+    EXPECT_EQ(picked, study.activeSessions.size());
+    EXPECT_EQ(study.adaptiveStats.count, study.activeSessions.size());
+
+    for (std::size_t pos = 0; pos < study.advice.size(); ++pos) {
+        const Advice &advice = study.advice[pos];
+        double best = -1;
+        for (const RankedStrategy &r : advice.ranking) {
+            if (r.feasible &&
+                (best < 0 || r.overhead.totalUs() < best))
+                best = r.overhead.totalUs();
+        }
+        ASSERT_GE(best, 0.0);
+        EXPECT_LE(advice.pickedOverhead().totalUs(), best * 1.05)
+            << "session "
+            << study.sessions.describe(study.activeSessions[pos], t);
+    }
+
+    // Adaptive dominates every always-feasible fixed strategy in the
+    // mean (it can only match or beat them session by session).
+    for (Strategy s : {Strategy::VirtualMemory4K,
+                       Strategy::VirtualMemory8K, Strategy::TrapPatch,
+                       Strategy::CodePatch}) {
+        EXPECT_LE(study.adaptiveStats.mean,
+                  study.overheadStats[(std::size_t)s].mean + 1e-9)
+            << strategyName(s);
+    }
+}
+
+} // namespace
+} // namespace edb::model

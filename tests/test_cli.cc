@@ -99,6 +99,64 @@ TEST_F(CliTest, SessionReportsMissingMatch)
     EXPECT_NE(err.str().find("no active session"), std::string::npos);
 }
 
+TEST_F(CliTest, AdviseRanksStrategiesPerSession)
+{
+    std::ostringstream out;
+    EXPECT_EQ(cmdAdvise(*path_, 5, out), 0);
+    std::string text = out.str();
+    // Aggregate table: adaptive + every fixed strategy with pick
+    // counts, plus the hardware-feasibility note.
+    for (const char *needle :
+         {"Adaptive", "NativeHardware", "CodePatch", "Picked",
+          "4-register hardware"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+    // Per-session detail columns.
+    for (const char *needle : {"Hits", "Peak", "Best", "Rel"})
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
+TEST_F(CliTest, RunDispatchesAdvise)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"advise", *path_, "3"}, out, err), 0);
+    EXPECT_NE(out.str().find("Adaptive"), std::string::npos);
+
+    // Wrong arity still yields usage.
+    out.str("");
+    err.str("");
+    EXPECT_EQ(run({"advise"}, out, err), 2);
+    EXPECT_NE(err.str().find("usage:"), std::string::npos);
+}
+
+TEST(CliRun, HelpPrintsUsageToStdout)
+{
+    for (const char *flag : {"--help", "-h"}) {
+        std::ostringstream out, err;
+        EXPECT_EQ(run({flag}, out, err), 0) << flag;
+        EXPECT_NE(out.str().find("usage:"), std::string::npos) << flag;
+        EXPECT_TRUE(err.str().empty()) << flag;
+    }
+    // --help wins even alongside a command.
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"record", "--help"}, out, err), 0);
+    EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(CliRun, JobsRejectedOnPhase1Commands)
+{
+    // --jobs selects phase-2 simulation workers; on record/info it
+    // would silently do nothing, so it must be an error.
+    for (const char *cmd : {"record", "info"}) {
+        std::ostringstream out, err;
+        EXPECT_EQ(run({cmd, "--jobs", "2", "x"}, out, err), 2) << cmd;
+        EXPECT_NE(err.str().find("--jobs does not apply"),
+                  std::string::npos)
+            << cmd;
+        EXPECT_NE(err.str().find(cmd), std::string::npos) << cmd;
+    }
+}
+
 TEST_F(CliTest, RunDispatchesAndValidates)
 {
     std::ostringstream out, err;
@@ -129,8 +187,8 @@ TEST(CliUsage, MentionsEveryCommand)
 {
     std::string text = usage();
     for (const char *cmd :
-         {"record", "info", "sessions", "analyze", "session",
-          "EDB_PROFILE"}) {
+         {"record", "info", "sessions", "analyze", "session", "advise",
+          "--help", "EDB_PROFILE"}) {
         EXPECT_NE(text.find(cmd), std::string::npos) << cmd;
     }
 }

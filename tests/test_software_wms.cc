@@ -122,6 +122,66 @@ TEST(RangeGuard, GuardConstructedOverMonitoredRange)
     EXPECT_FALSE(guard.clear());
 }
 
+TEST(RangeGuard, MonitorRemovedMidLoop)
+{
+    // A loop running guarded over a monitored range: the guard is not
+    // clear until the monitor disappears mid-loop, at which point the
+    // very next clear() check re-arms the fast path — and writes the
+    // loop performed while blocked were checked, not lost.
+    SoftwareWms wms;
+    wms.installMonitor(AddrRange(0x8000, 0x8010));
+    RangeGuard guard(wms, AddrRange(0x8000, 0x9000));
+
+    int checked = 0, fast = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (i == 4)
+            wms.removeMonitor(AddrRange(0x8000, 0x8010));
+        if (guard.clear())
+            ++fast; // raw write, no per-write check needed
+        else {
+            ++checked;
+            wms.checkWrite(0x8000 + (Addr)i * 4, 4);
+        }
+    }
+    EXPECT_EQ(checked, 4);
+    EXPECT_EQ(fast, 4);
+    EXPECT_EQ(wms.stats().hits, 4u); // iterations 0-3 hit the monitor
+}
+
+TEST(RangeGuard, NestedGuards)
+{
+    // An inner loop's guard nested inside an outer one: each guard
+    // revalidates independently against the shared index generation,
+    // and an install inside only the inner range flips only the inner
+    // guard.
+    SoftwareWms wms;
+    RangeGuard outer(wms, AddrRange(0x8000, 0xa000));
+    RangeGuard inner(wms, AddrRange(0x8800, 0x8900));
+    ASSERT_TRUE(outer.clear());
+    ASSERT_TRUE(inner.clear());
+
+    wms.installMonitor(AddrRange(0x8840, 0x8844));
+    EXPECT_FALSE(inner.clear());
+    EXPECT_FALSE(outer.clear()); // inner range lies inside outer
+
+    wms.removeMonitor(AddrRange(0x8840, 0x8844));
+    wms.installMonitor(AddrRange(0x9800, 0x9804));
+    EXPECT_TRUE(inner.clear());  // outside the inner range
+    EXPECT_FALSE(outer.clear()); // still inside the outer
+}
+
+TEST(RangeGuard, ZeroLengthRange)
+{
+    // A degenerate empty range can never intersect a monitor: the
+    // guard is trivially clear and stays clear across installs, even
+    // ones that cover the guard's begin address.
+    SoftwareWms wms;
+    RangeGuard guard(wms, AddrRange(0x8000, 0x8000));
+    EXPECT_TRUE(guard.clear());
+    wms.installMonitor(AddrRange(0x7ff0, 0x8010));
+    EXPECT_TRUE(guard.clear());
+}
+
 TEST(SoftwareWms, ResetStats)
 {
     SoftwareWms wms;
