@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.h"
+
 #include <vector>
 
 #include "util/rng.h"
@@ -143,4 +145,4 @@ BENCHMARK(BM_ByteLookup);
 
 } // namespace
 
-BENCHMARK_MAIN();
+EDB_GBENCH_MAIN("BENCH_micro_index.json");

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.h"
+
 #include <sys/mman.h>
 
 #include <vector>
@@ -130,4 +132,4 @@ BENCHMARK(BM_VirtualMemory_InstallRemove);
 
 } // namespace
 
-BENCHMARK_MAIN();
+EDB_GBENCH_MAIN("BENCH_micro_runtime.json");

@@ -1,0 +1,547 @@
+/**
+ * @file
+ * Before/after benchmark for the two hot-path overhauls (DESIGN.md
+ * §9): the phase-2 replay engine and the MonitorIndex lookup path.
+ *
+ * "Before" is not a stale number from some other machine: the seed
+ * implementations are carried in this binary (namespace legacy below,
+ * copied from the original simulator.cc / monitor_index.cc) and timed
+ * back-to-back against the current code, so the reported speedups
+ * compare like with like. Every replay result is checked
+ * counter-for-counter against the legacy engine first — a wrong
+ * answer fails the benchmark rather than producing a meaningless
+ * speedup — and the two index implementations must agree on every
+ * probe.
+ *
+ * All times are the median of `reps` repetitions. Emits
+ * BENCH_sim_hot.json into the working directory.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "report/table.h"
+#include "session/session.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "wms/monitor_index.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace edb;
+using session::SessionId;
+using trace::Event;
+using trace::EventKind;
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Median-of-N wall time of `fn`, in milliseconds. */
+template <typename Fn>
+double
+medianOf(int reps, Fn &&fn)
+{
+    std::vector<double> times;
+    times.reserve((std::size_t)reps);
+    for (int i = 0; i < reps; ++i) {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        times.push_back(msSince(start));
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+bool
+resultsEqual(const sim::SimResult &a, const sim::SimResult &b)
+{
+    if (a.totalWrites != b.totalWrites ||
+        a.counters.size() != b.counters.size())
+        return false;
+    for (std::size_t s = 0; s < a.counters.size(); ++s) {
+        const auto &x = a.counters[s];
+        const auto &y = b.counters[s];
+        if (x.installs != y.installs || x.removes != y.removes ||
+            x.hits != y.hits)
+            return false;
+        for (std::size_t i = 0; i < sim::vmPageSizeCount; ++i) {
+            if (x.vm[i].protects != y.vm[i].protects ||
+                x.vm[i].unprotects != y.vm[i].unprotects ||
+                x.vm[i].activePageMisses != y.vm[i].activePageMisses)
+                return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * The seed implementations, kept verbatim (modulo namespacing) as the
+ * in-binary baseline. Do not modernize: their point is to preserve
+ * what the overhaul replaced.
+ */
+namespace legacy {
+
+struct LiveObj
+{
+    Addr end;
+    trace::ObjectId obj;
+};
+
+using PageSessionVec =
+    std::vector<std::pair<SessionId, std::uint32_t>>;
+
+sim::SimResult
+simulate(const trace::Trace &trace,
+         const session::SessionSet &sessions)
+{
+    sim::SimResult result;
+    result.counters.resize(sessions.size());
+
+    std::map<Addr, LiveObj> live;
+    std::array<std::unordered_map<Addr, PageSessionVec>,
+               sim::vmPageSizeCount>
+        pages;
+
+    std::vector<std::uint64_t> hit_epoch(sessions.size(), 0);
+    std::array<std::vector<std::uint64_t>, sim::vmPageSizeCount>
+        miss_epoch;
+    for (auto &v : miss_epoch)
+        v.assign(sessions.size(), 0);
+    std::uint64_t epoch = 0;
+
+    for (const Event &e : trace.events) {
+        switch (e.kind) {
+          case EventKind::InstallMonitor: {
+            const AddrRange r = e.range();
+            live.emplace(r.begin, LiveObj{r.end, e.aux});
+            for (SessionId s : sessions.sessionsOf(e.aux)) {
+                ++result.counters[s].installs;
+                for (std::size_t i = 0; i < sim::vmPageSizeCount;
+                     ++i) {
+                    auto [first, last] =
+                        pageSpan(r, sim::vmPageSizes[i]);
+                    for (Addr p = first; p <= last; ++p) {
+                        PageSessionVec &vec = pages[i][p];
+                        auto entry = std::find_if(
+                            vec.begin(), vec.end(),
+                            [s](const auto &kv) {
+                                return kv.first == s;
+                            });
+                        if (entry == vec.end()) {
+                            vec.emplace_back(s, 1);
+                            ++result.counters[s].vm[i].protects;
+                        } else {
+                            ++entry->second;
+                        }
+                    }
+                }
+            }
+            break;
+          }
+
+          case EventKind::RemoveMonitor: {
+            const AddrRange r = e.range();
+            live.erase(r.begin);
+            for (SessionId s : sessions.sessionsOf(e.aux)) {
+                ++result.counters[s].removes;
+                for (std::size_t i = 0; i < sim::vmPageSizeCount;
+                     ++i) {
+                    auto [first, last] =
+                        pageSpan(r, sim::vmPageSizes[i]);
+                    for (Addr p = first; p <= last; ++p) {
+                        auto page_it = pages[i].find(p);
+                        PageSessionVec &vec = page_it->second;
+                        auto entry = std::find_if(
+                            vec.begin(), vec.end(),
+                            [s](const auto &kv) {
+                                return kv.first == s;
+                            });
+                        if (--entry->second == 0) {
+                            ++result.counters[s].vm[i].unprotects;
+                            *entry = vec.back();
+                            vec.pop_back();
+                            if (vec.empty())
+                                pages[i].erase(page_it);
+                        }
+                    }
+                }
+            }
+            break;
+          }
+
+          case EventKind::Write: {
+            ++result.totalWrites;
+            ++epoch;
+            const AddrRange w = e.range();
+
+            auto it = live.upper_bound(w.begin);
+            if (it != live.begin()) {
+                auto prev = std::prev(it);
+                if (prev->second.end > w.begin)
+                    it = prev;
+            }
+            for (; it != live.end() && it->first < w.end; ++it) {
+                if (it->second.end <= w.begin)
+                    continue;
+                for (SessionId s :
+                     sessions.sessionsOf(it->second.obj)) {
+                    if (hit_epoch[s] != epoch) {
+                        hit_epoch[s] = epoch;
+                        ++result.counters[s].hits;
+                    }
+                }
+            }
+
+            for (std::size_t i = 0; i < sim::vmPageSizeCount; ++i) {
+                auto [first, last] = pageSpan(w, sim::vmPageSizes[i]);
+                for (Addr p = first; p <= last; ++p) {
+                    auto page_it = pages[i].find(p);
+                    if (page_it == pages[i].end())
+                        continue;
+                    for (const auto &[s, count] : page_it->second) {
+                        if (hit_epoch[s] == epoch ||
+                            miss_epoch[i][s] == epoch) {
+                            continue;
+                        }
+                        miss_epoch[i][s] = epoch;
+                        ++result.counters[s].vm[i].activePageMisses;
+                    }
+                }
+            }
+            break;
+          }
+        }
+    }
+    return result;
+}
+
+/** The seed MonitorIndex: one hash probe per lookup, no shadow. */
+class Index
+{
+  public:
+    explicit Index(Addr page_bytes = 4096) : page_bytes_(page_bytes)
+    {
+    }
+
+    void
+    install(const AddrRange &r)
+    {
+        Addr first_word = wordAlignDown(r.begin) / wordBytes;
+        Addr last_word = (wordAlignUp(r.end) / wordBytes) - 1;
+        Addr words_per_page = wordsPerPage();
+
+        Addr page = first_word / words_per_page;
+        Addr last_page = last_word / words_per_page;
+        Addr word = first_word;
+        for (; page <= last_page; ++page) {
+            PageEntry &entry = pageFor(page);
+            ++entry.touching_monitors;
+            Addr page_end_word = (page + 1) * words_per_page;
+            for (; word <= last_word && word < page_end_word;
+                 ++word) {
+                auto idx = (std::uint32_t)(word % words_per_page);
+                std::uint64_t &chunk = entry.bitmap[idx / 64];
+                std::uint64_t bit = 1ull << (idx % 64);
+                if (chunk & bit) {
+                    ++entry.overflow[idx];
+                } else {
+                    chunk |= bit;
+                    ++entry.active_words;
+                }
+            }
+        }
+    }
+
+    void
+    remove(const AddrRange &r)
+    {
+        Addr first_word = wordAlignDown(r.begin) / wordBytes;
+        Addr last_word = (wordAlignUp(r.end) / wordBytes) - 1;
+        Addr words_per_page = wordsPerPage();
+
+        Addr page = first_word / words_per_page;
+        Addr last_page = last_word / words_per_page;
+        Addr word = first_word;
+        for (; page <= last_page; ++page) {
+            auto it = pages_.find(page);
+            PageEntry &entry = it->second;
+            --entry.touching_monitors;
+            Addr page_end_word = (page + 1) * words_per_page;
+            for (; word <= last_word && word < page_end_word;
+                 ++word) {
+                auto idx = (std::uint32_t)(word % words_per_page);
+                auto ov = entry.overflow.find(idx);
+                if (ov != entry.overflow.end()) {
+                    if (--ov->second == 0)
+                        entry.overflow.erase(ov);
+                    continue;
+                }
+                std::uint64_t &chunk = entry.bitmap[idx / 64];
+                chunk &= ~(1ull << (idx % 64));
+                --entry.active_words;
+            }
+            if (entry.active_words == 0 &&
+                entry.touching_monitors == 0)
+                pages_.erase(it);
+        }
+    }
+
+    bool
+    lookupByte(Addr a) const
+    {
+        if (pages_.empty())
+            return false;
+        Addr word = a / wordBytes;
+        Addr words_per_page = wordsPerPage();
+        auto it = pages_.find(word / words_per_page);
+        if (it == pages_.end())
+            return false;
+        auto idx = (std::uint32_t)(word % words_per_page);
+        return (it->second.bitmap[idx / 64] >> (idx % 64)) & 1;
+    }
+
+  private:
+    struct PageEntry
+    {
+        std::vector<std::uint64_t> bitmap;
+        std::uint32_t active_words = 0;
+        std::uint32_t touching_monitors = 0;
+        std::unordered_map<std::uint32_t, std::uint32_t> overflow;
+    };
+
+    Addr wordsPerPage() const { return page_bytes_ / wordBytes; }
+
+    PageEntry &
+    pageFor(Addr page_num)
+    {
+        PageEntry &entry = pages_[page_num];
+        if (entry.bitmap.empty())
+            entry.bitmap.assign((wordsPerPage() + 63) / 64, 0);
+        return entry;
+    }
+
+    Addr page_bytes_;
+    std::unordered_map<Addr, PageEntry> pages_;
+};
+
+} // namespace legacy
+
+/** Appendix A's WorkingMonitorSet (as in bench_micro_index). */
+std::vector<AddrRange>
+workingMonitorSet(std::uint64_t seed, int count)
+{
+    Rng rng(seed);
+    constexpr Addr base = 0x4000'0000;
+    constexpr Addr region = 2u << 20;
+    Addr slot = region / (Addr)count;
+    std::vector<AddrRange> monitors;
+    for (int i = 0; i < count; ++i) {
+        Addr size =
+            wordBytes * (1 + rng.below(slot / (8 * wordBytes)));
+        Addr off = wordAlignDown(rng.below(slot - size));
+        Addr begin = base + (Addr)i * slot + off;
+        monitors.emplace_back(begin, begin + size);
+    }
+    return monitors;
+}
+
+/**
+ * ns/op over the probe set for any index with lookupByte(). The
+ * accumulated count defeats dead-code elimination and doubles as an
+ * agreement check between implementations.
+ */
+template <typename Index>
+double
+lookupNs(const Index &index, const std::vector<Addr> &probes,
+         int reps, std::uint64_t *hits_out)
+{
+    constexpr int iters = 256;
+    std::uint64_t hits = 0;
+    double ms = medianOf(reps, [&] {
+        hits = 0;
+        for (int it = 0; it < iters; ++it) {
+            for (Addr a : probes)
+                hits += index.lookupByte(a) ? 1 : 0;
+        }
+    });
+    *hits_out = hits;
+    return ms * 1e6 / ((double)iters * (double)probes.size());
+}
+
+struct ReplayRow
+{
+    std::string program;
+    std::size_t events;
+    double legacy_ms;
+    double new_ms;
+    bool identical;
+};
+
+} // namespace
+
+int
+main()
+{
+    const int reps = 5;
+    bool ok = true;
+
+    // ---- Phase-2 replay: legacy vs. current, all five workloads.
+    std::vector<ReplayRow> rows;
+    for (auto name : workload::workloadNames()) {
+        auto w = workload::makeWorkload(name);
+        trace::Trace trace = workload::runTraced(*w);
+        session::SessionSet set =
+            session::SessionSet::enumerate(trace);
+
+        sim::SimResult legacy_result, new_result;
+        double legacy_ms = medianOf(reps, [&] {
+            legacy_result = legacy::simulate(trace, set);
+        });
+        double new_ms = medianOf(
+            reps, [&] { new_result = sim::simulate(trace, set); });
+
+        ReplayRow row;
+        row.program = std::string(name);
+        row.events = trace.events.size();
+        row.legacy_ms = legacy_ms;
+        row.new_ms = new_ms;
+        row.identical = resultsEqual(legacy_result, new_result);
+        if (!row.identical) {
+            std::fprintf(stderr,
+                         "FAIL: replay counters for '%s' diverge "
+                         "from the legacy engine\n",
+                         row.program.c_str());
+            ok = false;
+        }
+        rows.push_back(std::move(row));
+    }
+
+    report::TextTable replay_table;
+    replay_table.header({"Program", "Events", "Legacy (ms)",
+                         "New (ms)", "Speedup", "Identical"});
+    double legacy_total = 0, new_total = 0;
+    for (const auto &r : rows) {
+        legacy_total += r.legacy_ms;
+        new_total += r.new_ms;
+        replay_table.row({r.program, std::to_string(r.events),
+                          report::fmt(r.legacy_ms, 2),
+                          report::fmt(r.new_ms, 2),
+                          report::fmt(r.legacy_ms / r.new_ms, 2),
+                          r.identical ? "yes" : "NO"});
+    }
+    // Replay throughput over the paper's whole evaluation set: the
+    // time to push all five traces through phase 2.
+    double overall = legacy_total / new_total;
+    replay_table.row({"all", "-", report::fmt(legacy_total, 2),
+                      report::fmt(new_total, 2),
+                      report::fmt(overall, 2), "-"});
+    std::printf("Phase-2 replay, median of %d:\n%s\n", reps,
+                replay_table.render().c_str());
+
+    // ---- MonitorIndex lookupByte: legacy vs. current.
+    auto monitors = workingMonitorSet(1, 100);
+    legacy::Index legacy_index;
+    wms::MonitorIndex new_index;
+    for (const auto &m : monitors) {
+        legacy_index.install(m);
+        new_index.install(m);
+    }
+
+    Rng rng(7);
+    std::vector<Addr> hit_probes, miss_probes;
+    for (const auto &m : monitors) {
+        hit_probes.push_back(m.begin);
+        hit_probes.push_back(m.end - 1);
+    }
+    while (miss_probes.size() < 4096)
+        miss_probes.push_back(0x1000'0000 + rng.below(16u << 20));
+
+    struct LookupCase
+    {
+        const char *name;
+        const std::vector<Addr> *probes;
+        double legacy_ns = 0;
+        double new_ns = 0;
+    } cases[] = {{"hit", &hit_probes}, {"miss", &miss_probes}};
+
+    for (auto &c : cases) {
+        std::uint64_t legacy_hits = 0, new_hits = 0;
+        c.legacy_ns = lookupNs(legacy_index, *c.probes, reps,
+                               &legacy_hits);
+        c.new_ns = lookupNs(new_index, *c.probes, reps, &new_hits);
+        if (legacy_hits != new_hits) {
+            std::fprintf(stderr,
+                         "FAIL: index disagreement on %s probes "
+                         "(legacy %llu, new %llu)\n",
+                         c.name, (unsigned long long)legacy_hits,
+                         (unsigned long long)new_hits);
+            ok = false;
+        }
+    }
+
+    report::TextTable index_table;
+    index_table.header(
+        {"lookupByte", "Legacy (ns)", "New (ns)", "Speedup"});
+    for (const auto &c : cases) {
+        index_table.row({c.name, report::fmt(c.legacy_ns, 2),
+                         report::fmt(c.new_ns, 2),
+                         report::fmt(c.legacy_ns / c.new_ns, 2)});
+    }
+    std::printf("MonitorIndex lookup, median of %d:\n%s\n", reps,
+                index_table.render().c_str());
+
+    // ---- JSON.
+    std::FILE *json = std::fopen("BENCH_sim_hot.json", "w");
+    if (!json) {
+        std::perror("BENCH_sim_hot.json");
+        return 1;
+    }
+    std::fprintf(json,
+                 "{\n"
+                 "  \"reps\": %d,\n"
+                 "  \"identical\": %s,\n"
+                 "  \"replay\": [\n",
+                 reps, ok ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        std::fprintf(json,
+                     "    {\"program\": \"%s\", \"events\": %zu, "
+                     "\"legacy_ms\": %.3f, \"new_ms\": %.3f, "
+                     "\"speedup\": %.3f}%s\n",
+                     r.program.c_str(), r.events, r.legacy_ms,
+                     r.new_ms, r.legacy_ms / r.new_ms,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n"
+                 "  \"replay_overall_speedup\": %.3f,\n"
+                 "  \"lookup_byte\": [\n",
+                 overall);
+    for (std::size_t i = 0; i < 2; ++i) {
+        const auto &c = cases[i];
+        std::fprintf(json,
+                     "    {\"case\": \"%s\", \"legacy_ns\": %.3f, "
+                     "\"new_ns\": %.3f, \"speedup\": %.3f}%s\n",
+                     c.name, c.legacy_ns, c.new_ns,
+                     c.legacy_ns / c.new_ns, i == 0 ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("Wrote BENCH_sim_hot.json (overall replay speedup "
+                "%.2fx)\n",
+                overall);
+
+    return ok ? 0 : 1;
+}

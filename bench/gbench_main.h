@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared main() for the Google-benchmark binaries.
+ *
+ * Replaces BENCHMARK_MAIN() so every microbenchmark run reports the
+ * median of at least 5 repetitions instead of a single sample, and
+ * always leaves a machine-readable JSON file behind (consumed by the
+ * CI perf-smoke job and tools/perf_smoke_check.py). Flags given on
+ * the command line win over these defaults.
+ */
+
+#ifndef EDB_BENCH_GBENCH_MAIN_H
+#define EDB_BENCH_GBENCH_MAIN_H
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edb::benchhygiene {
+
+/** Run all registered benchmarks with median-of-5 + JSON defaults. */
+inline int
+runWithDefaults(int argc, char **argv, const char *json_name)
+{
+    std::vector<std::string> args(argv, argv + argc);
+
+    auto has = [&](std::string_view flag) {
+        for (const std::string &a : args) {
+            if (a.rfind(flag, 0) == 0)
+                return true;
+        }
+        return false;
+    };
+    if (!has("--benchmark_repetitions"))
+        args.push_back("--benchmark_repetitions=5");
+    if (!has("--benchmark_report_aggregates_only"))
+        args.push_back("--benchmark_report_aggregates_only=true");
+    if (!has("--benchmark_out_format"))
+        args.push_back("--benchmark_out_format=json");
+    if (!has("--benchmark_out="))
+        args.push_back(std::string("--benchmark_out=") + json_name);
+
+    std::vector<char *> argv2;
+    for (std::string &a : args)
+        argv2.push_back(a.data());
+    int argc2 = (int)argv2.size();
+
+    benchmark::Initialize(&argc2, argv2.data());
+    if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}
+
+} // namespace edb::benchhygiene
+
+/** Drop-in replacement for BENCHMARK_MAIN(). */
+#define EDB_GBENCH_MAIN(json_name)                                   \
+    int main(int argc, char **argv)                                  \
+    {                                                                \
+        return edb::benchhygiene::runWithDefaults(argc, argv,        \
+                                                  json_name);        \
+    }
+
+#endif // EDB_BENCH_GBENCH_MAIN_H

@@ -118,6 +118,46 @@ SessionSet::enumerate(const trace::ObjectRegistry &registry)
     return set;
 }
 
+SessionMaskTable::SessionMaskTable(const SessionSet &set)
+{
+    mask_words_ = (set.size() + 63) / 64;
+
+    // Two passes over the (sorted) per-object session lists: count
+    // chunks, then fill. Sorted ids make each object's chunks come
+    // out in ascending word order with no merging needed.
+    const std::size_t object_count = set.objectCount();
+    offsets_.assign(object_count + 1, 0);
+    for (std::size_t obj = 0; obj < object_count; ++obj) {
+        const auto &ids = set.sessionsOf((trace::ObjectId)obj);
+        std::uint32_t chunks = 0;
+        std::uint32_t prev_word = ~0u;
+        for (SessionId s : ids) {
+            std::uint32_t w = s / 64;
+            if (w != prev_word) {
+                ++chunks;
+                prev_word = w;
+            }
+        }
+        offsets_[obj + 1] = offsets_[obj] + chunks;
+    }
+
+    chunks_.resize(offsets_.back());
+    for (std::size_t obj = 0; obj < object_count; ++obj) {
+        std::size_t at = offsets_[obj];
+        std::uint32_t prev_word = ~0u;
+        for (SessionId s : set.sessionsOf((trace::ObjectId)obj)) {
+            std::uint32_t w = s / 64;
+            std::uint64_t bit = 1ull << (s % 64);
+            if (w != prev_word) {
+                chunks_[at++] = Chunk{w, bit};
+                prev_word = w;
+            } else {
+                chunks_[at - 1].mask |= bit;
+            }
+        }
+    }
+}
+
 std::string
 SessionSet::describe(SessionId id, const trace::Trace &trace) const
 {

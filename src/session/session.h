@@ -105,6 +105,9 @@ class SessionSet
         return object_sessions_[obj];
     }
 
+    /** Number of objects the inverted index covers (== registry's). */
+    std::size_t objectCount() const { return object_sessions_.size(); }
+
     /** Number of sessions of each type. */
     const std::array<std::size_t, sessionTypeCount> &
     countsByType() const
@@ -120,6 +123,60 @@ class SessionSet
     /** object id -> session ids containing it (sorted). */
     std::vector<std::vector<SessionId>> object_sessions_;
     std::array<std::size_t, sessionTypeCount> counts_{};
+};
+
+/**
+ * Per-object session membership as sparse bitset chunks.
+ *
+ * The simulator's write path unions the session sets of every object
+ * a write touches, then deduplicates. Walking sessionsOf() vectors
+ * with per-session epoch marks costs a dependent load per session;
+ * this table stores each object's set as (word index, 64-bit mask)
+ * chunks over the SessionId space, so union and dedup become a few
+ * OR/AND-NOT word operations and members enumerate by ctz.
+ *
+ * Chunks are flattened into one arena (offsets_ + chunks_) so a
+ * whole object's set usually lives in a single cache line.
+ */
+class SessionMaskTable
+{
+  public:
+    /** One 64-session chunk of an object's membership set. */
+    struct Chunk
+    {
+        /** Index of the 64-bit word within the session-id space. */
+        std::uint32_t word;
+        /** Bit b set = session word*64+b contains the object. */
+        std::uint64_t mask;
+    };
+
+    explicit SessionMaskTable(const SessionSet &set);
+
+    /** Words needed for a dense mask over every session. */
+    std::size_t maskWords() const { return mask_words_; }
+
+    /** The object's membership chunks (ascending word index). */
+    const Chunk *
+    chunksOf(ObjectId obj) const
+    {
+        EDB_ASSERT(obj + 1 < offsets_.size(),
+                   "object id %u out of range", obj);
+        return chunks_.data() + offsets_[obj];
+    }
+
+    std::size_t
+    chunkCount(ObjectId obj) const
+    {
+        EDB_ASSERT(obj + 1 < offsets_.size(),
+                   "object id %u out of range", obj);
+        return offsets_[obj + 1] - offsets_[obj];
+    }
+
+  private:
+    std::size_t mask_words_ = 0;
+    /** object id -> first chunk index; size = object count + 1. */
+    std::vector<std::uint32_t> offsets_;
+    std::vector<Chunk> chunks_;
 };
 
 } // namespace edb::session

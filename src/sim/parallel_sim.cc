@@ -3,6 +3,12 @@
  * Implementation of the sharded parallel simulator: boundary snapshot
  * maintenance, the per-shard replayer, and the two dispatch front ends
  * (in-memory and streaming).
+ *
+ * Shard replay runs on the shared ReplayEngine (replay_core.h) — the
+ * same code path the sequential simulate() uses — seeded from the
+ * boundary snapshot. Workers draw engines from a fixed pool of `jobs`
+ * pre-sized instances, so steady-state replay allocates nothing and
+ * never rehashes a page table mid-shard.
  */
 
 #include "sim/parallel_sim.h"
@@ -12,15 +18,16 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <unordered_map>
+#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "sim/replay_core.h"
 #include "util/thread_pool.h"
 
 namespace edb::sim {
 
-using session::SessionId;
+using session::SessionMaskTable;
 using session::SessionSet;
 using trace::Event;
 using trace::EventKind;
@@ -30,13 +37,8 @@ using trace::TraceReader;
 
 namespace {
 
-/** One live monitor in a shard-boundary snapshot. */
-struct LiveMonitor
-{
-    Addr begin;
-    Addr end;
-    ObjectId obj;
-};
+using detail::LiveMonitor;
+using detail::ReplayEngine;
 
 /** The installed-monitor state at a shard boundary, sorted by begin. */
 using Snapshot = std::vector<LiveMonitor>;
@@ -86,190 +88,67 @@ advanceLiveState(LiveMap &live, const Event *events, std::size_t n)
     }
 }
 
-/** A currently installed object instance, as the replayer tracks it. */
-struct LiveObj
+/**
+ * A fixed set of pre-sized ReplayEngines, one per worker thread.
+ * Counter arrays, scratch masks and page-table capacity are all
+ * allocated once here — before the first shard is dispatched — so
+ * replay itself performs no rehashing.
+ */
+class EnginePool
 {
-    Addr end;
-    ObjectId obj;
-};
+  public:
+    EnginePool(const SessionSet &sessions,
+               const SessionMaskTable &masks, unsigned count,
+               std::size_t page_hint)
+    {
+        engines_.reserve(count);
+        free_.reserve(count);
+        for (unsigned i = 0; i < count; ++i) {
+            engines_.push_back(std::make_unique<ReplayEngine>(
+                sessions, masks, page_hint));
+            free_.push_back(engines_.back().get());
+        }
+    }
 
-/** Per-page (session, active-monitor-count) entries; see simulator.cc. */
-using PageSessionVec = std::vector<std::pair<SessionId, std::uint32_t>>;
+    ReplayEngine *
+    acquire()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // The pool holds one engine per pool thread, and each worker
+        // releases before finishing, so a free engine always exists.
+        EDB_ASSERT(!free_.empty(), "engine pool exhausted");
+        ReplayEngine *e = free_.back();
+        free_.pop_back();
+        return e;
+    }
+
+    void
+    release(ReplayEngine *e)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        free_.push_back(e);
+    }
+
+  private:
+    std::mutex mu_;
+    std::vector<std::unique_ptr<ReplayEngine>> engines_;
+    std::vector<ReplayEngine *> free_;
+};
 
 /**
  * Replay one shard against its boundary snapshot, producing partial
- * counters. The event-processing logic deliberately mirrors
- * simulate()'s — the differential test asserts the two agree — with
- * one difference: the live/page state is *seeded* from the snapshot
- * without counting, because the install events that created that state
- * were counted by the shards that contain them.
+ * counters. The live/page state is *seeded* from the snapshot without
+ * counting, because the install events that created that state were
+ * counted by the shards that contain them.
  */
 SimResult
-replayShard(const Event *events, std::size_t n, const Snapshot &snap,
-            const SessionSet &sessions)
+replayShard(ReplayEngine &engine, const Event *events, std::size_t n,
+            const Snapshot &snap)
 {
-    SimResult result;
-    result.counters.resize(sessions.size());
-
-    std::map<Addr, LiveObj> live;
-    std::array<std::unordered_map<Addr, PageSessionVec>,
-               vmPageSizeCount> pages;
-
-    // Seed the interval map and the per-page active counts from the
-    // boundary snapshot. Page counts are a pure function of the live
-    // set, so no protect/unprotect transitions are implied here.
-    for (const LiveMonitor &m : snap) {
-        live.emplace(m.begin, LiveObj{m.end, m.obj});
-        const AddrRange r(m.begin, m.end);
-        for (SessionId s : sessions.sessionsOf(m.obj)) {
-            for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
-                auto [first, last] = pageSpan(r, vmPageSizes[i]);
-                for (Addr p = first; p <= last; ++p) {
-                    PageSessionVec &vec = pages[i][p];
-                    auto entry = std::find_if(
-                        vec.begin(), vec.end(), [s](const auto &kv) {
-                            return kv.first == s;
-                        });
-                    if (entry == vec.end())
-                        vec.emplace_back(s, 1);
-                    else
-                        ++entry->second;
-                }
-            }
-        }
-    }
-
-    std::vector<std::uint64_t> hit_epoch(sessions.size(), 0);
-    std::array<std::vector<std::uint64_t>, vmPageSizeCount> miss_epoch;
-    for (auto &v : miss_epoch)
-        v.assign(sessions.size(), 0);
-    std::uint64_t epoch = 0;
-
-    for (std::size_t idx = 0; idx < n; ++idx) {
-        const Event &e = events[idx];
-        switch (e.kind) {
-          case EventKind::InstallMonitor: {
-            const AddrRange r = e.range();
-            auto [it, inserted] = live.emplace(r.begin,
-                                               LiveObj{r.end, e.aux});
-            EDB_ASSERT(inserted, "overlapping install at %s",
-                       r.str().c_str());
-            if (it != live.begin()) {
-                auto prev = std::prev(it);
-                EDB_ASSERT(prev->second.end <= r.begin,
-                           "install %s overlaps a live object",
-                           r.str().c_str());
-            }
-            if (auto next = std::next(it); next != live.end()) {
-                EDB_ASSERT(r.end <= next->first,
-                           "install %s overlaps a live object",
-                           r.str().c_str());
-            }
-
-            for (SessionId s : sessions.sessionsOf(e.aux)) {
-                ++result.counters[s].installs;
-                for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
-                    auto [first, last] = pageSpan(r, vmPageSizes[i]);
-                    for (Addr p = first; p <= last; ++p) {
-                        PageSessionVec &vec = pages[i][p];
-                        auto entry = std::find_if(
-                            vec.begin(), vec.end(),
-                            [s](const auto &kv) {
-                                return kv.first == s;
-                            });
-                        if (entry == vec.end()) {
-                            vec.emplace_back(s, 1);
-                            ++result.counters[s].vm[i].protects;
-                        } else {
-                            ++entry->second;
-                        }
-                    }
-                }
-            }
-            break;
-          }
-
-          case EventKind::RemoveMonitor: {
-            const AddrRange r = e.range();
-            auto it = live.find(r.begin);
-            EDB_ASSERT(it != live.end() && it->second.end == r.end &&
-                           it->second.obj == e.aux,
-                       "remove %s does not match a live install",
-                       r.str().c_str());
-            live.erase(it);
-
-            for (SessionId s : sessions.sessionsOf(e.aux)) {
-                ++result.counters[s].removes;
-                for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
-                    auto [first, last] = pageSpan(r, vmPageSizes[i]);
-                    for (Addr p = first; p <= last; ++p) {
-                        auto page_it = pages[i].find(p);
-                        EDB_ASSERT(page_it != pages[i].end(),
-                                   "page table corrupt on remove");
-                        PageSessionVec &vec = page_it->second;
-                        auto entry = std::find_if(
-                            vec.begin(), vec.end(),
-                            [s](const auto &kv) {
-                                return kv.first == s;
-                            });
-                        EDB_ASSERT(entry != vec.end(),
-                                   "page table corrupt on remove");
-                        if (--entry->second == 0) {
-                            ++result.counters[s].vm[i].unprotects;
-                            *entry = vec.back();
-                            vec.pop_back();
-                            if (vec.empty())
-                                pages[i].erase(page_it);
-                        }
-                    }
-                }
-            }
-            break;
-          }
-
-          case EventKind::Write: {
-            ++result.totalWrites;
-            ++epoch;
-            const AddrRange w = e.range();
-
-            auto it = live.upper_bound(w.begin);
-            if (it != live.begin()) {
-                auto prev = std::prev(it);
-                if (prev->second.end > w.begin)
-                    it = prev;
-            }
-            for (; it != live.end() && it->first < w.end; ++it) {
-                if (it->second.end <= w.begin)
-                    continue;
-                for (SessionId s : sessions.sessionsOf(it->second.obj)) {
-                    if (hit_epoch[s] != epoch) {
-                        hit_epoch[s] = epoch;
-                        ++result.counters[s].hits;
-                    }
-                }
-            }
-
-            for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
-                auto [first, last] = pageSpan(w, vmPageSizes[i]);
-                for (Addr p = first; p <= last; ++p) {
-                    auto page_it = pages[i].find(p);
-                    if (page_it == pages[i].end())
-                        continue;
-                    for (const auto &[s, count] : page_it->second) {
-                        if (hit_epoch[s] == epoch ||
-                            miss_epoch[i][s] == epoch) {
-                            continue;
-                        }
-                        miss_epoch[i][s] = epoch;
-                        ++result.counters[s].vm[i].activePageMisses;
-                    }
-                }
-            }
-            break;
-          }
-        }
-    }
-    return result;
+    engine.reset();
+    engine.seed(snap.data(), snap.size());
+    engine.replay(events, n);
+    return engine.result();
 }
 
 /**
@@ -294,6 +173,13 @@ dispatchShards(NextShard &&next, const SessionSet &sessions,
 
     ParallelStats local_stats;
     local_stats.jobs = jobs;
+
+    // Shared per-run read-only state plus the worker engines, all
+    // built before the pool starts. The page-capacity hint comes from
+    // the trace header's object registry (via the session set): live
+    // objects bound monitored pages.
+    const SessionMaskTable masks(sessions);
+    EnginePool engines(sessions, masks, jobs, sessions.objectCount());
 
     // Declared before the pool so workers never outlive them.
     std::deque<SimResult> parts;
@@ -330,10 +216,12 @@ dispatchShards(NextShard &&next, const SessionSet &sessions,
             SimResult *out = &parts.back();
             ++local_stats.shards;
 
-            pool.submit([buf, snap = std::move(snap), out, &sessions,
+            pool.submit([buf, snap = std::move(snap), out, &engines,
                          &buffered] {
-                *out = replayShard(buf->data(), buf->size(), snap,
-                                   sessions);
+                ReplayEngine *engine = engines.acquire();
+                *out = replayShard(*engine, buf->data(), buf->size(),
+                                   snap);
+                engines.release(engine);
                 buffered.fetch_sub(buf->size(),
                                    std::memory_order_relaxed);
             });

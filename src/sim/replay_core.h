@@ -1,0 +1,756 @@
+/**
+ * @file
+ * The shared phase-2 replay engine (internal to src/sim).
+ *
+ * Both the sequential one-pass simulate() and the sharded
+ * parallelSimulate() workers replay the same event-processing logic;
+ * this header holds that logic in one ReplayEngine class so the two
+ * front ends cannot drift apart (the differential tests then pin the
+ * engine itself to the per-session oracle).
+ *
+ * The engine is built for the per-write fast path (DESIGN.md §9):
+ *
+ *  - page -> session tables are open-addressed FlatMaps (one indexed
+ *    load per probe) instead of node-based unordered_maps;
+ *  - each page entry carries its session set both as refcounted
+ *    (session, count) pairs — the install/remove bookkeeping — and as
+ *    64-bit bitset chunks, so the write path tests and enumerates
+ *    whole 64-session words with AND-NOT/ctz instead of walking
+ *    per-session epoch arrays;
+ *  - per-object session membership comes precomputed from
+ *    session::SessionMaskTable, so multi-object writes union bitset
+ *    chunks rather than deduplicating id-by-id;
+ *  - a probe of the finest-grained page table prefilters the
+ *    interval-map walk: a write that touches no monitored page of the
+ *    finest size cannot hit any live object (checked at construction:
+ *    every object belongs to at least one session), so pure misses
+ *    never walk the ordered live map at all;
+ *  - a small *replay cache* captures the dominant pattern of real
+ *    traces, long runs of writes into the same object on the same
+ *    page(s). A write's counter increments are a pure function of
+ *    (the one object it intersects, the written page of each size,
+ *    the tables' contents); the cache keys on exactly that and
+ *    re-applies the recorded increment list directly, skipping
+ *    resolution, hashing, masks and scrubbing entirely. Any
+ *    install/remove invalidates the recorded signatures.
+ *
+ * Scratch state (hit/miss masks) is cleared through touched-word
+ * lists, so an engine instance is reusable across shards without
+ * reallocation: reset() keeps every capacity.
+ */
+
+#ifndef EDB_SIM_REPLAY_CORE_H
+#define EDB_SIM_REPLAY_CORE_H
+
+#include <array>
+#include <bit>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "session/session.h"
+#include "sim/counters.h"
+#include "trace/trace.h"
+#include "util/arena_pool.h"
+#include "util/flat_map.h"
+#include "util/small_vec.h"
+
+namespace edb::sim::detail {
+
+using session::SessionId;
+using session::SessionMaskTable;
+using session::SessionSet;
+using trace::Event;
+using trace::EventKind;
+using trace::ObjectId;
+
+/** A currently installed object instance. */
+struct LiveObj
+{
+    Addr end;
+    ObjectId obj;
+};
+
+/** One live monitor in a shard-boundary snapshot. */
+struct LiveMonitor
+{
+    Addr begin;
+    Addr end;
+    ObjectId obj;
+};
+
+/**
+ * Per-page session state: exact active-monitor counts (the
+ * install/remove slow path owns these) plus the same set as bitset
+ * chunks (the write path reads only these). Both live inline in the
+ * page-table slot for the typical page with a handful of sessions.
+ */
+struct PageSessions
+{
+    /** One session's active-monitor count on the page. */
+    struct SessionCount
+    {
+        SessionId id;
+        std::uint32_t count;
+    };
+
+    /** One live object overlapping the page (finest table only). */
+    struct ObjSpan
+    {
+        Addr begin;
+        Addr end;
+        ObjectId obj;
+    };
+
+    /** List size beyond which a page stops tracking objects. */
+    static constexpr std::size_t objCap = 8;
+
+    /**
+     * The page's session set as (word, mask) bitset chunks — the
+     * only member the per-write miss pass reads, kept first so it
+     * shares the table slot's leading cache line with the key.
+     */
+    util::SmallVec<SessionMaskTable::Chunk, 1> words;
+    /** Exact per-session counts; entries leave on count 0. */
+    util::SmallVec<SessionCount, 2> counts;
+    /**
+     * The live objects overlapping this page — exact while
+     * !overflow, so a write inside the page resolves its objects
+     * here in a few compares instead of walking the ordered live
+     * map. Pages denser than objCap set the sticky overflow flag
+     * and drop the list: maintaining hundred-entry lists per
+     * install/remove costs more than their lookups save. The flag
+     * resets only when the page entry itself dies.
+     */
+    util::SmallVec<ObjSpan, 1> objs;
+    bool overflow = false;
+
+    /** Track an object newly overlapping the page. */
+    void
+    addObj(Addr begin, Addr end, ObjectId obj)
+    {
+        if (overflow)
+            return;
+        if (objs.size() == objCap) {
+            overflow = true;
+            objs.clear();
+        } else {
+            objs.push_back({begin, end, obj});
+        }
+    }
+
+    /** Forget an object leaving the page. */
+    void
+    removeObj(Addr begin)
+    {
+        if (overflow)
+            return;
+        for (std::size_t i = 0; i < objs.size(); ++i) {
+            if (objs[i].begin == begin) {
+                objs.swapErase(i);
+                return;
+            }
+        }
+        EDB_PANIC("page object list missing a live object");
+    }
+
+    /** Count one more active monitor for s. @return True on 0 -> 1. */
+    bool
+    addSession(SessionId s)
+    {
+        for (auto &kv : counts) {
+            if (kv.id == s) {
+                ++kv.count;
+                return false;
+            }
+        }
+        counts.push_back({s, 1});
+        const std::uint32_t w = s / 64;
+        const std::uint64_t bit = 1ull << (s % 64);
+        for (auto &c : words) {
+            if (c.word == w) {
+                c.mask |= bit;
+                return true;
+            }
+        }
+        words.push_back(SessionMaskTable::Chunk{w, bit});
+        return true;
+    }
+
+    /**
+     * Drop one active monitor for s, which must be present.
+     * @return True on 1 -> 0 (the session left the page).
+     */
+    bool
+    removeSession(SessionId s)
+    {
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            if (counts[i].id != s)
+                continue;
+            if (--counts[i].count != 0)
+                return false;
+            counts.swapErase(i);
+            const std::uint32_t w = s / 64;
+            const std::uint64_t bit = 1ull << (s % 64);
+            for (std::size_t j = 0; j < words.size(); ++j) {
+                if (words[j].word != w)
+                    continue;
+                if ((words[j].mask &= ~bit) == 0)
+                    words.swapErase(j);
+                return true;
+            }
+            EDB_PANIC("page bitset missing session %u", s);
+        }
+        EDB_PANIC("page table corrupt on remove");
+    }
+};
+
+/**
+ * Replays event streams into a SimResult. One instance per worker;
+ * every container is pre-sized at construction and kept across
+ * reset() calls, so steady-state replay performs no allocation and no
+ * rehashing.
+ */
+class ReplayEngine
+{
+  public:
+    /**
+     * @param sessions  The session set counters are attributed to.
+     * @param masks     Per-object membership bitsets for `sessions`.
+     * @param page_hint Expected peak monitored-page count per page
+     *                  size (derived from the trace header); page
+     *                  tables pre-reserve to it.
+     */
+    ReplayEngine(const SessionSet &sessions,
+                 const SessionMaskTable &masks, std::size_t page_hint)
+        : sessions_(sessions), masks_(masks)
+    {
+        result_.counters.resize(sessions.size());
+        hit_mask_.assign(masks.maskWords(), 0);
+        for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+            miss_mask_[i].assign(masks.maskWords(), 0);
+            pages_[i].reserve(page_hint);
+        }
+        // The page prefilter is sound only while every object belongs
+        // to at least one session (true of the paper's five session
+        // types; see sessionsOf()). Verify once instead of trusting
+        // it.
+        prefilter_ = true;
+        for (std::size_t o = 0; o < sessions.objectCount(); ++o) {
+            if (sessions.sessionsOf((ObjectId)o).empty()) {
+                prefilter_ = false;
+                break;
+            }
+        }
+    }
+
+    /** Forget all replay state, keeping every container's capacity. */
+    void
+    reset()
+    {
+        live_.clear();
+        for (std::size_t i = 0; i < vmPageSizeCount; ++i)
+            pages_[i].clear();
+        for (CacheEntry &c : cache_)
+            c.invalidate();
+        rlo_.fill(0);
+        rhi_.fill(0);
+        rr_ = 0;
+        std::fill(result_.counters.begin(), result_.counters.end(),
+                  SessionCounters{});
+        result_.totalWrites = 0;
+    }
+
+    /**
+     * Seed the live set and page tables from a shard-boundary
+     * snapshot *without counting*: the installs that produced this
+     * state belong to earlier shards (DESIGN.md §7).
+     */
+    void
+    seed(const LiveMonitor *snap, std::size_t n)
+    {
+        for (std::size_t k = 0; k < n; ++k) {
+            const LiveMonitor &m = snap[k];
+            live_.emplace(m.begin, LiveObj{m.end, m.obj});
+            const AddrRange r(m.begin, m.end);
+            const auto &sess = sessions_.sessionsOf(m.obj);
+            for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+                auto [first, last] = pageSpan(r, vmPageSizes[i]);
+                for (Addr p = first; p <= last; ++p) {
+                    PageSessions &ps = *pages_[i].try_emplace(p).first;
+                    if (i == 0 && prefilter_)
+                        ps.addObj(m.begin, m.end, m.obj);
+                    for (SessionId s : sess)
+                        ps.addSession(s);
+                }
+            }
+        }
+    }
+
+    /** Replay a contiguous run of events. */
+    void
+    replay(const Event *events, std::size_t n)
+    {
+        for (std::size_t idx = 0; idx < n; ++idx) {
+            const Event &e = events[idx];
+            switch (e.kind) {
+              case EventKind::InstallMonitor: install(e); break;
+              case EventKind::RemoveMonitor: remove(e); break;
+              case EventKind::Write: write(e); break;
+            }
+        }
+        // Settle replay-cache debts so result() sees exact counters.
+        for (CacheEntry &c : cache_)
+            c.flush();
+    }
+
+    const SimResult &result() const { return result_; }
+
+  private:
+    /**
+     * One replay-cache entry: a live object plus the recorded counter
+     * increments of one write into it. `incs` replays verbatim for
+     * any write that (a) lies fully inside [begin, end) — live
+     * objects never overlap, so such a write intersects exactly this
+     * object — and (b) touches the same single page of every size
+     * while no install/remove has intervened: hit counters depend
+     * only on the object's sessions, miss counters only on the
+     * written pages' session sets.
+     */
+    struct CacheEntry
+    {
+        Addr begin = 0;
+        Addr end = 0; /**< begin == end encodes "no object cached". */
+        const SessionMaskTable::Chunk *chunks = nullptr;
+        std::size_t nchunks = 0;
+        /** The recorded increments (pointers into result_.counters). */
+        std::vector<std::uint64_t *> incs;
+        /**
+         * Replays not yet applied to the counters. Increments are
+         * additive and order-independent, so a replayed write only
+         * bumps this; flush() settles the debt before the entry's
+         * increment list is dropped or rewritten, and at end of
+         * replay.
+         */
+        std::uint64_t pending = 0;
+
+        void
+        flush()
+        {
+            if (pending == 0)
+                return;
+            for (std::uint64_t *p : incs)
+                *p += pending;
+            pending = 0;
+        }
+
+        void
+        invalidate()
+        {
+            flush();
+            begin = 0;
+            end = 0;
+            incs.clear();
+        }
+    };
+
+    // The replay window of entry k lives outside the entry, in the
+    // compact rlo_/rhi_ arrays the per-write probe scans: a write
+    // replays entry k's increments iff rlo_[k] <= begin and
+    // end <= rhi_[k]. The window is the cached object's range clipped
+    // to the recorded write's finest-size page; page sizes nest (each
+    // divides the next, checked below), so staying inside that page
+    // pins the written page of *every* size, and staying inside the
+    // object pins the hit set. An empty window (rlo == rhi == 0)
+    // encodes "no recording".
+    static_assert([] {
+        for (std::size_t i = 1; i < vmPageSizeCount; ++i) {
+            if (vmPageSizes[i] % vmPageSizes[i - 1] != 0 ||
+                vmPageSizes[i] <= vmPageSizes[i - 1])
+                return false;
+        }
+        return true;
+    }(), "replay windows need nested, ascending page sizes");
+
+    void
+    install(const Event &e)
+    {
+        const AddrRange r = e.range();
+        auto [it, inserted] =
+            live_.emplace(r.begin, LiveObj{r.end, e.aux});
+        EDB_ASSERT(inserted, "overlapping install at %s",
+                   r.str().c_str());
+        if (it != live_.begin()) {
+            auto prev = std::prev(it);
+            EDB_ASSERT(prev->second.end <= r.begin,
+                       "install %s overlaps a live object",
+                       r.str().c_str());
+        }
+        if (auto next = std::next(it); next != live_.end()) {
+            EDB_ASSERT(r.end <= next->first,
+                       "install %s overlaps a live object",
+                       r.str().c_str());
+        }
+
+        // Replay windows on pages this range touches may see their
+        // session sets change; windows elsewhere stay valid, and so
+        // do the cached object ranges (no overlap possible).
+        invalidateWindowsTouching(r);
+
+        const auto &sess = sessions_.sessionsOf(e.aux);
+        for (SessionId s : sess)
+            ++result_.counters[s].installs;
+        for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+            auto [first, last] = pageSpan(r, vmPageSizes[i]);
+            for (Addr p = first; p <= last; ++p) {
+                PageSessions &ps = *pages_[i].try_emplace(p).first;
+                if (i == 0 && prefilter_)
+                    ps.addObj(r.begin, r.end, e.aux);
+                for (SessionId s : sess) {
+                    if (ps.addSession(s))
+                        ++result_.counters[s].vm[i].protects;
+                }
+            }
+        }
+    }
+
+    void
+    remove(const Event &e)
+    {
+        const AddrRange r = e.range();
+        auto it = live_.find(r.begin);
+        EDB_ASSERT(it != live_.end() && it->second.end == r.end &&
+                       it->second.obj == e.aux,
+                   "remove %s does not match a live install",
+                   r.str().c_str());
+        live_.erase(it);
+
+        for (std::size_t k = 0; k < cache_.size(); ++k) {
+            if (r.begin == cache_[k].begin) {
+                cache_[k].invalidate(); // the cached object died
+                rlo_[k] = 0;
+                rhi_[k] = 0;
+            }
+        }
+        invalidateWindowsTouching(r);
+
+        const auto &sess = sessions_.sessionsOf(e.aux);
+        for (SessionId s : sess)
+            ++result_.counters[s].removes;
+        for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+            auto [first, last] = pageSpan(r, vmPageSizes[i]);
+            for (Addr p = first; p <= last; ++p) {
+                PageSessions *ps = pages_[i].find(p);
+                EDB_ASSERT(ps != nullptr,
+                           "page table corrupt on remove");
+                if (i == 0 && prefilter_)
+                    ps->removeObj(r.begin);
+                for (SessionId s : sess) {
+                    if (ps->removeSession(s))
+                        ++result_.counters[s].vm[i].unprotects;
+                }
+                if (ps->counts.empty()) {
+                    // Every object carries a session here (checked at
+                    // construction), so an empty session set means no
+                    // live object overlaps the page.
+                    EDB_ASSERT(ps->overflow || ps->objs.empty(),
+                               "page object list leaked an object");
+                    pages_[i].erase(p);
+                }
+            }
+        }
+    }
+
+    /** log2 of the coarsest page size, for window invalidation. */
+    static constexpr unsigned coarseShift =
+        (unsigned)std::countr_zero(vmPageSizes[vmPageSizeCount - 1]);
+
+    /**
+     * Kill the replay windows whose pages the range touches. A
+     * window spans one page of every size; page sizes nest, so a
+     * range touching any of those pages also touches the coarsest
+     * one — a single containment test covers them all. Windows on
+     * untouched pages keep replaying: their page session sets are
+     * unchanged.
+     */
+    void
+    invalidateWindowsTouching(const AddrRange &r)
+    {
+        const Addr c_first = r.begin >> coarseShift;
+        const Addr c_last = (r.end - 1) >> coarseShift;
+        for (std::size_t k = 0; k < cache_.size(); ++k) {
+            const Addr pc = rlo_[k] >> coarseShift;
+            if (pc >= c_first && pc <= c_last) {
+                rlo_[k] = 0;
+                rhi_[k] = 0;
+            }
+        }
+    }
+
+    /**
+     * Resolve the objects a write touches by walking the ordered
+     * live map: the predecessor (if it extends into the write) plus
+     * every live object starting inside the write. Counts hits and
+     * reports the first object found for the replay cache.
+     */
+    void
+    resolveViaMap(const AddrRange &w, std::size_t &nobjs,
+                  Addr &obj_begin, Addr &obj_end,
+                  const SessionMaskTable::Chunk *&obj_chunks,
+                  std::size_t &obj_nchunks)
+    {
+        auto it = live_.upper_bound(w.begin);
+        if (it != live_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.end > w.begin)
+                it = prev;
+        }
+        for (; it != live_.end() && it->first < w.end; ++it) {
+            if (it->second.end <= w.begin)
+                continue;
+            if (++nobjs == 1) {
+                obj_begin = it->first;
+                obj_end = it->second.end;
+                obj_chunks = masks_.chunksOf(it->second.obj);
+                obj_nchunks = masks_.chunkCount(it->second.obj);
+            }
+            countHits(masks_.chunksOf(it->second.obj),
+                      masks_.chunkCount(it->second.obj));
+        }
+    }
+
+    /** Count hits for every session of one object not yet hit this
+     *  write (dedup across objects via hit_mask_). */
+    void
+    countHits(const SessionMaskTable::Chunk *c, std::size_t n)
+    {
+        for (const auto *end = c + n; c != end; ++c) {
+            std::uint64_t m = c->mask & ~hit_mask_[c->word];
+            if (!m)
+                continue;
+            hit_mask_[c->word] |= m;
+            touched_hit_.push_back(c->word);
+            const SessionId base = c->word * 64;
+            do {
+                const int b = std::countr_zero(m);
+                std::uint64_t *ctr =
+                    &result_.counters[base + (SessionId)b].hits;
+                ++*ctr;
+                if (recording_)
+                    rec_incs_.push_back(ctr);
+                m &= m - 1;
+            } while (m);
+        }
+    }
+
+    /** Count active-page misses for page-size i from one page entry:
+     *  its sessions minus anything already hit or already missed. */
+    void
+    missChunks(std::size_t i, const PageSessions &ps)
+    {
+        for (const auto &c : ps.words) {
+            std::uint64_t m = c.mask & ~hit_mask_[c.word] &
+                              ~miss_mask_[i][c.word];
+            if (!m)
+                continue;
+            miss_mask_[i][c.word] |= m;
+            touched_miss_[i].push_back(c.word);
+            const SessionId base = c.word * 64;
+            do {
+                const int b = std::countr_zero(m);
+                std::uint64_t *ctr =
+                    &result_.counters[base + (SessionId)b]
+                         .vm[i]
+                         .activePageMisses;
+                ++*ctr;
+                if (recording_)
+                    rec_incs_.push_back(ctr);
+                m &= m - 1;
+            } while (m);
+        }
+    }
+
+    void
+    write(const Event &e)
+    {
+        ++result_.totalWrites;
+        const AddrRange w = e.range();
+
+        // Replay probe: a write inside an entry's window hits the
+        // same object on the same page of every size as the recorded
+        // write, so its effect is exactly the recorded one. Settled
+        // lazily by flush().
+        for (std::size_t k = 0; k < cache_.size(); ++k) {
+            if (w.begin >= rlo_[k] && w.end <= rhi_[k]) {
+                ++cache_[k].pending;
+                return;
+            }
+        }
+
+        std::array<Addr, vmPageSizeCount> pg_first;
+        std::array<Addr, vmPageSizeCount> pg_last;
+        bool single = true;
+        for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+            auto [f, l] = pageSpan(w, vmPageSizes[i]);
+            pg_first[i] = f;
+            pg_last[i] = l;
+            single &= f == l;
+        }
+
+        // Object-containment probe: the first entry whose object
+        // contains the write. Live objects never overlap, so at most
+        // one matches; the cached object info then short-circuits
+        // resolution even though the recording itself is stale.
+        CacheEntry *hit = nullptr;
+        for (CacheEntry &c : cache_) {
+            if (w.begin >= c.begin && w.end <= c.end) {
+                hit = &c;
+                break;
+            }
+        }
+
+        // Full path, recording the increments for the cache.
+        rec_incs_.clear();
+        recording_ = true;
+
+        std::size_t nobjs = 0;
+        Addr obj_begin = 0, obj_end = 0;
+        const SessionMaskTable::Chunk *obj_chunks = nullptr;
+        std::size_t obj_nchunks = 0;
+
+        if (hit != nullptr) {
+            // The write intersects exactly the cached object.
+            nobjs = 1;
+            obj_begin = hit->begin;
+            obj_end = hit->end;
+            obj_chunks = hit->chunks;
+            obj_nchunks = hit->nchunks;
+            countHits(obj_chunks, obj_nchunks);
+        } else if (prefilter_ && pg_first[0] == pg_last[0]) {
+            // The write lies inside one finest-size page, so every
+            // intersecting object touches that page: no entry means
+            // a pure miss (every object carries a session, so its
+            // pages are in the table), an exact list resolves in a
+            // few compares, and only an overflowed page walks the
+            // live map.
+            if (const PageSessions *ps =
+                    pages_[0].find(pg_first[0])) {
+                if (!ps->overflow) {
+                    for (const auto &o : ps->objs) {
+                        if (o.begin < w.end && o.end > w.begin) {
+                            if (++nobjs == 1) {
+                                obj_begin = o.begin;
+                                obj_end = o.end;
+                                obj_chunks = masks_.chunksOf(o.obj);
+                                obj_nchunks =
+                                    masks_.chunkCount(o.obj);
+                            }
+                            countHits(masks_.chunksOf(o.obj),
+                                      masks_.chunkCount(o.obj));
+                        }
+                    }
+                } else {
+                    resolveViaMap(w, nobjs, obj_begin, obj_end,
+                                  obj_chunks, obj_nchunks);
+                }
+            }
+        } else {
+            // Prefilter on the finest page table: a write landing on
+            // no monitored finest-size page cannot intersect a live
+            // object (any shared byte's page would carry that
+            // object's sessions), so pure misses skip the map walk.
+            bool may_hit = !prefilter_;
+            for (Addr p = pg_first[0]; p <= pg_last[0] && !may_hit;
+                 ++p) {
+                may_hit = pages_[0].find(p) != nullptr;
+            }
+            if (may_hit && !live_.empty()) {
+                resolveViaMap(w, nobjs, obj_begin, obj_end,
+                              obj_chunks, obj_nchunks);
+            }
+        }
+
+        // VirtualMemory active-page misses: sessions with a monitor
+        // on a written page that this write did not hit, deduplicated
+        // across the pages of one size by the miss mask. Hits are all
+        // counted by now, as the exclusion requires.
+        for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+            for (Addr p = pg_first[i]; p <= pg_last[i]; ++p) {
+                if (const PageSessions *ps = pages_[i].find(p))
+                    missChunks(i, *ps);
+            }
+        }
+
+        // Scrub only the words this write dirtied; the masks are
+        // all-zero between events by this invariant.
+        for (std::uint32_t word : touched_hit_)
+            hit_mask_[word] = 0;
+        touched_hit_.clear();
+        for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+            for (std::uint32_t word : touched_miss_[i])
+                miss_mask_[i][word] = 0;
+            touched_miss_[i].clear();
+        }
+        recording_ = false;
+
+        // Commit to the cache when the increments are a function of
+        // (single intersected object, one page per size).
+        if (single && nobjs == 1) {
+            // Re-record in place on a window mismatch; otherwise
+            // evict round-robin.
+            const std::size_t k =
+                hit != nullptr
+                    ? (std::size_t)(hit - cache_.data())
+                    : rr_++ % cache_.size();
+            CacheEntry &c = cache_[k];
+            c.flush(); // settle the old increment list first
+            c.begin = obj_begin;
+            c.end = obj_end;
+            c.chunks = obj_chunks;
+            c.nchunks = obj_nchunks;
+            c.incs.swap(rec_incs_);
+            const Addr page_lo = pg_first[0] * vmPageSizes[0];
+            rlo_[k] = std::max(obj_begin, page_lo);
+            rhi_[k] = std::min(obj_end, page_lo + vmPageSizes[0]);
+        }
+    }
+
+    const SessionSet &sessions_;
+    const SessionMaskTable &masks_;
+    bool prefilter_ = false;
+
+    /** Node pool for live_: one tree node per install, recycled
+     *  across removes and reset() without touching the heap. */
+    util::ArenaPool live_pool_;
+    /** Installed objects by begin address (ordered: the overlap
+     *  asserts and predecessor queries need neighbors). */
+    using LiveAlloc =
+        util::PoolAllocator<std::pair<const Addr, LiveObj>>;
+    std::map<Addr, LiveObj, std::less<Addr>, LiveAlloc> live_{
+        LiveAlloc(&live_pool_)};
+    std::array<util::FlatMap<Addr, PageSessions>, vmPageSizeCount>
+        pages_;
+
+    /** The replay cache, round-robin replacement. */
+    std::array<CacheEntry, 4> cache_;
+    /** Replay windows of cache_ (kept compact for the probe). */
+    std::array<Addr, 4> rlo_{};
+    std::array<Addr, 4> rhi_{};
+    unsigned rr_ = 0;
+    /** Increment collector for the write being recorded. */
+    std::vector<std::uint64_t *> rec_incs_;
+    bool recording_ = false;
+
+    /** Per-write session dedup masks + their dirty-word lists. */
+    std::vector<std::uint64_t> hit_mask_;
+    std::array<std::vector<std::uint64_t>, vmPageSizeCount> miss_mask_;
+    std::vector<std::uint32_t> touched_hit_;
+    std::array<std::vector<std::uint32_t>, vmPageSizeCount>
+        touched_miss_;
+
+    SimResult result_;
+};
+
+} // namespace edb::sim::detail
+
+#endif // EDB_SIM_REPLAY_CORE_H

@@ -1,14 +1,23 @@
 /**
  * @file
  * One-pass multi-session simulator and the per-session oracle.
+ *
+ * simulate() is a thin front end over the shared ReplayEngine
+ * (replay_core.h), which owns the bitset/flat-table hot path; the
+ * engine is also what the parallel shards run, so the two stay
+ * identical by construction. simulateOneSession() deliberately keeps
+ * its naive flat-list implementation: it is the oracle the
+ * differential tests pin everything else against, so it must stay
+ * simple enough to be obviously correct.
  */
 
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <map>
 #include <unordered_map>
 #include <vector>
+
+#include "sim/replay_core.h"
 
 namespace edb::sim {
 
@@ -19,175 +28,18 @@ using trace::EventKind;
 using trace::ObjectId;
 using trace::Trace;
 
-namespace {
-
-/** A currently installed object instance. */
-struct LiveObj
-{
-    Addr end;
-    ObjectId obj;
-};
-
-/**
- * Per-page set of sessions that currently have at least one active
- * monitor on the page, with the active-monitor count. Entries are
- * removed when the count returns to zero, keeping the per-write scan
- * proportional to the sessions actually active on the page.
- */
-using PageSessionVec = std::vector<std::pair<SessionId, std::uint32_t>>;
-
-} // namespace
-
 SimResult
 simulate(const Trace &trace, const SessionSet &sessions)
 {
-    SimResult result;
-    result.counters.resize(sessions.size());
+    const session::SessionMaskTable masks(sessions);
+    // Peak monitored pages is bounded by live objects, which the
+    // registry size bounds in turn; reserving for it up front keeps
+    // the page tables from rehashing mid-replay.
+    detail::ReplayEngine engine(sessions, masks,
+                                sessions.objectCount());
+    engine.replay(trace.events.data(), trace.events.size());
 
-    // Currently installed objects, keyed by begin address. Installed
-    // objects never overlap (the tracer's address space guarantees
-    // it), which makes write resolution a single bounded map probe.
-    std::map<Addr, LiveObj> live;
-
-    std::array<std::unordered_map<Addr, PageSessionVec>,
-               vmPageSizeCount> pages;
-
-    // Epoch marks for per-write session deduplication.
-    std::vector<std::uint64_t> hit_epoch(sessions.size(), 0);
-    std::array<std::vector<std::uint64_t>, vmPageSizeCount> miss_epoch;
-    for (auto &v : miss_epoch)
-        v.assign(sessions.size(), 0);
-    std::uint64_t epoch = 0;
-
-    for (const Event &e : trace.events) {
-        switch (e.kind) {
-          case EventKind::InstallMonitor: {
-            const AddrRange r = e.range();
-            auto [it, inserted] = live.emplace(r.begin,
-                                               LiveObj{r.end, e.aux});
-            EDB_ASSERT(inserted, "overlapping install at %s",
-                       r.str().c_str());
-            if (it != live.begin()) {
-                auto prev = std::prev(it);
-                EDB_ASSERT(prev->second.end <= r.begin,
-                           "install %s overlaps a live object",
-                           r.str().c_str());
-            }
-            if (auto next = std::next(it); next != live.end()) {
-                EDB_ASSERT(r.end <= next->first,
-                           "install %s overlaps a live object",
-                           r.str().c_str());
-            }
-
-            for (SessionId s : sessions.sessionsOf(e.aux)) {
-                ++result.counters[s].installs;
-                for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
-                    auto [first, last] = pageSpan(r, vmPageSizes[i]);
-                    for (Addr p = first; p <= last; ++p) {
-                        PageSessionVec &vec = pages[i][p];
-                        auto entry = std::find_if(
-                            vec.begin(), vec.end(),
-                            [s](const auto &kv) {
-                                return kv.first == s;
-                            });
-                        if (entry == vec.end()) {
-                            vec.emplace_back(s, 1);
-                            ++result.counters[s].vm[i].protects;
-                        } else {
-                            ++entry->second;
-                        }
-                    }
-                }
-            }
-            break;
-          }
-
-          case EventKind::RemoveMonitor: {
-            const AddrRange r = e.range();
-            auto it = live.find(r.begin);
-            EDB_ASSERT(it != live.end() && it->second.end == r.end &&
-                           it->second.obj == e.aux,
-                       "remove %s does not match a live install",
-                       r.str().c_str());
-            live.erase(it);
-
-            for (SessionId s : sessions.sessionsOf(e.aux)) {
-                ++result.counters[s].removes;
-                for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
-                    auto [first, last] = pageSpan(r, vmPageSizes[i]);
-                    for (Addr p = first; p <= last; ++p) {
-                        auto page_it = pages[i].find(p);
-                        EDB_ASSERT(page_it != pages[i].end(),
-                                   "page table corrupt on remove");
-                        PageSessionVec &vec = page_it->second;
-                        auto entry = std::find_if(
-                            vec.begin(), vec.end(),
-                            [s](const auto &kv) {
-                                return kv.first == s;
-                            });
-                        EDB_ASSERT(entry != vec.end(),
-                                   "page table corrupt on remove");
-                        if (--entry->second == 0) {
-                            ++result.counters[s].vm[i].unprotects;
-                            *entry = vec.back();
-                            vec.pop_back();
-                            if (vec.empty())
-                                pages[i].erase(page_it);
-                        }
-                    }
-                }
-            }
-            break;
-          }
-
-          case EventKind::Write: {
-            ++result.totalWrites;
-            ++epoch;
-            const AddrRange w = e.range();
-
-            // Resolve the objects the write touches: the predecessor
-            // (if it extends into the write) plus every live object
-            // starting inside the write.
-            auto it = live.upper_bound(w.begin);
-            if (it != live.begin()) {
-                auto prev = std::prev(it);
-                if (prev->second.end > w.begin)
-                    it = prev;
-            }
-            for (; it != live.end() && it->first < w.end; ++it) {
-                if (it->second.end <= w.begin)
-                    continue;
-                for (SessionId s : sessions.sessionsOf(it->second.obj)) {
-                    if (hit_epoch[s] != epoch) {
-                        hit_epoch[s] = epoch;
-                        ++result.counters[s].hits;
-                    }
-                }
-            }
-
-            // VirtualMemory active-page misses: sessions with a
-            // monitor on a written page that this write did not hit.
-            for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
-                auto [first, last] = pageSpan(w, vmPageSizes[i]);
-                for (Addr p = first; p <= last; ++p) {
-                    auto page_it = pages[i].find(p);
-                    if (page_it == pages[i].end())
-                        continue;
-                    for (const auto &[s, count] : page_it->second) {
-                        if (hit_epoch[s] == epoch ||
-                            miss_epoch[i][s] == epoch) {
-                            continue;
-                        }
-                        miss_epoch[i][s] = epoch;
-                        ++result.counters[s].vm[i].activePageMisses;
-                    }
-                }
-            }
-            break;
-          }
-        }
-    }
-
+    SimResult result = engine.result();
     EDB_ASSERT(result.totalWrites == trace.totalWrites,
                "trace totalWrites header (%llu) disagrees with events "
                "(%llu)",

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * A fixed-cell node pool and a std allocator adapter over it.
+ *
+ * The replay engine's ordered live-object map allocates and frees one
+ * tree node per install/remove event — hundreds of thousands of
+ * malloc/free pairs per trace, with nodes scattered wherever the
+ * general-purpose heap put them. ArenaPool carves nodes from large
+ * contiguous blocks and recycles them through an intrusive free list:
+ * allocation is a pointer pop, release a pointer push, and nodes stay
+ * packed so tree walks touch fewer cache lines.
+ *
+ * The pool learns its cell size from the first allocation (std
+ * containers rebind allocators to their internal node type, which the
+ * caller cannot name); rare requests larger than that cell fall
+ * through to the global heap. All memory is returned when the pool is
+ * destroyed — individual frees only recycle cells, which suits the
+ * engine's reset-and-replay lifecycle.
+ */
+
+#ifndef EDB_UTIL_ARENA_POOL_H
+#define EDB_UTIL_ARENA_POOL_H
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace edb::util {
+
+/** Bump-and-freelist pool of equally sized cells. Not thread-safe. */
+class ArenaPool
+{
+  public:
+    explicit ArenaPool(std::size_t cells_per_block = 1024)
+        : cells_per_block_(cells_per_block)
+    {
+    }
+
+    ArenaPool(const ArenaPool &) = delete;
+    ArenaPool &operator=(const ArenaPool &) = delete;
+
+    /** Allocate `bytes`; pooled when it fits the learned cell size. */
+    void *
+    alloc(std::size_t bytes)
+    {
+        if (cell_ == 0)
+            cell_ = bytes < sizeof(FreeCell) ? sizeof(FreeCell)
+                                             : bytes;
+        if (bytes > cell_)
+            return ::operator new(bytes);
+        if (free_ == nullptr)
+            carve();
+        FreeCell *cell = free_;
+        free_ = cell->next;
+        return cell;
+    }
+
+    /** Release a block obtained from alloc() with the same size. */
+    void
+    release(void *p, std::size_t bytes)
+    {
+        if (bytes > cell_) {
+            ::operator delete(p);
+            return;
+        }
+        auto *cell = static_cast<FreeCell *>(p);
+        cell->next = free_;
+        free_ = cell;
+    }
+
+  private:
+    struct FreeCell
+    {
+        FreeCell *next;
+    };
+
+    void
+    carve()
+    {
+        const std::size_t bytes = cell_ * cells_per_block_;
+        blocks_.push_back(std::make_unique<unsigned char[]>(bytes));
+        unsigned char *base = blocks_.back().get();
+        for (std::size_t i = cells_per_block_; i-- > 0;) {
+            auto *cell =
+                reinterpret_cast<FreeCell *>(base + i * cell_);
+            cell->next = free_;
+            free_ = cell;
+        }
+    }
+
+    std::size_t cells_per_block_;
+    std::size_t cell_ = 0;
+    FreeCell *free_ = nullptr;
+    std::vector<std::unique_ptr<unsigned char[]>> blocks_;
+};
+
+/**
+ * Minimal std-compatible allocator over an ArenaPool the caller owns.
+ * Single-element allocations (the only kind node-based containers
+ * make) go through the pool; bulk ones fall back to the heap.
+ */
+template <typename T>
+class PoolAllocator
+{
+  public:
+    using value_type = T;
+
+    explicit PoolAllocator(ArenaPool *pool) : pool_(pool) {}
+
+    template <typename U>
+    PoolAllocator(const PoolAllocator<U> &o) : pool_(o.pool())
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        if (n == 1)
+            return static_cast<T *>(pool_->alloc(sizeof(T)));
+        return static_cast<T *>(::operator new(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        if (n == 1)
+            pool_->release(p, sizeof(T));
+        else
+            ::operator delete(p);
+    }
+
+    ArenaPool *pool() const { return pool_; }
+
+    template <typename U>
+    bool
+    operator==(const PoolAllocator<U> &o) const
+    {
+        return pool_ == o.pool();
+    }
+
+  private:
+    ArenaPool *pool_;
+};
+
+} // namespace edb::util
+
+#endif // EDB_UTIL_ARENA_POOL_H

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * An open-addressed flat hash map for the replay hot path.
+ *
+ * The phase-2 simulator probes a page table once or twice per write
+ * event. std::unordered_map puts every entry behind a node pointer,
+ * so the common probe is two dependent cache misses (bucket array,
+ * then node); FlatMap stores entries in one contiguous power-of-two
+ * array with linear probing, so a probe is a single indexed load that
+ * the prefetcher can follow. Deletion uses backward shifting instead
+ * of tombstones, keeping probe chains short no matter how many
+ * install/remove cycles a trace performs.
+ *
+ * Scope: exactly what the simulator needs — integral keys, movable
+ * values, find/try_emplace/erase/clear/reserve — with no allocator or
+ * exception-safety generality and no external dependencies. Iteration
+ * order is unspecified.
+ */
+
+#ifndef EDB_UTIL_FLAT_MAP_H
+#define EDB_UTIL_FLAT_MAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace edb::util {
+
+/** Fibonacci multiplicative hash: spreads arithmetic page-number
+ *  sequences across the whole table (low bits of consecutive page
+ *  numbers collide badly under masking alone). */
+inline std::uint64_t
+mixHash(std::uint64_t key)
+{
+    return key * 0x9E3779B97F4A7C15ull;
+}
+
+/**
+ * Open-addressed hash map with power-of-two capacity, linear probing
+ * and backward-shift deletion.
+ *
+ * @tparam K Integral key type.
+ * @tparam V Mapped type; must be movable. Entry addresses are NOT
+ *           stable across try_emplace/erase (elements shift), so
+ *           callers must not hold pointers across mutations.
+ */
+template <typename K, typename V>
+class FlatMap
+{
+    static_assert(std::is_integral_v<K>, "FlatMap keys are integers");
+
+  public:
+    struct Slot
+    {
+        K key;
+        V value;
+    };
+
+    FlatMap() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Current slot-array capacity (tests and reserve accounting). */
+    std::size_t capacity() const { return slots_.size(); }
+
+    /**
+     * Ensure `want` entries fit without growth. Growth happens at
+     * 7/8 occupancy, so the table over-allocates accordingly.
+     */
+    void
+    reserve(std::size_t want)
+    {
+        std::size_t need = minCapacity;
+        while (need - need / 8 < want)
+            need *= 2;
+        if (need > slots_.size())
+            rehash(need);
+    }
+
+    /** Pointer to the value for key, or nullptr. */
+    V *
+    find(K key)
+    {
+        if (size_ == 0)
+            return nullptr;
+        for (std::size_t i = home(key);; i = next(i)) {
+            if (!used_[i])
+                return nullptr;
+            if (slots_[i].key == key)
+                return &slots_[i].value;
+        }
+    }
+
+    const V *
+    find(K key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    /**
+     * Find or default-construct the entry for key.
+     * @return {value pointer, true when newly inserted}.
+     */
+    std::pair<V *, bool>
+    try_emplace(K key)
+    {
+        if (slots_.empty() || size_ + 1 > slots_.size() - slots_.size() / 8)
+            rehash(slots_.empty() ? minCapacity : slots_.size() * 2);
+        for (std::size_t i = home(key);; i = next(i)) {
+            if (!used_[i]) {
+                used_[i] = 1;
+                slots_[i].key = key;
+                slots_[i].value = V{};
+                ++size_;
+                return {&slots_[i].value, true};
+            }
+            if (slots_[i].key == key)
+                return {&slots_[i].value, false};
+        }
+    }
+
+    V &operator[](K key) { return *try_emplace(key).first; }
+
+    /**
+     * Erase the entry for key (no-op when absent). Backward-shifts
+     * the following probe chain so no tombstones accumulate.
+     * @return True when an entry was erased.
+     */
+    bool
+    erase(K key)
+    {
+        if (size_ == 0)
+            return false;
+        std::size_t i = home(key);
+        while (true) {
+            if (!used_[i])
+                return false;
+            if (slots_[i].key == key)
+                break;
+            i = next(i);
+        }
+        // Shift successors back while doing so keeps them reachable
+        // from their home slot.
+        std::size_t hole = i;
+        for (std::size_t j = next(i);; j = next(j)) {
+            if (!used_[j])
+                break;
+            std::size_t h = home(slots_[j].key);
+            // Move j into the hole unless j sits inside [h, j]'s own
+            // probe path in a way that skipping the hole would break:
+            // movable iff hole is cyclically within [h, j).
+            std::size_t dist_hole = (hole - h) & mask_;
+            std::size_t dist_j = (j - h) & mask_;
+            if (dist_hole <= dist_j) {
+                slots_[hole] = std::move(slots_[j]);
+                hole = j;
+            }
+        }
+        used_[hole] = 0;
+        slots_[hole].value = V{}; // release held resources eagerly
+        --size_;
+        return true;
+    }
+
+    /** Remove every entry, keeping the slot array allocated. */
+    void
+    clear()
+    {
+        if (size_ == 0)
+            return;
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (used_[i]) {
+                used_[i] = 0;
+                slots_[i].value = V{};
+            }
+        }
+        size_ = 0;
+    }
+
+    /** Visit every entry (unspecified order). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (used_[i])
+                fn(slots_[i].key, slots_[i].value);
+        }
+    }
+
+  private:
+    static constexpr std::size_t minCapacity = 16;
+
+    std::size_t
+    home(K key) const
+    {
+        return (std::size_t)(mixHash((std::uint64_t)key) >> shift_) &
+               mask_;
+    }
+
+    std::size_t next(std::size_t i) const { return (i + 1) & mask_; }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        EDB_ASSERT((new_cap & (new_cap - 1)) == 0,
+                   "FlatMap capacity must be a power of two");
+        std::vector<Slot> old_slots = std::move(slots_);
+        std::vector<std::uint8_t> old_used = std::move(used_);
+
+        slots_ = std::vector<Slot>(new_cap);
+        used_.assign(new_cap, 0);
+        mask_ = new_cap - 1;
+        // Use the hash's *top* bits for the index: the low bits of a
+        // multiplicative hash mix far less.
+        shift_ = 64;
+        for (std::size_t c = new_cap; c > 1; c /= 2)
+            --shift_;
+        size_ = 0;
+
+        for (std::size_t i = 0; i < old_slots.size(); ++i) {
+            if (!old_used[i])
+                continue;
+            for (std::size_t j = home(old_slots[i].key);; j = next(j)) {
+                if (!used_[j]) {
+                    used_[j] = 1;
+                    slots_[j] = std::move(old_slots[i]);
+                    ++size_;
+                    break;
+                }
+            }
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint8_t> used_;
+    std::size_t mask_ = 0;
+    unsigned shift_ = 64;
+    std::size_t size_ = 0;
+};
+
+} // namespace edb::util
+
+#endif // EDB_UTIL_FLAT_MAP_H

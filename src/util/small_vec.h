@@ -1,0 +1,182 @@
+/**
+ * @file
+ * A tiny small-buffer vector.
+ *
+ * The phase-2 replay hot path keeps a handful of (session, count)
+ * pairs per monitored page. A std::vector puts even a single pair
+ * behind a heap pointer, so every per-write probe eats an extra cache
+ * miss; SmallVec stores the first N elements inline in the containing
+ * object and only spills to the heap beyond that. It implements just
+ * the surface the simulator needs (push_back, swap-pop erase, forward
+ * iteration, clear-keeping-capacity) for trivially copyable T.
+ */
+
+#ifndef EDB_UTIL_SMALL_VEC_H
+#define EDB_UTIL_SMALL_VEC_H
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace edb::util {
+
+/**
+ * Vector with N elements of inline storage. T must be trivially
+ * copyable and trivially destructible (the replay engine stores plain
+ * id/count/mask pairs), which lets growth and erase be raw memcpy.
+ */
+template <typename T, std::size_t N>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "SmallVec only holds trivial types");
+
+  public:
+    SmallVec() = default;
+
+    ~SmallVec()
+    {
+        if (data_ != inline_ptr())
+            std::free(data_);
+    }
+
+    SmallVec(const SmallVec &o) { *this = o; }
+
+    SmallVec &
+    operator=(const SmallVec &o)
+    {
+        if (this == &o)
+            return *this;
+        size_ = 0;
+        reserve(o.size_);
+        std::memcpy(data_, o.data_, o.size_ * sizeof(T));
+        size_ = o.size_;
+        return *this;
+    }
+
+    SmallVec(SmallVec &&o) noexcept { moveFrom(o); }
+
+    SmallVec &
+    operator=(SmallVec &&o) noexcept
+    {
+        if (this == &o)
+            return *this;
+        if (data_ != inline_ptr())
+            std::free(data_);
+        moveFrom(o);
+        return *this;
+    }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    T &back() { return data_[size_ - 1]; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Drop every element; capacity (inline or heap) is kept. */
+    void clear() { size_ = 0; }
+
+    void
+    push_back(const T &v)
+    {
+        if (size_ == cap_)
+            grow();
+        data_[size_++] = v;
+    }
+
+    /** Erase by index, filling the hole with the last element. */
+    void
+    swapErase(std::size_t i)
+    {
+        EDB_ASSERT(i < size_, "SmallVec::swapErase out of range");
+        data_[i] = data_[--size_];
+    }
+
+    /** Insert before index i, shifting the tail up (keeps order). */
+    void
+    insertAt(std::size_t i, const T &v)
+    {
+        EDB_ASSERT(i <= size_, "SmallVec::insertAt out of range");
+        if (size_ == cap_)
+            grow();
+        std::memmove(data_ + i + 1, data_ + i,
+                     (size_ - i) * sizeof(T));
+        data_[i] = v;
+        ++size_;
+    }
+
+    /** Erase index i, shifting the tail down (keeps order). */
+    void
+    eraseAt(std::size_t i)
+    {
+        EDB_ASSERT(i < size_, "SmallVec::eraseAt out of range");
+        std::memmove(data_ + i, data_ + i + 1,
+                     (size_ - i - 1) * sizeof(T));
+        --size_;
+    }
+
+    void
+    reserve(std::size_t want)
+    {
+        while (cap_ < want)
+            grow();
+    }
+
+  private:
+    T *
+    inline_ptr()
+    {
+        return std::launder(reinterpret_cast<T *>(inline_storage_));
+    }
+
+    void
+    moveFrom(SmallVec &o) noexcept
+    {
+        size_ = o.size_;
+        cap_ = o.cap_;
+        if (o.data_ == o.inline_ptr()) {
+            data_ = inline_ptr();
+            std::memcpy(data_, o.data_, size_ * sizeof(T));
+        } else {
+            data_ = o.data_; // steal the heap block
+        }
+        o.data_ = o.inline_ptr();
+        o.size_ = 0;
+        o.cap_ = N;
+    }
+
+    void
+    grow()
+    {
+        std::size_t new_cap = cap_ * 2;
+        T *block = static_cast<T *>(std::malloc(new_cap * sizeof(T)));
+        EDB_ASSERT(block != nullptr, "SmallVec allocation failure");
+        std::memcpy(block, data_, size_ * sizeof(T));
+        if (data_ != inline_ptr())
+            std::free(data_);
+        data_ = block;
+        cap_ = new_cap;
+    }
+
+    alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+    T *data_ = inline_ptr();
+    std::size_t size_ = 0;
+    std::size_t cap_ = N;
+};
+
+} // namespace edb::util
+
+#endif // EDB_UTIL_SMALL_VEC_H

@@ -1,10 +1,13 @@
 /**
  * @file
- * Implementation of the page-bitmap monitor index.
+ * Implementation of the page-bitmap monitor index: chunk-wise
+ * install/remove, shadow-directory maintenance, and the hash-table
+ * slow path behind the inline lookups.
  */
 
 #include "wms/monitor_index.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace edb::wms {
@@ -15,15 +18,50 @@ MonitorIndex::MonitorIndex(Addr page_bytes) : page_bytes_(page_bytes)
                    (page_bytes & (page_bytes - 1)) == 0,
                "page size %llu not a power-of-two multiple of the word "
                "size", (unsigned long long)page_bytes);
+    wpp_shift_ = (unsigned)std::countr_zero(wordsPerPage());
+    wpp_mask_ = wordsPerPage() - 1;
 }
 
 MonitorIndex::PageEntry &
 MonitorIndex::pageFor(Addr page_num)
 {
-    PageEntry &entry = pages_[page_num];
-    if (entry.bitmap.empty())
+    auto [it, inserted] = pages_.try_emplace(page_num);
+    PageEntry &entry = it->second;
+    if (inserted) {
+        // Sized once, never reallocated: the shadow directory holds a
+        // raw pointer into this vector for the page's lifetime.
         entry.bitmap.assign((wordsPerPage() + 63) / 64, 0);
+        shadowAdd(page_num, entry);
+    }
     return entry;
+}
+
+void
+MonitorIndex::shadowAdd(Addr page, const PageEntry &entry)
+{
+    if (dir_.empty())
+        dir_.assign(dirSlots, Shadow{});
+    Shadow &s = dir_[page & (dirSlots - 1)];
+    if (++s.count == 1) {
+        s.page = page;
+        s.bitmap = entry.bitmap.data();
+    } else {
+        s.bitmap = nullptr; // shared slot: lookups take the slow path
+    }
+}
+
+void
+MonitorIndex::shadowRemove(Addr page)
+{
+    Shadow &s = dir_[page & (dirSlots - 1)];
+    EDB_ASSERT(s.count > 0, "shadow directory underflow");
+    if (--s.count == 0) {
+        s = Shadow{};
+    } else {
+        // Which page(s) remain is not tracked; the slot stays on the
+        // slow path until it empties completely.
+        s.bitmap = nullptr;
+    }
 }
 
 void
@@ -33,29 +71,46 @@ MonitorIndex::install(const AddrRange &r)
     ++generation_;
     ++monitor_count_;
 
-    Addr first_word = wordAlignDown(r.begin) / wordBytes;
-    Addr last_word = (wordAlignUp(r.end) / wordBytes) - 1;
-    Addr words_per_page = wordsPerPage();
+    const Addr first_word = wordAlignDown(r.begin) / wordBytes;
+    const Addr last_word = (wordAlignUp(r.end) / wordBytes) - 1;
 
-    Addr page = first_word / words_per_page;
-    Addr last_page = last_word / words_per_page;
     Addr word = first_word;
-    for (; page <= last_page; ++page) {
+    const Addr last_page = last_word >> wpp_shift_;
+    for (Addr page = first_word >> wpp_shift_; page <= last_page;
+         ++page) {
         PageEntry &entry = pageFor(page);
         ++entry.touching_monitors;
-        Addr page_end_word = (page + 1) * words_per_page;
-        for (; word <= last_word && word < page_end_word; ++word) {
-            auto idx = (std::uint32_t)(word % words_per_page);
-            std::uint64_t &chunk = entry.bitmap[idx / 64];
-            std::uint64_t bit = 1ull << (idx % 64);
-            if (chunk & bit) {
-                // Word already covered by another monitor; count it.
+
+        const Addr page_end_word = (page + 1) << wpp_shift_;
+        const auto i0 = (std::uint32_t)(word & wpp_mask_);
+        const auto i1 = (std::uint32_t)(std::min(last_word,
+                                                 page_end_word - 1) &
+                                        wpp_mask_);
+        const std::uint32_t c0 = i0 / 64;
+        const std::uint32_t c1 = i1 / 64;
+        for (std::uint32_t c = c0; c <= c1; ++c) {
+            std::uint64_t m = ~0ull;
+            if (c == c0)
+                m &= ~0ull << (i0 % 64);
+            if (c == c1)
+                m &= ~0ull >> (63 - i1 % 64);
+            std::uint64_t &chunk = entry.bitmap[c];
+            // Words already covered by another monitor get an
+            // overflow count; fresh words set their bit.
+            std::uint64_t dup = chunk & m;
+            while (dup) {
+                const auto idx =
+                    (std::uint32_t)(c * 64 +
+                                    (unsigned)std::countr_zero(dup));
                 ++entry.overflow[idx];
-            } else {
-                chunk |= bit;
-                ++entry.active_words;
+                dup &= dup - 1;
             }
+            const std::uint64_t fresh = m & ~chunk;
+            chunk |= fresh;
+            entry.active_words +=
+                (std::uint32_t)std::popcount(fresh);
         }
+        word = page_end_word;
     }
 }
 
@@ -67,14 +122,13 @@ MonitorIndex::remove(const AddrRange &r)
     ++generation_;
     --monitor_count_;
 
-    Addr first_word = wordAlignDown(r.begin) / wordBytes;
-    Addr last_word = (wordAlignUp(r.end) / wordBytes) - 1;
-    Addr words_per_page = wordsPerPage();
+    const Addr first_word = wordAlignDown(r.begin) / wordBytes;
+    const Addr last_word = (wordAlignUp(r.end) / wordBytes) - 1;
 
-    Addr page = first_word / words_per_page;
-    Addr last_page = last_word / words_per_page;
     Addr word = first_word;
-    for (; page <= last_page; ++page) {
+    const Addr last_page = last_word >> wpp_shift_;
+    for (Addr page = first_word >> wpp_shift_; page <= last_page;
+         ++page) {
         auto it = pages_.find(page);
         EDB_ASSERT(it != pages_.end(),
                    "remove of %s does not match an install",
@@ -85,76 +139,82 @@ MonitorIndex::remove(const AddrRange &r)
                    r.str().c_str());
         --entry.touching_monitors;
 
-        Addr page_end_word = (page + 1) * words_per_page;
-        for (; word <= last_word && word < page_end_word; ++word) {
-            auto idx = (std::uint32_t)(word % words_per_page);
-            auto ov = entry.overflow.find(idx);
-            if (ov != entry.overflow.end()) {
-                // Another monitor still covers this word.
-                if (--ov->second == 0)
-                    entry.overflow.erase(ov);
+        const Addr page_end_word = (page + 1) << wpp_shift_;
+        const auto i0 = (std::uint32_t)(word & wpp_mask_);
+        const auto i1 = (std::uint32_t)(std::min(last_word,
+                                                 page_end_word - 1) &
+                                        wpp_mask_);
+        const std::uint32_t c0 = i0 / 64;
+        const std::uint32_t c1 = i1 / 64;
+        for (std::uint32_t c = c0; c <= c1; ++c) {
+            std::uint64_t m = ~0ull;
+            if (c == c0)
+                m &= ~0ull << (i0 % 64);
+            if (c == c1)
+                m &= ~0ull >> (63 - i1 % 64);
+            std::uint64_t &chunk = entry.bitmap[c];
+            if (entry.overflow.empty()) {
+                // No multiply-covered words on this page: the whole
+                // chunk clears at once.
+                EDB_ASSERT((chunk & m) == m,
+                           "remove of %s does not match an install",
+                           r.str().c_str());
+                chunk &= ~m;
+                entry.active_words -=
+                    (std::uint32_t)std::popcount(m);
                 continue;
             }
-            std::uint64_t &chunk = entry.bitmap[idx / 64];
-            std::uint64_t bit = 1ull << (idx % 64);
-            EDB_ASSERT(chunk & bit,
-                       "remove of %s does not match an install",
-                       r.str().c_str());
-            chunk &= ~bit;
-            --entry.active_words;
+            std::uint64_t todo = m;
+            while (todo) {
+                const auto idx =
+                    (std::uint32_t)(c * 64 +
+                                    (unsigned)std::countr_zero(todo));
+                todo &= todo - 1;
+                auto ov = entry.overflow.find(idx);
+                if (ov != entry.overflow.end()) {
+                    // Another monitor still covers this word.
+                    if (--ov->second == 0)
+                        entry.overflow.erase(ov);
+                    continue;
+                }
+                const std::uint64_t bit = 1ull << (idx % 64);
+                EDB_ASSERT(chunk & bit,
+                           "remove of %s does not match an install",
+                           r.str().c_str());
+                chunk &= ~bit;
+                --entry.active_words;
+            }
         }
+        word = page_end_word;
 
-        if (entry.active_words == 0 && entry.touching_monitors == 0)
+        if (entry.active_words == 0 && entry.touching_monitors == 0) {
+            shadowRemove(page);
             pages_.erase(it);
+        }
     }
 }
 
 bool
-MonitorIndex::lookup(const AddrRange &r) const
+MonitorIndex::lookupSlow(Addr first_word, Addr last_word) const
 {
-    if (pages_.empty() || r.empty())
-        return false;
-
-    Addr first_word = wordAlignDown(r.begin) / wordBytes;
-    Addr last_word = (wordAlignUp(r.end) / wordBytes) - 1;
-    Addr words_per_page = wordsPerPage();
-
-    Addr page = first_word / words_per_page;
-    Addr last_page = last_word / words_per_page;
     Addr word = first_word;
-    for (; page <= last_page; ++page) {
+    const Addr last_page = last_word >> wpp_shift_;
+    for (Addr page = first_word >> wpp_shift_; page <= last_page;
+         ++page) {
+        const Addr page_end_word = (page + 1) << wpp_shift_;
         auto it = pages_.find(page);
-        Addr page_end_word = (page + 1) * words_per_page;
-        if (it == pages_.end()) {
-            word = page_end_word;
-            continue;
-        }
-        const PageEntry &entry = it->second;
-        if (entry.active_words == 0) {
-            word = page_end_word;
-            continue;
-        }
-        for (; word <= last_word && word < page_end_word; ++word) {
-            auto idx = (std::uint32_t)(word % words_per_page);
-            if (entry.bitmap[idx / 64] & (1ull << (idx % 64)))
+        if (it != pages_.end() && it->second.active_words > 0) {
+            const auto i0 = (std::uint32_t)(word & wpp_mask_);
+            const auto i1 =
+                (std::uint32_t)(std::min(last_word,
+                                         page_end_word - 1) &
+                                wpp_mask_);
+            if (chunkRangeTest(it->second.bitmap.data(), i0, i1))
                 return true;
         }
+        word = page_end_word;
     }
     return false;
-}
-
-bool
-MonitorIndex::lookupByte(Addr a) const
-{
-    if (pages_.empty())
-        return false;
-    Addr word = a / wordBytes;
-    Addr words_per_page = wordsPerPage();
-    auto it = pages_.find(word / words_per_page);
-    if (it == pages_.end())
-        return false;
-    auto idx = (std::uint32_t)(word % words_per_page);
-    return (it->second.bitmap[idx / 64] >> (idx % 64)) & 1;
 }
 
 bool
@@ -176,6 +236,7 @@ MonitorIndex::clear()
 {
     ++generation_;
     pages_.clear();
+    std::fill(dir_.begin(), dir_.end(), Shadow{});
     monitor_count_ = 0;
 }
 

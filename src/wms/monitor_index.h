@@ -10,12 +10,23 @@
  * bitmaps are stored in a hash table." Per footnote 7, monitors are
  * word-aligned; higher-level clients compensate for sub-word objects.
  *
- * Our implementation extends the paper's in one way needed for
- * production use: monitors may overlap (two sessions can monitor
- * intersecting regions). Words covered by more than one monitor keep
- * an exact reference count in a small per-page side table, so
- * removeMonitor() of one overlapping monitor never un-monitors words
- * that another monitor still covers.
+ * Our implementation extends the paper's in two ways:
+ *
+ *  - monitors may overlap (two sessions can monitor intersecting
+ *    regions); words covered by more than one monitor keep an exact
+ *    reference count in a small per-page side table, so
+ *    removeMonitor() of one overlapping monitor never un-monitors
+ *    words another monitor still covers;
+ *
+ *  - lookups go through a two-level direct-mapped *shadow table*
+ *    (DESIGN.md §9): a page directory of raw bitmap pointers indexed
+ *    by the low page-number bits. A directory slot knows how many
+ *    monitored pages map to it, so an empty slot — the common case on
+ *    the per-write miss path — answers in two loads with no hashing,
+ *    and a singly-owned slot answers hits with a tag compare plus one
+ *    bit test. Only slots shared by several pages (or left stale by a
+ *    page teardown) fall back to the hash table, which remains the
+ *    single source of truth for monitor and overflow counts.
  */
 
 #ifndef EDB_WMS_MONITOR_INDEX_H
@@ -61,8 +72,8 @@ class MonitorIndex
     /**
      * True when the word-aligned hull of r intersects at least one
      * active monitor. This is the per-write check on the CodePatch
-     * fast path, so it is engineered for the miss case: one hash
-     * probe, then bitmap tests.
+     * fast path, so it is engineered for the miss case: a shadow
+     * directory probe, then 64-word chunk tests.
      */
     bool lookup(const AddrRange &r) const;
 
@@ -110,16 +121,120 @@ class MonitorIndex
         std::unordered_map<std::uint32_t, std::uint32_t> overflow;
     };
 
+    /**
+     * One shadow-directory slot. States, keyed off (bitmap, count):
+     *
+     *   count == 0                 — no monitored page maps here:
+     *                                definitive miss.
+     *   bitmap != nullptr          — exactly one page owns the slot;
+     *                                tag mismatch is a definitive
+     *                                miss, tag match tests the bitmap
+     *                                directly.
+     *   else (count >= 1, null)    — several pages share the slot, or
+     *                                a teardown left it ambiguous:
+     *                                consult the hash table.
+     *
+     * The bitmap pointer stays valid because PageEntry bitmaps are
+     * sized once at page creation and unordered_map nodes never move;
+     * shadowRemove() runs before the entry is erased.
+     */
+    struct Shadow
+    {
+        Addr page = 0;
+        const std::uint64_t *bitmap = nullptr;
+        std::uint32_t count = 0;
+    };
+
+    /** Directory size: 16K slots (~400KB), allocated on first use. */
+    static constexpr std::size_t dirSlots = std::size_t{1} << 14;
+
     /** Words per page (page_bytes_ / wordBytes). */
     Addr wordsPerPage() const { return page_bytes_ / wordBytes; }
 
     PageEntry &pageFor(Addr page_num);
+    void shadowAdd(Addr page, const PageEntry &entry);
+    void shadowRemove(Addr page);
+    bool lookupSlow(Addr first_word, Addr last_word) const;
+
+    /**
+     * True when any bit in the inclusive word-index range [i0, i1] of
+     * a page bitmap is set; whole 64-bit chunks at a time, with the
+     * first and last chunk masked.
+     */
+    static bool
+    chunkRangeTest(const std::uint64_t *bm, std::uint32_t i0,
+                   std::uint32_t i1)
+    {
+        const std::uint32_t c0 = i0 / 64;
+        const std::uint32_t c1 = i1 / 64;
+        const std::uint64_t first = ~0ull << (i0 % 64);
+        const std::uint64_t last = ~0ull >> (63 - i1 % 64);
+        if (c0 == c1)
+            return (bm[c0] & first & last) != 0;
+        if (bm[c0] & first)
+            return true;
+        for (std::uint32_t c = c0 + 1; c < c1; ++c) {
+            if (bm[c])
+                return true;
+        }
+        return (bm[c1] & last) != 0;
+    }
 
     Addr page_bytes_;
+    /** log2 / mask of wordsPerPage(), precomputed for the fast path. */
+    unsigned wpp_shift_ = 0;
+    Addr wpp_mask_ = 0;
+
     std::unordered_map<Addr, PageEntry> pages_;
+    /** The direct-mapped shadow directory; empty until first install. */
+    std::vector<Shadow> dir_;
     std::size_t monitor_count_ = 0;
     std::uint64_t generation_ = 0;
 };
+
+inline bool
+MonitorIndex::lookupByte(Addr a) const
+{
+    if (dir_.empty())
+        return false;
+    const Addr word = a / wordBytes;
+    const Addr page = word >> wpp_shift_;
+    const Shadow &s = dir_[page & (dirSlots - 1)];
+    if (s.bitmap != nullptr) {
+        if (s.page != page)
+            return false;
+        const auto idx = (std::uint32_t)(word & wpp_mask_);
+        return (s.bitmap[idx / 64] >> (idx % 64)) & 1;
+    }
+    if (s.count == 0)
+        return false;
+    return lookupSlow(word, word);
+}
+
+inline bool
+MonitorIndex::lookup(const AddrRange &r) const
+{
+    if (dir_.empty() || r.empty())
+        return false;
+    const Addr first_word = wordAlignDown(r.begin) / wordBytes;
+    const Addr last_word = (wordAlignUp(r.end) / wordBytes) - 1;
+    const Addr page = first_word >> wpp_shift_;
+    if ((last_word >> wpp_shift_) == page) {
+        // Single-page range: resolved entirely in the shadow
+        // directory unless the slot is shared.
+        const Shadow &s = dir_[page & (dirSlots - 1)];
+        if (s.bitmap != nullptr) {
+            if (s.page != page)
+                return false;
+            return chunkRangeTest(s.bitmap,
+                                  (std::uint32_t)(first_word & wpp_mask_),
+                                  (std::uint32_t)(last_word & wpp_mask_));
+        }
+        if (s.count == 0)
+            return false;
+    }
+    return lookupSlow(first_word, last_word);
+}
 
 } // namespace edb::wms
 

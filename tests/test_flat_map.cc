@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the replay engine's allocation-free containers:
+ * util::FlatMap (open-addressed page tables), util::SmallVec (inline
+ * per-page vectors) and util::ArenaPool (live-map node pool). The
+ * FlatMap differential drives it against std::unordered_map through
+ * long random insert/erase/find histories — backward-shift deletion
+ * is the classic source of subtle open-addressing bugs, so erase is
+ * weighted heavily and clustered keys are used to force probe chains.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/arena_pool.h"
+#include "util/flat_map.h"
+#include "util/rng.h"
+#include "util/small_vec.h"
+
+namespace edb::util {
+namespace {
+
+TEST(FlatMap, EmptyFinds)
+{
+    FlatMap<std::uint64_t, int> m;
+    EXPECT_EQ(m.find(0), nullptr);
+    EXPECT_EQ(m.find(42), nullptr);
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<std::uint64_t, int> m;
+    m[7] = 70;
+    m[9] = 90;
+    EXPECT_EQ(m.size(), 2u);
+    ASSERT_NE(m.find(7), nullptr);
+    EXPECT_EQ(*m.find(7), 70);
+    ASSERT_NE(m.find(9), nullptr);
+    EXPECT_EQ(*m.find(9), 90);
+    EXPECT_EQ(m.find(8), nullptr);
+
+    m.erase(7);
+    EXPECT_EQ(m.find(7), nullptr);
+    EXPECT_EQ(*m.find(9), 90);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, OperatorBracketUpdatesInPlace)
+{
+    FlatMap<std::uint64_t, int> m;
+    m[3] = 1;
+    m[3] = 2;
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(*m.find(3), 2);
+}
+
+TEST(FlatMap, GrowsPastInitialCapacity)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t k = 0; k < 10'000; ++k)
+        m[k * 4096] = k;
+    EXPECT_EQ(m.size(), 10'000u);
+    for (std::uint64_t k = 0; k < 10'000; ++k) {
+        ASSERT_NE(m.find(k * 4096), nullptr) << k;
+        EXPECT_EQ(*m.find(k * 4096), k);
+    }
+}
+
+TEST(FlatMap, ClearKeepsCapacity)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        m[k] = (int)k;
+    std::size_t cap = m.capacity();
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.capacity(), cap);
+    EXPECT_EQ(m.find(1), nullptr);
+    m[5] = 50;
+    EXPECT_EQ(*m.find(5), 50);
+}
+
+TEST(FlatMap, ReserveAvoidsRehash)
+{
+    FlatMap<std::uint64_t, int> m;
+    m.reserve(5000);
+    std::size_t cap = m.capacity();
+    for (std::uint64_t k = 0; k < 5000; ++k)
+        m[k] = (int)k;
+    EXPECT_EQ(m.capacity(), cap);
+}
+
+TEST(FlatMap, ForEachVisitsEveryEntry)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    std::uint64_t want_sum = 0;
+    for (std::uint64_t k = 1; k <= 100; ++k) {
+        m[k] = k;
+        want_sum += k;
+    }
+    std::uint64_t sum = 0, n = 0;
+    m.forEach([&](const std::uint64_t &key,
+                  const std::uint64_t &value) {
+        EXPECT_EQ(key, value);
+        sum += value;
+        ++n;
+    });
+    EXPECT_EQ(n, 100u);
+    EXPECT_EQ(sum, want_sum);
+}
+
+/**
+ * Backward-shift erase with colliding keys: sequential page numbers
+ * land in adjacent slots, so erasing from the middle of a probe chain
+ * must shift the tail back or later finds go wrong.
+ */
+TEST(FlatMap, EraseInsideProbeChain)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 12; ++k)
+        m[k] = (int)(k * 10);
+    for (std::uint64_t victim : {3ull, 4ull, 5ull}) {
+        m.erase(victim);
+        for (std::uint64_t k = 0; k < 12; ++k) {
+            if (k >= 3 && k <= victim) {
+                EXPECT_EQ(m.find(k), nullptr) << k;
+            } else {
+                ASSERT_NE(m.find(k), nullptr) << k;
+                EXPECT_EQ(*m.find(k), (int)(k * 10));
+            }
+        }
+    }
+}
+
+TEST(FlatMap, RandomizedDifferentialVsUnorderedMap)
+{
+    Rng rng(0xf1a7);
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+
+    // Clustered key space (page numbers of a few hot regions) so
+    // probe chains form and erase exercises backward shifting.
+    auto random_key = [&] {
+        std::uint64_t region = rng.below(4) * 0x100000;
+        return region + rng.below(512);
+    };
+
+    for (int step = 0; step < 200'000; ++step) {
+        std::uint64_t k = random_key();
+        double action = rng.uniform();
+        if (action < 0.45) {
+            std::uint64_t v = rng.below(1u << 30);
+            m[k] = v;
+            ref[k] = v;
+        } else if (action < 0.80) {
+            // erase() returns whether an entry existed; check it
+            // against the reference on missing keys too.
+            ASSERT_EQ(m.erase(k), ref.erase(k) > 0) << "step "
+                                                    << step;
+        } else {
+            auto it = ref.find(k);
+            const std::uint64_t *got = m.find(k);
+            if (it == ref.end()) {
+                ASSERT_EQ(got, nullptr) << "step " << step;
+            } else {
+                ASSERT_NE(got, nullptr) << "step " << step;
+                ASSERT_EQ(*got, it->second) << "step " << step;
+            }
+        }
+        if (step % 50'000 == 0) {
+            ASSERT_EQ(m.size(), ref.size());
+        }
+    }
+
+    // Full sweep at the end: every surviving key, and only those.
+    ASSERT_EQ(m.size(), ref.size());
+    for (const auto &[k, v] : ref) {
+        ASSERT_NE(m.find(k), nullptr) << k;
+        EXPECT_EQ(*m.find(k), v);
+    }
+}
+
+TEST(SmallVec, StaysInlineThenSpills)
+{
+    SmallVec<int, 4> v;
+    for (int i = 0; i < 4; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 4u);
+    // Push past the inline buffer: contents must survive the spill.
+    for (int i = 4; i < 100; ++i)
+        v.push_back(i);
+    ASSERT_EQ(v.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(v[(std::size_t)i], i);
+}
+
+TEST(SmallVec, SwapEraseAndOrderedOps)
+{
+    SmallVec<int, 2> v;
+    for (int i = 0; i < 6; ++i)
+        v.push_back(i); // 0 1 2 3 4 5
+    v.swapErase(1);     // 0 5 2 3 4
+    EXPECT_EQ(v[1], 5);
+    EXPECT_EQ(v.size(), 5u);
+    v.insertAt(2, 9); // 0 5 9 2 3 4
+    EXPECT_EQ(v[2], 9);
+    EXPECT_EQ(v[3], 2);
+    v.eraseAt(0); // 5 9 2 3 4
+    EXPECT_EQ(v[0], 5);
+    EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(SmallVec, ClearKeepsCapacityAndMoveSteals)
+{
+    SmallVec<int, 2> v;
+    for (int i = 0; i < 50; ++i)
+        v.push_back(i);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    v.push_back(7);
+    EXPECT_EQ(v[0], 7);
+
+    SmallVec<int, 2> w(std::move(v));
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0], 7);
+    EXPECT_TRUE(v.empty()); // moved-from is reusable
+    v.push_back(1);
+    EXPECT_EQ(v[0], 1);
+}
+
+TEST(ArenaPool, RecyclesCells)
+{
+    ArenaPool pool(8);
+    void *a = pool.alloc(32);
+    void *b = pool.alloc(32);
+    EXPECT_NE(a, b);
+    pool.release(a, 32);
+    // The freed cell is handed back out before any new carving.
+    EXPECT_EQ(pool.alloc(32), a);
+    pool.release(b, 32);
+}
+
+TEST(ArenaPool, OversizedFallsBackToHeap)
+{
+    ArenaPool pool;
+    void *small = pool.alloc(16); // learns the cell size
+    void *big = pool.alloc(4096); // larger than the cell: heap path
+    EXPECT_NE(big, nullptr);
+    pool.release(big, 4096);
+    pool.release(small, 16);
+}
+
+TEST(ArenaPool, ManyBlocks)
+{
+    ArenaPool pool(4); // tiny blocks force repeated carving
+    std::vector<void *> cells;
+    for (int i = 0; i < 64; ++i)
+        cells.push_back(pool.alloc(24));
+    // All distinct.
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        for (std::size_t j = i + 1; j < cells.size(); ++j)
+            ASSERT_NE(cells[i], cells[j]);
+    }
+    for (void *p : cells)
+        pool.release(p, 24);
+}
+
+TEST(PoolAllocator, WorksAsMapAllocator)
+{
+    ArenaPool pool;
+    using Alloc = PoolAllocator<std::pair<const int, int>>;
+    std::map<int, int, std::less<int>, Alloc> m{Alloc(&pool)};
+    for (int i = 0; i < 1000; ++i)
+        m[i] = i * 2;
+    EXPECT_EQ(m.size(), 1000u);
+    for (int i = 0; i < 1000; i += 97)
+        EXPECT_EQ(m.at(i), i * 2);
+    for (int i = 0; i < 1000; i += 2)
+        m.erase(i);
+    EXPECT_EQ(m.size(), 500u);
+    for (int i = 1000; i < 1500; ++i)
+        m[i] = i;
+    EXPECT_EQ(m.at(1001), 1001);
+}
+
+} // namespace
+} // namespace edb::util

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests aimed at the MonitorIndex shadow directory (DESIGN.md §9):
+ * the two-level direct-mapped fast path in front of the page hash.
+ *
+ * The shadow's three slot states (empty, singly-owned, shared/stale)
+ * each have their own correctness argument, so each is driven
+ * explicitly: page-boundary-straddling monitors, unaligned ranges,
+ * overlapping install/remove/reinstall sequences, directory aliasing
+ * (two pages 2^14 page numbers apart share a slot), and teardown
+ * staleness. A randomized differential then runs the index against
+ * wms::SortedRangeIndex on byte and range probes, with the address
+ * space folded so aliased slots are constantly exercised.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+#include "wms/alt_index.h"
+#include "wms/monitor_index.h"
+
+namespace edb::wms {
+namespace {
+
+/** Two page numbers that collide in the 2^14-slot shadow directory. */
+constexpr Addr pageBytes = 4096;
+constexpr Addr aliasStride = (Addr{1} << 14) * pageBytes;
+
+TEST(MonitorShadow, StraddlingMonitorCoversBothPages)
+{
+    MonitorIndex idx(pageBytes);
+    // 0x1ff8..0x2008 spans the page-1/page-2 boundary.
+    idx.install(AddrRange(0x1ff8, 0x2008));
+    EXPECT_TRUE(idx.lookupByte(0x1ff8));
+    EXPECT_TRUE(idx.lookupByte(0x1fff)); // last byte of page 1
+    EXPECT_TRUE(idx.lookupByte(0x2000)); // first byte of page 2
+    EXPECT_TRUE(idx.lookupByte(0x2007));
+    EXPECT_FALSE(idx.lookupByte(0x1ff4));
+    EXPECT_FALSE(idx.lookupByte(0x2008));
+    // Range probes crossing the same boundary.
+    EXPECT_TRUE(idx.lookup(AddrRange(0x1ffc, 0x2004)));
+    EXPECT_TRUE(idx.lookup(AddrRange(0x1000, 0x1ffc)));
+    EXPECT_FALSE(idx.lookup(AddrRange(0x2008, 0x3000)));
+
+    idx.remove(AddrRange(0x1ff8, 0x2008));
+    EXPECT_FALSE(idx.lookupByte(0x1fff));
+    EXPECT_FALSE(idx.lookupByte(0x2000));
+    EXPECT_EQ(idx.pageCount(), 0u);
+}
+
+TEST(MonitorShadow, UnalignedRangeMonitorsItsWordHull)
+{
+    MonitorIndex idx(pageBytes);
+    // Unaligned begin and end right at a page boundary: the hull is
+    // [0x0ffc, 0x1004), covering the last word of page 0 and the
+    // first word of page 1.
+    idx.install(AddrRange(0x0fff, 0x1001));
+    EXPECT_TRUE(idx.lookupByte(0x0ffc));
+    EXPECT_TRUE(idx.lookupByte(0x1003));
+    EXPECT_FALSE(idx.lookupByte(0x0ff8));
+    EXPECT_FALSE(idx.lookupByte(0x1004));
+    idx.remove(AddrRange(0x0fff, 0x1001));
+    EXPECT_FALSE(idx.lookupByte(0x0ffc));
+    EXPECT_FALSE(idx.lookupByte(0x1000));
+}
+
+TEST(MonitorShadow, OverlapRemoveReinstallKeepsSharedWords)
+{
+    MonitorIndex idx(pageBytes);
+    idx.install(AddrRange(0x5000, 0x5020));
+    idx.install(AddrRange(0x5010, 0x5040)); // overlaps [0x5010,0x5020)
+
+    // Remove the first; the overlap must stay monitored.
+    idx.remove(AddrRange(0x5000, 0x5020));
+    EXPECT_FALSE(idx.lookupByte(0x5000));
+    EXPECT_TRUE(idx.lookupByte(0x5010));
+    EXPECT_TRUE(idx.lookupByte(0x503f));
+
+    // Reinstall it; everything is covered again.
+    idx.install(AddrRange(0x5000, 0x5020));
+    EXPECT_TRUE(idx.lookupByte(0x5000));
+    EXPECT_TRUE(idx.lookupByte(0x501c));
+
+    // Remove in the other order; same invariant from the other side.
+    idx.remove(AddrRange(0x5010, 0x5040));
+    EXPECT_TRUE(idx.lookupByte(0x501c));
+    EXPECT_FALSE(idx.lookupByte(0x5020));
+    idx.remove(AddrRange(0x5000, 0x5020));
+    EXPECT_FALSE(idx.lookupByte(0x5010));
+    EXPECT_EQ(idx.pageCount(), 0u);
+}
+
+TEST(MonitorShadow, AliasedPagesShareDirectorySlot)
+{
+    MonitorIndex idx(pageBytes);
+    const Addr a = 0x10000;
+    const Addr b = a + aliasStride;     // same shadow slot as a
+    const Addr c = a + 2 * aliasStride; // same slot again, unmonitored
+
+    idx.install(AddrRange(a, a + 0x10));
+    EXPECT_TRUE(idx.lookupByte(a));
+    EXPECT_FALSE(idx.lookupByte(b)); // aliased probe must miss
+
+    // Second page on the same slot: the slot is now shared and every
+    // probe (hit on a, hit on b, miss on c) must resolve correctly.
+    idx.install(AddrRange(b, b + 0x10));
+    EXPECT_TRUE(idx.lookupByte(a));
+    EXPECT_TRUE(idx.lookupByte(b + 0xf));
+    EXPECT_FALSE(idx.lookupByte(b + 0x10));
+    EXPECT_FALSE(idx.lookupByte(c));
+    EXPECT_TRUE(idx.lookup(AddrRange(a, a + 4)));
+    EXPECT_TRUE(idx.lookup(AddrRange(b + 8, b + 12)));
+    EXPECT_FALSE(idx.lookup(AddrRange(c, c + 0x1000)));
+
+    // Tear one down: the slot may stay conservative, but the answers
+    // must not.
+    idx.remove(AddrRange(a, a + 0x10));
+    EXPECT_FALSE(idx.lookupByte(a));
+    EXPECT_TRUE(idx.lookupByte(b));
+
+    idx.remove(AddrRange(b, b + 0x10));
+    EXPECT_FALSE(idx.lookupByte(a));
+    EXPECT_FALSE(idx.lookupByte(b));
+    EXPECT_EQ(idx.pageCount(), 0u);
+}
+
+TEST(MonitorShadow, TeardownThenReinstallSamePage)
+{
+    MonitorIndex idx(pageBytes);
+    idx.install(AddrRange(0x7000, 0x7010));
+    idx.remove(AddrRange(0x7000, 0x7010));
+    // The page died; a fresh install of a different range on the
+    // same page must be visible through the rebuilt shadow slot.
+    idx.install(AddrRange(0x7800, 0x7808));
+    EXPECT_TRUE(idx.lookupByte(0x7800));
+    EXPECT_FALSE(idx.lookupByte(0x7000));
+    idx.remove(AddrRange(0x7800, 0x7808));
+    EXPECT_FALSE(idx.lookupByte(0x7800));
+}
+
+TEST(MonitorShadow, ClearResetsDirectory)
+{
+    MonitorIndex idx(pageBytes);
+    idx.install(AddrRange(0x10000, 0x10010));
+    idx.install(AddrRange(0x10000 + aliasStride,
+                          0x10010 + aliasStride));
+    idx.clear();
+    EXPECT_FALSE(idx.lookupByte(0x10000));
+    EXPECT_FALSE(idx.lookupByte(0x10000 + aliasStride));
+    // And the index is fully usable afterwards.
+    idx.install(AddrRange(0x10000, 0x10010));
+    EXPECT_TRUE(idx.lookupByte(0x10000));
+}
+
+/**
+ * Randomized differential against the sorted-range ablation index.
+ * Word-aligned inputs make the two implementations semantically
+ * identical; monitors are spread over a few regions exactly one
+ * alias stride apart, so shared and stale shadow slots occur
+ * constantly rather than never.
+ */
+TEST(MonitorShadow, RandomizedDifferentialVsAltIndex)
+{
+    Rng rng(0x5ad0);
+    MonitorIndex idx(pageBytes);
+    SortedRangeIndex ref;
+    std::vector<AddrRange> live;
+
+    constexpr Addr base = 0x40000000;
+    constexpr Addr region = 1 << 16;
+
+    auto random_range = [&] {
+        Addr area = base + rng.below(4) * aliasStride;
+        Addr size = wordBytes * (1 + rng.below(1500));
+        Addr begin = area + wordAlignDown(rng.below(region - size));
+        return AddrRange(begin, begin + size);
+    };
+
+    for (int step = 0; step < 6000; ++step) {
+        double action = rng.uniform();
+        if (action < 0.30 || live.empty()) {
+            AddrRange r = random_range();
+            idx.install(r);
+            ref.install(r);
+            live.push_back(r);
+        } else if (action < 0.50) {
+            std::size_t pick = rng.below(live.size());
+            AddrRange r = live[pick];
+            live.erase(live.begin() + (std::ptrdiff_t)pick);
+            idx.remove(r);
+            ref.remove(r);
+        } else if (action < 0.80) {
+            // Byte probe vs the reference's word-range lookup.
+            Addr area = base + rng.below(4) * aliasStride;
+            Addr a = area + rng.below(region);
+            Addr w = wordAlignDown(a);
+            ASSERT_EQ(idx.lookupByte(a),
+                      ref.lookup(AddrRange(w, w + wordBytes)))
+                << "step " << step << " byte 0x" << std::hex << a;
+        } else {
+            AddrRange probe = random_range();
+            ASSERT_EQ(idx.lookup(probe), ref.lookup(probe))
+                << "step " << step << " probe " << probe.str();
+        }
+    }
+
+    // Drain every remaining monitor; the index must end empty.
+    for (const AddrRange &r : live) {
+        idx.remove(r);
+        ref.remove(r);
+    }
+    EXPECT_EQ(idx.monitorCount(), 0u);
+    EXPECT_EQ(idx.pageCount(), 0u);
+    EXPECT_FALSE(idx.lookupByte(base));
+}
+
+} // namespace
+} // namespace edb::wms

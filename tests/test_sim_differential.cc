@@ -191,6 +191,41 @@ TEST_P(DifferentialWorkload, ParallelBitIdenticalOnWorkloadTrace)
     expectIdentical(par, seq, set, t);
 }
 
+TEST_P(DifferentialWorkload, SequentialMatchesOracleOnWorkloadTrace)
+{
+    auto w = workload::makeWorkload(GetParam());
+    trace::Trace t = workload::runTraced(*w);
+    SessionSet set = SessionSet::enumerate(t);
+    SimResult seq = simulate(t, set);
+
+    // The per-session oracle walks the whole trace once per session,
+    // so pin a geometric spread of sessions (first, last, and powers
+    // in between) rather than all of them; the randomized traces
+    // above cover the full sweep.
+    std::vector<session::SessionId> picks;
+    for (session::SessionId s = 0; s < set.size(); s = s * 2 + 1)
+        picks.push_back(s);
+    if (set.size() > 0)
+        picks.push_back((session::SessionId)(set.size() - 1));
+
+    for (session::SessionId s : picks) {
+        SessionCounters oracle = simulateOneSession(t, set, s);
+        const auto &g = seq.counters[s];
+        ASSERT_EQ(g.installs, oracle.installs) << set.describe(s, t);
+        ASSERT_EQ(g.removes, oracle.removes) << set.describe(s, t);
+        ASSERT_EQ(g.hits, oracle.hits) << set.describe(s, t);
+        for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+            ASSERT_EQ(g.vm[i].protects, oracle.vm[i].protects)
+                << set.describe(s, t);
+            ASSERT_EQ(g.vm[i].unprotects, oracle.vm[i].unprotects)
+                << set.describe(s, t);
+            ASSERT_EQ(g.vm[i].activePageMisses,
+                      oracle.vm[i].activePageMisses)
+                << set.describe(s, t);
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Workloads, DifferentialWorkload,
     ::testing::ValuesIn(workload::workloadNames()),

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Order-of-magnitude perf-smoke gate for the CI benchmark job.
+
+Reads the machine-readable JSON the benchmark binaries emit
+(BENCH_micro_index.json / BENCH_micro_runtime.json in Google-benchmark
+format, BENCH_parallel.json / BENCH_sim_hot.json in the repo's own
+format) and fails ONLY on order-of-magnitude regressions or
+correctness-flag failures. CI runners are noisy shared machines, so
+the ceilings below carry 20-100x headroom over measured medians; a
+threshold trip means a fast path fell off a cliff (an accidental
+O(n) scan, a lost inline, a debug-build slip), not scheduler jitter.
+
+Usage: perf_smoke_check.py [directory-with-BENCH-json-files]
+"""
+
+import json
+import pathlib
+import sys
+
+# Ceilings in nanoseconds for `_median` entries of the two
+# Google-benchmark binaries. Measured medians (2026, one modest core)
+# are noted for calibration; every ceiling is >= 25x that.
+MEDIAN_CEILINGS_NS = {
+    # bench_micro_index (measured ~1.3-3.6 ns lookups)
+    "BM_ByteLookup": 100,
+    "BM_LookupHit": 200,
+    "BM_LookupMiss/100": 200,
+    "BM_LookupMiss/1000": 200,
+    "BM_LookupMiss/10000": 200,
+    "BM_LookupMixed/100": 200,
+    "BM_LookupMixed/1000": 200,
+    # bench_micro_runtime (measured ~1.5-3.3 ns checks, ~67 ns cycle)
+    "BM_CodePatch_CheckMiss": 100,
+    "BM_CodePatch_CheckHit": 200,
+    "BM_CodePatch_InstallRemove": 5_000,
+}
+
+
+def fail(msg):
+    print(f"PERF-SMOKE FAIL: {msg}")
+    return 1
+
+
+def check_gbench(path):
+    """Check one Google-benchmark JSON against the median ceilings."""
+    rc = 0
+    data = json.loads(path.read_text())
+    seen = {}
+    for bench in data.get("benchmarks", []):
+        name = bench["name"]
+        if not name.endswith("_median"):
+            continue
+        base = name[: -len("_median")]
+        value = bench["real_time"]
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        seen[base] = value * scale
+    for base, ceiling in MEDIAN_CEILINGS_NS.items():
+        if base not in seen:
+            continue  # filtered run or renamed benchmark: not a gate
+        value = seen[base]
+        status = "ok" if value <= ceiling else "FAIL"
+        print(f"  {base}: {value:.1f} ns (ceiling {ceiling} ns) {status}")
+        if value > ceiling:
+            rc |= fail(
+                f"{path.name}: {base} median {value:.1f} ns exceeds "
+                f"order-of-magnitude ceiling {ceiling} ns"
+            )
+    return rc
+
+
+def check_parallel(path):
+    """BENCH_parallel.json: correctness flag plus a collapse guard."""
+    rc = 0
+    data = json.loads(path.read_text())
+    if not data.get("identical_to_sequential", False):
+        rc |= fail(f"{path.name}: parallel result diverged from sequential")
+    for row in data.get("parallel", []):
+        # Not a scaling assertion (CI runners may have one core); only
+        # a sharded run running 10x slower than sequential is a bug.
+        if row["speedup"] < 0.1:
+            rc |= fail(
+                f"{path.name}: jobs={row['jobs']} speedup "
+                f"{row['speedup']} collapsed below 0.1x"
+            )
+    if rc == 0:
+        print(f"  {path.name}: identical, no collapse")
+    return rc
+
+
+def check_sim_hot(path):
+    """BENCH_sim_hot.json: bit-identity flag plus a collapse guard."""
+    rc = 0
+    data = json.loads(path.read_text())
+    if not data.get("identical", False):
+        rc |= fail(f"{path.name}: replay counters diverged from legacy")
+    overall = data.get("replay_overall_speedup", 0.0)
+    # The overhaul's acceptance run shows ~2x; anything under 0.5x
+    # means the new engine got slower than the seed one.
+    if overall < 0.5:
+        rc |= fail(
+            f"{path.name}: overall replay speedup {overall} below 0.5x"
+        )
+    if rc == 0:
+        print(f"  {path.name}: identical, overall speedup {overall}x")
+    return rc
+
+
+def main():
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    checks = {
+        "BENCH_micro_index.json": check_gbench,
+        "BENCH_micro_runtime.json": check_gbench,
+        "BENCH_parallel.json": check_parallel,
+        "BENCH_sim_hot.json": check_sim_hot,
+    }
+    rc = 0
+    found = 0
+    for name, checker in checks.items():
+        for path in sorted(root.rglob(name)):
+            print(f"checking {path}")
+            rc |= checker(path)
+            found += 1
+    if found == 0:
+        return fail(f"no BENCH_*.json files found under {root}")
+    if rc == 0:
+        print(f"perf smoke: {found} file(s) ok")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
