@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "model/advisor.h"
 #include "report/table.h"
 
@@ -121,29 +122,29 @@ main()
                 "worst adaptive/best-fixed; bound %.2f)\n",
                 bound);
 
-    std::FILE *json = std::fopen("BENCH_adaptive.json", "w");
-    if (!json) {
-        std::perror("BENCH_adaptive.json");
+    edb::benchhygiene::BenchJsonWriter writer("BENCH_adaptive.json",
+                                              "adaptive", 1);
+    if (!writer.ok())
         return 1;
-    }
+    std::FILE *json = writer.file();
     std::fprintf(json,
                  "{\n"
-                 "  \"profile\": \"%s\",\n"
-                 "  \"bound\": %.2f,\n"
-                 "  \"ok\": %s,\n"
-                 "  \"programs\": [\n",
+                 "    \"profile\": \"%s\",\n"
+                 "    \"bound\": %.2f,\n"
+                 "    \"ok\": %s,\n"
+                 "    \"programs\": [\n",
                  set.profile.name.c_str(), bound, ok ? "true" : "false");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const ProgramRow &r = rows[i];
         std::fprintf(
             json,
-            "    {\"program\": \"%s\", \"sessions\": %zu, "
+            "      {\"program\": \"%s\", \"sessions\": %zu, "
             "\"hw_feasible\": %zu, \"optimal\": %zu, "
             "\"violations\": %zu,\n"
-            "     \"adaptive_mean_us\": %.1f, \"best_fixed_mean_us\": "
+            "       \"adaptive_mean_us\": %.1f, \"best_fixed_mean_us\": "
             "%.1f, \"worst_fixed_mean_us\": %.1f, "
             "\"worst_ratio\": %.4f,\n"
-            "     \"picks\": {\"NH\": %zu, \"VM4K\": %zu, \"VM8K\": "
+            "       \"picks\": {\"NH\": %zu, \"VM4K\": %zu, \"VM8K\": "
             "%zu, \"TP\": %zu, \"CP\": %zu}}%s\n",
             r.program.c_str(), r.sessions, r.hwFeasible, r.optimal,
             r.violations, r.adaptiveMean, r.bestFixedMean,
@@ -151,8 +152,8 @@ main()
             r.picks[2], r.picks[3], r.picks[4],
             i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
+    std::fprintf(json, "    ]\n  }");
+    writer.close();
     std::printf("\nWrote BENCH_adaptive.json\n");
 
     return ok ? 0 : 1;

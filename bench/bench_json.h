@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared JSON envelope for the hand-rolled bench binaries.
+ *
+ * Every BENCH_*.json file carries the same top-level keys — `name`,
+ * `repetitions`, `meta` (git SHA, build type, schema version) and
+ * `results` — so tools/perf_smoke_check.py and obs_report.py can
+ * read any of them without per-bench shapes. The Google-benchmark
+ * binaries get the equivalent metadata via AddCustomContext in
+ * gbench_main.h.
+ *
+ * Usage:
+ *     BenchJsonWriter json("BENCH_foo.json", "foo", reps);
+ *     if (!json.ok()) ...;
+ *     std::fprintf(json.file(), "{ ... }");   // the `results` value
+ *     json.close();
+ */
+
+#ifndef EDB_BENCH_BENCH_JSON_H
+#define EDB_BENCH_BENCH_JSON_H
+
+#include <cstdio>
+
+#ifndef EDB_GIT_SHA
+#define EDB_GIT_SHA "unknown"
+#endif
+#ifndef EDB_BUILD_TYPE
+#define EDB_BUILD_TYPE "unknown"
+#endif
+
+namespace edb::benchhygiene {
+
+class BenchJsonWriter
+{
+  public:
+    BenchJsonWriter(const char *path, const char *name,
+                    int repetitions)
+        : f_(std::fopen(path, "w"))
+    {
+        if (f_ == nullptr) {
+            std::perror(path);
+            return;
+        }
+        std::fprintf(f_,
+                     "{\n"
+                     "  \"name\": \"%s\",\n"
+                     "  \"repetitions\": %d,\n"
+                     "  \"meta\": {\"git_sha\": \"%s\", "
+                     "\"build_type\": \"%s\", \"schema\": 1},\n"
+                     "  \"results\": ",
+                     name, repetitions, EDB_GIT_SHA, EDB_BUILD_TYPE);
+    }
+
+    ~BenchJsonWriter() { close(); }
+
+    bool ok() const { return f_ != nullptr; }
+
+    /** Stream positioned at the `results` value; caller writes one
+     *  JSON value (object or array) to it. */
+    std::FILE *file() { return f_; }
+
+    void
+    close()
+    {
+        if (f_ == nullptr)
+            return;
+        std::fprintf(f_, "\n}\n");
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+
+    BenchJsonWriter(const BenchJsonWriter &) = delete;
+    BenchJsonWriter &operator=(const BenchJsonWriter &) = delete;
+
+  private:
+    std::FILE *f_;
+};
+
+} // namespace edb::benchhygiene
+
+#endif // EDB_BENCH_BENCH_JSON_H

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "report/table.h"
 #include "session/session.h"
 #include "sim/parallel_sim.h"
@@ -174,27 +175,28 @@ main()
                std::to_string(stream_stats.peakBufferedEvents)});
     std::fputs(table.render().c_str(), stdout);
 
-    std::FILE *json = std::fopen("BENCH_parallel.json", "w");
-    if (!json) {
-        std::perror("BENCH_parallel.json");
+    edb::benchhygiene::BenchJsonWriter writer("BENCH_parallel.json",
+                                              "parallel_scaling",
+                                              reps);
+    if (!writer.ok())
         return 1;
-    }
+    std::FILE *json = writer.file();
     std::fprintf(json,
                  "{\n"
-                 "  \"program\": \"%s\",\n"
-                 "  \"events\": %zu,\n"
-                 "  \"sessions\": %zu,\n"
-                 "  \"hardware_concurrency\": %u,\n"
-                 "  \"identical_to_sequential\": %s,\n"
-                 "  \"sequential_ms\": %.3f,\n"
-                 "  \"parallel\": [\n",
+                 "    \"program\": \"%s\",\n"
+                 "    \"events\": %zu,\n"
+                 "    \"sessions\": %zu,\n"
+                 "    \"hardware_concurrency\": %u,\n"
+                 "    \"identical_to_sequential\": %s,\n"
+                 "    \"sequential_ms\": %.3f,\n"
+                 "    \"parallel\": [\n",
                  program.c_str(), trace.events.size(), set.size(),
                  std::thread::hardware_concurrency(),
                  all_identical ? "true" : "false", seq_ms);
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto &r = rows[i];
         std::fprintf(json,
-                     "    {\"jobs\": %u, \"ms\": %.3f, "
+                     "      {\"jobs\": %u, \"ms\": %.3f, "
                      "\"speedup\": %.3f, \"shards\": %zu, "
                      "\"peak_buffered_events\": %zu}%s\n",
                      r.jobs, r.ms, r.speedup, r.shards,
@@ -202,14 +204,14 @@ main()
                      i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(json,
-                 "  ],\n"
-                 "  \"streaming\": {\"jobs\": 4, \"ms\": %.3f, "
+                 "    ],\n"
+                 "    \"streaming\": {\"jobs\": 4, \"ms\": %.3f, "
                  "\"speedup\": %.3f, \"shards\": %zu, "
                  "\"peak_buffered_events\": %zu}\n"
-                 "}\n",
+                 "  }",
                  stream_ms, seq_ms / stream_ms, stream_stats.shards,
                  stream_stats.peakBufferedEvents);
-    std::fclose(json);
+    writer.close();
     std::printf("\nWrote BENCH_parallel.json\n");
 
     return all_identical ? 0 : 1;

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_json.h"
 #include "report/table.h"
 #include "session/session.h"
 #include "sim/simulator.h"
@@ -502,22 +503,21 @@ main()
     std::printf("MonitorIndex lookup, median of %d:\n%s\n", reps,
                 index_table.render().c_str());
 
-    // ---- JSON.
-    std::FILE *json = std::fopen("BENCH_sim_hot.json", "w");
-    if (!json) {
-        std::perror("BENCH_sim_hot.json");
+    // ---- JSON (shared BENCH_*.json envelope, bench_json.h).
+    edb::benchhygiene::BenchJsonWriter writer("BENCH_sim_hot.json",
+                                              "sim_hot", reps);
+    if (!writer.ok())
         return 1;
-    }
+    std::FILE *json = writer.file();
     std::fprintf(json,
                  "{\n"
-                 "  \"reps\": %d,\n"
-                 "  \"identical\": %s,\n"
-                 "  \"replay\": [\n",
-                 reps, ok ? "true" : "false");
+                 "    \"identical\": %s,\n"
+                 "    \"replay\": [\n",
+                 ok ? "true" : "false");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto &r = rows[i];
         std::fprintf(json,
-                     "    {\"program\": \"%s\", \"events\": %zu, "
+                     "      {\"program\": \"%s\", \"events\": %zu, "
                      "\"legacy_ms\": %.3f, \"new_ms\": %.3f, "
                      "\"speedup\": %.3f}%s\n",
                      r.program.c_str(), r.events, r.legacy_ms,
@@ -525,20 +525,20 @@ main()
                      i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(json,
-                 "  ],\n"
-                 "  \"replay_overall_speedup\": %.3f,\n"
-                 "  \"lookup_byte\": [\n",
+                 "    ],\n"
+                 "    \"replay_overall_speedup\": %.3f,\n"
+                 "    \"lookup_byte\": [\n",
                  overall);
     for (std::size_t i = 0; i < 2; ++i) {
         const auto &c = cases[i];
         std::fprintf(json,
-                     "    {\"case\": \"%s\", \"legacy_ns\": %.3f, "
+                     "      {\"case\": \"%s\", \"legacy_ns\": %.3f, "
                      "\"new_ns\": %.3f, \"speedup\": %.3f}%s\n",
                      c.name, c.legacy_ns, c.new_ns,
                      c.legacy_ns / c.new_ns, i == 0 ? "," : "");
     }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
+    std::fprintf(json, "    ]\n  }");
+    writer.close();
     std::printf("Wrote BENCH_sim_hot.json (overall replay speedup "
                 "%.2fx)\n",
                 overall);

@@ -18,6 +18,13 @@
 #include <string_view>
 #include <vector>
 
+#ifndef EDB_GIT_SHA
+#define EDB_GIT_SHA "unknown"
+#endif
+#ifndef EDB_BUILD_TYPE
+#define EDB_BUILD_TYPE "unknown"
+#endif
+
 namespace edb::benchhygiene {
 
 /** Run all registered benchmarks with median-of-5 + JSON defaults. */
@@ -46,6 +53,11 @@ runWithDefaults(int argc, char **argv, const char *json_name)
     for (std::string &a : args)
         argv2.push_back(a.data());
     int argc2 = (int)argv2.size();
+
+    // Same provenance the hand-rolled benches put in their `meta`
+    // object; lands in the JSON output's "context" section.
+    benchmark::AddCustomContext("git_sha", EDB_GIT_SHA);
+    benchmark::AddCustomContext("build_type", EDB_BUILD_TYPE);
 
     benchmark::Initialize(&argc2, argv2.data());
     if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data()))

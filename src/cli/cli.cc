@@ -12,6 +12,7 @@
 
 #include "calib/calibrate.h"
 #include "model/models.h"
+#include "obs/obs.h"
 #include "report/study.h"
 #include "report/table.h"
 #include "sim/parallel_sim.h"
@@ -72,6 +73,15 @@ usage()
            "(sessions/analyze/session/advise);\n"
            "                     0 = one per hardware thread, "
            "default 1\n"
+           "  --obs-json PATH    write an edb::obs counter/histogram "
+           "snapshot (JSON) after the\n"
+           "                     command (phase-2 commands; needs "
+           "EDB_OBS=ON builds)\n"
+           "  --trace-events PATH\n"
+           "                     capture Chrome trace-event spans "
+           "(load in chrome://tracing\n"
+           "                     or Perfetto; phase-2 commands, "
+           "EDB_OBS=ON builds)\n"
            "  --help, -h         print this message and exit\n"
            "\n"
            "environment:\n"
@@ -79,7 +89,11 @@ usage()
            "this host instead of the\n"
            "                     paper's SPARCstation 2 values\n"
            "  EDB_JOBS=N         default for --jobs 0 and the bench "
-           "binaries\n";
+           "binaries\n"
+           "  EDB_OBS_JSON=PATH  write the obs snapshot at process "
+           "exit (any command)\n"
+           "  EDB_LOG_LEVEL=L    least severe log level to print "
+           "(info|warn|error)\n";
 }
 
 int
@@ -317,11 +331,13 @@ int
 run(const std::vector<std::string> &args, std::ostream &out,
     std::ostream &err)
 {
-    // Extract the global --jobs/-j flag; everything else is
-    // positional. --jobs 0 resolves to the EDB_JOBS/hardware default.
+    // Extract the global flags; everything else is positional.
+    // --jobs 0 resolves to the EDB_JOBS/hardware default.
     std::vector<std::string> rest;
     unsigned jobs = 1;
     bool jobs_given = false;
+    std::string obs_json;
+    std::string trace_events;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--help" || args[i] == "-h") {
             out << usage();
@@ -343,6 +359,14 @@ run(const std::vector<std::string> &args, std::ostream &out,
                 return 2;
             }
             jobs = v == 0 ? ThreadPool::defaultJobs() : (unsigned)v;
+        } else if (args[i] == "--obs-json" ||
+                   args[i] == "--trace-events") {
+            const bool is_snapshot = args[i] == "--obs-json";
+            if (i + 1 == args.size() || args[i + 1].empty()) {
+                err << "error: " << args[i] << " needs a path\n";
+                return 2;
+            }
+            (is_snapshot ? obs_json : trace_events) = args[++i];
         } else {
             rest.push_back(args[i]);
         }
@@ -353,43 +377,78 @@ run(const std::vector<std::string> &args, std::ostream &out,
         return 2;
     }
     const std::string &cmd = rest[0];
-    // --jobs configures the phase-2 simulator; accepting it on the
-    // phase-1 commands would silently do nothing, so reject it.
-    if (jobs_given && (cmd == "record" || cmd == "info")) {
-        err << "error: --jobs does not apply to the phase-1 command '"
-            << cmd << "' (it selects phase-2 simulation workers)\n";
-        return 2;
-    }
-    try {
-        if (cmd == "record" && rest.size() == 3)
-            return cmdRecord(rest[1], rest[2], out);
-        if (cmd == "info" && rest.size() == 2)
-            return cmdInfo(rest[1], out);
-        if (cmd == "sessions" &&
-            (rest.size() == 2 || rest.size() == 3)) {
-            std::size_t top =
-                rest.size() == 3 ? (std::size_t)std::strtoul(
-                                       rest[2].c_str(), nullptr, 10)
-                                 : 20;
-            return cmdSessions(rest[1], top ? top : 20, out, jobs);
+    // The global flags configure the phase-2 stage; accepting them on
+    // the phase-1 commands would silently do nothing, so reject them.
+    if (cmd == "record" || cmd == "info") {
+        const char *flag = jobs_given ? "--jobs"
+                           : !obs_json.empty() ? "--obs-json"
+                           : !trace_events.empty() ? "--trace-events"
+                                                   : nullptr;
+        if (flag != nullptr) {
+            err << "error: " << flag
+                << " does not apply to the phase-1 command '" << cmd
+                << "' (it configures the phase-2 simulation stage)\n";
+            return 2;
         }
-        if (cmd == "analyze" && rest.size() == 2)
-            return cmdAnalyze(rest[1], out, jobs);
-        if (cmd == "session" && rest.size() == 3)
-            return cmdSession(rest[1], rest[2], out, err, jobs);
-        if (cmd == "advise" && (rest.size() == 2 || rest.size() == 3)) {
+    }
+#if EDB_OBS_ENABLED
+    if (!trace_events.empty())
+        obs::enableTrace(trace_events);
+#else
+    if (!obs_json.empty() || !trace_events.empty()) {
+        err << "warning: this build has EDB_OBS=OFF; "
+            << (!obs_json.empty() ? "--obs-json" : "--trace-events")
+            << " is ignored\n";
+    }
+#endif
+
+    int rc = 2;
+    bool dispatched = true;
+    try {
+        if (cmd == "record" && rest.size() == 3) {
+            rc = cmdRecord(rest[1], rest[2], out);
+        } else if (cmd == "info" && rest.size() == 2) {
+            rc = cmdInfo(rest[1], out);
+        } else if (cmd == "sessions" &&
+                   (rest.size() == 2 || rest.size() == 3)) {
             std::size_t top =
                 rest.size() == 3 ? (std::size_t)std::strtoul(
                                        rest[2].c_str(), nullptr, 10)
                                  : 20;
-            return cmdAdvise(rest[1], top ? top : 20, out, jobs);
+            rc = cmdSessions(rest[1], top ? top : 20, out, jobs);
+        } else if (cmd == "analyze" && rest.size() == 2) {
+            rc = cmdAnalyze(rest[1], out, jobs);
+        } else if (cmd == "session" && rest.size() == 3) {
+            rc = cmdSession(rest[1], rest[2], out, err, jobs);
+        } else if (cmd == "advise" &&
+                   (rest.size() == 2 || rest.size() == 3)) {
+            std::size_t top =
+                rest.size() == 3 ? (std::size_t)std::strtoul(
+                                       rest[2].c_str(), nullptr, 10)
+                                 : 20;
+            rc = cmdAdvise(rest[1], top ? top : 20, out, jobs);
+        } else {
+            dispatched = false;
         }
     } catch (const std::exception &e) {
         err << "error: " << e.what() << "\n";
-        return 1;
+        rc = 1;
     }
-    err << usage();
-    return 2;
+    if (!dispatched) {
+        err << usage();
+        return 2;
+    }
+#if EDB_OBS_ENABLED
+    // Emit even when the command failed: a partial run's counters are
+    // exactly what a post-mortem wants. An export failure only
+    // surfaces in the exit code when the command itself succeeded.
+    if (!trace_events.empty() && !obs::flushTrace() && rc == 0)
+        rc = 1;
+    if (!obs_json.empty() && !obs::writeSnapshotJsonFile(obs_json) &&
+        rc == 0)
+        rc = 1;
+#endif
+    return rc;
 }
 
 } // namespace edb::cli

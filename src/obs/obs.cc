@@ -1,0 +1,439 @@
+/**
+ * @file
+ * The obs registry: shard lifecycle (adopt / retire / recycle),
+ * instrument interning, the snapshot merge, and JSON export.
+ *
+ * The registry is an intentionally leaked singleton: detached threads
+ * and atexit hooks may touch instruments after main() returns, and a
+ * destructed registry would turn those into use-after-free. ~30KB of
+ * shards is a fair price for never having to reason about static
+ * destruction order.
+ */
+
+#include "obs/obs.h"
+
+#if EDB_OBS_ENABLED
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace edb::obs {
+
+constinit thread_local Shard *t_shard = nullptr;
+
+namespace {
+
+/** Plain (non-atomic) accumulation of shards whose threads exited. */
+struct RetiredSums
+{
+    std::int64_t scalars[maxScalars] = {};
+    struct Hist
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t min = ~std::uint64_t{0};
+        std::uint64_t max = 0;
+        std::uint64_t buckets[histBuckets] = {};
+    } hists[maxHistograms];
+};
+
+struct Instrument
+{
+    std::string name;
+    std::uint32_t slot;
+};
+
+class Registry
+{
+  public:
+    Registry()
+    {
+        fallback_ = new Shard();
+        shards_.push_back(fallback_);
+        // The thread constructing the first instrument (normally the
+        // main thread, during static init) gets its own shard now;
+        // adoptCurrentThread() cannot be called here because the
+        // registry's magic static is still mid-initialization.
+        Shard *self = new Shard();
+        shards_.push_back(self);
+        t_shard = self;
+        // Snapshots at process exit: EDB_OBS_JSON names a file to
+        // write without any flag plumbing (benches rely on this), and
+        // an enabled-but-unflushed trace sink gets its flush.
+        std::atexit([] {
+            if (traceEnabled() && !traceFlushed())
+                flushTrace();
+            if (const char *path = std::getenv("EDB_OBS_JSON");
+                path != nullptr && *path != '\0') {
+                writeSnapshotJsonFile(path);
+            }
+        });
+    }
+
+    Shard &fallback() { return *fallback_; }
+
+    std::uint32_t
+    internScalar(const char *name, bool is_gauge)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto &table = is_gauge ? gauges_ : counters_;
+        auto &other = is_gauge ? counters_ : gauges_;
+        for (const Instrument &i : other) {
+            EDB_ASSERT(i.name != name,
+                       "obs instrument '%s' registered as both "
+                       "counter and gauge", name);
+        }
+        for (const Instrument &i : table) {
+            if (i.name == name)
+                return i.slot;
+        }
+        EDB_ASSERT(next_scalar_ < maxScalars,
+                   "obs registry out of scalar slots (%zu); raise "
+                   "obs::maxScalars", maxScalars);
+        table.push_back({name, next_scalar_});
+        return next_scalar_++;
+    }
+
+    std::uint32_t
+    internHistogram(const char *name)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (const Instrument &i : histograms_) {
+            if (i.name == name)
+                return i.slot;
+        }
+        EDB_ASSERT(next_hist_ < maxHistograms,
+                   "obs registry out of histogram slots (%zu); raise "
+                   "obs::maxHistograms", maxHistograms);
+        histograms_.push_back({name, next_hist_});
+        return next_hist_++;
+    }
+
+    void
+    adoptCurrentThread()
+    {
+        if (t_shard != nullptr)
+            return;
+        std::lock_guard<std::mutex> lk(mu_);
+        Shard *s;
+        if (!free_.empty()) {
+            s = free_.back();
+            free_.pop_back();
+        } else {
+            s = new Shard();
+            shards_.push_back(s);
+        }
+        t_shard = s;
+    }
+
+    /**
+     * Fold a dying thread's shard into the retired sums and recycle
+     * it, so total footprint tracks peak concurrency, not the number
+     * of threads ever created. The mutex excludes snapshots, so no
+     * value is counted twice or dropped.
+     */
+    void
+    retireCurrentThread()
+    {
+        Shard *s = t_shard;
+        if (s == nullptr)
+            return;
+        t_shard = nullptr;
+        std::lock_guard<std::mutex> lk(mu_);
+        for (std::size_t i = 0; i < maxScalars; ++i) {
+            retired_.scalars[i] +=
+                s->scalars[i].exchange(0, std::memory_order_relaxed);
+        }
+        for (std::size_t h = 0; h < maxHistograms; ++h) {
+            Shard::Hist &src = s->hists[h];
+            RetiredSums::Hist &dst = retired_.hists[h];
+            const std::uint64_t count =
+                src.count.exchange(0, std::memory_order_relaxed);
+            if (count > 0) {
+                dst.count += count;
+                dst.sum +=
+                    src.sum.exchange(0, std::memory_order_relaxed);
+                dst.min = std::min(
+                    dst.min,
+                    src.min.load(std::memory_order_relaxed));
+                dst.max = std::max(
+                    dst.max,
+                    src.max.load(std::memory_order_relaxed));
+                for (std::size_t b = 0; b < histBuckets; ++b) {
+                    dst.buckets[b] += src.buckets[b].exchange(
+                        0, std::memory_order_relaxed);
+                }
+            } else {
+                src.sum.store(0, std::memory_order_relaxed);
+            }
+            src.min.store(~std::uint64_t{0},
+                          std::memory_order_relaxed);
+            src.max.store(0, std::memory_order_relaxed);
+        }
+        free_.push_back(s);
+    }
+
+    Snapshot
+    takeSnapshot()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+
+        // Merge per-slot first, then attach names.
+        std::vector<std::int64_t> scalars(next_scalar_, 0);
+        for (std::size_t i = 0; i < next_scalar_; ++i)
+            scalars[i] = retired_.scalars[i];
+        for (const Shard *s : shards_) {
+            for (std::size_t i = 0; i < next_scalar_; ++i) {
+                scalars[i] +=
+                    s->scalars[i].load(std::memory_order_relaxed);
+            }
+        }
+
+        Snapshot snap;
+        snap.counters.reserve(counters_.size());
+        for (const Instrument &i : counters_)
+            snap.counters.emplace_back(i.name, scalars[i.slot]);
+        snap.gauges.reserve(gauges_.size());
+        for (const Instrument &i : gauges_)
+            snap.gauges.emplace_back(i.name, scalars[i.slot]);
+
+        snap.histograms.reserve(histograms_.size());
+        for (const Instrument &i : histograms_) {
+            HistogramValue hv;
+            hv.name = i.name;
+            hv.buckets.assign(histBuckets, 0);
+            std::uint64_t mn = ~std::uint64_t{0};
+            std::uint64_t mx = 0;
+            const RetiredSums::Hist &r = retired_.hists[i.slot];
+            hv.count = r.count;
+            hv.sum = r.sum;
+            mn = std::min(mn, r.min);
+            mx = std::max(mx, r.max);
+            for (std::size_t b = 0; b < histBuckets; ++b)
+                hv.buckets[b] = r.buckets[b];
+            for (const Shard *s : shards_) {
+                const Shard::Hist &h = s->hists[i.slot];
+                const std::uint64_t count =
+                    h.count.load(std::memory_order_relaxed);
+                if (count == 0)
+                    continue;
+                hv.count += count;
+                hv.sum += h.sum.load(std::memory_order_relaxed);
+                mn = std::min(mn,
+                              h.min.load(std::memory_order_relaxed));
+                mx = std::max(mx,
+                              h.max.load(std::memory_order_relaxed));
+                for (std::size_t b = 0; b < histBuckets; ++b) {
+                    hv.buckets[b] += h.buckets[b].load(
+                        std::memory_order_relaxed);
+                }
+            }
+            hv.min = hv.count > 0 ? mn : 0;
+            hv.max = mx;
+            snap.histograms.push_back(std::move(hv));
+        }
+
+        auto byName = [](const auto &a, const auto &b) {
+            return a.first < b.first;
+        };
+        std::sort(snap.counters.begin(), snap.counters.end(), byName);
+        std::sort(snap.gauges.begin(), snap.gauges.end(), byName);
+        std::sort(snap.histograms.begin(), snap.histograms.end(),
+                  [](const HistogramValue &a, const HistogramValue &b) {
+                      return a.name < b.name;
+                  });
+        return snap;
+    }
+
+  private:
+    std::mutex mu_;
+    Shard *fallback_;
+    std::vector<Shard *> shards_; ///< every shard ever created
+    std::vector<Shard *> free_;   ///< retired shards ready for reuse
+    RetiredSums retired_;
+    std::vector<Instrument> counters_;
+    std::vector<Instrument> gauges_;
+    std::vector<Instrument> histograms_;
+    std::size_t next_scalar_ = 0;
+    std::size_t next_hist_ = 0;
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry(); // leaked: see file comment
+    return *r;
+}
+
+/** Per-thread sentinel whose destructor retires the shard. */
+struct ShardRetirer
+{
+    ~ShardRetirer() { registry().retireCurrentThread(); }
+};
+
+/** Escape a string into a JSON literal (without the quotes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if ((unsigned char)c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+namespace detail {
+
+std::uint32_t
+internScalar(const char *name, bool is_gauge)
+{
+    return registry().internScalar(name, is_gauge);
+}
+
+std::uint32_t
+internHistogram(const char *name)
+{
+    return registry().internHistogram(name);
+}
+
+Shard &
+fallbackShard()
+{
+    return registry().fallback();
+}
+
+} // namespace detail
+
+void
+prepareCurrentThread()
+{
+    registry().adoptCurrentThread();
+    // Construct the retirer after adopting, so its destructor (which
+    // runs in reverse construction order at thread exit) folds the
+    // shard back even when later TLS destructors still count.
+    thread_local ShardRetirer retirer;
+    (void)retirer;
+}
+
+std::int64_t
+Snapshot::counter(const std::string &name) const
+{
+    for (const auto &[n, v] : counters) {
+        if (n == name)
+            return v;
+    }
+    return 0;
+}
+
+std::int64_t
+Snapshot::gauge(const std::string &name) const
+{
+    for (const auto &[n, v] : gauges) {
+        if (n == name)
+            return v;
+    }
+    return 0;
+}
+
+const HistogramValue *
+Snapshot::histogram(const std::string &name) const &
+{
+    for (const HistogramValue &h : histograms) {
+        if (h.name == name)
+            return &h;
+    }
+    return nullptr;
+}
+
+Snapshot
+takeSnapshot()
+{
+    return registry().takeSnapshot();
+}
+
+void
+writeSnapshotJson(std::ostream &os)
+{
+    const Snapshot snap = takeSnapshot();
+    os << "{\n  \"schema\": \"edb-obs-snapshot-v1\",\n";
+
+    auto scalarBlock = [&os](const char *key, const auto &items,
+                             const char *trailer) {
+        os << "  \"" << key << "\": {";
+        bool first = true;
+        for (const auto &[name, value] : items) {
+            os << (first ? "\n" : ",\n") << "    \""
+               << jsonEscape(name) << "\": " << value;
+            first = false;
+        }
+        os << (first ? "}" : "\n  }") << trailer << "\n";
+    };
+    scalarBlock("counters", snap.counters, ",");
+    scalarBlock("gauges", snap.gauges, ",");
+
+    os << "  \"histograms\": {";
+    bool first = true;
+    for (const HistogramValue &h : snap.histograms) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(h.name)
+           << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+           << ", \"min\": " << h.min << ", \"max\": " << h.max
+           << ",\n      \"buckets\": [";
+        // Trailing all-zero buckets add noise; emit up to the last
+        // occupied one (log2 bucket b covers values of bit length b).
+        std::size_t last = 0;
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (h.buckets[b] != 0)
+                last = b + 1;
+        }
+        for (std::size_t b = 0; b < last; ++b)
+            os << (b ? ", " : "") << h.buckets[b];
+        os << "]}";
+        first = false;
+    }
+    os << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+bool
+writeSnapshotJsonFile(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("obs: cannot open '%s' for the snapshot", path.c_str());
+        return false;
+    }
+    writeSnapshotJson(os);
+    os.flush();
+    if (!os) {
+        warn("obs: I/O error writing snapshot to '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace edb::obs
+
+#endif // EDB_OBS_ENABLED

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * `edb::obs` — always-on process-wide observability instruments
+ * (DESIGN.md §10).
+ *
+ * A registry of named Counter / Gauge / Histogram instruments backed
+ * by thread-local shards of relaxed atomics: the hot-path increment is
+ * one relaxed fetch_add into the calling thread's shard, no locks, no
+ * allocation. snapshot() merges every shard (plus the accumulated
+ * values of threads that already exited) under the registry mutex.
+ *
+ * Signal-safety rules:
+ *
+ *  - Counter::add / Gauge::add / Histogram::observe are
+ *    async-signal-safe: when the calling thread has no shard (it never
+ *    called prepareCurrentThread()), the increment lands in a shared
+ *    fallback shard via the same lock-free atomics — never an
+ *    allocation, never a mutex. Signal-context code (live WMS
+ *    notification paths) may therefore bump counters freely.
+ *  - Everything else — instrument *construction*, ScopeTimer spans,
+ *    the trace sink, snapshot() — allocates or locks and must stay out
+ *    of signal handlers.
+ *
+ * Compile-time gating: when the build sets EDB_OBS=OFF (no
+ * EDB_OBS_ENABLED definition), the EDB_OBS_* macros below expand to
+ * nothing and none of the types in this header exist, so instrumented
+ * code carries zero cost — not even a load — in the off build.
+ */
+
+#ifndef EDB_OBS_OBS_H
+#define EDB_OBS_OBS_H
+
+#ifndef EDB_OBS_ENABLED
+#define EDB_OBS_ENABLED 0
+#endif
+
+#if EDB_OBS_ENABLED
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edb::obs {
+
+/** Registry capacity: scalar slots (counters + gauges) per shard. */
+inline constexpr std::size_t maxScalars = 256;
+/** Registry capacity: histogram slots per shard. */
+inline constexpr std::size_t maxHistograms = 64;
+/** log2 buckets per histogram: bucket 0 holds value 0, bucket b>0
+ *  holds values with bit length b (covers the full uint64 range). */
+inline constexpr std::size_t histBuckets = 65;
+
+/**
+ * One thread's slice of every instrument. All members are lock-free
+ * atomics updated with relaxed ordering; exact totals come from the
+ * snapshot merge, which only needs eventual per-cell consistency.
+ */
+struct Shard
+{
+    struct Hist
+    {
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+        /** Tracked via CAS loops; reset to ~0 / 0 when recycled. */
+        std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+        std::atomic<std::uint64_t> max{0};
+        std::atomic<std::uint64_t> buckets[histBuckets]{};
+    };
+
+    std::atomic<std::int64_t> scalars[maxScalars]{};
+    Hist hists[maxHistograms]{};
+};
+
+/**
+ * The calling thread's shard, or null when the thread never called
+ * prepareCurrentThread() (then instruments fall back to the shared
+ * fallback shard). constinit: access is a raw TLS load, no guard.
+ */
+extern constinit thread_local Shard *t_shard;
+
+/**
+ * Give the calling thread its own shard (idempotent). Worker threads
+ * call this once at startup so their increments stay uncontended; the
+ * shard is folded back into the registry and recycled when the thread
+ * exits. NOT async-signal-safe (may allocate).
+ */
+void prepareCurrentThread();
+
+/** Monotonic nanoseconds (steady clock), for spans and histograms. */
+inline std::uint64_t
+monotonicNs() noexcept
+{
+    return (std::uint64_t)std::chrono::duration_cast<
+               std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+namespace detail {
+/** Intern an instrument; returns its slot. Panics on name/kind
+ *  collisions or a full registry. */
+std::uint32_t internScalar(const char *name, bool is_gauge);
+std::uint32_t internHistogram(const char *name);
+/** The shared fallback shard for threads without their own. */
+Shard &fallbackShard();
+} // namespace detail
+
+/**
+ * Monotonically increasing event count. Construction interns the name
+ * in the process-wide registry (once; construct at namespace scope or
+ * as a function-local static, not per call site execution).
+ */
+class Counter
+{
+  public:
+    explicit Counter(const char *name)
+        : id_(detail::internScalar(name, false)),
+          fallback_(&detail::fallbackShard())
+    {
+    }
+
+    /** Async-signal-safe; one relaxed fetch_add. */
+    void
+    add(std::uint64_t n) noexcept
+    {
+        Shard *s = t_shard;
+        (s ? s : fallback_)
+            ->scalars[id_]
+            .fetch_add((std::int64_t)n, std::memory_order_relaxed);
+    }
+
+    void inc() noexcept { add(1); }
+
+  private:
+    std::uint32_t id_;
+    Shard *fallback_;
+};
+
+/**
+ * A signed level (queue depth, resident bytes). Stored as a
+ * sum-of-deltas so shard merging is plain addition; the snapshot
+ * value is the net level across all threads.
+ */
+class Gauge
+{
+  public:
+    explicit Gauge(const char *name)
+        : id_(detail::internScalar(name, true)),
+          fallback_(&detail::fallbackShard())
+    {
+    }
+
+    /** Async-signal-safe; one relaxed fetch_add. */
+    void
+    add(std::int64_t d) noexcept
+    {
+        Shard *s = t_shard;
+        (s ? s : fallback_)
+            ->scalars[id_]
+            .fetch_add(d, std::memory_order_relaxed);
+    }
+
+    void sub(std::int64_t d) noexcept { add(-d); }
+
+  private:
+    std::uint32_t id_;
+    Shard *fallback_;
+};
+
+/**
+ * log2-bucketed value distribution with exact count/sum/min/max.
+ * observe() is async-signal-safe: a few relaxed RMWs, the min/max
+ * CAS loops are lock-free.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(const char *name)
+        : id_(detail::internHistogram(name)),
+          fallback_(&detail::fallbackShard())
+    {
+    }
+
+    static constexpr std::size_t
+    bucketOf(std::uint64_t v) noexcept
+    {
+        return (std::size_t)(64 - std::countl_zero(v | 1)) -
+               (v == 0 ? 1 : 0);
+    }
+
+    void
+    observe(std::uint64_t v) noexcept
+    {
+        Shard *s = t_shard;
+        Shard::Hist &h = (s ? s : fallback_)->hists[id_];
+        h.buckets[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+        h.count.fetch_add(1, std::memory_order_relaxed);
+        h.sum.fetch_add(v, std::memory_order_relaxed);
+        std::uint64_t cur = h.min.load(std::memory_order_relaxed);
+        while (v < cur && !h.min.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+        cur = h.max.load(std::memory_order_relaxed);
+        while (v > cur && !h.max.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
+
+  private:
+    std::uint32_t id_;
+    Shard *fallback_;
+};
+
+/** One merged histogram in a Snapshot. min/max are 0 when count is. */
+struct HistogramValue
+{
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::vector<std::uint64_t> buckets; ///< histBuckets entries
+};
+
+/** A point-in-time merge of every shard, names sorted ascending. */
+struct Snapshot
+{
+    std::vector<std::pair<std::string, std::int64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<HistogramValue> histograms;
+
+    /** Value of a counter by name; 0 when absent. */
+    std::int64_t counter(const std::string &name) const;
+    /** Value of a gauge by name; 0 when absent. */
+    std::int64_t gauge(const std::string &name) const;
+    /** Histogram by name; null when absent. Lvalue-only: the pointer
+     *  aims into this Snapshot, so calling it on a temporary
+     *  (`takeSnapshot().histogram(...)`) would dangle. */
+    const HistogramValue *histogram(const std::string &name) const &;
+    const HistogramValue *histogram(const std::string &name) const && =
+        delete;
+};
+
+/** Merge every shard (active, retired, fallback) into a Snapshot.
+ *  Thread-safe; concurrent increments may or may not be included. */
+Snapshot takeSnapshot();
+
+/** Serialize takeSnapshot() as JSON (schema edb-obs-snapshot-v1). */
+void writeSnapshotJson(std::ostream &os);
+
+/** writeSnapshotJson() to a file; warns and returns false on error. */
+bool writeSnapshotJsonFile(const std::string &path);
+
+// ---- Chrome trace-event sink (trace_sink.cc) -----------------------
+
+/** Whether span B/E events are being captured (one relaxed load). */
+bool traceEnabled() noexcept;
+
+/**
+ * Start capturing ScopeTimer spans into per-thread buffers for a
+ * later flushTrace() to `path`. Not signal-safe.
+ */
+void enableTrace(std::string path);
+
+/**
+ * Write every buffered event as a chrome://tracing-loadable
+ * {"traceEvents": [...]} JSON file. Idempotent-safe: each call
+ * rewrites the full buffer. Returns false (after a warn) on I/O
+ * failure or when tracing was never enabled.
+ */
+bool flushTrace();
+
+/** True once flushTrace() succeeded (the atexit hook then skips). */
+bool traceFlushed() noexcept;
+
+/** Append one event; `ph` is the Chrome phase ('B' or 'E'). */
+void emitTraceEvent(const char *name, char ph, std::uint64_t ns);
+
+/**
+ * RAII span: emits B/E trace events while tracing is enabled and
+ * (optionally) observes its duration in nanoseconds into a
+ * Histogram. Costs two relaxed loads when idle. Not signal-safe.
+ */
+class ScopeTimer
+{
+  public:
+    explicit ScopeTimer(const char *name,
+                        Histogram *hist = nullptr) noexcept
+        : name_(name), hist_(hist), traced_(traceEnabled())
+    {
+        if (hist_ != nullptr || traced_)
+            start_ns_ = monotonicNs();
+        if (traced_)
+            emitTraceEvent(name_, 'B', start_ns_);
+    }
+
+    ~ScopeTimer()
+    {
+        if (hist_ == nullptr && !traced_)
+            return;
+        const std::uint64_t end_ns = monotonicNs();
+        if (traced_)
+            emitTraceEvent(name_, 'E', end_ns);
+        if (hist_ != nullptr)
+            hist_->observe(end_ns - start_ns_);
+    }
+
+    ScopeTimer(const ScopeTimer &) = delete;
+    ScopeTimer &operator=(const ScopeTimer &) = delete;
+
+  private:
+    const char *name_;
+    Histogram *hist_;
+    std::uint64_t start_ns_ = 0;
+    bool traced_;
+};
+
+} // namespace edb::obs
+
+// ---- Instrumentation macros (ON build) -----------------------------
+
+/** Splice code into the build only when obs is compiled in. */
+#define EDB_OBS_ONLY(...) __VA_ARGS__
+
+#define EDB_OBS_INC(instr) (instr).inc()
+#define EDB_OBS_ADD(instr, n) (instr).add(n)
+#define EDB_OBS_GAUGE_ADD(instr, d) (instr).add(d)
+#define EDB_OBS_GAUGE_SUB(instr, d) (instr).sub(d)
+#define EDB_OBS_OBSERVE(instr, v) (instr).observe(v)
+
+#define EDB_OBS_CONCAT_IMPL(a, b) a##b
+#define EDB_OBS_CONCAT(a, b) EDB_OBS_CONCAT_IMPL(a, b)
+/** RAII span scoped to the enclosing block. */
+#define EDB_OBS_SPAN(name)                                               \
+    ::edb::obs::ScopeTimer EDB_OBS_CONCAT(edb_obs_span_,                 \
+                                          __LINE__)(name)
+/** Span that also feeds its duration (ns) into a Histogram. */
+#define EDB_OBS_TIMED_SPAN(name, hist)                                   \
+    ::edb::obs::ScopeTimer EDB_OBS_CONCAT(edb_obs_span_,                 \
+                                          __LINE__)(name, &(hist))
+
+#else // !EDB_OBS_ENABLED — every macro compiles away entirely.
+
+#define EDB_OBS_ONLY(...)
+
+#define EDB_OBS_INC(instr) ((void)0)
+#define EDB_OBS_ADD(instr, n) ((void)0)
+#define EDB_OBS_GAUGE_ADD(instr, d) ((void)0)
+#define EDB_OBS_GAUGE_SUB(instr, d) ((void)0)
+#define EDB_OBS_OBSERVE(instr, v) ((void)0)
+#define EDB_OBS_SPAN(name) ((void)0)
+#define EDB_OBS_TIMED_SPAN(name, hist) ((void)0)
+
+#endif // EDB_OBS_ENABLED
+
+#endif // EDB_OBS_OBS_H

@@ -5,6 +5,8 @@
 
 #include "report/study.h"
 
+#include "obs/obs.h"
+#include "sim/index_profile.h"
 #include "sim/parallel_sim.h"
 #include "util/logging.h"
 
@@ -25,14 +27,31 @@ studyTrace(const trace::Trace &trace, const model::TimingProfile &timing,
                "no base time available: pass base_us or use a profile "
                "with an execution rate");
 
-    study.sessions = session::SessionSet::enumerate(trace);
-    if (jobs == 1) {
-        study.sim = sim::simulate(trace, study.sessions);
-    } else {
-        sim::ParallelOptions opts;
-        opts.jobs = jobs;
-        study.sim = sim::parallelSimulate(trace, study.sessions, opts);
+    {
+        EDB_OBS_SPAN("study.enumerate");
+        study.sessions = session::SessionSet::enumerate(trace);
     }
+    {
+        EDB_OBS_SPAN("study.simulate");
+        if (jobs == 1) {
+            study.sim = sim::simulate(trace, study.sessions);
+        } else {
+            sim::ParallelOptions opts;
+            opts.jobs = jobs;
+            study.sim =
+                sim::parallelSimulate(trace, study.sessions, opts);
+        }
+    }
+
+#if EDB_OBS_ENABLED
+    {
+        // Exercise the runtime MonitorIndex over the same trace so
+        // every analyze run exports live shadow-directory counters
+        // (wms.index.* / wms.shadow.*) next to the simulator's.
+        EDB_OBS_SPAN("study.index_profile");
+        (void)sim::indexProfile(trace);
+    }
+#endif
 
     // Keep only sessions with at least one hit (Section 8).
     for (session::SessionId id = 0; id < study.sessions.size(); ++id) {

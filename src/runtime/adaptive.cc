@@ -5,10 +5,21 @@
 
 #include "runtime/adaptive.h"
 
+#include "obs/obs.h"
 #include "runtime/hw_wms.h"
 #include "runtime/vm_wms.h"
 
 namespace edb::runtime {
+
+#if EDB_OBS_ENABLED
+namespace {
+obs::Counter obsHwAttached{"runtime.adaptive.hw_attached"};
+obs::Counter obsVmAttached{"runtime.adaptive.vm_attached"};
+/** Advisor picked a mechanism the host cannot engage live. */
+obs::Counter obsMechanismFallbacks{
+    "runtime.adaptive.mechanism_fallbacks"};
+} // namespace
+#endif
 
 wms::AdaptiveCosts
 adaptiveCostsFrom(const model::TimingProfile &t)
@@ -61,17 +72,23 @@ makeAdaptiveWms(const model::TimingProfile &profile, model::Strategy pick,
     // deployment was requested and the mechanism is missing, fall back
     // to the always-available CodePatch path rather than emulating.
     if (opts.initial == wms::AdaptiveBackend::Hardware &&
-        ro.engageHardware && !hwLive)
+        ro.engageHardware && !hwLive) {
         opts.initial = wms::AdaptiveBackend::CodePatch;
+        EDB_OBS_INC(obsMechanismFallbacks);
+    }
     if (opts.initial == wms::AdaptiveBackend::VirtualMemory &&
-        ro.engageVirtualMemory && !vm)
+        ro.engageVirtualMemory && !vm) {
         opts.initial = wms::AdaptiveBackend::CodePatch;
+        EDB_OBS_INC(obsMechanismFallbacks);
+    }
 
     auto adaptive = std::make_unique<wms::AdaptiveWms>(opts);
 
-    if (hwLive)
+    if (hwLive) {
         adaptive->attachBackend(wms::AdaptiveBackend::Hardware,
                                 std::make_unique<HwWms>());
+        EDB_OBS_INC(obsHwAttached);
+    }
     if (vm) {
         wms::AdaptiveBackendHooks hooks;
         const VmWms *raw = vm.get();
@@ -80,6 +97,7 @@ makeAdaptiveWms(const model::TimingProfile &profile, model::Strategy pick,
         };
         adaptive->attachBackend(wms::AdaptiveBackend::VirtualMemory,
                                 std::move(vm), std::move(hooks));
+        EDB_OBS_INC(obsVmAttached);
     }
     return adaptive;
 }

@@ -1,0 +1,32 @@
+#include "sim/index_profile.h"
+
+#include "trace/trace.h"
+#include "wms/monitor_index.h"
+
+namespace edb::sim {
+
+std::uint64_t
+indexProfile(const trace::Trace &trace)
+{
+    wms::MonitorIndex index;
+    std::uint64_t hits = 0;
+    for (const trace::Event &ev : trace.events) {
+        const AddrRange r = ev.range();
+        switch (ev.kind) {
+        case trace::EventKind::InstallMonitor:
+            if (!r.empty())
+                index.install(r);
+            break;
+        case trace::EventKind::RemoveMonitor:
+            if (!r.empty())
+                index.remove(r);
+            break;
+        case trace::EventKind::Write:
+            hits += index.lookup(r) ? 1 : 0;
+            break;
+        }
+    }
+    return hits;
+}
+
+} // namespace edb::sim

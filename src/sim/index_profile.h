@@ -1,0 +1,32 @@
+/**
+ * @file
+ * A single-pass MonitorIndex exercise over a trace, run by
+ * report::studyTrace when the obs layer is compiled in so that every
+ * `edb-trace analyze` produces live shadow-directory counters
+ * (wms.index.* / wms.shadow.*) alongside the simulator's replay-cache
+ * counters. Mirrors the paper's all-objects-monitored upper bound:
+ * every InstallMonitor/RemoveMonitor event is applied and every write
+ * is looked up.
+ */
+
+#ifndef EDB_SIM_INDEX_PROFILE_H
+#define EDB_SIM_INDEX_PROFILE_H
+
+#include <cstdint>
+
+namespace edb::trace {
+struct Trace;
+}
+
+namespace edb::sim {
+
+/**
+ * Replay `trace` through a fresh wms::MonitorIndex — install/remove
+ * per monitor event, lookup() per write. Returns the number of write
+ * lookups that hit a monitored word.
+ */
+std::uint64_t indexProfile(const trace::Trace &trace);
+
+} // namespace edb::sim
+
+#endif // EDB_SIM_INDEX_PROFILE_H

@@ -22,10 +22,22 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/replay_core.h"
 #include "util/thread_pool.h"
 
 namespace edb::sim {
+
+#if EDB_OBS_ENABLED
+namespace {
+obs::Counter obsDispatchRuns{"sim.parallel.runs"};
+obs::Counter obsShards{"sim.parallel.shards"};
+/** Events resident in shard buffers awaiting replay. */
+obs::Gauge obsBufferedEvents{"sim.parallel.buffered_events"};
+/** Wall time one worker spends replaying one shard. */
+obs::Histogram obsShardWallNs{"sim.parallel.shard_wall_ns"};
+} // namespace
+#endif
 
 using session::SessionMaskTable;
 using session::SessionSet;
@@ -162,6 +174,8 @@ SimResult
 dispatchShards(NextShard &&next, const SessionSet &sessions,
                const ParallelOptions &opts, ParallelStats *stats)
 {
+    EDB_OBS_INC(obsDispatchRuns);
+    EDB_OBS_SPAN("sim.parallel.dispatch");
     const unsigned jobs = std::min(
         opts.jobs ? opts.jobs : ThreadPool::defaultJobs(),
         ThreadPool::maxJobs);
@@ -215,15 +229,22 @@ dispatchShards(NextShard &&next, const SessionSet &sessions,
             parts.emplace_back();
             SimResult *out = &parts.back();
             ++local_stats.shards;
+            EDB_OBS_INC(obsShards);
+            EDB_OBS_GAUGE_ADD(obsBufferedEvents,
+                              (std::int64_t)buf->size());
 
             pool.submit([buf, snap = std::move(snap), out, &engines,
                          &buffered] {
+                EDB_OBS_TIMED_SPAN("sim.parallel.shard",
+                                   obsShardWallNs);
                 ReplayEngine *engine = engines.acquire();
                 *out = replayShard(*engine, buf->data(), buf->size(),
                                    snap);
                 engines.release(engine);
                 buffered.fetch_sub(buf->size(),
                                    std::memory_order_relaxed);
+                EDB_OBS_GAUGE_SUB(obsBufferedEvents,
+                                  (std::int64_t)buf->size());
             });
         }
         pool.wait();

@@ -48,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "session/session.h"
 #include "sim/counters.h"
 #include "trace/trace.h"
@@ -56,6 +57,26 @@
 #include "util/small_vec.h"
 
 namespace edb::sim::detail {
+
+#if EDB_OBS_ENABLED
+/**
+ * Replay-engine instruments (DESIGN.md §10). The per-write path
+ * stays atomic-free: each engine tallies into plain u64s
+ * (ReplayEngine::ObsTally) and publishes them here once per replay()
+ * call, so the global counters are exactly consistent with the
+ * engines' own counting variables.
+ */
+namespace obs_instr {
+inline obs::Counter replayWrites{"sim.replay.writes"};
+inline obs::Counter replayCacheReplays{"sim.replay.cache_replays"};
+inline obs::Counter replayObjCacheHits{"sim.replay.obj_cache_hits"};
+inline obs::Counter replayRecordings{"sim.replay.recordings"};
+inline obs::Counter replayMapWalks{"sim.replay.map_walks"};
+inline obs::Counter replayScrubWords{"sim.replay.scrub_words"};
+/** Replays settled per CacheEntry::flush() (batch sizes). */
+inline obs::Histogram replayPendingFlush{"sim.replay.pending_flush"};
+} // namespace obs_instr
+#endif
 
 using session::SessionId;
 using session::SessionMaskTable;
@@ -302,6 +323,7 @@ class ReplayEngine
         // Settle replay-cache debts so result() sees exact counters.
         for (CacheEntry &c : cache_)
             c.flush();
+        EDB_OBS_ONLY(publishTally();)
     }
 
     const SimResult &result() const { return result_; }
@@ -339,6 +361,7 @@ class ReplayEngine
         {
             if (pending == 0)
                 return;
+            EDB_OBS_OBSERVE(obs_instr::replayPendingFlush, pending);
             for (std::uint64_t *p : incs)
                 *p += pending;
             pending = 0;
@@ -499,6 +522,7 @@ class ReplayEngine
                   const SessionMaskTable::Chunk *&obj_chunks,
                   std::size_t &obj_nchunks)
     {
+        EDB_OBS_ONLY(++tally_.map_walks;)
         auto it = live_.upper_bound(w.begin);
         if (it != live_.begin()) {
             auto prev = std::prev(it);
@@ -574,6 +598,7 @@ class ReplayEngine
     write(const Event &e)
     {
         ++result_.totalWrites;
+        EDB_OBS_ONLY(++tally_.writes;)
         const AddrRange w = e.range();
 
         // Replay probe: a write inside an entry's window hits the
@@ -583,6 +608,7 @@ class ReplayEngine
         for (std::size_t k = 0; k < cache_.size(); ++k) {
             if (w.begin >= rlo_[k] && w.end <= rhi_[k]) {
                 ++cache_[k].pending;
+                EDB_OBS_ONLY(++tally_.cache_replays;)
                 return;
             }
         }
@@ -620,6 +646,7 @@ class ReplayEngine
 
         if (hit != nullptr) {
             // The write intersects exactly the cached object.
+            EDB_OBS_ONLY(++tally_.obj_cache_hits;)
             nobjs = 1;
             obj_begin = hit->begin;
             obj_end = hit->end;
@@ -683,10 +710,12 @@ class ReplayEngine
 
         // Scrub only the words this write dirtied; the masks are
         // all-zero between events by this invariant.
+        EDB_OBS_ONLY(tally_.scrub_words += touched_hit_.size();)
         for (std::uint32_t word : touched_hit_)
             hit_mask_[word] = 0;
         touched_hit_.clear();
         for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+            EDB_OBS_ONLY(tally_.scrub_words += touched_miss_[i].size();)
             for (std::uint32_t word : touched_miss_[i])
                 miss_mask_[i][word] = 0;
             touched_miss_[i].clear();
@@ -696,6 +725,7 @@ class ReplayEngine
         // Commit to the cache when the increments are a function of
         // (single intersected object, one page per size).
         if (single && nobjs == 1) {
+            EDB_OBS_ONLY(++tally_.recordings;)
             // Re-record in place on a window mismatch; otherwise
             // evict round-robin.
             const std::size_t k =
@@ -714,6 +744,37 @@ class ReplayEngine
             rhi_[k] = std::min(obj_end, page_lo + vmPageSizes[0]);
         }
     }
+
+#if EDB_OBS_ENABLED
+    /**
+     * Per-engine counting variables, plain u64s so the write path
+     * performs no atomic ops; published to the process-wide
+     * obs_instr counters at the end of every replay() call.
+     */
+    struct ObsTally
+    {
+        std::uint64_t writes = 0;
+        std::uint64_t cache_replays = 0;
+        std::uint64_t obj_cache_hits = 0;
+        std::uint64_t recordings = 0;
+        std::uint64_t map_walks = 0;
+        std::uint64_t scrub_words = 0;
+    };
+
+    void
+    publishTally()
+    {
+        obs_instr::replayWrites.add(tally_.writes);
+        obs_instr::replayCacheReplays.add(tally_.cache_replays);
+        obs_instr::replayObjCacheHits.add(tally_.obj_cache_hits);
+        obs_instr::replayRecordings.add(tally_.recordings);
+        obs_instr::replayMapWalks.add(tally_.map_walks);
+        obs_instr::replayScrubWords.add(tally_.scrub_words);
+        tally_ = ObsTally{};
+    }
+
+    ObsTally tally_;
+#endif
 
     const SessionSet &sessions_;
     const SessionMaskTable &masks_;

@@ -14,9 +14,20 @@
 #include <limits>
 #include <ostream>
 
+#include "obs/obs.h"
+
 namespace edb::trace {
 
 namespace {
+
+#if EDB_OBS_ENABLED
+obs::Counter obsReadBytes{"trace.read.bytes"};
+obs::Counter obsReadRefills{"trace.read.refills"};
+/** Refills that hit end-of-buffer mid-decode (a chunk stall: the
+ *  decoder blocked on stream I/O inside an event). */
+obs::Counter obsReadStalls{"trace.read.stalls"};
+obs::Counter obsReadEvents{"trace.read.events"};
+#endif
 
 constexpr char magic[8] = {'E', 'D', 'B', 'T', 'R', 'C', '0', '2'};
 
@@ -95,6 +106,16 @@ TraceReader::refill()
     is_->read(buf_.data(), (std::streamsize)buf_.size());
     buf_len_ = (std::size_t)is_->gcount();
     buf_pos_ = 0;
+#if EDB_OBS_ENABLED
+    if (buf_len_ > 0) {
+        obsReadBytes.add(buf_len_);
+        obsReadRefills.inc();
+    } else {
+        // The decoder asked for bytes the stream no longer has: a
+        // chunk stall (truncation or a reader outpacing its producer).
+        obsReadStalls.inc();
+    }
+#endif
 }
 
 int
@@ -272,6 +293,7 @@ TraceReader::read(Event *out, std::size_t max)
     }
     if (events_read_ == event_count_ && !done_)
         parseTrailer();
+    EDB_OBS_ONLY(obsReadEvents.add(produced);)
     return produced;
 }
 

@@ -8,7 +8,18 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace edb {
+
+#if EDB_OBS_ENABLED
+namespace {
+obs::Counter obsTasks{"pool.tasks"};
+/** Total worker nanoseconds spent blocked on an empty queue. */
+obs::Counter obsIdleNs{"pool.idle_ns"};
+obs::Gauge obsQueueDepth{"pool.queue_depth"};
+} // namespace
+#endif
 
 ThreadPool::ThreadPool(unsigned threads, std::size_t max_queued)
     : max_queued_(max_queued)
@@ -59,6 +70,7 @@ ThreadPool::submit(std::function<void()> task)
         queue_.push_back(std::move(task));
         ++in_flight_;
     }
+    EDB_OBS_GAUGE_ADD(obsQueueDepth, 1);
     queue_not_empty_.notify_one();
 }
 
@@ -89,18 +101,23 @@ ThreadPool::defaultJobs()
 void
 ThreadPool::workerLoop()
 {
+    EDB_OBS_ONLY(obs::prepareCurrentThread();)
     while (true) {
         std::function<void()> task;
         {
+            EDB_OBS_ONLY(const std::uint64_t t0 = obs::monotonicNs();)
             std::unique_lock lock(mutex_);
             queue_not_empty_.wait(lock, [this] {
                 return stopping_ || !queue_.empty();
             });
+            EDB_OBS_ADD(obsIdleNs, obs::monotonicNs() - t0);
             if (queue_.empty())
                 return; // stopping_ with nothing left to run
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        EDB_OBS_GAUGE_SUB(obsQueueDepth, 1);
+        EDB_OBS_INC(obsTasks);
         queue_not_full_.notify_one();
 
         try {

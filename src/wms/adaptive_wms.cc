@@ -8,9 +8,25 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace edb::wms {
+
+#if EDB_OBS_ENABLED
+namespace {
+obs::Counter obsMigrations{"wms.adaptive.migrations"};
+obs::Counter obsPromotions{"wms.adaptive.promotions"};
+obs::Counter obsCapacityDemotions{"wms.adaptive.capacity_demotions"};
+obs::Counter obsThrashDemotions{"wms.adaptive.thrash_demotions"};
+obs::Counter obsReviews{"wms.adaptive.reviews"};
+/** Counted from signal context (live backends): counter-only. */
+obs::Counter obsForwardedHits{"wms.adaptive.forwarded_hits"};
+obs::Histogram obsReviewNs{"wms.adaptive.review_ns"};
+/** Client-handler latency per delivered notification. */
+obs::Histogram obsNotifyNs{"wms.adaptive.notify_ns"};
+} // namespace
+#endif
 
 const char *
 adaptiveBackendName(AdaptiveBackend b)
@@ -130,6 +146,7 @@ AdaptiveWms::installMonitor(const AddrRange &r)
         // Feasibility demotions are unconditional — the session cannot
         // stay on hardware at any price.
         ++stats_.capacityDemotions;
+        EDB_OBS_INC(obsCapacityDemotions);
         double vm = windowCostLocked(AdaptiveBackend::VirtualMemory);
         double cp = windowCostLocked(AdaptiveBackend::CodePatch);
         switchToLocked(vm < opts_.switchMargin * cp
@@ -220,8 +237,11 @@ AdaptiveWms::checkWrite(const AddrRange &written, Addr pc)
     }
     // Deliver outside the lock: the handler may call back into the
     // service (install/remove/checkWrite) without deadlocking.
-    if (deliver)
+    if (deliver) {
+        EDB_OBS_ONLY(obs::ScopeTimer span("wms.adaptive.notify",
+                                          &obsNotifyNs);)
         handler_(Notification{written, pc});
+    }
     return hit;
 }
 
@@ -240,6 +260,9 @@ AdaptiveWms::attachBackend(AdaptiveBackend which,
     // and pass it straight to the client handler.
     svc->setNotificationHandler([this](const Notification &n) {
         forwarded_hits_.fetch_add(1, std::memory_order_relaxed);
+        // Signal context: only the counter subset of obs is legal
+        // here (relaxed add into an existing instrument, no locks).
+        EDB_OBS_INC(obsForwardedHits);
         if (handler_)
             handler_(n);
     });
@@ -350,8 +373,11 @@ AdaptiveWms::switchToLocked(AdaptiveBackend to)
 
     mode_ = to;
     ++stats_.migrations;
-    if (to == AdaptiveBackend::Hardware)
+    EDB_OBS_INC(obsMigrations);
+    if (to == AdaptiveBackend::Hardware) {
         ++stats_.promotions;
+        EDB_OBS_INC(obsPromotions);
+    }
 
     // Engage the new backend with every installed monitor. The shared
     // software index was maintained all along, so the CodePatch path
@@ -370,6 +396,8 @@ AdaptiveWms::switchToLocked(AdaptiveBackend to)
 void
 AdaptiveWms::reviewLocked()
 {
+    EDB_OBS_INC(obsReviews);
+    EDB_OBS_TIMED_SPAN("wms.adaptive.review", obsReviewNs);
     const bool vmThrashing =
         mode_ == AdaptiveBackend::VirtualMemory &&
         windowCostLocked(AdaptiveBackend::VirtualMemory) > 0 &&
@@ -394,8 +422,10 @@ AdaptiveWms::reviewLocked()
     }
 
     if (best != mode_) {
-        if (vmThrashing)
+        if (vmThrashing) {
             ++stats_.thrashDemotions;
+            EDB_OBS_INC(obsThrashDemotions);
+        }
         switchToLocked(best); // resets the window
     } else {
         resetWindowLocked();

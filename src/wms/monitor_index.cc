@@ -12,6 +12,15 @@
 
 namespace edb::wms {
 
+#if EDB_OBS_ENABLED
+namespace {
+obs::Counter obsInstalls{"wms.index.installs"};
+obs::Counter obsRemoves{"wms.index.removes"};
+/** Directory slots demoted to the slow path by a second page. */
+obs::Counter obsShadowAlias{"wms.shadow.alias"};
+} // namespace
+#endif
+
 MonitorIndex::MonitorIndex(Addr page_bytes) : page_bytes_(page_bytes)
 {
     EDB_ASSERT(page_bytes >= wordBytes &&
@@ -21,6 +30,19 @@ MonitorIndex::MonitorIndex(Addr page_bytes) : page_bytes_(page_bytes)
     wpp_shift_ = (unsigned)std::countr_zero(wordsPerPage());
     wpp_mask_ = wordsPerPage() - 1;
 }
+
+#if EDB_OBS_ENABLED
+MonitorIndex::~MonitorIndex() { publishObsTally(); }
+
+void
+MonitorIndex::publishObsTally() const
+{
+    obs_instr::indexLookups.add(tally_.lookups);
+    obs_instr::shadowFast.add(tally_.fast);
+    obs_instr::shadowFallback.add(tally_.fallback);
+    tally_ = ObsTally{};
+}
+#endif
 
 MonitorIndex::PageEntry &
 MonitorIndex::pageFor(Addr page_num)
@@ -47,6 +69,7 @@ MonitorIndex::shadowAdd(Addr page, const PageEntry &entry)
         s.bitmap = entry.bitmap.data();
     } else {
         s.bitmap = nullptr; // shared slot: lookups take the slow path
+        EDB_OBS_INC(obsShadowAlias);
     }
 }
 
@@ -68,6 +91,7 @@ void
 MonitorIndex::install(const AddrRange &r)
 {
     EDB_ASSERT(!r.empty(), "installing empty monitor range");
+    EDB_OBS_INC(obsInstalls);
     ++generation_;
     ++monitor_count_;
 
@@ -119,6 +143,7 @@ MonitorIndex::remove(const AddrRange &r)
 {
     EDB_ASSERT(!r.empty(), "removing empty monitor range");
     EDB_ASSERT(monitor_count_ > 0, "remove with no monitors installed");
+    EDB_OBS_INC(obsRemoves);
     ++generation_;
     --monitor_count_;
 

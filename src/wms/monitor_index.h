@@ -36,9 +36,29 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/addr.h"
 
 namespace edb::wms {
+
+#if EDB_OBS_ENABLED
+/**
+ * Shadow-directory instruments (DESIGN.md §10). Invariant:
+ * wms.index.lookups == wms.shadow.fast + wms.shadow.fallback — every
+ * lookup()/lookupByte() either resolves in the directory (empty
+ * index, owned slot, or empty slot) or falls back to the hash table.
+ *
+ * The per-lookup path bumps plain per-index tallies (an atomic — even
+ * relaxed — on the ~2ns lookupByte path defeats the optimizer); each
+ * index publishes its tally into these process-wide counters once, on
+ * destruction.
+ */
+namespace obs_instr {
+inline obs::Counter indexLookups{"wms.index.lookups"};
+inline obs::Counter shadowFast{"wms.shadow.fast"};
+inline obs::Counter shadowFallback{"wms.shadow.fallback"};
+} // namespace obs_instr
+#endif
 
 /**
  * Hash table from page number to per-page word bitmap, supporting
@@ -55,6 +75,11 @@ class MonitorIndex
      *                   power of two multiple of the word size.
      */
     explicit MonitorIndex(Addr page_bytes = 4096);
+
+#if EDB_OBS_ENABLED
+    /** Folds this index's lookup tally into the process counters. */
+    ~MonitorIndex();
+#endif
 
     /**
      * Install a write monitor covering the word-aligned hull of r.
@@ -180,6 +205,23 @@ class MonitorIndex
         return (bm[c1] & last) != 0;
     }
 
+#if EDB_OBS_ENABLED
+    /**
+     * Per-index lookup tally: plain (non-atomic) adds so the lookup
+     * fast path stays register-resident; MonitorIndex is not
+     * thread-shared (see class comment). Published exactly once by
+     * the destructor. Mutable: lookups are const.
+     */
+    struct ObsTally
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t fast = 0;
+        std::uint64_t fallback = 0;
+    };
+    void publishObsTally() const;
+    mutable ObsTally tally_;
+#endif
+
     Addr page_bytes_;
     /** log2 / mask of wordsPerPage(), precomputed for the fast path. */
     unsigned wpp_shift_ = 0;
@@ -195,27 +237,37 @@ class MonitorIndex
 inline bool
 MonitorIndex::lookupByte(Addr a) const
 {
-    if (dir_.empty())
+    EDB_OBS_ONLY(++tally_.lookups;)
+    if (dir_.empty()) {
+        EDB_OBS_ONLY(++tally_.fast;)
         return false;
+    }
     const Addr word = a / wordBytes;
     const Addr page = word >> wpp_shift_;
     const Shadow &s = dir_[page & (dirSlots - 1)];
     if (s.bitmap != nullptr) {
+        EDB_OBS_ONLY(++tally_.fast;)
         if (s.page != page)
             return false;
         const auto idx = (std::uint32_t)(word & wpp_mask_);
         return (s.bitmap[idx / 64] >> (idx % 64)) & 1;
     }
-    if (s.count == 0)
+    if (s.count == 0) {
+        EDB_OBS_ONLY(++tally_.fast;)
         return false;
+    }
+    EDB_OBS_ONLY(++tally_.fallback;)
     return lookupSlow(word, word);
 }
 
 inline bool
 MonitorIndex::lookup(const AddrRange &r) const
 {
-    if (dir_.empty() || r.empty())
+    EDB_OBS_ONLY(++tally_.lookups;)
+    if (dir_.empty() || r.empty()) {
+        EDB_OBS_ONLY(++tally_.fast;)
         return false;
+    }
     const Addr first_word = wordAlignDown(r.begin) / wordBytes;
     const Addr last_word = (wordAlignUp(r.end) / wordBytes) - 1;
     const Addr page = first_word >> wpp_shift_;
@@ -224,15 +276,19 @@ MonitorIndex::lookup(const AddrRange &r) const
         // directory unless the slot is shared.
         const Shadow &s = dir_[page & (dirSlots - 1)];
         if (s.bitmap != nullptr) {
+            EDB_OBS_ONLY(++tally_.fast;)
             if (s.page != page)
                 return false;
             return chunkRangeTest(s.bitmap,
                                   (std::uint32_t)(first_word & wpp_mask_),
                                   (std::uint32_t)(last_word & wpp_mask_));
         }
-        if (s.count == 0)
+        if (s.count == 0) {
+            EDB_OBS_ONLY(++tally_.fast;)
             return false;
+        }
     }
+    EDB_OBS_ONLY(++tally_.fallback;)
     return lookupSlow(first_word, last_word);
 }
 

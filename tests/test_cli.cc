@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include <unistd.h>
 
 #include "cli/cli.h"
+#include "obs/obs.h"
 
 namespace edb::cli {
 namespace {
@@ -156,6 +158,85 @@ TEST(CliRun, JobsRejectedOnPhase1Commands)
         EXPECT_NE(err.str().find(cmd), std::string::npos) << cmd;
     }
 }
+
+TEST(CliRun, ObsFlagsRejectedOnPhase1Commands)
+{
+    // Same phase-1 rule as --jobs: the obs export points cover the
+    // phase-2 stage only.
+    for (const char *flag : {"--obs-json", "--trace-events"}) {
+        for (const char *cmd : {"record", "info"}) {
+            std::ostringstream out, err;
+            EXPECT_EQ(run({cmd, flag, "x.json", "t.trc"}, out, err), 2)
+                << cmd << " " << flag;
+            EXPECT_NE(err.str().find("does not apply"),
+                      std::string::npos)
+                << cmd << " " << flag;
+        }
+    }
+}
+
+TEST(CliRun, ObsFlagsRequireAPath)
+{
+    for (const char *flag : {"--obs-json", "--trace-events"}) {
+        std::ostringstream out, err;
+        EXPECT_EQ(run({"analyze", "t.trc", flag}, out, err), 2) << flag;
+        EXPECT_NE(err.str().find("needs a path"), std::string::npos)
+            << flag;
+        // An empty path is as useless as a missing one.
+        err.str("");
+        EXPECT_EQ(run({"analyze", "t.trc", flag, ""}, out, err), 2)
+            << flag;
+    }
+}
+
+#if EDB_OBS_ENABLED
+TEST_F(CliTest, ObsJsonSnapshotWrittenAfterAnalyze)
+{
+    const std::string snap_path = ::testing::TempDir() +
+                                  "/edb_cli_obs." +
+                                  std::to_string(::getpid()) + ".json";
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"--obs-json", snap_path, "analyze", *path_}, out,
+                  err),
+              0);
+    std::ifstream in(snap_path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream body;
+    body << in.rdbuf();
+    EXPECT_NE(body.str().find("edb-obs-snapshot-v1"),
+              std::string::npos);
+    EXPECT_NE(body.str().find("sim.replay.writes"), std::string::npos);
+    std::remove(snap_path.c_str());
+}
+
+TEST_F(CliTest, TraceEventsFileWrittenAfterAnalyze)
+{
+    const std::string tev_path = ::testing::TempDir() +
+                                 "/edb_cli_tev." +
+                                 std::to_string(::getpid()) + ".json";
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"--trace-events", tev_path, "analyze", *path_}, out,
+                  err),
+              0);
+    std::ifstream in(tev_path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream body;
+    body << in.rdbuf();
+    EXPECT_EQ(body.str().rfind("{\"traceEvents\": [", 0), 0u);
+    EXPECT_NE(body.str().find("study.simulate"), std::string::npos);
+    std::remove(tev_path.c_str());
+}
+#else
+TEST(CliRun, ObsFlagsWarnWhenCompiledOut)
+{
+    std::ostringstream out, err;
+    // Dispatch still fails on the missing trace, but the warning must
+    // have announced the ignored flag first.
+    (void)run({"--obs-json", "x.json", "analyze", "no_such.trc"}, out,
+              err);
+    EXPECT_NE(err.str().find("EDB_OBS=OFF"), std::string::npos);
+}
+#endif
 
 TEST_F(CliTest, RunDispatchesAndValidates)
 {

@@ -1,16 +1,54 @@
 /**
  * @file
  * Tests for the logging/error primitives: message shapes, exit
- * behaviour (fatal exits, panic aborts), assertion macro semantics.
+ * behaviour (fatal exits, panic aborts), assertion macro semantics,
+ * the EDB_LOG_LEVEL severity filter, and thread-safety (one message
+ * == one write, so concurrent loggers never interleave mid-line).
  */
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "trace/vaspace.h"
 #include "util/logging.h"
 
 namespace edb {
 namespace {
+
+/** Scoped EDB_LOG_LEVEL override; restores the prior value. */
+class ScopedLogLevel
+{
+  public:
+    explicit ScopedLogLevel(const char *level)
+    {
+        const char *prev = std::getenv("EDB_LOG_LEVEL");
+        had_prev_ = prev != nullptr;
+        if (had_prev_)
+            prev_ = prev;
+        if (level != nullptr)
+            ::setenv("EDB_LOG_LEVEL", level, 1);
+        else
+            ::unsetenv("EDB_LOG_LEVEL");
+    }
+
+    ~ScopedLogLevel()
+    {
+        if (had_prev_)
+            ::setenv("EDB_LOG_LEVEL", prev_.c_str(), 1);
+        else
+            ::unsetenv("EDB_LOG_LEVEL");
+    }
+
+  private:
+    bool had_prev_ = false;
+    std::string prev_;
+};
 
 TEST(LoggingDeath, FatalExitsWithCodeOne)
 {
@@ -48,6 +86,80 @@ TEST(Logging, WarnAndInformDoNotTerminate)
     warn("this is a %s", "warning");
     inform("status %d", 7);
     SUCCEED();
+}
+
+TEST(Logging, LevelWarnSuppressesInform)
+{
+    ScopedLogLevel lvl("warn");
+    ::testing::internal::CaptureStderr();
+    inform("should not appear %d", 1);
+    warn("should appear %d", 2);
+    std::string text = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(text.find("should not appear"), std::string::npos);
+    EXPECT_NE(text.find("warn: should appear 2"), std::string::npos);
+}
+
+TEST(Logging, LevelErrorSuppressesInformAndWarn)
+{
+    ScopedLogLevel lvl("error");
+    ::testing::internal::CaptureStderr();
+    inform("info line");
+    warn("warn line");
+    EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Logging, UnknownLevelMeansInfo)
+{
+    ScopedLogLevel lvl("bogus");
+    ::testing::internal::CaptureStderr();
+    inform("still printed");
+    EXPECT_NE(::testing::internal::GetCapturedStderr().find(
+                  "info: still printed"),
+              std::string::npos);
+}
+
+TEST(Logging, OverlongMessageTruncatedWithMarker)
+{
+    ScopedLogLevel lvl(nullptr);
+    std::string big(4096, 'x');
+    ::testing::internal::CaptureStderr();
+    inform("%s", big.c_str());
+    std::string text = ::testing::internal::GetCapturedStderr();
+    // One line, capped by the 2048-byte buffer, ending "...\n".
+    EXPECT_LT(text.size(), 2100u);
+    ASSERT_GE(text.size(), 4u);
+    EXPECT_EQ(text.substr(text.size() - 4), "...\n");
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+TEST(Logging, ConcurrentLoggersNeverInterleave)
+{
+    ScopedLogLevel lvl(nullptr);
+    constexpr int kThreads = 8;
+    constexpr int kLines = 200;
+    ::testing::internal::CaptureStderr();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([t] {
+            for (int i = 0; i < kLines; ++i)
+                inform("thread=%d line=%d tail", t, i);
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    std::string text = ::testing::internal::GetCapturedStderr();
+
+    // Every line must be one complete message: emitted with a single
+    // fwrite, nothing splices mid-line.
+    std::istringstream in(text);
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        EXPECT_EQ(line.rfind("info: thread=", 0), 0u) << line;
+        EXPECT_EQ(line.substr(line.size() - 5), " tail") << line;
+    }
+    EXPECT_EQ(lines, kThreads * kLines);
 }
 
 TEST(VaspaceDeath, LocalOutsideFramePanics)

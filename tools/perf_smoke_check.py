@@ -3,14 +3,20 @@
 
 Reads the machine-readable JSON the benchmark binaries emit
 (BENCH_micro_index.json / BENCH_micro_runtime.json in Google-benchmark
-format, BENCH_parallel.json / BENCH_sim_hot.json in the repo's own
-format) and fails ONLY on order-of-magnitude regressions or
-correctness-flag failures. CI runners are noisy shared machines, so
-the ceilings below carry 20-100x headroom over measured medians; a
-threshold trip means a fast path fell off a cliff (an accidental
-O(n) scan, a lost inline, a debug-build slip), not scheduler jitter.
+format, BENCH_parallel.json / BENCH_sim_hot.json in the repo's shared
+envelope: top-level `name`, `repetitions`, `meta`, `results`) and
+fails ONLY on order-of-magnitude regressions or correctness-flag
+failures. CI runners are noisy shared machines, so the ceilings below
+carry 20-100x headroom over measured medians; a threshold trip means
+a fast path fell off a cliff (an accidental O(n) scan, a lost inline,
+a debug-build slip), not scheduler jitter.
 
-Usage: perf_smoke_check.py [directory-with-BENCH-json-files]
+With --require-obs the script also checks OBS_*.json snapshots
+(edb::obs, schema edb-obs-snapshot-v1) for counter sanity: the
+replay cache and shadow directory must have actually run, and the
+shadow fast/fallback split must add up to the lookup count.
+
+Usage: perf_smoke_check.py [--require-obs] [directory-with-json-files]
 """
 
 import json
@@ -39,6 +45,20 @@ MEDIAN_CEILINGS_NS = {
 def fail(msg):
     print(f"PERF-SMOKE FAIL: {msg}")
     return 1
+
+
+def load_envelope(path):
+    """Validate the shared BENCH_*.json envelope; return (rc, results)."""
+    data = json.loads(path.read_text())
+    rc = 0
+    for key in ("name", "repetitions", "results", "meta"):
+        if key not in data:
+            rc |= fail(f"{path.name}: envelope missing key {key!r}")
+    meta = data.get("meta", {})
+    for key in ("git_sha", "build_type"):
+        if key not in meta:
+            rc |= fail(f"{path.name}: meta missing key {key!r}")
+    return rc, data.get("results", {})
 
 
 def check_gbench(path):
@@ -71,8 +91,7 @@ def check_gbench(path):
 
 def check_parallel(path):
     """BENCH_parallel.json: correctness flag plus a collapse guard."""
-    rc = 0
-    data = json.loads(path.read_text())
+    rc, data = load_envelope(path)
     if not data.get("identical_to_sequential", False):
         rc |= fail(f"{path.name}: parallel result diverged from sequential")
     for row in data.get("parallel", []):
@@ -90,8 +109,7 @@ def check_parallel(path):
 
 def check_sim_hot(path):
     """BENCH_sim_hot.json: bit-identity flag plus a collapse guard."""
-    rc = 0
-    data = json.loads(path.read_text())
+    rc, data = load_envelope(path)
     if not data.get("identical", False):
         rc |= fail(f"{path.name}: replay counters diverged from legacy")
     overall = data.get("replay_overall_speedup", 0.0)
@@ -106,8 +124,52 @@ def check_sim_hot(path):
     return rc
 
 
+def check_obs(path):
+    """OBS_*.json snapshot: the instrumented hot paths actually ran.
+
+    Floors, not ceilings: every paper workload writes memory and
+    installs monitors, so a zero here means the counter wiring (or
+    the EDB_OBS build flag) silently fell out.
+    """
+    rc = 0
+    data = json.loads(path.read_text())
+    if data.get("schema") != "edb-obs-snapshot-v1":
+        return fail(f"{path.name}: unexpected schema {data.get('schema')!r}")
+    c = data.get("counters", {})
+    writes = c.get("sim.replay.writes", 0)
+    replays = c.get("sim.replay.cache_replays", 0)
+    lookups = c.get("wms.index.lookups", 0)
+    fast = c.get("wms.shadow.fast", 0)
+    fallback = c.get("wms.shadow.fallback", 0)
+    if writes <= 0:
+        rc |= fail(f"{path.name}: sim.replay.writes is {writes}")
+    if not 0 < replays <= writes:
+        rc |= fail(
+            f"{path.name}: sim.replay.cache_replays {replays} not in "
+            f"(0, writes={writes}]"
+        )
+    if lookups <= 0:
+        rc |= fail(f"{path.name}: wms.index.lookups is {lookups}")
+    if fast <= 0:
+        rc |= fail(f"{path.name}: wms.shadow.fast is {fast}")
+    if fast + fallback != lookups:
+        rc |= fail(
+            f"{path.name}: shadow fast {fast} + fallback {fallback} "
+            f"!= lookups {lookups}"
+        )
+    if rc == 0:
+        print(
+            f"  {path.name}: writes={writes} cache_replays={replays} "
+            f"lookups={lookups} (fast={fast}, fallback={fallback})"
+        )
+    return rc
+
+
 def main():
-    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    argv = sys.argv[1:]
+    require_obs = "--require-obs" in argv
+    argv = [a for a in argv if a != "--require-obs"]
+    root = pathlib.Path(argv[0] if argv else ".")
     checks = {
         "BENCH_micro_index.json": check_gbench,
         "BENCH_micro_runtime.json": check_gbench,
@@ -121,10 +183,17 @@ def main():
             print(f"checking {path}")
             rc |= checker(path)
             found += 1
+    obs_found = 0
+    for path in sorted(root.rglob("OBS_*.json")):
+        print(f"checking {path}")
+        rc |= check_obs(path)
+        obs_found += 1
+    if require_obs and obs_found == 0:
+        rc |= fail(f"--require-obs set but no OBS_*.json found under {root}")
     if found == 0:
         return fail(f"no BENCH_*.json files found under {root}")
     if rc == 0:
-        print(f"perf smoke: {found} file(s) ok")
+        print(f"perf smoke: {found + obs_found} file(s) ok")
     return rc
 
 
