@@ -6,8 +6,11 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <ostream>
 
 #include "calib/calibrate.h"
@@ -46,6 +49,25 @@ simulateWithJobs(const trace::Trace &trace,
     return sim::parallelSimulate(trace, sessions, opts);
 }
 
+/** Size of a file in bytes, or 0 if it cannot be opened. */
+std::uint64_t
+fileSizeBytes(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    if (!f)
+        return 0;
+    return (std::uint64_t)f.tellg();
+}
+
+/** Fixed-point "12.34" without <iomanip> stream state. */
+std::string
+fmtRatio(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+    return buf;
+}
+
 } // namespace
 
 const char *
@@ -56,7 +78,13 @@ usage()
            "commands:\n"
            "  record <workload> <out.trc>  trace one benchmark "
            "workload (gcc|ctex|spice|qcd|bps)\n"
-           "  info <trace.trc>             summarize a trace file\n"
+           "  info <trace.trc>             summarize a trace file "
+           "(incl. v2 block stats)\n"
+           "  convert <in.trc> <out.trc> <v1|v2>\n"
+           "                               rewrite a trace in the "
+           "other container format\n"
+           "                               (verifies the roundtrip "
+           "before reporting success)\n"
            "  sessions <trace.trc> [N]     list the top-N monitor "
            "sessions by hits (default 20)\n"
            "  analyze <trace.trc>          per-strategy relative "
@@ -114,6 +142,7 @@ cmdRecord(const std::string &workload, const std::string &path,
 int
 cmdInfo(const std::string &path, std::ostream &out)
 {
+    const trace::TraceFormat format = trace::probeTraceFormat(path);
     trace::Trace trace = trace::loadTrace(path);
 
     std::size_t by_kind[4] = {};
@@ -125,6 +154,7 @@ cmdInfo(const std::string &path, std::ostream &out)
         ++counts[(std::size_t)e.kind];
 
     out << "program:       " << trace.program << "\n"
+        << "format:        " << trace::traceFormatName(format) << "\n"
         << "events:        " << trace.events.size() << " ("
         << counts[0] << " installs, " << counts[1] << " removes, "
         << counts[2] << " writes)\n"
@@ -136,6 +166,94 @@ cmdInfo(const std::string &path, std::ostream &out)
         << by_kind[0] << " local auto, " << by_kind[1]
         << " local static, " << by_kind[2] << " global, " << by_kind[3]
         << " heap)\n";
+
+    if (format == trace::TraceFormat::V2Blocked) {
+        // Block statistics straight from the mapped index — no payload
+        // is decoded here.
+        trace::MappedTrace mapped(path);
+        std::uint64_t pure = 0;
+        std::uint64_t summary_runs = 0;
+        std::uint64_t summary_pages = 0;
+        for (std::size_t b = 0; b < mapped.blockCount(); ++b) {
+            const auto &blk = mapped.block(b);
+            if (blk.pureWrites())
+                ++pure;
+            summary_runs += blk.runs.size();
+            for (const auto &r : blk.runs)
+                summary_pages += r.pages;
+        }
+        const std::uint64_t raw =
+            mapped.eventCount() * (std::uint64_t)sizeof(trace::Event);
+        const std::uint64_t n = mapped.blockCount();
+        out << "blocks:        " << n << " (largest "
+            << mapped.largestBlockEvents() << " events, " << pure
+            << " pure-write)\n"
+            << "file bytes:    " << mapped.fileBytes() << " ("
+            << fmtRatio(n ? (double)mapped.fileBytes() /
+                                (double)mapped.eventCount()
+                          : 0.0)
+            << " B/event, " << fmtRatio(mapped.fileBytes()
+                                            ? (double)raw /
+                                                  (double)mapped
+                                                      .fileBytes()
+                                            : 0.0)
+            << "x vs raw events)\n"
+            << "summary:       "
+            << fmtRatio(n ? (double)summary_runs / (double)n : 0.0)
+            << " runs/block, "
+            << fmtRatio(n ? (double)summary_pages / (double)n : 0.0)
+            << " pages/block ("
+            << (trace::summaryPageBytes / 1024) << " KiB pages)\n";
+    }
+    return 0;
+}
+
+int
+cmdConvert(const std::string &in, const std::string &out_path,
+           const std::string &format, std::ostream &out,
+           std::ostream &err)
+{
+    trace::WriteOptions opts;
+    if (format == "v1") {
+        opts.format = trace::TraceFormat::V1Flat;
+    } else if (format == "v2") {
+        opts.format = trace::TraceFormat::V2Blocked;
+    } else {
+        err << "error: unknown trace format '" << format
+            << "' (expected v1 or v2)\n";
+        return 2;
+    }
+
+    const trace::TraceFormat in_format = trace::probeTraceFormat(in);
+    trace::Trace trace = trace::loadTrace(in);
+    trace::saveTrace(trace, out_path, opts);
+
+    // Roundtrip verification: the rewritten artifact must decode to
+    // exactly the trace we just wrote, event for event.
+    trace::Trace check = trace::loadTrace(out_path);
+    if (check.program != trace.program ||
+        check.events != trace.events ||
+        check.writeSites != trace.writeSites ||
+        check.totalWrites != trace.totalWrites ||
+        check.estimatedInstructions != trace.estimatedInstructions ||
+        check.registry.objectCount() !=
+            trace.registry.objectCount() ||
+        check.registry.functionCount() !=
+            trace.registry.functionCount()) {
+        err << "error: roundtrip verification failed: " << out_path
+            << " does not decode back to the input trace\n";
+        return 1;
+    }
+
+    const std::uint64_t in_bytes = fileSizeBytes(in);
+    const std::uint64_t out_bytes = fileSizeBytes(out_path);
+    out << "converted " << trace::traceFormatName(in_format) << " -> "
+        << trace::traceFormatName(opts.format) << ": "
+        << trace.events.size() << " events, " << in_bytes << " -> "
+        << out_bytes << " bytes ("
+        << fmtRatio(out_bytes ? (double)in_bytes / (double)out_bytes
+                              : 0.0)
+        << "x), roundtrip verified\n";
     return 0;
 }
 
@@ -379,7 +497,7 @@ run(const std::vector<std::string> &args, std::ostream &out,
     const std::string &cmd = rest[0];
     // The global flags configure the phase-2 stage; accepting them on
     // the phase-1 commands would silently do nothing, so reject them.
-    if (cmd == "record" || cmd == "info") {
+    if (cmd == "record" || cmd == "info" || cmd == "convert") {
         const char *flag = jobs_given ? "--jobs"
                            : !obs_json.empty() ? "--obs-json"
                            : !trace_events.empty() ? "--trace-events"
@@ -409,6 +527,8 @@ run(const std::vector<std::string> &args, std::ostream &out,
             rc = cmdRecord(rest[1], rest[2], out);
         } else if (cmd == "info" && rest.size() == 2) {
             rc = cmdInfo(rest[1], out);
+        } else if (cmd == "convert" && rest.size() == 4) {
+            rc = cmdConvert(rest[1], rest[2], rest[3], out, err);
         } else if (cmd == "sessions" &&
                    (rest.size() == 2 || rest.size() == 3)) {
             std::size_t top =

@@ -118,6 +118,41 @@ SessionSet::enumerate(const trace::ObjectRegistry &registry)
     return set;
 }
 
+SessionSet
+SessionSet::subset(const std::vector<SessionId> &keep) const
+{
+    constexpr SessionId none = 0xffffffff;
+
+    SessionSet out;
+    std::vector<SessionId> remap(sessions_.size(), none);
+    out.sessions_.reserve(keep.size());
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+        const SessionId old = keep[i];
+        EDB_ASSERT(old < sessions_.size(),
+                   "subset session id %u out of range", old);
+        EDB_ASSERT(remap[old] == none,
+                   "subset session id %u repeated", old);
+        remap[old] = (SessionId)i;
+        SessionInfo info = sessions_[old];
+        info.id = (SessionId)i;
+        out.sessions_.push_back(info);
+        ++out.counts_[(std::size_t)info.type];
+    }
+
+    out.object_sessions_.resize(object_sessions_.size());
+    for (std::size_t obj = 0; obj < object_sessions_.size(); ++obj) {
+        auto &mapped = out.object_sessions_[obj];
+        for (SessionId s : object_sessions_[obj]) {
+            if (remap[s] != none)
+                mapped.push_back(remap[s]);
+        }
+        // keep's order is arbitrary, so remapping need not preserve
+        // the source ordering.
+        std::sort(mapped.begin(), mapped.end());
+    }
+    return out;
+}
+
 SessionMaskTable::SessionMaskTable(const SessionSet &set)
 {
     mask_words_ = (set.size() + 63) / 64;

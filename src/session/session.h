@@ -115,6 +115,21 @@ class SessionSet
         return counts_;
     }
 
+    /**
+     * A SessionSet restricted to the given sessions of this set,
+     * renumbered densely in `keep` order: session keep[i] of this set
+     * becomes session i of the result, and the inverted index drops
+     * every other membership (an object monitored only by dropped
+     * sessions ends up with an empty sessionsOf()). Counters computed
+     * under the subset are positionally comparable to the full run:
+     * subset counters[i] == full counters[keep[i]]. This is how a
+     * study replays a handful of sessions of interest without paying
+     * for the whole enumeration — and what makes the v2 block-skip
+     * fast path profitable, since sparse monitored sets skip most
+     * blocks.
+     */
+    SessionSet subset(const std::vector<SessionId> &keep) const;
+
     /** Human-readable description of a session, for reports. */
     std::string describe(SessionId id, const trace::Trace &trace) const;
 

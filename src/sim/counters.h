@@ -34,6 +34,8 @@ struct VmCounters
      * containing an active write monitor of this session.
      */
     std::uint64_t activePageMisses = 0;
+
+    bool operator==(const VmCounters &) const = default;
 };
 
 /** The full counting-variable set for one monitor session. */
@@ -47,6 +49,8 @@ struct SessionCounters
     std::uint64_t hits = 0;
     /** Indexed parallel to vmPageSizes. */
     std::array<VmCounters, vmPageSizeCount> vm{};
+
+    bool operator==(const SessionCounters &) const = default;
 };
 
 /**
@@ -108,6 +112,8 @@ struct SimResult
             counters[s] += other.counters[s];
         return *this;
     }
+
+    bool operator==(const SimResult &) const = default;
 };
 
 } // namespace edb::sim

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <deque>
 #include <map>
 #include <memory>
@@ -24,6 +25,8 @@
 
 #include "obs/obs.h"
 #include "sim/replay_core.h"
+#include "trace/trace_format.h"
+#include "util/flat_map.h"
 #include "util/thread_pool.h"
 
 namespace edb::sim {
@@ -43,6 +46,7 @@ using session::SessionMaskTable;
 using session::SessionSet;
 using trace::Event;
 using trace::EventKind;
+using trace::MappedTrace;
 using trace::ObjectId;
 using trace::Trace;
 using trace::TraceReader;
@@ -99,6 +103,110 @@ advanceLiveState(LiveMap &live, const Event *events, std::size_t n)
         }
     }
 }
+
+/**
+ * The dispatcher-side twin of ReplayEngine's summary-page refcounts
+ * (replay_core.h skipPagesAdd/Remove): summary page -> number of
+ * *session-relevant* monitored objects touching it, maintained in
+ * stream order as blocks are dispatched. The parallel front end skips
+ * a pure-write block exactly when the sequential engine would — the
+ * live set at a block's position is a pure function of the preceding
+ * install/remove events, which the dispatcher consumes in order.
+ */
+class SkipPageMap
+{
+  public:
+    explicit SkipPageMap(const SessionSet &sessions)
+        : sessions_(sessions)
+    {
+    }
+
+    /** Fold one decoded block's install/removes into the map. */
+    void
+    advance(const Event *events, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            const Event &e = events[i];
+            if (e.kind == EventKind::Write)
+                continue;
+            if (sessions_.sessionsOf(e.aux).empty())
+                continue;
+            const AddrRange r = e.range();
+            const Addr first = r.begin >> shift;
+            const Addr last = (r.end - 1) >> shift;
+            if (e.kind == EventKind::InstallMonitor) {
+                for (Addr p = first; p <= last; ++p)
+                    ++*pages_.try_emplace(p).first;
+            } else {
+                for (Addr p = first; p <= last; ++p) {
+                    std::uint32_t *count = pages_.find(p);
+                    EDB_ASSERT(count != nullptr && *count > 0,
+                               "summary page table corrupt on remove");
+                    if (--*count == 0)
+                        pages_.erase(p);
+                }
+            }
+        }
+    }
+
+    /** Dispatcher twin of ReplayEngine::anyInstallTouchesSummary():
+     *  true when a session-relevant install among `ctl` lands on a
+     *  summary page of `runs`. */
+    bool
+    anyInstallTouches(const Event *ctl, std::size_t n,
+                      const trace::PageRun *runs,
+                      std::size_t nruns) const
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (ctl[i].kind != EventKind::InstallMonitor)
+                continue;
+            if (sessions_.sessionsOf(ctl[i].aux).empty())
+                continue;
+            const AddrRange r = ctl[i].range();
+            const Addr first = r.begin >> shift;
+            const Addr last = (r.end - 1) >> shift;
+            for (std::size_t k = 0; k < nruns; ++k) {
+                if (first < runs[k].firstPage + runs[k].pages &&
+                    last >= runs[k].firstPage) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    /** True when any summary page in `runs` is currently monitored. */
+    bool
+    anyMonitored(const trace::PageRun *runs, std::size_t n) const
+    {
+        std::uint64_t span = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            span += runs[i].pages;
+        if (span > pages_.size()) {
+            bool found = false;
+            pages_.forEach([&](Addr page, const std::uint32_t &) {
+                for (std::size_t i = 0; i < n && !found; ++i)
+                    found = runs[i].contains(page);
+            });
+            return found;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            const Addr end = runs[i].firstPage + runs[i].pages;
+            for (Addr p = runs[i].firstPage; p < end; ++p) {
+                if (pages_.find(p) != nullptr)
+                    return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    static constexpr unsigned shift =
+        (unsigned)std::countr_zero(trace::summaryPageBytes);
+
+    const SessionSet &sessions_;
+    util::FlatMap<Addr, std::uint32_t> pages_;
+};
 
 /**
  * A fixed set of pre-sized ReplayEngines, one per worker thread.
@@ -310,6 +418,180 @@ parallelSimulate(TraceReader &reader, const SessionSet &sessions,
                (unsigned long long)result.totalWrites,
                (unsigned long long)reader.totalWrites());
     return result;
+}
+
+SimResult
+parallelSimulate(const MappedTrace &trace, const SessionSet &sessions,
+                 const ParallelOptions &opts, ParallelStats *stats)
+{
+    EDB_OBS_INC(obsDispatchRuns);
+    EDB_OBS_SPAN("sim.parallel.dispatch");
+    const unsigned jobs = std::min(
+        opts.jobs ? opts.jobs : ThreadPool::defaultJobs(),
+        ThreadPool::maxJobs);
+    const std::size_t shard_events =
+        std::max<std::size_t>(opts.shardEvents, 1);
+
+    SimResult merged;
+    merged.counters.resize(sessions.size());
+
+    ParallelStats local_stats;
+    local_stats.jobs = jobs;
+
+    const SessionMaskTable masks(sessions);
+    EnginePool engines(sessions, masks, jobs, sessions.objectCount());
+
+    // Dispatcher-owned stream-order state: the boundary live map for
+    // snapshots, the monitored-summary-page refcounts for the skip
+    // decision, and a decode scratch for the control groups — the
+    // dispatcher decodes only those (writes never change live state).
+    std::deque<SimResult> parts;
+    std::atomic<std::size_t> buffered{0};
+    std::atomic<std::size_t> peak_buffered{0};
+    LiveMap running;
+    SkipPageMap skip(sessions);
+    std::vector<Event> scratch(trace.largestBlockEvents());
+    // Writes of fully-skipped blocks never reach a worker, so they
+    // fold into the merged result below; control-only skipped writes
+    // are folded by the worker (ReplayEngine::skipWrites) instead.
+    std::uint64_t fold_writes = 0;
+    /** One worker work item: a block, decoded fully or control-only. */
+    struct ShardBlock
+    {
+        std::size_t id;
+        bool ctlOnly;
+    };
+    {
+        ThreadPool pool(jobs, jobs);
+
+        std::size_t b = 0;
+        while (b < trace.blockCount()) {
+            // Gather one shard: consecutive non-skipped blocks up to
+            // the event budget. Blocks are atomic — a shard boundary
+            // never splits one.
+            auto blocks = std::make_shared<std::vector<ShardBlock>>();
+            std::size_t shard_size = 0;
+            Snapshot snap = snapshotOf(running);
+            while (b < trace.blockCount() &&
+                   shard_size < shard_events) {
+                const MappedTrace::Block &blk = trace.block(b);
+                const std::size_t ctl = (std::size_t)blk.controls();
+                // Judge the write summary against the monitored set
+                // *before* this block's own installs advance it.
+                bool write_skip =
+                    blk.writes > 0 &&
+                    !skip.anyMonitored(blk.runs.begin(),
+                                       blk.runs.size());
+                if (write_skip && blk.pureWrites()) {
+                    // Never decoded or dispatched: its writes hit
+                    // nothing, and pure writes cannot perturb the
+                    // live state.
+                    ++local_stats.skippedBlocks;
+                    local_stats.skippedWrites += blk.writes;
+                    fold_writes += blk.writes;
+                    ++b;
+                    continue;
+                }
+                if (ctl > 0) {
+                    trace.decodeBlockControl(b, scratch.data());
+                    if (write_skip &&
+                        skip.anyInstallTouches(scratch.data(), ctl,
+                                               blk.runs.begin(),
+                                               blk.runs.size())) {
+                        write_skip = false;
+                    }
+                }
+                if (write_skip) {
+                    blocks->push_back(ShardBlock{b, true});
+                    shard_size += ctl;
+                    ++local_stats.controlOnlyBlocks;
+                    local_stats.skippedWrites += blk.writes;
+                } else {
+                    blocks->push_back(ShardBlock{b, false});
+                    shard_size += (std::size_t)blk.events;
+                }
+                if (ctl > 0) {
+                    advanceLiveState(running, scratch.data(), ctl);
+                    skip.advance(scratch.data(), ctl);
+                }
+                ++b;
+            }
+            if (blocks->empty())
+                continue; // the tail of the trace was all skipped
+
+            std::size_t resident =
+                buffered.fetch_add(shard_size,
+                                   std::memory_order_relaxed) +
+                shard_size;
+            std::size_t seen =
+                peak_buffered.load(std::memory_order_relaxed);
+            while (resident > seen &&
+                   !peak_buffered.compare_exchange_weak(
+                       seen, resident, std::memory_order_relaxed)) {
+            }
+
+            parts.emplace_back();
+            SimResult *out = &parts.back();
+            ++local_stats.shards;
+            EDB_OBS_INC(obsShards);
+            EDB_OBS_GAUGE_ADD(obsBufferedEvents,
+                              (std::int64_t)shard_size);
+
+            // Workers decode their own blocks straight from the
+            // mapping (decodeBlock is const and thread-safe), so the
+            // only data crossing the dispatch boundary is the block
+            // list and the snapshot.
+            pool.submit([blocks, snap = std::move(snap), shard_size,
+                         out, &engines, &trace, &buffered] {
+                EDB_OBS_TIMED_SPAN("sim.parallel.shard",
+                                   obsShardWallNs);
+                ReplayEngine *engine = engines.acquire();
+                engine->reset();
+                engine->seed(snap.data(), snap.size());
+                std::vector<Event> buf(trace.largestBlockEvents());
+                for (const ShardBlock &sb : *blocks) {
+                    const MappedTrace::Block &blk =
+                        trace.block(sb.id);
+                    if (sb.ctlOnly) {
+                        trace.decodeBlockControl(sb.id, buf.data());
+                        engine->replay(buf.data(),
+                                       (std::size_t)blk.controls());
+                        engine->skipWrites(blk.writes);
+                    } else {
+                        trace.decodeBlock(sb.id, buf.data());
+                        engine->replay(buf.data(),
+                                       (std::size_t)blk.events);
+                    }
+                }
+                *out = engine->result();
+                engines.release(engine);
+                buffered.fetch_sub(shard_size,
+                                   std::memory_order_relaxed);
+                EDB_OBS_GAUGE_SUB(obsBufferedEvents,
+                                  (std::int64_t)shard_size);
+            });
+        }
+        pool.wait();
+    }
+
+    for (const SimResult &part : parts)
+        merged.merge(part);
+    merged.totalWrites += fold_writes;
+    trace::obsNoteSkippedBlocks(local_stats.skippedBlocks +
+                                    local_stats.controlOnlyBlocks,
+                                local_stats.skippedWrites);
+
+    local_stats.peakBufferedEvents =
+        peak_buffered.load(std::memory_order_relaxed);
+    if (stats)
+        *stats = local_stats;
+
+    EDB_ASSERT(merged.totalWrites == trace.totalWrites(),
+               "replayed + skipped write count (%llu) disagrees with "
+               "the trace trailer (%llu)",
+               (unsigned long long)merged.totalWrites,
+               (unsigned long long)trace.totalWrites());
+    return merged;
 }
 
 } // namespace edb::sim

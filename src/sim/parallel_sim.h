@@ -66,6 +66,14 @@ struct ParallelStats
      * snapshots — bounded by jobs and shardEvents, not by trace size.
      */
     std::size_t peakBufferedEvents = 0;
+    /** v2 pure-write blocks skipped without decoding at all (mapped
+     *  front end only). */
+    std::uint64_t skippedBlocks = 0;
+    /** v2 mixed blocks whose writes were skipped — workers decoded
+     *  and replayed only their control group. */
+    std::uint64_t controlOnlyBlocks = 0;
+    /** Write events across both kinds of skipped block. */
+    std::uint64_t skippedWrites = 0;
 };
 
 /**
@@ -84,6 +92,24 @@ SimResult parallelSimulate(const trace::Trace &trace,
  * the underlying artifact is malformed.
  */
 SimResult parallelSimulate(trace::TraceReader &reader,
+                           const session::SessionSet &sessions,
+                           const ParallelOptions &opts = {},
+                           ParallelStats *stats = nullptr);
+
+/**
+ * Block-sharded front end over a mapped v2 trace. Shards are runs of
+ * whole blocks located through the trace's block index — no streaming
+ * re-buffering — and workers decode their own blocks straight out of
+ * the mapping. The dispatcher judges every block's write summary
+ * against the summary pages of the currently-monitored,
+ * session-relevant objects (and the block's own installs): pure-write
+ * blocks that cannot touch one are never decoded or dispatched at
+ * all, mixed ones are dispatched control-only so workers decode just
+ * their install/remove columns. Either way the skipped writes
+ * contribute only their header count (DESIGN.md §11), so the result
+ * stays bit-identical to simulate() on the same sessions.
+ */
+SimResult parallelSimulate(const trace::MappedTrace &trace,
                            const session::SessionSet &sessions,
                            const ParallelOptions &opts = {},
                            ParallelStats *stats = nullptr);

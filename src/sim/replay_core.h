@@ -52,6 +52,7 @@
 #include "session/session.h"
 #include "sim/counters.h"
 #include "trace/trace.h"
+#include "trace/trace_format.h"
 #include "util/arena_pool.h"
 #include "util/flat_map.h"
 #include "util/small_vec.h"
@@ -270,6 +271,7 @@ class ReplayEngine
     reset()
     {
         live_.clear();
+        skip_pages_.clear();
         for (std::size_t i = 0; i < vmPageSizeCount; ++i)
             pages_[i].clear();
         for (CacheEntry &c : cache_)
@@ -295,6 +297,14 @@ class ReplayEngine
             live_.emplace(m.begin, LiveObj{m.end, m.obj});
             const AddrRange r(m.begin, m.end);
             const auto &sess = sessions_.sessionsOf(m.obj);
+            // Session-less objects (possible under SessionSet::subset)
+            // keep their live_ entry for hit resolution but must not
+            // touch the page tables: they contribute to no per-page
+            // counter, and remove() reclaims a page entry as soon as
+            // its session counts drain.
+            if (sess.empty())
+                continue;
+            skipPagesAdd(r);
             for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
                 auto [first, last] = pageSpan(r, vmPageSizes[i]);
                 for (Addr p = first; p <= last; ++p) {
@@ -327,6 +337,94 @@ class ReplayEngine
     }
 
     const SimResult &result() const { return result_; }
+
+    // The block-skip fast path (DESIGN.md §11) relies on every
+    // monitored page of every simulated size nesting inside a summary
+    // page: then "no summary page of the block is monitored" implies
+    // no write in the block can hit an object or land on an active
+    // page, for any size.
+    static_assert(trace::summaryPageBytes %
+                          vmPageSizes[vmPageSizeCount - 1] ==
+                      0,
+                  "block summaries must nest the coarsest VM page");
+
+    /**
+     * True when any summary page in `runs` currently carries a
+     * *session-relevant* monitored object — one whose sessionsOf() is
+     * non-empty. Objects outside every session cannot contribute to
+     * any counter, so they do not block skipping even though they sit
+     * in the live map.
+     */
+    bool
+    anySummaryPageMonitored(const trace::PageRun *runs,
+                            std::size_t n) const
+    {
+        std::uint64_t span = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            span += runs[i].pages;
+        if (span > skip_pages_.size()) {
+            // Wide summary, few monitored pages: probe the other way.
+            bool found = false;
+            skip_pages_.forEach(
+                [&](Addr page, const std::uint32_t &) {
+                    for (std::size_t i = 0; i < n && !found; ++i)
+                        found = runs[i].contains(page);
+                });
+            return found;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            const Addr end = runs[i].firstPage + runs[i].pages;
+            for (Addr p = runs[i].firstPage; p < end; ++p) {
+                if (skip_pages_.find(p) != nullptr)
+                    return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * True when any session-relevant install among `ctl` lands on a
+     * summary page of `runs`. Complements anySummaryPageMonitored()
+     * for write-skipping a *mixed* block: the monitored set the
+     * block's writes can see is the pre-block set plus whatever the
+     * block itself installs (removes only shrink it), so a block
+     * whose write summary misses both replays its control events and
+     * folds its write count, bit-identically (DESIGN.md §11).
+     */
+    bool
+    anyInstallTouchesSummary(const Event *ctl, std::size_t n,
+                             const trace::PageRun *runs,
+                             std::size_t nruns) const
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (ctl[i].kind != EventKind::InstallMonitor)
+                continue;
+            if (sessions_.sessionsOf(ctl[i].aux).empty())
+                continue;
+            const AddrRange r = ctl[i].range();
+            const Addr first = r.begin >> summaryShift;
+            const Addr last = (r.end - 1) >> summaryShift;
+            for (std::size_t k = 0; k < nruns; ++k) {
+                if (first < runs[k].firstPage + runs[k].pages &&
+                    last >= runs[k].firstPage) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Account for a run of write events skipped without decoding:
+     * none of them can hit or miss (their block's summary touches no
+     * monitored page), so their whole counter effect is the write
+     * count itself.
+     */
+    void
+    skipWrites(std::uint64_t n)
+    {
+        result_.totalWrites += n;
+    }
 
   private:
     /**
@@ -421,6 +519,14 @@ class ReplayEngine
         invalidateWindowsTouching(r);
 
         const auto &sess = sessions_.sessionsOf(e.aux);
+        // A session-less object (possible under SessionSet::subset)
+        // affects no counter and must leave the page tables alone:
+        // remove() reclaims a page entry once its session counts
+        // drain, which would strand a stale entry-less page under a
+        // still-live session-less object.
+        if (sess.empty())
+            return;
+        skipPagesAdd(r);
         for (SessionId s : sess)
             ++result_.counters[s].installs;
         for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
@@ -458,6 +564,11 @@ class ReplayEngine
         invalidateWindowsTouching(r);
 
         const auto &sess = sessions_.sessionsOf(e.aux);
+        // Mirrors install(): session-less objects never entered the
+        // page tables.
+        if (sess.empty())
+            return;
+        skipPagesRemove(r);
         for (SessionId s : sess)
             ++result_.counters[s].removes;
         for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
@@ -487,6 +598,35 @@ class ReplayEngine
     /** log2 of the coarsest page size, for window invalidation. */
     static constexpr unsigned coarseShift =
         (unsigned)std::countr_zero(vmPageSizes[vmPageSizeCount - 1]);
+
+    /** log2 of the v2 block-summary page size. */
+    static constexpr unsigned summaryShift =
+        (unsigned)std::countr_zero(trace::summaryPageBytes);
+
+    /** Count a session-relevant object onto its summary pages. */
+    void
+    skipPagesAdd(const AddrRange &r)
+    {
+        const Addr first = r.begin >> summaryShift;
+        const Addr last = (r.end - 1) >> summaryShift;
+        for (Addr p = first; p <= last; ++p)
+            ++*skip_pages_.try_emplace(p).first;
+    }
+
+    /** Inverse of skipPagesAdd(). */
+    void
+    skipPagesRemove(const AddrRange &r)
+    {
+        const Addr first = r.begin >> summaryShift;
+        const Addr last = (r.end - 1) >> summaryShift;
+        for (Addr p = first; p <= last; ++p) {
+            std::uint32_t *count = skip_pages_.find(p);
+            EDB_ASSERT(count != nullptr && *count > 0,
+                       "summary page table corrupt on remove");
+            if (--*count == 0)
+                skip_pages_.erase(p);
+        }
+    }
 
     /**
      * Kill the replay windows whose pages the range touches. A
@@ -791,6 +931,15 @@ class ReplayEngine
         LiveAlloc(&live_pool_)};
     std::array<util::FlatMap<Addr, PageSessions>, vmPageSizeCount>
         pages_;
+    /**
+     * Summary pages (trace::summaryPageBytes granularity) -> count of
+     * live *session-relevant* objects touching them. Unlike pages_,
+     * which under a restricted session set still tracks session-less
+     * live objects, this map is exactly the set the block-skip test
+     * must probe; kept separate so the test is one lookup per summary
+     * page with no per-entry session scan.
+     */
+    util::FlatMap<Addr, std::uint32_t> skip_pages_;
 
     /** The replay cache, round-robin replacement. */
     std::array<CacheEntry, 4> cache_;

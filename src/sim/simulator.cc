@@ -48,6 +48,63 @@ simulate(const Trace &trace, const SessionSet &sessions)
     return result;
 }
 
+SimResult
+simulate(const trace::MappedTrace &trace, const SessionSet &sessions,
+         BlockSkipStats *stats)
+{
+    const session::SessionMaskTable masks(sessions);
+    detail::ReplayEngine engine(sessions, masks,
+                                sessions.objectCount());
+
+    std::vector<Event> buf(trace.largestBlockEvents());
+    BlockSkipStats local;
+    local.blocksTotal = trace.blockCount();
+    for (std::size_t b = 0; b < trace.blockCount(); ++b) {
+        const trace::MappedTrace::Block &blk = trace.block(b);
+        // Writes may skip when the block's write summary misses every
+        // currently-monitored page; installs/removes always replay.
+        if (blk.writes > 0 &&
+            !engine.anySummaryPageMonitored(blk.runs.begin(),
+                                            blk.runs.size())) {
+            if (blk.pureWrites()) {
+                engine.skipWrites(blk.writes);
+                ++local.blocksSkipped;
+                local.writesSkipped += blk.writes;
+                continue;
+            }
+            // Mixed block: decode only the control group, and keep
+            // the skip only if nothing installed *inside* the block
+            // could be hit by its writes either.
+            const std::size_t ctl = (std::size_t)blk.controls();
+            trace.decodeBlockControl(b, buf.data());
+            if (!engine.anyInstallTouchesSummary(buf.data(), ctl,
+                                                 blk.runs.begin(),
+                                                 blk.runs.size())) {
+                engine.replay(buf.data(), ctl);
+                engine.skipWrites(blk.writes);
+                ++local.blocksControlOnly;
+                local.writesSkipped += blk.writes;
+                continue;
+            }
+        }
+        trace.decodeBlock(b, buf.data());
+        engine.replay(buf.data(), (std::size_t)blk.events);
+    }
+    trace::obsNoteSkippedBlocks(local.blocksSkipped +
+                                    local.blocksControlOnly,
+                                local.writesSkipped);
+    if (stats != nullptr)
+        *stats = local;
+
+    SimResult result = engine.result();
+    EDB_ASSERT(result.totalWrites == trace.totalWrites(),
+               "trace totalWrites header (%llu) disagrees with events "
+               "(%llu)",
+               (unsigned long long)trace.totalWrites(),
+               (unsigned long long)result.totalWrites);
+    return result;
+}
+
 SessionCounters
 simulateOneSession(const Trace &trace, const SessionSet &sessions,
                    SessionId id)

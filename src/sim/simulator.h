@@ -30,6 +30,7 @@
 #include "session/session.h"
 #include "sim/counters.h"
 #include "trace/trace.h"
+#include "trace/trace_io.h"
 
 namespace edb::sim {
 
@@ -42,6 +43,35 @@ namespace edb::sim {
  */
 SimResult simulate(const trace::Trace &trace,
                    const session::SessionSet &sessions);
+
+/** What the v2 block-skip fast path did during one simulation. */
+struct BlockSkipStats
+{
+    std::uint64_t blocksTotal = 0;
+    /** Pure-write blocks skipped without decoding a single byte. */
+    std::uint64_t blocksSkipped = 0;
+    /** Mixed blocks whose writes were skipped: only the (small)
+     *  control column group was decoded and replayed. */
+    std::uint64_t blocksControlOnly = 0;
+    /** Write events across both kinds of skipped block. */
+    std::uint64_t writesSkipped = 0;
+};
+
+/**
+ * One-pass simulation over a mapped v2 trace, block by block. A block
+ * whose write summary touches no currently-monitored page (of any
+ * session in `sessions`) — nor any page its own installs monitor —
+ * never decodes its write columns: the installs and removes still
+ * replay exactly, and the write count folds straight into the
+ * counters, bit-identically to full replay (DESIGN.md §11). Most
+ * profitable under a sparse SessionSet::subset(), where most blocks
+ * miss the monitored set.
+ *
+ * @param stats Optional out-param reporting how much was skipped.
+ */
+SimResult simulate(const trace::MappedTrace &trace,
+                   const session::SessionSet &sessions,
+                   BlockSkipStats *stats = nullptr);
 
 /**
  * Reference implementation: recompute the counters of a single session

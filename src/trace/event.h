@@ -20,6 +20,7 @@
 #ifndef EDB_TRACE_EVENT_H
 #define EDB_TRACE_EVENT_H
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/addr.h"
@@ -40,6 +41,10 @@ enum class EventKind : std::uint8_t {
     RemoveMonitor = 1,
     Write = 2,
 };
+
+/** Number of EventKind values; readers validate decoded kinds against
+ *  this before casting. */
+constexpr std::size_t eventKindCount = 3;
 
 /**
  * One trace event. Kept deliberately small: traces run to millions of

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * On-disk trace format identifiers and the v2 block-format constants
+ * shared by the writer, the readers and the phase-2 skip logic.
+ *
+ * Two generations of the EDBT container exist (docs/FORMAT.md):
+ *
+ *  - v1 "flat":    magic EDBTRC02; one delta+varint event stream.
+ *  - v2 "blocked": magic EDBTRC03; the event stream is cut into
+ *    fixed-size blocks, each carrying its own event/write counts, a
+ *    touched-page summary and independently decodable RLE-compressed
+ *    columns, with a trailing block index and a fixed footer so a
+ *    mapped reader can seek to any block without scanning.
+ *
+ * The summary granularity (summaryPageBytes) is a format constant: a
+ * block's summary lists the pages, at that granularity, touched by its
+ * write events. Phase-2 replay skips whole blocks whose summary does
+ * not intersect any monitored page (DESIGN.md §11), so the constant
+ * must stay compatible with the simulator's page sizes — replay_core.h
+ * static_asserts the relationship rather than assuming it.
+ */
+
+#ifndef EDB_TRACE_TRACE_FORMAT_H
+#define EDB_TRACE_TRACE_FORMAT_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/addr.h"
+
+namespace edb::trace {
+
+/** The on-disk container generations. */
+enum class TraceFormat : std::uint8_t {
+    V1Flat = 0,
+    V2Blocked = 1,
+};
+
+/** Short name for messages ("v1 flat" / "v2 blocked"). */
+const char *traceFormatName(TraceFormat format);
+
+/**
+ * Granularity of a v2 block's touched-page summary, in bytes. Chosen
+ * as the coarsest simulated VM page size: any monitored page of any
+ * supported size nests inside a summary page, so "summary disjoint
+ * from the monitored summary pages" soundly implies "no write in the
+ * block touches a monitored page of any size".
+ */
+constexpr Addr summaryPageBytes = 8192;
+
+/** Maximum page runs a block summary may carry; the writer coalesces
+ *  the smallest inter-run gaps until it fits. */
+constexpr std::size_t maxSummaryRuns = 8;
+
+/** One run of consecutive summary pages: [firstPage, firstPage+pages). */
+struct PageRun
+{
+    Addr firstPage = 0;
+    Addr pages = 0;
+
+    bool
+    contains(Addr page) const
+    {
+        return page >= firstPage && page - firstPage < pages;
+    }
+
+    bool operator==(const PageRun &o) const = default;
+};
+
+/** Events per block the v2 writer emits by default. Small enough that
+ *  a sparse monitor session skips most of a trace block-wise, large
+ *  enough that per-block headers are noise (<0.5% of the payload). */
+constexpr std::size_t defaultBlockEvents = 4096;
+
+/** Hard cap on events in one block, enforced by readers before any
+ *  allocation sized from a (possibly corrupt) block header. */
+constexpr std::size_t maxBlockEvents = std::size_t{1} << 21;
+
+} // namespace edb::trace
+
+#endif // EDB_TRACE_TRACE_FORMAT_H

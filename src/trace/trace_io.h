@@ -39,6 +39,8 @@
 #include <vector>
 
 #include "trace/trace.h"
+#include "trace/trace_format.h"
+#include "util/small_vec.h"
 
 namespace edb::trace {
 
@@ -54,6 +56,21 @@ class TraceError : public std::runtime_error
   public:
     using std::runtime_error::runtime_error;
 };
+
+/** Options for writeTrace/saveTrace. The default emits v2 blocked. */
+struct WriteOptions
+{
+    TraceFormat format = TraceFormat::V2Blocked;
+    /** Events per block (v2 only); clamped to [1, maxBlockEvents]. */
+    std::size_t blockEvents = defaultBlockEvents;
+};
+
+/**
+ * Read just enough of a trace file to identify its container format.
+ * Throws TraceError if the file cannot be opened or carries neither
+ * magic.
+ */
+TraceFormat probeTraceFormat(const std::string &path);
 
 /**
  * Incremental trace decoder.
@@ -91,6 +108,10 @@ class TraceReader
     }
     /** Number of events the header declares. */
     std::uint64_t eventCount() const { return event_count_; }
+    /** Container format detected from the magic. */
+    TraceFormat format() const { return format_; }
+    /** The writer's events-per-block (v2 only; 0 for v1). */
+    std::uint64_t blockEventsHint() const { return block_events_hint_; }
     /// @}
 
     /**
@@ -114,9 +135,15 @@ class TraceReader
     std::uint64_t estimatedInstructions() const;
     /// @}
 
+    /** Absolute file offset of the next undecoded byte. Accurate even
+     *  though input is pulled through a readahead buffer. */
+    std::uint64_t bytesConsumed() const { return base_off_ + buf_pos_; }
+
     static constexpr std::size_t defaultBufferBytes = 256 * 1024;
 
   private:
+    friend struct StreamBlockSrc;
+
     void refill();
     int getByte();
     void getBytes(char *out, std::size_t n);
@@ -124,16 +151,22 @@ class TraceReader
     std::string getString();
     void parseHeader();
     void parseTrailer();
+    void decodeNextBlock();
+    void parseIndexAndFooter();
+    [[noreturn]] void fail(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
 
     std::ifstream file_; ///< backing storage for the path constructor
     std::istream *is_;
     std::vector<char> buf_;
     std::size_t buf_pos_ = 0;
     std::size_t buf_len_ = 0;
+    std::uint64_t base_off_ = 0; ///< file offset of buf_[0]
 
     std::string program_;
     ObjectRegistry registry_;
     std::vector<std::string> write_sites_;
+    TraceFormat format_ = TraceFormat::V1Flat;
     std::uint64_t event_count_ = 0;
     std::uint64_t events_read_ = 0;
     std::uint64_t writes_seen_ = 0;
@@ -141,22 +174,154 @@ class TraceReader
     bool done_ = false;
     std::uint64_t total_writes_ = 0;
     std::uint64_t estimated_instructions_ = 0;
+
+    /** @name v2 block state */
+    /// @{
+    std::uint64_t block_events_hint_ = 0;
+    std::int64_t cur_block_ = -1; ///< block being decoded, for errors
+    std::vector<Event> block_buf_;
+    std::size_t block_pos_ = 0;
+    std::vector<unsigned char> block_scratch_;
+    /** (record bytes, events, writes) per decoded block, cross-checked
+     *  against the trailing index. */
+    struct BlockMeta
+    {
+        std::uint64_t bytes;
+        std::uint64_t events;
+        std::uint64_t writes;
+    };
+    std::vector<BlockMeta> blocks_seen_;
+    /// @}
 };
 
 /** Serialize a trace to a stream. Throws TraceError on I/O error. */
-void writeTrace(const Trace &trace, std::ostream &os);
+void writeTrace(const Trace &trace, std::ostream &os,
+                const WriteOptions &options = {});
 
 /** Serialize a trace to a file. Throws TraceError on I/O error. */
-void saveTrace(const Trace &trace, const std::string &path);
+void saveTrace(const Trace &trace, const std::string &path,
+               const WriteOptions &options = {});
 
 /**
- * Deserialize a whole trace from a stream. Throws TraceError on
- * malformed input.
+ * Deserialize a whole trace from a stream (either format). Throws
+ * TraceError on malformed input.
  */
 Trace readTrace(std::istream &is);
 
-/** Deserialize a trace from a file. Throws TraceError. */
+/** Deserialize a trace from a file (either format). Throws TraceError. */
 Trace loadTrace(const std::string &path);
+
+/**
+ * Zero-copy random-access view of a v2 blocked trace.
+ *
+ * The file is mmap'd (falling back to one in-memory copy where mmap is
+ * unavailable); construction parses the header tables, the fixed
+ * footer, the block index and every block header — so blockCount(),
+ * per-block event/write counts and page summaries are available
+ * without touching any payload byte — and cross-checks the index
+ * against the headers. Payloads are only decoded on demand by
+ * decodeBlock(), which is const and safe to call concurrently from
+ * many threads on distinct or identical blocks: this is what lets the
+ * parallel simulator's shards seek straight to block boundaries, and
+ * the replay fast path skip whole blocks on a summary miss.
+ *
+ * Throws TraceError on any malformed input, including a v1 file (which
+ * has no index to map; convert it first).
+ */
+class MappedTrace
+{
+  public:
+    /** Per-block metadata, parsed eagerly at construction. */
+    struct Block
+    {
+        std::uint64_t offset;     ///< file offset of the block record
+        std::uint64_t bytes;      ///< size of the whole record
+        std::uint64_t events;     ///< events in the block
+        std::uint64_t writes;     ///< write events among them
+        Addr base;                ///< first event's begin address
+        std::uint64_t payloadOff; ///< file offset of the columns
+        std::uint64_t colBytes[8];
+        util::SmallVec<PageRun, maxSummaryRuns> runs;
+
+        /** True when every event is a write: the block-skip fast path
+         *  then decodes nothing at all. */
+        bool pureWrites() const { return writes == events; }
+
+        /** Install/remove events in the block — what remains to be
+         *  decoded when the block's writes are skipped. */
+        std::uint64_t controls() const { return events - writes; }
+    };
+
+    explicit MappedTrace(const std::string &path);
+    ~MappedTrace();
+
+    MappedTrace(const MappedTrace &) = delete;
+    MappedTrace &operator=(const MappedTrace &) = delete;
+
+    const std::string &program() const { return program_; }
+    const ObjectRegistry &registry() const { return registry_; }
+    const std::vector<std::string> &writeSites() const
+    {
+        return write_sites_;
+    }
+    std::uint64_t eventCount() const { return event_count_; }
+    std::uint64_t totalWrites() const { return total_writes_; }
+    std::uint64_t estimatedInstructions() const
+    {
+        return estimated_instructions_;
+    }
+
+    std::size_t blockCount() const { return blocks_.size(); }
+    const Block &block(std::size_t i) const { return blocks_[i]; }
+    /** Event count of the largest block — sizes a decode buffer that
+     *  fits any block. */
+    std::size_t largestBlockEvents() const { return largest_block_; }
+    /** Total size of the mapped file in bytes. */
+    std::uint64_t fileBytes() const { return size_; }
+    /** True when the file is backed by an actual mmap (false on the
+     *  read-into-memory fallback). */
+    bool isMapped() const { return mapped_; }
+
+    /**
+     * Decode block i into out, which must hold block(i).events events.
+     * Thread-safe; validates the payload and throws TraceError (with
+     * byte offset and block id) on corruption.
+     */
+    void decodeBlock(std::size_t i, Event *out) const;
+
+    /**
+     * Decode only block i's install/remove events, in stream order,
+     * into out (block(i).controls() events), leaving the write
+     * columns untouched. The replay write-skip fast path pairs this
+     * with the block's header write count. Thread-safe.
+     */
+    void decodeBlockControl(std::size_t i, Event *out) const;
+
+  private:
+    void load(const std::string &path);
+    void parse(const std::string &path);
+
+    const unsigned char *data_ = nullptr;
+    std::uint64_t size_ = 0;
+    bool mapped_ = false;
+    std::vector<unsigned char> fallback_;
+
+    std::string program_;
+    ObjectRegistry registry_;
+    std::vector<std::string> write_sites_;
+    std::uint64_t event_count_ = 0;
+    std::uint64_t total_writes_ = 0;
+    std::uint64_t estimated_instructions_ = 0;
+    std::vector<Block> blocks_;
+    std::size_t largest_block_ = 0;
+};
+
+/**
+ * Record blocks the replay layer skipped via the block-summary fast
+ * path under trace.v2.blocks_skipped / sim.block_skip_writes. Lives
+ * here so the obs counters of the v2 layer are interned exactly once.
+ */
+void obsNoteSkippedBlocks(std::uint64_t blocks, std::uint64_t writes);
 
 } // namespace edb::trace
 

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * The mmap-backed zero-copy reader of v2 blocked traces.
+ *
+ * MappedTrace validates the whole container skeleton up front — header
+ * tables, footer, block index, every block header, and their mutual
+ * consistency — so that afterwards decodeBlock() is a pure function of
+ * immutable mapped bytes: const, lock-free and callable from any
+ * number of threads at once. Payload corruption is still caught, by
+ * decodeBlockBody's per-event validation, on the block that carries
+ * it.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <streambuf>
+
+#include "trace/trace_io.h"
+#include "trace/v2_detail.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define EDB_TRACE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define EDB_TRACE_HAVE_MMAP 0
+#include <fstream>
+#endif
+
+namespace edb::trace {
+
+namespace {
+
+constexpr std::size_t footerBytes = 12;
+constexpr char footerMagic[4] = {'E', 'D', 'B', 'X'};
+
+/** Read-only streambuf over the mapped bytes, so header-table parsing
+ *  reuses TraceReader instead of a second table decoder. */
+struct MemBuf : std::streambuf
+{
+    MemBuf(const unsigned char *p, std::size_t n)
+    {
+        char *b = const_cast<char *>(reinterpret_cast<const char *>(p));
+        setg(b, b, b + n);
+    }
+};
+
+} // namespace
+
+const char *
+traceFormatName(TraceFormat format)
+{
+    return format == TraceFormat::V1Flat ? "v1 flat" : "v2 blocked";
+}
+
+void
+obsNoteSkippedBlocks(std::uint64_t blocks, std::uint64_t writes)
+{
+#if EDB_OBS_ENABLED
+    detail::obs_v2::blocksSkipped.add(blocks);
+    detail::obs_v2::skipWrites.add(writes);
+#else
+    (void)blocks;
+    (void)writes;
+#endif
+}
+
+MappedTrace::MappedTrace(const std::string &path)
+{
+    load(path);
+    try {
+        parse(path);
+    } catch (...) {
+        // parse() throwing would leak the mapping: the destructor of
+        // a never-completed object does not run.
+#if EDB_TRACE_HAVE_MMAP
+        if (mapped_)
+            ::munmap((void *)data_, (std::size_t)size_);
+#endif
+        throw;
+    }
+}
+
+MappedTrace::~MappedTrace()
+{
+#if EDB_TRACE_HAVE_MMAP
+    if (mapped_)
+        ::munmap((void *)data_, (std::size_t)size_);
+#endif
+}
+
+void
+MappedTrace::load(const std::string &path)
+{
+#if EDB_TRACE_HAVE_MMAP
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        throw TraceError("cannot open '" + path + "' for reading");
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        throw TraceError("cannot stat '" + path + "'");
+    }
+    size_ = (std::uint64_t)st.st_size;
+    if (size_ > 0) {
+        void *m = ::mmap(nullptr, (std::size_t)size_, PROT_READ,
+                         MAP_PRIVATE, fd, 0);
+        if (m != MAP_FAILED) {
+            data_ = (const unsigned char *)m;
+            mapped_ = true;
+        } else {
+            fallback_.resize((std::size_t)size_);
+            std::size_t got = 0;
+            while (got < size_) {
+                ssize_t n = ::pread(fd, fallback_.data() + got,
+                                    (std::size_t)(size_ - got),
+                                    (off_t)got);
+                if (n <= 0) {
+                    ::close(fd);
+                    throw TraceError("cannot read '" + path + "'");
+                }
+                got += (std::size_t)n;
+            }
+            data_ = fallback_.data();
+        }
+    }
+    ::close(fd);
+#else
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is)
+        throw TraceError("cannot open '" + path + "' for reading");
+    size_ = (std::uint64_t)is.tellg();
+    is.seekg(0);
+    fallback_.resize((std::size_t)size_);
+    if (size_ > 0 &&
+        !is.read((char *)fallback_.data(), (std::streamsize)size_)) {
+        throw TraceError("cannot read '" + path + "'");
+    }
+    data_ = fallback_.data();
+#endif
+}
+
+void
+MappedTrace::parse(const std::string &path)
+{
+    // Header tables, via the streaming parser over the mapped bytes.
+    MemBuf mb(data_, (std::size_t)size_);
+    std::istream is(&mb);
+    TraceReader header(is);
+    if (header.format() != TraceFormat::V2Blocked) {
+        throw TraceError("'" + path +
+                         "' is a v1 flat trace; convert it to v2 "
+                         "blocked before mapping");
+    }
+    program_ = header.program();
+    registry_ = header.registry();
+    write_sites_ = header.writeSites();
+    event_count_ = header.eventCount();
+    const std::uint64_t first_block_off = header.bytesConsumed();
+
+    // Footer.
+    if (size_ < first_block_off + footerBytes) {
+        detail::failTraceAt(size_, -1,
+                            "trace file truncated before the footer");
+    }
+    const unsigned char *foot = data_ + size_ - footerBytes;
+    if (std::memcmp(foot + 8, footerMagic, sizeof(footerMagic)) != 0) {
+        detail::failTraceAt(size_ - 4, -1,
+                            "trace file footer magic invalid");
+    }
+    std::uint64_t index_off = 0;
+    for (int i = 0; i < 8; ++i)
+        index_off |= (std::uint64_t)foot[i] << (8 * i);
+    if (index_off < first_block_off ||
+        index_off >= size_ - footerBytes) {
+        detail::failTraceAt(size_ - footerBytes, -1,
+                            "trace file footer index offset %llu "
+                            "implausible",
+                            (unsigned long long)index_off);
+    }
+
+    // Block index + trailer.
+    detail::SpanIn idx(data_ + index_off,
+                       (std::size_t)(size_ - footerBytes - index_off),
+                       index_off, -1);
+    const std::uint64_t nblocks = idx.varint();
+    if (nblocks > event_count_) {
+        idx.fail("trace file block index count %llu implausible",
+                 (unsigned long long)nblocks);
+    }
+    blocks_.reserve((std::size_t)nblocks);
+    std::uint64_t off = first_block_off;
+    std::uint64_t sum_events = 0;
+    std::uint64_t sum_writes = 0;
+    for (std::uint64_t i = 0; i < nblocks; ++i) {
+        Block b;
+        b.offset = off;
+        b.bytes = idx.varint();
+        b.events = idx.varint();
+        b.writes = idx.varint();
+        if (b.bytes > index_off - off) {
+            idx.fail("trace file block %llu overruns the index",
+                     (unsigned long long)i);
+        }
+        off += b.bytes;
+        sum_events += b.events;
+        sum_writes += b.writes;
+        blocks_.push_back(std::move(b));
+    }
+    if (off != index_off) {
+        idx.fail("trace file block records do not abut the index");
+    }
+    if (sum_events != event_count_) {
+        idx.fail("trace file block index events (%llu) disagree with "
+                 "the header (%llu)",
+                 (unsigned long long)sum_events,
+                 (unsigned long long)event_count_);
+    }
+    total_writes_ = idx.varint();
+    estimated_instructions_ = idx.varint();
+    if (sum_writes != total_writes_) {
+        idx.fail("trace file write-count trailer (%llu) disagrees "
+                 "with the block index (%llu)",
+                 (unsigned long long)total_writes_,
+                 (unsigned long long)sum_writes);
+    }
+    if (!idx.empty()) {
+        idx.fail("trace file has trailing bytes before the footer");
+    }
+
+    // Every block header, eagerly: summaries and event counts must be
+    // trustworthy before any skip decision reads them.
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        Block &b = blocks_[i];
+        detail::SpanIn sp(data_ + b.offset, (std::size_t)b.bytes,
+                          b.offset, (std::int64_t)i);
+        struct SpanSrc
+        {
+            detail::SpanIn &in;
+            std::uint64_t varint() { return in.varint(); }
+            [[noreturn]] void
+            fail(const char *fmt, ...)
+                __attribute__((format(printf, 2, 3)))
+            {
+                va_list args;
+                va_start(args, fmt);
+                detail::vfailTraceAt(in.offset(), in.block, fmt,
+                                     args);
+            }
+        } src{sp};
+        detail::BlockHeader h = detail::parseBlockHeader(src, b.events);
+        if (h.events != b.events || h.writes != b.writes) {
+            src.fail("trace file block header disagrees with the "
+                     "block index");
+        }
+        const std::uint64_t header_bytes =
+            (std::uint64_t)(sp.p - sp.start);
+        if (header_bytes + h.payloadBytes() != b.bytes) {
+            src.fail("trace file block record size disagrees with "
+                     "its header");
+        }
+        b.base = h.base;
+        b.payloadOff = b.offset + header_bytes;
+        for (int c = 0; c < detail::colCount; ++c)
+            b.colBytes[c] = h.colBytes[c];
+        b.runs = h.runs;
+        largest_block_ =
+            std::max(largest_block_, (std::size_t)h.events);
+    }
+}
+
+namespace {
+
+detail::BlockHeader
+headerOf(const MappedTrace::Block &b)
+{
+    detail::BlockHeader h;
+    h.events = b.events;
+    h.writes = b.writes;
+    h.base = b.base;
+    h.runs = b.runs;
+    for (int c = 0; c < detail::colCount; ++c)
+        h.colBytes[c] = b.colBytes[c];
+    return h;
+}
+
+} // namespace
+
+void
+MappedTrace::decodeBlock(std::size_t i, Event *out) const
+{
+    const Block &b = blocks_[i];
+    const detail::BlockHeader h = headerOf(b);
+    detail::decodeBlockBody(h, data_ + b.payloadOff, b.payloadOff,
+                            (std::int64_t)i, registry_.objectCount(),
+                            out);
+#if EDB_OBS_ENABLED
+    detail::obs_v2::blocksDecoded.inc();
+    detail::obs_v2::bytesEncoded.add(b.bytes);
+    detail::obs_v2::bytesRaw.add(b.events * sizeof(Event));
+#endif
+}
+
+void
+MappedTrace::decodeBlockControl(std::size_t i, Event *out) const
+{
+    const Block &b = blocks_[i];
+    const detail::BlockHeader h = headerOf(b);
+    detail::decodeBlockControl(h, data_ + b.payloadOff, b.payloadOff,
+                               (std::int64_t)i,
+                               registry_.objectCount(), out);
+#if EDB_OBS_ENABLED
+    // Accounted as encoded bytes actually read: the control group
+    // plus the record header, not the untouched write columns.
+    detail::obs_v2::bytesEncoded.add(b.bytes - h.payloadBytes() +
+                                     h.controlBytes());
+    detail::obs_v2::bytesRaw.add(h.controls() * sizeof(Event));
+#endif
+}
+
+} // namespace edb::trace

@@ -57,6 +57,52 @@ TEST_F(CliTest, InfoSummarizesTrace)
     EXPECT_NE(text.find("program:       bps"), std::string::npos);
     EXPECT_NE(text.find("total writes:"), std::string::npos);
     EXPECT_NE(text.find("heap)"), std::string::npos);
+    // record emits v2 by default, so info reports the block stats.
+    EXPECT_NE(text.find("format:        v2 blocked"), std::string::npos);
+    EXPECT_NE(text.find("blocks:"), std::string::npos);
+    EXPECT_NE(text.find("B/event"), std::string::npos);
+    EXPECT_NE(text.find("runs/block"), std::string::npos);
+}
+
+TEST_F(CliTest, ConvertRoundTripsBothFormats)
+{
+    const std::string v1_path = ::testing::TempDir() + "/edb_cli_cvt1." +
+                                std::to_string(::getpid()) + ".trc";
+    const std::string v2_path = ::testing::TempDir() + "/edb_cli_cvt2." +
+                                std::to_string(::getpid()) + ".trc";
+
+    std::ostringstream out, err;
+    EXPECT_EQ(cmdConvert(*path_, v1_path, "v1", out, err), 0);
+    EXPECT_NE(out.str().find("v2 blocked -> v1 flat"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("roundtrip verified"), std::string::npos);
+
+    // A v1 artifact carries no block stats in info.
+    out.str("");
+    EXPECT_EQ(cmdInfo(v1_path, out), 0);
+    EXPECT_NE(out.str().find("format:        v1 flat"),
+              std::string::npos);
+    EXPECT_EQ(out.str().find("blocks:"), std::string::npos);
+
+    // And back: v1 -> v2 reproduces a valid blocked container.
+    out.str("");
+    EXPECT_EQ(cmdConvert(v1_path, v2_path, "v2", out, err), 0);
+    EXPECT_NE(out.str().find("v1 flat -> v2 blocked"),
+              std::string::npos);
+    out.str("");
+    EXPECT_EQ(cmdInfo(v2_path, out), 0);
+    EXPECT_NE(out.str().find("format:        v2 blocked"),
+              std::string::npos);
+
+    // Unknown target format is a usage error.
+    out.str("");
+    err.str("");
+    EXPECT_EQ(cmdConvert(*path_, v1_path, "v3", out, err), 2);
+    EXPECT_NE(err.str().find("unknown trace format"),
+              std::string::npos);
+
+    std::remove(v1_path.c_str());
+    std::remove(v2_path.c_str());
 }
 
 TEST_F(CliTest, SessionsListsTopByHits)
@@ -149,7 +195,7 @@ TEST(CliRun, JobsRejectedOnPhase1Commands)
 {
     // --jobs selects phase-2 simulation workers; on record/info it
     // would silently do nothing, so it must be an error.
-    for (const char *cmd : {"record", "info"}) {
+    for (const char *cmd : {"record", "info", "convert"}) {
         std::ostringstream out, err;
         EXPECT_EQ(run({cmd, "--jobs", "2", "x"}, out, err), 2) << cmd;
         EXPECT_NE(err.str().find("--jobs does not apply"),
@@ -268,8 +314,8 @@ TEST(CliUsage, MentionsEveryCommand)
 {
     std::string text = usage();
     for (const char *cmd :
-         {"record", "info", "sessions", "analyze", "session", "advise",
-          "--help", "EDB_PROFILE"}) {
+         {"record", "info", "convert", "sessions", "analyze", "session",
+          "advise", "--help", "EDB_PROFILE"}) {
         EXPECT_NE(text.find(cmd), std::string::npos) << cmd;
     }
 }

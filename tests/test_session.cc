@@ -189,6 +189,51 @@ TEST(SessionSet, EmptyTrace)
     EXPECT_EQ(set.size(), 0u);
 }
 
+TEST(SessionSet, SubsetRenumbersDenselyInKeepOrder)
+{
+    trace::Trace t = makeFixtureTrace();
+    SessionSet full = SessionSet::enumerate(t);
+    ASSERT_GE(full.size(), 4u);
+
+    // Keep a deliberately out-of-order, sparse selection.
+    std::vector<SessionId> keep = {(SessionId)(full.size() - 1), 0, 2};
+    SessionSet sub = full.subset(keep);
+
+    ASSERT_EQ(sub.size(), keep.size());
+    EXPECT_EQ(sub.objectCount(), full.objectCount());
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+        const SessionInfo &got = sub.sessions()[i];
+        const SessionInfo &want = full.sessions()[keep[i]];
+        EXPECT_EQ(got.id, (SessionId)i);
+        EXPECT_EQ(got.type, want.type);
+        EXPECT_EQ(got.object, want.object);
+        EXPECT_EQ(sub.describe((SessionId)i, t),
+                  full.describe(keep[i], t));
+    }
+
+    // The inverted index must be the full one filtered to `keep` and
+    // renumbered — and stay sorted, which sessionsOf() promises.
+    for (trace::ObjectId obj = 0; obj < full.objectCount(); ++obj) {
+        std::vector<SessionId> want;
+        for (std::size_t i = 0; i < keep.size(); ++i) {
+            const auto &of = full.sessionsOf(obj);
+            if (std::binary_search(of.begin(), of.end(), keep[i]))
+                want.push_back((SessionId)i);
+        }
+        std::sort(want.begin(), want.end());
+        EXPECT_EQ(sub.sessionsOf(obj), want) << "object " << obj;
+    }
+
+    // Objects only monitored by dropped sessions end up session-less
+    // in the subset; the fixture has enough sessions that some are.
+    bool saw_empty = false;
+    for (trace::ObjectId obj = 0; obj < full.objectCount(); ++obj) {
+        saw_empty = saw_empty || (sub.sessionsOf(obj).empty() &&
+                                  !full.sessionsOf(obj).empty());
+    }
+    EXPECT_TRUE(saw_empty);
+}
+
 TEST(SessionSet, TypeNames)
 {
     EXPECT_STREQ(sessionTypeName(SessionType::OneLocalAuto),

@@ -19,8 +19,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
+#include <string>
 #include <tuple>
+
+#include <unistd.h>
 
 #include "sim/parallel_sim.h"
 #include "sim/simulator.h"
@@ -224,6 +228,115 @@ TEST_P(DifferentialWorkload, SequentialMatchesOracleOnWorkloadTrace)
                 << set.describe(s, t);
         }
     }
+}
+
+/** RAII v2 artifact of a trace, for the mapped front ends. */
+class SavedV2
+{
+  public:
+    explicit SavedV2(const trace::Trace &t)
+        : path_(::testing::TempDir() + "/edb_diff_" + t.program + "." +
+                std::to_string(::getpid()) + ".trc")
+    {
+        trace::saveTrace(t, path_);
+    }
+    ~SavedV2() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST_P(DifferentialWorkload, MappedBlockSkipBitIdenticalOnFullSet)
+{
+    auto w = workload::makeWorkload(GetParam());
+    trace::Trace t = workload::runTraced(*w);
+    SessionSet set = SessionSet::enumerate(t);
+    SimResult seq = simulate(t, set);
+
+    SavedV2 saved(t);
+    trace::MappedTrace mapped(saved.path());
+
+    // The block-skip replay must be bit-identical to the in-memory
+    // sweep — on the full session set the skip rarely fires (almost
+    // every page is monitored somewhere), which pins the "don't skip
+    // when you must not" side.
+    BlockSkipStats stats;
+    SimResult ms = simulate(mapped, set, &stats);
+    expectIdentical(ms, seq, set, t);
+    ASSERT_TRUE(ms == seq);
+    EXPECT_EQ(stats.blocksTotal, mapped.blockCount());
+    EXPECT_LE(stats.blocksSkipped + stats.blocksControlOnly,
+              stats.blocksTotal);
+
+    // The block-sharded parallel front end, across the jobs matrix.
+    for (unsigned jobs : {1u, 2u, 4u, 8u}) {
+        ParallelOptions opts;
+        opts.jobs = jobs;
+        opts.shardEvents = 16 * 1024;
+        ParallelStats pstats;
+        SimResult par = parallelSimulate(mapped, set, opts, &pstats);
+        expectIdentical(par, seq, set, t);
+        ASSERT_TRUE(par == seq) << "jobs " << jobs;
+        EXPECT_EQ(pstats.jobs, jobs);
+    }
+}
+
+TEST_P(DifferentialWorkload, SparseSubsetSkipMatchesFullRunAndOracle)
+{
+    auto w = workload::makeWorkload(GetParam());
+    trace::Trace t = workload::runTraced(*w);
+    SessionSet set = SessionSet::enumerate(t);
+    SimResult seq = simulate(t, set);
+
+    SavedV2 saved(t);
+    trace::MappedTrace mapped(saved.path());
+
+    // Sparse subsets are where the summary skip actually fires.
+    // Counters computed under subset(keep) are positionally comparable
+    // to the full run: subset counters[i] == full counters[keep[i]].
+    std::vector<session::SessionId> every7;
+    for (session::SessionId s = 0; s < set.size(); s += 7)
+        every7.push_back(s);
+    std::vector<session::SessionId> singles = {0};
+    if (set.size() > 2)
+        singles.push_back((session::SessionId)(set.size() / 2));
+    if (set.size() > 1)
+        singles.push_back((session::SessionId)(set.size() - 1));
+
+    std::vector<std::vector<session::SessionId>> keeps = {every7};
+    for (session::SessionId s : singles)
+        keeps.push_back({s});
+
+    for (const auto &keep : keeps) {
+        SessionSet sub = set.subset(keep);
+        BlockSkipStats stats;
+        SimResult ms = simulate(mapped, sub, &stats);
+        ASSERT_EQ(ms.totalWrites, seq.totalWrites);
+        ASSERT_EQ(ms.counters.size(), keep.size());
+        for (std::size_t i = 0; i < keep.size(); ++i) {
+            ASSERT_TRUE(ms.counters[i] == seq.counters[keep[i]])
+                << set.describe(keep[i], t) << " in subset of "
+                << keep.size();
+        }
+
+        for (unsigned jobs : {1u, 2u, 4u, 8u}) {
+            ParallelOptions opts;
+            opts.jobs = jobs;
+            opts.shardEvents = 16 * 1024;
+            SimResult par = parallelSimulate(mapped, sub, opts);
+            ASSERT_TRUE(par == ms)
+                << "jobs " << jobs << " subset of " << keep.size();
+        }
+    }
+
+    // Tie one single-session subset straight to the per-session
+    // oracle, independent of simulate().
+    SessionSet one = set.subset({singles.back()});
+    SimResult ms = simulate(mapped, one);
+    SessionCounters oracle = simulateOneSession(t, set, singles.back());
+    ASSERT_TRUE(ms.counters[0] == oracle)
+        << set.describe(singles.back(), t);
 }
 
 INSTANTIATE_TEST_SUITE_P(

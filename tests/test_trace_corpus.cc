@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Stability tests for the committed v2 mini-corpus (bench/corpus/,
+ * regenerated only deliberately via tools/gen_trace_corpus). Today's
+ * reader must keep decoding yesterday's bytes: these tests pin the
+ * event counts, a content checksum, and the block shape of each
+ * committed artifact, so an accidental wire-format change fails here
+ * instead of silently orphaning saved traces.
+ *
+ * EDB_CORPUS_DIR is injected by tests/CMakeLists.txt and points at the
+ * checked-in corpus in the source tree.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "session/session.h"
+#include "sim/simulator.h"
+#include "trace/trace_io.h"
+
+namespace {
+
+using namespace edb;
+
+std::string
+corpusPath(const char *file)
+{
+    return std::string(EDB_CORPUS_DIR) + "/" + file;
+}
+
+/** FNV-1a over the fields replay consumes, in event order. */
+std::uint64_t
+eventChecksum(const trace::Trace &t)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    for (const trace::Event &e : t.events) {
+        mix(e.begin);
+        mix(e.size);
+        mix(e.aux);
+        mix((std::uint64_t)e.kind);
+    }
+    return h;
+}
+
+TEST(TraceCorpus, MixedV2DecodesWithPinnedContent)
+{
+    trace::Trace t = trace::loadTrace(corpusPath("mini_mixed.v2.trc"));
+    EXPECT_EQ(t.program, "mini_mixed");
+    EXPECT_EQ(t.events.size(), 1362u);
+    EXPECT_EQ(t.totalWrites, 1200u);
+    EXPECT_EQ(t.registry.objectCount(), 45u);
+    EXPECT_EQ(eventChecksum(t), 0x2e0f66cefa14dd9aull);
+}
+
+TEST(TraceCorpus, MixedV1DecodesEqualToV2)
+{
+    trace::Trace v1 = trace::loadTrace(corpusPath("mini_mixed.v1.trc"));
+    trace::Trace v2 = trace::loadTrace(corpusPath("mini_mixed.v2.trc"));
+    ASSERT_EQ(v1.events.size(), v2.events.size());
+    EXPECT_EQ(eventChecksum(v1), eventChecksum(v2));
+    EXPECT_EQ(v1.totalWrites, v2.totalWrites);
+    EXPECT_EQ(v1.registry.objectCount(), v2.registry.objectCount());
+    EXPECT_EQ(trace::probeTraceFormat(corpusPath("mini_mixed.v1.trc")),
+              trace::TraceFormat::V1Flat);
+}
+
+TEST(TraceCorpus, WritesV2KeepsBlockShapeAndSkipsUnderSparseSession)
+{
+    const std::string path = corpusPath("mini_writes.v2.trc");
+    trace::Trace t = trace::loadTrace(path);
+    EXPECT_EQ(t.program, "mini_writes");
+    EXPECT_EQ(t.events.size(), 3212u);
+    EXPECT_EQ(t.totalWrites, 3208u);
+    EXPECT_EQ(t.registry.objectCount(), 2u);
+    EXPECT_EQ(eventChecksum(t), 0x01969e4ff2a4f07dull);
+
+    trace::MappedTrace mapped(path);
+    EXPECT_EQ(mapped.blockCount(), 26u);
+    std::size_t pure = 0;
+    for (std::size_t b = 0; b < mapped.blockCount(); ++b)
+        pure += mapped.block(b).pureWrites() ? 1 : 0;
+    EXPECT_EQ(pure, 24u);
+
+    // The hot loop writes only the arena, so a session monitoring the
+    // small `state` global must actually exercise the skip fast path
+    // on this artifact — and stay bit-identical to the full decode.
+    session::SessionSet set = session::SessionSet::enumerate(t);
+    session::SessionId study = 0;
+    bool found = false;
+    for (const session::SessionInfo &s : set.sessions()) {
+        if (s.type == session::SessionType::OneGlobalStatic &&
+            t.registry.object(s.object).name == "state") {
+            study = s.id;
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found);
+    session::SessionSet sub = set.subset({study});
+    sim::BlockSkipStats skip;
+    sim::SimResult mapped_result = sim::simulate(mapped, sub, &skip);
+    EXPECT_GT(skip.blocksSkipped, 0u);
+    EXPECT_TRUE(mapped_result == sim::simulate(t, sub));
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Generator for the committed v2 mini-corpus (bench/corpus/).
+ *
+ * The corpus pins the on-disk EDBT containers: CI's perf-smoke job and
+ * the tier-1 corpus test decode the committed bytes, so any change to
+ * the wire format that cannot read yesterday's artifacts fails loudly
+ * instead of silently orphaning saved traces. The traces here are
+ * deterministic (fixed Rng seeds, fixed layout) — re-running this tool
+ * reproduces the corpus byte for byte; regenerate and re-commit only
+ * on a deliberate format revision, together with the expected counts
+ * in tests/test_trace_corpus.cc.
+ *
+ * Usage: gen_trace_corpus <output-dir>
+ *
+ * Writes:
+ *   mini_mixed.v2.trc   installs/removes interleaved with writes, so
+ *                       most blocks carry both column groups
+ *   mini_writes.v2.trc  long pure-write phases against few monitored
+ *                       objects — the block-skip fast path's shape
+ *   mini_mixed.v1.trc   the mixed trace in the flat v1 container, for
+ *                       probe/convert coverage
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "trace/trace_io.h"
+#include "trace/tracer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace edb;
+
+/** Call-tree churn with interleaved writes: mixed blocks. */
+trace::Trace
+mixedTrace()
+{
+    Rng rng(0xED6701);
+    trace::Tracer tracer("mini_mixed");
+    auto g = tracer.declareGlobal("table", 4096);
+    tracer.enterFunction("main");
+    for (int outer = 0; outer < 40; ++outer) {
+        tracer.enterFunction(outer % 2 ? "pack" : "scan");
+        // A re-interned local must keep its declared size, so the size
+        // is part of the name.
+        const Addr vsize = 8 + 8 * (Addr)(outer % 4);
+        auto v = tracer.declareLocal(
+            ("v" + std::to_string(vsize)).c_str(), vsize);
+        auto h = tracer.heapAlloc("node", 16 + rng.below(96));
+        for (int i = 0; i < 30; ++i) {
+            switch (rng.below(3)) {
+              case 0:
+                tracer.write(g.addr + rng.below(4088), 4,
+                             tracer.internWriteSite("scan.c:12"));
+                break;
+              case 1:
+                tracer.write(v.addr, 8,
+                             tracer.internWriteSite("scan.c:19"));
+                break;
+              default:
+                tracer.write(h.addr + rng.below(16), 4,
+                             tracer.internWriteSite("pack.c:7"));
+                break;
+            }
+        }
+        if (outer % 3 != 0)
+            tracer.heapFree(h);
+        tracer.exitFunction();
+    }
+    tracer.exitFunction();
+    return tracer.finish();
+}
+
+/** Few long-lived monitors, long write-only phases: pure blocks. */
+trace::Trace
+writesTrace()
+{
+    Rng rng(0xED6702);
+    trace::Tracer tracer("mini_writes");
+    auto state = tracer.declareGlobal("state", 256);
+    auto arena = tracer.declareGlobal("arena", 1 << 16);
+    tracer.enterFunction("main");
+    for (int phase = 0; phase < 8; ++phase) {
+        for (int i = 0; i < 400; ++i) {
+            // The hot loop stays in the arena's upper region, past
+            // any summary page `state` could share with the arena's
+            // first bytes, so pure-write blocks summarize to pages no
+            // OneGlobalStatic(state) session monitors.
+            tracer.write(arena.addr + 16384 + rng.below((1 << 16) - 16384 - 8),
+                         1 + rng.below(8),
+                         tracer.internWriteSite("loop.c:4"));
+        }
+        tracer.write(state.addr + 8 * (Addr)(phase % 16), 8,
+                     tracer.internWriteSite("loop.c:9"));
+    }
+    tracer.exitFunction();
+    return tracer.finish();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: gen_trace_corpus <output-dir>\n");
+        return 2;
+    }
+    const std::string dir = argv[1];
+
+    trace::Trace mixed = mixedTrace();
+    trace::Trace writes = writesTrace();
+
+    // Small blocks so even mini traces span many of them.
+    trace::WriteOptions v2;
+    v2.blockEvents = 128;
+    trace::WriteOptions v1;
+    v1.format = trace::TraceFormat::V1Flat;
+
+    trace::saveTrace(mixed, dir + "/mini_mixed.v2.trc", v2);
+    trace::saveTrace(writes, dir + "/mini_writes.v2.trc", v2);
+    trace::saveTrace(mixed, dir + "/mini_mixed.v1.trc", v1);
+
+    std::printf("mini_mixed:  %zu events, %llu writes, %zu objects\n",
+                mixed.events.size(),
+                (unsigned long long)mixed.totalWrites,
+                mixed.registry.objectCount());
+    std::printf("mini_writes: %zu events, %llu writes, %zu objects\n",
+                writes.events.size(),
+                (unsigned long long)writes.totalWrites,
+                writes.registry.objectCount());
+    return 0;
+}

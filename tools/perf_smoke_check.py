@@ -3,7 +3,8 @@
 
 Reads the machine-readable JSON the benchmark binaries emit
 (BENCH_micro_index.json / BENCH_micro_runtime.json in Google-benchmark
-format, BENCH_parallel.json / BENCH_sim_hot.json in the repo's shared
+format, BENCH_parallel.json / BENCH_sim_hot.json / BENCH_trace_v2.json
+in the repo's shared
 envelope: top-level `name`, `repetitions`, `meta`, `results`) and
 fails ONLY on order-of-magnitude regressions or correctness-flag
 failures. CI runners are noisy shared machines, so the ceilings below
@@ -124,6 +125,46 @@ def check_sim_hot(path):
     return rc
 
 
+def check_trace_v2(path):
+    """BENCH_trace_v2.json: bit-identity, size floors, skip floors.
+
+    The size ratio is deterministic (same encoder, same workloads), so
+    it carries the real 1.5x acceptance floor. Timing-derived numbers
+    get CI-noise headroom: the strong skip workloads measure >5x, so
+    1.1x on >=3 workloads only trips when skipping stops working, and
+    decode measures ~2000+ MB/s against a 50 MB/s floor.
+    """
+    rc, data = load_envelope(path)
+    if not data.get("identical", False):
+        rc |= fail(f"{path.name}: block-skip replay diverged from v1")
+    fast = 0
+    for row in data.get("workloads", []):
+        prog = row["program"]
+        if row["size_ratio"] < 1.5:
+            rc |= fail(
+                f"{path.name}: {prog} v2 only {row['size_ratio']}x "
+                f"smaller than v1 (floor 1.5x)"
+            )
+        if row["decode_v2_mbps"] < 50:
+            rc |= fail(
+                f"{path.name}: {prog} v2 decode {row['decode_v2_mbps']} "
+                f"MB/s below 50 MB/s floor"
+            )
+        if row["skip_speedup"] >= 1.1:
+            fast += 1
+    if fast < 3:
+        rc |= fail(
+            f"{path.name}: skip replay >= 1.1x on only {fast} workloads "
+            f"(floor 3)"
+        )
+    if rc == 0:
+        print(
+            f"  {path.name}: identical, sizes >= 1.5x, "
+            f"{fast} workload(s) >= 1.1x skip speedup"
+        )
+    return rc
+
+
 def check_obs(path):
     """OBS_*.json snapshot: the instrumented hot paths actually ran.
 
@@ -175,6 +216,7 @@ def main():
         "BENCH_micro_runtime.json": check_gbench,
         "BENCH_parallel.json": check_parallel,
         "BENCH_sim_hot.json": check_sim_hot,
+        "BENCH_trace_v2.json": check_trace_v2,
     }
     rc = 0
     found = 0
