@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Acceptance benchmark for the trace query engine's summary pushdown
+ * (DESIGN.md §12): the sparse-session query a debugger user actually
+ * asks — "every write this one monitored variable received" — end to
+ * end from the on-disk v2 artifact, against the brute-force
+ * query::scanAll reference the differential suite pins every executor
+ * to.
+ *
+ * Per paper workload, the same QuerySpec (write rows only, one sparse
+ * study session, count aggregation) runs three ways:
+ *
+ *  - scanAll over the in-memory trace: no pruning, no columns, the
+ *    oracle;
+ *  - runQuery over the MappedTrace at jobs 1: block pruning against
+ *    the page-summary runs, serial — the speedup measured here is
+ *    pushdown, not parallelism;
+ *  - runQuery at jobs 4: must stay identical (sanity, not timed for
+ *    the floor).
+ *
+ * Acceptance: every workload identical to the oracle, and the jobs-1
+ * pushdown >= 5x faster than brute force on at least 3 of the 5
+ * workloads. All times are medians of `reps` repetitions. Emits
+ * BENCH_query.json; any failure exits nonzero.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "query/query.h"
+#include "report/table.h"
+#include "session/session.h"
+#include "trace/trace_io.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace edb;
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Median-of-N wall time of `fn`, in milliseconds. */
+template <typename Fn>
+double
+medianOf(int reps, Fn &&fn)
+{
+    std::vector<double> times;
+    times.reserve((std::size_t)reps);
+    for (int i = 0; i < reps; ++i) {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        times.push_back(msSince(start));
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+/** Same sparse session bench_trace_v2 studies: the first OneLocalAuto
+ *  (the "watch this variable" case), session 0 as the fallback. */
+session::SessionId
+sparseStudySession(const session::SessionSet &set)
+{
+    for (const session::SessionInfo &s : set.sessions()) {
+        if (s.type == session::SessionType::OneLocalAuto)
+            return s.id;
+    }
+    return 0;
+}
+
+struct Row
+{
+    std::string program;
+    std::size_t events = 0;
+    std::uint64_t matches = 0;
+    double bruteMs = 0;    ///< scanAll over the in-memory trace
+    double pushdownMs = 0; ///< runQuery(MappedTrace), jobs 1
+    double speedup = 0;    ///< bruteMs / pushdownMs
+    std::uint64_t blocks = 0;
+    std::uint64_t blocksPruned = 0; ///< skipped + control-only
+    std::uint64_t writesPruned = 0;
+    std::uint64_t totalWrites = 0;
+    bool identical = false;
+};
+
+} // namespace
+
+int
+main()
+{
+    const int reps = 5;
+    bool ok = true;
+    std::vector<Row> rows;
+
+    for (auto name : workload::workloadNames()) {
+        auto w = workload::makeWorkload(name);
+        trace::Trace trace = workload::runTraced(*w);
+        session::SessionSet set =
+            session::SessionSet::enumerate(trace);
+
+        Row row;
+        row.program = std::string(name);
+        row.events = trace.events.size();
+        row.totalWrites = trace.totalWrites;
+
+        const std::string v2_path =
+            "bench_query_" + row.program + ".v2.trc";
+        trace::saveTrace(trace, v2_path);
+        trace::MappedTrace mapped(v2_path);
+        row.blocks = mapped.blockCount();
+
+        query::QuerySpec spec;
+        spec.kindMask = query::kindBit(trace::EventKind::Write);
+        spec.sessions = {sparseStudySession(set)};
+        spec.agg = query::Agg::Count;
+
+        query::QueryResult brute, pushed;
+        row.bruteMs = medianOf(
+            reps, [&] { brute = query::scanAll(trace, set, spec); });
+
+        query::QueryStats stats;
+        query::QueryOptions serial;
+        serial.jobs = 1;
+        row.pushdownMs = medianOf(reps, [&] {
+            pushed = query::runQuery(mapped, set, spec, serial, &stats);
+        });
+        row.speedup = row.bruteMs / row.pushdownMs;
+        row.matches = pushed.matches;
+        row.blocksPruned = stats.blocksSkipped + stats.blocksControlOnly;
+        row.writesPruned = stats.writesPruned;
+
+        // Identity against the oracle, serial and threaded.
+        query::QueryOptions threaded;
+        threaded.jobs = 4;
+        row.identical =
+            pushed == brute &&
+            query::runQuery(mapped, set, spec, threaded) == brute;
+        if (!row.identical) {
+            std::fprintf(stderr,
+                         "FAIL: '%s' pushdown result diverges from "
+                         "scanAll\n",
+                         row.program.c_str());
+            ok = false;
+        }
+
+        std::remove(v2_path.c_str());
+        rows.push_back(std::move(row));
+    }
+
+    int fast_enough = 0;
+    for (const auto &r : rows)
+        fast_enough += r.speedup >= 5.0 ? 1 : 0;
+    if (fast_enough < 3) {
+        std::fprintf(stderr,
+                     "FAIL: pushdown >= 5x brute force on only %d of "
+                     "%zu workloads (acceptance floor 3)\n",
+                     fast_enough, rows.size());
+        ok = false;
+    }
+
+    report::TextTable table;
+    table.header({"Program", "Events", "Matches", "Brute (ms)",
+                  "Pushdown (ms)", "Speedup", "Pruned", "Identical"});
+    for (const auto &r : rows) {
+        table.row({r.program, std::to_string(r.events),
+                   std::to_string(r.matches),
+                   report::fmt(r.bruteMs, 2),
+                   report::fmt(r.pushdownMs, 2),
+                   report::fmt(r.speedup, 2) + "x",
+                   std::to_string(r.blocksPruned) + "/" +
+                       std::to_string(r.blocks),
+                   r.identical ? "yes" : "NO"});
+    }
+    std::printf("Sparse-session query, pushdown vs scanAll, median of "
+                "%d:\n%s(Pruned = blocks whose write columns never "
+                "decoded; both sides answer the same QuerySpec)\n\n",
+                reps, table.render().c_str());
+
+    // ---- JSON (shared BENCH_*.json envelope, bench_json.h).
+    edb::benchhygiene::BenchJsonWriter writer("BENCH_query.json",
+                                              "query", reps);
+    if (!writer.ok())
+        return 1;
+    std::FILE *json = writer.file();
+    std::fprintf(json,
+                 "{\n"
+                 "    \"identical\": %s,\n"
+                 "    \"speedup_5x_count\": %d,\n"
+                 "    \"workloads\": [\n",
+                 ok ? "true" : "false", fast_enough);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        std::fprintf(
+            json,
+            "      {\"program\": \"%s\", \"events\": %zu, "
+            "\"matches\": %llu, "
+            "\"brute_ms\": %.3f, \"pushdown_ms\": %.3f, "
+            "\"speedup\": %.3f, \"blocks\": %llu, "
+            "\"blocks_pruned\": %llu, \"writes_pruned\": %llu, "
+            "\"total_writes\": %llu, \"identical\": %s}%s\n",
+            r.program.c_str(), r.events,
+            (unsigned long long)r.matches, r.bruteMs, r.pushdownMs,
+            r.speedup, (unsigned long long)r.blocks,
+            (unsigned long long)r.blocksPruned,
+            (unsigned long long)r.writesPruned,
+            (unsigned long long)r.totalWrites,
+            r.identical ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "    ]\n  }");
+    writer.close();
+    std::printf("Wrote BENCH_query.json (%d/%zu workloads >= 5x "
+                "pushdown speedup)\n",
+                fast_enough, rows.size());
+    return ok ? 0 : 1;
+}

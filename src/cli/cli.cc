@@ -6,6 +6,7 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -16,8 +17,10 @@
 #include "calib/calibrate.h"
 #include "model/models.h"
 #include "obs/obs.h"
+#include "query/query.h"
 #include "report/study.h"
 #include "report/table.h"
+#include "session/session.h"
 #include "sim/parallel_sim.h"
 #include "trace/trace_io.h"
 #include "util/thread_pool.h"
@@ -95,10 +98,40 @@ usage()
            "feasible strategy per session\n"
            "                               (adaptive vs fixed "
            "aggregate + top-N detail, default 20)\n"
+           "  query <trace.trc> [opts]     count/aggregate events "
+           "matching predicates, pruning\n"
+           "                               v2 blocks via the page "
+           "summaries (v1 works, unpruned)\n"
+           "\n"
+           "query options:\n"
+           "  --kind K           install|remove|write (repeatable; "
+           "default: all kinds)\n"
+           "  --addr B:E         match events touching byte range "
+           "[B, E) (repeatable; 0x ok)\n"
+           "  --session SUBSTR   restrict to sessions whose "
+           "description contains SUBSTR\n"
+           "                     (repeatable; writes match via live "
+           "monitored objects)\n"
+           "  --aux N            match events whose aux word is N: "
+           "object id for\n"
+           "                     install/remove, write-site id for "
+           "writes (repeatable)\n"
+           "  --index B:E        global event-index window [B, E)\n"
+           "  --min-size N       least event size in bytes "
+           "(default 0)\n"
+           "  --max-size N       greatest event size in bytes\n"
+           "  --agg A            count|by-page|by-session|top-pages|"
+           "first|last|rows\n"
+           "                     (default count)\n"
+           "  --k N              pages reported by top-pages "
+           "(default 10)\n"
+           "  --limit N          rows materialized by rows "
+           "(default 100)\n"
+           "  --format F         table|json (default table)\n"
            "\n"
            "options:\n"
-           "  --jobs N, -j N     phase-2 simulation worker threads "
-           "(sessions/analyze/session/advise);\n"
+           "  --jobs N, -j N     phase-2 worker threads "
+           "(sessions/analyze/session/advise/query);\n"
            "                     0 = one per hardware thread, "
            "default 1\n"
            "  --obs-json PATH    write an edb::obs counter/histogram "
@@ -445,6 +478,384 @@ cmdAdvise(const std::string &path, std::size_t top, std::ostream &out,
     return 0;
 }
 
+namespace {
+
+/** Parse an unsigned integer (base 10 or 0x hex); rejects signs,
+ *  trailing junk and overflow. */
+bool
+parseU64(const std::string &s, std::uint64_t *out)
+{
+    if (s.empty() || s[0] == '-' || s[0] == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0' || errno == ERANGE)
+        return false;
+    *out = (std::uint64_t)v;
+    return true;
+}
+
+/** Parse "B:E" into two unsigned integers. */
+bool
+parseU64Range(const std::string &s, std::uint64_t *b,
+              std::uint64_t *e)
+{
+    const std::size_t colon = s.find(':');
+    if (colon == std::string::npos)
+        return false;
+    return parseU64(s.substr(0, colon), b) &&
+           parseU64(s.substr(colon + 1), e);
+}
+
+const char *
+eventKindName(trace::EventKind kind)
+{
+    switch (kind) {
+    case trace::EventKind::InstallMonitor:
+        return "install";
+    case trace::EventKind::RemoveMonitor:
+        return "remove";
+    case trace::EventKind::Write:
+        return "write";
+    }
+    return "?";
+}
+
+/** Minimal JSON string escaping (quotes, backslash, control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if ((unsigned char)c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", (unsigned)c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+fmtHex(Addr a)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%llx", (unsigned long long)a);
+    return buf;
+}
+
+/**
+ * Resolve --session substrings against the enumerated sessions (the
+ * describe() text, as `sessions` and `session` print it). Every
+ * matching session is selected, deduplicated in first-seen order.
+ * Returns false (after reporting) when a substring matches nothing.
+ */
+bool
+resolveSessionNeedles(const session::SessionSet &sessions,
+                      const trace::Trace &trace,
+                      const std::vector<std::string> &needles,
+                      std::vector<session::SessionId> *selected,
+                      std::ostream &err)
+{
+    for (const std::string &needle : needles) {
+        bool any = false;
+        for (session::SessionId id = 0; id < sessions.size(); ++id) {
+            if (sessions.describe(id, trace).find(needle) ==
+                std::string::npos) {
+                continue;
+            }
+            any = true;
+            if (std::find(selected->begin(), selected->end(), id) ==
+                selected->end()) {
+                selected->push_back(id);
+            }
+        }
+        if (!any) {
+            err << "error: no session matches '" << needle << "'\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Everything the renderers need, whichever executor produced it. */
+struct QueryRun
+{
+    query::QueryResult result;
+    query::QueryStats stats;
+    std::string program;
+    /** describe() of each spec.sessions entry, positionally. */
+    std::vector<std::string> sessionDescs;
+    bool pushdown = false; ///< v2 mapped path (stats meaningful)
+};
+
+void
+renderQueryTable(const query::QuerySpec &spec, const QueryRun &run,
+                 std::ostream &out)
+{
+    out << "program: " << run.program << "\n"
+        << "matches: " << run.result.matches << " (agg "
+        << query::aggName(spec.agg) << ")\n";
+    if (run.pushdown) {
+        const auto &st = run.stats;
+        out << "blocks:  " << st.blocksTotal << " total, "
+            << st.blocksFull << " full, " << st.blocksControlOnly
+            << " control-only, " << st.blocksSkipped << " skipped; "
+            << st.writesPruned << " writes pruned (jobs " << st.jobs
+            << ")\n";
+    } else {
+        out << "blocks:  v1 flat trace (no pushdown)\n";
+    }
+
+    if (spec.agg == query::Agg::CountByPage ||
+        spec.agg == query::Agg::TopPages) {
+        report::TextTable table;
+        table.header({"Page", "First byte", "Matches"});
+        for (const query::PageCount &pc : run.result.pages) {
+            table.row({std::to_string(pc.page),
+                       fmtHex(pc.page << sim::summaryPageShift),
+                       report::fmtCount(pc.count)});
+        }
+        out << table.render();
+    } else if (spec.agg == query::Agg::CountBySession) {
+        report::TextTable table;
+        table.header({"Matches", "Session"});
+        for (std::size_t i = 0; i < run.result.sessionCounts.size();
+             ++i) {
+            table.row({report::fmtCount(run.result.sessionCounts[i]),
+                       run.sessionDescs[i]});
+        }
+        out << table.render();
+    } else if (spec.agg != query::Agg::Count) {
+        report::TextTable table;
+        table.header({"Index", "Kind", "Begin", "Size", "Aux"});
+        for (const query::MatchedRow &row : run.result.rows) {
+            table.row({std::to_string(row.index),
+                       eventKindName(row.event.kind),
+                       fmtHex(row.event.begin),
+                       std::to_string(row.event.size),
+                       std::to_string(row.event.aux)});
+        }
+        out << table.render();
+    }
+}
+
+void
+renderQueryJson(const query::QuerySpec &spec, const QueryRun &run,
+                std::ostream &out)
+{
+    const auto &st = run.stats;
+    out << "{\"schema\":\"edb-query-v1\""
+        << ",\"program\":\"" << jsonEscape(run.program) << "\""
+        << ",\"agg\":\"" << query::aggName(spec.agg) << "\""
+        << ",\"matches\":" << run.result.matches
+        << ",\"blocks\":{\"total\":" << st.blocksTotal
+        << ",\"full\":" << st.blocksFull
+        << ",\"control_only\":" << st.blocksControlOnly
+        << ",\"skipped\":" << st.blocksSkipped
+        << ",\"writes_pruned\":" << st.writesPruned
+        << ",\"jobs\":" << st.jobs << "}";
+    if (spec.agg == query::Agg::CountByPage ||
+        spec.agg == query::Agg::TopPages) {
+        out << ",\"pages\":[";
+        for (std::size_t i = 0; i < run.result.pages.size(); ++i) {
+            if (i)
+                out << ",";
+            out << "{\"page\":" << run.result.pages[i].page
+                << ",\"count\":" << run.result.pages[i].count << "}";
+        }
+        out << "]";
+    } else if (spec.agg == query::Agg::CountBySession) {
+        out << ",\"sessions\":[";
+        for (std::size_t i = 0; i < run.result.sessionCounts.size();
+             ++i) {
+            if (i)
+                out << ",";
+            out << "{\"session\":" << spec.sessions[i]
+                << ",\"description\":\""
+                << jsonEscape(run.sessionDescs[i])
+                << "\",\"count\":" << run.result.sessionCounts[i]
+                << "}";
+        }
+        out << "]";
+    } else if (spec.agg != query::Agg::Count) {
+        out << ",\"rows\":[";
+        for (std::size_t i = 0; i < run.result.rows.size(); ++i) {
+            const query::MatchedRow &row = run.result.rows[i];
+            if (i)
+                out << ",";
+            out << "{\"index\":" << row.index << ",\"kind\":\""
+                << eventKindName(row.event.kind)
+                << "\",\"begin\":" << row.event.begin
+                << ",\"size\":" << row.event.size
+                << ",\"aux\":" << row.event.aux << "}";
+        }
+        out << "]";
+    }
+    out << "}\n";
+}
+
+} // namespace
+
+int
+cmdQuery(const std::string &path, const std::vector<std::string> &opts,
+         std::ostream &out, std::ostream &err, unsigned jobs)
+{
+    query::QuerySpec spec;
+    std::vector<std::string> needles;
+    std::string format = "table";
+    std::uint32_t kind_mask = 0;
+
+    const auto usageError = [&err](const std::string &msg) {
+        err << "error: " << msg << "\n" << usage();
+        return 2;
+    };
+    for (std::size_t i = 0; i < opts.size(); ++i) {
+        const std::string &o = opts[i];
+        if (i + 1 == opts.size())
+            return usageError(o + " needs a value");
+        const std::string &v = opts[++i];
+        std::uint64_t a = 0;
+        std::uint64_t b = 0;
+        if (o == "--kind") {
+            if (v == "install") {
+                kind_mask |= query::kindBit(
+                    trace::EventKind::InstallMonitor);
+            } else if (v == "remove") {
+                kind_mask |=
+                    query::kindBit(trace::EventKind::RemoveMonitor);
+            } else if (v == "write") {
+                kind_mask |= query::kindBit(trace::EventKind::Write);
+            } else {
+                return usageError("unknown event kind '" + v +
+                                  "' (install|remove|write)");
+            }
+        } else if (o == "--addr") {
+            if (!parseU64Range(v, &a, &b) || a >= b) {
+                return usageError("invalid address range '" + v +
+                                  "' (expected BEGIN:END with "
+                                  "BEGIN < END)");
+            }
+            spec.addrRanges.push_back(AddrRange{a, b});
+        } else if (o == "--session") {
+            needles.push_back(v);
+        } else if (o == "--aux") {
+            if (!parseU64(v, &a) || a > 0xffffffffull)
+                return usageError("invalid aux value '" + v + "'");
+            spec.auxAny.push_back((std::uint32_t)a);
+        } else if (o == "--index") {
+            if (!parseU64Range(v, &a, &b) || a >= b) {
+                return usageError("invalid index window '" + v +
+                                  "' (expected BEGIN:END with "
+                                  "BEGIN < END)");
+            }
+            spec.firstIndex = a;
+            spec.lastIndex = b;
+        } else if (o == "--min-size") {
+            if (!parseU64(v, &a) || a > 0xffffffffull)
+                return usageError("invalid size '" + v + "'");
+            spec.minSize = (std::uint32_t)a;
+        } else if (o == "--max-size") {
+            if (!parseU64(v, &a) || a > 0xffffffffull)
+                return usageError("invalid size '" + v + "'");
+            spec.maxSize = (std::uint32_t)a;
+        } else if (o == "--agg") {
+            bool known = false;
+            for (query::Agg agg :
+                 {query::Agg::Count, query::Agg::CountByPage,
+                  query::Agg::CountBySession, query::Agg::TopPages,
+                  query::Agg::First, query::Agg::Last,
+                  query::Agg::Rows}) {
+                if (v == query::aggName(agg)) {
+                    spec.agg = agg;
+                    known = true;
+                    break;
+                }
+            }
+            if (!known)
+                return usageError("unknown aggregation '" + v + "'");
+        } else if (o == "--k") {
+            if (!parseU64(v, &a) || a == 0)
+                return usageError("invalid top-pages count '" + v +
+                                  "'");
+            spec.k = (std::size_t)a;
+        } else if (o == "--limit") {
+            if (!parseU64(v, &a))
+                return usageError("invalid row limit '" + v + "'");
+            spec.rowLimit = (std::size_t)a;
+        } else if (o == "--format") {
+            if (v != "table" && v != "json")
+                return usageError("unknown output format '" + v +
+                                  "' (table|json)");
+            format = v;
+        } else {
+            return usageError("unknown query option '" + o + "'");
+        }
+    }
+    if (kind_mask != 0)
+        spec.kindMask = kind_mask;
+
+    QueryRun run;
+    if (trace::probeTraceFormat(path) ==
+        trace::TraceFormat::V2Blocked) {
+        // Pushdown path: plan against the mapped block index without
+        // materializing the events. Sessions enumerate from the
+        // header's registry alone; describe() needs only a registry
+        // shim.
+        trace::MappedTrace mapped(path);
+        auto sessions =
+            session::SessionSet::enumerate(mapped.registry());
+        trace::Trace shim;
+        shim.program = mapped.program();
+        shim.registry = mapped.registry();
+        if (!resolveSessionNeedles(sessions, shim, needles,
+                                   &spec.sessions, err)) {
+            return 1;
+        }
+        const std::string problem =
+            query::validateSpec(spec, sessions.size());
+        if (!problem.empty())
+            return usageError("invalid query: " + problem);
+        query::QueryOptions qopts;
+        qopts.jobs = jobs;
+        run.result = query::runQuery(mapped, sessions, spec, qopts,
+                                     &run.stats);
+        run.program = mapped.program();
+        run.pushdown = true;
+        for (session::SessionId id : spec.sessions)
+            run.sessionDescs.push_back(sessions.describe(id, shim));
+    } else {
+        trace::Trace trace = trace::loadTrace(path);
+        auto sessions = session::SessionSet::enumerate(trace);
+        if (!resolveSessionNeedles(sessions, trace, needles,
+                                   &spec.sessions, err)) {
+            return 1;
+        }
+        const std::string problem =
+            query::validateSpec(spec, sessions.size());
+        if (!problem.empty())
+            return usageError("invalid query: " + problem);
+        run.result = query::runQuery(trace, sessions, spec);
+        run.program = trace.program;
+        run.stats.jobs = 1;
+        for (session::SessionId id : spec.sessions)
+            run.sessionDescs.push_back(sessions.describe(id, trace));
+    }
+
+    if (format == "json")
+        renderQueryJson(spec, run, out);
+    else
+        renderQueryTable(spec, run, out);
+    return 0;
+}
+
 int
 run(const std::vector<std::string> &args, std::ostream &out,
     std::ostream &err)
@@ -547,6 +958,11 @@ run(const std::vector<std::string> &args, std::ostream &out,
                                        rest[2].c_str(), nullptr, 10)
                                  : 20;
             rc = cmdAdvise(rest[1], top ? top : 20, out, jobs);
+        } else if (cmd == "query" && rest.size() >= 2) {
+            rc = cmdQuery(rest[1],
+                          std::vector<std::string>(rest.begin() + 2,
+                                                   rest.end()),
+                          out, err, jobs);
         } else {
             dispatched = false;
         }

@@ -12,11 +12,13 @@
  *   edb-trace analyze <trace.trc>            phase 2: Table-4 statistics
  *   edb-trace session <trace.trc> <substr>   dissect one session
  *   edb-trace advise <trace.trc> [N]         per-session strategy advice
+ *   edb-trace query <trace.trc> [opts]       aggregate matching events
  *
  * `analyze`, `session` and `advise` honor EDB_PROFILE=host like the
  * bench binaries. The phase-2 commands (sessions/analyze/session/
- * advise) accept a global `--jobs N` (or `-j N`) flag selecting the
- * sharded parallel simulator; `--jobs 0` means "one worker per
+ * advise/query) accept a global `--jobs N` (or `-j N`) flag selecting
+ * the sharded parallel simulator (for `query`, the pushdown
+ * executor's worker count); `--jobs 0` means "one worker per
  * hardware thread". Phase-1 commands (record/info/convert) reject
  * --jobs.
  * `--help`/`-h` prints usage to stdout and exits 0.
@@ -59,6 +61,9 @@ int cmdSession(const std::string &path, const std::string &needle,
                unsigned jobs = 1);
 int cmdAdvise(const std::string &path, std::size_t top,
               std::ostream &out, unsigned jobs = 1);
+int cmdQuery(const std::string &path,
+             const std::vector<std::string> &opts, std::ostream &out,
+             std::ostream &err, unsigned jobs = 1);
 /// @}
 
 /** The usage text. */

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * The pushdown query executor over mapped v2 traces.
+ *
+ * The dispatcher walks the block index in stream order and judges,
+ * per block, whether any write row could possibly match — against
+ * the event-index window, the spec's address ranges vs the block's
+ * 8 KiB page-summary runs, and (when sessions are selected) the
+ * monitored-summary-page set maintained via sim::SummaryPageTracker,
+ * exactly the §11 replay relevance logic (DESIGN.md §12 argues the
+ * soundness). Blocks whose writes cannot match are never fully
+ * decoded: their control rows are evaluated straight off the control
+ * columns at their exact stream positions, and pure-write blocks are
+ * skipped without touching a payload byte. Surviving blocks fan out
+ * to a thread pool; workers decode independently from the mapping
+ * and evaluate against the dispatcher's boundary snapshot of
+ * selected live objects, so results are bit-identical to the serial
+ * in-memory pass.
+ */
+
+#include <vector>
+
+#include "obs/obs.h"
+#include "query/eval.h"
+#include "query/query.h"
+#include "util/thread_pool.h"
+
+namespace edb::query {
+
+#if EDB_OBS_ENABLED
+namespace {
+obs::Counter obsRuns{"query.runs"};
+/** Blocks whose write columns were never decoded. */
+obs::Counter obsBlocksPruned{"query.blocks_pruned"};
+/** Blocks fully decoded and handed to workers. */
+obs::Counter obsBlocksDecoded{"query.blocks_decoded"};
+/** Write events pruned without decoding. */
+obs::Counter obsWritesPruned{"query.writes_pruned"};
+/** Rows matched across all queries. */
+obs::Counter obsRows{"query.rows"};
+} // namespace
+#endif
+
+namespace {
+
+using detail::Evaluator;
+using detail::LiveSel;
+using detail::Partial;
+using detail::SessionFilter;
+using trace::Event;
+using trace::MappedTrace;
+using trace::ObjectId;
+
+/** begin -> (end, object) of live selected objects, dispatcher side. */
+using LiveMap = std::map<Addr, std::pair<Addr, ObjectId>>;
+
+/**
+ * Apply one control event to the dispatcher's live map and summary
+ * tracker, tolerantly, keeping the tracker an exact multiset of the
+ * map's ranges (stored ranges are removed, never the event's own, so
+ * the tracker can never underflow on a hostile stream).
+ */
+void
+applyState(const Event &e, const SessionFilter &filter, LiveMap &live,
+           sim::SummaryPageTracker &tracker)
+{
+    if (e.kind == trace::EventKind::InstallMonitor) {
+        if (e.size == 0 || !filter.selected((ObjectId)e.aux))
+            return;
+        const Addr end = e.begin + e.size;
+        auto [it, inserted] = live.try_emplace(
+            e.begin, std::make_pair(end, (ObjectId)e.aux));
+        if (!inserted) {
+            tracker.remove(AddrRange{it->first, it->second.first});
+            it->second = {end, (ObjectId)e.aux};
+        }
+        tracker.add(AddrRange{e.begin, end});
+    } else if (e.kind == trace::EventKind::RemoveMonitor) {
+        auto it = live.find(e.begin);
+        if (it != live.end() && it->second.second == e.aux) {
+            tracker.remove(AddrRange{it->first, it->second.first});
+            live.erase(it);
+        }
+    }
+}
+
+} // namespace
+
+QueryResult
+runQuery(const trace::MappedTrace &trace,
+         const session::SessionSet &sessions, const QuerySpec &spec,
+         const QueryOptions &options, QueryStats *stats)
+{
+    const std::string problem = validateSpec(spec, sessions.size());
+    if (!problem.empty())
+        throw QueryError("invalid query: " + problem);
+
+    EDB_OBS_SPAN("query.run");
+    EDB_OBS_INC(obsRuns);
+
+    const SessionFilter filter(sessions, spec);
+    const bool wantsWrites =
+        (spec.kindMask & detail::writeKindBit) != 0;
+    const bool wantsControls =
+        (spec.kindMask & detail::controlKindBits) != 0;
+    const bool addrFilter = !spec.addrRanges.empty();
+    const unsigned jobs = options.jobs < 1 ? 1 : options.jobs;
+
+    const std::size_t nblocks = trace.blockCount();
+    QueryStats local;
+    local.blocksTotal = nblocks;
+    local.jobs = jobs;
+    local.actions.resize(nblocks, BlockAction::Skipped);
+
+    std::vector<Partial> parts(nblocks);
+    std::vector<Event> ctlbuf(trace.largestBlockEvents());
+    std::vector<std::uint32_t> posbuf(trace.largestBlockEvents());
+    LiveMap running;
+    sim::SummaryPageTracker tracker;
+    ThreadPool pool(jobs, jobs);
+
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        const MappedTrace::Block &blk = trace.block(b);
+        const std::size_t ctl = (std::size_t)blk.controls();
+        const std::uint64_t blockFirst = blk.firstEvent;
+        const bool inWindow =
+            blockFirst < spec.lastIndex &&
+            blockFirst + blk.events > spec.firstIndex;
+
+        // Can any write row of this block match? Judged against the
+        // monitored set *before* this block's own installs advance
+        // it, with the block's installs probed as the last resort —
+        // the same discipline as the replay fast path.
+        bool writesMayMatch =
+            wantsWrites && blk.writes > 0 && inWindow;
+        if (writesMayMatch && addrFilter) {
+            bool touches = false;
+            for (const AddrRange &r : spec.addrRanges) {
+                if (sim::rangeTouchesRuns(r, blk.runs.begin(),
+                                          blk.runs.size())) {
+                    touches = true;
+                    break;
+                }
+            }
+            writesMayMatch = touches;
+        }
+        bool haveCtl = false;
+        if (writesMayMatch && filter.active() &&
+            !tracker.anyMonitored(blk.runs.begin(),
+                                  blk.runs.size())) {
+            if (ctl > 0) {
+                trace.decodeBlockControl(b, ctlbuf.data(),
+                                         posbuf.data());
+                haveCtl = true;
+                writesMayMatch = sim::anyInstallTouchesRuns(
+                    ctlbuf.data(), ctl, blk.runs.begin(),
+                    blk.runs.size(), [&](ObjectId obj) {
+                        return filter.selected(obj);
+                    });
+            } else {
+                writesMayMatch = false;
+            }
+        }
+
+        if (writesMayMatch) {
+            local.actions[b] = BlockAction::Full;
+            ++local.blocksFull;
+            EDB_OBS_INC(obsBlocksDecoded);
+
+            std::vector<LiveSel> snap;
+            if (filter.active()) {
+                snap.reserve(running.size());
+                for (const auto &[begin, val] : running)
+                    snap.push_back({begin, val.first, val.second});
+            }
+            Partial *out = &parts[b];
+            const std::uint64_t events = blk.events;
+            // Workers decode their own block straight from the
+            // mapping; only the id and the snapshot cross over.
+            pool.submit([b, events, blockFirst, out,
+                         snap = std::move(snap), &trace, &spec,
+                         &filter] {
+                std::vector<Event> buf((std::size_t)events);
+                trace.decodeBlock(b, buf.data());
+                Evaluator eval(spec, filter, *out);
+                eval.seed(snap.data(), snap.size());
+                for (std::size_t j = 0; j < (std::size_t)events;
+                     ++j) {
+                    eval.row(blockFirst + j, buf[j]);
+                    if (buf[j].kind != trace::EventKind::Write)
+                        eval.state(buf[j]);
+                }
+            });
+        } else {
+            local.writesPruned += blk.writes;
+            EDB_OBS_ADD(obsWritesPruned, blk.writes);
+            const bool evalCtlRows =
+                wantsControls && inWindow && ctl > 0;
+            const bool needCtl =
+                evalCtlRows || (filter.active() && ctl > 0);
+            if (needCtl && !haveCtl) {
+                trace.decodeBlockControl(b, ctlbuf.data(),
+                                         posbuf.data());
+                haveCtl = true;
+            }
+            if (evalCtlRows) {
+                // Control rows need only session membership, not
+                // live state: evaluate them right here at their
+                // exact stream positions.
+                Evaluator eval(spec, filter, parts[b]);
+                for (std::size_t k = 0; k < ctl; ++k)
+                    eval.row(blockFirst + posbuf[k], ctlbuf[k]);
+            }
+            if (haveCtl) {
+                local.actions[b] = BlockAction::ControlOnly;
+                ++local.blocksControlOnly;
+            } else {
+                local.actions[b] = BlockAction::Skipped;
+                ++local.blocksSkipped;
+            }
+            EDB_OBS_INC(obsBlocksPruned);
+        }
+
+        // Advance the dispatcher's selected live state past this
+        // block (workers saw the pre-block snapshot).
+        if (filter.active() && ctl > 0) {
+            if (!haveCtl) {
+                trace.decodeBlockControl(b, ctlbuf.data(),
+                                         posbuf.data());
+            }
+            for (std::size_t k = 0; k < ctl; ++k)
+                applyState(ctlbuf[k], filter, running, tracker);
+        }
+    }
+    pool.wait(); // rethrows the first worker decode/eval error
+
+    QueryResult result = detail::finalizeParts(
+        spec, parts.data(), parts.size());
+    EDB_OBS_ADD(obsRows, result.matches);
+    if (stats)
+        *stats = std::move(local);
+    return result;
+}
+
+} // namespace edb::query

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The brute-force reference executor.
+ *
+ * Everything here is the simplest thing that could work: a vector of
+ * live monitors searched linearly, std::map/std::set aggregation,
+ * one pass, no sharing with the optimized executors (they funnel
+ * through query/eval.h; this file deliberately does not include it).
+ * Its value is being obviously correct — the differential harness
+ * pins every optimized path against it, so resist optimizing it.
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "query/query.h"
+
+namespace edb::query {
+
+namespace {
+
+/** One live monitored object range. */
+struct Live
+{
+    Addr begin;
+    Addr end;
+    trace::ObjectId obj;
+};
+
+/** Does [b, e) overlap [r.begin, r.end)? Spelled out rather than via
+ *  AddrRange so the reference shares no predicate code. */
+bool
+overlaps(Addr b, Addr e, Addr rb, Addr re)
+{
+    return b < re && rb < e;
+}
+
+} // namespace
+
+QueryResult
+scanAll(const trace::Trace &trace,
+        const session::SessionSet &sessions, const QuerySpec &spec)
+{
+    const std::string problem = validateSpec(spec, sessions.size());
+    if (!problem.empty())
+        throw QueryError("invalid query: " + problem);
+
+    QueryResult result;
+    if (spec.agg == Agg::CountBySession)
+        result.sessionCounts.assign(spec.sessions.size(), 0);
+    std::map<Addr, std::uint64_t> pages;
+
+    std::vector<Live> live;
+    for (std::size_t i = 0; i < trace.events.size(); ++i) {
+        const trace::Event &e = trace.events[i];
+
+        // Judge the row against the pre-event live state.
+        bool match = (spec.kindMask & kindBit(e.kind)) != 0;
+        if ((std::uint64_t)i < spec.firstIndex ||
+            (std::uint64_t)i >= spec.lastIndex) {
+            match = false;
+        }
+        if (e.size < spec.minSize || e.size > spec.maxSize)
+            match = false;
+        if (match && !spec.auxAny.empty()) {
+            match = std::find(spec.auxAny.begin(),
+                              spec.auxAny.end(),
+                              e.aux) != spec.auxAny.end();
+        }
+        if (match && !spec.addrRanges.empty()) {
+            bool hit = false;
+            for (const AddrRange &r : spec.addrRanges) {
+                if (e.size > 0 && overlaps(e.begin, e.begin + e.size,
+                                           r.begin, r.end)) {
+                    hit = true;
+                }
+            }
+            match = hit;
+        }
+
+        // Session attribution, against spec.sessions positions.
+        std::set<std::uint32_t> matchedPos;
+        if (match && !spec.sessions.empty()) {
+            std::set<session::SessionId> rowSessions;
+            if (e.kind == trace::EventKind::Write) {
+                for (const Live &l : live) {
+                    if (e.size > 0 && overlaps(e.begin,
+                                               e.begin + e.size,
+                                               l.begin, l.end)) {
+                        for (session::SessionId s :
+                             sessions.sessionsOf(l.obj))
+                            rowSessions.insert(s);
+                    }
+                }
+            } else if ((std::size_t)e.aux <
+                       sessions.objectCount()) {
+                for (session::SessionId s :
+                     sessions.sessionsOf((trace::ObjectId)e.aux))
+                    rowSessions.insert(s);
+            }
+            for (std::size_t p = 0; p < spec.sessions.size(); ++p) {
+                if (rowSessions.count(spec.sessions[p]))
+                    matchedPos.insert((std::uint32_t)p);
+            }
+            match = !matchedPos.empty();
+        }
+
+        if (match) {
+            ++result.matches;
+            switch (spec.agg) {
+            case Agg::Count:
+                break;
+            case Agg::CountByPage:
+            case Agg::TopPages: {
+                const Addr lastByte =
+                    e.begin + (e.size ? e.size - 1 : 0);
+                for (Addr p = e.begin >> sim::summaryPageShift;
+                     p <= (lastByte >> sim::summaryPageShift); ++p)
+                    ++pages[p];
+                break;
+            }
+            case Agg::CountBySession:
+                for (std::uint32_t p : matchedPos)
+                    ++result.sessionCounts[p];
+                break;
+            case Agg::First:
+                if (result.rows.empty())
+                    result.rows.push_back({(std::uint64_t)i, e});
+                break;
+            case Agg::Last:
+                result.rows.assign(
+                    1, MatchedRow{(std::uint64_t)i, e});
+                break;
+            case Agg::Rows:
+                if (result.rows.size() < spec.rowLimit)
+                    result.rows.push_back({(std::uint64_t)i, e});
+                break;
+            }
+        }
+
+        // Then apply its state change, tolerantly.
+        if (e.kind == trace::EventKind::InstallMonitor) {
+            if (e.size > 0) {
+                bool replaced = false;
+                for (Live &l : live) {
+                    if (l.begin == e.begin) {
+                        l.end = e.begin + e.size;
+                        l.obj = (trace::ObjectId)e.aux;
+                        replaced = true;
+                        break;
+                    }
+                }
+                if (!replaced) {
+                    live.push_back({e.begin, e.begin + e.size,
+                                    (trace::ObjectId)e.aux});
+                }
+            }
+        } else if (e.kind == trace::EventKind::RemoveMonitor) {
+            for (std::size_t l = 0; l < live.size(); ++l) {
+                if (live[l].begin == e.begin &&
+                    live[l].obj == e.aux) {
+                    live.erase(live.begin() + (std::ptrdiff_t)l);
+                    break;
+                }
+            }
+        }
+    }
+
+    if (spec.agg == Agg::CountByPage) {
+        for (const auto &[page, count] : pages)
+            result.pages.push_back({page, count});
+    } else if (spec.agg == Agg::TopPages) {
+        for (const auto &[page, count] : pages)
+            result.pages.push_back({page, count});
+        std::sort(result.pages.begin(), result.pages.end(),
+                  [](const PageCount &a, const PageCount &b) {
+                      if (a.count != b.count)
+                          return a.count > b.count;
+                      return a.page < b.page;
+                  });
+        if (result.pages.size() > spec.k)
+            result.pages.resize(spec.k);
+    }
+    return result;
+}
+
+} // namespace edb::query

@@ -24,9 +24,9 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "sim/relevance.h"
 #include "sim/replay_core.h"
 #include "trace/trace_format.h"
-#include "util/flat_map.h"
 #include "util/thread_pool.h"
 
 namespace edb::sim {
@@ -106,9 +106,9 @@ advanceLiveState(LiveMap &live, const Event *events, std::size_t n)
 
 /**
  * The dispatcher-side twin of ReplayEngine's summary-page refcounts
- * (replay_core.h skipPagesAdd/Remove): summary page -> number of
- * *session-relevant* monitored objects touching it, maintained in
- * stream order as blocks are dispatched. The parallel front end skips
+ * (the shared sim::SummaryPageTracker of relevance.h): summary page ->
+ * number of *session-relevant* monitored objects touching it,
+ * maintained in stream order as blocks are dispatched. The parallel front end skips
  * a pure-write block exactly when the sequential engine would — the
  * live set at a block's position is a pure function of the preceding
  * install/remove events, which the dispatcher consumes in order.
@@ -131,21 +131,10 @@ class SkipPageMap
                 continue;
             if (sessions_.sessionsOf(e.aux).empty())
                 continue;
-            const AddrRange r = e.range();
-            const Addr first = r.begin >> shift;
-            const Addr last = (r.end - 1) >> shift;
-            if (e.kind == EventKind::InstallMonitor) {
-                for (Addr p = first; p <= last; ++p)
-                    ++*pages_.try_emplace(p).first;
-            } else {
-                for (Addr p = first; p <= last; ++p) {
-                    std::uint32_t *count = pages_.find(p);
-                    EDB_ASSERT(count != nullptr && *count > 0,
-                               "summary page table corrupt on remove");
-                    if (--*count == 0)
-                        pages_.erase(p);
-                }
-            }
+            if (e.kind == EventKind::InstallMonitor)
+                pages_.add(e.range());
+            else
+                pages_.remove(e.range());
         }
     }
 
@@ -157,55 +146,22 @@ class SkipPageMap
                       const trace::PageRun *runs,
                       std::size_t nruns) const
     {
-        for (std::size_t i = 0; i < n; ++i) {
-            if (ctl[i].kind != EventKind::InstallMonitor)
-                continue;
-            if (sessions_.sessionsOf(ctl[i].aux).empty())
-                continue;
-            const AddrRange r = ctl[i].range();
-            const Addr first = r.begin >> shift;
-            const Addr last = (r.end - 1) >> shift;
-            for (std::size_t k = 0; k < nruns; ++k) {
-                if (first < runs[k].firstPage + runs[k].pages &&
-                    last >= runs[k].firstPage) {
-                    return true;
-                }
-            }
-        }
-        return false;
+        return anyInstallTouchesRuns(
+            ctl, n, runs, nruns, [this](ObjectId obj) {
+                return !sessions_.sessionsOf(obj).empty();
+            });
     }
 
     /** True when any summary page in `runs` is currently monitored. */
     bool
     anyMonitored(const trace::PageRun *runs, std::size_t n) const
     {
-        std::uint64_t span = 0;
-        for (std::size_t i = 0; i < n; ++i)
-            span += runs[i].pages;
-        if (span > pages_.size()) {
-            bool found = false;
-            pages_.forEach([&](Addr page, const std::uint32_t &) {
-                for (std::size_t i = 0; i < n && !found; ++i)
-                    found = runs[i].contains(page);
-            });
-            return found;
-        }
-        for (std::size_t i = 0; i < n; ++i) {
-            const Addr end = runs[i].firstPage + runs[i].pages;
-            for (Addr p = runs[i].firstPage; p < end; ++p) {
-                if (pages_.find(p) != nullptr)
-                    return true;
-            }
-        }
-        return false;
+        return pages_.anyMonitored(runs, n);
     }
 
   private:
-    static constexpr unsigned shift =
-        (unsigned)std::countr_zero(trace::summaryPageBytes);
-
     const SessionSet &sessions_;
-    util::FlatMap<Addr, std::uint32_t> pages_;
+    SummaryPageTracker pages_;
 };
 
 /**

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Summary-page relevance helpers shared by every consumer of the v2
+ * block summaries (DESIGN.md §11/§12).
+ *
+ * Three places judge "can this block's writes possibly matter?"
+ * against the per-block 8 KiB page-summary runs: the sequential
+ * replay engine (replay_core.h), the parallel simulator's dispatcher
+ * (parallel_sim.cc), and the trace query planner (src/query). They
+ * must agree exactly — a divergence turns a skip into silent data
+ * loss — so the refcounted monitored-summary-page set and the
+ * install-touches-summary test live here, once.
+ */
+
+#ifndef EDB_SIM_RELEVANCE_H
+#define EDB_SIM_RELEVANCE_H
+
+#include <bit>
+#include <cstdint>
+
+#include "trace/event.h"
+#include "trace/trace_format.h"
+#include "util/addr.h"
+#include "util/flat_map.h"
+
+namespace edb::sim {
+
+/** log2 of the v2 block-summary page size. */
+constexpr unsigned summaryPageShift =
+    (unsigned)std::countr_zero(trace::summaryPageBytes);
+
+/** Inclusive summary-page index span of a non-empty address range. */
+inline std::pair<Addr, Addr>
+summaryPageSpan(const AddrRange &r)
+{
+    return {r.begin >> summaryPageShift,
+            (r.end - 1) >> summaryPageShift};
+}
+
+/** True when the summary-page span of `r` overlaps any of `runs`. */
+inline bool
+rangeTouchesRuns(const AddrRange &r, const trace::PageRun *runs,
+                 std::size_t nruns)
+{
+    const auto [first, last] = summaryPageSpan(r);
+    for (std::size_t k = 0; k < nruns; ++k) {
+        if (first < runs[k].firstPage + runs[k].pages &&
+            last >= runs[k].firstPage) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * True when any install among `ctl` that `relevant(object)` accepts
+ * lands on a summary page of `runs`. Complements
+ * SummaryPageTracker::anyMonitored() for skipping a *mixed* block's
+ * writes: the monitored set those writes can see is the pre-block set
+ * plus whatever the block itself installs (removes only shrink it).
+ */
+template <typename Relevant>
+inline bool
+anyInstallTouchesRuns(const trace::Event *ctl, std::size_t n,
+                      const trace::PageRun *runs, std::size_t nruns,
+                      Relevant &&relevant)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (ctl[i].kind != trace::EventKind::InstallMonitor)
+            continue;
+        if (!relevant(ctl[i].aux))
+            continue;
+        if (rangeTouchesRuns(ctl[i].range(), runs, nruns))
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Summary page -> count of relevant live objects touching it. What
+ * "relevant" means is the caller's policy (session-relevant for
+ * replay, query-selected for the query planner); the tracker just
+ * refcounts ranges onto trace::summaryPageBytes-sized pages and
+ * answers the block-skip probe.
+ */
+class SummaryPageTracker
+{
+  public:
+    /** Count one relevant object onto the summary pages of `r`. */
+    void
+    add(const AddrRange &r)
+    {
+        const auto [first, last] = summaryPageSpan(r);
+        for (Addr p = first; p <= last; ++p)
+            ++*pages_.try_emplace(p).first;
+    }
+
+    /** Inverse of add(); the object must be counted. */
+    void
+    remove(const AddrRange &r)
+    {
+        const auto [first, last] = summaryPageSpan(r);
+        for (Addr p = first; p <= last; ++p) {
+            std::uint32_t *count = pages_.find(p);
+            EDB_ASSERT(count != nullptr && *count > 0,
+                       "summary page table corrupt on remove");
+            if (--*count == 0)
+                pages_.erase(p);
+        }
+    }
+
+    void clear() { pages_.clear(); }
+
+    std::size_t size() const { return pages_.size(); }
+
+    /** True when any summary page in `runs` is currently tracked. */
+    bool
+    anyMonitored(const trace::PageRun *runs, std::size_t n) const
+    {
+        std::uint64_t span = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            span += runs[i].pages;
+        if (span > pages_.size()) {
+            // Wide summary, few monitored pages: probe the other way.
+            bool found = false;
+            pages_.forEach([&](Addr page, const std::uint32_t &) {
+                for (std::size_t i = 0; i < n && !found; ++i)
+                    found = runs[i].contains(page);
+            });
+            return found;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            const Addr end = runs[i].firstPage + runs[i].pages;
+            for (Addr p = runs[i].firstPage; p < end; ++p) {
+                if (pages_.find(p) != nullptr)
+                    return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    util::FlatMap<Addr, std::uint32_t> pages_;
+};
+
+} // namespace edb::sim
+
+#endif // EDB_SIM_RELEVANCE_H

@@ -51,6 +51,7 @@
 #include "obs/obs.h"
 #include "session/session.h"
 #include "sim/counters.h"
+#include "sim/relevance.h"
 #include "trace/trace.h"
 #include "trace/trace_format.h"
 #include "util/arena_pool.h"
@@ -304,7 +305,7 @@ class ReplayEngine
             // its session counts drain.
             if (sess.empty())
                 continue;
-            skipPagesAdd(r);
+            skip_pages_.add(r);
             for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
                 auto [first, last] = pageSpan(r, vmPageSizes[i]);
                 for (Addr p = first; p <= last; ++p) {
@@ -359,27 +360,7 @@ class ReplayEngine
     anySummaryPageMonitored(const trace::PageRun *runs,
                             std::size_t n) const
     {
-        std::uint64_t span = 0;
-        for (std::size_t i = 0; i < n; ++i)
-            span += runs[i].pages;
-        if (span > skip_pages_.size()) {
-            // Wide summary, few monitored pages: probe the other way.
-            bool found = false;
-            skip_pages_.forEach(
-                [&](Addr page, const std::uint32_t &) {
-                    for (std::size_t i = 0; i < n && !found; ++i)
-                        found = runs[i].contains(page);
-                });
-            return found;
-        }
-        for (std::size_t i = 0; i < n; ++i) {
-            const Addr end = runs[i].firstPage + runs[i].pages;
-            for (Addr p = runs[i].firstPage; p < end; ++p) {
-                if (skip_pages_.find(p) != nullptr)
-                    return true;
-            }
-        }
-        return false;
+        return skip_pages_.anyMonitored(runs, n);
     }
 
     /**
@@ -396,22 +377,10 @@ class ReplayEngine
                              const trace::PageRun *runs,
                              std::size_t nruns) const
     {
-        for (std::size_t i = 0; i < n; ++i) {
-            if (ctl[i].kind != EventKind::InstallMonitor)
-                continue;
-            if (sessions_.sessionsOf(ctl[i].aux).empty())
-                continue;
-            const AddrRange r = ctl[i].range();
-            const Addr first = r.begin >> summaryShift;
-            const Addr last = (r.end - 1) >> summaryShift;
-            for (std::size_t k = 0; k < nruns; ++k) {
-                if (first < runs[k].firstPage + runs[k].pages &&
-                    last >= runs[k].firstPage) {
-                    return true;
-                }
-            }
-        }
-        return false;
+        return anyInstallTouchesRuns(
+            ctl, n, runs, nruns, [this](ObjectId obj) {
+                return !sessions_.sessionsOf(obj).empty();
+            });
     }
 
     /**
@@ -526,7 +495,7 @@ class ReplayEngine
         // still-live session-less object.
         if (sess.empty())
             return;
-        skipPagesAdd(r);
+        skip_pages_.add(r);
         for (SessionId s : sess)
             ++result_.counters[s].installs;
         for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
@@ -568,7 +537,7 @@ class ReplayEngine
         // page tables.
         if (sess.empty())
             return;
-        skipPagesRemove(r);
+        skip_pages_.remove(r);
         for (SessionId s : sess)
             ++result_.counters[s].removes;
         for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
@@ -598,35 +567,6 @@ class ReplayEngine
     /** log2 of the coarsest page size, for window invalidation. */
     static constexpr unsigned coarseShift =
         (unsigned)std::countr_zero(vmPageSizes[vmPageSizeCount - 1]);
-
-    /** log2 of the v2 block-summary page size. */
-    static constexpr unsigned summaryShift =
-        (unsigned)std::countr_zero(trace::summaryPageBytes);
-
-    /** Count a session-relevant object onto its summary pages. */
-    void
-    skipPagesAdd(const AddrRange &r)
-    {
-        const Addr first = r.begin >> summaryShift;
-        const Addr last = (r.end - 1) >> summaryShift;
-        for (Addr p = first; p <= last; ++p)
-            ++*skip_pages_.try_emplace(p).first;
-    }
-
-    /** Inverse of skipPagesAdd(). */
-    void
-    skipPagesRemove(const AddrRange &r)
-    {
-        const Addr first = r.begin >> summaryShift;
-        const Addr last = (r.end - 1) >> summaryShift;
-        for (Addr p = first; p <= last; ++p) {
-            std::uint32_t *count = skip_pages_.find(p);
-            EDB_ASSERT(count != nullptr && *count > 0,
-                       "summary page table corrupt on remove");
-            if (--*count == 0)
-                skip_pages_.erase(p);
-        }
-    }
 
     /**
      * Kill the replay windows whose pages the range touches. A
@@ -935,11 +875,12 @@ class ReplayEngine
      * Summary pages (trace::summaryPageBytes granularity) -> count of
      * live *session-relevant* objects touching them. Unlike pages_,
      * which under a restricted session set still tracks session-less
-     * live objects, this map is exactly the set the block-skip test
-     * must probe; kept separate so the test is one lookup per summary
-     * page with no per-entry session scan.
+     * live objects, this tracker holds exactly the set the block-skip
+     * test must probe; the shared implementation (relevance.h) keeps
+     * it in lockstep with the parallel dispatcher and the query
+     * planner.
      */
-    util::FlatMap<Addr, std::uint32_t> skip_pages_;
+    SummaryPageTracker skip_pages_;
 
     /** The replay cache, round-robin replacement. */
     std::array<CacheEntry, 4> cache_;

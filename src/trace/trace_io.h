@@ -238,6 +238,12 @@ class MappedTrace
         std::uint64_t bytes;      ///< size of the whole record
         std::uint64_t events;     ///< events in the block
         std::uint64_t writes;     ///< write events among them
+        /** Global stream index of the block's first event — the
+         *  cumulative event count of every earlier block. Rows of
+         *  block b occupy indices [firstEvent, firstEvent + events),
+         *  which is what lets a consumer prune whole blocks against
+         *  an event-index window without decoding them. */
+        std::uint64_t firstEvent;
         Addr base;                ///< first event's begin address
         std::uint64_t payloadOff; ///< file offset of the columns
         std::uint64_t colBytes[8];
@@ -296,6 +302,18 @@ class MappedTrace
      * with the block's header write count. Thread-safe.
      */
     void decodeBlockControl(std::size_t i, Event *out) const;
+
+    /**
+     * As decodeBlockControl(), additionally reporting each control
+     * event's position within the block into pos (block(i).controls()
+     * entries): control event k of the block sits at global stream
+     * index block(i).firstEvent + pos[k]. The trace query planner
+     * pairs this with an event-index window to evaluate control rows
+     * of a write-pruned block at their exact stream positions.
+     * Thread-safe.
+     */
+    void decodeBlockControl(std::size_t i, Event *out,
+                            std::uint32_t *pos) const;
 
   private:
     void load(const std::string &path);

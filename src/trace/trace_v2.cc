@@ -202,6 +202,7 @@ MappedTrace::parse(const std::string &path)
         b.bytes = idx.varint();
         b.events = idx.varint();
         b.writes = idx.varint();
+        b.firstEvent = sum_events;
         if (b.bytes > index_off - off) {
             idx.fail("trace file block %llu overruns the index",
                      (unsigned long long)i);
@@ -308,11 +309,18 @@ MappedTrace::decodeBlock(std::size_t i, Event *out) const
 void
 MappedTrace::decodeBlockControl(std::size_t i, Event *out) const
 {
+    decodeBlockControl(i, out, nullptr);
+}
+
+void
+MappedTrace::decodeBlockControl(std::size_t i, Event *out,
+                                std::uint32_t *pos) const
+{
     const Block &b = blocks_[i];
     const detail::BlockHeader h = headerOf(b);
     detail::decodeBlockControl(h, data_ + b.payloadOff, b.payloadOff,
                                (std::int64_t)i,
-                               registry_.objectCount(), out);
+                               registry_.objectCount(), out, pos);
 #if EDB_OBS_ENABLED
     // Accounted as encoded bytes actually read: the control group
     // plus the record header, not the untouched write columns.

@@ -548,7 +548,8 @@ decodeBlockBody(const BlockHeader &h, const unsigned char *payload,
 inline void
 decodeBlockControl(const BlockHeader &h, const unsigned char *payload,
                    std::uint64_t payload_off, std::int64_t block,
-                   std::uint64_t object_count, Event *out)
+                   std::uint64_t object_count, Event *out,
+                   std::uint32_t *out_pos = nullptr)
 {
     BlockCursors cur(h, payload, payload_off, block);
 
@@ -562,6 +563,8 @@ decodeBlockControl(const BlockHeader &h, const unsigned char *payload,
             cur[colCtlPos].in().fail(
                 "trace file control position out of range");
         }
+        if (out_pos != nullptr)
+            out_pos[i] = (std::uint32_t)pos;
         out[i] = nextControlEvent(cur, ctl_pred, prev_ctl_aux,
                                   object_count);
     }

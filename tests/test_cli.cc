@@ -177,6 +177,140 @@ TEST_F(CliTest, RunDispatchesAdvise)
     EXPECT_NE(err.str().find("usage:"), std::string::npos);
 }
 
+/** The "matches: N ..." line of a query table/json rendering. */
+std::string
+matchesLine(const std::string &text)
+{
+    const std::size_t at = text.find("matches");
+    EXPECT_NE(at, std::string::npos) << text;
+    if (at == std::string::npos)
+        return {};
+    return text.substr(at, text.find('\n', at) - at);
+}
+
+TEST_F(CliTest, QueryCountsEveryEventByDefault)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"query", *path_}, out, err), 0) << err.str();
+    const std::string text = out.str();
+    EXPECT_NE(text.find("program: bps"), std::string::npos);
+    EXPECT_NE(text.find("(agg count)"), std::string::npos);
+    // A v2 input goes through the pushdown planner, which reports its
+    // per-block dispositions.
+    EXPECT_NE(text.find("total,"), std::string::npos);
+    EXPECT_NE(text.find("writes pruned"), std::string::npos);
+
+    // The unfiltered count must equal the recorded event total that
+    // `info` reports, not just be nonzero.
+    std::ostringstream info;
+    ASSERT_EQ(cmdInfo(*path_, info), 0);
+    const std::string itext = info.str();
+    std::size_t at = itext.find("events:");
+    ASSERT_NE(at, std::string::npos);
+    at = itext.find_first_of("0123456789", at);
+    ASSERT_NE(at, std::string::npos);
+    const std::string events =
+        itext.substr(at, itext.find(' ', at) - at);
+    EXPECT_NE(text.find("matches: " + events + " "),
+              std::string::npos)
+        << "query: " << matchesLine(text) << " info: " << events;
+}
+
+TEST_F(CliTest, QueryJsonIsStableAndMachineReadable)
+{
+    const std::vector<std::string> args = {
+        "query",  *path_, "--kind",   "write", "--agg",
+        "top-pages", "--k", "3", "--format", "json"};
+    std::ostringstream out1, out2, err;
+    EXPECT_EQ(run(args, out1, err), 0) << err.str();
+    EXPECT_EQ(run(args, out2, err), 0) << err.str();
+    // Byte-stable across runs: scripts may diff or cache it.
+    EXPECT_EQ(out1.str(), out2.str());
+    const std::string text = out1.str();
+    EXPECT_EQ(text.rfind("{\"schema\":\"edb-query-v1\"", 0), 0u);
+    EXPECT_EQ(text.back(), '\n');
+    for (const char *needle :
+         {"\"agg\":\"top-pages\"", "\"matches\":", "\"blocks\":",
+          "\"pages\":[", "\"writes_pruned\":"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST_F(CliTest, QueryJobsFlagAcceptedWithIdenticalAnswers)
+{
+    std::ostringstream serial, threaded, err;
+    EXPECT_EQ(run({"query", *path_, "--kind", "write"}, serial, err),
+              0);
+    EXPECT_EQ(run({"query", "--jobs", "4", *path_, "--kind", "write"},
+                  threaded, err),
+              0)
+        << err.str();
+    // Block dispositions may differ across jobs levels; the answer
+    // must not.
+    EXPECT_EQ(matchesLine(serial.str()), matchesLine(threaded.str()));
+    EXPECT_NE(threaded.str().find("(jobs 4)"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryReadsV1InputWithoutPushdown)
+{
+    const std::string v1_path = ::testing::TempDir() +
+                                "/edb_cli_qv1." +
+                                std::to_string(::getpid()) + ".trc";
+    std::ostringstream out, err;
+    ASSERT_EQ(cmdConvert(*path_, v1_path, "v1", out, err), 0);
+
+    const std::vector<std::string> spec = {"--kind", "write",
+                                           "--agg", "by-page"};
+    std::ostringstream v1_out, v2_out;
+    std::vector<std::string> v1_args = {"query", v1_path};
+    std::vector<std::string> v2_args = {"query", *path_};
+    v1_args.insert(v1_args.end(), spec.begin(), spec.end());
+    v2_args.insert(v2_args.end(), spec.begin(), spec.end());
+    EXPECT_EQ(run(v1_args, v1_out, err), 0) << err.str();
+    EXPECT_EQ(run(v2_args, v2_out, err), 0) << err.str();
+
+    EXPECT_NE(v1_out.str().find("v1 flat trace (no pushdown)"),
+              std::string::npos);
+    EXPECT_EQ(matchesLine(v1_out.str()), matchesLine(v2_out.str()));
+    std::remove(v1_path.c_str());
+}
+
+TEST_F(CliTest, QueryParseErrorsExitTwoWithUsage)
+{
+    const std::vector<std::vector<std::string>> bad = {
+        {"--kind", "bogus"},
+        {"--addr", "9:5"},       // inverted
+        {"--addr", "zzz"},       // unparseable
+        {"--index", "5:5"},      // empty window
+        {"--aux", "not-a-number"},
+        {"--agg", "median"},
+        {"--format", "xml"},
+        {"--limit"},             // missing value
+        {"--frobnicate", "1"},   // unknown option
+        {"--agg", "by-session"}, // needs --session (validateSpec)
+        {"--min-size", "9", "--max-size", "1"},
+    };
+    for (const std::vector<std::string> &extra : bad) {
+        std::vector<std::string> args = {"query", *path_};
+        args.insert(args.end(), extra.begin(), extra.end());
+        std::ostringstream out, err;
+        EXPECT_EQ(run(args, out, err), 2) << extra[0];
+        EXPECT_NE(err.str().find("error:"), std::string::npos)
+            << extra[0];
+        EXPECT_NE(err.str().find("usage:"), std::string::npos)
+            << extra[0];
+    }
+}
+
+TEST_F(CliTest, QuerySessionNeedleWithoutMatchFails)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"query", *path_, "--session", "no_such_object_xyz"},
+                  out, err),
+              1);
+    EXPECT_NE(err.str().find("no session matches"), std::string::npos);
+}
+
 TEST(CliRun, HelpPrintsUsageToStdout)
 {
     for (const char *flag : {"--help", "-h"}) {
@@ -315,7 +449,8 @@ TEST(CliUsage, MentionsEveryCommand)
     std::string text = usage();
     for (const char *cmd :
          {"record", "info", "convert", "sessions", "analyze", "session",
-          "advise", "--help", "EDB_PROFILE"}) {
+          "advise", "query", "--agg", "--format", "--help",
+          "EDB_PROFILE"}) {
         EXPECT_NE(text.find(cmd), std::string::npos) << cmd;
     }
 }

@@ -110,4 +110,89 @@ TEST(TraceCorpus, WritesV2KeepsBlockShapeAndSkipsUnderSparseSession)
     EXPECT_TRUE(mapped_result == sim::simulate(t, sub));
 }
 
+TEST(TraceCorpus, StraddleV2PinnedAndActuallyStraddles)
+{
+    const std::string path = corpusPath("mini_straddle.v2.trc");
+    trace::Trace t = trace::loadTrace(path);
+    EXPECT_EQ(t.program, "mini_straddle");
+    EXPECT_EQ(t.events.size(), 1970u);
+    EXPECT_EQ(t.totalWrites, 1920u);
+    EXPECT_EQ(t.registry.objectCount(), 25u);
+    EXPECT_EQ(eventChecksum(t), 0xada792560a57ccf0ull);
+
+    trace::MappedTrace mapped(path);
+    EXPECT_EQ(mapped.blockCount(), 16u);
+
+    // The adversarial property this artifact exists for: a healthy
+    // share of its writes cross an 8 KiB summary-page boundary.
+    std::size_t straddling = 0;
+    for (const trace::Event &e : t.events) {
+        if (e.kind == trace::EventKind::Write && e.size > 0 &&
+            (e.begin >> 13) != ((e.begin + e.size - 1) >> 13)) {
+            ++straddling;
+        }
+    }
+    EXPECT_GT(straddling, 100u);
+}
+
+TEST(TraceCorpus, GhostV2PinnedWithMatchingSummariesButNoRows)
+{
+    const std::string path = corpusPath("mini_ghost.v2.trc");
+    trace::Trace t = trace::loadTrace(path);
+    EXPECT_EQ(t.program, "mini_ghost");
+    EXPECT_EQ(t.events.size(), 3005u);
+    EXPECT_EQ(t.totalWrites, 3001u);
+    EXPECT_EQ(t.registry.objectCount(), 2u);
+    EXPECT_EQ(eventChecksum(t), 0xef72a70b8ad2fe0full);
+
+    trace::MappedTrace mapped(path);
+    EXPECT_EQ(mapped.blockCount(), 24u);
+
+    // Find the monitored target global via its install event (the
+    // registry holds sizes, not placements).
+    AddrRange target{0, 0};
+    bool found = false;
+    for (const trace::Event &e : t.events) {
+        if (e.kind == trace::EventKind::InstallMonitor &&
+            t.registry.object((trace::ObjectId)e.aux).name ==
+                "target") {
+            target = e.range();
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found);
+
+    // The ghost property: at least one block's summary runs cover the
+    // target's summary page while none of the block's writes touch a
+    // byte of the target. A sound planner must decode such blocks and
+    // may only then discover the zero.
+    const Addr page = target.begin >> 13;
+    std::vector<trace::Event> events(mapped.largestBlockEvents());
+    std::size_t ghost_blocks = 0;
+    std::uint64_t target_rows = 0;
+    for (std::size_t b = 0; b < mapped.blockCount(); ++b) {
+        const auto &blk = mapped.block(b);
+        bool covers = false;
+        for (const auto &r : blk.runs)
+            covers = covers || r.contains(page);
+        if (!covers)
+            continue;
+        mapped.decodeBlock(b, events.data());
+        std::uint64_t hits = 0;
+        for (std::uint64_t j = 0; j < blk.events; ++j) {
+            const trace::Event &e = events[j];
+            if (e.kind == trace::EventKind::Write && e.size > 0 &&
+                e.range().intersects(target)) {
+                ++hits;
+            }
+        }
+        target_rows += hits;
+        if (hits == 0)
+            ++ghost_blocks;
+    }
+    EXPECT_GT(ghost_blocks, 10u);
+    EXPECT_EQ(target_rows, 1u); // the single real write at the end
+}
+
 } // namespace

@@ -20,6 +20,13 @@
  *                       objects — the block-skip fast path's shape
  *   mini_mixed.v1.trc   the mixed trace in the flat v1 container, for
  *                       probe/convert coverage
+ *   mini_straddle.v2.trc
+ *                       writes and objects deliberately straddling
+ *                       8 KiB summary-page boundaries — the query
+ *                       pushdown's page-attribution edge cases
+ *   mini_ghost.v2.trc   blocks whose page summaries match a target
+ *                       predicate while containing zero matching
+ *                       rows — a summary may only ever over-approximate
  */
 
 #include <cstdio>
@@ -99,6 +106,95 @@ writesTrace()
     return tracer.finish();
 }
 
+/**
+ * Writes that straddle 8 KiB summary-page boundaries, from a global
+ * spanning three summary pages and short-lived heap objects, with
+ * installs/removes interleaved. Exercises the multi-page attribution
+ * paths: a straddling write belongs to every page it touches, in both
+ * the block summaries and the query per-page aggregations.
+ */
+trace::Trace
+straddleTrace()
+{
+    Rng rng(0xED6703);
+    trace::Tracer tracer("mini_straddle");
+    auto span = tracer.declareGlobal("span", 3 * 8192);
+    tracer.enterFunction("main");
+    for (int outer = 0; outer < 24; ++outer) {
+        tracer.enterFunction("cross");
+        auto h = tracer.heapAlloc("straddler", 64 + rng.below(128));
+        for (int i = 0; i < 40; ++i) {
+            // Start just below one of span's two interior page
+            // boundaries and write across it.
+            const Addr boundary = 8192 * (1 + rng.below(2));
+            const Addr off = boundary - 1 - rng.below(8);
+            tracer.write(span.addr + off, 2 + rng.below(14),
+                         tracer.internWriteSite("straddle.c:5"));
+            tracer.write(h.addr + rng.below(32), 4,
+                         tracer.internWriteSite("straddle.c:9"));
+        }
+        if (outer % 2)
+            tracer.heapFree(h);
+        tracer.exitFunction();
+    }
+    tracer.exitFunction();
+    return tracer.finish();
+}
+
+/**
+ * The ghost: long pure-write runs into the *same summary page* as a
+ * monitored 256-byte global, never touching a byte of it. Every such
+ * block's summary matches an address or session predicate on the
+ * target, so a sound planner must decode it — and then find zero
+ * matching rows. Distinguishes "summary says maybe" from "rows say
+ * yes" in the property harness.
+ */
+trace::Trace
+ghostTrace()
+{
+    Rng rng(0xED6704);
+    trace::Tracer tracer("mini_ghost");
+    auto target = tracer.declareGlobal("target", 256);
+    auto far = tracer.declareGlobal("far_arena", 1 << 15);
+    tracer.enterFunction("main");
+
+    // The decoy region: the larger free span of the target's own
+    // summary page, whichever side of the object it falls on.
+    const Addr page_start = target.addr & ~(Addr)8191;
+    const Addr page_end = page_start + 8192;
+    const Addr target_end = target.addr + 256;
+    Addr decoy_begin;
+    Addr decoy_size;
+    if (target.addr - page_start > page_end - target_end) {
+        decoy_begin = page_start;
+        decoy_size = target.addr - page_start;
+    } else {
+        decoy_begin = target_end;
+        decoy_size = page_end - target_end;
+    }
+
+    for (int phase = 0; phase < 6; ++phase) {
+        for (int i = 0; i < 300; ++i) {
+            tracer.write(decoy_begin + rng.below(decoy_size - 8),
+                         1 + rng.below(8),
+                         tracer.internWriteSite("ghost.c:3"));
+        }
+        for (int i = 0; i < 200; ++i) {
+            // Skip the arena's first summary page: consecutive
+            // globals can share a page, and a far write landing on
+            // the target's page would defeat the far blocks' prune.
+            tracer.write(far.addr + 8192 +
+                             rng.below((1 << 15) - 8192 - 8),
+                         4, tracer.internWriteSite("ghost.c:7"));
+        }
+    }
+    // The one write that really touches the target, at the very end.
+    tracer.write(target.addr + 16, 8,
+                 tracer.internWriteSite("ghost.c:11"));
+    tracer.exitFunction();
+    return tracer.finish();
+}
+
 } // namespace
 
 int
@@ -112,6 +208,8 @@ main(int argc, char **argv)
 
     trace::Trace mixed = mixedTrace();
     trace::Trace writes = writesTrace();
+    trace::Trace straddle = straddleTrace();
+    trace::Trace ghost = ghostTrace();
 
     // Small blocks so even mini traces span many of them.
     trace::WriteOptions v2;
@@ -122,14 +220,24 @@ main(int argc, char **argv)
     trace::saveTrace(mixed, dir + "/mini_mixed.v2.trc", v2);
     trace::saveTrace(writes, dir + "/mini_writes.v2.trc", v2);
     trace::saveTrace(mixed, dir + "/mini_mixed.v1.trc", v1);
+    trace::saveTrace(straddle, dir + "/mini_straddle.v2.trc", v2);
+    trace::saveTrace(ghost, dir + "/mini_ghost.v2.trc", v2);
 
-    std::printf("mini_mixed:  %zu events, %llu writes, %zu objects\n",
+    std::printf("mini_mixed:    %zu events, %llu writes, %zu objects\n",
                 mixed.events.size(),
                 (unsigned long long)mixed.totalWrites,
                 mixed.registry.objectCount());
-    std::printf("mini_writes: %zu events, %llu writes, %zu objects\n",
+    std::printf("mini_writes:   %zu events, %llu writes, %zu objects\n",
                 writes.events.size(),
                 (unsigned long long)writes.totalWrites,
                 writes.registry.objectCount());
+    std::printf("mini_straddle: %zu events, %llu writes, %zu objects\n",
+                straddle.events.size(),
+                (unsigned long long)straddle.totalWrites,
+                straddle.registry.objectCount());
+    std::printf("mini_ghost:    %zu events, %llu writes, %zu objects\n",
+                ghost.events.size(),
+                (unsigned long long)ghost.totalWrites,
+                ghost.registry.objectCount());
     return 0;
 }

@@ -4,7 +4,7 @@
 Reads the machine-readable JSON the benchmark binaries emit
 (BENCH_micro_index.json / BENCH_micro_runtime.json in Google-benchmark
 format, BENCH_parallel.json / BENCH_sim_hot.json / BENCH_trace_v2.json
-in the repo's shared
+/ BENCH_query.json in the repo's shared
 envelope: top-level `name`, `repetitions`, `meta`, `results`) and
 fails ONLY on order-of-magnitude regressions or correctness-flag
 failures. CI runners are noisy shared machines, so the ceilings below
@@ -165,6 +165,40 @@ def check_trace_v2(path):
     return rc
 
 
+def check_query(path):
+    """BENCH_query.json: oracle identity plus pushdown floors.
+
+    The acceptance run measures 10-400x pushdown-vs-brute-force on
+    every workload, so the 2x floor on >=3 workloads only trips when
+    block pruning stops firing (every block decoding is exactly the
+    brute-force work plus overhead). Pruning itself is deterministic
+    — same planner, same traces — so zero writes pruned across all
+    five workloads is a planner bug, not noise.
+    """
+    rc, data = load_envelope(path)
+    if not data.get("identical", False):
+        rc |= fail(f"{path.name}: pushdown result diverged from scanAll")
+    fast = 0
+    pruned = 0
+    for row in data.get("workloads", []):
+        if row["speedup"] >= 2.0:
+            fast += 1
+        pruned += row["writes_pruned"]
+    if fast < 3:
+        rc |= fail(
+            f"{path.name}: query pushdown >= 2x on only {fast} "
+            f"workloads (floor 3)"
+        )
+    if pruned == 0:
+        rc |= fail(f"{path.name}: planner pruned zero writes everywhere")
+    if rc == 0:
+        print(
+            f"  {path.name}: identical, {fast} workload(s) >= 2x, "
+            f"{pruned} writes pruned"
+        )
+    return rc
+
+
 def check_obs(path):
     """OBS_*.json snapshot: the instrumented hot paths actually ran.
 
@@ -217,6 +251,7 @@ def main():
         "BENCH_parallel.json": check_parallel,
         "BENCH_sim_hot.json": check_sim_hot,
         "BENCH_trace_v2.json": check_trace_v2,
+        "BENCH_query.json": check_query,
     }
     rc = 0
     found = 0
