@@ -20,6 +20,7 @@
 #include "query/query.h"
 #include "report/study.h"
 #include "report/table.h"
+#include "served/client.h"
 #include "session/session.h"
 #include "sim/parallel_sim.h"
 #include "trace/trace_io.h"
@@ -102,6 +103,21 @@ usage()
            "matching predicates, pruning\n"
            "                               v2 blocks via the page "
            "summaries (v1 works, unpruned)\n"
+           "  connect <socket> [opts] [script]\n"
+           "                               drive a running edb-served "
+           "daemon as one tenant\n"
+           "\n"
+           "connect options and script commands:\n"
+           "  --tenant NAME      tenant name sent in HELLO "
+           "(default cli)\n"
+           "  --stats-json PATH  write the server's obs snapshot "
+           "(from `stats`) to PATH\n"
+           "  open PATH | install B:E | remove ID | enable ID | "
+           "disable ID\n"
+           "  subscribe on|off | run TRACE [I,J,..] | resume | "
+           "events N\n"
+           "  query TRACE [B:E] | stats | bye   (commands run in "
+           "order; bye is implied)\n"
            "\n"
            "query options:\n"
            "  --kind K           install|remove|write (repeatable; "
@@ -856,6 +872,238 @@ cmdQuery(const std::string &path, const std::vector<std::string> &opts,
     return 0;
 }
 
+namespace {
+
+/** Parse "I,J,K" into session ids for `connect ... run`. */
+bool
+parseIdList(const std::string &s, std::vector<std::uint32_t> *out)
+{
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        std::uint64_t v = 0;
+        if (!parseU64(s.substr(pos, comma - pos), &v) ||
+            v > 0xffffffffull) {
+            return false;
+        }
+        out->push_back((std::uint32_t)v);
+        pos = comma + 1;
+    }
+    return !out->empty();
+}
+
+} // namespace
+
+int
+cmdConnect(const std::vector<std::string> &args, std::ostream &out,
+           std::ostream &err)
+{
+    if (args.empty()) {
+        err << "error: connect needs a socket path\n" << usage();
+        return 2;
+    }
+    const std::string socket_path = args[0];
+    std::string tenant = "cli";
+    std::string stats_json;
+    std::vector<std::string> script;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--tenant" || args[i] == "--stats-json") {
+            if (i + 1 == args.size()) {
+                err << "error: " << args[i] << " needs a value\n";
+                return 2;
+            }
+            const bool is_tenant = args[i] == "--tenant";
+            (is_tenant ? tenant : stats_json) = args[++i];
+        } else {
+            script.push_back(args[i]);
+        }
+    }
+
+    served::Client client;
+    client.connect(socket_path);
+    const served::HelloReply hello = client.hello(tenant);
+    out << "connected to " << hello.serverName << " (protocol v"
+        << hello.version << ") as tenant " << hello.tenantId << " '"
+        << tenant << "'\n";
+
+    const auto needArg = [&](std::size_t i, const char *what) {
+        if (i >= script.size())
+            throw std::runtime_error(std::string("connect: ") + what);
+        return script[i];
+    };
+    bool said_bye = false;
+    for (std::size_t i = 0; i < script.size() && !said_bye; ++i) {
+        const std::string &cmd = script[i];
+        if (cmd == "open") {
+            const std::string path =
+                needArg(++i, "open needs a trace path");
+            const served::OpenResult r = client.openTrace(path);
+            out << "trace " << r.traceId << ": " << r.events
+                << " events, " << r.writes << " writes, "
+                << r.sessionCount << " sessions, " << r.blocks
+                << " blocks\n";
+        } else if (cmd == "install") {
+            std::uint64_t b = 0;
+            std::uint64_t e = 0;
+            const std::string v =
+                needArg(++i, "install needs a BEGIN:END range");
+            if (!parseU64Range(v, &b, &e) || b >= e)
+                throw std::runtime_error(
+                    "connect: invalid range '" + v + "'");
+            out << "monitor " << client.install(AddrRange{b, e})
+                << ": " << AddrRange{b, e}.str() << "\n";
+        } else if (cmd == "remove" || cmd == "enable" ||
+                   cmd == "disable") {
+            std::uint64_t id = 0;
+            const std::string v =
+                needArg(++i, "monitor commands need an id");
+            if (!parseU64(v, &id) || id > 0xffffffffull)
+                throw std::runtime_error(
+                    "connect: invalid monitor id '" + v + "'");
+            if (cmd == "remove")
+                client.remove((std::uint32_t)id);
+            else if (cmd == "enable")
+                client.enable((std::uint32_t)id);
+            else
+                client.disable((std::uint32_t)id);
+            out << cmd << "d monitor " << id << "\n";
+        } else if (cmd == "subscribe") {
+            const std::string v =
+                needArg(++i, "subscribe needs on|off");
+            if (v != "on" && v != "off")
+                throw std::runtime_error(
+                    "connect: subscribe needs on|off, not '" + v +
+                    "'");
+            client.subscribe(v == "on");
+            out << "subscribed " << v << "\n";
+        } else if (cmd == "run") {
+            std::uint64_t tid = 0;
+            const std::string v =
+                needArg(++i, "run needs a trace id");
+            if (!parseU64(v, &tid) || tid > 0xffffffffull)
+                throw std::runtime_error(
+                    "connect: invalid trace id '" + v + "'");
+            // An id-list argument switches to session-oracle mode.
+            std::vector<std::uint32_t> ids;
+            if (i + 1 < script.size() &&
+                parseIdList(script[i + 1], &ids)) {
+                ++i;
+            }
+            const served::RunReply r =
+                client.run((std::uint32_t)tid, ids);
+            if (!r.sessionMode) {
+                out << "run trace " << tid << ": " << r.writes
+                    << " writes, " << r.hits << " hits, "
+                    << r.notifications << " notifications\n";
+            } else {
+                out << "run trace " << tid << ": " << r.totalWrites
+                    << " writes\n";
+                report::TextTable table;
+                table.header({"Session", "Installs", "Hits",
+                              "VM-4K prot", "VM-8K prot"});
+                for (std::size_t s = 0; s < r.counters.size(); ++s) {
+                    const sim::SessionCounters &c = r.counters[s];
+                    table.row({std::to_string(ids[s]),
+                               report::fmtCount(c.installs),
+                               report::fmtCount(c.hits),
+                               report::fmtCount(c.vm[0].protects),
+                               report::fmtCount(c.vm[1].protects)});
+                }
+                out << table.render();
+            }
+        } else if (cmd == "resume") {
+            const served::ResumeReply r = client.resume();
+            out << "resume: " << r.hits.size()
+                << " pending monitor(s), " << r.dropped
+                << " dropped\n";
+            for (const served::ResumeHit &h : r.hits) {
+                out << "  monitor " << h.monitorId << ": " << h.count
+                    << " hit(s), last " << h.last.str() << "\n";
+            }
+        } else if (cmd == "events") {
+            std::uint64_t n = 0;
+            const std::string v =
+                needArg(++i, "events needs a count");
+            if (!parseU64(v, &n))
+                throw std::runtime_error(
+                    "connect: invalid event count '" + v + "'");
+            if (!client.waitForEvents((std::size_t)n))
+                throw std::runtime_error(
+                    "connect: timed out waiting for " + v +
+                    " event(s)");
+            for (const served::EventOut &e : client.takeEvents()) {
+                out << "event " << e.seq << ": monitor "
+                    << e.monitorId << " wrote " << e.written.str()
+                    << " at pc " << fmtHex(e.pc) << "\n";
+            }
+        } else if (cmd == "query") {
+            std::uint64_t tid = 0;
+            const std::string v =
+                needArg(++i, "query needs a trace id");
+            if (!parseU64(v, &tid) || tid > 0xffffffffull)
+                throw std::runtime_error(
+                    "connect: invalid trace id '" + v + "'");
+            served::WireQuery q;
+            q.traceId = (std::uint32_t)tid;
+            std::uint64_t b = 0;
+            std::uint64_t e = 0;
+            if (i + 1 < script.size() &&
+                parseU64Range(script[i + 1], &b, &e) && b < e) {
+                q.addrRanges.push_back(AddrRange{b, e});
+                ++i;
+            }
+            const served::QueryReply r = client.query(q);
+            out << "query trace " << tid << ": " << r.matches
+                << " matching event(s)\n";
+        } else if (cmd == "stats") {
+            const served::StatsReply r = client.stats();
+            out << r.tenants.size() << " tenant(s), "
+                << r.traces.size() << " shared trace(s)\n";
+            report::TextTable table;
+            table.header({"Tenant", "Monitors", "Traces", "Pending",
+                          "Notifs", "Runs", "Queries"});
+            for (const served::StatsTenantRow &t : r.tenants) {
+                table.row({t.name + " (" + std::to_string(t.id) + ")",
+                           std::to_string(t.monitors),
+                           std::to_string(t.traces),
+                           std::to_string(t.pendingHits),
+                           std::to_string(t.notifications),
+                           std::to_string(t.runs),
+                           std::to_string(t.queries)});
+            }
+            out << table.render();
+            for (const served::StatsTraceRow &t : r.traces) {
+                out << "  " << t.path << ": " << t.refs
+                    << " tenant ref(s), " << t.events << " events\n";
+            }
+            if (!stats_json.empty()) {
+                std::ofstream f(stats_json,
+                                std::ios::binary | std::ios::trunc);
+                f << r.snapshotJson;
+                if (!f.flush())
+                    throw std::runtime_error(
+                        "connect: cannot write '" + stats_json +
+                        "'");
+                out << "wrote server obs snapshot to " << stats_json
+                    << "\n";
+            }
+        } else if (cmd == "bye") {
+            client.bye();
+            said_bye = true;
+            out << "bye\n";
+        } else {
+            err << "error: unknown connect command '" << cmd << "'\n"
+                << usage();
+            return 2;
+        }
+    }
+    if (!said_bye)
+        client.bye();
+    return 0;
+}
+
 int
 run(const std::vector<std::string> &args, std::ostream &out,
     std::ostream &err)
@@ -908,7 +1156,8 @@ run(const std::vector<std::string> &args, std::ostream &out,
     const std::string &cmd = rest[0];
     // The global flags configure the phase-2 stage; accepting them on
     // the phase-1 commands would silently do nothing, so reject them.
-    if (cmd == "record" || cmd == "info" || cmd == "convert") {
+    if (cmd == "record" || cmd == "info" || cmd == "convert" ||
+        cmd == "connect") {
         const char *flag = jobs_given ? "--jobs"
                            : !obs_json.empty() ? "--obs-json"
                            : !trace_events.empty() ? "--trace-events"
@@ -963,6 +1212,10 @@ run(const std::vector<std::string> &args, std::ostream &out,
                           std::vector<std::string>(rest.begin() + 2,
                                                    rest.end()),
                           out, err, jobs);
+        } else if (cmd == "connect" && rest.size() >= 2) {
+            rc = cmdConnect(std::vector<std::string>(rest.begin() + 1,
+                                                     rest.end()),
+                            out, err);
         } else {
             dispatched = false;
         }

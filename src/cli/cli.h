@@ -13,6 +13,7 @@
  *   edb-trace session <trace.trc> <substr>   dissect one session
  *   edb-trace advise <trace.trc> [N]         per-session strategy advice
  *   edb-trace query <trace.trc> [opts]       aggregate matching events
+ *   edb-trace connect <socket> [script]      drive an edb-served daemon
  *
  * `analyze`, `session` and `advise` honor EDB_PROFILE=host like the
  * bench binaries. The phase-2 commands (sessions/analyze/session/
@@ -64,6 +65,8 @@ int cmdAdvise(const std::string &path, std::size_t top,
 int cmdQuery(const std::string &path,
              const std::vector<std::string> &opts, std::ostream &out,
              std::ostream &err, unsigned jobs = 1);
+int cmdConnect(const std::vector<std::string> &args, std::ostream &out,
+               std::ostream &err);
 /// @}
 
 /** The usage text. */

@@ -420,15 +420,30 @@ writeSnapshotJson(std::ostream &os)
 bool
 writeSnapshotJsonFile(const std::string &path)
 {
-    std::ofstream os(path);
-    if (!os) {
-        warn("obs: cannot open '%s' for the snapshot", path.c_str());
-        return false;
+    // Write-to-temp + rename so a reader polling the path (a live
+    // dashboard tailing a daemon's snapshot) never sees a torn file:
+    // it observes either the previous complete snapshot or this one.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            warn("obs: cannot open '%s' for the snapshot",
+                 tmp.c_str());
+            return false;
+        }
+        writeSnapshotJson(os);
+        os.flush();
+        if (!os) {
+            warn("obs: I/O error writing snapshot to '%s'",
+                 tmp.c_str());
+            std::remove(tmp.c_str());
+            return false;
+        }
     }
-    writeSnapshotJson(os);
-    os.flush();
-    if (!os) {
-        warn("obs: I/O error writing snapshot to '%s'", path.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("obs: cannot rename '%s' to '%s'", tmp.c_str(),
+             path.c_str());
+        std::remove(tmp.c_str());
         return false;
     }
     return true;

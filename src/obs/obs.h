@@ -253,7 +253,9 @@ Snapshot takeSnapshot();
 /** Serialize takeSnapshot() as JSON (schema edb-obs-snapshot-v1). */
 void writeSnapshotJson(std::ostream &os);
 
-/** writeSnapshotJson() to a file; warns and returns false on error. */
+/** writeSnapshotJson() to a file, atomically (written to
+ *  `path + ".tmp"` then renamed, so concurrent readers never see a
+ *  torn snapshot); warns and returns false on error. */
 bool writeSnapshotJsonFile(const std::string &path);
 
 // ---- Chrome trace-event sink (trace_sink.cc) -----------------------

@@ -4,7 +4,7 @@
 Reads the machine-readable JSON the benchmark binaries emit
 (BENCH_micro_index.json / BENCH_micro_runtime.json in Google-benchmark
 format, BENCH_parallel.json / BENCH_sim_hot.json / BENCH_trace_v2.json
-/ BENCH_query.json in the repo's shared
+/ BENCH_query.json / BENCH_served.json in the repo's shared
 envelope: top-level `name`, `repetitions`, `meta`, `results`) and
 fails ONLY on order-of-magnitude regressions or correctness-flag
 failures. CI runners are noisy shared machines, so the ceilings below
@@ -199,6 +199,41 @@ def check_query(path):
     return rc
 
 
+def check_served(path):
+    """BENCH_served.json: oracle identity plus throughput floors.
+
+    The acceptance run measures thousands of connection cycles and
+    hundreds of thousands of streamed notifications per second over
+    the Unix socket, so the floors (20 conns/s, 1000 notifications/s)
+    carry multiple orders of magnitude of CI headroom; a trip means
+    the daemon serialized behind a lock or stopped streaming, not
+    scheduler jitter.
+    """
+    rc, data = load_envelope(path)
+    if not data.get("identical", False):
+        rc |= fail(f"{path.name}: served counters diverged from oracle")
+    conns = data.get("conns_per_sec", 0.0)
+    notify = data.get("notifications_per_sec", 0.0)
+    streamed = data.get("notifications", 0)
+    if conns < 20:
+        rc |= fail(
+            f"{path.name}: connection churn {conns}/s below 20/s floor"
+        )
+    if streamed <= 0:
+        rc |= fail(f"{path.name}: no notifications streamed")
+    if notify < 1000:
+        rc |= fail(
+            f"{path.name}: notification stream {notify}/s below "
+            f"1000/s floor"
+        )
+    if rc == 0:
+        print(
+            f"  {path.name}: identical, {conns} conns/s, "
+            f"{notify} notifications/s ({streamed} streamed)"
+        )
+    return rc
+
+
 def check_obs(path):
     """OBS_*.json snapshot: the instrumented hot paths actually ran.
 
@@ -252,6 +287,7 @@ def main():
         "BENCH_sim_hot.json": check_sim_hot,
         "BENCH_trace_v2.json": check_trace_v2,
         "BENCH_query.json": check_query,
+        "BENCH_served.json": check_served,
     }
     rc = 0
     found = 0
