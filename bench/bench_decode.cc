@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Acceptance microbench for the vectorized kernels (DESIGN.md §14):
+ * the v2 column batch decoder and the MonitorIndex batched
+ * shadow-directory probe, measured scalar-vs-selected-ISA in one
+ * binary so the committed scalar fallback is the baseline by
+ * construction.
+ *
+ * Three things are measured:
+ *
+ *  - batch decode bandwidth: full decodeBlockBatch over every block
+ *    of each paper workload's v2 container, scalar vs the selected
+ *    ISA, in raw-event MB/s. When a vector ISA is selected the
+ *    aggregate speedup must be >= 2x (the PR's acceptance floor);
+ *  - batched byte-probe throughput: lookupBytesBatch over a mostly
+ *    miss address stream against a populated index, scalar vs vector,
+ *    with the hit masks compared lane-for-lane;
+ *  - end-to-end replay: sim::simulate over the mapped container,
+ *    scalar vs vector, with bit-identical SessionCounters required.
+ *
+ * Bit-identity is also pinned on the committed mini-corpus
+ * (bench/corpus/): every block of every artifact must decode to the
+ * same batch under both ISAs. Emits BENCH_decode.json with the
+ * selected ISA recorded in the meta block; a correctness or
+ * acceptance failure exits nonzero.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "report/table.h"
+#include "session/session.h"
+#include "sim/simulator.h"
+#include "trace/trace_io.h"
+#include "util/simd.h"
+#include "wms/monitor_index.h"
+#include "workload/workload.h"
+
+#ifndef EDB_CORPUS_DIR
+#define EDB_CORPUS_DIR "bench/corpus"
+#endif
+
+namespace {
+
+using namespace edb;
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** One wall-clock timing of `fn`, in milliseconds. */
+template <typename Fn>
+double
+timeOnce(Fn &&fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    return msSince(start);
+}
+
+double
+medianOfTimes(std::vector<double> times)
+{
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+/** Median-of-N wall time of `fn`, in milliseconds. */
+template <typename Fn>
+double
+medianOf(int reps, Fn &&fn)
+{
+    std::vector<double> times;
+    times.reserve((std::size_t)reps);
+    for (int i = 0; i < reps; ++i)
+        times.push_back(timeOnce(fn));
+    return medianOfTimes(std::move(times));
+}
+
+bool
+sameBatch(const trace::WriteBatch &a, const trace::WriteBatch &b)
+{
+    if (a.events != b.events || a.writes != b.writes ||
+        a.ctlPos != b.ctlPos || a.wrBegin != b.wrBegin ||
+        a.wrSize != b.wrSize || a.wrAux != b.wrAux)
+        return false;
+    if (a.ctl.size() != b.ctl.size())
+        return false;
+    for (std::size_t i = 0; i < a.ctl.size(); ++i) {
+        if (a.ctl[i].begin != b.ctl[i].begin ||
+            a.ctl[i].size != b.ctl[i].size ||
+            a.ctl[i].aux != b.ctl[i].aux ||
+            a.ctl[i].kind != b.ctl[i].kind)
+            return false;
+    }
+    return true;
+}
+
+/** Decode every block under the two ISAs and compare the batches. */
+bool
+decodeIdentical(const trace::MappedTrace &m, util::SimdIsa vec)
+{
+    trace::WriteBatch sb, vb;
+    for (std::size_t b = 0; b < m.blockCount(); ++b) {
+        util::simdOverride(util::SimdIsa::Scalar);
+        m.decodeBlockBatch(b, sb);
+        util::simdOverride(vec);
+        m.decodeBlockBatch(b, vb);
+        if (!sameBatch(sb, vb))
+            return false;
+    }
+    return true;
+}
+
+struct DecodeRow
+{
+    std::string name;
+    std::size_t events = 0;
+    double refMbps = 0;    ///< committed per-event reference decoder
+    double scalarMbps = 0; ///< batched decoder, scalar kernels
+    double vecMbps = 0;    ///< batched decoder, selected ISA
+    double speedup = 0;    ///< refMbps -> vecMbps
+};
+
+struct ReplayRow
+{
+    std::string program;
+    double scalarMs = 0;
+    double vecMs = 0;
+    double speedup = 0;
+    bool identical = false;
+};
+
+} // namespace
+
+int
+main()
+{
+    const int reps = 5;
+    // The selection under test honors EDB_SIMD, so the CI scalar
+    // matrix variant runs this binary all-scalar (and the acceptance
+    // floor, meaningless for scalar-vs-scalar, is waived).
+    const util::SimdIsa vec = util::simdIsa();
+    const bool vectorized = vec != util::SimdIsa::Scalar;
+    bool ok = true;
+    std::uint64_t sink = 0;
+
+    std::printf("bench_decode: selected ISA %s%s\n\n",
+                util::simdIsaName(vec),
+                vectorized ? "" : " (speedup floors waived)");
+
+    // ---- Committed mini-corpus: bit-identity across ISAs.
+    bool corpus_identical = true;
+    for (const char *f : {"mini_mixed.v2.trc", "mini_writes.v2.trc",
+                          "mini_straddle.v2.trc", "mini_ghost.v2.trc"}) {
+        const std::string path = std::string(EDB_CORPUS_DIR) + "/" + f;
+        trace::MappedTrace m(path);
+        if (!decodeIdentical(m, vec)) {
+            std::fprintf(stderr,
+                         "FAIL: corpus %s decodes differently under "
+                         "scalar and %s\n",
+                         f, util::simdIsaName(vec));
+            corpus_identical = false;
+            ok = false;
+        }
+    }
+
+    // ---- Paper workloads: decode bandwidth + end-to-end replay.
+    std::vector<DecodeRow> decode_rows;
+    std::vector<ReplayRow> replay_rows;
+    double scalar_ms_total = 0, vec_ms_total = 0;
+    for (auto name : workload::workloadNames()) {
+        auto w = workload::makeWorkload(name);
+        trace::Trace trace = workload::runTraced(*w);
+        session::SessionSet set =
+            session::SessionSet::enumerate(trace);
+
+        std::stringstream s2;
+        trace::writeTrace(trace, s2);
+        const std::string path =
+            "bench_decode_" + std::string(name) + ".v2.trc";
+        {
+            std::ofstream os(path,
+                             std::ios::binary | std::ios::trunc);
+            const std::string bytes = s2.str();
+            os.write(bytes.data(), (std::streamsize)bytes.size());
+        }
+        trace::MappedTrace mapped(path);
+        if (!decodeIdentical(mapped, vec)) {
+            std::fprintf(stderr,
+                         "FAIL: workload '%s' decodes differently "
+                         "under scalar and %s\n",
+                         std::string(name).c_str(),
+                         util::simdIsaName(vec));
+            ok = false;
+        }
+
+        DecodeRow row;
+        row.name = std::string(name);
+        row.events = trace.events.size();
+        const double raw_mb =
+            (double)(row.events * sizeof(trace::Event)) /
+            (1024.0 * 1024.0);
+        auto decodeAll = [&] {
+            trace::WriteBatch batch;
+            for (std::size_t b = 0; b < mapped.blockCount(); ++b) {
+                mapped.decodeBlockBatch(b, batch);
+                sink += batch.writes;
+            }
+        };
+        // The committed baseline: the per-event reference walker the
+        // seed shipped (and the batched path is pinned against).
+        // Each round times all three configurations back to back, so
+        // slow-drifting background load on a shared box biases them
+        // equally instead of whichever happened to run last.
+        std::vector<trace::Event> evbuf(mapped.largestBlockEvents());
+        auto refAll = [&] {
+            for (std::size_t b = 0; b < mapped.blockCount(); ++b) {
+                mapped.decodeBlockReference(b, evbuf.data());
+                sink += mapped.block(b).events;
+            }
+        };
+        std::vector<double> ref_t, scalar_t, vec_t;
+        for (int r = 0; r < reps; ++r) {
+            ref_t.push_back(timeOnce(refAll));
+            util::simdOverride(util::SimdIsa::Scalar);
+            scalar_t.push_back(timeOnce(decodeAll));
+            util::simdOverride(vec);
+            vec_t.push_back(timeOnce(decodeAll));
+        }
+        const double ref_ms = medianOfTimes(std::move(ref_t));
+        const double scalar_ms = medianOfTimes(std::move(scalar_t));
+        const double vec_ms = medianOfTimes(std::move(vec_t));
+        row.refMbps = raw_mb / (ref_ms / 1000.0);
+        row.scalarMbps = raw_mb / (scalar_ms / 1000.0);
+        row.vecMbps = raw_mb / (vec_ms / 1000.0);
+        row.speedup = ref_ms / vec_ms;
+        scalar_ms_total += ref_ms;
+        vec_ms_total += vec_ms;
+        decode_rows.push_back(row);
+
+        ReplayRow rep;
+        rep.program = std::string(name);
+        sim::SimResult scalar_result, vec_result;
+        std::vector<double> rs_t, rv_t;
+        for (int r = 0; r < reps; ++r) {
+            util::simdOverride(util::SimdIsa::Scalar);
+            rs_t.push_back(timeOnce(
+                [&] { scalar_result = sim::simulate(mapped, set); }));
+            util::simdOverride(vec);
+            rv_t.push_back(timeOnce(
+                [&] { vec_result = sim::simulate(mapped, set); }));
+        }
+        rep.scalarMs = medianOfTimes(std::move(rs_t));
+        rep.vecMs = medianOfTimes(std::move(rv_t));
+        rep.speedup = rep.scalarMs / rep.vecMs;
+        rep.identical = scalar_result == vec_result;
+        if (!rep.identical) {
+            std::fprintf(stderr,
+                         "FAIL: '%s' replay counters diverge between "
+                         "scalar and %s\n",
+                         rep.program.c_str(), util::simdIsaName(vec));
+            ok = false;
+        }
+        replay_rows.push_back(std::move(rep));
+        std::remove(path.c_str());
+    }
+    const double decode_overall = scalar_ms_total / vec_ms_total;
+    if (vectorized && decode_overall < 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: %s batch decode only %.2fx over the committed "
+                     "reference decoder (acceptance floor 2x)\n",
+                     util::simdIsaName(vec), decode_overall);
+        ok = false;
+    }
+
+    // ---- Batched byte probe against a populated index, mostly-miss
+    // address stream (the replay hot path the vector probe targets).
+    wms::MonitorIndex index;
+    const Addr probe_base = 1ull << 32;
+    for (Addr i = 0; i < 256; ++i) {
+        const Addr b = probe_base + i * (64ull << 10);
+        index.install(AddrRange(b, b + 64));
+    }
+    constexpr std::size_t nprobe = 1 << 16;
+    std::vector<Addr> addrs(nprobe);
+    std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+    for (std::size_t i = 0; i < nprobe; ++i) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        // ~1/16 of probes land in the installed stripe; the rest miss.
+        addrs[i] = (i % 16 == 0)
+                       ? probe_base + (lcg % (256 * (64ull << 10)))
+                       : (lcg >> 16) % probe_base;
+    }
+    std::vector<std::uint64_t> scalar_masks(nprobe / 64),
+        vec_masks(nprobe / 64);
+    auto probeAll = [&](std::vector<std::uint64_t> &out) {
+        for (std::size_t i = 0; i < nprobe; i += 64)
+            out[i / 64] = index.lookupBytesBatch(&addrs[i], 64);
+    };
+    util::simdOverride(util::SimdIsa::Scalar);
+    const double probe_scalar_ms =
+        medianOf(reps * 4, [&] { probeAll(scalar_masks); });
+    util::simdOverride(vec);
+    const double probe_vec_ms =
+        medianOf(reps * 4, [&] { probeAll(vec_masks); });
+    const bool probe_identical = scalar_masks == vec_masks;
+    if (!probe_identical) {
+        std::fprintf(stderr, "FAIL: batched probe masks diverge "
+                             "between scalar and %s\n",
+                     util::simdIsaName(vec));
+        ok = false;
+    }
+    const double probe_scalar_mops =
+        (double)nprobe / 1e6 / (probe_scalar_ms / 1000.0);
+    const double probe_vec_mops =
+        (double)nprobe / 1e6 / (probe_vec_ms / 1000.0);
+    const double probe_speedup = probe_scalar_ms / probe_vec_ms;
+
+    // ---- Report.
+    report::TextTable table;
+    table.header({"Trace", "Events", "Ref MB/s", "Scalar MB/s",
+                  std::string(util::simdIsaName(vec)) + " MB/s",
+                  "Speedup"});
+    for (const auto &r : decode_rows) {
+        table.row({r.name, std::to_string(r.events),
+                   report::fmt(r.refMbps, 0),
+                   report::fmt(r.scalarMbps, 0),
+                   report::fmt(r.vecMbps, 0),
+                   report::fmt(r.speedup, 2) + "x"});
+    }
+    std::printf("v2 batch decode, scalar vs %s, median of %d "
+                "(overall %.2fx):\n%s\n",
+                util::simdIsaName(vec), reps, decode_overall,
+                table.render().c_str());
+
+    report::TextTable rtable;
+    rtable.header({"Program", "Scalar (ms)",
+                   std::string(util::simdIsaName(vec)) + " (ms)",
+                   "Speedup", "Identical"});
+    for (const auto &r : replay_rows) {
+        rtable.row({r.program, report::fmt(r.scalarMs, 2),
+                    report::fmt(r.vecMs, 2),
+                    report::fmt(r.speedup, 2) + "x",
+                    r.identical ? "yes" : "NO"});
+    }
+    std::printf("mapped replay, all sessions:\n%s\n",
+                rtable.render().c_str());
+    std::printf("batched byte probe: scalar %.1f Mops/s, %s %.1f "
+                "Mops/s (%.2fx), masks %s\n\n",
+                probe_scalar_mops, util::simdIsaName(vec),
+                probe_vec_mops, probe_speedup,
+                probe_identical ? "identical" : "DIVERGED");
+
+    // ---- JSON (shared BENCH_*.json envelope, bench_json.h).
+    const std::string meta = std::string("\"simd_isa\": \"") +
+                             util::simdIsaName(vec) + "\"";
+    edb::benchhygiene::BenchJsonWriter writer(
+        "BENCH_decode.json", "decode", reps, meta.c_str());
+    if (!writer.ok())
+        return 1;
+    std::FILE *json = writer.file();
+    std::fprintf(json,
+                 "{\n"
+                 "    \"identical\": %s,\n"
+                 "    \"decode_speedup_overall\": %.3f,\n"
+                 "    \"probe\": {\"scalar_mops\": %.1f, "
+                 "\"vec_mops\": %.1f, \"speedup\": %.3f, "
+                 "\"identical\": %s},\n"
+                 "    \"decode\": [\n",
+                 ok ? "true" : "false", decode_overall,
+                 probe_scalar_mops, probe_vec_mops, probe_speedup,
+                 probe_identical ? "true" : "false");
+    for (std::size_t i = 0; i < decode_rows.size(); ++i) {
+        const auto &r = decode_rows[i];
+        std::fprintf(json,
+                     "      {\"trace\": \"%s\", \"events\": %zu, "
+                     "\"ref_mbps\": %.1f, "
+                     "\"scalar_mbps\": %.1f, \"vec_mbps\": %.1f, "
+                     "\"speedup\": %.3f}%s\n",
+                     r.name.c_str(), r.events, r.refMbps, r.scalarMbps,
+                     r.vecMbps, r.speedup,
+                     i + 1 < decode_rows.size() ? "," : "");
+    }
+    std::fprintf(json, "    ],\n    \"replay\": [\n");
+    for (std::size_t i = 0; i < replay_rows.size(); ++i) {
+        const auto &r = replay_rows[i];
+        std::fprintf(json,
+                     "      {\"program\": \"%s\", "
+                     "\"scalar_ms\": %.3f, \"vec_ms\": %.3f, "
+                     "\"speedup\": %.3f, \"identical\": %s}%s\n",
+                     r.program.c_str(), r.scalarMs, r.vecMs,
+                     r.speedup, r.identical ? "true" : "false",
+                     i + 1 < replay_rows.size() ? "," : "");
+    }
+    std::fprintf(json, "    ],\n    \"corpus_identical\": %s\n  }",
+                 corpus_identical ? "true" : "false");
+    writer.close();
+    std::printf("Wrote BENCH_decode.json (isa %s, decode %.2fx)\n",
+                util::simdIsaName(vec), decode_overall);
+
+    if (sink == 0)
+        std::fprintf(stderr, "note: decode sink unexpectedly zero\n");
+    return ok ? 0 : 1;
+}

@@ -33,8 +33,14 @@ namespace edb::benchhygiene {
 class BenchJsonWriter
 {
   public:
+    /**
+     * `extra_meta`, when non-null, is spliced verbatim into the meta
+     * object after the standard keys — pass pre-rendered JSON pairs
+     * such as `"\"simd_isa\": \"avx2\""` (no leading comma).
+     */
     BenchJsonWriter(const char *path, const char *name,
-                    int repetitions)
+                    int repetitions,
+                    const char *extra_meta = nullptr)
         : f_(std::fopen(path, "w"))
     {
         if (f_ == nullptr) {
@@ -46,9 +52,11 @@ class BenchJsonWriter
                      "  \"name\": \"%s\",\n"
                      "  \"repetitions\": %d,\n"
                      "  \"meta\": {\"git_sha\": \"%s\", "
-                     "\"build_type\": \"%s\", \"schema\": 1},\n"
+                     "\"build_type\": \"%s\", \"schema\": 1%s%s},\n"
                      "  \"results\": ",
-                     name, repetitions, EDB_GIT_SHA, EDB_BUILD_TYPE);
+                     name, repetitions, EDB_GIT_SHA, EDB_BUILD_TYPE,
+                     extra_meta != nullptr ? ", " : "",
+                     extra_meta != nullptr ? extra_meta : "");
     }
 
     ~BenchJsonWriter() { close(); }

@@ -170,7 +170,12 @@ usage()
            "  EDB_OBS_JSON=PATH  write the obs snapshot at process "
            "exit (any command)\n"
            "  EDB_LOG_LEVEL=L    least severe log level to print "
-           "(info|warn|error)\n";
+           "(info|warn|error)\n"
+           "  EDB_SIMD=ISA       pin the vectorized-kernel "
+           "instruction set\n"
+           "                     (off|scalar|avx2|neon|auto; "
+           "default auto, unsupported\n"
+           "                     choices degrade to scalar)\n";
 }
 
 int

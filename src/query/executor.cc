@@ -180,16 +180,36 @@ runQuery(const trace::MappedTrace &trace,
             pool.submit([b, events, blockFirst, out,
                          snap = std::move(snap), &trace, &spec,
                          &filter] {
-                std::vector<Event> buf((std::size_t)events);
-                trace.decodeBlock(b, buf.data());
+                // Batched decode: rows evaluate in stream order from
+                // the struct-of-arrays batch — write Events
+                // materialize on the fly, controls (the only rows
+                // that advance live-set state) come interleaved by
+                // position.
+                trace::WriteBatch batch;
+                trace.decodeBlockBatch(b, batch);
                 Evaluator eval(spec, filter, *out);
                 eval.seed(snap.data(), snap.size());
-                for (std::size_t j = 0; j < (std::size_t)events;
-                     ++j) {
-                    eval.row(blockFirst + j, buf[j]);
-                    if (buf[j].kind != trace::EventKind::Write)
-                        eval.state(buf[j]);
+                const std::size_t nc = batch.ctl.size();
+                std::size_t w = 0;
+                std::size_t pos = 0;
+                for (std::size_t c = 0; c <= nc; ++c) {
+                    const std::size_t upto =
+                        c < nc ? (std::size_t)batch.ctlPos[c] - c
+                               : (std::size_t)batch.writes;
+                    for (; w < upto; ++w, ++pos) {
+                        const Event e{batch.wrBegin[w],
+                                      batch.wrSize[w],
+                                      batch.wrAux[w],
+                                      trace::EventKind::Write};
+                        eval.row(blockFirst + pos, e);
+                    }
+                    if (c < nc) {
+                        eval.row(blockFirst + pos, batch.ctl[c]);
+                        eval.state(batch.ctl[c]);
+                        ++pos;
+                    }
                 }
+                (void)events;
             });
         } else {
             local.writesPruned += blk.writes;

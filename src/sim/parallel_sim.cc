@@ -505,6 +505,7 @@ parallelSimulate(const MappedTrace &trace, const SessionSet &sessions,
                 engine->reset();
                 engine->seed(snap.data(), snap.size());
                 std::vector<Event> buf(trace.largestBlockEvents());
+                trace::WriteBatch batch;
                 for (const ShardBlock &sb : *blocks) {
                     const MappedTrace::Block &blk =
                         trace.block(sb.id);
@@ -514,9 +515,8 @@ parallelSimulate(const MappedTrace &trace, const SessionSet &sessions,
                                        (std::size_t)blk.controls());
                         engine->skipWrites(blk.writes);
                     } else {
-                        trace.decodeBlock(sb.id, buf.data());
-                        engine->replay(buf.data(),
-                                       (std::size_t)blk.events);
+                        trace.decodeBlockBatch(sb.id, batch);
+                        engine->replayBlock(batch);
                     }
                 }
                 *out = engine->result();

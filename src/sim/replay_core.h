@@ -54,9 +54,15 @@
 #include "sim/relevance.h"
 #include "trace/trace.h"
 #include "trace/trace_format.h"
+#include "trace/trace_io.h"
 #include "util/arena_pool.h"
 #include "util/flat_map.h"
+#include "util/simd.h"
 #include "util/small_vec.h"
+
+#if EDB_SIMD_HAVE_AVX2
+#include <immintrin.h>
+#endif
 
 namespace edb::sim::detail {
 
@@ -253,7 +259,9 @@ class ReplayEngine
         for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
             miss_mask_[i].assign(masks.maskWords(), 0);
             pages_[i].reserve(page_hint);
+            page_filter_[i].assign(filterSlots, 0);
         }
+        isa_ = util::simdIsa();
         // The page prefilter is sound only while every object belongs
         // to at least one session (true of the paper's five session
         // types; see sessionsOf()). Verify once instead of trusting
@@ -273,8 +281,11 @@ class ReplayEngine
     {
         live_.clear();
         skip_pages_.clear();
-        for (std::size_t i = 0; i < vmPageSizeCount; ++i)
+        for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
             pages_[i].clear();
+            std::fill(page_filter_[i].begin(), page_filter_[i].end(),
+                      0u);
+        }
         for (CacheEntry &c : cache_)
             c.invalidate();
         rlo_.fill(0);
@@ -309,7 +320,10 @@ class ReplayEngine
             for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
                 auto [first, last] = pageSpan(r, vmPageSizes[i]);
                 for (Addr p = first; p <= last; ++p) {
-                    PageSessions &ps = *pages_[i].try_emplace(p).first;
+                    auto [slot, fresh] = pages_[i].try_emplace(p);
+                    if (fresh)
+                        ++page_filter_[i][p & (filterSlots - 1)];
+                    PageSessions &ps = *slot;
                     if (i == 0 && prefilter_)
                         ps.addObj(m.begin, m.end, m.obj);
                     for (SessionId s : sess)
@@ -332,6 +346,41 @@ class ReplayEngine
             }
         }
         // Settle replay-cache debts so result() sees exact counters.
+        for (CacheEntry &c : cache_)
+            c.flush();
+        EDB_OBS_ONLY(publishTally();)
+    }
+
+    /**
+     * Replay one decoded block in batched form — bit-identical to
+     * replay() over the scattered event array, counters and obs
+     * tallies both (DESIGN.md §14).
+     *
+     * Controls interleave by position: control c sits at block index
+     * ctlPos[c], so exactly ctlPos[c] - c writes precede it. The
+     * write spans in between go through a vectorized *screen*: a lane
+     * is provably pure — its whole effect is the write count — when
+     * it stays inside one finest page and the direct-mapped page
+     * filter shows no monitored page of any size at its address.
+     * Screened lanes retire without touching the per-write machinery;
+     * the rest take the scalar write() in stream order.
+     */
+    void
+    replayBlock(const trace::WriteBatch &wb)
+    {
+        std::size_t w = 0;
+        const std::size_t nc = wb.ctl.size();
+        for (std::size_t c = 0; c < nc; ++c) {
+            writeSpan(wb, w, (std::size_t)wb.ctlPos[c] - c);
+            const Event &e = wb.ctl[c];
+            if (e.kind == EventKind::InstallMonitor)
+                install(e);
+            else
+                remove(e);
+        }
+        writeSpan(wb, w, (std::size_t)wb.writes);
+        // Same per-call settle points as replay(), so the pending
+        // flush histogram sees identical batch boundaries.
         for (CacheEntry &c : cache_)
             c.flush();
         EDB_OBS_ONLY(publishTally();)
@@ -501,7 +550,10 @@ class ReplayEngine
         for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
             auto [first, last] = pageSpan(r, vmPageSizes[i]);
             for (Addr p = first; p <= last; ++p) {
-                PageSessions &ps = *pages_[i].try_emplace(p).first;
+                auto [slot, fresh] = pages_[i].try_emplace(p);
+                if (fresh)
+                    ++page_filter_[i][p & (filterSlots - 1)];
+                PageSessions &ps = *slot;
                 if (i == 0 && prefilter_)
                     ps.addObj(r.begin, r.end, e.aux);
                 for (SessionId s : sess) {
@@ -559,6 +611,7 @@ class ReplayEngine
                     EDB_ASSERT(ps->overflow || ps->objs.empty(),
                                "page object list leaked an object");
                     pages_[i].erase(p);
+                    --page_filter_[i][p & (filterSlots - 1)];
                 }
             }
         }
@@ -825,6 +878,170 @@ class ReplayEngine
         }
     }
 
+    /** log2 of each simulated page size, for the write screen. */
+    static constexpr std::array<unsigned, vmPageSizeCount> pageShifts =
+        [] {
+            std::array<unsigned, vmPageSizeCount> a{};
+            for (std::size_t i = 0; i < vmPageSizeCount; ++i)
+                a[i] = (unsigned)std::countr_zero(vmPageSizes[i]);
+            return a;
+        }();
+
+    /** Slots of each per-size page filter (u32 counts, ~128KB). */
+    static constexpr std::size_t filterSlots = std::size_t{1} << 14;
+
+    /**
+     * True when the write (b, s) is provably *pure* — its complete
+     * effect on the engine is ++totalWrites (plus the obs write
+     * tally). Requires prefilter_ (checked by the caller): then every
+     * live object's pages sit in pages_[0], so
+     *
+     *  - a zero filter slot for every size means no monitored page of
+     *    any size at this address: no hits (no live object shares a
+     *    byte), no active-page misses, and the single-page prefilter
+     *    path of write() would find no page entry — no map walk, no
+     *    tallies, no recording (nobjs == 0);
+     *  - replay windows and cached object ranges only ever cover a
+     *    live session-relevant object clipped to a monitored finest
+     *    page, so a screened write can match neither (its filter
+     *    slots are empty) — no cache_replays, no obj_cache_hits; the
+     *    no-wrap guard also rejects end == 0, which a zeroed window
+     *    [0, 0] would otherwise "contain";
+     *  - staying inside one finest page keeps it on one page of every
+     *    size (sizes nest), the exact shape write() short-circuits.
+     *
+     * Everything else — straddles, wraps, size-0 writes, any nonzero
+     * filter slot — takes the scalar write() verbatim.
+     */
+    bool
+    screenOne(Addr b, std::uint32_t s) const
+    {
+        if (s == 0)
+            return false;
+        const Addr end = b + s;
+        if (end < b)
+            return false;
+        if ((b >> pageShifts[0]) != ((end - 1) >> pageShifts[0]))
+            return false;
+        for (std::size_t i = 0; i < vmPageSizeCount; ++i) {
+            if (page_filter_[i][(b >> pageShifts[i]) &
+                                (filterSlots - 1)] != 0)
+                return false;
+        }
+        return true;
+    }
+
+#if EDB_SIMD_HAVE_AVX2
+    /** screenOne() over 4 lanes at a time: vector page math plus one
+     *  filter gather per page size; bit i of the result marks lane i
+     *  pure. */
+    __attribute__((target("avx2"))) std::uint64_t
+    screenWritesAvx2(const Addr *b, const std::uint32_t *sz,
+                     std::size_t n) const
+    {
+        std::uint64_t pure = 0;
+        const __m256i zero = _mm256_setzero_si256();
+        const __m256i ones = _mm256_set1_epi64x(-1);
+        const __m256i bias =
+            _mm256_set1_epi64x((long long)0x8000000000000000ull);
+        const __m256i fmask =
+            _mm256_set1_epi64x((long long)(filterSlots - 1));
+        const __m128i finest =
+            _mm_cvtsi32_si128((int)pageShifts[0]);
+        std::size_t i = 0;
+        for (; i + 4 <= n; i += 4) {
+            const __m256i beg =
+                _mm256_loadu_si256((const __m256i *)(b + i));
+            const __m256i size = _mm256_cvtepu32_epi64(
+                _mm_loadu_si128((const __m128i *)(sz + i)));
+            const __m256i end = _mm256_add_epi64(beg, size);
+            const __m256i nzSize = _mm256_andnot_si256(
+                _mm256_cmpeq_epi64(size, zero), ones);
+            const __m256i noWrap = _mm256_cmpgt_epi64(
+                _mm256_xor_si256(end, bias),
+                _mm256_xor_si256(beg, bias));
+            const __m256i last =
+                _mm256_sub_epi64(end, _mm256_set1_epi64x(1));
+            __m256i ok = _mm256_and_si256(nzSize, noWrap);
+            ok = _mm256_and_si256(
+                ok, _mm256_cmpeq_epi64(_mm256_srl_epi64(beg, finest),
+                                       _mm256_srl_epi64(last,
+                                                        finest)));
+            for (std::size_t s = 0; s < vmPageSizeCount; ++s) {
+                const __m128i sh =
+                    _mm_cvtsi32_si128((int)pageShifts[s]);
+                const __m256i slot = _mm256_and_si256(
+                    _mm256_srl_epi64(beg, sh), fmask);
+                const __m256i counts = _mm256_cvtepu32_epi64(
+                    _mm256_i64gather_epi32(
+                        (const int *)page_filter_[s].data(), slot,
+                        4));
+                ok = _mm256_and_si256(
+                    ok, _mm256_cmpeq_epi64(counts, zero));
+            }
+            pure |= (std::uint64_t)(unsigned)_mm256_movemask_pd(
+                        _mm256_castsi256_pd(ok))
+                    << i;
+        }
+        for (; i < n; ++i)
+            pure |= (std::uint64_t)screenOne(b[i], sz[i]) << i;
+        return pure;
+    }
+#endif // EDB_SIMD_HAVE_AVX2
+
+    /**
+     * Replay the writes [w, upto) of the batch: screen up to 64
+     * lanes at a shot, retire pure lanes as counts, and hand every
+     * other lane to write() in stream order. NEON has no gather, so
+     * non-AVX2 ISAs screen with the scalar predicate — same lanes,
+     * same result, still skipping the per-write machinery.
+     */
+    void
+    writeSpan(const trace::WriteBatch &wb, std::size_t &w,
+              std::size_t upto)
+    {
+        const Addr *b = wb.wrBegin.data();
+        const std::uint32_t *sz = wb.wrSize.data();
+        const std::uint32_t *aux = wb.wrAux.data();
+        while (w < upto) {
+            const std::size_t n =
+                std::min<std::size_t>(upto - w, 64);
+            std::uint64_t pure = 0;
+            if (prefilter_) {
+#if EDB_SIMD_HAVE_AVX2
+                if (isa_ == util::SimdIsa::Avx2) {
+                    pure = screenWritesAvx2(b + w, sz + w, n);
+                } else
+#endif
+                {
+                    for (std::size_t k = 0; k < n; ++k) {
+                        pure |= (std::uint64_t)screenOne(b[w + k],
+                                                         sz[w + k])
+                                << k;
+                    }
+                }
+            }
+            const std::uint64_t all =
+                n == 64 ? ~0ull : ((1ull << n) - 1);
+            if (pure == all) {
+                // The common case: the whole span misses everything.
+                result_.totalWrites += n;
+                EDB_OBS_ONLY(tally_.writes += (std::uint64_t)n;)
+            } else {
+                for (std::size_t k = 0; k < n; ++k) {
+                    if ((pure >> k) & 1) {
+                        ++result_.totalWrites;
+                        EDB_OBS_ONLY(++tally_.writes;)
+                    } else {
+                        write(Event{b[w + k], sz[w + k], aux[w + k],
+                                    EventKind::Write});
+                    }
+                }
+            }
+            w += n;
+        }
+    }
+
 #if EDB_OBS_ENABLED
     /**
      * Per-engine counting variables, plain u64s so the write path
@@ -859,6 +1076,19 @@ class ReplayEngine
     const SessionSet &sessions_;
     const SessionMaskTable &masks_;
     bool prefilter_ = false;
+    /** Kernel ISA, cached at construction (one ReplayEngine never
+     *  spans a simdOverride()). */
+    util::SimdIsa isa_ = util::SimdIsa::Scalar;
+    /**
+     * Per-size direct-mapped monitored-page presence counters, the
+     * write screen's probe target: slot p & (filterSlots-1) counts
+     * the pages_[i] entries mapping to it, maintained at the three
+     * places entries are created or erased. A zero slot proves the
+     * page is absent; collisions only cost screening opportunities,
+     * never correctness.
+     */
+    std::array<std::vector<std::uint32_t>, vmPageSizeCount>
+        page_filter_;
 
     /** Node pool for live_: one tree node per install, recycled
      *  across removes and reset() without touching the heap. */

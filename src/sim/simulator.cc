@@ -57,6 +57,7 @@ simulate(const trace::MappedTrace &trace, const SessionSet &sessions,
                                 sessions.objectCount());
 
     std::vector<Event> buf(trace.largestBlockEvents());
+    trace::WriteBatch batch;
     BlockSkipStats local;
     local.blocksTotal = trace.blockCount();
     for (std::size_t b = 0; b < trace.blockCount(); ++b) {
@@ -87,8 +88,8 @@ simulate(const trace::MappedTrace &trace, const SessionSet &sessions,
                 continue;
             }
         }
-        trace.decodeBlock(b, buf.data());
-        engine.replay(buf.data(), (std::size_t)blk.events);
+        trace.decodeBlockBatch(b, batch);
+        engine.replayBlock(batch);
     }
     trace::obsNoteSkippedBlocks(local.blocksSkipped +
                                     local.blocksControlOnly,

@@ -1,0 +1,1465 @@
+/**
+ * @file
+ * The batched v2 block decoder (DESIGN.md §14).
+ *
+ * decodeBlockBody() walks the eight RLE columns one event at a time;
+ * this file decodes the same block column-at-a-time into a WriteBatch:
+ *
+ *   1. each column — control and write groups alike — expanded whole
+ *      RLE groups at a time into a flat u64 array: a run becomes a
+ *      vector splat, a stretch of single-byte literal varints becomes
+ *      a 32-byte load, a high-bit movemask and four widening stores.
+ *      Interleaved traces (instrumented allocators install and remove
+ *      monitors throughout) put 10-20% of events in the control group,
+ *      so it rides the same kernels instead of the per-event cursors;
+ *   2. the aux delta chains resolved by vector prefix sums (the chain
+ *      is global within each group);
+ *   3. the begin columns unzigzagged whole (a pure vector map), then
+ *      the AddrPredictor chain run per event. The chain is inherently
+ *      serial — each prediction reads state the previous event wrote —
+ *      but with the unzigzag hoisted out it reduces to a branchless
+ *      select-add-store (predict() compiles to a cmov). That retires
+ *      far faster than any segment-splitting scheme: real traces
+ *      interleave objects so tightly that constant-aux segments
+ *      average one or two events, making segment-boundary detection
+ *      branches unpredictable;
+ *   4. the page-summary containment check as a vector fast-accept
+ *      (strict single-run containment — provably the only way the
+ *      scalar walk passes, since summary runs are separated by gaps)
+ *      with the oracle-exact scalar walk rerun on any lane that fails,
+ *      so accepted blocks and thrown TraceErrors match the scalar
+ *      decoder on every input.
+ *
+ * Every validation decodeBlockBody performs is preserved — 32-bit
+ * size/aux ranges, group structure, exact column exhaustion — with the
+ * identical messages (absolute byte offsets may point at the start of
+ * the offending column rather than the offending varint; errors always
+ * carry the "at byte N (block B)" suffix either way).
+ *
+ * Kernels dispatch on util::simdIsa(): an AVX2 set compiled with
+ * per-function target attributes (so the rest of the translation unit
+ * stays baseline x86-64 and EDB_SIMD=scalar runs anywhere), a NEON set
+ * that is baseline on aarch64, and the mandatory scalar fallback. All
+ * three produce bit-identical batches; the differential tests in
+ * test_simd_kernels.cc pin that.
+ */
+
+#include <algorithm>
+#include <cstring>
+
+#include "trace/v2_detail.h"
+#include "util/simd.h"
+
+#if EDB_SIMD_HAVE_AVX2
+#include <immintrin.h>
+#endif
+#if EDB_SIMD_HAVE_NEON
+#include <arm_neon.h>
+#endif
+
+namespace edb::trace::detail {
+
+namespace {
+
+using util::SimdIsa;
+
+/*
+ * ---- RLE column expansion -------------------------------------------
+ *
+ * expandColumn() owns group structure and validation; the ISA variants
+ * only accelerate the two bulk moves: splatting a run and widening a
+ * stretch of single-byte literal varints.
+ */
+
+void
+fillRunScalar(std::uint64_t *out, std::uint64_t n, std::uint64_t v)
+{
+    std::fill_n(out, (std::size_t)n, v);
+}
+
+/**
+ * The literal kernels take a compile-time ZZ flag: the delta columns
+ * (begins) want every literal unzigzagged, and folding that into the
+ * widening step saves a whole read-modify-write pass over the column.
+ */
+template <bool ZZ>
+void
+literalsScalar(SpanIn &in, std::uint64_t *out, std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t v = in.varint();
+        out[i] = ZZ ? (std::uint64_t)unzigzagV2(v) : v;
+    }
+}
+
+#if EDB_SIMD_HAVE_AVX2
+
+__attribute__((target("avx2"))) void
+fillRunAvx2(std::uint64_t *out, std::uint64_t n, std::uint64_t v)
+{
+    const __m256i vv = _mm256_set1_epi64x((long long)v);
+    std::uint64_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_si256((__m256i *)(out + i), vv);
+    for (; i < n; ++i)
+        out[i] = v;
+}
+
+/** 64-bit lane-wise unzigzag: (x >> 1) ^ -(x & 1). */
+__attribute__((target("avx2"), always_inline)) inline __m256i
+unzigzag256(__m256i x)
+{
+    const __m256i sign = _mm256_sub_epi64(
+        _mm256_setzero_si256(),
+        _mm256_and_si256(x, _mm256_set1_epi64x(1)));
+    return _mm256_xor_si256(_mm256_srli_epi64(x, 1), sign);
+}
+
+template <bool ZZ>
+__attribute__((target("avx2"))) void
+literalsAvx2(SpanIn &in, std::uint64_t *out, std::uint64_t n)
+{
+    while (n > 0) {
+        const std::size_t avail = (std::size_t)(in.end - in.p);
+        if (n < 4 || avail < 32) {
+            const std::uint64_t v = in.varint();
+            *out++ = ZZ ? (std::uint64_t)unzigzagV2(v) : v;
+            --n;
+            continue;
+        }
+        // A varint is single-byte iff its high bit is clear; the
+        // movemask of the next 32 bytes gives, in its trailing zeros,
+        // how many leading literals are single-byte and can be widened
+        // without any per-byte branching.
+        const __m256i bytes =
+            _mm256_loadu_si256((const __m256i *)in.p);
+        const unsigned cont =
+            (unsigned)_mm256_movemask_epi8(bytes);
+        if ((cont & 1u) == 0) {
+            const unsigned single =
+                cont != 0 ? (unsigned)__builtin_ctz(cont) : 32u;
+            std::uint64_t take = single < n ? single : n;
+            const unsigned char *p = in.p;
+            std::uint64_t k = 0;
+            for (; k + 4 <= take; k += 4) {
+                std::uint32_t quad;
+                std::memcpy(&quad, p + k, sizeof(quad));
+                __m256i wide = _mm256_cvtepu8_epi64(
+                    _mm_cvtsi32_si128((int)quad));
+                if constexpr (ZZ)
+                    wide = unzigzag256(wide);
+                _mm256_storeu_si256((__m256i *)(out + k), wide);
+            }
+            for (; k < take; ++k) {
+                out[k] = ZZ ? (std::uint64_t)unzigzagV2(p[k])
+                            : (std::uint64_t)p[k];
+            }
+            in.p += take;
+            out += take;
+            n -= take;
+            continue;
+        }
+        // Two-byte varints in front: the continuation mask repeats
+        // (set, clear) from bit 0, so the trailing zeros of the
+        // mismatch against 0b…0101 count them. Delta columns are full
+        // of these — zigzagged address strides land in [64, 8192).
+        const unsigned mis = cont ^ 0x55555555u;
+        const unsigned twos =
+            (mis != 0 ? (unsigned)__builtin_ctz(mis) : 32u) >> 1;
+        std::uint64_t take = twos < n ? twos : n;
+        if (take >= 8) {
+            // Eight two-byte varints per 16 loaded bytes: as a u16
+            // lane w = b0 | b1<<8 the value is (w & 0x7f) |
+            // ((w >> 1) & 0x3f80), then two widening steps to u64.
+            // Values are < 2^14, so the unzigzag can run in the 16-bit
+            // lanes with a sign-extending widen after.
+            const __m128i low7 = _mm_set1_epi16(0x007f);
+            const __m128i high7 = _mm_set1_epi16(0x3f80);
+            const unsigned char *p = in.p;
+            std::uint64_t k = 0;
+            for (; k + 8 <= take; k += 8) {
+                const __m128i raw =
+                    _mm_loadu_si128((const __m128i *)(p + 2 * k));
+                __m128i val = _mm_or_si128(
+                    _mm_and_si128(raw, low7),
+                    _mm_and_si128(_mm_srli_epi16(raw, 1), high7));
+                if constexpr (ZZ) {
+                    const __m128i sign = _mm_sub_epi16(
+                        _mm_setzero_si128(),
+                        _mm_and_si128(val, _mm_set1_epi16(1)));
+                    val = _mm_xor_si128(_mm_srli_epi16(val, 1), sign);
+                    _mm256_storeu_si256((__m256i *)(out + k),
+                                        _mm256_cvtepi16_epi64(val));
+                    _mm256_storeu_si256(
+                        (__m256i *)(out + k + 4),
+                        _mm256_cvtepi16_epi64(_mm_srli_si128(val, 8)));
+                } else {
+                    _mm256_storeu_si256((__m256i *)(out + k),
+                                        _mm256_cvtepu16_epi64(val));
+                    _mm256_storeu_si256(
+                        (__m256i *)(out + k + 4),
+                        _mm256_cvtepu16_epi64(_mm_srli_si128(val, 8)));
+                }
+            }
+            in.p += 2 * k;
+            out += k;
+            n -= k;
+            continue;
+        }
+        // Longer varints (or a short two-byte stretch): scalar, but
+        // without re-probing the window after every varint — decode
+        // until a single-byte literal resumes.
+        do {
+            const std::uint64_t v = in.varint();
+            *out++ = ZZ ? (std::uint64_t)unzigzagV2(v) : v;
+            --n;
+        } while (n > 0 && in.p < in.end && (*in.p & 0x80u) != 0);
+    }
+}
+
+#endif // EDB_SIMD_HAVE_AVX2
+
+#if EDB_SIMD_HAVE_NEON
+
+void
+fillRunNeon(std::uint64_t *out, std::uint64_t n, std::uint64_t v)
+{
+    const uint64x2_t vv = vdupq_n_u64(v);
+    std::uint64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        vst1q_u64(out + i, vv);
+        vst1q_u64(out + i + 2, vv);
+    }
+    for (; i < n; ++i)
+        out[i] = v;
+}
+
+/** 64-bit lane-wise unzigzag: (x >> 1) ^ -(x & 1). */
+inline uint64x2_t
+unzigzagNeon(uint64x2_t x)
+{
+    const uint64x2_t sign = vreinterpretq_u64_s64(vnegq_s64(
+        vreinterpretq_s64_u64(vandq_u64(x, vdupq_n_u64(1)))));
+    return veorq_u64(vshrq_n_u64(x, 1), sign);
+}
+
+template <bool ZZ>
+void
+literalsNeon(SpanIn &in, std::uint64_t *out, std::uint64_t n)
+{
+    while (n > 0) {
+        const std::size_t avail = (std::size_t)(in.end - in.p);
+        if (n < 8 || avail < 8) {
+            const std::uint64_t v = in.varint();
+            *out++ = ZZ ? (std::uint64_t)unzigzagV2(v) : v;
+            --n;
+            continue;
+        }
+        // Eight bytes at a time: all single-byte varints iff no high
+        // bit is set in the group.
+        std::uint64_t chunk;
+        std::memcpy(&chunk, in.p, sizeof(chunk));
+        if ((chunk & 0x8080808080808080ull) != 0) {
+            // Multi-byte varints in the window: scalar, without
+            // re-probing after every varint.
+            do {
+                const std::uint64_t v = in.varint();
+                *out++ = ZZ ? (std::uint64_t)unzigzagV2(v) : v;
+                --n;
+            } while (n > 0 && in.p < in.end &&
+                     (*in.p & 0x80u) != 0);
+            continue;
+        }
+        const uint8x8_t b = vld1_u8(in.p);
+        const uint16x8_t w16 = vmovl_u8(b);
+        const uint32x4_t lo32 = vmovl_u16(vget_low_u16(w16));
+        const uint32x4_t hi32 = vmovl_u16(vget_high_u16(w16));
+        uint64x2_t q0 = vmovl_u32(vget_low_u32(lo32));
+        uint64x2_t q1 = vmovl_u32(vget_high_u32(lo32));
+        uint64x2_t q2 = vmovl_u32(vget_low_u32(hi32));
+        uint64x2_t q3 = vmovl_u32(vget_high_u32(hi32));
+        if constexpr (ZZ) {
+            q0 = unzigzagNeon(q0);
+            q1 = unzigzagNeon(q1);
+            q2 = unzigzagNeon(q2);
+            q3 = unzigzagNeon(q3);
+        }
+        vst1q_u64(out + 0, q0);
+        vst1q_u64(out + 2, q1);
+        vst1q_u64(out + 4, q2);
+        vst1q_u64(out + 6, q3);
+        in.p += 8;
+        out += 8;
+        n -= 8;
+    }
+}
+
+#endif // EDB_SIMD_HAVE_NEON
+
+/**
+ * The group-structure walk shared by every ISA: groups of count >= 1,
+ * exactly n values, no trailing bytes — enforced with the messages
+ * RleCursor + checkExhausted produce. Interleaved traces fragment
+ * columns into millions of 2-8 value groups, so short runs splat
+ * inline and the per-ISA kernels resolve at compile time (the
+ * dispatch switch runs once per column, not once per group).
+ */
+template <SimdIsa I, bool ZZ>
+inline void
+expandBody(SpanIn &in, int col, std::uint64_t n, std::uint64_t *out)
+{
+    std::uint64_t got = 0;
+    while (got < n) {
+        const std::uint64_t c = in.varint();
+        const std::uint64_t cnt = c >> 1;
+        if (cnt == 0)
+            in.fail("trace file RLE group is empty");
+        if (cnt > n - got) {
+            // The scalar cursor would stop mid-group with the group
+            // partly unconsumed and fail column exhaustion.
+            in.fail("trace file block column %d has trailing bytes",
+                    col);
+        }
+        std::uint64_t *dst = out + got;
+        got += cnt;
+        if ((c & 1) == 0) {
+            const std::uint64_t raw = in.varint();
+            const std::uint64_t v =
+                ZZ ? (std::uint64_t)unzigzagV2(raw) : raw;
+            if (cnt <= 8) {
+                for (std::uint64_t i = 0; i < cnt; ++i)
+                    dst[i] = v;
+            }
+#if EDB_SIMD_HAVE_AVX2
+            else if constexpr (I == SimdIsa::Avx2)
+                fillRunAvx2(dst, cnt, v);
+#endif
+#if EDB_SIMD_HAVE_NEON
+            else if constexpr (I == SimdIsa::Neon)
+                fillRunNeon(dst, cnt, v);
+#endif
+            else
+                fillRunScalar(dst, cnt, v);
+        } else {
+#if EDB_SIMD_HAVE_AVX2
+            if constexpr (I == SimdIsa::Avx2)
+                literalsAvx2<ZZ>(in, dst, cnt);
+            else
+#endif
+#if EDB_SIMD_HAVE_NEON
+                if constexpr (I == SimdIsa::Neon)
+                literalsNeon<ZZ>(in, dst, cnt);
+            else
+#endif
+                literalsScalar<ZZ>(in, dst, cnt);
+        }
+    }
+    if (!in.empty())
+        in.fail("trace file block column %d has trailing bytes", col);
+}
+
+#if EDB_SIMD_HAVE_AVX2
+
+/** AVX2-targeted shell so the kernels inline into the group walk. */
+template <bool ZZ>
+__attribute__((target("avx2"))) void
+expandColumnAvx2(SpanIn &in, int col, std::uint64_t n,
+                 std::uint64_t *out)
+{
+    expandBody<SimdIsa::Avx2, ZZ>(in, col, n, out);
+}
+
+#endif // EDB_SIMD_HAVE_AVX2
+
+/**
+ * Expand one RLE column into out[0 .. n), optionally unzigzagging
+ * every value on the way out (for the begin delta columns).
+ */
+void
+expandColumn(SpanIn &in, int col, std::uint64_t n, std::uint64_t *out,
+             SimdIsa isa, bool zigzag = false)
+{
+    switch (isa) {
+#if EDB_SIMD_HAVE_AVX2
+    case SimdIsa::Avx2:
+        if (zigzag)
+            expandColumnAvx2<true>(in, col, n, out);
+        else
+            expandColumnAvx2<false>(in, col, n, out);
+        return;
+#endif
+#if EDB_SIMD_HAVE_NEON
+    case SimdIsa::Neon:
+        if (zigzag)
+            expandBody<SimdIsa::Neon, true>(in, col, n, out);
+        else
+            expandBody<SimdIsa::Neon, false>(in, col, n, out);
+        return;
+#endif
+    default:
+        if (zigzag)
+            expandBody<SimdIsa::Scalar, true>(in, col, n, out);
+        else
+            expandBody<SimdIsa::Scalar, false>(in, col, n, out);
+        return;
+    }
+}
+
+/*
+ * ---- prefix sum over unzigzagged deltas -----------------------------
+ *
+ * v[i] := carry += unzigzag(v[i]), returning the final carry. All
+ * arithmetic mod 2^64, exactly as the scalar decoder's Addr/u64
+ * accumulation.
+ */
+
+std::uint64_t
+prefixUnzigzagScalar(std::uint64_t *v, std::uint64_t n,
+                     std::uint64_t carry)
+{
+    for (std::uint64_t i = 0; i < n; ++i) {
+        carry += (std::uint64_t)unzigzagV2(v[i]);
+        v[i] = carry;
+    }
+    return carry;
+}
+
+#if EDB_SIMD_HAVE_AVX2
+
+__attribute__((target("avx2"))) std::uint64_t
+prefixUnzigzagAvx2(std::uint64_t *v, std::uint64_t n,
+                   std::uint64_t carry)
+{
+    std::uint64_t i = 0;
+    __m256i vcarry = _mm256_set1_epi64x((long long)carry);
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i zero = _mm256_setzero_si256();
+    // 8 at a time: the two in-register prefix sums are independent,
+    // so their shuffles and adds overlap; only the carry broadcast
+    // chains between them. (u64 addition is associative mod 2^64, so
+    // any grouping matches the scalar accumulation bit for bit.)
+    for (; i + 8 <= n; i += 8) {
+        __m256i x0 = _mm256_loadu_si256((const __m256i *)(v + i));
+        __m256i x1 = _mm256_loadu_si256((const __m256i *)(v + i + 4));
+        const __m256i s0 =
+            _mm256_sub_epi64(zero, _mm256_and_si256(x0, one));
+        x0 = _mm256_xor_si256(_mm256_srli_epi64(x0, 1), s0);
+        const __m256i s1 =
+            _mm256_sub_epi64(zero, _mm256_and_si256(x1, one));
+        x1 = _mm256_xor_si256(_mm256_srli_epi64(x1, 1), s1);
+        __m256i t =
+            _mm256_permute4x64_epi64(x0, _MM_SHUFFLE(2, 1, 0, 3));
+        t = _mm256_blend_epi32(t, zero, 0x03);
+        x0 = _mm256_add_epi64(x0, t);
+        t = _mm256_permute4x64_epi64(x0, _MM_SHUFFLE(1, 0, 3, 2));
+        t = _mm256_blend_epi32(t, zero, 0x0f);
+        x0 = _mm256_add_epi64(x0, t);
+        t = _mm256_permute4x64_epi64(x1, _MM_SHUFFLE(2, 1, 0, 3));
+        t = _mm256_blend_epi32(t, zero, 0x03);
+        x1 = _mm256_add_epi64(x1, t);
+        t = _mm256_permute4x64_epi64(x1, _MM_SHUFFLE(1, 0, 3, 2));
+        t = _mm256_blend_epi32(t, zero, 0x0f);
+        x1 = _mm256_add_epi64(x1, t);
+        x0 = _mm256_add_epi64(x0, vcarry);
+        _mm256_storeu_si256((__m256i *)(v + i), x0);
+        const __m256i c0 =
+            _mm256_permute4x64_epi64(x0, _MM_SHUFFLE(3, 3, 3, 3));
+        x1 = _mm256_add_epi64(x1, c0);
+        _mm256_storeu_si256((__m256i *)(v + i + 4), x1);
+        vcarry = _mm256_permute4x64_epi64(x1, _MM_SHUFFLE(3, 3, 3, 3));
+    }
+    for (; i + 4 <= n; i += 4) {
+        __m256i x = _mm256_loadu_si256((const __m256i *)(v + i));
+        // unzigzag: (x >> 1) ^ -(x & 1), per 64-bit lane.
+        const __m256i sign =
+            _mm256_sub_epi64(zero, _mm256_and_si256(x, one));
+        x = _mm256_xor_si256(_mm256_srli_epi64(x, 1), sign);
+        // Hillis-Steele in-register prefix sum over the 4 lanes.
+        __m256i t =
+            _mm256_permute4x64_epi64(x, _MM_SHUFFLE(2, 1, 0, 3));
+        t = _mm256_blend_epi32(t, zero, 0x03); // zero lane 0
+        x = _mm256_add_epi64(x, t);
+        t = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(1, 0, 3, 2));
+        t = _mm256_blend_epi32(t, zero, 0x0f); // zero lanes 0, 1
+        x = _mm256_add_epi64(x, t);
+        x = _mm256_add_epi64(x, vcarry);
+        _mm256_storeu_si256((__m256i *)(v + i), x);
+        vcarry = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(3, 3, 3, 3));
+    }
+    carry = (std::uint64_t)_mm256_extract_epi64(vcarry, 0);
+    for (; i < n; ++i) {
+        carry += (std::uint64_t)unzigzagV2(v[i]);
+        v[i] = carry;
+    }
+    return carry;
+}
+
+#endif // EDB_SIMD_HAVE_AVX2
+
+#if EDB_SIMD_HAVE_NEON
+
+std::uint64_t
+prefixUnzigzagNeon(std::uint64_t *v, std::uint64_t n,
+                   std::uint64_t carry)
+{
+    std::uint64_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        uint64x2_t x = vld1q_u64(v + i);
+        const uint64x2_t sign = vreinterpretq_u64_s64(vnegq_s64(
+            vreinterpretq_s64_u64(vandq_u64(x, vdupq_n_u64(1)))));
+        x = veorq_u64(vshrq_n_u64(x, 1), sign);
+        // 2-lane prefix sum: lane1 += lane0, both += carry.
+        const uint64x2_t shifted =
+            vextq_u64(vdupq_n_u64(0), x, 1); // [0, lane0]
+        x = vaddq_u64(x, shifted);
+        x = vaddq_u64(x, vdupq_n_u64(carry));
+        vst1q_u64(v + i, x);
+        carry = vgetq_lane_u64(x, 1);
+    }
+    for (; i < n; ++i) {
+        carry += (std::uint64_t)unzigzagV2(v[i]);
+        v[i] = carry;
+    }
+    return carry;
+}
+
+#endif // EDB_SIMD_HAVE_NEON
+
+std::uint64_t
+prefixUnzigzag(std::uint64_t *v, std::uint64_t n, std::uint64_t carry,
+               SimdIsa isa)
+{
+    switch (isa) {
+#if EDB_SIMD_HAVE_AVX2
+    case SimdIsa::Avx2:
+        return prefixUnzigzagAvx2(v, n, carry);
+#endif
+#if EDB_SIMD_HAVE_NEON
+    case SimdIsa::Neon:
+        return prefixUnzigzagNeon(v, n, carry);
+#endif
+    default:
+        return prefixUnzigzagScalar(v, n, carry);
+    }
+}
+
+/*
+ * ---- direct u32 expansion (size columns) ----------------------------
+ *
+ * Size values are small, so the size column expands straight to u32 —
+ * double the vector density — with the 32-bit range check folded in
+ * (single- and two-byte literals cannot violate it; runs are checked
+ * once). Fails with the per-event walker's message.
+ */
+
+[[noreturn]] void
+failSize(SpanIn &in, std::uint64_t v)
+{
+    in.fail("trace file event size %llu implausible",
+            (unsigned long long)v);
+}
+
+void
+literals32Scalar(SpanIn &in, std::uint32_t *out, std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t v = in.varint();
+        if (v > 0xffffffffull)
+            failSize(in, v);
+        out[i] = (std::uint32_t)v;
+    }
+}
+
+#if EDB_SIMD_HAVE_AVX2
+
+__attribute__((target("avx2"))) void
+literals32Avx2(SpanIn &in, std::uint32_t *out, std::uint64_t n)
+{
+    while (n > 0) {
+        const std::size_t avail = (std::size_t)(in.end - in.p);
+        if (n < 8 || avail < 32) {
+            const std::uint64_t v = in.varint();
+            if (v > 0xffffffffull)
+                failSize(in, v);
+            *out++ = (std::uint32_t)v;
+            --n;
+            continue;
+        }
+        const __m256i bytes =
+            _mm256_loadu_si256((const __m256i *)in.p);
+        const unsigned cont =
+            (unsigned)_mm256_movemask_epi8(bytes);
+        if ((cont & 1u) == 0) {
+            // Single-byte literals: eight per 8-byte load.
+            const unsigned single =
+                cont != 0 ? (unsigned)__builtin_ctz(cont) : 32u;
+            std::uint64_t take = single < n ? single : n;
+            const unsigned char *p = in.p;
+            std::uint64_t k = 0;
+            for (; k + 8 <= take; k += 8) {
+                const __m128i oct = _mm_loadl_epi64(
+                    (const __m128i *)(p + k));
+                _mm256_storeu_si256((__m256i *)(out + k),
+                                    _mm256_cvtepu8_epi32(oct));
+            }
+            for (; k < take; ++k)
+                out[k] = p[k];
+            in.p += take;
+            out += take;
+            n -= take;
+            continue;
+        }
+        const unsigned mis = cont ^ 0x55555555u;
+        const unsigned twos =
+            (mis != 0 ? (unsigned)__builtin_ctz(mis) : 32u) >> 1;
+        std::uint64_t take = twos < n ? twos : n;
+        if (take >= 8) {
+            // Eight two-byte varints per 16 loaded bytes.
+            const __m128i low7 = _mm_set1_epi16(0x007f);
+            const __m128i high7 = _mm_set1_epi16(0x3f80);
+            const unsigned char *p = in.p;
+            std::uint64_t k = 0;
+            for (; k + 8 <= take; k += 8) {
+                const __m128i raw =
+                    _mm_loadu_si128((const __m128i *)(p + 2 * k));
+                const __m128i val = _mm_or_si128(
+                    _mm_and_si128(raw, low7),
+                    _mm_and_si128(_mm_srli_epi16(raw, 1), high7));
+                _mm256_storeu_si256((__m256i *)(out + k),
+                                    _mm256_cvtepu16_epi32(val));
+            }
+            in.p += 2 * k;
+            out += k;
+            n -= k;
+            continue;
+        }
+        do {
+            const std::uint64_t v = in.varint();
+            if (v > 0xffffffffull)
+                failSize(in, v);
+            *out++ = (std::uint32_t)v;
+            --n;
+        } while (n > 0 && in.p < in.end && (*in.p & 0x80u) != 0);
+    }
+}
+
+#endif // EDB_SIMD_HAVE_AVX2
+
+template <SimdIsa I>
+inline void
+expandBody32(SpanIn &in, int col, std::uint64_t n, std::uint32_t *out)
+{
+    std::uint64_t got = 0;
+    while (got < n) {
+        const std::uint64_t c = in.varint();
+        const std::uint64_t cnt = c >> 1;
+        if (cnt == 0)
+            in.fail("trace file RLE group is empty");
+        if (cnt > n - got) {
+            in.fail("trace file block column %d has trailing bytes",
+                    col);
+        }
+        std::uint32_t *dst = out + got;
+        got += cnt;
+        if ((c & 1) == 0) {
+            const std::uint64_t v = in.varint();
+            if (v > 0xffffffffull)
+                failSize(in, v);
+            const std::uint32_t v32 = (std::uint32_t)v;
+            if (cnt <= 16) {
+                for (std::uint64_t i = 0; i < cnt; ++i)
+                    dst[i] = v32;
+            } else {
+                std::fill_n(dst, (std::size_t)cnt, v32);
+            }
+        } else {
+#if EDB_SIMD_HAVE_AVX2
+            if constexpr (I == SimdIsa::Avx2)
+                literals32Avx2(in, dst, cnt);
+            else
+#endif
+                literals32Scalar(in, dst, cnt);
+        }
+    }
+    if (!in.empty())
+        in.fail("trace file block column %d has trailing bytes", col);
+}
+
+#if EDB_SIMD_HAVE_AVX2
+
+/** AVX2-targeted shell so the kernels inline into the group walk. */
+__attribute__((target("avx2"))) void
+expandColumn32Avx2(SpanIn &in, int col, std::uint64_t n,
+                   std::uint32_t *out)
+{
+    expandBody32<SimdIsa::Avx2>(in, col, n, out);
+}
+
+#endif // EDB_SIMD_HAVE_AVX2
+
+/** Expand one size column into out[0 .. n), range-checked. */
+void
+expandColumn32(SpanIn &in, int col, std::uint64_t n,
+               std::uint32_t *out, SimdIsa isa)
+{
+    switch (isa) {
+#if EDB_SIMD_HAVE_AVX2
+    case SimdIsa::Avx2:
+        expandColumn32Avx2(in, col, n, out);
+        return;
+#endif
+    default:
+        expandBody32<SimdIsa::Scalar>(in, col, n, out);
+        return;
+    }
+}
+
+/*
+ * ---- fused aux column: expand + prefix chain + check + narrow -------
+ *
+ * The write aux column is the per-event chain aux_i = aux_{i-1} +
+ * unzigzag(delta_i), range-checked to 32 bits and stored as u32. The
+ * whole column resolves in one group walk with the prefix sum fused
+ * in: a constant-delta run is an arithmetic ramp (a splat when the
+ * delta is zero — the dominant shape, writes to the same object),
+ * and a literal group chains its deltas straight into the output.
+ * Single-byte varints — the overwhelmingly common encoding — flow
+ * through a 32-bit lane kernel that decodes, unzigzags, prefix-sums,
+ * range-checks, and narrows in one step; everything else takes the
+ * per-event path, so failures surface in strict event order on every
+ * ISA. No 64-bit scratch pass survives.
+ *
+ * Every stored value is validated, so the carry is always <= 32 bits
+ * between groups.
+ */
+
+[[noreturn]] void
+failAux(SpanIn &in, std::uint64_t v)
+{
+    in.fail("trace file event aux %llu implausible",
+            (unsigned long long)v);
+}
+
+std::uint64_t
+rampNarrowScalar(std::uint32_t *out, std::uint64_t cnt,
+                 std::uint64_t carry, std::uint64_t d, SpanIn &in)
+{
+    for (std::uint64_t i = 0; i < cnt; ++i) {
+        carry += d;
+        if ((carry >> 32) != 0)
+            failAux(in, carry);
+        out[i] = (std::uint32_t)carry;
+    }
+    return carry;
+}
+
+/** Per-event fused decode + chain + check + narrow, event order. */
+std::uint64_t
+auxChunkScalar(SpanIn &in, std::uint32_t *out, std::uint64_t n,
+               std::uint64_t carry)
+{
+    for (std::uint64_t i = 0; i < n; ++i) {
+        carry += (std::uint64_t)unzigzagV2(in.varint());
+        if ((carry >> 32) != 0)
+            failAux(in, carry);
+        out[i] = (std::uint32_t)carry;
+    }
+    return carry;
+}
+
+#if EDB_SIMD_HAVE_AVX2
+
+__attribute__((target("avx2"))) std::uint64_t
+rampNarrowAvx2(std::uint32_t *out, std::uint64_t cnt,
+               std::uint64_t carry, std::uint64_t d, SpanIn &in)
+{
+    const __m256i step = _mm256_set1_epi64x((long long)(d * 8));
+    const __m256i pack = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    __m256i v0 = _mm256_setr_epi64x(
+        (long long)(carry + d), (long long)(carry + 2 * d),
+        (long long)(carry + 3 * d), (long long)(carry + 4 * d));
+    __m256i v1 = _mm256_setr_epi64x(
+        (long long)(carry + 5 * d), (long long)(carry + 6 * d),
+        (long long)(carry + 7 * d), (long long)(carry + 8 * d));
+    std::uint64_t i = 0;
+    for (; i + 8 <= cnt; i += 8) {
+        // A lane above 32 bits: the scalar tail replays these events
+        // to pinpoint the first offender and fail.
+        const __m256i hi = _mm256_or_si256(_mm256_srli_epi64(v0, 32),
+                                           _mm256_srli_epi64(v1, 32));
+        if (!_mm256_testz_si256(hi, hi))
+            break;
+        _mm_storeu_si128((__m128i *)(out + i),
+                         _mm256_castsi256_si128(
+                             _mm256_permutevar8x32_epi32(v0, pack)));
+        _mm_storeu_si128((__m128i *)(out + i + 4),
+                         _mm256_castsi256_si128(
+                             _mm256_permutevar8x32_epi32(v1, pack)));
+        v0 = _mm256_add_epi64(v0, step);
+        v1 = _mm256_add_epi64(v1, step);
+    }
+    return rampNarrowScalar(out + i, cnt - i, carry + i * d, d, in);
+}
+
+/**
+ * Fused literal-group kernel: decode, unzigzag, prefix-chain, range
+ * check, and narrow a stretch of aux deltas in 32-bit lanes.
+ *
+ * Single-byte varints decode to deltas in [-64, 63], so as long as
+ * the carry stays under 2^30 the true 64-bit chain value of any lane
+ * in an 8-wide chunk fits comfortably in 32-bit arithmetic — unless
+ * the chain went out of range, which shows up as either a set sign
+ * bit (a wrapped-negative chain) or a value above the 2^30 guard.
+ * Such chunks drop to the per-event tail, which redoes the arithmetic
+ * in 64 bits and fails (or accepts a legitimately huge aux and parks
+ * the whole column on the per-event path via the carry guard).
+ * Multi-byte varints and short tails take the per-event path too, so
+ * failures surface in strict event order, same as the scalar body.
+ */
+__attribute__((target("avx2"))) std::uint64_t
+literalsAuxAvx2(SpanIn &in, std::uint32_t *out, std::uint64_t n,
+                std::uint64_t carry)
+{
+    const __m256i one = _mm256_set1_epi32(1);
+    const __m256i thresh = _mm256_set1_epi32(0x3fffffff);
+    const __m256i top = _mm256_set1_epi32(7);
+    while (n > 0) {
+        const std::size_t avail = (std::size_t)(in.end - in.p);
+        if (n < 8 || avail < 32 || carry >= 0x40000000ull) {
+            carry += (std::uint64_t)unzigzagV2(in.varint());
+            if ((carry >> 32) != 0)
+                failAux(in, carry);
+            *out++ = (std::uint32_t)carry;
+            --n;
+            continue;
+        }
+        const __m256i bytes =
+            _mm256_loadu_si256((const __m256i *)in.p);
+        const unsigned cont =
+            (unsigned)_mm256_movemask_epi8(bytes);
+        if ((cont & 1u) != 0) {
+            // Leading multi-byte varints: per-event until the
+            // continuation bits clear.
+            do {
+                carry += (std::uint64_t)unzigzagV2(in.varint());
+                if ((carry >> 32) != 0)
+                    failAux(in, carry);
+                *out++ = (std::uint32_t)carry;
+                --n;
+            } while (n > 0 && in.p < in.end &&
+                     (*in.p & 0x80u) != 0);
+            continue;
+        }
+        const unsigned single =
+            cont != 0 ? (unsigned)__builtin_ctz(cont) : 32u;
+        const std::uint64_t take = single < n ? single : n;
+        __m256i vcarry = _mm256_set1_epi32((int)(std::uint32_t)carry);
+        std::uint64_t k = 0;
+        for (; k + 8 <= take; k += 8) {
+            __m256i x = _mm256_cvtepu8_epi32(
+                _mm_loadl_epi64((const __m128i *)(in.p + k)));
+            const __m256i sign = _mm256_sub_epi32(
+                _mm256_setzero_si256(), _mm256_and_si256(x, one));
+            x = _mm256_xor_si256(_mm256_srli_epi32(x, 1), sign);
+            // 8-lane inclusive prefix: Hillis-Steele within each
+            // 128-bit half, then carry the low half's total across.
+            x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+            x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+            __m256i t = _mm256_permute2x128_si256(x, x, 0x08);
+            t = _mm256_shuffle_epi32(t, _MM_SHUFFLE(3, 3, 3, 3));
+            x = _mm256_add_epi32(x, t);
+            x = _mm256_add_epi32(x, vcarry);
+            const __m256i bad = _mm256_or_si256(
+                x, _mm256_cmpgt_epi32(x, thresh));
+            if (_mm256_movemask_ps(_mm256_castsi256_ps(bad)) != 0)
+                break;
+            _mm256_storeu_si256((__m256i *)(out + k), x);
+            vcarry = _mm256_permutevar8x32_epi32(x, top);
+        }
+        if (k > 0)
+            carry = (std::uint32_t)_mm256_extract_epi32(vcarry, 0);
+        in.p += k;
+        out += k;
+        n -= k;
+        // Tail of the stretch (or a flagged chunk): per event, full
+        // 64-bit arithmetic; every byte here is a single-byte varint.
+        for (std::uint64_t rest = take - k; rest > 0; --rest) {
+            carry += (std::uint64_t)unzigzagV2(*in.p++);
+            if ((carry >> 32) != 0)
+                failAux(in, carry);
+            *out++ = (std::uint32_t)carry;
+            --n;
+        }
+    }
+    return carry;
+}
+
+#endif // EDB_SIMD_HAVE_AVX2
+
+template <SimdIsa I>
+inline void
+expandAuxBody(SpanIn &in, std::uint64_t n, std::uint32_t *out)
+{
+    std::uint64_t carry = 0;
+    std::uint64_t got = 0;
+    while (got < n) {
+        const std::uint64_t c = in.varint();
+        const std::uint64_t cnt = c >> 1;
+        if (cnt == 0)
+            in.fail("trace file RLE group is empty");
+        if (cnt > n - got) {
+            in.fail("trace file block column %d has trailing bytes",
+                    colWrAux);
+        }
+        std::uint32_t *dst = out + got;
+        got += cnt;
+        if ((c & 1) == 0) {
+            const std::uint64_t d =
+                (std::uint64_t)unzigzagV2(in.varint());
+            if (d == 0) {
+                // Carry is a validated previous value, so the whole
+                // run is a splat.
+                std::fill_n(dst, (std::size_t)cnt,
+                            (std::uint32_t)carry);
+            } else if (cnt <= 8) {
+                for (std::uint64_t i = 0; i < cnt; ++i) {
+                    carry += d;
+                    if ((carry >> 32) != 0)
+                        failAux(in, carry);
+                    dst[i] = (std::uint32_t)carry;
+                }
+            } else {
+#if EDB_SIMD_HAVE_AVX2
+                if constexpr (I == SimdIsa::Avx2)
+                    carry = rampNarrowAvx2(dst, cnt, carry, d, in);
+                else
+#endif
+                    carry = rampNarrowScalar(dst, cnt, carry, d, in);
+            }
+        } else {
+#if EDB_SIMD_HAVE_AVX2
+            if constexpr (I == SimdIsa::Avx2) {
+                if (cnt > 8) {
+                    carry = literalsAuxAvx2(in, dst, cnt, carry);
+                } else {
+                    carry = auxChunkScalar(in, dst, cnt, carry);
+                }
+            } else
+#endif
+            {
+                carry = auxChunkScalar(in, dst, cnt, carry);
+            }
+        }
+    }
+    if (!in.empty()) {
+        in.fail("trace file block column %d has trailing bytes",
+                colWrAux);
+    }
+}
+
+#if EDB_SIMD_HAVE_AVX2
+
+/** AVX2-targeted shell so the kernels inline into the group walk. */
+__attribute__((target("avx2"))) void
+expandAuxAvx2(SpanIn &in, std::uint64_t n, std::uint32_t *out)
+{
+    expandAuxBody<SimdIsa::Avx2>(in, n, out);
+}
+
+#endif // EDB_SIMD_HAVE_AVX2
+
+/** Expand + resolve the write aux chain into out[0 .. n). */
+void
+expandAuxColumn(SpanIn &in, std::uint64_t n, std::uint32_t *out,
+                SimdIsa isa)
+{
+    switch (isa) {
+#if EDB_SIMD_HAVE_AVX2
+    case SimdIsa::Avx2:
+        expandAuxAvx2(in, n, out);
+        return;
+#endif
+#if EDB_SIMD_HAVE_NEON
+    case SimdIsa::Neon:
+        expandAuxBody<SimdIsa::Neon>(in, n, out);
+        return;
+#endif
+    default:
+        expandAuxBody<SimdIsa::Scalar>(in, n, out);
+        return;
+    }
+}
+
+/*
+ * ---- fused begin chain ----------------------------------------------
+ *
+ * The write begin column resolves through the AddrPredictor chain,
+ * which is serial by construction: every prediction reads state the
+ * previous event wrote. A vector kernel cannot help, so the group
+ * walk fuses straight into the chain — run groups hoist their delta
+ * to a register constant and literal groups decode one varint per
+ * event — and the intermediate delta array disappears. One shared
+ * implementation serves every ISA, which also makes scalar/vector
+ * output identity on this phase structural.
+ */
+void
+chainBegins(SpanIn &in, std::uint64_t n, const std::uint32_t *aux,
+            Addr *out, Addr base)
+{
+    AddrPredictor pred(base);
+    std::uint64_t got = 0;
+    while (got < n) {
+        const std::uint64_t c = in.varint();
+        const std::uint64_t cnt = c >> 1;
+        if (cnt == 0)
+            in.fail("trace file RLE group is empty");
+        if (cnt > n - got) {
+            in.fail("trace file block column %d has trailing bytes",
+                    colWrBegin);
+        }
+        Addr *dst = out + got;
+        const std::uint32_t *a = aux + got;
+        got += cnt;
+        if ((c & 1) == 0) {
+            const Addr d = (Addr)unzigzagV2(in.varint());
+            for (std::uint64_t i = 0; i < cnt; ++i) {
+                const std::uint32_t x = a[i];
+                const Addr b = pred.predict(x) + d;
+                dst[i] = b;
+                pred.update(x, b);
+            }
+        } else {
+            for (std::uint64_t i = 0; i < cnt; ++i) {
+                const Addr d = (Addr)unzigzagV2(in.varint());
+                const std::uint32_t x = a[i];
+                const Addr b = pred.predict(x) + d;
+                dst[i] = b;
+                pred.update(x, b);
+            }
+        }
+    }
+    if (!in.empty()) {
+        in.fail("trace file block column %d has trailing bytes",
+                colWrBegin);
+    }
+}
+
+/*
+ * ---- page-summary containment ---------------------------------------
+ */
+
+/**
+ * The oracle-exact per-write check, verbatim from decodeBlockBody —
+ * including the AddrRange construction, so even the degenerate inputs
+ * it would reject behave identically.
+ */
+void
+checkWriteSpanScalar(const BlockHeader &h, Addr begin,
+                     std::uint32_t size, std::uint64_t payload_off,
+                     std::int64_t block)
+{
+    auto [first, last] =
+        pageSpan(AddrRange(begin, begin + size), summaryPageBytes);
+    Addr need = first;
+    for (const PageRun &r : h.runs) {
+        if (need < r.firstPage)
+            break;
+        if (!r.contains(need))
+            continue;
+        need = r.firstPage + r.pages;
+        if (need > last)
+            break;
+    }
+    if (need <= last) {
+        failTraceAt(payload_off, block,
+                    "trace file write escapes the block page summary");
+    }
+}
+
+void
+checkSummaryScalar(const BlockHeader &h, const Addr *begin,
+                   const std::uint32_t *size, std::uint64_t n,
+                   std::uint64_t payload_off, std::int64_t block)
+{
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (size[i] > 0) {
+            checkWriteSpanScalar(h, begin[i], size[i], payload_off,
+                                 block);
+        }
+    }
+}
+
+#if EDB_SIMD_HAVE_AVX2
+
+/**
+ * Vector fast-accept: a lane passes outright when its summary-page
+ * span [first, last] sits inside a single run with first <= last.
+ * Summary runs are separated by >= 1-page gaps, so this is the *only*
+ * way the scalar walk accepts a non-degenerate span; lanes that fail
+ * here are handed to the oracle-exact scalar check, which throws (or
+ * accepts) exactly as decodeBlockBody would.
+ */
+__attribute__((target("avx2"))) void
+checkSummaryAvx2(const BlockHeader &h, const Addr *begin,
+                 const std::uint32_t *size, std::uint64_t n,
+                 std::uint64_t payload_off, std::int64_t block)
+{
+    constexpr int pageShift = 13;
+    static_assert(summaryPageBytes == (Addr)1 << pageShift);
+    // Bias to make signed 64-bit compares behave unsigned.
+    const __m256i bias = _mm256_set1_epi64x(
+        (long long)0x8000000000000000ull);
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    // Broadcast the (biased) run bounds once, outside the lane loop.
+    __m256i runLo[maxSummaryRuns], runHi[maxSummaryRuns];
+    const std::size_t nruns = h.runs.size();
+    for (std::size_t r = 0; r < nruns; ++r) {
+        runLo[r] = _mm256_xor_si256(
+            _mm256_set1_epi64x((long long)h.runs[r].firstPage), bias);
+        runHi[r] = _mm256_xor_si256(
+            _mm256_set1_epi64x(
+                (long long)(h.runs[r].firstPage + h.runs[r].pages - 1)),
+            bias);
+    }
+    std::uint64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i b =
+            _mm256_loadu_si256((const __m256i *)(begin + i));
+        const __m256i sz = _mm256_cvtepu32_epi64(
+            _mm_loadu_si128((const __m128i *)(size + i)));
+        const __m256i zeroSize =
+            _mm256_cmpeq_epi64(sz, _mm256_setzero_si256());
+        // last byte = begin + size - 1 (mod 2^64; size == 0 lanes are
+        // accepted by zeroSize and their garbage span is ignored).
+        const __m256i lastByte = _mm256_sub_epi64(
+            _mm256_add_epi64(b, sz), _mm256_set1_epi64x(1));
+        const __m256i first =
+            _mm256_xor_si256(_mm256_srli_epi64(b, pageShift), bias);
+        const __m256i last = _mm256_xor_si256(
+            _mm256_srli_epi64(lastByte, pageShift), bias);
+        // Wrapped spans (last < first) never fast-accept; the scalar
+        // recheck reproduces whatever the oracle does with them.
+        __m256i ok = _mm256_andnot_si256(
+            _mm256_cmpgt_epi64(first, last), ones);
+        __m256i inRun = _mm256_setzero_si256();
+        for (std::size_t r = 0; r < nruns; ++r) {
+            const __m256i geLo = _mm256_andnot_si256(
+                _mm256_cmpgt_epi64(runLo[r], first), ones);
+            const __m256i leHi = _mm256_andnot_si256(
+                _mm256_cmpgt_epi64(last, runHi[r]), ones);
+            inRun = _mm256_or_si256(
+                inRun, _mm256_and_si256(geLo, leHi));
+        }
+        const __m256i accept = _mm256_or_si256(
+            zeroSize, _mm256_and_si256(ok, inRun));
+        if (_mm256_movemask_epi8(accept) != -1) {
+            const unsigned m = (unsigned)_mm256_movemask_epi8(accept);
+            for (int lane = 0; lane < 4; ++lane) {
+                if ((m >> (8 * lane)) & 1)
+                    continue;
+                if (size[i + lane] > 0) {
+                    checkWriteSpanScalar(h, begin[i + lane],
+                                         size[i + lane], payload_off,
+                                         block);
+                }
+            }
+        }
+    }
+    checkSummaryScalar(h, begin + i, size + i, n - i, payload_off,
+                       block);
+}
+
+#endif // EDB_SIMD_HAVE_AVX2
+
+#if EDB_SIMD_HAVE_NEON
+
+/** NEON fast-accept, same contract as the AVX2 variant, 2 lanes. */
+void
+checkSummaryNeon(const BlockHeader &h, const Addr *begin,
+                 const std::uint32_t *size, std::uint64_t n,
+                 std::uint64_t payload_off, std::int64_t block)
+{
+    constexpr int pageShift = 13;
+    static_assert(summaryPageBytes == (Addr)1 << pageShift);
+    std::uint64_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t b = vld1q_u64(begin + i);
+        const uint64x2_t sz =
+            vcombine_u64(vcreate_u64(size[i]),
+                         vcreate_u64(size[i + 1]));
+        const uint64x2_t zeroSize = vceqzq_u64(sz);
+        const uint64x2_t lastByte =
+            vsubq_u64(vaddq_u64(b, sz), vdupq_n_u64(1));
+        const uint64x2_t first = vshrq_n_u64(b, pageShift);
+        const uint64x2_t last = vshrq_n_u64(lastByte, pageShift);
+        uint64x2_t ok = vcgeq_u64(last, first);
+        uint64x2_t inRun = vdupq_n_u64(0);
+        for (const PageRun &r : h.runs) {
+            const uint64x2_t lo = vdupq_n_u64(r.firstPage);
+            const uint64x2_t hi =
+                vdupq_n_u64(r.firstPage + r.pages - 1);
+            inRun = vorrq_u64(
+                inRun, vandq_u64(vcgeq_u64(first, lo),
+                                 vcgeq_u64(hi, last)));
+        }
+        const uint64x2_t accept =
+            vorrq_u64(zeroSize, vandq_u64(ok, inRun));
+        for (int lane = 0; lane < 2; ++lane) {
+            const std::uint64_t a =
+                lane == 0 ? vgetq_lane_u64(accept, 0)
+                          : vgetq_lane_u64(accept, 1);
+            if (a == 0 && size[i + lane] > 0) {
+                checkWriteSpanScalar(h, begin[i + lane],
+                                     size[i + lane], payload_off,
+                                     block);
+            }
+        }
+    }
+    checkSummaryScalar(h, begin + i, size + i, n - i, payload_off,
+                       block);
+}
+
+#endif // EDB_SIMD_HAVE_NEON
+
+void
+checkSummary(const BlockHeader &h, const Addr *begin,
+             const std::uint32_t *size, std::uint64_t n,
+             std::uint64_t payload_off, std::int64_t block,
+             SimdIsa isa)
+{
+    switch (isa) {
+#if EDB_SIMD_HAVE_AVX2
+    case SimdIsa::Avx2:
+        checkSummaryAvx2(h, begin, size, n, payload_off, block);
+        return;
+#endif
+#if EDB_SIMD_HAVE_NEON
+    case SimdIsa::Neon:
+        checkSummaryNeon(h, begin, size, n, payload_off, block);
+        return;
+#endif
+    default:
+        checkSummaryScalar(h, begin, size, n, payload_off, block);
+        return;
+    }
+}
+
+/** SpanIn positioned over one column of the payload. */
+SpanIn
+columnSpan(const BlockHeader &h, const unsigned char *payload,
+           std::uint64_t payload_off, std::int64_t block, int col)
+{
+    std::uint64_t off = 0;
+    for (int c = 0; c < col; ++c)
+        off += h.colBytes[c];
+    return SpanIn(payload + off, (std::size_t)h.colBytes[col],
+                  payload_off + off, block);
+}
+
+/**
+ * Decode the five control columns into out.ctl / out.ctlPos, column
+ * at a time through the same expand/prefix kernels as the write
+ * group. Validation and messages match nextControlEvent and the
+ * position walk of decodeBlockControl; with several corruptions in
+ * one block the column order decides which fires first, exactly as
+ * the write group already behaves.
+ */
+void
+decodeControlBatch(const BlockHeader &h, const unsigned char *payload,
+                   std::uint64_t payload_off, std::int64_t block,
+                   std::uint64_t object_count, WriteBatch &out,
+                   SimdIsa isa)
+{
+    const std::uint64_t nc = h.controls();
+    Event *ctl = out.ctl.data();
+    std::uint64_t *scratch = out.scratch.data();
+
+    // Kinds: controls are installs and removes only.
+    {
+        SpanIn in = columnSpan(h, payload, payload_off, block,
+                               colCtlKind);
+        expandColumn(in, colCtlKind, nc, scratch, isa);
+        for (std::uint64_t i = 0; i < nc; ++i) {
+            if (scratch[i] > (std::uint64_t)EventKind::RemoveMonitor)
+                in.fail("trace file control kind invalid");
+            ctl[i].kind = (EventKind)scratch[i];
+        }
+    }
+
+    // Sizes: 32-bit range.
+    {
+        SpanIn in = columnSpan(h, payload, payload_off, block,
+                               colCtlSize);
+        expandColumn(in, colCtlSize, nc, scratch, isa);
+        for (std::uint64_t i = 0; i < nc; ++i) {
+            if (scratch[i] > 0xffffffffull) {
+                in.fail("trace file event size %llu implausible",
+                        (unsigned long long)scratch[i]);
+            }
+            ctl[i].size = (std::uint32_t)scratch[i];
+        }
+    }
+
+    // Aux chain and begin deltas, fused. The object-id deltas expand
+    // and prefix first (the predictor keys on them); the begin column
+    // then walks its groups straight into the object-id validation
+    // and predictor chain, exactly like chainBegins on the write
+    // group — which also decodes its begin column last. The chain
+    // runs on the full u64 aux (validated < object_count) exactly as
+    // nextControlEvent's predict(aux) does.
+    {
+        SpanIn ain = columnSpan(h, payload, payload_off, block,
+                                colCtlAux);
+        expandColumn(ain, colCtlAux, nc, scratch, isa);
+        prefixUnzigzag(scratch, nc, 0, isa);
+
+        SpanIn bin = columnSpan(h, payload, payload_off, block,
+                                colCtlBegin);
+        AddrPredictor pred(h.base);
+        std::uint64_t got = 0;
+        while (got < nc) {
+            const std::uint64_t c = bin.varint();
+            const std::uint64_t cnt = c >> 1;
+            if (cnt == 0)
+                bin.fail("trace file RLE group is empty");
+            if (cnt > nc - got) {
+                bin.fail(
+                    "trace file block column %d has trailing bytes",
+                    colCtlBegin);
+            }
+            Event *e = ctl + got;
+            const std::uint64_t *a = scratch + got;
+            got += cnt;
+            if ((c & 1) == 0) {
+                const Addr d = (Addr)unzigzagV2(bin.varint());
+                for (std::uint64_t i = 0; i < cnt; ++i) {
+                    const std::uint64_t x = a[i];
+                    if (x >= object_count) {
+                        ain.fail(
+                            "trace file object id out of range");
+                    }
+                    e[i].aux = (std::uint32_t)x;
+                    const Addr b = pred.predict(x) + d;
+                    e[i].begin = b;
+                    pred.update(x, b);
+                }
+            } else {
+                for (std::uint64_t i = 0; i < cnt; ++i) {
+                    const Addr d = (Addr)unzigzagV2(bin.varint());
+                    const std::uint64_t x = a[i];
+                    if (x >= object_count) {
+                        ain.fail(
+                            "trace file object id out of range");
+                    }
+                    e[i].aux = (std::uint32_t)x;
+                    const Addr b = pred.predict(x) + d;
+                    e[i].begin = b;
+                    pred.update(x, b);
+                }
+            }
+        }
+        if (!bin.empty()) {
+            bin.fail("trace file block column %d has trailing bytes",
+                     colCtlBegin);
+        }
+    }
+
+    // Positions: a plain prefix sum of the gaps, each gap past the
+    // first nonzero, every position inside the block — the walk
+    // decodeBlockControl runs, with its message.
+    {
+        SpanIn in = columnSpan(h, payload, payload_off, block,
+                               colCtlPos);
+        expandColumn(in, colCtlPos, nc, scratch, isa);
+        std::uint64_t pos = 0;
+        for (std::uint64_t i = 0; i < nc; ++i) {
+            const std::uint64_t gap = scratch[i];
+            pos += gap;
+            if ((i > 0 && gap == 0) || pos >= h.events) {
+                in.fail(
+                    "trace file control position out of range");
+            }
+            out.ctlPos[i] = (std::uint32_t)pos;
+        }
+    }
+}
+
+} // namespace
+
+void
+decodeBlockBatchBody(const BlockHeader &h, const unsigned char *payload,
+                     std::uint64_t payload_off, std::int64_t block,
+                     std::uint64_t object_count, WriteBatch &out)
+{
+    const SimdIsa isa = util::simdIsa();
+    const std::uint64_t nc = h.controls();
+    const std::uint64_t nw = h.writes;
+
+    out.events = h.events;
+    out.writes = nw;
+    out.ctl.resize((std::size_t)nc);
+    out.ctlPos.resize((std::size_t)nc);
+    out.wrBegin.resize((std::size_t)nw);
+    out.wrSize.resize((std::size_t)nw);
+    out.wrAux.resize((std::size_t)nw);
+    out.scratch.resize((std::size_t)(nc > nw ? nc : nw));
+
+    decodeControlBatch(h, payload, payload_off, block, object_count,
+                       out, isa);
+
+    // Sizes: expand straight to u32 with the range check fused into
+    // the kernels.
+    {
+        SpanIn in = columnSpan(h, payload, payload_off, block,
+                               colWrSize);
+        expandColumn32(in, colWrSize, nw, out.wrSize.data(), isa);
+    }
+
+    // Aux: one fused group walk resolves the whole chain (exactly
+    // the per-event prev_wr_aux accumulation), range-checks, and
+    // narrows to u32 — constant-delta runs turn into ramps or splats
+    // without touching scratch.
+    {
+        SpanIn in = columnSpan(h, payload, payload_off, block,
+                               colWrAux);
+        expandAuxColumn(in, nw, out.wrAux.data(), isa);
+    }
+
+    // Begins: the delta group walk fuses straight into the predictor
+    // chain. The chain is inherently serial — each prediction reads
+    // state the previous event wrote — so there is nothing for a
+    // vector kernel to win here; fusing instead deletes the whole
+    // intermediate delta array (a 16-byte-per-event store+reload) and
+    // hoists the delta constant out of run groups entirely.
+    {
+        SpanIn in = columnSpan(h, payload, payload_off, block,
+                               colWrBegin);
+        chainBegins(in, nw, out.wrAux.data(), out.wrBegin.data(),
+                    h.base);
+    }
+
+    checkSummary(h, out.wrBegin.data(), out.wrSize.data(), nw,
+                 payload_off, block, isa);
+}
+
+void
+scatterBatch(const WriteBatch &wb, Event *out)
+{
+    const std::size_t nc = wb.ctl.size();
+    std::size_t w = 0;
+    std::size_t pos = 0;
+    for (std::size_t c = 0; c < nc; ++c) {
+        const std::size_t at = wb.ctlPos[c];
+        for (; pos < at; ++pos, ++w) {
+            out[pos] = Event{wb.wrBegin[w], wb.wrSize[w], wb.wrAux[w],
+                             EventKind::Write};
+        }
+        out[pos++] = wb.ctl[c];
+    }
+    for (; w < (std::size_t)wb.writes; ++pos, ++w) {
+        out[pos] = Event{wb.wrBegin[w], wb.wrSize[w], wb.wrAux[w],
+                         EventKind::Write};
+    }
+}
+
+} // namespace edb::trace::detail

@@ -578,9 +578,10 @@ TraceReader::decodeNextBlock()
     getBytes((char *)block_scratch_.data(), (std::size_t)payload);
 
     block_buf_.resize((std::size_t)h.events);
-    detail::decodeBlockBody(h, block_scratch_.data(), payload_off,
-                            cur_block_, registry_.objectCount(),
-                            block_buf_.data());
+    detail::decodeBlockBatchBody(h, block_scratch_.data(), payload_off,
+                                 cur_block_, registry_.objectCount(),
+                                 batch_);
+    detail::scatterBatch(batch_, block_buf_.data());
     block_pos_ = 0;
     writes_seen_ += h.writes;
     blocks_seen_.push_back(

@@ -57,6 +57,43 @@ class TraceError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/**
+ * One decoded v2 block in struct-of-arrays form — the shape the
+ * vectorized decode and batch-replay kernels exchange (DESIGN.md §14).
+ *
+ * Control events (install/remove) stay as full Events with their
+ * stream positions; the write rows — the overwhelming bulk of every
+ * real block — land in three flat columns in stream order, so the
+ * replay engine can screen them 16 at a time without touching an
+ * interleaved Event array. Write k of the block occupies the stream
+ * slot after skipping the controls: interleaving is fully determined
+ * by ctlPos (control c sits at block index ctlPos[c], so exactly
+ * ctlPos[c] - c writes precede it).
+ *
+ * Vector capacities persist across decodeBlockBatch() calls, so a
+ * reused WriteBatch performs no steady-state allocation.
+ */
+struct WriteBatch
+{
+    std::uint64_t events = 0; ///< total events in the block
+    std::uint64_t writes = 0; ///< write rows among them
+
+    /** Install/remove events, in stream order. */
+    std::vector<Event> ctl;
+    /** Block-relative stream position of each control event. */
+    std::vector<std::uint32_t> ctlPos;
+
+    /** @name Write rows, stream order, struct-of-arrays */
+    /// @{
+    std::vector<Addr> wrBegin;
+    std::vector<std::uint32_t> wrSize;
+    std::vector<std::uint32_t> wrAux;
+    /// @}
+
+    /** Decoder scratch (expanded u64 column); reused across blocks. */
+    std::vector<std::uint64_t> scratch;
+};
+
 /** Options for writeTrace/saveTrace. The default emits v2 blocked. */
 struct WriteOptions
 {
@@ -182,6 +219,9 @@ class TraceReader
     std::vector<Event> block_buf_;
     std::size_t block_pos_ = 0;
     std::vector<unsigned char> block_scratch_;
+    /** Batched-decode scratch (columns land here, then scatter into
+     *  block_buf_ in stream order). */
+    WriteBatch batch_;
     /** (record bytes, events, writes) per decoded block, cross-checked
      *  against the trailing index. */
     struct BlockMeta
@@ -315,7 +355,28 @@ class MappedTrace
     void decodeBlockControl(std::size_t i, Event *out,
                             std::uint32_t *pos) const;
 
+    /**
+     * Decode block i into the struct-of-arrays WriteBatch — the
+     * vectorized decode path (DESIGN.md §14). Produces exactly the
+     * rows decodeBlock() would, split into control events (with
+     * positions) and flat write columns; `out`'s capacity is reused
+     * across calls. Publishes the same trace.v2.* observability
+     * deltas as decodeBlock(), once per block. Thread-safe with a
+     * per-thread (or per-worker) `out`.
+     */
+    void decodeBlockBatch(std::size_t i, WriteBatch &out) const;
+
+    /**
+     * Decode block i through the original per-event scalar walker —
+     * the reference decoder the batched path is pinned against. No
+     * observability side effects. The differential tests and
+     * bench_decode use this as the committed-baseline oracle; replay
+     * and query consumers should use decodeBlock()/decodeBlockBatch().
+     */
+    void decodeBlockReference(std::size_t i, Event *out) const;
+
   private:
+    void decodeBlockBatchInto(std::size_t i, WriteBatch &out) const;
     void load(const std::string &path);
     void parse(const std::string &path);
 

@@ -294,16 +294,43 @@ headerOf(const MappedTrace::Block &b)
 void
 MappedTrace::decodeBlock(std::size_t i, Event *out) const
 {
+    // Route through the batched decoder (bit-identical, faster) and
+    // scatter back to the interleaved shape. thread_local keeps this
+    // const member callable from any number of threads at once.
+    static thread_local WriteBatch scratch;
+    decodeBlockBatchInto(i, scratch);
+    detail::scatterBatch(scratch, out);
+}
+
+void
+MappedTrace::decodeBlockBatchInto(std::size_t i, WriteBatch &out) const
+{
     const Block &b = blocks_[i];
     const detail::BlockHeader h = headerOf(b);
-    detail::decodeBlockBody(h, data_ + b.payloadOff, b.payloadOff,
-                            (std::int64_t)i, registry_.objectCount(),
-                            out);
+    detail::decodeBlockBatchBody(h, data_ + b.payloadOff, b.payloadOff,
+                                 (std::int64_t)i,
+                                 registry_.objectCount(), out);
 #if EDB_OBS_ENABLED
     detail::obs_v2::blocksDecoded.inc();
     detail::obs_v2::bytesEncoded.add(b.bytes);
     detail::obs_v2::bytesRaw.add(b.events * sizeof(Event));
 #endif
+}
+
+void
+MappedTrace::decodeBlockBatch(std::size_t i, WriteBatch &out) const
+{
+    decodeBlockBatchInto(i, out);
+}
+
+void
+MappedTrace::decodeBlockReference(std::size_t i, Event *out) const
+{
+    const Block &b = blocks_[i];
+    const detail::BlockHeader h = headerOf(b);
+    detail::decodeBlockBody(h, data_ + b.payloadOff, b.payloadOff,
+                            (std::int64_t)i, registry_.objectCount(),
+                            out);
 }
 
 void

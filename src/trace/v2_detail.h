@@ -571,6 +571,30 @@ decodeBlockControl(const BlockHeader &h, const unsigned char *payload,
     cur.checkExhausted(colCtlPos, colCtlAux);
 }
 
+/**
+ * Decode a block payload into a WriteBatch — the batched twin of
+ * decodeBlockBody (DESIGN.md §14). All eight columns — control and
+ * write groups alike — expand whole RLE groups at a time into flat
+ * arrays; the aux chains resolve with vector prefix sums, the begin
+ * columns unzigzag whole and run their AddrPredictor chains per
+ * event, and the same invariants hold — kind/position/object-id
+ * checks, 32-bit size/aux ranges, exact column exhaustion, and every
+ * write span inside the block's page summary. Kernels dispatch on
+ * util::simdIsa(); every ISA yields byte-identical batches, pinned
+ * by the differential tests. Implemented in decode_batch.cc.
+ */
+void decodeBlockBatchBody(const BlockHeader &h,
+                          const unsigned char *payload,
+                          std::uint64_t payload_off, std::int64_t block,
+                          std::uint64_t object_count, WriteBatch &out);
+
+/**
+ * Interleave a WriteBatch back into out[0 .. wb.events) in stream
+ * order — what decodeBlock() hands AoS consumers. With equal inputs
+ * this reproduces decodeBlockBody's output exactly.
+ */
+void scatterBatch(const WriteBatch &wb, Event *out);
+
 /** Append v to buf as a LEB128 varint. */
 inline void
 bufVarint(std::string &buf, std::uint64_t v)

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * SIMD ISA detection, the EDB_SIMD environment override, and the
+ * cached process-wide selection.
+ */
+
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace edb::util {
+
+namespace {
+
+/** Selected ISA + 1; 0 means "not selected yet". */
+std::atomic<int> g_selected{0};
+
+SimdIsa
+parseEnv(const char *v)
+{
+    if (v == nullptr || *v == '\0' ||
+        std::strcmp(v, "auto") == 0)
+        return simdDetect();
+    if (std::strcmp(v, "avx2") == 0 &&
+        simdSupported(SimdIsa::Avx2))
+        return SimdIsa::Avx2;
+    if (std::strcmp(v, "neon") == 0 &&
+        simdSupported(SimdIsa::Neon))
+        return SimdIsa::Neon;
+    // "off", "scalar", an ISA this host lacks, or anything
+    // unrecognized: the mandatory scalar fallback.
+    return SimdIsa::Scalar;
+}
+
+} // namespace
+
+bool
+simdSupported(SimdIsa isa)
+{
+    switch (isa) {
+    case SimdIsa::Scalar:
+        return true;
+    case SimdIsa::Avx2:
+#if EDB_SIMD_HAVE_AVX2
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+    case SimdIsa::Neon:
+        // NEON is architecturally baseline on aarch64.
+        return EDB_SIMD_HAVE_NEON != 0;
+    }
+    return false;
+}
+
+SimdIsa
+simdDetect()
+{
+    if (simdSupported(SimdIsa::Avx2))
+        return SimdIsa::Avx2;
+    if (simdSupported(SimdIsa::Neon))
+        return SimdIsa::Neon;
+    return SimdIsa::Scalar;
+}
+
+SimdIsa
+simdIsa()
+{
+    int s = g_selected.load(std::memory_order_relaxed);
+    if (s == 0) {
+        const SimdIsa isa = parseEnv(std::getenv("EDB_SIMD"));
+        // Racing first calls parse the same environment; both
+        // stores write the same value.
+        g_selected.store((int)isa + 1, std::memory_order_relaxed);
+        return isa;
+    }
+    return (SimdIsa)(s - 1);
+}
+
+const char *
+simdIsaName(SimdIsa isa)
+{
+    switch (isa) {
+    case SimdIsa::Avx2:
+        return "avx2";
+    case SimdIsa::Neon:
+        return "neon";
+    case SimdIsa::Scalar:
+        break;
+    }
+    return "scalar";
+}
+
+void
+simdOverride(SimdIsa isa)
+{
+    if (!simdSupported(isa))
+        isa = SimdIsa::Scalar;
+    g_selected.store((int)isa + 1, std::memory_order_relaxed);
+}
+
+} // namespace edb::util

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD instruction-set selection (DESIGN.md §14).
+ *
+ * The vectorized kernels — the v2 column batch decoder, the
+ * MonitorIndex shadow-directory batch probe and the replay engine's
+ * batch write screen — all produce results bit-identical to their
+ * scalar oracles; the ISA only changes how fast the same answer is
+ * computed. Selection therefore happens once, lazily, process-wide:
+ *
+ *  - unset / EDB_SIMD=auto: the best ISA the build and the CPU both
+ *    support (AVX2 on x86-64 via __builtin_cpu_supports, NEON as the
+ *    aarch64 baseline), else scalar;
+ *  - EDB_SIMD=off or EDB_SIMD=scalar: the mandatory scalar fallback,
+ *    which every kernel carries unconditionally;
+ *  - EDB_SIMD=avx2 / EDB_SIMD=neon: that ISA if compiled in and
+ *    supported here, else scalar (never a crash on older hardware);
+ *  - any other value: scalar, the safe default.
+ *
+ * The AVX2 kernels are compiled with per-function target attributes,
+ * so the scalar code paths of the same translation units carry no
+ * AVX2 instructions and EDB_SIMD=scalar runs on any x86-64.
+ *
+ * simdOverride() repoints the selection at runtime; it exists for the
+ * differential tests and benches that compare ISAs within one
+ * process, and is not synchronized against concurrent kernel calls —
+ * callers switch only between runs.
+ */
+
+#ifndef EDB_UTIL_SIMD_H
+#define EDB_UTIL_SIMD_H
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define EDB_SIMD_HAVE_AVX2 1
+#else
+#define EDB_SIMD_HAVE_AVX2 0
+#endif
+
+#if defined(__aarch64__)
+#define EDB_SIMD_HAVE_NEON 1
+#else
+#define EDB_SIMD_HAVE_NEON 0
+#endif
+
+namespace edb::util {
+
+/** The kernel instruction sets a build can dispatch between. */
+enum class SimdIsa : int {
+    Scalar = 0,
+    Avx2 = 1,
+    Neon = 2,
+};
+
+/** The selected ISA: EDB_SIMD override or best supported, cached on
+ *  first call. Cheap (one relaxed atomic load) — kernels call it per
+ *  batch. */
+SimdIsa simdIsa();
+
+/** True when this build + CPU can execute kernels of `isa`. */
+bool simdSupported(SimdIsa isa);
+
+/** Best ISA supported here, ignoring the EDB_SIMD override. */
+SimdIsa simdDetect();
+
+/** Lowercase name: "scalar", "avx2", "neon". */
+const char *simdIsaName(SimdIsa isa);
+
+/**
+ * Force the selection (clamped to a supported ISA) — the test/bench
+ * hook for comparing ISAs in one process. Not thread-safe against
+ * in-flight kernels.
+ */
+void simdOverride(SimdIsa isa);
+
+} // namespace edb::util
+
+#endif // EDB_UTIL_SIMD_H

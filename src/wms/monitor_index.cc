@@ -9,6 +9,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstddef>
+
+#include "util/simd.h"
+
+#if EDB_SIMD_HAVE_AVX2
+#include <immintrin.h>
+#endif
 
 namespace edb::wms {
 
@@ -241,6 +248,247 @@ MonitorIndex::lookupSlow(Addr first_word, Addr last_word) const
     }
     return false;
 }
+
+/*
+ * ---- batch probes (DESIGN.md §14) -----------------------------------
+ *
+ * The scalar paths below are literally n inline lookups, so answers
+ * and obs tallies are identical by construction; the AVX2 kernels
+ * replicate the same slot-state decision tree with gathers and manual
+ * tallies. NEON has no gather, so aarch64 probes take the scalar
+ * loop — the decode and prefix-sum kernels still vectorize there.
+ */
+
+std::uint64_t
+MonitorIndex::lookupBytesBatch(const Addr *a, std::size_t n) const
+{
+    EDB_ASSERT(n <= 64, "byte-probe batch of %llu exceeds 64",
+               (unsigned long long)n);
+#if EDB_SIMD_HAVE_AVX2
+    if (!dir_.empty() && n >= 4 &&
+        util::simdIsa() == util::SimdIsa::Avx2)
+        return lookupBytesBatchAvx2(a, n);
+#endif
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        hits |= (std::uint64_t)lookupByte(a[i]) << i;
+    return hits;
+}
+
+std::uint64_t
+MonitorIndex::lookupRangesBatch(const Addr *begin, const Addr *end,
+                                std::size_t n) const
+{
+    EDB_ASSERT(n <= 64, "range-probe batch of %llu exceeds 64",
+               (unsigned long long)n);
+#if EDB_SIMD_HAVE_AVX2
+    if (!dir_.empty() && n >= 4 &&
+        util::simdIsa() == util::SimdIsa::Avx2)
+        return lookupRangesBatchAvx2(begin, end, n);
+#endif
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        hits |= (std::uint64_t)lookup(AddrRange(begin[i], end[i]))
+                << i;
+    }
+    return hits;
+}
+
+#if EDB_SIMD_HAVE_AVX2
+
+__attribute__((target("avx2"))) std::uint64_t
+MonitorIndex::lookupBytesBatchAvx2(const Addr *a, std::size_t n) const
+{
+    // The gathers below read Shadow structs as 3 consecutive u64s.
+    static_assert(sizeof(Shadow) == 3 * sizeof(std::uint64_t));
+    static_assert(offsetof(Shadow, page) == 0 &&
+                  offsetof(Shadow, bitmap) == 8 &&
+                  offsetof(Shadow, count) == 16);
+    static_assert(wordBytes == 4);
+
+    std::uint64_t hits = 0;
+    std::uint64_t fast = 0;
+    std::uint64_t fallback = 0;
+    const long long *dir = (const long long *)dir_.data();
+    const __m128i wppShift = _mm_cvtsi32_si128((int)wpp_shift_);
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i slotMask =
+        _mm256_set1_epi64x((long long)(dirSlots - 1));
+    const __m256i wppMask = _mm256_set1_epi64x((long long)wpp_mask_);
+    const __m256i low32 = _mm256_set1_epi64x(0xffffffffll);
+
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i addr =
+            _mm256_loadu_si256((const __m256i *)(a + i));
+        const __m256i word = _mm256_srli_epi64(addr, 2);
+        const __m256i page = _mm256_srl_epi64(word, wppShift);
+        const __m256i slot = _mm256_and_si256(page, slotMask);
+        const __m256i idx3 =
+            _mm256_add_epi64(_mm256_add_epi64(slot, slot), slot);
+        const __m256i sPage = _mm256_i64gather_epi64(dir, idx3, 8);
+        const __m256i sBitmap = _mm256_i64gather_epi64(
+            dir, _mm256_add_epi64(idx3, one), 8);
+        const __m256i sCount = _mm256_and_si256(
+            _mm256_i64gather_epi64(
+                dir, _mm256_add_epi64(idx3, _mm256_set1_epi64x(2)),
+                8),
+            low32);
+        // Owned slot: tag compare, then one masked gather of the
+        // page-bitmap word and a variable-shift bit test — the
+        // all-miss common case retires the whole vector branch-free.
+        const __m256i owned = _mm256_andnot_si256(
+            _mm256_cmpeq_epi64(sBitmap, zero), ones);
+        const __m256i probe = _mm256_and_si256(
+            owned, _mm256_cmpeq_epi64(sPage, page));
+        const __m256i widx = _mm256_and_si256(word, wppMask);
+        const __m256i waddr = _mm256_add_epi64(
+            sBitmap,
+            _mm256_slli_epi64(_mm256_srli_epi64(widx, 6), 3));
+        const __m256i bmw = _mm256_mask_i64gather_epi64(
+            zero, (const long long *)nullptr, waddr, probe, 1);
+        const __m256i bit = _mm256_and_si256(
+            _mm256_srlv_epi64(
+                bmw,
+                _mm256_and_si256(widx, _mm256_set1_epi64x(63))),
+            one);
+        const __m256i hit =
+            _mm256_and_si256(probe, _mm256_cmpeq_epi64(bit, one));
+        const __m256i resolved = _mm256_or_si256(
+            owned, _mm256_cmpeq_epi64(sCount, zero));
+
+        const unsigned mHit =
+            (unsigned)_mm256_movemask_pd(_mm256_castsi256_pd(hit));
+        unsigned mRes = (unsigned)_mm256_movemask_pd(
+            _mm256_castsi256_pd(resolved));
+        hits |= (std::uint64_t)mHit << i;
+        fast += (unsigned)std::popcount(mRes);
+        // Shared slots fall back to the hash table, per lane.
+        unsigned todo = ~mRes & 0xfu;
+        while (todo != 0) {
+            const unsigned lane = (unsigned)std::countr_zero(todo);
+            todo &= todo - 1;
+            ++fallback;
+            const Addr w = a[i + lane] / wordBytes;
+            if (lookupSlow(w, w))
+                hits |= 1ull << (i + lane);
+        }
+    }
+    for (; i < n; ++i) {
+        const Addr word = a[i] / wordBytes;
+        const Addr page = word >> wpp_shift_;
+        const Shadow &s = dir_[page & (dirSlots - 1)];
+        if (s.bitmap != nullptr) {
+            ++fast;
+            if (s.page == page) {
+                const auto idx = (std::uint32_t)(word & wpp_mask_);
+                if ((s.bitmap[idx / 64] >> (idx % 64)) & 1)
+                    hits |= 1ull << i;
+            }
+        } else if (s.count == 0) {
+            ++fast;
+        } else {
+            ++fallback;
+            if (lookupSlow(word, word))
+                hits |= 1ull << i;
+        }
+    }
+#if EDB_OBS_ENABLED
+    tally_.lookups += n;
+    tally_.fast += fast;
+    tally_.fallback += fallback;
+#else
+    (void)fast;
+    (void)fallback;
+#endif
+    return hits;
+}
+
+__attribute__((target("avx2"))) std::uint64_t
+MonitorIndex::lookupRangesBatchAvx2(const Addr *begin, const Addr *end,
+                                    std::size_t n) const
+{
+    static_assert(wordBytes == 4);
+
+    // The vector pass resolves only lanes lookup() would answer on
+    // its fast path with a definitive miss: empty ranges, and
+    // single-page ranges whose slot is empty or owned by a different
+    // page. Everything else — owned slots needing a chunk test,
+    // shared slots, page straddles — defers to the scalar lookup(),
+    // which performs its own tallying; resolved lanes tally manually,
+    // so the net effect equals n lookup() calls exactly.
+    std::uint64_t hits = 0;
+    std::uint64_t resolved_n = 0;
+    const long long *dir = (const long long *)dir_.data();
+    const __m128i wppShift = _mm_cvtsi32_si128((int)wpp_shift_);
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i three = _mm256_set1_epi64x(3);
+    const __m256i slotMask =
+        _mm256_set1_epi64x((long long)(dirSlots - 1));
+    const __m256i low32 = _mm256_set1_epi64x(0xffffffffll);
+
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i b =
+            _mm256_loadu_si256((const __m256i *)(begin + i));
+        const __m256i e =
+            _mm256_loadu_si256((const __m256i *)(end + i));
+        const __m256i empty = _mm256_cmpeq_epi64(b, e);
+        const __m256i fw = _mm256_srli_epi64(b, 2);
+        const __m256i lw = _mm256_sub_epi64(
+            _mm256_srli_epi64(_mm256_add_epi64(e, three), 2), one);
+        const __m256i pf = _mm256_srl_epi64(fw, wppShift);
+        const __m256i pl = _mm256_srl_epi64(lw, wppShift);
+        const __m256i single = _mm256_cmpeq_epi64(pf, pl);
+        const __m256i slot = _mm256_and_si256(pf, slotMask);
+        const __m256i idx3 =
+            _mm256_add_epi64(_mm256_add_epi64(slot, slot), slot);
+        const __m256i sPage = _mm256_i64gather_epi64(dir, idx3, 8);
+        const __m256i sBitmap = _mm256_i64gather_epi64(
+            dir, _mm256_add_epi64(idx3, one), 8);
+        const __m256i sCount = _mm256_and_si256(
+            _mm256_i64gather_epi64(
+                dir, _mm256_add_epi64(idx3, _mm256_set1_epi64x(2)),
+                8),
+            low32);
+        const __m256i owned = _mm256_andnot_si256(
+            _mm256_cmpeq_epi64(sBitmap, zero), ones);
+        const __m256i tagMiss = _mm256_andnot_si256(
+            _mm256_cmpeq_epi64(sPage, pf), owned);
+        const __m256i countZero = _mm256_cmpeq_epi64(sCount, zero);
+        const __m256i missFast = _mm256_and_si256(
+            single, _mm256_or_si256(tagMiss, countZero));
+        const __m256i resolved = _mm256_or_si256(empty, missFast);
+
+        const unsigned mRes = (unsigned)_mm256_movemask_pd(
+            _mm256_castsi256_pd(resolved));
+        resolved_n += (unsigned)std::popcount(mRes);
+        unsigned todo = ~mRes & 0xfu;
+        while (todo != 0) {
+            const unsigned lane = (unsigned)std::countr_zero(todo);
+            todo &= todo - 1;
+            if (lookup(AddrRange(begin[i + lane], end[i + lane])))
+                hits |= 1ull << (i + lane);
+        }
+    }
+    for (; i < n; ++i) {
+        hits |= (std::uint64_t)lookup(AddrRange(begin[i], end[i]))
+                << i;
+    }
+#if EDB_OBS_ENABLED
+    tally_.lookups += resolved_n;
+    tally_.fast += resolved_n;
+#else
+    (void)resolved_n;
+#endif
+    return hits;
+}
+
+#endif // EDB_SIMD_HAVE_AVX2
 
 bool
 MonitorIndex::pageMonitored(Addr page_num) const

@@ -105,6 +105,29 @@ class MonitorIndex
     /** True when a single byte address lies in a monitored word. */
     bool lookupByte(Addr a) const;
 
+    /**
+     * Probe up to 64 byte addresses at once; bit i of the result is
+     * lookupByte(a[i]). Exactly equivalent to n lookupByte() calls —
+     * same answers and the same per-index obs tallies — but the
+     * all-miss case (the replay hot path) retires the batch
+     * branch-free: the vectorized kernels gather the shadow-directory
+     * slots, compare tags as a vector and emit the hit bitmask; only
+     * shared slots fall back to the hash table, per lane
+     * (DESIGN.md §14).
+     */
+    std::uint64_t lookupBytesBatch(const Addr *a, std::size_t n) const;
+
+    /**
+     * Probe up to 64 ranges [begin[i], end[i]) at once; bit i of the
+     * result is lookup(AddrRange(begin[i], end[i])). Requires
+     * begin[i] <= end[i]. The vector fast path resolves definitive
+     * single-page misses (empty slot, or owned slot with a different
+     * tag); every other lane takes the scalar lookup(), so answers
+     * and obs tallies match n lookup() calls exactly.
+     */
+    std::uint64_t lookupRangesBatch(const Addr *begin, const Addr *end,
+                                    std::size_t n) const;
+
     /** True when any monitor covers any word of the given page. */
     bool pageMonitored(Addr page_num) const;
 
@@ -180,6 +203,14 @@ class MonitorIndex
     void shadowAdd(Addr page, const PageEntry &entry);
     void shadowRemove(Addr page);
     bool lookupSlow(Addr first_word, Addr last_word) const;
+
+    /** AVX2 kernels behind the batch probes (defined only on x86-64;
+     *  dispatched via util::simdIsa()). */
+    std::uint64_t lookupBytesBatchAvx2(const Addr *a,
+                                       std::size_t n) const;
+    std::uint64_t lookupRangesBatchAvx2(const Addr *begin,
+                                        const Addr *end,
+                                        std::size_t n) const;
 
     /**
      * True when any bit in the inclusive word-index range [i0, i1] of
