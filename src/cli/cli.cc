@@ -7,12 +7,15 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <ostream>
+#include <thread>
 
 #include "calib/calibrate.h"
 #include "model/models.h"
@@ -23,6 +26,7 @@
 #include "served/client.h"
 #include "session/session.h"
 #include "sim/parallel_sim.h"
+#include "telemetry/telemetry.h"
 #include "trace/trace_io.h"
 #include "util/thread_pool.h"
 #include "workload/workload.h"
@@ -106,6 +110,10 @@ usage()
            "  connect <socket> [opts] [script]\n"
            "                               drive a running edb-served "
            "daemon as one tenant\n"
+           "  top <socket> [opts]          poll the daemon's METRICS "
+           "op and render per-tenant\n"
+           "                               rates and per-op latency "
+           "quantiles as a live table\n"
            "\n"
            "connect options and script commands:\n"
            "  --tenant NAME      tenant name sent in HELLO "
@@ -116,8 +124,21 @@ usage()
            "disable ID\n"
            "  subscribe on|off | run TRACE [I,J,..] | resume | "
            "events N\n"
-           "  query TRACE [B:E] | stats | bye   (commands run in "
-           "order; bye is implied)\n"
+           "  query TRACE [B:E] | stats | metrics PATH | bye\n"
+           "                     (commands run in order; bye is "
+           "implied; metrics writes\n"
+           "                     the Prometheus exposition to PATH)\n"
+           "\n"
+           "top options:\n"
+           "  --interval MS      polling period (default 2000)\n"
+           "  --count N          stop after N refreshes (default: "
+           "until interrupted)\n"
+           "  --once             one sample, no screen clearing "
+           "(same as --count 1)\n"
+           "  --format F         table|json (default table; json "
+           "prints the daemon's\n"
+           "                     edb-metrics-v1 document verbatim, "
+           "one per poll)\n"
            "\n"
            "query options:\n"
            "  --kind K           install|remove|write (repeatable; "
@@ -1094,6 +1115,19 @@ cmdConnect(const std::vector<std::string> &args, std::ostream &out,
                 out << "wrote server obs snapshot to " << stats_json
                     << "\n";
             }
+        } else if (cmd == "metrics") {
+            const std::string path =
+                needArg(++i, "metrics needs an output path");
+            const std::string text = client.metricsText();
+            std::ofstream f(path,
+                            std::ios::binary | std::ios::trunc);
+            f << text;
+            if (!f.flush())
+                throw std::runtime_error(
+                    "connect: cannot write '" + path + "'");
+            out << "wrote " << text.size()
+                << " bytes of Prometheus exposition to " << path
+                << "\n";
         } else if (cmd == "bye") {
             client.bye();
             said_bye = true;
@@ -1106,6 +1140,217 @@ cmdConnect(const std::vector<std::string> &args, std::ostream &out,
     }
     if (!said_bye)
         client.bye();
+    return 0;
+}
+
+namespace {
+
+/** "12.3" for a per-second rate. */
+std::string
+fmtRate(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+    return buf;
+}
+
+/** Nanoseconds rendered as microseconds with one decimal. */
+std::string
+fmtUs(double ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", ns / 1000.0);
+    return buf;
+}
+
+const std::string *
+labelValue(const std::vector<telemetry::Label> &labels,
+           const char *key)
+{
+    for (const telemetry::Label &l : labels) {
+        if (l.key == key)
+            return &l.value;
+    }
+    return nullptr;
+}
+
+/**
+ * One `top` frame: per-tenant gauges + counter rates, then the
+ * per-op request-latency quantiles. Counters show rates only while
+ * the daemon's sampler is running (intervalMs > 0 with >= 2
+ * samples); otherwise the rate columns read 0.0.
+ */
+void
+renderTop(const served::MetricsReply &r, std::ostream &out)
+{
+    out << "edb-served metrics: " << r.series.size() << " series, "
+        << r.hists.size() << " histogram(s)";
+    if (r.intervalMs != 0) {
+        out << ", sampler " << r.intervalMs << " ms ("
+            << r.samples << " sample(s))";
+    } else {
+        out << ", sampler off (rates unavailable)";
+    }
+    out << "\n\n";
+
+    struct TenantRow
+    {
+        std::int64_t monitors = 0;
+        std::int64_t pending = 0;
+        std::int64_t traces = 0;
+        double runs = 0;
+        double queries = 0;
+        double notifs = 0;
+        double writes = 0;
+    };
+    std::map<std::string, TenantRow> tenants;
+    std::map<std::string, double> op_rates;
+    for (const served::MetricsSeriesRow &s : r.series) {
+        if (s.name == "served.requests") {
+            if (const std::string *op = labelValue(s.labels, "op"))
+                op_rates[*op] = s.hasRate ? s.rate : 0.0;
+            continue;
+        }
+        const std::string *tenant = labelValue(s.labels, "tenant");
+        if (tenant == nullptr)
+            continue;
+        TenantRow &row = tenants[*tenant];
+        if (s.name == "served.tenant.monitors")
+            row.monitors = s.value;
+        else if (s.name == "served.tenant.pending_hits")
+            row.pending = s.value;
+        else if (s.name == "served.tenant.open_traces")
+            row.traces = s.value;
+        else if (s.name == "served.tenant.runs")
+            row.runs = s.hasRate ? s.rate : 0.0;
+        else if (s.name == "served.tenant.queries")
+            row.queries = s.hasRate ? s.rate : 0.0;
+        else if (s.name == "served.tenant.notifications")
+            row.notifs = s.hasRate ? s.rate : 0.0;
+        else if (s.name == "served.tenant.run_writes")
+            row.writes = s.hasRate ? s.rate : 0.0;
+    }
+
+    report::TextTable tt;
+    tt.header({"Tenant", "Monitors", "Pending", "Traces", "Runs/s",
+               "Queries/s", "Notifs/s", "Writes/s"});
+    for (const auto &[name, row] : tenants) {
+        tt.row({name, std::to_string(row.monitors),
+                std::to_string(row.pending),
+                std::to_string(row.traces), fmtRate(row.runs),
+                fmtRate(row.queries), fmtRate(row.notifs),
+                fmtRate(row.writes)});
+    }
+    if (tenants.empty())
+        out << "(no tenants yet)\n";
+    else
+        out << tt.render();
+    out << "\n";
+
+    report::TextTable ot;
+    ot.header({"Op", "Req/s", "Count", "p50 (us)", "p95 (us)",
+               "p99 (us)"});
+    bool any_op = false;
+    for (const served::MetricsHistRow &h : r.hists) {
+        if (h.name != "served.request_ns")
+            continue;
+        const std::string *op = labelValue(h.labels, "op");
+        if (op == nullptr)
+            continue;
+        any_op = true;
+        const auto it = op_rates.find(*op);
+        ot.row({*op,
+                fmtRate(it == op_rates.end() ? 0.0 : it->second),
+                std::to_string(h.count), fmtUs(h.p50), fmtUs(h.p95),
+                fmtUs(h.p99)});
+    }
+    if (any_op)
+        out << ot.render();
+    else
+        out << "(no requests timed yet)\n";
+}
+
+} // namespace
+
+int
+cmdTop(const std::vector<std::string> &args, std::ostream &out,
+       std::ostream &err)
+{
+    if (args.empty()) {
+        err << "error: top needs a socket path\n" << usage();
+        return 2;
+    }
+    const std::string socket_path = args[0];
+    std::uint64_t interval_ms = 2000;
+    std::uint64_t count = 0; // 0 = refresh until interrupted
+    bool once = false;
+    std::string format = "table";
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &o = args[i];
+        if (o == "--once") {
+            once = true;
+            continue;
+        }
+        if (i + 1 == args.size()) {
+            err << "error: " << o << " needs a value\n";
+            return 2;
+        }
+        const std::string &v = args[++i];
+        std::uint64_t n = 0;
+        if (o == "--interval") {
+            if (!parseU64(v, &n) || n == 0) {
+                err << "error: invalid interval '" << v << "'\n";
+                return 2;
+            }
+            interval_ms = n;
+        } else if (o == "--count") {
+            if (!parseU64(v, &n) || n == 0) {
+                err << "error: invalid refresh count '" << v
+                    << "'\n";
+                return 2;
+            }
+            count = n;
+        } else if (o == "--format") {
+            if (v != "table" && v != "json") {
+                err << "error: unknown top format '" << v
+                    << "' (table|json)\n";
+                return 2;
+            }
+            format = v;
+        } else {
+            err << "error: unknown top option '" << o << "'\n"
+                << usage();
+            return 2;
+        }
+    }
+    if (once)
+        count = 1;
+
+    served::Client client;
+    client.connect(socket_path);
+    for (std::uint64_t iter = 0; count == 0 || iter < count;
+         ++iter) {
+        if (iter > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms));
+        }
+        if (format == "json") {
+            const std::string doc =
+                client.metricsText(served::MetricsFormat::Json);
+            out << doc;
+            if (doc.empty() || doc.back() != '\n')
+                out << "\n";
+            out.flush();
+            continue;
+        }
+        const served::MetricsReply r = client.metricsReport();
+        // Only a refreshing display clears the screen; --once (and
+        // --count 1) keeps the output pipeline-friendly.
+        if (count != 1)
+            out << "\x1b[2J\x1b[H";
+        renderTop(r, out);
+        out.flush();
+    }
     return 0;
 }
 
@@ -1162,7 +1407,7 @@ run(const std::vector<std::string> &args, std::ostream &out,
     // The global flags configure the phase-2 stage; accepting them on
     // the phase-1 commands would silently do nothing, so reject them.
     if (cmd == "record" || cmd == "info" || cmd == "convert" ||
-        cmd == "connect") {
+        cmd == "connect" || cmd == "top") {
         const char *flag = jobs_given ? "--jobs"
                            : !obs_json.empty() ? "--obs-json"
                            : !trace_events.empty() ? "--trace-events"
@@ -1221,6 +1466,10 @@ run(const std::vector<std::string> &args, std::ostream &out,
             rc = cmdConnect(std::vector<std::string>(rest.begin() + 1,
                                                      rest.end()),
                             out, err);
+        } else if (cmd == "top" && rest.size() >= 2) {
+            rc = cmdTop(std::vector<std::string>(rest.begin() + 1,
+                                                 rest.end()),
+                        out, err);
         } else {
             dispatched = false;
         }

@@ -14,6 +14,7 @@
  *   edb-trace advise <trace.trc> [N]         per-session strategy advice
  *   edb-trace query <trace.trc> [opts]       aggregate matching events
  *   edb-trace connect <socket> [script]      drive an edb-served daemon
+ *   edb-trace top <socket> [opts]            live per-tenant/per-op metrics
  *
  * `analyze`, `session` and `advise` honor EDB_PROFILE=host like the
  * bench binaries. The phase-2 commands (sessions/analyze/session/
@@ -67,6 +68,8 @@ int cmdQuery(const std::string &path,
              std::ostream &err, unsigned jobs = 1);
 int cmdConnect(const std::vector<std::string> &args, std::ostream &out,
                std::ostream &err);
+int cmdTop(const std::vector<std::string> &args, std::ostream &out,
+           std::ostream &err);
 /// @}
 
 /** The usage text. */

@@ -15,12 +15,15 @@
 #if EDB_OBS_ENABLED
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <ostream>
 #include <vector>
+
+#include <unistd.h>
 
 #include "util/logging.h"
 
@@ -55,6 +58,7 @@ class Registry
   public:
     Registry()
     {
+        start_ns_ = monotonicNs();
         fallback_ = new Shard();
         shards_.push_back(fallback_);
         // The thread constructing the first instrument (normally the
@@ -185,6 +189,15 @@ class Registry
     {
         std::lock_guard<std::mutex> lk(mu_);
 
+        Snapshot snap;
+        snap.wallMs = (std::uint64_t)std::chrono::duration_cast<
+                          std::chrono::milliseconds>(
+                          std::chrono::system_clock::now()
+                              .time_since_epoch())
+                          .count();
+        snap.uptimeNs = monotonicNs() - start_ns_;
+        snap.pid = (std::int64_t)::getpid();
+
         // Merge per-slot first, then attach names.
         std::vector<std::int64_t> scalars(next_scalar_, 0);
         for (std::size_t i = 0; i < next_scalar_; ++i)
@@ -196,7 +209,6 @@ class Registry
             }
         }
 
-        Snapshot snap;
         snap.counters.reserve(counters_.size());
         for (const Instrument &i : counters_)
             snap.counters.emplace_back(i.name, scalars[i.slot]);
@@ -254,6 +266,7 @@ class Registry
 
   private:
     std::mutex mu_;
+    std::uint64_t start_ns_ = 0;
     Shard *fallback_;
     std::vector<Shard *> shards_; ///< every shard ever created
     std::vector<Shard *> free_;   ///< retired shards ready for reuse
@@ -339,6 +352,51 @@ prepareCurrentThread()
     (void)retirer;
 }
 
+double
+HistogramValue::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return (double)min;
+    if (q >= 1.0)
+        return (double)max;
+    // Rank targeting: the q-quantile sits at (fractional) rank
+    // q * count within the sorted observations. Walk cumulative
+    // bucket counts to the bucket containing that rank, then
+    // interpolate linearly inside it. log2 bucket b > 0 spans
+    // [2^(b-1), 2^b - 1] (bucket 0 holds only the value 0); both
+    // bounds clamp to the histogram's exact min/max, which tightens
+    // the head and tail buckets considerably.
+    const double target = q * (double)count;
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        const std::uint64_t n = buckets[b];
+        if (n == 0)
+            continue;
+        if ((double)cum + (double)n >= target) {
+            double lo = b == 0
+                            ? 0.0
+                            : (double)(std::uint64_t{1} << (b - 1));
+            double hi;
+            if (b == 0)
+                hi = 0.0;
+            else if (b >= 64)
+                hi = (double)~std::uint64_t{0};
+            else
+                hi = (double)((std::uint64_t{1} << b) - 1);
+            lo = std::max(lo, (double)min);
+            hi = std::min(hi, (double)max);
+            if (hi < lo)
+                hi = lo;
+            const double pos = (target - (double)cum) / (double)n;
+            return lo + pos * (hi - lo);
+        }
+        cum += n;
+    }
+    return (double)max;
+}
+
 std::int64_t
 Snapshot::counter(const std::string &name) const
 {
@@ -379,7 +437,10 @@ void
 writeSnapshotJson(std::ostream &os)
 {
     const Snapshot snap = takeSnapshot();
-    os << "{\n  \"schema\": \"edb-obs-snapshot-v1\",\n";
+    os << "{\n  \"schema\": \"edb-obs-snapshot-v2\",\n"
+       << "  \"meta\": {\"wall_ms\": " << snap.wallMs
+       << ", \"uptime_ns\": " << snap.uptimeNs
+       << ", \"pid\": " << snap.pid << "},\n";
 
     auto scalarBlock = [&os](const char *key, const auto &items,
                              const char *trailer) {

@@ -225,11 +225,29 @@ struct HistogramValue
     std::uint64_t min = 0;
     std::uint64_t max = 0;
     std::vector<std::uint64_t> buckets; ///< histBuckets entries
+
+    /**
+     * Estimate the q-quantile (q in [0, 1]) by linear interpolation
+     * inside the log2 bucket holding the target rank, with the
+     * bucket's bounds clamped to the observed min/max (so q=0 / q=1
+     * return min / max exactly, and a single-valued distribution
+     * returns that value for every q). Returns 0 when count is 0.
+     */
+    double quantile(double q) const;
 };
 
 /** A point-in-time merge of every shard, names sorted ascending. */
 struct Snapshot
 {
+    /** Wall-clock milliseconds since the Unix epoch at merge time. */
+    std::uint64_t wallMs = 0;
+    /** Monotonic nanoseconds since the obs registry was created
+     *  (effectively process uptime: the registry comes up with the
+     *  first instrument, during static init). */
+    std::uint64_t uptimeNs = 0;
+    /** Process id, so snapshot files can be matched to a daemon. */
+    std::int64_t pid = 0;
+
     std::vector<std::pair<std::string, std::int64_t>> counters;
     std::vector<std::pair<std::string, std::int64_t>> gauges;
     std::vector<HistogramValue> histograms;
@@ -250,7 +268,10 @@ struct Snapshot
  *  Thread-safe; concurrent increments may or may not be included. */
 Snapshot takeSnapshot();
 
-/** Serialize takeSnapshot() as JSON (schema edb-obs-snapshot-v1). */
+/** Serialize takeSnapshot() as JSON (schema edb-obs-snapshot-v2:
+ *  a `meta` block with wall_ms/uptime_ns/pid precedes the
+ *  instrument blocks, so tools can compute rates between two
+ *  timestamped snapshots). */
 void writeSnapshotJson(std::ostream &os);
 
 /** writeSnapshotJson() to a file, atomically (written to
@@ -282,6 +303,12 @@ bool traceFlushed() noexcept;
 
 /** Append one event; `ph` is the Chrome phase ('B' or 'E'). */
 void emitTraceEvent(const char *name, char ph, std::uint64_t ns);
+
+/** Append one event carrying a numeric argument (serialized as
+ *  `"args": {"id": arg}`), e.g. a served request id, so spans can be
+ *  correlated with log lines in chrome://tracing. */
+void emitTraceEvent(const char *name, char ph, std::uint64_t ns,
+                    std::uint64_t arg);
 
 /**
  * RAII span: emits B/E trace events while tracing is enabled and

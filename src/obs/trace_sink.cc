@@ -38,7 +38,9 @@ struct TraceRec
 {
     const char *name; ///< static string owned by the call site
     std::uint64_t ns;
+    std::uint64_t arg = 0; ///< numeric payload (request id) when set
     char ph;
+    bool hasArg = false;
 };
 
 struct TraceBuf
@@ -109,8 +111,10 @@ enableTrace(std::string path)
     g_enabled.store(true, std::memory_order_relaxed);
 }
 
+namespace {
+
 void
-emitTraceEvent(const char *name, char ph, std::uint64_t ns)
+emitRec(const TraceRec &rec)
 {
     TraceBuf *b = t_buf;
     if (b == nullptr) {
@@ -127,7 +131,22 @@ emitTraceEvent(const char *name, char ph, std::uint64_t ns)
         ++b->dropped;
         return;
     }
-    b->recs.push_back({name, ns, ph});
+    b->recs.push_back(rec);
+}
+
+} // namespace
+
+void
+emitTraceEvent(const char *name, char ph, std::uint64_t ns)
+{
+    emitRec({name, ns, 0, ph, false});
+}
+
+void
+emitTraceEvent(const char *name, char ph, std::uint64_t ns,
+               std::uint64_t arg)
+{
+    emitRec({name, ns, arg, ph, true});
 }
 
 bool
@@ -159,12 +178,18 @@ flushTrace()
                 r.ns > s.t0_ns
                     ? (double)(r.ns - s.t0_ns) / 1000.0
                     : 0.0;
+            char args[48] = "";
+            if (r.hasArg) {
+                std::snprintf(args, sizeof args,
+                              ", \"args\": {\"id\": %llu}",
+                              (unsigned long long)r.arg);
+            }
             std::fprintf(f,
                          "%s\n{\"name\": \"%s\", \"cat\": \"edb\", "
                          "\"ph\": \"%c\", \"ts\": %.3f, \"pid\": 1, "
-                         "\"tid\": %u}",
+                         "\"tid\": %u%s}",
                          first ? "" : ",", escapeName(r.name).c_str(),
-                         r.ph, ts, buf->tid);
+                         r.ph, ts, buf->tid, args);
             first = false;
         }
     }

@@ -5,6 +5,7 @@
 
 #include "served/client.h"
 
+#include <bit>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -483,6 +484,78 @@ Client::stats()
         t.refs = rd.getU32();
         t.events = rd.getU64();
         r.traces.push_back(t);
+    }
+    rd.requireEnd();
+    return r;
+}
+
+std::string
+Client::metricsText(MetricsFormat format)
+{
+    PayloadWriter w;
+    w.putU8((std::uint8_t)format);
+    PayloadReader rd = call(Op::Metrics, w);
+    rd.getU8(); // echoed format
+    std::string text = rd.getBlob(defaultMaxFrameBytes);
+    rd.requireEnd();
+    return text;
+}
+
+namespace {
+
+std::vector<telemetry::Label>
+readLabels(PayloadReader &rd)
+{
+    const std::uint8_t n = rd.getU8();
+    std::vector<telemetry::Label> labels;
+    labels.reserve(n);
+    for (std::uint8_t i = 0; i < n; ++i) {
+        telemetry::Label l;
+        l.key = rd.getString();
+        l.value = rd.getString();
+        labels.push_back(std::move(l));
+    }
+    return labels;
+}
+
+} // namespace
+
+MetricsReply
+Client::metricsReport()
+{
+    PayloadWriter w;
+    w.putU8((std::uint8_t)MetricsFormat::Binary);
+    PayloadReader rd = call(Op::Metrics, w);
+    rd.getU8(); // echoed format
+    MetricsReply r;
+    r.intervalMs = rd.getU64();
+    r.samples = rd.getU64();
+    const std::uint32_t nseries = rd.getU32();
+    r.series.reserve(nseries);
+    for (std::uint32_t i = 0; i < nseries; ++i) {
+        MetricsSeriesRow s;
+        s.name = rd.getString();
+        s.labels = readLabels(rd);
+        s.kind = rd.getU8();
+        s.value = (std::int64_t)rd.getU64();
+        s.hasRate = rd.getU8() != 0;
+        s.rate = std::bit_cast<double>(rd.getU64());
+        r.series.push_back(std::move(s));
+    }
+    const std::uint32_t nhists = rd.getU32();
+    r.hists.reserve(nhists);
+    for (std::uint32_t i = 0; i < nhists; ++i) {
+        MetricsHistRow h;
+        h.name = rd.getString();
+        h.labels = readLabels(rd);
+        h.count = rd.getU64();
+        h.sum = rd.getU64();
+        h.min = rd.getU64();
+        h.max = rd.getU64();
+        h.p50 = std::bit_cast<double>(rd.getU64());
+        h.p95 = std::bit_cast<double>(rd.getU64());
+        h.p99 = std::bit_cast<double>(rd.getU64());
+        r.hists.push_back(std::move(h));
     }
     rd.requireEnd();
     return r;

@@ -30,6 +30,7 @@ opName(std::uint8_t op)
       case Op::Subscribe: return "SUBSCRIBE";
       case Op::Stats: return "STATS";
       case Op::Bye: return "BYE";
+      case Op::Metrics: return "METRICS";
       case Op::Ok: return "OK";
       case Op::Err: return "ERR";
       case Op::Event: return "EVT";

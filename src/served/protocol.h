@@ -64,6 +64,8 @@ enum class Op : std::uint8_t {
     Subscribe = 0x0a, ///< toggle streaming EVT notifications
     Stats = 0x0b,     ///< obs snapshot JSON + registry counts
     Bye = 0x0c,       ///< orderly goodbye; server closes after OK
+    Metrics = 0x0d,   ///< time-series / Prometheus exposition
+                      ///< (allowed before HELLO, like STATS)
 
     // Reply opcodes (server -> client).
     Ok = 0x80,    ///< body: u8 echoed request op + per-request data
@@ -71,11 +73,20 @@ enum class Op : std::uint8_t {
     Event = 0x82, ///< streamed notification (after Subscribe)
 };
 
+/** METRICS body formats (the one-byte request body; the OK reply
+ *  echoes the format before the payload). */
+enum class MetricsFormat : std::uint8_t {
+    Prometheus = 0, ///< text exposition 0.0.4 as one blob
+    Json = 1,       ///< edb-metrics-v1 JSON as one blob
+    Binary = 2,     ///< structured rows (what `edb-trace top` decodes)
+};
+
 /** True for opcodes a client may legally send. */
 constexpr bool
 isRequestOp(std::uint8_t op)
 {
-    return op >= (std::uint8_t)Op::Hello && op <= (std::uint8_t)Op::Bye;
+    return op >= (std::uint8_t)Op::Hello &&
+           op <= (std::uint8_t)Op::Metrics;
 }
 
 /** Stable name of an opcode, for diagnostics ("?" when unknown). */

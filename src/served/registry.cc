@@ -29,9 +29,12 @@ obs::Counter obsRuns{"served.runs"};
 obs::Counter obsQueries{"served.queries"};
 obs::Counter obsNotifications{"served.notifications"};
 obs::Counter obsPendingDropped{"served.pending_dropped"};
+obs::Counter obsRunWrites{"served.run_writes"};
 obs::Gauge obsTenants{"served.tenants"};
 obs::Gauge obsMonitors{"served.monitors"};
 obs::Gauge obsOpenTraces{"served.open_traces"};
+obs::Gauge obsPendingHits{"served.pending_hits"};
+obs::Gauge obsTraceBytes{"served.trace_bytes"};
 obs::Histogram obsRunNs{"served.run_ns"};
 obs::Histogram obsQueryNs{"served.query_ns"};
 obs::Histogram obsResumeBatch{"served.resume_batch"};
@@ -122,12 +125,35 @@ Tenant::Tenant(Registry &owner, std::uint64_t id, std::string name,
     } else {
         software_.setNotificationHandler(handler);
     }
+
+    // Per-tenant attribution: one labeled domain, handles cached so
+    // the request path pays one relaxed RMW per update. The tenant
+    // *name* is the label (not the id): reconnecting under the same
+    // name resumes the same series, which is what a dashboard wants.
+    tdomain_ = telemetry::TelemetryDomain{{"tenant", name_}};
+    t_runs_ = tdomain_.counter("served.tenant.runs");
+    t_queries_ = tdomain_.counter("served.tenant.queries");
+    t_installs_ = tdomain_.counter("served.tenant.installs");
+    t_removes_ = tdomain_.counter("served.tenant.removes");
+    t_resumes_ = tdomain_.counter("served.tenant.resumes");
+    t_notifications_ = tdomain_.counter("served.tenant.notifications");
+    t_run_writes_ = tdomain_.counter("served.tenant.run_writes");
+    t_monitors_ = tdomain_.gauge("served.tenant.monitors");
+    t_pending_hits_ = tdomain_.gauge("served.tenant.pending_hits");
+    t_open_traces_ = tdomain_.gauge("served.tenant.open_traces");
+    t_trace_bytes_ = tdomain_.gauge("served.tenant.trace_bytes");
 }
 
 Tenant::~Tenant()
 {
     EDB_OBS_GAUGE_SUB(obsMonitors, monitors_.size());
     EDB_OBS_GAUGE_SUB(obsOpenTraces, traces_.size());
+    EDB_OBS_GAUGE_SUB(obsPendingHits, pending_.size());
+    EDB_OBS_GAUGE_SUB(obsTraceBytes, trace_bytes_total_);
+    t_monitors_.sub((std::int64_t)monitors_.size());
+    t_open_traces_.sub((std::int64_t)traces_.size());
+    t_pending_hits_.sub((std::int64_t)pending_.size());
+    t_trace_bytes_.sub((std::int64_t)trace_bytes_total_);
 }
 
 void
@@ -166,6 +192,14 @@ Tenant::openTrace(const std::string &path)
     traces_.emplace(tid, handle);
     traces_stat_.store(traces_.size(), std::memory_order_relaxed);
     EDB_OBS_GAUGE_ADD(obsOpenTraces, 1);
+    // Attribute the mapping's bytes to every tenant holding it: the
+    // gauge answers "how much trace data does this tenant pin", and
+    // a shared mapping is pinned by each of its holders.
+    const std::uint64_t bytes = handle->mapped.fileBytes();
+    trace_bytes_total_ += bytes;
+    EDB_OBS_GAUGE_ADD(obsTraceBytes, bytes);
+    t_open_traces_.add(1);
+    t_trace_bytes_.add((std::int64_t)bytes);
 
     OpenResult res;
     res.traceId = tid;
@@ -202,6 +236,8 @@ Tenant::install(const AddrRange &r)
     monitors_stat_.store(monitors_.size(), std::memory_order_relaxed);
     EDB_OBS_INC(obsInstalls);
     EDB_OBS_GAUGE_ADD(obsMonitors, 1);
+    t_installs_.inc();
+    t_monitors_.add(1);
     return id;
 }
 
@@ -218,11 +254,16 @@ Tenant::remove(std::uint32_t monitorId)
     if (it->second.enabled)
         removeEngine(it->second.range);
     monitors_.erase(it);
-    pending_.erase(monitorId);
+    if (pending_.erase(monitorId) > 0) {
+        EDB_OBS_GAUGE_SUB(obsPendingHits, 1);
+        t_pending_hits_.sub(1);
+    }
     pending_stat_.store(pending_.size(), std::memory_order_relaxed);
     monitors_stat_.store(monitors_.size(), std::memory_order_relaxed);
     EDB_OBS_INC(obsRemoves);
     EDB_OBS_GAUGE_SUB(obsMonitors, 1);
+    t_removes_.inc();
+    t_monitors_.sub(1);
 }
 
 void
@@ -271,6 +312,9 @@ Tenant::resume()
     pending_stat_.store(0, std::memory_order_relaxed);
     EDB_OBS_INC(obsResumes);
     EDB_OBS_OBSERVE(obsResumeBatch, batch.hits.size());
+    EDB_OBS_GAUGE_SUB(obsPendingHits, batch.hits.size());
+    t_resumes_.inc();
+    t_pending_hits_.sub((std::int64_t)batch.hits.size());
     return batch;
 }
 
@@ -286,6 +330,7 @@ Tenant::onNotification(const wms::Notification &n)
             continue;
         notifications_.fetch_add(1, std::memory_order_relaxed);
         EDB_OBS_INC(obsNotifications);
+        t_notifications_.inc();
         auto it = pending_.find(id);
         if (it != pending_.end()) {
             it->second.count++;
@@ -297,6 +342,8 @@ Tenant::onNotification(const wms::Notification &n)
                                1});
             pending_stat_.store(pending_.size(),
                                 std::memory_order_relaxed);
+            EDB_OBS_GAUGE_ADD(obsPendingHits, 1);
+            t_pending_hits_.add(1);
         } else {
             ++pending_dropped_;
             EDB_OBS_INC(obsPendingDropped);
@@ -347,6 +394,9 @@ Tenant::runLive(std::uint32_t traceId)
         notifications_.load(std::memory_order_relaxed) - before;
     runs_.fetch_add(1, std::memory_order_relaxed);
     EDB_OBS_INC(obsRuns);
+    EDB_OBS_ADD(obsRunWrites, res.writes);
+    t_runs_.inc();
+    t_run_writes_.add((std::int64_t)res.writes);
     return res;
 }
 
@@ -387,6 +437,9 @@ Tenant::runSessions(std::uint32_t traceId,
     res.counters = sim.counters;
     runs_.fetch_add(1, std::memory_order_relaxed);
     EDB_OBS_INC(obsRuns);
+    EDB_OBS_ADD(obsRunWrites, res.totalWrites);
+    t_runs_.inc();
+    t_run_writes_.add((std::int64_t)res.totalWrites);
     return res;
 }
 
@@ -418,6 +471,7 @@ Tenant::query(const WireQuery &q)
         query::runQuery(t->mapped, t->sessions, spec);
     queries_.fetch_add(1, std::memory_order_relaxed);
     EDB_OBS_INC(obsQueries);
+    t_queries_.inc();
     return QueryReply{r.matches, r.sessionCounts};
 }
 

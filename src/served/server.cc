@@ -6,6 +6,7 @@
 
 #include "served/server.h"
 
+#include <bit>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -17,6 +18,7 @@
 #include <unistd.h>
 
 #include "obs/obs.h"
+#include "telemetry/prom.h"
 #include "util/logging.h"
 
 namespace edb::served {
@@ -32,7 +34,40 @@ obs::Counter obsBytesOut{"served.bytes_out"};
 obs::Counter obsErrors{"served.errors"};
 obs::Counter obsEventsStreamed{"served.events_streamed"};
 obs::Counter obsStats{"served.stats"};
+obs::Counter obsMetrics{"served.metrics"};
+obs::Counter obsSlowRequests{"served.slow_requests"};
+obs::Gauge obsConnsActive{"served.connections.active"};
+obs::Gauge obsReadersActive{"served.readers.active"};
 obs::Histogram obsFrameBytes{"served.frame_bytes"};
+
+/** The per-op request instruments: an op-labeled request counter and
+ *  latency histogram. Interned once per opcode; the copy handed back
+ *  is two raw pointers, so the per-request cost after the first hit
+ *  is one map lookup under an uncontended mutex. */
+struct OpInstruments
+{
+    telemetry::Series requests;
+    telemetry::HistSeries latency;
+};
+
+OpInstruments
+opInstruments(std::uint8_t op)
+{
+    static std::mutex mu;
+    static std::map<std::uint8_t, OpInstruments> cache;
+    std::lock_guard<std::mutex> lk(mu);
+    auto it = cache.find(op);
+    if (it == cache.end()) {
+        telemetry::TelemetryDomain d{{"op", opName(op)}};
+        it = cache
+                 .emplace(op,
+                          OpInstruments{
+                              d.counter("served.requests"),
+                              d.histogram("served.request_ns")})
+                 .first;
+    }
+    return it->second;
+}
 #endif
 
 /** Write all of `n` bytes; false on any transport error. */
@@ -67,6 +102,77 @@ statsJson()
 #endif
 }
 
+/** Encode a telemetry Report as the METRICS binary format (format 2,
+ *  docs/PROTOCOL.md): fixed-width rows a PayloadReader can decode,
+ *  so `edb-trace top` needs no JSON parser. Doubles travel as IEEE
+ *  bit patterns in a u64. */
+void
+writeReportBinary(PayloadWriter &w, const telemetry::Report &report)
+{
+    w.putU64(report.intervalMs);
+    w.putU64(report.samples);
+    w.putU32((std::uint32_t)report.series.size());
+    for (const telemetry::ReportSeries &s : report.series) {
+        w.putString(s.name);
+        w.putU8((std::uint8_t)s.labels.size());
+        for (const telemetry::Label &l : s.labels) {
+            w.putString(l.key);
+            w.putString(l.value);
+        }
+        w.putU8((std::uint8_t)s.kind);
+        w.putU64((std::uint64_t)s.value);
+        w.putU8(s.hasRate ? 1 : 0);
+        w.putU64(std::bit_cast<std::uint64_t>(s.rate));
+    }
+    w.putU32((std::uint32_t)report.hists.size());
+    for (const telemetry::ReportHist &h : report.hists) {
+        w.putString(h.name);
+        w.putU8((std::uint8_t)h.labels.size());
+        for (const telemetry::Label &l : h.labels) {
+            w.putString(l.key);
+            w.putString(l.value);
+        }
+        w.putU64(h.count);
+        w.putU64(h.sum);
+        w.putU64(h.min);
+        w.putU64(h.max);
+        w.putU64(std::bit_cast<std::uint64_t>(h.p50));
+        w.putU64(std::bit_cast<std::uint64_t>(h.p95));
+        w.putU64(std::bit_cast<std::uint64_t>(h.p99));
+    }
+}
+
+/** Create, bind and listen a Unix-domain socket at `path` (stale
+ *  files are unlinked first). Throws std::runtime_error with the
+ *  cause on failure. */
+int
+bindUnixListener(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        throw std::runtime_error(
+            std::string("served: socket(): ") + std::strerror(errno));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        throw std::runtime_error("served: socket path '" + path +
+                                 "' exceeds sun_path");
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str()); // stale-socket recovery
+    if (::bind(fd, (const sockaddr *)&addr, sizeof(addr)) < 0 ||
+        ::listen(fd, 64) < 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd);
+        throw std::runtime_error("served: cannot listen on '" + path +
+                                 "': " + why);
+    }
+    return fd;
+}
+
 } // namespace
 
 /** Per-connection state shared between the reader thread, the pool
@@ -98,38 +204,34 @@ Server::start()
     EDB_ASSERT(!options_.socketPath.empty(),
                "served: empty socket path");
 
-    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (listen_fd_ < 0) {
-        throw std::runtime_error(
-            std::string("served: socket(): ") + std::strerror(errno));
-    }
-
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (options_.socketPath.size() >= sizeof(addr.sun_path)) {
-        ::close(listen_fd_);
-        listen_fd_ = -1;
-        throw std::runtime_error("served: socket path '" +
-                                 options_.socketPath +
-                                 "' exceeds sun_path");
-    }
-    std::strncpy(addr.sun_path, options_.socketPath.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    ::unlink(options_.socketPath.c_str()); // stale-socket recovery
-    if (::bind(listen_fd_, (const sockaddr *)&addr, sizeof(addr)) <
-            0 ||
-        ::listen(listen_fd_, 64) < 0) {
-        const std::string why = std::strerror(errno);
-        ::close(listen_fd_);
-        listen_fd_ = -1;
-        throw std::runtime_error("served: cannot listen on '" +
-                                 options_.socketPath + "': " + why);
+    listen_fd_ = bindUnixListener(options_.socketPath);
+    if (!options_.metricsSocketPath.empty()) {
+        try {
+            metrics_fd_ =
+                bindUnixListener(options_.metricsSocketPath);
+        } catch (...) {
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            throw;
+        }
     }
     if (::pipe(stop_pipe_) < 0) {
         ::close(listen_fd_);
         listen_fd_ = -1;
+        if (metrics_fd_ >= 0) {
+            ::close(metrics_fd_);
+            metrics_fd_ = -1;
+        }
         throw std::runtime_error(
             std::string("served: pipe(): ") + std::strerror(errno));
+    }
+
+    if (options_.metricsIntervalMs > 0) {
+        telemetry::SamplerOptions sopts;
+        sopts.intervalMs = options_.metricsIntervalMs;
+        sopts.ringCapacity = options_.metricsRingCapacity;
+        sampler_ = std::make_unique<telemetry::Sampler>(sopts);
+        sampler_->start();
     }
 
     stopping_.store(false, std::memory_order_release);
@@ -164,12 +266,22 @@ Server::stop()
             c->thread.join();
     }
 
+    if (sampler_) {
+        sampler_->stop();
+        sampler_.reset();
+    }
+
     ::close(stop_pipe_[0]);
     ::close(stop_pipe_[1]);
     stop_pipe_[0] = stop_pipe_[1] = -1;
     ::close(listen_fd_);
     listen_fd_ = -1;
     ::unlink(options_.socketPath.c_str());
+    if (metrics_fd_ >= 0) {
+        ::close(metrics_fd_);
+        metrics_fd_ = -1;
+        ::unlink(options_.metricsSocketPath.c_str());
+    }
 }
 
 void
@@ -177,9 +289,11 @@ Server::acceptLoop()
 {
     EDB_OBS_ONLY(obs::prepareCurrentThread();)
     while (!stopping_.load(std::memory_order_acquire)) {
-        pollfd fds[2] = {{listen_fd_, POLLIN, 0},
-                         {stop_pipe_[0], POLLIN, 0}};
-        int rc = ::poll(fds, 2, -1);
+        pollfd fds[3] = {{listen_fd_, POLLIN, 0},
+                         {stop_pipe_[0], POLLIN, 0},
+                         {metrics_fd_, POLLIN, 0}};
+        const nfds_t nfds = metrics_fd_ >= 0 ? 3 : 2;
+        int rc = ::poll(fds, nfds, -1);
         if (rc < 0) {
             if (errno == EINTR)
                 continue;
@@ -187,6 +301,14 @@ Server::acceptLoop()
         }
         if (fds[1].revents != 0)
             break;
+        if (nfds == 3 && (fds[2].revents & POLLIN) != 0) {
+            // Prometheus scrape: one exposition per connection,
+            // served inline (the text is small and the write is
+            // send-timeout bounded, so the accept loop cannot wedge).
+            int mfd = ::accept(metrics_fd_, nullptr, nullptr);
+            if (mfd >= 0)
+                serveMetricsScrape(mfd);
+        }
         if ((fds[0].revents & POLLIN) == 0)
             continue;
         int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -199,6 +321,7 @@ Server::acceptLoop()
                      sizeof send_timeout);
         accepted_.fetch_add(1, std::memory_order_relaxed);
         EDB_OBS_INC(obsConnections);
+        EDB_OBS_GAUGE_ADD(obsConnsActive, 1);
         auto conn = std::make_shared<Conn>();
         conn->fd = fd;
         {
@@ -211,9 +334,22 @@ Server::acceptLoop()
 }
 
 void
+Server::serveMetricsScrape(int fd)
+{
+    timeval send_timeout{30, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof send_timeout);
+    const std::string text = telemetry::prometheusText();
+    (void)writeAll(fd, (const std::uint8_t *)text.data(),
+                   text.size());
+    ::close(fd);
+}
+
+void
 Server::connectionLoop(std::shared_ptr<Conn> conn)
 {
     EDB_OBS_ONLY(obs::prepareCurrentThread();)
+    EDB_OBS_GAUGE_ADD(obsReadersActive, 1);
     FrameDecoder decoder(options_.quotas.maxFrameBytes);
     std::vector<char> buf(64 * 1024);
     bool open = true;
@@ -252,10 +388,48 @@ Server::connectionLoop(std::shared_ptr<Conn> conn)
     conn->dead.store(true, std::memory_order_release);
     ::close(conn->fd);
     EDB_OBS_INC(obsDisconnects);
+    EDB_OBS_GAUGE_SUB(obsConnsActive, 1);
+    EDB_OBS_GAUGE_SUB(obsReadersActive, 1);
 }
 
 bool
 Server::dispatch(Conn &conn, const Frame &frame)
+{
+#if EDB_OBS_ENABLED
+    // Request envelope: id, op-labeled latency, trace span, slow log.
+    const std::uint64_t req_id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    const char *name = opName(frame.opcode);
+    const std::uint64_t t0 = obs::monotonicNs();
+    if (obs::traceEnabled())
+        obs::emitTraceEvent(name, 'B', t0, req_id);
+    const bool open = dispatchRequest(conn, frame);
+    const std::uint64_t t1 = obs::monotonicNs();
+    if (obs::traceEnabled())
+        obs::emitTraceEvent(name, 'E', t1, req_id);
+    const std::uint64_t ns = t1 - t0;
+    if (isRequestOp(frame.opcode)) {
+        OpInstruments ins = opInstruments(frame.opcode);
+        ins.requests.inc();
+        ins.latency.observe(ns);
+    }
+    if (options_.slowRequestMs != 0 &&
+        ns >= options_.slowRequestMs * 1000000ull) {
+        EDB_OBS_INC(obsSlowRequests);
+        warn("served: slow request #%llu: %s took %llu ms "
+             "(threshold %llu ms)",
+             (unsigned long long)req_id, name,
+             (unsigned long long)(ns / 1000000ull),
+             (unsigned long long)options_.slowRequestMs);
+    }
+    return open;
+#else
+    return dispatchRequest(conn, frame);
+#endif
+}
+
+bool
+Server::dispatchRequest(Conn &conn, const Frame &frame)
 {
     const std::uint8_t op = frame.opcode;
     if (!isRequestOp(op)) {
@@ -321,6 +495,36 @@ Server::dispatch(Conn &conn, const Frame &frame)
                 w.putString(e.path);
                 w.putU32((std::uint32_t)e.refs);
                 w.putU64(e.events);
+            }
+            return sendOk(conn, op, w);
+          }
+          case Op::Metrics: {
+            // Like STATS, deliberately allowed before HELLO:
+            // scrapers and dashboards are not tenants.
+            std::uint8_t format =
+                (std::uint8_t)MetricsFormat::Prometheus;
+            if (rd.remaining() > 0)
+                format = rd.getU8();
+            rd.requireEnd();
+            if (format > (std::uint8_t)MetricsFormat::Binary) {
+                throw ServedError(
+                    ErrCode::MalformedPayload,
+                    "METRICS format " + std::to_string(format) +
+                        " unknown (0=prometheus, 1=json, 2=binary)");
+            }
+            EDB_OBS_INC(obsMetrics);
+            PayloadWriter w;
+            w.putU8(format);
+            if ((MetricsFormat)format == MetricsFormat::Prometheus) {
+                w.putBlob(telemetry::prometheusText());
+            } else {
+                const telemetry::Report report =
+                    sampler_ ? sampler_->makeReport()
+                             : telemetry::Sampler::snapshotReport();
+                if ((MetricsFormat)format == MetricsFormat::Json)
+                    w.putBlob(telemetry::reportToJson(report));
+                else
+                    writeReportBinary(w, report);
             }
             return sendOk(conn, op, w);
           }

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "served/registry.h"
+#include "telemetry/timeseries.h"
 
 namespace edb::served {
 
@@ -47,6 +48,22 @@ struct ServerOptions
     unsigned workers = 2;
     /** Live-monitor engine family for new tenants. */
     Engine engine = Engine::Software;
+
+    /** Sampling tick of the telemetry time-series collector;
+     *  0 disables the sampler thread (METRICS then serves a
+     *  point-in-time snapshot with no rates). */
+    std::uint64_t metricsIntervalMs = 1000;
+    /** {t, value} points retained per series by the sampler. */
+    std::size_t metricsRingCapacity = 128;
+    /** Optional second Unix socket speaking raw Prometheus text:
+     *  each accepted connection receives one exposition
+     *  (`text/plain; version=0.0.4` content) and is closed — so a
+     *  stock file-based scraper needs no edb protocol support.
+     *  Empty disables it. */
+    std::string metricsSocketPath;
+    /** Requests slower than this log one warn line with the request
+     *  id, op and latency; 0 disables the slow-request log. */
+    std::uint64_t slowRequestMs = 1000;
 };
 
 class Server
@@ -87,6 +104,10 @@ class Server
 
     Registry &registry() { return *registry_; }
 
+    /** The time-series collector; null when metricsIntervalMs is 0
+     *  or the server has not started. */
+    telemetry::Sampler *sampler() { return sampler_.get(); }
+
     /** Connections accepted over the server's lifetime. */
     std::uint64_t connectionsAccepted() const
     {
@@ -98,8 +119,17 @@ class Server
 
     void acceptLoop();
     void connectionLoop(std::shared_ptr<Conn> conn);
-    /** Returns false when the connection should close. */
+    /** Request-level envelope around dispatchRequest(): assigns the
+     *  request id, times the request into the op-labeled latency
+     *  instruments, emits B/E trace spans carrying the id, and logs
+     *  slow requests. Compiles down to a plain dispatchRequest()
+     *  call under EDB_OBS=OFF. */
     bool dispatch(Conn &conn, const Frame &frame);
+    /** Returns false when the connection should close. */
+    bool dispatchRequest(Conn &conn, const Frame &frame);
+    /** Serve one Prometheus exposition on an accepted metrics-socket
+     *  connection, then close it. */
+    void serveMetricsScrape(int fd);
     bool sendOk(Conn &conn, std::uint8_t req_op,
                 const PayloadWriter &payload);
     bool sendErr(Conn &conn, std::uint8_t req_op, ErrCode code,
@@ -110,11 +140,14 @@ class Server
 
     ServerOptions options_;
     std::unique_ptr<Registry> registry_;
+    std::unique_ptr<telemetry::Sampler> sampler_;
     int listen_fd_ = -1;
+    int metrics_fd_ = -1; ///< Prometheus scrape socket (optional)
     int stop_pipe_[2] = {-1, -1};
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> next_request_id_{1};
     std::thread accept_thread_;
     std::mutex conns_mu_;
     std::vector<std::shared_ptr<Conn>> conns_;

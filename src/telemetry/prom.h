@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Prometheus text exposition (format version 0.0.4) of the obs and
+ * telemetry registries.
+ *
+ * Every obs counter/gauge/histogram becomes an unlabeled metric
+ * family and every telemetry labeled series joins the family of its
+ * (mangled) name, so one scrape shows the process-global totals next
+ * to the per-tenant attribution. Names are mangled to the Prometheus
+ * grammar with an `edb_` prefix (`served.tenant.runs` ->
+ * `edb_served_tenant_runs`); histograms expose cumulative
+ * `_bucket{le="2^b-1"}` series from the log2 buckets plus `_sum` and
+ * `_count`.
+ *
+ * Under EDB_OBS=OFF the exposition is empty-but-valid: one comment
+ * line, no series — scrapers parse it, dashboards show nothing.
+ */
+
+#ifndef EDB_TELEMETRY_PROM_H
+#define EDB_TELEMETRY_PROM_H
+
+#include <iosfwd>
+#include <string>
+
+namespace edb::telemetry {
+
+/** Write the full exposition (HELP/TYPE lines plus every series). */
+void writePrometheus(std::ostream &os);
+
+/** The exposition as a string (what METRICS format 0 serves;
+ *  content type `text/plain; version=0.0.4`). */
+std::string prometheusText();
+
+} // namespace edb::telemetry
+
+#endif // EDB_TELEMETRY_PROM_H

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * The labeled-series registry behind TelemetryDomain: canonical label
+ * validation, dynamic interning with the cardinality cap, the shared
+ * overflow cells, and collect().
+ *
+ * Like the obs registry, this singleton is intentionally leaked:
+ * handles held by detached threads and atexit hooks must never
+ * dangle, and cells are a few hundred bytes each under a hard cap.
+ */
+
+#include "telemetry/telemetry.h"
+
+#if EDB_OBS_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace edb::telemetry {
+
+namespace detail {
+
+/** Histogram state of one labeled series (obs Shard::Hist layout). */
+struct HistCell
+{
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max{0};
+    std::atomic<std::uint64_t> buckets[obs::histBuckets]{};
+};
+
+/** One interned (name, labels) series. Never freed. */
+struct Cell
+{
+    std::string name;
+    std::vector<Label> labels;
+    Kind kind = Kind::Counter;
+    std::atomic<std::int64_t> value{0};
+    std::unique_ptr<HistCell> hist; ///< kind == Histogram only
+};
+
+} // namespace detail
+
+namespace {
+
+using detail::Cell;
+using detail::HistCell;
+
+/** Canonical map key: name and sorted labels, '\x1f'-joined (the
+ *  separator cannot appear in a sane name and is harmless if it
+ *  does — worst case two exotic names alias one series). */
+std::string
+seriesKey(const std::string &name, const std::vector<Label> &labels)
+{
+    std::string key = name;
+    for (const Label &l : labels) {
+        key += '\x1f';
+        key += l.key;
+        key += '\x1f';
+        key += l.value;
+    }
+    return key;
+}
+
+class LabeledRegistry
+{
+  public:
+    LabeledRegistry()
+    {
+        overflow_ = makeCell("telemetry.overflow", {}, Kind::Counter);
+        overflow_hist_ =
+            makeCell("telemetry.overflow_hist", {}, Kind::Histogram);
+    }
+
+    Cell *
+    intern(const std::string &name, const std::vector<Label> &labels,
+           Kind kind)
+    {
+        const std::string key = seriesKey(name, labels);
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            if (it->second->kind != kind) {
+                throw std::invalid_argument(
+                    "telemetry series '" + name +
+                    "' already registered with a different kind");
+            }
+            return it->second.get();
+        }
+        if (map_.size() >= max_series_) {
+            // Cardinality cap: degrade to the shared overflow cell
+            // rather than aborting — unattributed, but alive.
+            return kind == Kind::Histogram ? overflow_hist_.get()
+                                           : overflow_.get();
+        }
+        auto cell = makeCell(name, labels, kind);
+        Cell *raw = cell.get();
+        map_.emplace(key, std::move(cell));
+        return raw;
+    }
+
+    std::vector<SeriesValue>
+    collect()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        std::vector<SeriesValue> out;
+        out.reserve(map_.size() + 2);
+        for (const auto &[key, cell] : map_)
+            appendValue(out, *cell);
+        // The overflow cells appear once they have absorbed anything,
+        // so dashboards can see that attribution was lost.
+        if (overflow_->value.load(std::memory_order_relaxed) != 0)
+            appendValue(out, *overflow_);
+        if (overflow_hist_->hist->count.load(
+                std::memory_order_relaxed) != 0) {
+            appendValue(out, *overflow_hist_);
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const SeriesValue &a, const SeriesValue &b) {
+                      if (a.name != b.name)
+                          return a.name < b.name;
+                      return labelText(a.labels) < labelText(b.labels);
+                  });
+        return out;
+    }
+
+    std::size_t
+    size()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return map_.size();
+    }
+
+    std::size_t
+    setMaxSeries(std::size_t cap)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return std::exchange(max_series_, cap);
+    }
+
+  private:
+    static std::unique_ptr<Cell>
+    makeCell(std::string name, std::vector<Label> labels, Kind kind)
+    {
+        auto cell = std::make_unique<Cell>();
+        cell->name = std::move(name);
+        cell->labels = std::move(labels);
+        cell->kind = kind;
+        if (kind == Kind::Histogram)
+            cell->hist = std::make_unique<HistCell>();
+        return cell;
+    }
+
+    static std::string
+    labelText(const std::vector<Label> &labels)
+    {
+        std::string s;
+        for (const Label &l : labels) {
+            s += l.key;
+            s += '=';
+            s += l.value;
+            s += ',';
+        }
+        return s;
+    }
+
+    static void
+    appendValue(std::vector<SeriesValue> &out, const Cell &cell)
+    {
+        SeriesValue v;
+        v.name = cell.name;
+        v.labels = cell.labels;
+        v.kind = cell.kind;
+        if (cell.kind == Kind::Histogram) {
+            const HistCell &h = *cell.hist;
+            v.hist.name = cell.name;
+            v.hist.count = h.count.load(std::memory_order_relaxed);
+            v.hist.sum = h.sum.load(std::memory_order_relaxed);
+            const std::uint64_t mn =
+                h.min.load(std::memory_order_relaxed);
+            v.hist.min = v.hist.count > 0 ? mn : 0;
+            v.hist.max = h.max.load(std::memory_order_relaxed);
+            v.hist.buckets.resize(obs::histBuckets);
+            for (std::size_t b = 0; b < obs::histBuckets; ++b) {
+                v.hist.buckets[b] =
+                    h.buckets[b].load(std::memory_order_relaxed);
+            }
+            v.value = (std::int64_t)v.hist.count;
+        } else {
+            v.value = cell.value.load(std::memory_order_relaxed);
+        }
+        out.push_back(std::move(v));
+    }
+
+    std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Cell>> map_;
+    std::size_t max_series_ = defaultMaxSeries;
+    std::unique_ptr<Cell> overflow_;
+    std::unique_ptr<Cell> overflow_hist_;
+};
+
+LabeledRegistry &
+registry()
+{
+    static LabeledRegistry *r = new LabeledRegistry(); // leaked
+    return *r;
+}
+
+/** Canonicalize and validate a label set (see TelemetryDomain). */
+std::vector<Label>
+normalizeLabels(std::vector<Label> labels)
+{
+    if (labels.size() > maxLabelsPerDomain) {
+        throw std::invalid_argument(
+            "telemetry domain has " + std::to_string(labels.size()) +
+            " labels; the cap is " +
+            std::to_string(maxLabelsPerDomain));
+    }
+    for (Label &l : labels) {
+        if (l.key.empty())
+            throw std::invalid_argument("telemetry label key is empty");
+        if (l.value.size() > maxLabelValueBytes)
+            l.value.resize(maxLabelValueBytes);
+    }
+    std::sort(labels.begin(), labels.end(),
+              [](const Label &a, const Label &b) {
+                  return a.key < b.key;
+              });
+    for (std::size_t i = 1; i < labels.size(); ++i) {
+        if (labels[i - 1].key == labels[i].key) {
+            throw std::invalid_argument(
+                "telemetry label key '" + labels[i].key +
+                "' appears twice");
+        }
+    }
+    return labels;
+}
+
+} // namespace
+
+namespace detail {
+
+Cell *
+intern(const std::string &name, const std::vector<Label> &labels,
+       Kind kind)
+{
+    return registry().intern(name, labels, kind);
+}
+
+void
+cellAdd(Cell *cell, std::int64_t d) noexcept
+{
+    cell->value.fetch_add(d, std::memory_order_relaxed);
+}
+
+void
+cellObserve(Cell *cell, std::uint64_t v) noexcept
+{
+    HistCell &h = *cell->hist;
+    h.buckets[obs::Histogram::bucketOf(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    h.count.fetch_add(1, std::memory_order_relaxed);
+    h.sum.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = h.min.load(std::memory_order_relaxed);
+    while (v < cur && !h.min.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+    cur = h.max.load(std::memory_order_relaxed);
+    while (v > cur && !h.max.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace detail
+
+TelemetryDomain::TelemetryDomain(std::vector<Label> labels)
+    : labels_(normalizeLabels(std::move(labels)))
+{
+}
+
+TelemetryDomain
+TelemetryDomain::with(std::string key, std::string value) const
+{
+    std::vector<Label> ext = labels_;
+    ext.push_back({std::move(key), std::move(value)});
+    return TelemetryDomain(std::move(ext));
+}
+
+Series
+TelemetryDomain::counter(const std::string &name) const
+{
+    return Series(detail::intern(name, labels_, Kind::Counter));
+}
+
+Series
+TelemetryDomain::gauge(const std::string &name) const
+{
+    return Series(detail::intern(name, labels_, Kind::Gauge));
+}
+
+HistSeries
+TelemetryDomain::histogram(const std::string &name) const
+{
+    return HistSeries(detail::intern(name, labels_, Kind::Histogram));
+}
+
+std::vector<SeriesValue>
+collect()
+{
+    return registry().collect();
+}
+
+std::size_t
+seriesCount()
+{
+    return registry().size();
+}
+
+std::size_t
+setMaxSeriesForTest(std::size_t cap)
+{
+    return registry().setMaxSeries(cap);
+}
+
+} // namespace edb::telemetry
+
+#endif // EDB_OBS_ENABLED

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * `edb::telemetry` — labeled instrument domains on top of `edb::obs`
+ * (DESIGN.md §15).
+ *
+ * The obs registry is deliberately flat and fixed-capacity: a name is
+ * a process-global instrument and slot exhaustion is a bug. That is
+ * the right contract for the hot-path counters compiled into the
+ * library, but it cannot express *attribution* — the daemon needs
+ * `served.tenant.runs{tenant="a"}` next to `{tenant="b"}`, and tenant
+ * names arrive at runtime with unbounded cardinality.
+ *
+ * A TelemetryDomain scopes instrument names with up to
+ * `maxLabelsPerDomain` label pairs. Series are interned dynamically
+ * in a process-wide labeled registry with a hard cardinality cap:
+ * once the cap is reached, further registrations return a shared
+ * *overflow cell* (`telemetry.overflow` / `telemetry.overflow_hist`)
+ * instead of aborting, so a hostile client inventing tenant names can
+ * degrade attribution but never kill the daemon.
+ *
+ * Hot-path cost mirrors obs: Series::add / HistSeries::observe are
+ * single relaxed RMWs on a shared cell (async-signal-safe); series
+ * *creation* locks and allocates and must stay out of signal
+ * handlers. Cells live forever (the registry is a leaked singleton),
+ * so handles never dangle.
+ *
+ * When the build sets EDB_OBS=OFF the domain types collapse to empty
+ * inline no-ops and collect() returns nothing, so instrumented code
+ * compiles away exactly like the EDB_OBS_* macros.
+ */
+
+#ifndef EDB_TELEMETRY_TELEMETRY_H
+#define EDB_TELEMETRY_TELEMETRY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace edb::telemetry {
+
+/** Label pairs one domain may carry. */
+inline constexpr std::size_t maxLabelsPerDomain = 4;
+/** Label values longer than this are truncated (never rejected:
+ *  a tenant's chosen name must not be able to fail HELLO). */
+inline constexpr std::size_t maxLabelValueBytes = 128;
+/** Default cardinality cap on distinct (name, labels) series. */
+inline constexpr std::size_t defaultMaxSeries = 4096;
+
+/** One key=value attribution pair. */
+struct Label
+{
+    std::string key;
+    std::string value;
+};
+
+/** What a series measures (Prometheus exposition types). */
+enum class Kind : std::uint8_t { Counter = 0, Gauge = 1, Histogram = 2 };
+
+#if EDB_OBS_ENABLED
+
+/** One collected series value. `hist` is meaningful only when
+ *  kind == Kind::Histogram (then `value` is its count). */
+struct SeriesValue
+{
+    std::string name;
+    std::vector<Label> labels; ///< key-ascending, canonical
+    Kind kind = Kind::Counter;
+    std::int64_t value = 0;
+    obs::HistogramValue hist;
+};
+
+namespace detail {
+struct Cell;
+struct HistCell;
+/** Intern (name, labels, kind); returns the shared overflow cell —
+ *  never null, never a panic — once the cardinality cap is hit.
+ *  Throws std::invalid_argument on a kind conflict with an existing
+ *  series of the same identity. */
+Cell *intern(const std::string &name, const std::vector<Label> &labels,
+             Kind kind);
+void cellAdd(Cell *cell, std::int64_t d) noexcept;
+void cellObserve(Cell *cell, std::uint64_t v) noexcept;
+} // namespace detail
+
+/**
+ * Handle to a counter or gauge series. Cheap to copy; a
+ * default-constructed handle is a no-op sink.
+ */
+class Series
+{
+  public:
+    Series() = default;
+
+    /** Async-signal-safe; one relaxed fetch_add. */
+    void
+    add(std::int64_t d) noexcept
+    {
+        if (cell_ != nullptr)
+            detail::cellAdd(cell_, d);
+    }
+
+    void inc() noexcept { add(1); }
+    void sub(std::int64_t d) noexcept { add(-d); }
+
+  private:
+    friend class TelemetryDomain;
+    explicit Series(detail::Cell *cell) : cell_(cell) {}
+    detail::Cell *cell_ = nullptr;
+};
+
+/** Handle to a histogram series (obs log2 bucket scheme). */
+class HistSeries
+{
+  public:
+    HistSeries() = default;
+
+    /** Async-signal-safe; a few relaxed RMWs. */
+    void
+    observe(std::uint64_t v) noexcept
+    {
+        if (cell_ != nullptr)
+            detail::cellObserve(cell_, v);
+    }
+
+  private:
+    friend class TelemetryDomain;
+    explicit HistSeries(detail::Cell *cell) : cell_(cell) {}
+    detail::Cell *cell_ = nullptr;
+};
+
+/**
+ * A set of label pairs scoping instrument names. Construction
+ * validates the labels once; the instrument factories then intern
+ * (name, labels) series against the process-wide labeled registry.
+ *
+ * Validation throws std::invalid_argument on more than
+ * maxLabelsPerDomain pairs, an empty key, or a duplicate key; label
+ * *values* are truncated to maxLabelValueBytes rather than rejected.
+ */
+class TelemetryDomain
+{
+  public:
+    /** The empty domain: series carry no labels. */
+    TelemetryDomain() = default;
+
+    TelemetryDomain(std::initializer_list<Label> labels)
+        : TelemetryDomain(std::vector<Label>(labels))
+    {
+    }
+
+    explicit TelemetryDomain(std::vector<Label> labels);
+
+    /** A copy of this domain extended with one more pair (same
+     *  validation: a duplicate key or a fifth pair throws). */
+    TelemetryDomain with(std::string key, std::string value) const;
+
+    const std::vector<Label> &labels() const { return labels_; }
+
+    Series counter(const std::string &name) const;
+    Series gauge(const std::string &name) const;
+    HistSeries histogram(const std::string &name) const;
+
+  private:
+    std::vector<Label> labels_; ///< key-ascending, canonical
+};
+
+/**
+ * Every live series (including the overflow cells once they have
+ * absorbed anything), sorted by (name, labels). Values are relaxed
+ * reads: concurrent increments may or may not be included.
+ */
+std::vector<SeriesValue> collect();
+
+/** Distinct interned series (overflow cells excluded). */
+std::size_t seriesCount();
+
+/** Override the cardinality cap; returns the previous value. Exists
+ *  for the cap-enforcement tests — production keeps
+ *  defaultMaxSeries. */
+std::size_t setMaxSeriesForTest(std::size_t cap);
+
+#else // !EDB_OBS_ENABLED — inline no-op shells, zero cost.
+
+struct SeriesValue
+{
+    std::string name;
+    std::vector<Label> labels;
+    Kind kind = Kind::Counter;
+    std::int64_t value = 0;
+};
+
+class Series
+{
+  public:
+    void add(std::int64_t) noexcept {}
+    void inc() noexcept {}
+    void sub(std::int64_t) noexcept {}
+};
+
+class HistSeries
+{
+  public:
+    void observe(std::uint64_t) noexcept {}
+};
+
+class TelemetryDomain
+{
+  public:
+    TelemetryDomain() = default;
+    TelemetryDomain(std::initializer_list<Label>) {}
+    explicit TelemetryDomain(std::vector<Label>) {}
+
+    TelemetryDomain
+    with(std::string, std::string) const
+    {
+        return {};
+    }
+
+    const std::vector<Label> &
+    labels() const
+    {
+        static const std::vector<Label> none;
+        return none;
+    }
+
+    Series counter(const std::string &) const { return {}; }
+    Series gauge(const std::string &) const { return {}; }
+    HistSeries histogram(const std::string &) const { return {}; }
+};
+
+inline std::vector<SeriesValue>
+collect()
+{
+    return {};
+}
+
+inline std::size_t
+seriesCount()
+{
+    return 0;
+}
+
+inline std::size_t
+setMaxSeriesForTest(std::size_t)
+{
+    return 0;
+}
+
+#endif // EDB_OBS_ENABLED
+
+} // namespace edb::telemetry
+
+#endif // EDB_TELEMETRY_TELEMETRY_H

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Sampler implementation: the tick thread, per-series ring buffers,
+ * counter-rate derivation, and the JSON serialization of a Report.
+ */
+
+#include "telemetry/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+namespace edb::telemetry {
+
+namespace {
+
+/** Escape a string into a JSON literal (without the quotes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if ((unsigned char)c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+appendLabels(std::ostream &os, const std::vector<Label> &labels)
+{
+    os << "{";
+    bool first = true;
+    for (const Label &l : labels) {
+        os << (first ? "" : ", ") << "\"" << jsonEscape(l.key)
+           << "\": \"" << jsonEscape(l.value) << "\"";
+        first = false;
+    }
+    os << "}";
+}
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Counter: return "counter";
+      case Kind::Gauge: return "gauge";
+      case Kind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+/** Print a double with enough precision for rates/quantiles without
+ *  JSON-hostile artifacts (NaN/Inf degrade to 0). */
+std::string
+jsonNumber(double v)
+{
+    if (!(v > -1e300 && v < 1e300)) // catches NaN and +-Inf
+        v = 0.0;
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+reportToJson(const Report &report)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"edb-metrics-v1\",\n"
+       << "  \"interval_ms\": " << report.intervalMs << ",\n"
+       << "  \"samples\": " << report.samples << ",\n";
+
+    os << "  \"series\": [";
+    bool first = true;
+    for (const ReportSeries &s : report.series) {
+        os << (first ? "\n" : ",\n") << "    {\"name\": \""
+           << jsonEscape(s.name) << "\", \"labels\": ";
+        appendLabels(os, s.labels);
+        os << ", \"kind\": \"" << kindName(s.kind)
+           << "\", \"value\": " << s.value;
+        if (s.hasRate)
+            os << ", \"rate\": " << jsonNumber(s.rate);
+        os << "}";
+        first = false;
+    }
+    os << (first ? "]," : "\n  ],") << "\n";
+
+    os << "  \"histograms\": [";
+    first = true;
+    for (const ReportHist &h : report.hists) {
+        os << (first ? "\n" : ",\n") << "    {\"name\": \""
+           << jsonEscape(h.name) << "\", \"labels\": ";
+        appendLabels(os, h.labels);
+        os << ", \"count\": " << h.count << ", \"sum\": " << h.sum
+           << ", \"min\": " << h.min << ", \"max\": " << h.max
+           << ", \"p50\": " << jsonNumber(h.p50)
+           << ", \"p95\": " << jsonNumber(h.p95)
+           << ", \"p99\": " << jsonNumber(h.p99) << "}";
+        first = false;
+    }
+    os << (first ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
+#if EDB_OBS_ENABLED
+
+namespace {
+
+/** Shared by makeReport() and snapshotReport(): the histogram side
+ *  of a Report is always built fresh from the live buckets. */
+std::vector<ReportHist>
+liveHists()
+{
+    std::vector<ReportHist> out;
+    const obs::Snapshot snap = obs::takeSnapshot();
+    for (const obs::HistogramValue &h : snap.histograms) {
+        ReportHist rh;
+        rh.name = h.name;
+        rh.count = h.count;
+        rh.sum = h.sum;
+        rh.min = h.min;
+        rh.max = h.max;
+        rh.p50 = h.quantile(0.50);
+        rh.p95 = h.quantile(0.95);
+        rh.p99 = h.quantile(0.99);
+        out.push_back(std::move(rh));
+    }
+    for (const SeriesValue &s : collect()) {
+        if (s.kind != Kind::Histogram)
+            continue;
+        ReportHist rh;
+        rh.name = s.name;
+        rh.labels = s.labels;
+        rh.count = s.hist.count;
+        rh.sum = s.hist.sum;
+        rh.min = s.hist.min;
+        rh.max = s.hist.max;
+        rh.p50 = s.hist.quantile(0.50);
+        rh.p95 = s.hist.quantile(0.95);
+        rh.p99 = s.hist.quantile(0.99);
+        out.push_back(std::move(rh));
+    }
+    return out;
+}
+
+std::string
+ringKey(char scope, const std::string &name,
+        const std::vector<Label> &labels)
+{
+    std::string key(1, scope);
+    key += name;
+    for (const Label &l : labels) {
+        key += '\x1f';
+        key += l.key;
+        key += '\x1f';
+        key += l.value;
+    }
+    return key;
+}
+
+} // namespace
+
+void
+Sampler::Ring::push(std::uint64_t t_ns, std::int64_t value,
+                    std::size_t cap)
+{
+    if (pts.size() < cap) {
+        pts.push_back({t_ns, value});
+        ++n;
+        head = pts.size() % cap;
+        return;
+    }
+    pts[head] = {t_ns, value};
+    head = (head + 1) % cap;
+}
+
+const Sampler::Ring::Point &
+Sampler::Ring::at(std::size_t i) const
+{
+    const std::size_t cap = pts.size();
+    // When the ring is full, `head` is the oldest slot.
+    const std::size_t base = n < cap ? 0 : head;
+    return pts[(base + i) % cap];
+}
+
+Sampler::Sampler(SamplerOptions options) : options_(options)
+{
+    if (options_.ringCapacity < 2)
+        options_.ringCapacity = 2;
+    if (options_.intervalMs == 0)
+        options_.intervalMs = 1000;
+}
+
+Sampler::~Sampler()
+{
+    stop();
+}
+
+void
+Sampler::start()
+{
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    if (running_)
+        return;
+    stop_requested_ = false;
+    running_ = true;
+    thread_ = std::thread([this] { threadLoop(); });
+}
+
+void
+Sampler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(wake_mu_);
+        if (!running_)
+            return;
+        stop_requested_ = true;
+    }
+    wake_cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    running_ = false;
+}
+
+void
+Sampler::threadLoop()
+{
+    obs::prepareCurrentThread();
+    for (;;) {
+        sampleOnce();
+        std::unique_lock<std::mutex> lk(wake_mu_);
+        wake_cv_.wait_for(
+            lk, std::chrono::milliseconds(options_.intervalMs),
+            [this] { return stop_requested_; });
+        if (stop_requested_)
+            return;
+    }
+}
+
+void
+Sampler::recordSample(const std::string &key, const std::string &name,
+                      const std::vector<Label> &labels, Kind kind,
+                      std::int64_t value, std::uint64_t now_ns)
+{
+    Entry &e = rings_[key];
+    if (e.name.empty()) {
+        e.name = name;
+        e.labels = labels;
+        e.kind = kind;
+    }
+    e.ring.push(now_ns, value, options_.ringCapacity);
+}
+
+void
+Sampler::sampleOnce(std::uint64_t now_ns)
+{
+    if (now_ns == 0)
+        now_ns = obs::monotonicNs();
+    const obs::Snapshot snap = obs::takeSnapshot();
+    const std::vector<SeriesValue> labeled = collect();
+
+    std::lock_guard<std::mutex> lk(mu_);
+    static const std::vector<Label> noLabels;
+    for (const auto &[name, value] : snap.counters) {
+        recordSample(ringKey('o', name, noLabels), name, noLabels,
+                     Kind::Counter, value, now_ns);
+    }
+    for (const auto &[name, value] : snap.gauges) {
+        recordSample(ringKey('o', name, noLabels), name, noLabels,
+                     Kind::Gauge, value, now_ns);
+    }
+    for (const SeriesValue &s : labeled) {
+        if (s.kind == Kind::Histogram)
+            continue;
+        recordSample(ringKey('t', s.name, s.labels), s.name, s.labels,
+                     s.kind, s.value, now_ns);
+    }
+    ++samples_taken_;
+}
+
+Report
+Sampler::makeReport() const
+{
+    Report report;
+    report.intervalMs = options_.intervalMs;
+    // Series born after the last tick have no ring yet but must
+    // still appear (a fresh daemon's first scrape races the first
+    // interval); they get their live value and no rate.
+    const obs::Snapshot snap = obs::takeSnapshot();
+    const std::vector<SeriesValue> labeled = collect();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        report.samples = samples_taken_;
+        report.series.reserve(rings_.size());
+        for (const auto &[key, e] : rings_) {
+            ReportSeries rs;
+            rs.name = e.name;
+            rs.labels = e.labels;
+            rs.kind = e.kind;
+            const std::size_t n = e.ring.n;
+            if (n == 0)
+                continue;
+            const Ring::Point &last = e.ring.at(n - 1);
+            rs.value = last.value;
+            if (e.kind == Kind::Counter && n >= 2) {
+                const Ring::Point &oldest = e.ring.at(0);
+                const std::uint64_t dt = last.t_ns - oldest.t_ns;
+                if (dt > 0 && last.value >= oldest.value) {
+                    rs.rate = (double)(last.value - oldest.value) *
+                              1e9 / (double)dt;
+                    rs.hasRate = true;
+                }
+            }
+            report.series.push_back(std::move(rs));
+        }
+        static const std::vector<Label> noLabels;
+        auto addUnsampled = [&](const std::string &key,
+                                const std::string &name,
+                                const std::vector<Label> &labels,
+                                Kind kind, std::int64_t value) {
+            if (rings_.count(key) != 0)
+                return;
+            report.series.push_back({name, labels, kind, value});
+        };
+        for (const auto &[name, value] : snap.counters)
+            addUnsampled(ringKey('o', name, noLabels), name, noLabels,
+                         Kind::Counter, value);
+        for (const auto &[name, value] : snap.gauges)
+            addUnsampled(ringKey('o', name, noLabels), name, noLabels,
+                         Kind::Gauge, value);
+        for (const SeriesValue &s : labeled) {
+            if (s.kind == Kind::Histogram)
+                continue;
+            addUnsampled(ringKey('t', s.name, s.labels), s.name,
+                         s.labels, s.kind, s.value);
+        }
+    }
+    report.hists = liveHists();
+    return report;
+}
+
+std::uint64_t
+Sampler::samples() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return samples_taken_;
+}
+
+Report
+Sampler::snapshotReport()
+{
+    Report report;
+    const obs::Snapshot snap = obs::takeSnapshot();
+    report.samples = 1;
+    for (const auto &[name, value] : snap.counters)
+        report.series.push_back({name, {}, Kind::Counter, value});
+    for (const auto &[name, value] : snap.gauges)
+        report.series.push_back({name, {}, Kind::Gauge, value});
+    for (const SeriesValue &s : collect()) {
+        if (s.kind == Kind::Histogram)
+            continue;
+        report.series.push_back({s.name, s.labels, s.kind, s.value});
+    }
+    report.hists = liveHists();
+    return report;
+}
+
+#endif // EDB_OBS_ENABLED
+
+} // namespace edb::telemetry

@@ -5,14 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include <unistd.h>
 
 #include "cli/cli.h"
 #include "obs/obs.h"
+#include "served/server.h"
 
 namespace edb::cli {
 namespace {
@@ -383,7 +386,7 @@ TEST_F(CliTest, ObsJsonSnapshotWrittenAfterAnalyze)
     ASSERT_TRUE(in.is_open());
     std::stringstream body;
     body << in.rdbuf();
-    EXPECT_NE(body.str().find("edb-obs-snapshot-v1"),
+    EXPECT_NE(body.str().find("edb-obs-snapshot-v2"),
               std::string::npos);
     EXPECT_NE(body.str().find("sim.replay.writes"), std::string::npos);
     std::remove(snap_path.c_str());
@@ -444,13 +447,145 @@ TEST_F(CliTest, RunDispatchesAndValidates)
     EXPECT_EQ(run({"sessions", *path_, "3"}, out, err), 0);
 }
 
+// ---- daemon-facing commands: top and connect metrics ---------------
+
+/** One in-process edb-served daemon shared by the top/metrics tests
+ *  (each ctest process boots its own on a pid-unique socket). */
+class CliServedTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        served::ServerOptions options;
+        options.socketPath = ::testing::TempDir() + "/edb_cli_top." +
+                             std::to_string(::getpid()) + ".sock";
+        options.metricsIntervalMs = 50; // fast ticks for rate tests
+        server_ = std::make_unique<served::Server>(options);
+        server_->start();
+    }
+
+    void
+    TearDown() override
+    {
+        server_->stop();
+        server_.reset();
+    }
+
+    std::unique_ptr<served::Server> server_;
+};
+
+TEST_F(CliServedTest, TopOnceJsonIsMachineReadable)
+{
+    std::ostringstream out, err;
+    ASSERT_EQ(run({"top", server_->socketPath(), "--once", "--format",
+                   "json"},
+                  out, err),
+              0)
+        << err.str();
+    // The raw edb-metrics-v1 document, one per poll, for CI scripts.
+    EXPECT_NE(out.str().find("\"schema\": \"edb-metrics-v1\""),
+              std::string::npos);
+    EXPECT_EQ(out.str().back(), '\n');
+    // --once means exactly one document.
+    EXPECT_EQ(out.str().find("edb-metrics-v1"),
+              out.str().rfind("edb-metrics-v1"));
+}
+
+TEST_F(CliServedTest, TopTableRendersWithoutAnsiWhenOnce)
+{
+    std::ostringstream out, err;
+    ASSERT_EQ(run({"top", server_->socketPath(), "--once"}, out, err),
+              0)
+        << err.str();
+    EXPECT_NE(out.str().find("edb-served metrics:"),
+              std::string::npos);
+    // --once never clears the screen (pipeline-friendly).
+    EXPECT_EQ(out.str().find('\x1b'), std::string::npos);
+}
+
+TEST_F(CliServedTest, TopCountTwoRefreshesClearTheScreen)
+{
+    std::ostringstream out, err;
+    ASSERT_EQ(run({"top", server_->socketPath(), "--count", "2",
+                   "--interval", "10"},
+                  out, err),
+              0)
+        << err.str();
+    // Two frames, each preceded by one ANSI clear-screen sequence.
+    int clears = 0;
+    for (std::size_t at = out.str().find("\x1b[2J");
+         at != std::string::npos;
+         at = out.str().find("\x1b[2J", at + 1)) {
+        ++clears;
+    }
+    EXPECT_EQ(clears, 2);
+#if EDB_OBS_ENABLED
+    // The second frame sees the first poll's own timed METRICS
+    // request in the per-op latency table.
+    EXPECT_NE(out.str().find("METRICS"), std::string::npos);
+#endif
+}
+
+TEST_F(CliServedTest, TopValidatesItsOptions)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"top", server_->socketPath(), "--interval", "0"},
+                  out, err),
+              2);
+    err.str("");
+    EXPECT_EQ(run({"top", server_->socketPath(), "--format", "xml"},
+                  out, err),
+              2);
+    EXPECT_NE(err.str().find("table|json"), std::string::npos);
+    err.str("");
+    EXPECT_EQ(run({"top", server_->socketPath(), "--bogus", "1"}, out,
+                  err),
+              2);
+    // Global phase-2 flags are rejected, like connect.
+    err.str("");
+    EXPECT_EQ(run({"top", "--jobs", "2", server_->socketPath()}, out,
+                  err),
+              2);
+    EXPECT_NE(err.str().find("does not apply"), std::string::npos);
+}
+
+TEST_F(CliServedTest, ConnectMetricsWritesExposition)
+{
+    const std::string prom_path = ::testing::TempDir() +
+                                  "/edb_cli_prom." +
+                                  std::to_string(::getpid()) + ".txt";
+    std::ostringstream out, err;
+    ASSERT_EQ(run({"connect", server_->socketPath(), "metrics",
+                   prom_path},
+                  out, err),
+              0)
+        << err.str();
+    EXPECT_NE(out.str().find("Prometheus exposition"),
+              std::string::npos);
+
+    std::ifstream in(prom_path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream body;
+    body << in.rdbuf();
+#if EDB_OBS_ENABLED
+    EXPECT_NE(body.str().find("# HELP "), std::string::npos);
+    EXPECT_NE(body.str().find("edb_served_hellos"),
+              std::string::npos);
+#else
+    // Empty-but-valid exposition when the layer is compiled away.
+    EXPECT_NE(body.str().find("disabled"), std::string::npos);
+#endif
+    std::remove(prom_path.c_str());
+}
+
 TEST(CliUsage, MentionsEveryCommand)
 {
     std::string text = usage();
     for (const char *cmd :
          {"record", "info", "convert", "sessions", "analyze", "session",
-          "advise", "query", "--agg", "--format", "--help",
-          "EDB_PROFILE"}) {
+          "advise", "query", "connect", "top", "metrics", "--interval",
+          "--once", "--agg", "--format", "--help", "EDB_PROFILE"}) {
         EXPECT_NE(text.find(cmd), std::string::npos) << cmd;
     }
 }

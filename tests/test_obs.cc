@@ -124,8 +124,12 @@ TEST(ObsSnapshot, JsonCarriesSchemaAndInstruments)
     writeSnapshotJson(os);
     const std::string json = os.str();
 
-    EXPECT_NE(json.find("\"schema\": \"edb-obs-snapshot-v1\""),
+    EXPECT_NE(json.find("\"schema\": \"edb-obs-snapshot-v2\""),
               std::string::npos);
+    EXPECT_NE(json.find("\"meta\""), std::string::npos);
+    EXPECT_NE(json.find("\"wall_ms\""), std::string::npos);
+    EXPECT_NE(json.find("\"uptime_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\""), std::string::npos);
     EXPECT_NE(json.find("\"counters\""), std::string::npos);
     EXPECT_NE(json.find("\"gauges\""), std::string::npos);
     EXPECT_NE(json.find("\"histograms\""), std::string::npos);
@@ -133,6 +137,69 @@ TEST(ObsSnapshot, JsonCarriesSchemaAndInstruments)
     // Braces balance (the writer emits no string containing braces).
     EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
               std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ObsSnapshot, MetaFieldsArePlausible)
+{
+    const Snapshot snap = takeSnapshot();
+    EXPECT_EQ(snap.pid, (std::int64_t)::getpid());
+    // Wall clock: after 2020-01-01 in milliseconds since the epoch.
+    EXPECT_GT(snap.wallMs, 1577836800000ull);
+    EXPECT_GT(snap.uptimeNs, 0ull);
+    // Uptime advances monotonically between snapshots.
+    const Snapshot later = takeSnapshot();
+    EXPECT_GE(later.uptimeNs, snap.uptimeNs);
+    EXPECT_GE(later.wallMs, snap.wallMs);
+}
+
+TEST(ObsHistogram, QuantileEmptyAndSingleValue)
+{
+    HistogramValue h;
+    h.buckets.assign(histBuckets, 0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+
+    // One observation of 100: every quantile must report 100, not
+    // some point inside bucket 7's [64, 127] span — the min/max
+    // clamp pins the interpolation.
+    static Histogram one{"test.obs.quantile_one"};
+    one.observe(100);
+    const Snapshot snap = takeSnapshot();
+    const HistogramValue *hv =
+        snap.histogram("test.obs.quantile_one");
+    ASSERT_NE(hv, nullptr);
+    EXPECT_DOUBLE_EQ(hv->quantile(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(hv->quantile(0.5), 100.0);
+    EXPECT_DOUBLE_EQ(hv->quantile(1.0), 100.0);
+}
+
+TEST(ObsHistogram, QuantileUniformPinsP50P95P99)
+{
+    // 1..1024 uniformly: the log2 buckets are coarse, but the
+    // within-bucket linear interpolation keeps the estimate inside
+    // a modest band of the exact order statistic.
+    static Histogram uni{"test.obs.quantile_uniform"};
+    for (std::uint64_t v = 1; v <= 1024; ++v)
+        uni.observe(v);
+    const Snapshot snap = takeSnapshot();
+    const HistogramValue *hv =
+        snap.histogram("test.obs.quantile_uniform");
+    ASSERT_NE(hv, nullptr);
+    const double p50 = hv->quantile(0.50);
+    const double p95 = hv->quantile(0.95);
+    const double p99 = hv->quantile(0.99);
+    // Exact order statistics: 512.5, 973.6, 1014.5. A log2-bucket
+    // estimate lands within the bucket, so allow its width.
+    EXPECT_GT(p50, 256.0);
+    EXPECT_LE(p50, 1024.0);
+    EXPECT_GT(p95, 512.0);
+    EXPECT_LE(p95, 1024.0);
+    EXPECT_GT(p99, 512.0);
+    EXPECT_LE(p99, 1024.0);
+    // Quantiles are monotone in q, and the extremes hit min/max.
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_DOUBLE_EQ(hv->quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(hv->quantile(1.0), 1024.0);
 }
 
 /** Pull the value of an integer field like `"tid": 7` out of one

@@ -23,6 +23,7 @@
 
 #include "obs/obs.h"
 #include "served/client.h"
+#include "telemetry/telemetry.h"
 #include "served/protocol.h"
 #include "served/registry.h"
 #include "served/server.h"
@@ -679,7 +680,7 @@ TEST_F(ServedServerTest, StatsServesSnapshotAndRegistryTables)
 
     const StatsReply stats = a.stats();
 #if EDB_OBS_ENABLED
-    EXPECT_NE(stats.snapshotJson.find("edb-obs-snapshot-v1"),
+    EXPECT_NE(stats.snapshotJson.find("edb-obs-snapshot-v2"),
               std::string::npos);
     EXPECT_NE(stats.snapshotJson.find("served.installs"),
               std::string::npos);
@@ -702,6 +703,217 @@ TEST_F(ServedServerTest, StatsServesSnapshotAndRegistryTables)
     a.bye();
     b.bye();
 }
+
+TEST_F(ServedServerTest, MetricsAllowedBeforeHelloInEveryFormat)
+{
+    Client c;
+    c.connect(server_->socketPath());
+
+    const std::string prom = c.metricsText();
+    const std::string json = c.metricsText(MetricsFormat::Json);
+    EXPECT_NE(json.find("\"schema\": \"edb-metrics-v1\""),
+              std::string::npos);
+
+    MetricsReply r = c.metricsReport();
+#if EDB_OBS_ENABLED
+    EXPECT_NE(prom.find("# HELP "), std::string::npos);
+    EXPECT_NE(prom.find("# TYPE "), std::string::npos);
+    EXPECT_NE(prom.find("edb_"), std::string::npos);
+    // The fixture server runs the default 1s sampler; its first tick
+    // races with this request, so wait it out before asserting.
+    EXPECT_EQ(r.intervalMs, 1000u);
+    for (int i = 0; i < 500 && r.samples == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        r = c.metricsReport();
+    }
+    EXPECT_GE(r.samples, 1u);
+    EXPECT_FALSE(r.series.empty());
+#else
+    // Empty-but-valid: a comment-only exposition, an empty report.
+    EXPECT_NE(prom.find("disabled"), std::string::npos);
+    EXPECT_TRUE(r.series.empty());
+    EXPECT_TRUE(r.hists.empty());
+#endif
+
+    // An unknown format byte is a typed, recoverable error.
+    PayloadWriter w;
+    w.putU8(9);
+    c.sendFrame(Op::Metrics, w.bytes());
+    std::optional<Frame> reply = c.readFrame();
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ((Op)reply->opcode, Op::Err);
+    PayloadReader rd(reply->body, 0);
+    EXPECT_EQ(rd.getU8(), (std::uint8_t)Op::Metrics);
+    EXPECT_EQ((ErrCode)rd.getU16(), ErrCode::MalformedPayload);
+
+    // The connection survived and a normal session still works.
+    EXPECT_EQ(c.hello("metrics").version, protocolVersion);
+    c.bye();
+}
+
+#if EDB_OBS_ENABLED
+
+TEST_F(ServedServerTest, MetricsReportCarriesOpLatencyQuantiles)
+{
+    Client c = connected("alice");
+    c.stats(); // at least one timed STATS request
+    const MetricsReply r = c.metricsReport();
+
+    bool hello_timed = false;
+    bool stats_timed = false;
+    for (const MetricsHistRow &h : r.hists) {
+        if (h.name != "served.request_ns")
+            continue;
+        for (const telemetry::Label &l : h.labels) {
+            if (l.key != "op")
+                continue;
+            if (l.value == "HELLO")
+                hello_timed = true;
+            if (l.value == "STATS")
+                stats_timed = true;
+            EXPECT_GT(h.count, 0u) << l.value;
+            EXPECT_GT(h.max, 0u) << l.value;
+            // Interpolated quantiles are ordered and inside [min, max].
+            EXPECT_LE(h.p50, h.p95) << l.value;
+            EXPECT_LE(h.p95, h.p99) << l.value;
+            EXPECT_GE(h.p50, (double)h.min) << l.value;
+            EXPECT_LE(h.p99, (double)h.max) << l.value;
+        }
+    }
+    EXPECT_TRUE(hello_timed);
+    EXPECT_TRUE(stats_timed);
+
+    // The matching request counter exists for HELLO.
+    bool hello_counted = false;
+    for (const MetricsSeriesRow &s : r.series) {
+        if (s.name != "served.requests")
+            continue;
+        for (const telemetry::Label &l : s.labels) {
+            if (l.key == "op" && l.value == "HELLO" && s.value > 0)
+                hello_counted = true;
+        }
+    }
+    EXPECT_TRUE(hello_counted);
+    c.bye();
+}
+
+namespace {
+
+/** Sum of every tenant-labeled series, by instrument name. */
+struct TenantSums
+{
+    std::int64_t runs = 0;
+    std::int64_t queries = 0;
+    std::int64_t installs = 0;
+    std::int64_t removes = 0;
+    std::int64_t resumes = 0;
+    std::int64_t notifications = 0;
+    std::int64_t runWrites = 0;
+    std::int64_t monitors = 0;
+    std::int64_t pendingHits = 0;
+    std::int64_t openTraces = 0;
+    std::int64_t traceBytes = 0;
+};
+
+TenantSums
+sumTenantSeries()
+{
+    TenantSums t;
+    for (const telemetry::SeriesValue &s : telemetry::collect()) {
+        bool tenant_labeled = false;
+        for (const telemetry::Label &l : s.labels)
+            tenant_labeled |= l.key == "tenant";
+        if (!tenant_labeled)
+            continue;
+        if (s.name == "served.tenant.runs")
+            t.runs += s.value;
+        else if (s.name == "served.tenant.queries")
+            t.queries += s.value;
+        else if (s.name == "served.tenant.installs")
+            t.installs += s.value;
+        else if (s.name == "served.tenant.removes")
+            t.removes += s.value;
+        else if (s.name == "served.tenant.resumes")
+            t.resumes += s.value;
+        else if (s.name == "served.tenant.notifications")
+            t.notifications += s.value;
+        else if (s.name == "served.tenant.run_writes")
+            t.runWrites += s.value;
+        else if (s.name == "served.tenant.monitors")
+            t.monitors += s.value;
+        else if (s.name == "served.tenant.pending_hits")
+            t.pendingHits += s.value;
+        else if (s.name == "served.tenant.open_traces")
+            t.openTraces += s.value;
+        else if (s.name == "served.tenant.trace_bytes")
+            t.traceBytes += s.value;
+    }
+    return t;
+}
+
+} // namespace
+
+TEST_F(ServedServerTest, PerTenantTelemetrySumsMatchObsGlobals)
+{
+    // The differential invariant: every obs process-global update in
+    // the registry has a per-tenant telemetry update at the same call
+    // site, so deltas of the tenant-label sums must equal deltas of
+    // the globals across any workload. (Deltas, because both
+    // registries accumulate across the whole test process.)
+    const obs::Snapshot before = obs::takeSnapshot();
+    const TenantSums tb = sumTenantSeries();
+
+    {
+        Client a = connected("alice");
+        Client b = connected("bob");
+        const OpenResult oa = a.openTrace(file_->path());
+        const OpenResult ob = b.openTrace(file_->path());
+        const std::uint32_t ma = a.install(file_->writeSpan());
+        b.install(AddrRange(0, 64));
+        a.run(oa.traceId);
+        b.run(ob.traceId);
+        a.run(oa.traceId, {0}); // session-oracle mode counts too
+        WireQuery q;
+        q.traceId = ob.traceId;
+        b.query(q);
+        a.resume();
+        a.remove(ma);
+        a.bye();
+        b.bye();
+    }
+
+    const obs::Snapshot after = obs::takeSnapshot();
+    const TenantSums ta = sumTenantSeries();
+    const auto cd = [&](const char *name) {
+        return after.counter(name) - before.counter(name);
+    };
+    const auto gd = [&](const char *name) {
+        return after.gauge(name) - before.gauge(name);
+    };
+
+    EXPECT_GT(ta.runs - tb.runs, 0); // the workload did something
+    EXPECT_EQ(ta.runs - tb.runs, cd("served.runs"));
+    EXPECT_EQ(ta.queries - tb.queries, cd("served.queries"));
+    EXPECT_EQ(ta.installs - tb.installs, cd("served.installs"));
+    EXPECT_EQ(ta.removes - tb.removes, cd("served.removes"));
+    EXPECT_EQ(ta.resumes - tb.resumes, cd("served.resumes"));
+    EXPECT_EQ(ta.notifications - tb.notifications,
+              cd("served.notifications"));
+    EXPECT_EQ(ta.runWrites - tb.runWrites, cd("served.run_writes"));
+    EXPECT_EQ(ta.monitors - tb.monitors, gd("served.monitors"));
+    EXPECT_EQ(ta.pendingHits - tb.pendingHits,
+              gd("served.pending_hits"));
+    EXPECT_EQ(ta.openTraces - tb.openTraces, gd("served.open_traces"));
+    EXPECT_EQ(ta.traceBytes - tb.traceBytes, gd("served.trace_bytes"));
+    // Both tenants are gone, so the live-resource deltas are zero on
+    // both sides of the equality.
+    EXPECT_EQ(ta.monitors - tb.monitors, 0);
+    EXPECT_EQ(ta.openTraces - tb.openTraces, 0);
+    EXPECT_EQ(ta.pendingHits - tb.pendingHits, 0);
+    EXPECT_EQ(ta.traceBytes - tb.traceBytes, 0);
+}
+
+#endif // EDB_OBS_ENABLED
 
 TEST_F(ServedServerTest, AdmissionControlOverSocket)
 {
@@ -737,6 +949,11 @@ TEST_F(ServedServerTest, AdmissionControlOverSocket)
 TEST_F(ServedServerTest, StopDrainsConnectedClients)
 {
     Client c = connected("alice");
+#if EDB_OBS_ENABLED
+    // The live-connection gauges reflect this client while it is up.
+    EXPECT_GE(obs::takeSnapshot().gauge("served.connections.active"),
+              1);
+#endif
     server_->stop();
     // The server shut the read side down and closed after the drain:
     // the client sees EOF, not a hung socket.
@@ -747,6 +964,15 @@ TEST_F(ServedServerTest, StopDrainsConnectedClients)
     Client again;
     EXPECT_THROW(again.connect(server_->socketPath(), 200),
                  std::runtime_error);
+#if EDB_OBS_ENABLED
+    // The drain returned both live gauges to zero: every accepted
+    // connection was closed and every reader thread joined. (The
+    // gauges are process-global, but server tests run sequentially
+    // and every earlier server has already stopped.)
+    const obs::Snapshot snap = obs::takeSnapshot();
+    EXPECT_EQ(snap.gauge("served.connections.active"), 0);
+    EXPECT_EQ(snap.gauge("served.readers.active"), 0);
+#endif
 }
 
 // ---- byte-flip fuzz sweep ------------------------------------------

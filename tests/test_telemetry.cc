@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Tests for edb::telemetry — labeled domains, the cardinality cap's
+ * overflow behavior, the time-series sampler's rate derivation, the
+ * Prometheus exposition, and a TSan-facing concurrency stress. The
+ * labeled registry is process-global and accumulates across suites,
+ * so every assertion here is delta-based or uses test-unique names.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/prom.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/timeseries.h"
+
+#if EDB_OBS_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace edb::telemetry {
+namespace {
+
+/** Find one collected series by (name, single label value). */
+const SeriesValue *
+findSeries(const std::vector<SeriesValue> &all, const std::string &name,
+           const std::string &label_value)
+{
+    for (const SeriesValue &s : all) {
+        if (s.name != name)
+            continue;
+        if (label_value.empty() && s.labels.empty())
+            return &s;
+        for (const Label &l : s.labels) {
+            if (l.value == label_value)
+                return &s;
+        }
+    }
+    return nullptr;
+}
+
+TEST(TelemetryDomain, RejectsTooManyLabels)
+{
+    std::vector<Label> five;
+    for (int i = 0; i < 5; ++i)
+        five.push_back({"k" + std::to_string(i), "v"});
+    EXPECT_THROW(TelemetryDomain{five}, std::invalid_argument);
+    // Exactly maxLabelsPerDomain is fine...
+    five.pop_back();
+    EXPECT_NO_THROW(TelemetryDomain{five});
+    // ...and with() pushing past the cap throws again.
+    TelemetryDomain four{five};
+    EXPECT_THROW(four.with("k9", "v"), std::invalid_argument);
+}
+
+TEST(TelemetryDomain, RejectsEmptyAndDuplicateKeys)
+{
+    EXPECT_THROW(TelemetryDomain({{"", "v"}}), std::invalid_argument);
+    EXPECT_THROW(TelemetryDomain({{"k", "a"}, {"k", "b"}}),
+                 std::invalid_argument);
+    TelemetryDomain d{{"k", "a"}};
+    EXPECT_THROW(d.with("k", "b"), std::invalid_argument);
+    EXPECT_NO_THROW(d.with("j", "b"));
+}
+
+TEST(TelemetryDomain, TruncatesLongLabelValues)
+{
+    // Values are truncated, never rejected: a tenant's name must not
+    // be able to fail its own HELLO.
+    const std::string longValue(3 * maxLabelValueBytes, 'x');
+    TelemetryDomain d{{"tenant", longValue}};
+    ASSERT_EQ(d.labels().size(), 1u);
+    EXPECT_EQ(d.labels()[0].value.size(), maxLabelValueBytes);
+}
+
+TEST(TelemetrySeries, CounterGaugeHistogramCollect)
+{
+    TelemetryDomain d{{"tenant", "tt-collect"}};
+    Series c = d.counter("test.telemetry.collect_c");
+    Series g = d.gauge("test.telemetry.collect_g");
+    HistSeries h = d.histogram("test.telemetry.collect_h");
+
+    c.add(5);
+    c.inc();
+    g.add(10);
+    g.sub(3);
+    h.observe(100);
+    h.observe(200);
+
+    const std::vector<SeriesValue> all = collect();
+    const SeriesValue *sc =
+        findSeries(all, "test.telemetry.collect_c", "tt-collect");
+    ASSERT_NE(sc, nullptr);
+    EXPECT_EQ(sc->kind, Kind::Counter);
+    EXPECT_EQ(sc->value, 6);
+
+    const SeriesValue *sg =
+        findSeries(all, "test.telemetry.collect_g", "tt-collect");
+    ASSERT_NE(sg, nullptr);
+    EXPECT_EQ(sg->kind, Kind::Gauge);
+    EXPECT_EQ(sg->value, 7);
+
+    const SeriesValue *sh =
+        findSeries(all, "test.telemetry.collect_h", "tt-collect");
+    ASSERT_NE(sh, nullptr);
+    EXPECT_EQ(sh->kind, Kind::Histogram);
+    EXPECT_EQ(sh->hist.count, 2u);
+    EXPECT_EQ(sh->hist.sum, 300u);
+    EXPECT_EQ(sh->hist.min, 100u);
+    EXPECT_EQ(sh->hist.max, 200u);
+}
+
+TEST(TelemetrySeries, SameIdentitySharesOneCell)
+{
+    // Re-interning the identical (name, labels) — e.g. a tenant
+    // reconnecting under the same name — resumes the same cell
+    // instead of minting a new series.
+    TelemetryDomain a{{"tenant", "tt-shared"}};
+    Series s1 = a.counter("test.telemetry.shared");
+    s1.inc();
+    const std::size_t before = seriesCount();
+
+    TelemetryDomain b{{"tenant", "tt-shared"}};
+    Series s2 = b.counter("test.telemetry.shared");
+    s2.add(2);
+    EXPECT_EQ(seriesCount(), before);
+
+    const std::vector<SeriesValue> all = collect();
+    const SeriesValue *s =
+        findSeries(all, "test.telemetry.shared", "tt-shared");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->value, 3);
+}
+
+TEST(TelemetrySeries, KindConflictThrows)
+{
+    TelemetryDomain d{{"tenant", "tt-kind"}};
+    (void)d.counter("test.telemetry.kind_conflict");
+    EXPECT_THROW((void)d.gauge("test.telemetry.kind_conflict"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)d.histogram("test.telemetry.kind_conflict"),
+                 std::invalid_argument);
+}
+
+TEST(TelemetrySeries, CardinalityCapRoutesToOverflowCell)
+{
+    // Freeze the cap at the current population: the very next new
+    // identity must land in the shared overflow cell — attribution
+    // degrades, the process does not abort, and the cell shows up
+    // in collect() under its reserved name.
+    const std::size_t prev = setMaxSeriesForTest(seriesCount());
+    const std::size_t frozen = seriesCount();
+
+    const std::vector<SeriesValue> pre = collect();
+    const SeriesValue *ov0 = findSeries(pre, "telemetry.overflow", "");
+    const std::int64_t base = ov0 != nullptr ? ov0->value : 0;
+
+    TelemetryDomain d{{"tenant", "tt-overflow-newcomer"}};
+    Series s = d.counter("test.telemetry.capped");
+    s.add(41);
+    s.inc();
+
+    EXPECT_EQ(seriesCount(), frozen);
+    const std::vector<SeriesValue> capped = collect();
+    const SeriesValue *ov = findSeries(capped, "telemetry.overflow", "");
+    ASSERT_NE(ov, nullptr);
+    EXPECT_EQ(ov->labels.size(), 0u);
+    EXPECT_EQ(ov->value, base + 42);
+
+    // Histograms overflow into their own shared cell.
+    HistSeries hs = d.histogram("test.telemetry.capped_hist");
+    hs.observe(7);
+    const std::vector<SeriesValue> afterHist = collect();
+    const SeriesValue *ovh =
+        findSeries(afterHist, "telemetry.overflow_hist", "");
+    ASSERT_NE(ovh, nullptr);
+    EXPECT_GE(ovh->hist.count, 1u);
+
+    setMaxSeriesForTest(prev);
+
+    // With the cap restored, fresh identities intern normally again.
+    Series fresh = d.counter("test.telemetry.post_cap");
+    fresh.inc();
+    const std::vector<SeriesValue> restored = collect();
+    EXPECT_NE(findSeries(restored, "test.telemetry.post_cap",
+                         "tt-overflow-newcomer"),
+              nullptr);
+}
+
+TEST(TelemetrySampler, CounterRateFromInjectedTimestamps)
+{
+    TelemetryDomain d{{"tenant", "tt-rate"}};
+    Series c = d.counter("test.telemetry.rate");
+    c.add(0); // intern before the first tick
+
+    Sampler sampler({.intervalMs = 1000, .ringCapacity = 8});
+    sampler.sampleOnce(1'000'000'000ull);
+    c.add(100);
+    sampler.sampleOnce(2'000'000'000ull);
+
+    const Report report = sampler.makeReport();
+    EXPECT_EQ(report.intervalMs, 1000u);
+    EXPECT_EQ(report.samples, 2u);
+
+    const ReportSeries *rs = nullptr;
+    for (const ReportSeries &s : report.series) {
+        if (s.name == "test.telemetry.rate" && !s.labels.empty() &&
+            s.labels[0].value == "tt-rate") {
+            rs = &s;
+        }
+    }
+    ASSERT_NE(rs, nullptr);
+    EXPECT_EQ(rs->value, 100);
+    ASSERT_TRUE(rs->hasRate);
+    // 100 increments over exactly one injected second.
+    EXPECT_NEAR(rs->rate, 100.0, 1e-9);
+}
+
+TEST(TelemetrySampler, RingWrapNarrowsTheRateWindow)
+{
+    TelemetryDomain d{{"tenant", "tt-wrap"}};
+    Series c = d.counter("test.telemetry.wrap");
+    c.add(0);
+
+    Sampler sampler({.intervalMs = 1000, .ringCapacity = 4});
+    // Six ticks, +10/s: the 4-slot ring retains t=3..6 only, so the
+    // window rate stays 10/s and the oldest points fall away.
+    for (std::uint64_t t = 1; t <= 6; ++t) {
+        sampler.sampleOnce(t * 1'000'000'000ull);
+        c.add(10);
+    }
+
+    const Report report = sampler.makeReport();
+    EXPECT_EQ(report.samples, 6u);
+    const ReportSeries *rs = nullptr;
+    for (const ReportSeries &s : report.series) {
+        if (s.name == "test.telemetry.wrap" && !s.labels.empty() &&
+            s.labels[0].value == "tt-wrap") {
+            rs = &s;
+        }
+    }
+    ASSERT_NE(rs, nullptr);
+    EXPECT_EQ(rs->value, 50); // value as of the t=6 tick
+    ASSERT_TRUE(rs->hasRate);
+    EXPECT_NEAR(rs->rate, 10.0, 1e-9);
+}
+
+TEST(TelemetrySampler, GaugesNeverCarryRates)
+{
+    TelemetryDomain d{{"tenant", "tt-gaugerate"}};
+    Series g = d.gauge("test.telemetry.gauge_rate");
+    g.add(5);
+
+    Sampler sampler({.intervalMs = 1000, .ringCapacity = 8});
+    sampler.sampleOnce(1'000'000'000ull);
+    sampler.sampleOnce(2'000'000'000ull);
+    for (const ReportSeries &s : sampler.makeReport().series) {
+        if (s.kind == Kind::Gauge)
+            EXPECT_FALSE(s.hasRate) << s.name;
+    }
+}
+
+TEST(TelemetrySampler, SnapshotReportHasValuesButNoRates)
+{
+    TelemetryDomain d{{"tenant", "tt-snap"}};
+    Series c = d.counter("test.telemetry.snap");
+    c.add(9);
+
+    const Report report = Sampler::snapshotReport();
+    EXPECT_EQ(report.intervalMs, 0u);
+    bool found = false;
+    for (const ReportSeries &s : report.series) {
+        EXPECT_FALSE(s.hasRate) << s.name;
+        if (s.name == "test.telemetry.snap" && !s.labels.empty() &&
+            s.labels[0].value == "tt-snap") {
+            found = true;
+            EXPECT_EQ(s.value, 9);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(TelemetryJson, ReportSchemaAndShape)
+{
+    Report report;
+    report.intervalMs = 250;
+    report.samples = 4;
+    report.series.push_back(
+        {"a.b", {{"tenant", "t\"1"}}, Kind::Counter, 7, 3.5, true});
+    ReportHist h;
+    h.name = "lat";
+    h.count = 2;
+    h.sum = 10;
+    h.p50 = 5.0;
+    report.hists.push_back(h);
+
+    const std::string json = reportToJson(report);
+    EXPECT_NE(json.find("\"schema\": \"edb-metrics-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"interval_ms\": 250"), std::string::npos);
+    EXPECT_NE(json.find("\"samples\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"rate\": 3.5"), std::string::npos);
+    EXPECT_NE(json.find("\\\"1"), std::string::npos); // escaped quote
+    EXPECT_NE(json.find("\"p50\": 5"), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TelemetryProm, ExpositionIsWellFormed)
+{
+    // Populate at least one labeled series of each kind.
+    TelemetryDomain d{{"tenant", "tt-prom"}};
+    d.counter("test.telemetry.prom_c").add(3);
+    d.gauge("test.telemetry.prom_g").add(1);
+    HistSeries h = d.histogram("test.telemetry.prom_h");
+    h.observe(1);
+    h.observe(1000);
+
+    const std::string text = prometheusText();
+    std::istringstream in(text);
+    std::string line;
+    std::set<std::string> typed;     // families with a TYPE comment
+    std::set<std::string> helped;    // families with a HELP comment
+    std::set<std::string> seen;      // sample identities (name+labels)
+    while (std::getline(in, line)) {
+        ASSERT_FALSE(line.empty());
+        if (line.rfind("# HELP ", 0) == 0) {
+            helped.insert(line.substr(7, line.find(' ', 7) - 7));
+            continue;
+        }
+        if (line.rfind("# TYPE ", 0) == 0) {
+            typed.insert(line.substr(7, line.find(' ', 7) - 7));
+            continue;
+        }
+        ASSERT_NE(line[0], '#') << line;
+        // Mangled names only, and the family must be declared first.
+        EXPECT_EQ(line.rfind("edb_", 0), 0u) << line;
+        const std::string ident = line.substr(0, line.rfind(' '));
+        EXPECT_TRUE(seen.insert(ident).second)
+            << "duplicate series: " << ident;
+        std::string family = ident.substr(0, ident.find('{'));
+        for (const char *suffix : {"_bucket", "_sum", "_count"}) {
+            const std::size_t n = std::strlen(suffix);
+            if (family.size() > n &&
+                family.compare(family.size() - n, n, suffix) == 0 &&
+                typed.count(family) == 0) {
+                family.resize(family.size() - n);
+                break;
+            }
+        }
+        EXPECT_EQ(typed.count(family), 1u) << "untyped: " << line;
+        EXPECT_EQ(helped.count(family), 1u) << "unhelped: " << line;
+    }
+
+    // The labeled series render with their label block.
+    EXPECT_NE(
+        text.find("edb_test_telemetry_prom_c{tenant=\"tt-prom\"} 3"),
+        std::string::npos);
+    // Histogram family: +Inf bucket equals _count.
+    EXPECT_NE(text.find("edb_test_telemetry_prom_h_bucket{"
+                        "tenant=\"tt-prom\",le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("edb_test_telemetry_prom_h_count{tenant=\"tt-prom\"} 2"),
+        std::string::npos);
+}
+
+TEST(TelemetryStress, ConcurrentDomainsCollectAndSample)
+{
+    // TSan-facing: racing interns of the same identities, hot-path
+    // increments, and concurrent collect()/sampleOnce() readers.
+    constexpr int kThreads = 8;
+    constexpr int kIters = 5000;
+
+    std::atomic<bool> done{false};
+    std::thread reader([&] {
+        Sampler sampler({.intervalMs = 1, .ringCapacity = 4});
+        while (!done.load(std::memory_order_relaxed)) {
+            (void)collect();
+            sampler.sampleOnce();
+            (void)sampler.makeReport();
+        }
+    });
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([t] {
+            // Four distinct tenants, interned racily from two
+            // threads each.
+            TelemetryDomain d{
+                {"tenant", "tt-stress-" + std::to_string(t % 4)}};
+            Series c = d.counter("test.telemetry.stress");
+            HistSeries h = d.histogram("test.telemetry.stress_h");
+            for (int i = 0; i < kIters; ++i) {
+                c.inc();
+                h.observe((std::uint64_t)i);
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    done.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    std::int64_t total = 0;
+    std::uint64_t hist_total = 0;
+    for (const SeriesValue &s : collect()) {
+        if (s.name == "test.telemetry.stress")
+            total += s.value;
+        if (s.name == "test.telemetry.stress_h")
+            hist_total += s.hist.count;
+    }
+    EXPECT_EQ(total, (std::int64_t)kThreads * kIters);
+    EXPECT_EQ(hist_total, (std::uint64_t)kThreads * kIters);
+}
+
+} // namespace
+} // namespace edb::telemetry
+
+#else // !EDB_OBS_ENABLED
+
+TEST(Telemetry, DisabledInThisBuild)
+{
+    GTEST_SKIP()
+        << "built with EDB_OBS=OFF; telemetry layer compiled away";
+}
+
+#endif // EDB_OBS_ENABLED

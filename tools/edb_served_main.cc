@@ -52,6 +52,16 @@ usage(std::ostream &os, int rc)
           "software|adaptive (default software)\n"
           "  --obs-json PATH     write an edb::obs snapshot (JSON) "
           "after shutdown\n"
+          "  --metrics-interval MS\n"
+          "                      telemetry sampling tick "
+          "(default 1000; 0 disables the sampler)\n"
+          "  --metrics-socket PATH\n"
+          "                      serve raw Prometheus text "
+          "(one exposition per connection) here\n"
+          "  --slow-ms MS        warn on requests slower than MS "
+          "(default 1000; 0 disables)\n"
+          "  --trace-events PATH capture Chrome trace-event spans "
+          "(request ids included) to PATH\n"
           "  --help, -h          print this message and exit\n"
           "\n"
           "The daemon runs until SIGINT/SIGTERM, then drains "
@@ -81,6 +91,7 @@ main(int argc, char **argv)
 {
     edb::served::ServerOptions options;
     std::string obs_json;
+    std::string trace_events;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h")
@@ -120,6 +131,24 @@ main(int argc, char **argv)
             }
         } else if (arg == "--obs-json") {
             obs_json = value;
+        } else if (arg == "--metrics-interval") {
+            if (!parseUnsigned(value.c_str(), &n)) {
+                std::cerr << "error: invalid metrics interval '"
+                          << value << "'\n";
+                return 2;
+            }
+            options.metricsIntervalMs = (std::uint64_t)n;
+        } else if (arg == "--metrics-socket") {
+            options.metricsSocketPath = value;
+        } else if (arg == "--slow-ms") {
+            if (!parseUnsigned(value.c_str(), &n)) {
+                std::cerr << "error: invalid slow threshold '"
+                          << value << "'\n";
+                return 2;
+            }
+            options.slowRequestMs = (std::uint64_t)n;
+        } else if (arg == "--trace-events") {
+            trace_events = value;
         } else {
             std::cerr << "error: unknown option '" << arg << "'\n";
             return usage(std::cerr, 2);
@@ -141,6 +170,16 @@ main(int argc, char **argv)
     ::sigaction(SIGINT, &sa, nullptr);
     ::sigaction(SIGTERM, &sa, nullptr);
     ::signal(SIGPIPE, SIG_IGN);
+
+#if EDB_OBS_ENABLED
+    if (!trace_events.empty())
+        edb::obs::enableTrace(trace_events);
+#else
+    if (!trace_events.empty()) {
+        std::cerr << "warning: this build has EDB_OBS=OFF; "
+                     "--trace-events is ignored\n";
+    }
+#endif
 
     try {
         edb::served::Server server(options);
@@ -171,6 +210,11 @@ main(int argc, char **argv)
         !edb::obs::writeSnapshotJsonFile(obs_json)) {
         std::cerr << "error: cannot write obs snapshot to "
                   << obs_json << "\n";
+        return 1;
+    }
+    if (!trace_events.empty() && !edb::obs::flushTrace()) {
+        std::cerr << "error: cannot write trace events to "
+                  << trace_events << "\n";
         return 1;
     }
 #else

@@ -1,9 +1,13 @@
 #!/usr/bin/env python3
-"""Diff two edb::obs snapshot JSON files (schema edb-obs-snapshot-v1).
+"""Diff two edb::obs snapshot JSON files (schema edb-obs-snapshot-v1
+or -v2).
 
 Prints a counter table (old / new / delta / ratio, sorted by largest
 relative change first) and a histogram comparison (count / sum / mean
-per side). Intended workflow: capture a baseline snapshot with
+per side). When both snapshots carry the v2 `meta` block, the wall
+clocks date the interval and the counter table gains a rate column
+(delta per elapsed second between the two captures). Intended
+workflow: capture a baseline snapshot with
 `EDB_OBS_JSON=old.json` (or `--obs-json old.json`), make a change,
 capture `new.json`, then:
 
@@ -28,13 +32,25 @@ import sys
 signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 
 
+ACCEPTED_SCHEMAS = ("edb-obs-snapshot-v1", "edb-obs-snapshot-v2")
+
+
 def load_snapshot(path):
     with open(path) as f:
         data = json.load(f)
     schema = data.get("schema")
-    if schema != "edb-obs-snapshot-v1":
+    if schema not in ACCEPTED_SCHEMAS:
         sys.exit(f"{path}: unexpected schema {schema!r}")
     return data
+
+
+def elapsed_seconds(old, new):
+    """Wall seconds between two v2 snapshots; None for v1 captures."""
+    o = old.get("meta", {}).get("wall_ms")
+    n = new.get("meta", {}).get("wall_ms")
+    if o is None or n is None or n <= o:
+        return None
+    return (n - o) / 1000.0
 
 
 def parse_gate(spec):
@@ -58,7 +74,7 @@ def scalar_map(snapshot, kind):
     return dict(snapshot.get(kind, {}))
 
 
-def report_scalars(kind, old, new):
+def report_scalars(kind, old, new, elapsed=None):
     old_map = scalar_map(old, kind)
     new_map = scalar_map(new, kind)
     names = sorted(set(old_map) | set(new_map))
@@ -72,16 +88,20 @@ def report_scalars(kind, old, new):
             return float("inf") if n else 0.0
         return abs(n - o) / abs(o) if o else 0.0
 
+    # Rates only make sense for monotone counters with a dated window.
+    rated = elapsed is not None and kind == "counters"
     names.sort(key=rel_change, reverse=True)
     width = max(len(n) for n in names)
     print(f"{kind}:")
     print(f"  {'name':<{width}} {'old':>14} {'new':>14} "
-          f"{'delta':>14} {'ratio':>8}")
+          f"{'delta':>14} {'ratio':>8}"
+          + (f" {'rate/s':>12}" if rated else ""))
     for name in names:
         o = old_map.get(name, 0)
         n = new_map.get(name, 0)
+        rate = f" {(n - o) / elapsed:>12.1f}" if rated else ""
         print(f"  {name:<{width}} {o:>14} {n:>14} "
-              f"{n - o:>+14} {fmt_ratio(o, n):>8}")
+              f"{n - o:>+14} {fmt_ratio(o, n):>8}{rate}")
     print()
 
 
@@ -165,8 +185,10 @@ def main():
     old = load_snapshot(args.old)
     new = load_snapshot(args.new)
 
-    print(f"obs diff: {args.old} -> {args.new}\n")
-    report_scalars("counters", old, new)
+    elapsed = elapsed_seconds(old, new)
+    window = f" ({elapsed:.3f} s elapsed)" if elapsed is not None else ""
+    print(f"obs diff: {args.old} -> {args.new}{window}\n")
+    report_scalars("counters", old, new, elapsed)
     report_scalars("gauges", old, new)
     report_histograms(old, new)
 
