@@ -27,6 +27,7 @@
 #include "session/session.h"
 #include "sim/parallel_sim.h"
 #include "telemetry/telemetry.h"
+#include "trace/index_format.h"
 #include "trace/trace_io.h"
 #include "util/thread_pool.h"
 #include "workload/workload.h"
@@ -93,6 +94,10 @@ usage()
            "other container format\n"
            "                               (verifies the roundtrip "
            "before reporting success)\n"
+           "  index <trace.trc> [out.edbi] build the sidecar planning "
+           "index for a v2 trace\n"
+           "                               (auto-discovered next to "
+           "the trace on later opens)\n"
            "  sessions <trace.trc> [N]     list the top-N monitor "
            "sessions by hits (default 20)\n"
            "  analyze <trace.trc>          per-strategy relative "
@@ -279,6 +284,40 @@ cmdInfo(const std::string &path, std::ostream &out)
             << fmtRatio(n ? (double)summary_pages / (double)n : 0.0)
             << " pages/block ("
             << (trace::summaryPageBytes / 1024) << " KiB pages)\n";
+
+        // Sidecar index report: read the .edbi directly (bypassing
+        // the env pin and auto-discovery) so a stale or corrupt
+        // sidecar is still described rather than silently ignored.
+        const std::string sidecar = trace::traceIndexPathFor(path);
+        if (std::ifstream(sidecar, std::ios::binary).good()) {
+            try {
+                trace::TraceIndex idx =
+                    trace::loadTraceIndex(sidecar);
+                const bool fresh =
+                    idx.traceDigest == mapped.contentDigest() &&
+                    idx.traceBytes == mapped.fileBytes();
+                out << "index:         " << sidecar << " (v"
+                    << idx.version << ", "
+                    << (fresh ? "digest match" : "STALE: digest "
+                                                 "mismatch")
+                    << ")\n"
+                    << "index layout:  " << idx.supers.size()
+                    << " superblocks, " << idx.containers.size()
+                    << " bitmap containers, " << idx.postings.size()
+                    << " postings, " << idx.extents.size()
+                    << " extents\n"
+                    << "index bytes:   " << idx.fileBytes
+                    << " (header " << idx.bytesHeader << ", tree "
+                    << idx.bytesTree << ", bitmap " << idx.bytesBitmap
+                    << ", extents " << idx.bytesExtents << ")\n";
+            } catch (const trace::TraceError &e) {
+                out << "index:         " << sidecar
+                    << " (CORRUPT: " << e.what() << ")\n";
+            }
+        } else {
+            out << "index:         none (run `edb-trace index " << path
+                << "`)\n";
+        }
     }
     return 0;
 }
@@ -329,6 +368,64 @@ cmdConvert(const std::string &in, const std::string &out_path,
         << fmtRatio(out_bytes ? (double)in_bytes / (double)out_bytes
                               : 0.0)
         << "x), roundtrip verified\n";
+
+    // Rewriting over a previously-indexed artifact orphans its
+    // sidecar: the digest no longer matches, so every consumer will
+    // fall back to linear planning until the index is rebuilt.
+    const std::string sidecar = trace::traceIndexPathFor(out_path);
+    if (opts.format == trace::TraceFormat::V2Blocked &&
+        std::ifstream(sidecar, std::ios::binary).good()) {
+        try {
+            trace::MappedTrace mapped(out_path);
+            const trace::TraceIndex idx =
+                trace::loadTraceIndex(sidecar);
+            if (idx.traceDigest != mapped.contentDigest() ||
+                idx.traceBytes != mapped.fileBytes()) {
+                err << "warning: " << sidecar
+                    << " is now stale (digest mismatch); rebuild it "
+                       "with `edb-trace index "
+                    << out_path << "`\n";
+            }
+        } catch (const trace::TraceError &) {
+            err << "warning: " << sidecar
+                << " is unreadable; rebuild it with `edb-trace index "
+                << out_path << "`\n";
+        }
+    }
+    return 0;
+}
+
+/**
+ * Build (or rebuild) the .edbi sidecar index for a v2 trace. The
+ * sidecar is written next to the trace by default so MappedTrace
+ * auto-discovers it on the next open.
+ */
+int
+cmdIndex(const std::string &path, const std::string &out_override,
+         std::ostream &out, std::ostream &err)
+{
+    if (trace::probeTraceFormat(path) !=
+        trace::TraceFormat::V2Blocked) {
+        err << "error: '" << path
+            << "' is not a v2 blocked trace; convert it first "
+               "(`edb-trace convert " << path << " <out.trc> v2`)\n";
+        return 2;
+    }
+    const trace::MappedTrace mapped(path);
+    trace::TraceIndex idx = trace::buildTraceIndex(mapped);
+    const std::string sidecar = out_override.empty()
+                                    ? trace::traceIndexPathFor(path)
+                                    : out_override;
+    trace::saveTraceIndex(idx, sidecar);
+    out << "indexed " << path << ": " << mapped.blockCount()
+        << " blocks -> " << idx.supers.size() << " superblocks, "
+        << idx.containers.size() << " bitmap containers, "
+        << idx.postings.size() << " postings, " << idx.extents.size()
+        << " extents\n"
+        << "wrote " << sidecar << ": " << idx.fileBytes
+        << " bytes (header " << idx.bytesHeader << ", tree "
+        << idx.bytesTree << ", bitmap " << idx.bytesBitmap
+        << ", extents " << idx.bytesExtents << ")\n";
     return 0;
 }
 
@@ -1407,7 +1504,7 @@ run(const std::vector<std::string> &args, std::ostream &out,
     // The global flags configure the phase-2 stage; accepting them on
     // the phase-1 commands would silently do nothing, so reject them.
     if (cmd == "record" || cmd == "info" || cmd == "convert" ||
-        cmd == "connect" || cmd == "top") {
+        cmd == "index" || cmd == "connect" || cmd == "top") {
         const char *flag = jobs_given ? "--jobs"
                            : !obs_json.empty() ? "--obs-json"
                            : !trace_events.empty() ? "--trace-events"
@@ -1439,6 +1536,11 @@ run(const std::vector<std::string> &args, std::ostream &out,
             rc = cmdInfo(rest[1], out);
         } else if (cmd == "convert" && rest.size() == 4) {
             rc = cmdConvert(rest[1], rest[2], rest[3], out, err);
+        } else if (cmd == "index" &&
+                   (rest.size() == 2 || rest.size() == 3)) {
+            rc = cmdIndex(rest[1],
+                          rest.size() == 3 ? rest[2] : std::string(),
+                          out, err);
         } else if (cmd == "sessions" &&
                    (rest.size() == 2 || rest.size() == 3)) {
             std::size_t top =

@@ -18,11 +18,13 @@
  * in-memory pass.
  */
 
+#include <chrono>
 #include <vector>
 
 #include "obs/obs.h"
 #include "query/eval.h"
 #include "query/query.h"
+#include "trace/index_format.h"
 #include "util/thread_pool.h"
 
 namespace edb::query {
@@ -119,13 +121,131 @@ runQuery(const trace::MappedTrace &trace,
     sim::SummaryPageTracker tracker;
     ThreadPool pool(jobs, jobs);
 
+    // Sidecar-index planning structures (DESIGN.md §16). Everything
+    // below is a pure accelerator: each bit answers a question the
+    // per-block scan would have answered identically, so the planner
+    // reaches the same writesMayMatch / state-advance decisions with
+    // or without them.
+    const trace::TraceIndex *idx = trace.index();
+    auto bitTest = [](const std::vector<std::uint64_t> &bits,
+                      std::size_t i) {
+        return ((bits[i >> 6] >> (i & 63)) & 1) != 0;
+    };
+    // Candidate set: blocks whose summary runs intersect a spec addr
+    // range, straight from the page-occupancy postings — exactly the
+    // per-block rangeTouchesRuns verdicts, precomputed in one pass
+    // over the relevant posting span.
+    std::vector<std::uint64_t> cand;
+    if (idx != nullptr && addrFilter) {
+        cand.assign((nblocks + 63) / 64, 0);
+        idx->candidateBlocks(spec.addrRanges.data(),
+                             spec.addrRanges.size(), cand);
+    }
+    // State blocks: union of the selected objects' control extents. A
+    // block outside it holds no selected-object control event, so its
+    // control decode — live-state advance, install probe, and
+    // session-filtered control rows (eval.h: an active filter matches
+    // a control row only for a selected object) — is elided outright.
+    std::vector<std::uint64_t> stateBlocks;
+    if (idx != nullptr && filter.active()) {
+        stateBlocks.assign((nblocks + 63) / 64, 0);
+        for (std::size_t o = 0; o < sessions.objectCount(); ++o) {
+            if (!filter.selected((ObjectId)o))
+                continue;
+            const trace::IndexExtent *ext =
+                idx->extentOf((std::uint32_t)o);
+            if (ext == nullptr)
+                continue;
+            for (std::uint32_t eb : ext->blocks)
+                stateBlocks[eb >> 6] |= 1ull << (eb & 63);
+        }
+    }
+    // Tree-descent probe cache: when a superblock's merged runs (a
+    // superset of every member's) miss the whole monitored set, each
+    // member block's own probe is a proven miss — recomputed lazily
+    // whenever the tracker advances (version bump) or the walk enters
+    // a new superblock.
+    std::uint64_t trackerVersion = 1;
+    std::uint64_t superProbeVersion = 0;
+    std::size_t superProbeId = (std::size_t)-1;
+    bool superAllMiss = false;
+    std::uint64_t idxElided = 0;
+    std::uint64_t submitNs = 0;
+
+    const auto planStart = std::chrono::steady_clock::now();
     for (std::size_t b = 0; b < nblocks; ++b) {
+        // Aggregate superblock skip: a stateBlocks word covers
+        // exactly one superblock (both span 64 blocks). When the
+        // super's merged runs miss the whole monitored set, every
+        // member block's probe is a proven miss, so members without a
+        // selected control (clear word bits) all take the Skipped
+        // path with zero matches — fold their stats spanwise and jump
+        // straight to the next set bit instead of planning each.
+        static_assert(trace::traceIndexSuperSpan == 64,
+                      "a bitset word must cover exactly one "
+                      "superblock for the aggregate skip");
+        if (idx != nullptr && !stateBlocks.empty()) {
+            const std::size_t superId =
+                b >> trace::traceIndexSuperShift;
+            if (superProbeId != superId ||
+                superProbeVersion != trackerVersion) {
+                const trace::IndexNode &super = idx->superOf(b);
+                superAllMiss = !tracker.anyMonitored(
+                    super.runs.begin(), super.runs.size());
+                superProbeId = superId;
+                superProbeVersion = trackerVersion;
+            }
+            if (superAllMiss) {
+                const std::uint64_t rest =
+                    stateBlocks[superId] &
+                    (~std::uint64_t{0} << (b & 63));
+                const std::size_t superEnd = std::min(
+                    nblocks, (superId + 1) *
+                                 trace::traceIndexSuperSpan);
+                const std::size_t stop =
+                    rest != 0 ? superId * trace::traceIndexSuperSpan +
+                                    (std::size_t)std::countr_zero(rest)
+                              : superEnd;
+                if (stop > b) {
+                    std::uint64_t writes = 0;
+                    if (stop == superEnd && (b & 63) == 0 &&
+                        rest == 0) {
+                        writes = idx->superOf(b).writes;
+                    } else {
+                        for (std::size_t k = b; k < stop; ++k)
+                            writes += trace.block(k).writes;
+                    }
+                    local.writesPruned += writes;
+                    local.blocksSkipped += stop - b;
+                    idxElided += stop - b;
+                    EDB_OBS_ADD(obsWritesPruned, writes);
+                    EDB_OBS_ADD(obsBlocksPruned, stop - b);
+                    if (stop == superEnd) {
+                        b = stop - 1;
+                        continue;
+                    }
+                    // Fall through to plan the selected-control
+                    // block at `stop` this iteration.
+                    b = stop;
+                }
+            }
+        }
         const MappedTrace::Block &blk = trace.block(b);
         const std::size_t ctl = (std::size_t)blk.controls();
         const std::uint64_t blockFirst = blk.firstEvent;
         const bool inWindow =
             blockFirst < spec.lastIndex &&
             blockFirst + blk.events > spec.firstIndex;
+        // Can the block carry a selected-object control event? Only
+        // an attached index can prove it cannot.
+        const bool haveSelCtl =
+            ctl > 0 &&
+            (stateBlocks.empty() || bitTest(stateBlocks, b));
+        // Extent elision: the no-index planner would decode this
+        // block's controls (state advance and/or control rows); the
+        // extent proves none of them is selected.
+        bool blockElided =
+            filter.active() && ctl > 0 && !haveSelCtl;
 
         // Can any write row of this block match? Judged against the
         // monitored set *before* this block's own installs advance
@@ -134,31 +254,61 @@ runQuery(const trace::MappedTrace &trace,
         bool writesMayMatch =
             wantsWrites && blk.writes > 0 && inWindow;
         if (writesMayMatch && addrFilter) {
-            bool touches = false;
-            for (const AddrRange &r : spec.addrRanges) {
-                if (sim::rangeTouchesRuns(r, blk.runs.begin(),
-                                          blk.runs.size())) {
-                    touches = true;
-                    break;
+            if (!cand.empty()) {
+                writesMayMatch = bitTest(cand, b);
+            } else {
+                bool touches = false;
+                for (const AddrRange &r : spec.addrRanges) {
+                    if (sim::rangeTouchesRuns(r, blk.runs.begin(),
+                                              blk.runs.size())) {
+                        touches = true;
+                        break;
+                    }
                 }
+                writesMayMatch = touches;
             }
-            writesMayMatch = touches;
         }
         bool haveCtl = false;
-        if (writesMayMatch && filter.active() &&
-            !tracker.anyMonitored(blk.runs.begin(),
-                                  blk.runs.size())) {
-            if (ctl > 0) {
-                trace.decodeBlockControl(b, ctlbuf.data(),
-                                         posbuf.data());
-                haveCtl = true;
-                writesMayMatch = sim::anyInstallTouchesRuns(
-                    ctlbuf.data(), ctl, blk.runs.begin(),
-                    blk.runs.size(), [&](ObjectId obj) {
-                        return filter.selected(obj);
-                    });
+        if (writesMayMatch && filter.active()) {
+            bool monitored;
+            if (idx != nullptr) {
+                const std::size_t superId =
+                    b >> trace::traceIndexSuperShift;
+                if (superProbeId != superId ||
+                    superProbeVersion != trackerVersion) {
+                    const trace::IndexNode &super = idx->superOf(b);
+                    superAllMiss = !tracker.anyMonitored(
+                        super.runs.begin(), super.runs.size());
+                    superProbeId = superId;
+                    superProbeVersion = trackerVersion;
+                }
+                if (superAllMiss) {
+                    monitored = false;
+                    blockElided = true;
+                } else {
+                    monitored = tracker.anyMonitored(
+                        blk.runs.begin(), blk.runs.size());
+                }
             } else {
-                writesMayMatch = false;
+                monitored = tracker.anyMonitored(blk.runs.begin(),
+                                                 blk.runs.size());
+            }
+            if (!monitored) {
+                if (haveSelCtl) {
+                    trace.decodeBlockControl(b, ctlbuf.data(),
+                                             posbuf.data());
+                    haveCtl = true;
+                    writesMayMatch = sim::anyInstallTouchesRuns(
+                        ctlbuf.data(), ctl, blk.runs.begin(),
+                        blk.runs.size(), [&](ObjectId obj) {
+                            return filter.selected(obj);
+                        });
+                } else {
+                    // No control at all, or the extent proves no
+                    // *selected* control: the install probe cannot
+                    // accept, so the writes stay pruned.
+                    writesMayMatch = false;
+                }
             }
         }
 
@@ -176,7 +326,11 @@ runQuery(const trace::MappedTrace &trace,
             Partial *out = &parts[b];
             const std::uint64_t events = blk.events;
             // Workers decode their own block straight from the
-            // mapping; only the id and the snapshot cross over.
+            // mapping; only the id and the snapshot cross over. The
+            // handoff can block on a full worker queue, which is
+            // evaluation backpressure, not planning — keep it out of
+            // planNs.
+            const auto submitStart = std::chrono::steady_clock::now();
             pool.submit([b, events, blockFirst, out,
                          snap = std::move(snap), &trace, &spec,
                          &filter] {
@@ -211,13 +365,23 @@ runQuery(const trace::MappedTrace &trace,
                 }
                 (void)events;
             });
+            submitNs += (std::uint64_t)std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() -
+                            submitStart)
+                            .count();
         } else {
             local.writesPruned += blk.writes;
             EDB_OBS_ADD(obsWritesPruned, blk.writes);
+            // haveSelCtl folds the extent proof in: without an index
+            // (or without a session filter) it is plain ctl > 0, and
+            // with one an active filter can only match a selected
+            // object's control row anyway.
             const bool evalCtlRows =
-                wantsControls && inWindow && ctl > 0;
+                wantsControls && inWindow &&
+                (filter.active() ? haveSelCtl : ctl > 0);
             const bool needCtl =
-                evalCtlRows || (filter.active() && ctl > 0);
+                evalCtlRows || (filter.active() && haveSelCtl);
             if (needCtl && !haveCtl) {
                 trace.decodeBlockControl(b, ctlbuf.data(),
                                          posbuf.data());
@@ -242,16 +406,30 @@ runQuery(const trace::MappedTrace &trace,
         }
 
         // Advance the dispatcher's selected live state past this
-        // block (workers saw the pre-block snapshot).
-        if (filter.active() && ctl > 0) {
+        // block (workers saw the pre-block snapshot). A block the
+        // extents exclude cannot change it: applyState only acts on
+        // selected objects.
+        if (filter.active() && haveSelCtl) {
             if (!haveCtl) {
                 trace.decodeBlockControl(b, ctlbuf.data(),
                                          posbuf.data());
             }
             for (std::size_t k = 0; k < ctl; ++k)
                 applyState(ctlbuf[k], filter, running, tracker);
+            ++trackerVersion;
         }
+        if (blockElided)
+            ++idxElided;
     }
+    const std::uint64_t loopNs =
+        (std::uint64_t)std::chrono::duration_cast<
+            std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - planStart)
+            .count();
+    local.planNs = loopNs > submitNs ? loopNs - submitNs : 0;
+    local.blocksIndexElided = idxElided;
+    if (idx != nullptr)
+        trace::obsNoteIndexPlan(nblocks - idxElided, idxElided);
     pool.wait(); // rethrows the first worker decode/eval error
 
     QueryResult result = detail::finalizeParts(

@@ -165,6 +165,17 @@ struct QueryStats
     /** Write events never decoded thanks to pruning. */
     std::uint64_t writesPruned = 0;
     unsigned jobs = 1;
+    /**
+     * Wall time of the dispatcher's per-block planning loop
+     * (relevance probes, control decodes for live-state advance, and
+     * work handoff — full-block evaluation overlaps on the pool and
+     * is not included). This is the cost the sidecar index attacks;
+     * bench_query reports it indexed vs index-free.
+     */
+    std::uint64_t planNs = 0;
+    /** Blocks whose planning work the sidecar index elided (probe
+     *  short-circuit or control-decode elision); 0 without an index. */
+    std::uint64_t blocksIndexElided = 0;
     /** Per-block decision, for the property-test harness. */
     std::vector<BlockAction> actions;
 };

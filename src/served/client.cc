@@ -320,6 +320,7 @@ Client::openTrace(const std::string &path)
     r.writes = rd.getU64();
     r.sessionCount = rd.getU32();
     r.blocks = rd.getU32();
+    r.indexed = rd.getU8() != 0;
     rd.requireEnd();
     return r;
 }
@@ -483,6 +484,7 @@ Client::stats()
         t.path = rd.getString();
         t.refs = rd.getU32();
         t.events = rd.getU64();
+        t.indexed = rd.getU8() != 0;
         r.traces.push_back(t);
     }
     rd.requireEnd();

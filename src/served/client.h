@@ -94,6 +94,8 @@ struct StatsTraceRow
     std::string path;
     std::uint32_t refs = 0;
     std::uint64_t events = 0;
+    /** The server's shared mapping has a validated .edbi sidecar. */
+    bool indexed = false;
 };
 
 /** STATS reply: obs snapshot JSON plus live registry tables. */

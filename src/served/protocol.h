@@ -38,8 +38,10 @@
 
 namespace edb::served {
 
-/** Protocol revision; HELLO carries it and the server enforces it. */
-constexpr std::uint32_t protocolVersion = 1;
+/** Protocol revision; HELLO carries it and the server enforces it.
+ *  v2: OPEN_TRACE and STATS trace rows gained a trailing `indexed`
+ *  byte reporting whether the mapping carries a .edbi sidecar. */
+constexpr std::uint32_t protocolVersion = 2;
 
 /** Bytes before the body: u32 length + u8 opcode. */
 constexpr std::size_t frameHeaderBytes = 5;

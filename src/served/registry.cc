@@ -91,7 +91,8 @@ TraceCache::stats()
         if (auto live = it->second.lock()) {
             // use_count counts tenant handles plus `live` itself.
             rows.push_back({it->first, (long)live.use_count() - 1,
-                            live->mapped.eventCount()});
+                            live->mapped.eventCount(),
+                            live->mapped.index() != nullptr});
             ++it;
         } else {
             it = map_.erase(it);
@@ -207,6 +208,7 @@ Tenant::openTrace(const std::string &path)
     res.writes = handle->mapped.totalWrites();
     res.sessionCount = (std::uint32_t)handle->sessions.size();
     res.blocks = (std::uint32_t)handle->mapped.blockCount();
+    res.indexed = handle->mapped.index() != nullptr;
     return res;
 }
 

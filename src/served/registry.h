@@ -127,6 +127,9 @@ class TraceCache
         std::string path;
         long refs;
         std::uint64_t events;
+        /** A validated .edbi sidecar rode along with the mmap — every
+         *  tenant sharing the mapping shares the index too. */
+        bool indexed;
     };
 
     /** Live entries (expired rows are pruned as a side effect). */
@@ -197,6 +200,8 @@ struct OpenResult
     std::uint64_t writes = 0;
     std::uint32_t sessionCount = 0;
     std::uint32_t blocks = 0;
+    /** The shared mapping carries a validated .edbi sidecar. */
+    bool indexed = false;
 };
 
 /** Wire form of a QUERY request (a QuerySpec subset). */

@@ -495,6 +495,7 @@ Server::dispatchRequest(Conn &conn, const Frame &frame)
                 w.putString(e.path);
                 w.putU32((std::uint32_t)e.refs);
                 w.putU64(e.events);
+                w.putU8(e.indexed ? 1 : 0);
             }
             return sendOk(conn, op, w);
           }
@@ -559,6 +560,7 @@ Server::dispatchRequest(Conn &conn, const Frame &frame)
             w.putU64(res.writes);
             w.putU32(res.sessionCount);
             w.putU32(res.blocks);
+            w.putU8(res.indexed ? 1 : 0);
             return sendOk(conn, op, w);
           }
           case Op::Install: {

@@ -26,6 +26,7 @@
 #include "obs/obs.h"
 #include "sim/relevance.h"
 #include "sim/replay_core.h"
+#include "trace/index_format.h"
 #include "trace/trace_format.h"
 #include "util/thread_pool.h"
 
@@ -407,6 +408,8 @@ parallelSimulate(const MappedTrace &trace, const SessionSet &sessions,
     LiveMap running;
     SkipPageMap skip(sessions);
     std::vector<Event> scratch(trace.largestBlockEvents());
+    const trace::TraceIndex *idx = trace.index();
+    std::uint64_t idx_elided = 0;
     // Writes of fully-skipped blocks never reach a worker, so they
     // fold into the merged result below; control-only skipped writes
     // are folded by the worker (ReplayEngine::skipWrites) instead.
@@ -430,6 +433,24 @@ parallelSimulate(const MappedTrace &trace, const SessionSet &sessions,
             Snapshot snap = snapshotOf(running);
             while (b < trace.blockCount() &&
                    shard_size < shard_events) {
+                // Tree descent (same proof as the sequential path,
+                // DESIGN.md §16): a pure-write superblock whose
+                // merged runs miss every monitored page retires all
+                // its member blocks in one probe — none would have
+                // been decoded or dispatched, and the live state
+                // cannot change across a node with no controls.
+                if (idx != nullptr &&
+                    (b & (trace::traceIndexSuperSpan - 1)) == 0) {
+                    const trace::IndexNode &super = idx->superOf(b);
+                    if (sim::indexNodeSkippable(super, skip)) {
+                        local_stats.skippedBlocks += super.blocks;
+                        local_stats.skippedWrites += super.writes;
+                        fold_writes += super.writes;
+                        idx_elided += super.blocks;
+                        b += super.blocks;
+                        continue;
+                    }
+                }
                 const MappedTrace::Block &blk = trace.block(b);
                 const std::size_t ctl = (std::size_t)blk.controls();
                 // Judge the write summary against the monitored set
@@ -536,6 +557,10 @@ parallelSimulate(const MappedTrace &trace, const SessionSet &sessions,
     trace::obsNoteSkippedBlocks(local_stats.skippedBlocks +
                                     local_stats.controlOnlyBlocks,
                                 local_stats.skippedWrites);
+    if (idx != nullptr) {
+        trace::obsNoteIndexPlan(trace.blockCount() - idx_elided,
+                                idx_elided);
+    }
 
     local_stats.peakBufferedEvents =
         peak_buffered.load(std::memory_order_relaxed);

@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "trace/event.h"
+#include "trace/index_format.h"
 #include "trace/trace_format.h"
 #include "util/addr.h"
 #include "util/flat_map.h"
@@ -50,6 +51,28 @@ rangeTouchesRuns(const AddrRange &r, const trace::PageRun *runs,
         }
     }
     return false;
+}
+
+/**
+ * Tree-descent write-skip test of one sidecar-index node (DESIGN.md
+ * §16). A node with no control events whose merged runs miss every
+ * monitored page proves each member block would individually pass the
+ * per-block skip test: the node's runs are a superset of every member
+ * block's runs, every member block is pure-write (the node's control
+ * total is the sum of theirs), and — with no control event inside the
+ * node — the monitored set cannot change across it. One probe, same
+ * decision, same stats, for the whole node.
+ *
+ * `pages` is any monitored-summary-page probe exposing
+ * anyMonitored(const trace::PageRun*, n) — SummaryPageTracker or a
+ * session-filtered twin.
+ */
+template <typename PageProbe>
+inline bool
+indexNodeSkippable(const trace::IndexNode &node, const PageProbe &pages)
+{
+    return node.pureWrites() && node.writes > 0 &&
+           !pages.anyMonitored(node.runs.begin(), node.runs.size());
 }
 
 /**

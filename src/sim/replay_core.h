@@ -412,6 +412,16 @@ class ReplayEngine
         return skip_pages_.anyMonitored(runs, n);
     }
 
+    /** Tree-descent twin of anySummaryPageMonitored() over one
+     *  sidecar-index node: true when the whole node (a pure-write
+     *  superblock whose merged runs miss every monitored page) can
+     *  skip in one decision (relevance.h indexNodeSkippable). */
+    bool
+    indexNodeSkippable(const trace::IndexNode &node) const
+    {
+        return sim::indexNodeSkippable(node, skip_pages_);
+    }
+
     /**
      * True when any session-relevant install among `ctl` lands on a
      * summary page of `runs`. Complements anySummaryPageMonitored()

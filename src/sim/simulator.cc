@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/replay_core.h"
+#include "trace/index_format.h"
 
 namespace edb::sim {
 
@@ -60,7 +61,26 @@ simulate(const trace::MappedTrace &trace, const SessionSet &sessions,
     trace::WriteBatch batch;
     BlockSkipStats local;
     local.blocksTotal = trace.blockCount();
+    const trace::TraceIndex *idx = trace.index();
+    std::uint64_t idx_elided = 0;
     for (std::size_t b = 0; b < trace.blockCount(); ++b) {
+        // Tree descent: at a superblock boundary, one probe of the
+        // node's merged runs can retire all 64 member blocks with the
+        // exact per-block decisions, stats and counters (DESIGN.md
+        // §16) — valid only for pure-write nodes, where the monitored
+        // set cannot change mid-node.
+        if (idx != nullptr &&
+            (b & (trace::traceIndexSuperSpan - 1)) == 0) {
+            const trace::IndexNode &super = idx->superOf(b);
+            if (engine.indexNodeSkippable(super)) {
+                engine.skipWrites(super.writes);
+                local.blocksSkipped += super.blocks;
+                local.writesSkipped += super.writes;
+                idx_elided += super.blocks;
+                b += super.blocks - 1;
+                continue;
+            }
+        }
         const trace::MappedTrace::Block &blk = trace.block(b);
         // Writes may skip when the block's write summary misses every
         // currently-monitored page; installs/removes always replay.
@@ -94,6 +114,10 @@ simulate(const trace::MappedTrace &trace, const SessionSet &sessions,
     trace::obsNoteSkippedBlocks(local.blocksSkipped +
                                     local.blocksControlOnly,
                                 local.writesSkipped);
+    if (idx != nullptr) {
+        trace::obsNoteIndexPlan(trace.blockCount() - idx_elided,
+                                idx_elided);
+    }
     if (stats != nullptr)
         *stats = local;
 

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * The persistent sidecar trace index (`<trace>.edbi`) — precomputed
+ * planning structure over a v2 blocked trace (docs/FORMAT.md, "Sidecar
+ * index"; DESIGN.md §16 argues the soundness).
+ *
+ * The v2 container already carries per-block summaries, but every
+ * consumer still walks all of them: replay probes each block's
+ * page-summary runs against the monitored set, and the query planner
+ * additionally decodes each block's control columns to advance its
+ * session live-state — cost linear in trace size even when one
+ * session touches three pages, re-paid on every run. The sidecar
+ * moves that work to index-build time, once per artifact:
+ *
+ *  - a hierarchical summary tree (superblocks of 64 blocks with
+ *    merged page-summary runs, then a root over the superblocks), so
+ *    relevance probes descend the tree and touch only subtrees whose
+ *    merged runs can match;
+ *  - a page-occupancy bitmap (roaring-style array/run hybrid
+ *    containers over 8 KiB summary pages) plus a sorted page →
+ *    block-id posting list, so sparse addr-range queries jump
+ *    straight to candidate blocks;
+ *  - per-object control extents (first/last block, event count, and
+ *    the posting list of blocks carrying the object's installs and
+ *    removes), from which a session's extent is the fold over its
+ *    objects — this is what lets the query planner skip control
+ *    decodes on blocks that provably hold no selected-object control.
+ *
+ * The index is strictly an accelerator: every structure is a
+ * conservative superset of the per-block truth (tree runs ⊇ member
+ * block runs) or an exact mirror of it (postings, occupancy,
+ * extents), so consumers reach identical decisions with or without
+ * it, and every consumer keeps a mandatory linear fallback. Staleness
+ * is detected by an FNV-1a digest of the indexed `.trc`; corruption
+ * by a self-digest over the index bytes plus structural
+ * cross-checks against the mapped block headers. A sidecar that
+ * fails any of it is rejected (TraceError from the explicit loader,
+ * silent fallback + `trace.idx.stale` from auto-discovery) — it can
+ * never mis-plan.
+ */
+
+#ifndef EDB_TRACE_INDEX_FORMAT_H
+#define EDB_TRACE_INDEX_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_format.h"
+#include "util/addr.h"
+#include "util/small_vec.h"
+
+namespace edb::trace {
+
+class MappedTrace;
+
+/** Sidecar file magic, first 4 bytes of every `.edbi`. */
+constexpr char traceIndexMagic[4] = {'E', 'D', 'B', 'I'};
+
+/** Current sidecar wire version. */
+constexpr std::uint64_t traceIndexVersion = 1;
+
+/** log2 of blocks per superblock: tree nodes cover 64 blocks. */
+constexpr unsigned traceIndexSuperShift = 6;
+constexpr std::size_t traceIndexSuperSpan =
+    (std::size_t)1 << traceIndexSuperShift;
+
+/** Page-summary run cap of a tree node. Merging 64 block summaries
+ *  (8 runs each) must re-coalesce into this many runs; when they do
+ *  not fit, the closest runs are fused — coarser, still a superset. */
+constexpr std::size_t maxIndexRuns = 16;
+
+/** Pages per occupancy container (chunk = summary page >> 16). */
+constexpr unsigned traceIndexChunkShift = 16;
+
+/** FNV-1a 64-bit, the digest pinning a sidecar to its `.trc` bytes
+ *  (and the index's own bytes to themselves). */
+constexpr std::uint64_t fnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t fnvPrime = 0x100000001b3ull;
+
+inline std::uint64_t
+fnv1a64(const unsigned char *data, std::size_t n,
+        std::uint64_t seed = fnvOffsetBasis)
+{
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= fnvPrime;
+    }
+    return h;
+}
+
+/**
+ * One tree node: either a superblock (64 consecutive blocks) or the
+ * root (all superblocks). `runs` is the coalesced union of the member
+ * blocks' page-summary runs — a superset, never exact — so a
+ * relevance miss on a node is a proof of a miss on every member.
+ */
+struct IndexNode
+{
+    std::uint32_t firstBlock = 0;
+    std::uint32_t blocks = 0;
+    std::uint64_t events = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t controls = 0;
+    util::SmallVec<PageRun, maxIndexRuns> runs;
+
+    /** True when every member event is a write — the whole node can
+     *  skip on a summary miss without decoding a byte. */
+    bool pureWrites() const { return controls == 0; }
+};
+
+/**
+ * One run/array hybrid occupancy container: the set of occupied
+ * summary pages within one 2^16-page chunk, encoded as either a
+ * sorted array of low-16 page offsets or a sorted list of
+ * (offset, length) runs — whichever is smaller on the wire.
+ */
+struct IndexContainer
+{
+    std::uint64_t chunk = 0; ///< summary page >> traceIndexChunkShift
+    bool runEncoded = false;
+    /** Array: sorted low-16 offsets. Runs: flattened sorted
+     *  (offset, length) pairs. */
+    std::vector<std::uint32_t> vals;
+};
+
+/** One posting: a block's page-summary run, keyed for page lookup.
+ *  The posting list is exactly the blocks' own runs re-sorted by
+ *  (firstPage, block) — no coarsening, so a candidate set computed
+ *  from it equals the per-block linear scan's, bit for bit. */
+struct IndexPosting
+{
+    Addr firstPage = 0;
+    Addr pages = 0;
+    std::uint32_t block = 0;
+};
+
+/**
+ * Control extent of one object: which blocks carry its installs and
+ * removes. A session's extent is the union over its objects; a block
+ * outside every selected object's posting list provably holds no
+ * selected control, so a query planner may skip its control decode.
+ */
+struct IndexExtent
+{
+    std::uint32_t object = 0;
+    std::uint32_t firstBlock = 0;
+    std::uint32_t lastBlock = 0;
+    std::uint64_t count = 0; ///< control events of the object
+    /** Ascending distinct block ids carrying >=1 control of it. */
+    std::vector<std::uint32_t> blocks;
+};
+
+/**
+ * The in-memory sidecar index. Built by buildTraceIndex() from an
+ * open MappedTrace, persisted by saveTraceIndex(), reloaded by
+ * loadTraceIndex() and pinned to a specific trace by
+ * validateTraceIndex(). MappedTrace::openIndex() is the
+ * auto-discovery front end (gated by EDB_TRACE_INDEX).
+ */
+class TraceIndex
+{
+  public:
+    /** @name Identity (header fields) */
+    /// @{
+    std::uint64_t version = traceIndexVersion;
+    std::uint64_t traceDigest = 0; ///< FNV-1a64 of the whole .trc
+    std::uint64_t traceBytes = 0;  ///< size of the indexed .trc
+    std::uint64_t blockCount = 0;
+    std::uint64_t eventCount = 0;
+    std::uint64_t objectCount = 0;
+    /// @}
+
+    /** @name Hierarchical summary tree */
+    /// @{
+    std::vector<IndexNode> supers;
+    IndexNode root;
+    /// @}
+
+    /** @name Page-occupancy bitmap + postings */
+    /// @{
+    std::vector<IndexContainer> containers; ///< ascending by chunk
+    std::vector<IndexPosting> postings; ///< ascending (firstPage, block)
+    /// @}
+
+    /** Per-object control extents, ascending by object id; objects
+     *  with no control event are absent. */
+    std::vector<IndexExtent> extents;
+
+    /** @name Encoded per-structure byte sizes (for `edb-trace info`);
+     *  zero on a freshly built, never-serialized index. */
+    /// @{
+    std::uint64_t bytesHeader = 0;
+    std::uint64_t bytesTree = 0;
+    std::uint64_t bytesBitmap = 0;
+    std::uint64_t bytesExtents = 0;
+    std::uint64_t fileBytes = 0;
+    /// @}
+
+    /** The superblock covering block `b`. */
+    const IndexNode &
+    superOf(std::size_t b) const
+    {
+        return supers[b >> traceIndexSuperShift];
+    }
+
+    /** Extent of one object, or nullptr when it has no control
+     *  events. Safe on any id, including out-of-range. */
+    const IndexExtent *extentOf(std::uint32_t object) const;
+
+    /** True when any block's write summary covers `page`. */
+    bool pageOccupied(Addr page) const;
+
+    /**
+     * Mark, in `bits` (one bit per block, caller-sized to
+     * blockCount), every block whose page-summary runs intersect any
+     * of `ranges`. Exactly the blocks a per-block
+     * sim::rangeTouchesRuns scan would accept — the bitmap and
+     * postings are exact mirrors of the block summaries.
+     */
+    void candidateBlocks(const AddrRange *ranges, std::size_t n,
+                         std::vector<std::uint64_t> &bits) const;
+};
+
+/** Default sidecar path of a trace artifact: `<path>.edbi`. */
+std::string traceIndexPathFor(const std::string &tracePath);
+
+/** False when the `EDB_TRACE_INDEX` environment pin is `off`/`0`:
+ *  MappedTrace then never auto-discovers a sidecar and every consumer
+ *  takes the linear planning path. Anything else (or unset) is on. */
+bool traceIndexEnabled();
+
+/** Build the full index from an open mapping. Decodes every block's
+ *  control columns once (for the extents); everything else comes from
+ *  the already-parsed block headers. */
+TraceIndex buildTraceIndex(const MappedTrace &trace);
+
+/** Serialize to `path`, recording the encoded per-structure byte
+ *  sizes on `index` as a side effect (what `edb-trace index` prints).
+ *  Throws TraceError on I/O failure. */
+void saveTraceIndex(TraceIndex &index, const std::string &path);
+
+/**
+ * Parse a sidecar file. Validates the skeleton (magic, version,
+ * bounds, ordering) and the trailing self-digest; throws TraceError
+ * with the failing byte offset on anything malformed. Does NOT check
+ * the index against any trace — pair with validateTraceIndex().
+ */
+TraceIndex loadTraceIndex(const std::string &path);
+
+/**
+ * Cross-check a loaded index against the trace it claims to
+ * describe: digest/size/counts, tree sums and run-superset
+ * containment, posting-vs-block-summary exactness, occupancy
+ * exactness, and extent consistency. Throws TraceError (with the
+ * sidecar path in the message) on any mismatch — a stale or
+ * inconsistent sidecar must never reach a planner.
+ */
+void validateTraceIndex(const TraceIndex &index,
+                        const MappedTrace &trace,
+                        const std::string &path);
+
+/** Record one planning outcome under trace.idx.blocks_candidate /
+ *  trace.idx.blocks_elided (no-ops when obs is compiled out). */
+void obsNoteIndexPlan(std::uint64_t candidate, std::uint64_t elided);
+
+/** Record one auto-discovery outcome: attached → trace.idx.hits,
+ *  rejected (stale/corrupt) → trace.idx.stale. */
+void obsNoteIndexOpen(bool attached);
+
+} // namespace edb::trace
+
+#endif // EDB_TRACE_INDEX_FORMAT_H

@@ -1,0 +1,989 @@
+/**
+ * @file
+ * Build, serialize, load and cross-validate the `.edbi` sidecar index
+ * (index_format.h; wire layout in docs/FORMAT.md).
+ *
+ * The loader is deliberately paranoid: sidecars are untrusted
+ * artifacts that steer planners, so every field is bounds- and
+ * order-checked as it is read, the whole payload is pinned by a
+ * trailing FNV-1a self-digest, and validateTraceIndex() re-derives
+ * every structure's invariant from the mapped block headers before a
+ * planner may consult it. A sidecar that fails anything raises
+ * TraceError with the failing byte offset — recoverable, never a
+ * crash, and auto-discovery (MappedTrace::openIndex) downgrades it to
+ * a counted fallback onto the linear scan.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "obs/obs.h"
+#include "trace/index_format.h"
+#include "trace/trace_io.h"
+#include "trace/v2_detail.h"
+
+namespace edb::trace {
+
+#if EDB_OBS_ENABLED
+namespace {
+/** Sidecar indexes attached to a mapping (load + validate passed). */
+obs::Counter obsIdxHits{"trace.idx.hits"};
+/** Sidecars present but rejected (stale digest, corrupt, wrong
+ *  version) and silently downgraded to the linear scan. */
+obs::Counter obsIdxStale{"trace.idx.stale"};
+/** Blocks surviving an index candidate/relevance pre-pass. */
+obs::Counter obsIdxCandidate{"trace.idx.blocks_candidate"};
+/** Blocks whose per-block probe or control decode the index
+ *  elided outright. */
+obs::Counter obsIdxElided{"trace.idx.blocks_elided"};
+} // namespace
+#endif
+
+void
+obsNoteIndexPlan(std::uint64_t candidate, std::uint64_t elided)
+{
+#if EDB_OBS_ENABLED
+    obsIdxCandidate.add(candidate);
+    obsIdxElided.add(elided);
+#else
+    (void)candidate;
+    (void)elided;
+#endif
+}
+
+void
+obsNoteIndexOpen(bool attached)
+{
+#if EDB_OBS_ENABLED
+    if (attached)
+        obsIdxHits.inc();
+    else
+        obsIdxStale.inc();
+#else
+    (void)attached;
+#endif
+}
+
+std::string
+traceIndexPathFor(const std::string &tracePath)
+{
+    return tracePath + ".edbi";
+}
+
+bool
+traceIndexEnabled()
+{
+    const char *env = std::getenv("EDB_TRACE_INDEX");
+    if (env == nullptr)
+        return true;
+    return std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0;
+}
+
+namespace {
+
+constexpr unsigned pageShift =
+    (unsigned)std::countr_zero(summaryPageBytes);
+
+/** Inclusive summary-page span of a non-empty byte range. */
+std::pair<Addr, Addr>
+pageSpanOf(const AddrRange &r)
+{
+    return {r.begin >> pageShift, (r.end - 1) >> pageShift};
+}
+
+/** Half-open page interval — the unit the merge/coalesce passes and
+ *  the occupancy containers trade in. */
+struct PageIval
+{
+    Addr first;
+    Addr end;
+};
+
+/** Sort + coalesce (overlapping or adjacent intervals fuse). */
+void
+coalesce(std::vector<PageIval> &ivals)
+{
+    std::sort(ivals.begin(), ivals.end(),
+              [](const PageIval &a, const PageIval &b) {
+                  return a.first < b.first ||
+                         (a.first == b.first && a.end < b.end);
+              });
+    std::size_t out = 0;
+    for (const PageIval &iv : ivals) {
+        if (out > 0 && iv.first <= ivals[out - 1].end) {
+            ivals[out - 1].end = std::max(ivals[out - 1].end, iv.end);
+        } else {
+            ivals[out++] = iv;
+        }
+    }
+    ivals.resize(out);
+}
+
+/** Fuse the closest-gap neighbors until at most `cap` intervals
+ *  remain. Fusing only widens coverage — the result stays a superset
+ *  — which is exactly what a tree node's merged runs may be. */
+void
+capIntervals(std::vector<PageIval> &ivals, std::size_t cap)
+{
+    while (ivals.size() > cap) {
+        std::size_t best = 1;
+        Addr bestGap = ~(Addr)0;
+        for (std::size_t i = 1; i < ivals.size(); ++i) {
+            const Addr gap = ivals[i].first - ivals[i - 1].end;
+            if (gap < bestGap) {
+                bestGap = gap;
+                best = i;
+            }
+        }
+        ivals[best - 1].end = ivals[best].end;
+        ivals.erase(ivals.begin() + (std::ptrdiff_t)best);
+    }
+}
+
+void
+nodeRunsFromIntervals(const std::vector<PageIval> &ivals,
+                      IndexNode &node)
+{
+    node.runs.clear();
+    for (const PageIval &iv : ivals)
+        node.runs.push_back(PageRun{iv.first, iv.end - iv.first});
+}
+
+/** Byte-vector writer with varint/raw primitives; the serialization
+ *  twin of v2_detail's SpanIn. */
+struct ByteOut
+{
+    std::vector<unsigned char> bytes;
+
+    void
+    varint(std::uint64_t v)
+    {
+        while (v >= 0x80) {
+            bytes.push_back((unsigned char)(v | 0x80));
+            v >>= 7;
+        }
+        bytes.push_back((unsigned char)v);
+    }
+
+    void byte(unsigned char b) { bytes.push_back(b); }
+
+    void
+    u64le(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back((unsigned char)(v >> (8 * i)));
+    }
+};
+
+void
+writeNode(ByteOut &out, const IndexNode &node)
+{
+    out.varint(node.events);
+    out.varint(node.writes);
+    out.varint(node.controls);
+    out.varint(node.runs.size());
+    Addr prevEnd = 0;
+    for (std::size_t i = 0; i < node.runs.size(); ++i) {
+        const PageRun &r = node.runs[i];
+        out.varint(r.firstPage - prevEnd);
+        out.varint(r.pages);
+        prevEnd = r.firstPage + r.pages;
+    }
+}
+
+/** Parse one tree node; `spanBlocks`/`firstBlock` come from the
+ *  node's position, not the wire. */
+IndexNode
+readNode(detail::SpanIn &in, std::uint32_t firstBlock,
+         std::uint32_t blocks, std::uint64_t eventCount)
+{
+    IndexNode node;
+    node.firstBlock = firstBlock;
+    node.blocks = blocks;
+    node.events = in.varint();
+    node.writes = in.varint();
+    node.controls = in.varint();
+    if (node.writes > node.events || node.controls > node.events ||
+        node.writes + node.controls != node.events ||
+        node.events > eventCount) {
+        in.fail("sidecar index node counts implausible");
+    }
+    const std::uint64_t nruns = in.varint();
+    if (nruns > maxIndexRuns)
+        in.fail("sidecar index node carries %llu runs (cap %zu)",
+                (unsigned long long)nruns, maxIndexRuns);
+    Addr prevEnd = 0;
+    for (std::uint64_t i = 0; i < nruns; ++i) {
+        const Addr gap = in.varint();
+        const Addr pages = in.varint();
+        const Addr first = prevEnd + gap;
+        if (pages == 0)
+            in.fail("sidecar index node run is empty");
+        if (first + pages < first)
+            in.fail("sidecar index node run overflows");
+        node.runs.push_back(PageRun{first, pages});
+        prevEnd = first + pages;
+    }
+    return node;
+}
+
+} // namespace
+
+const IndexExtent *
+TraceIndex::extentOf(std::uint32_t object) const
+{
+    auto it = std::lower_bound(
+        extents.begin(), extents.end(), object,
+        [](const IndexExtent &e, std::uint32_t o) {
+            return e.object < o;
+        });
+    if (it == extents.end() || it->object != object)
+        return nullptr;
+    return &*it;
+}
+
+bool
+TraceIndex::pageOccupied(Addr page) const
+{
+    const std::uint64_t chunk = page >> traceIndexChunkShift;
+    const std::uint32_t off =
+        (std::uint32_t)(page & ((1u << traceIndexChunkShift) - 1));
+    auto it = std::lower_bound(
+        containers.begin(), containers.end(), chunk,
+        [](const IndexContainer &c, std::uint64_t v) {
+            return c.chunk < v;
+        });
+    if (it == containers.end() || it->chunk != chunk)
+        return false;
+    if (!it->runEncoded) {
+        return std::binary_search(it->vals.begin(), it->vals.end(),
+                                  off);
+    }
+    // Runs: flattened (offset, length) pairs, sorted by offset.
+    for (std::size_t i = 0; i + 1 < it->vals.size(); i += 2) {
+        if (off < it->vals[i])
+            return false;
+        if (off < it->vals[i] + it->vals[i + 1])
+            return true;
+    }
+    return false;
+}
+
+void
+TraceIndex::candidateBlocks(const AddrRange *ranges, std::size_t n,
+                            std::vector<std::uint64_t> &bits) const
+{
+    Addr maxPages = 1;
+    for (const IndexPosting &p : postings)
+        maxPages = std::max(maxPages, p.pages);
+    for (std::size_t r = 0; r < n; ++r) {
+        if (ranges[r].begin >= ranges[r].end)
+            continue;
+        const auto [first, last] = pageSpanOf(ranges[r]);
+        // A posting can only cover `first` if it starts within
+        // maxPages before it; everything past `last` cannot overlap.
+        const Addr scanFrom =
+            first >= maxPages - 1 ? first - (maxPages - 1) : 0;
+        auto it = std::lower_bound(
+            postings.begin(), postings.end(), scanFrom,
+            [](const IndexPosting &p, Addr v) {
+                return p.firstPage < v;
+            });
+        for (; it != postings.end() && it->firstPage <= last; ++it) {
+            if (it->firstPage + it->pages > first)
+                bits[it->block >> 6] |= 1ull << (it->block & 63);
+        }
+    }
+}
+
+TraceIndex
+buildTraceIndex(const MappedTrace &trace)
+{
+    TraceIndex idx;
+    idx.traceBytes = trace.fileBytes();
+    idx.traceDigest = trace.contentDigest();
+    idx.blockCount = trace.blockCount();
+    idx.eventCount = trace.eventCount();
+    idx.objectCount = trace.registry().objectCount();
+
+    // --- Tree: superblocks of 64 blocks, then the root over them.
+    const std::size_t nblocks = trace.blockCount();
+    const std::size_t nsupers =
+        (nblocks + traceIndexSuperSpan - 1) / traceIndexSuperSpan;
+    std::vector<PageIval> ivals, rootIvals;
+    for (std::size_t s = 0; s < nsupers; ++s) {
+        IndexNode node;
+        node.firstBlock = (std::uint32_t)(s * traceIndexSuperSpan);
+        node.blocks = (std::uint32_t)(std::min(
+            nblocks, (s + 1) * traceIndexSuperSpan) -
+            node.firstBlock);
+        ivals.clear();
+        for (std::size_t b = node.firstBlock;
+             b < node.firstBlock + node.blocks; ++b) {
+            const MappedTrace::Block &blk = trace.block(b);
+            node.events += blk.events;
+            node.writes += blk.writes;
+            node.controls += blk.controls();
+            for (std::size_t k = 0; k < blk.runs.size(); ++k) {
+                ivals.push_back(
+                    PageIval{blk.runs[k].firstPage,
+                             blk.runs[k].firstPage +
+                                 blk.runs[k].pages});
+            }
+        }
+        coalesce(ivals);
+        capIntervals(ivals, maxIndexRuns);
+        nodeRunsFromIntervals(ivals, node);
+        idx.root.events += node.events;
+        idx.root.writes += node.writes;
+        idx.root.controls += node.controls;
+        for (const PageIval &iv : ivals)
+            rootIvals.push_back(iv);
+        idx.supers.push_back(std::move(node));
+    }
+    idx.root.firstBlock = 0;
+    idx.root.blocks = (std::uint32_t)nblocks;
+    coalesce(rootIvals);
+    capIntervals(rootIvals, maxIndexRuns);
+    nodeRunsFromIntervals(rootIvals, idx.root);
+
+    // --- Postings: every block's summary runs, re-keyed by page.
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        const MappedTrace::Block &blk = trace.block(b);
+        for (std::size_t k = 0; k < blk.runs.size(); ++k) {
+            idx.postings.push_back(IndexPosting{
+                blk.runs[k].firstPage, blk.runs[k].pages,
+                (std::uint32_t)b});
+        }
+    }
+    std::sort(idx.postings.begin(), idx.postings.end(),
+              [](const IndexPosting &a, const IndexPosting &b) {
+                  return a.firstPage < b.firstPage ||
+                         (a.firstPage == b.firstPage &&
+                          a.block < b.block);
+              });
+
+    // --- Occupancy containers from the coalesced posting intervals.
+    std::vector<PageIval> occ;
+    occ.reserve(idx.postings.size());
+    for (const IndexPosting &p : idx.postings)
+        occ.push_back(PageIval{p.firstPage, p.firstPage + p.pages});
+    coalesce(occ);
+    const Addr chunkPages = (Addr)1 << traceIndexChunkShift;
+    for (std::size_t i = 0; i < occ.size();) {
+        const std::uint64_t chunk =
+            occ[i].first >> traceIndexChunkShift;
+        const Addr chunkEnd = (Addr)(chunk + 1)
+                              << traceIndexChunkShift;
+        IndexContainer c;
+        c.chunk = chunk;
+        // Gather this chunk's slice of every interval, run-encoded
+        // first; re-encode as an array when that is smaller.
+        std::vector<std::uint32_t> runs;
+        std::uint64_t setPages = 0;
+        while (i < occ.size() && occ[i].first < chunkEnd) {
+            const Addr first = occ[i].first;
+            const Addr end = std::min(occ[i].end, chunkEnd);
+            runs.push_back((std::uint32_t)(first & (chunkPages - 1)));
+            runs.push_back((std::uint32_t)(end - first));
+            setPages += end - first;
+            if (occ[i].end > chunkEnd) {
+                // The tail spills into the next chunk: trim this
+                // interval and revisit it there.
+                occ[i].first = chunkEnd;
+                break;
+            }
+            ++i;
+        }
+        if (setPages < runs.size()) {
+            // Fewer pages than run words: the array wins the wire.
+            c.runEncoded = false;
+            for (std::size_t k = 0; k + 1 < runs.size(); k += 2) {
+                for (std::uint32_t p = 0; p < runs[k + 1]; ++p)
+                    c.vals.push_back(runs[k] + p);
+            }
+        } else {
+            c.runEncoded = true;
+            c.vals = std::move(runs);
+        }
+        idx.containers.push_back(std::move(c));
+    }
+
+    // --- Extents: decode each block's control columns once.
+    std::vector<Event> ctlbuf(trace.largestBlockEvents());
+    std::vector<IndexExtent> byObject(
+        (std::size_t)idx.objectCount);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        const MappedTrace::Block &blk = trace.block(b);
+        const std::size_t ctl = (std::size_t)blk.controls();
+        if (ctl == 0)
+            continue;
+        trace.decodeBlockControl(b, ctlbuf.data());
+        for (std::size_t k = 0; k < ctl; ++k) {
+            const std::uint32_t obj = ctlbuf[k].aux;
+            IndexExtent &e = byObject[obj];
+            if (e.count == 0) {
+                e.object = obj;
+                e.firstBlock = (std::uint32_t)b;
+            }
+            e.lastBlock = (std::uint32_t)b;
+            ++e.count;
+            if (e.blocks.empty() || e.blocks.back() != (std::uint32_t)b)
+                e.blocks.push_back((std::uint32_t)b);
+        }
+    }
+    for (IndexExtent &e : byObject) {
+        if (e.count > 0)
+            idx.extents.push_back(std::move(e));
+    }
+    return idx;
+}
+
+void
+saveTraceIndex(TraceIndex &index, const std::string &path)
+{
+    ByteOut out;
+    out.bytes.reserve(4096);
+    out.bytes.insert(out.bytes.end(), traceIndexMagic,
+                     traceIndexMagic + 4);
+    out.varint(index.version);
+    out.u64le(index.traceDigest);
+    out.varint(index.traceBytes);
+    out.varint(index.blockCount);
+    out.varint(index.eventCount);
+    out.varint(index.objectCount);
+    const std::size_t headerEnd = out.bytes.size();
+
+    // Tree.
+    out.varint(traceIndexSuperShift);
+    out.varint(index.supers.size());
+    for (const IndexNode &node : index.supers)
+        writeNode(out, node);
+    writeNode(out, index.root);
+    const std::size_t treeEnd = out.bytes.size();
+
+    // Bitmap: containers, then postings.
+    out.varint(index.containers.size());
+    std::uint64_t prevChunk = 0;
+    for (std::size_t i = 0; i < index.containers.size(); ++i) {
+        const IndexContainer &c = index.containers[i];
+        out.varint(i == 0 ? c.chunk : c.chunk - prevChunk - 1);
+        prevChunk = c.chunk;
+        out.byte(c.runEncoded ? 1 : 0);
+        out.varint(c.vals.size());
+        if (c.runEncoded) {
+            std::uint32_t prevEnd = 0;
+            for (std::size_t k = 0; k + 1 < c.vals.size(); k += 2) {
+                out.varint(c.vals[k] - prevEnd);
+                out.varint(c.vals[k + 1]);
+                prevEnd = c.vals[k] + c.vals[k + 1];
+            }
+        } else {
+            std::uint32_t prev = 0;
+            for (std::size_t k = 0; k < c.vals.size(); ++k) {
+                out.varint(k == 0 ? c.vals[k]
+                                  : c.vals[k] - prev - 1);
+                prev = c.vals[k];
+            }
+        }
+    }
+    out.varint(index.postings.size());
+    Addr prevPage = 0;
+    for (const IndexPosting &p : index.postings) {
+        out.varint(p.firstPage - prevPage);
+        prevPage = p.firstPage;
+        out.varint(p.pages);
+        out.varint(p.block);
+    }
+    const std::size_t bitmapEnd = out.bytes.size();
+
+    // Extents.
+    out.varint(index.extents.size());
+    std::uint32_t prevObj = 0;
+    for (std::size_t i = 0; i < index.extents.size(); ++i) {
+        const IndexExtent &e = index.extents[i];
+        out.varint(i == 0 ? e.object : e.object - prevObj - 1);
+        prevObj = e.object;
+        out.varint(e.firstBlock);
+        out.varint(e.lastBlock - e.firstBlock);
+        out.varint(e.count);
+        out.varint(e.blocks.size());
+        std::uint32_t prevBlock = 0;
+        for (std::size_t k = 0; k < e.blocks.size(); ++k) {
+            out.varint(k == 0 ? e.blocks[k] - e.firstBlock
+                              : e.blocks[k] - prevBlock - 1);
+            prevBlock = e.blocks[k];
+        }
+    }
+    const std::size_t extentsEnd = out.bytes.size();
+
+    // Self-digest over everything after the magic.
+    out.u64le(fnv1a64(out.bytes.data() + 4, extentsEnd - 4));
+
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os ||
+        !os.write((const char *)out.bytes.data(),
+                  (std::streamsize)out.bytes.size())) {
+        throw TraceError("cannot write sidecar index '" + path + "'");
+    }
+
+    // Mirror the section byte sizes `info` reports after a load.
+    index.bytesHeader = headerEnd;
+    index.bytesTree = treeEnd - headerEnd;
+    index.bytesBitmap = bitmapEnd - treeEnd;
+    index.bytesExtents = extentsEnd - bitmapEnd;
+    index.fileBytes = out.bytes.size();
+}
+
+TraceIndex
+loadTraceIndex(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is) {
+        throw TraceError("cannot open sidecar index '" + path +
+                         "' for reading");
+    }
+    const std::streamoff size = is.tellg();
+    is.seekg(0);
+    std::vector<unsigned char> bytes((std::size_t)size);
+    if (size > 0 &&
+        !is.read((char *)bytes.data(), (std::streamsize)size)) {
+        throw TraceError("cannot read sidecar index '" + path + "'");
+    }
+
+    if (bytes.size() < 12 ||
+        std::memcmp(bytes.data(), traceIndexMagic, 4) != 0) {
+        detail::failTraceAt(0, -1,
+                            "sidecar index magic invalid (not an "
+                            ".edbi file)");
+    }
+    // Self-digest: the last 8 bytes pin everything after the magic.
+    const std::size_t payloadEnd = bytes.size() - 8;
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i)
+        stored |= (std::uint64_t)bytes[payloadEnd + (std::size_t)i]
+                  << (8 * i);
+    const std::uint64_t computed =
+        fnv1a64(bytes.data() + 4, payloadEnd - 4);
+    if (stored != computed) {
+        detail::failTraceAt(payloadEnd, -1,
+                            "sidecar index self-digest mismatch "
+                            "(stored %016llx, computed %016llx)",
+                            (unsigned long long)stored,
+                            (unsigned long long)computed);
+    }
+
+    detail::SpanIn in(bytes.data() + 4, payloadEnd - 4, 4, -1);
+    TraceIndex idx;
+    idx.version = in.varint();
+    if (idx.version != traceIndexVersion) {
+        in.fail("sidecar index version %llu unsupported (reader "
+                "speaks %llu)",
+                (unsigned long long)idx.version,
+                (unsigned long long)traceIndexVersion);
+    }
+    if (in.end - in.p < 8)
+        in.fail("sidecar index truncated inside the trace digest");
+    for (int i = 0; i < 8; ++i)
+        idx.traceDigest |= (std::uint64_t)in.p[i] << (8 * i);
+    in.p += 8;
+    idx.traceBytes = in.varint();
+    idx.blockCount = in.varint();
+    idx.eventCount = in.varint();
+    idx.objectCount = in.varint();
+    if (idx.blockCount > idx.eventCount)
+        in.fail("sidecar index block count %llu implausible",
+                (unsigned long long)idx.blockCount);
+    idx.bytesHeader = in.offset();
+
+    // Tree.
+    const std::uint64_t superShift = in.varint();
+    if (superShift != traceIndexSuperShift) {
+        in.fail("sidecar index superblock shift %llu unsupported",
+                (unsigned long long)superShift);
+    }
+    const std::uint64_t nsupers = in.varint();
+    const std::uint64_t expectSupers =
+        (idx.blockCount + traceIndexSuperSpan - 1) /
+        traceIndexSuperSpan;
+    if (nsupers != expectSupers) {
+        in.fail("sidecar index superblock count %llu disagrees with "
+                "%llu blocks",
+                (unsigned long long)nsupers,
+                (unsigned long long)idx.blockCount);
+    }
+    idx.supers.reserve((std::size_t)nsupers);
+    for (std::uint64_t s = 0; s < nsupers; ++s) {
+        const std::uint32_t firstBlock =
+            (std::uint32_t)(s * traceIndexSuperSpan);
+        const std::uint32_t blocks = (std::uint32_t)(std::min<
+            std::uint64_t>(idx.blockCount,
+                           (s + 1) * traceIndexSuperSpan) -
+            firstBlock);
+        idx.supers.push_back(
+            readNode(in, firstBlock, blocks, idx.eventCount));
+    }
+    idx.root = readNode(in, 0, (std::uint32_t)idx.blockCount,
+                        idx.eventCount);
+    idx.bytesTree = in.offset() - idx.bytesHeader;
+
+    // Bitmap.
+    const std::uint64_t ncontainers = in.varint();
+    if (ncontainers > idx.eventCount + 1) {
+        in.fail("sidecar index container count %llu implausible",
+                (unsigned long long)ncontainers);
+    }
+    idx.containers.reserve((std::size_t)ncontainers);
+    std::uint64_t prevChunk = 0;
+    for (std::uint64_t i = 0; i < ncontainers; ++i) {
+        IndexContainer c;
+        const std::uint64_t gap = in.varint();
+        c.chunk = i == 0 ? gap : prevChunk + 1 + gap;
+        prevChunk = c.chunk;
+        if (in.p == in.end)
+            in.fail("sidecar index truncated at a container kind");
+        const unsigned char kind = *in.p++;
+        if (kind > 1)
+            in.fail("sidecar index container kind %u invalid", kind);
+        c.runEncoded = kind == 1;
+        const std::uint64_t nvals = in.varint();
+        const std::uint64_t chunkPages = (std::uint64_t)1
+                                         << traceIndexChunkShift;
+        if (nvals > chunkPages ||
+            (c.runEncoded && nvals % 2 != 0)) {
+            in.fail("sidecar index container holds %llu values",
+                    (unsigned long long)nvals);
+        }
+        c.vals.reserve((std::size_t)nvals);
+        if (c.runEncoded) {
+            std::uint64_t prevEnd = 0;
+            for (std::uint64_t k = 0; k < nvals; k += 2) {
+                const std::uint64_t off = prevEnd + in.varint();
+                const std::uint64_t len = in.varint();
+                if (len == 0)
+                    in.fail("sidecar index container run is empty");
+                if (off + len > chunkPages) {
+                    in.fail("sidecar index container run overruns "
+                            "the chunk");
+                }
+                c.vals.push_back((std::uint32_t)off);
+                c.vals.push_back((std::uint32_t)len);
+                prevEnd = off + len;
+            }
+        } else {
+            std::uint64_t prev = 0;
+            for (std::uint64_t k = 0; k < nvals; ++k) {
+                const std::uint64_t v =
+                    k == 0 ? in.varint() : prev + 1 + in.varint();
+                if (v >= chunkPages) {
+                    in.fail("sidecar index container offset overruns "
+                            "the chunk");
+                }
+                c.vals.push_back((std::uint32_t)v);
+                prev = v;
+            }
+        }
+        idx.containers.push_back(std::move(c));
+    }
+    const std::uint64_t npostings = in.varint();
+    if (npostings > idx.blockCount * maxSummaryRuns) {
+        in.fail("sidecar index posting count %llu exceeds %llu "
+                "blocks x %zu runs",
+                (unsigned long long)npostings,
+                (unsigned long long)idx.blockCount, maxSummaryRuns);
+    }
+    idx.postings.reserve((std::size_t)npostings);
+    Addr prevPage = 0;
+    std::uint32_t prevBlockAtPage = 0;
+    for (std::uint64_t i = 0; i < npostings; ++i) {
+        IndexPosting p;
+        const Addr gap = in.varint();
+        p.firstPage = prevPage + gap;
+        p.pages = in.varint();
+        if (p.pages == 0)
+            in.fail("sidecar index posting spans no pages");
+        if (p.firstPage + p.pages < p.firstPage)
+            in.fail("sidecar index posting overflows");
+        const std::uint64_t block = in.varint();
+        if (block >= idx.blockCount) {
+            in.fail("sidecar index posting names block %llu of %llu",
+                    (unsigned long long)block,
+                    (unsigned long long)idx.blockCount);
+        }
+        p.block = (std::uint32_t)block;
+        if (i > 0 && gap == 0 && p.block <= prevBlockAtPage) {
+            in.fail("sidecar index postings out of order at page "
+                    "%llu",
+                    (unsigned long long)p.firstPage);
+        }
+        prevBlockAtPage = p.block;
+        prevPage = p.firstPage;
+        idx.postings.push_back(p);
+    }
+    idx.bytesBitmap =
+        in.offset() - idx.bytesHeader - idx.bytesTree;
+
+    // Extents.
+    const std::uint64_t nextents = in.varint();
+    if (nextents > idx.objectCount) {
+        in.fail("sidecar index extent count %llu exceeds %llu "
+                "objects",
+                (unsigned long long)nextents,
+                (unsigned long long)idx.objectCount);
+    }
+    idx.extents.reserve((std::size_t)nextents);
+    std::uint32_t prevObj = 0;
+    for (std::uint64_t i = 0; i < nextents; ++i) {
+        IndexExtent e;
+        const std::uint64_t objGap = in.varint();
+        const std::uint64_t obj =
+            i == 0 ? objGap : prevObj + 1 + objGap;
+        if (obj >= idx.objectCount) {
+            in.fail("sidecar index extent names object %llu of %llu",
+                    (unsigned long long)obj,
+                    (unsigned long long)idx.objectCount);
+        }
+        e.object = (std::uint32_t)obj;
+        prevObj = e.object;
+        e.firstBlock = (std::uint32_t)in.varint();
+        e.lastBlock = e.firstBlock + (std::uint32_t)in.varint();
+        e.count = in.varint();
+        const std::uint64_t nb = in.varint();
+        if (e.lastBlock >= idx.blockCount || nb == 0 ||
+            nb > e.count || e.count > idx.eventCount) {
+            in.fail("sidecar index extent of object %llu "
+                    "implausible",
+                    (unsigned long long)obj);
+        }
+        e.blocks.reserve((std::size_t)nb);
+        std::uint32_t prevBlock = 0;
+        for (std::uint64_t k = 0; k < nb; ++k) {
+            const std::uint64_t b =
+                k == 0 ? e.firstBlock + in.varint()
+                       : prevBlock + 1 + in.varint();
+            if (b > e.lastBlock) {
+                in.fail("sidecar index extent block list of object "
+                        "%llu overruns its extent",
+                        (unsigned long long)obj);
+            }
+            e.blocks.push_back((std::uint32_t)b);
+            prevBlock = (std::uint32_t)b;
+        }
+        if (e.blocks.front() != e.firstBlock ||
+            e.blocks.back() != e.lastBlock) {
+            in.fail("sidecar index extent bounds of object %llu "
+                    "disagree with its block list",
+                    (unsigned long long)obj);
+        }
+        idx.extents.push_back(std::move(e));
+    }
+    if (!in.empty())
+        in.fail("sidecar index has trailing bytes");
+    idx.bytesExtents = in.offset() - idx.bytesHeader -
+                       idx.bytesTree - idx.bytesBitmap;
+    idx.fileBytes = bytes.size();
+    return idx;
+}
+
+namespace {
+
+/** True when [first, first+pages) lies inside one node run. Node
+ *  runs are coalesced and disjoint, so containment in the union is
+ *  containment in a single run. */
+bool
+runContained(const PageRun &r, const IndexNode &node)
+{
+    for (std::size_t i = 0; i < node.runs.size(); ++i) {
+        const PageRun &n = node.runs[i];
+        if (r.firstPage >= n.firstPage &&
+            r.firstPage + r.pages <= n.firstPage + n.pages) {
+            return true;
+        }
+    }
+    return false;
+}
+
+[[noreturn]] void
+failValidate(const std::string &path, const std::string &what)
+{
+    throw TraceError("sidecar index '" + path + "' rejected: " +
+                     what);
+}
+
+} // namespace
+
+void
+validateTraceIndex(const TraceIndex &index, const MappedTrace &trace,
+                   const std::string &path)
+{
+    if (index.traceBytes != trace.fileBytes() ||
+        index.traceDigest != trace.contentDigest()) {
+        failValidate(path,
+                     "stale (trace digest mismatch; re-run "
+                     "edb-trace index)");
+    }
+    if (index.blockCount != trace.blockCount() ||
+        index.eventCount != trace.eventCount() ||
+        index.objectCount != trace.registry().objectCount()) {
+        failValidate(path, "block/event/object counts disagree with "
+                           "the trace");
+    }
+
+    // Tree: totals match and member runs are contained.
+    std::uint64_t totalControls = 0;
+    for (std::size_t s = 0; s < index.supers.size(); ++s) {
+        const IndexNode &node = index.supers[s];
+        std::uint64_t events = 0, writes = 0, controls = 0;
+        for (std::size_t b = node.firstBlock;
+             b < node.firstBlock + node.blocks; ++b) {
+            const MappedTrace::Block &blk = trace.block(b);
+            events += blk.events;
+            writes += blk.writes;
+            controls += blk.controls();
+            for (std::size_t k = 0; k < blk.runs.size(); ++k) {
+                if (!runContained(blk.runs[k], node)) {
+                    failValidate(
+                        path,
+                        "superblock " + std::to_string(s) +
+                            " runs do not cover block " +
+                            std::to_string(b));
+                }
+            }
+        }
+        if (events != node.events || writes != node.writes ||
+            controls != node.controls) {
+            failValidate(path, "superblock " + std::to_string(s) +
+                                   " totals disagree with its "
+                                   "blocks");
+        }
+        totalControls += controls;
+        for (std::size_t k = 0; k < node.runs.size(); ++k) {
+            if (!runContained(node.runs[k], index.root)) {
+                failValidate(path,
+                             "root runs do not cover superblock " +
+                                 std::to_string(s));
+            }
+        }
+    }
+    if (index.root.events != trace.eventCount() ||
+        index.root.writes != trace.totalWrites() ||
+        index.root.controls != totalControls) {
+        failValidate(path, "root totals disagree with the trace");
+    }
+
+    // Postings: exactly the block summaries, re-sorted.
+    std::vector<IndexPosting> expect;
+    expect.reserve(index.postings.size());
+    for (std::size_t b = 0; b < trace.blockCount(); ++b) {
+        const MappedTrace::Block &blk = trace.block(b);
+        for (std::size_t k = 0; k < blk.runs.size(); ++k) {
+            expect.push_back(IndexPosting{blk.runs[k].firstPage,
+                                          blk.runs[k].pages,
+                                          (std::uint32_t)b});
+        }
+    }
+    std::sort(expect.begin(), expect.end(),
+              [](const IndexPosting &a, const IndexPosting &b) {
+                  return a.firstPage < b.firstPage ||
+                         (a.firstPage == b.firstPage &&
+                          a.block < b.block);
+              });
+    if (expect.size() != index.postings.size()) {
+        failValidate(path, "posting count disagrees with the block "
+                           "summaries");
+    }
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        if (expect[i].firstPage != index.postings[i].firstPage ||
+            expect[i].pages != index.postings[i].pages ||
+            expect[i].block != index.postings[i].block) {
+            failValidate(path, "posting " + std::to_string(i) +
+                                   " disagrees with the block "
+                                   "summaries");
+        }
+    }
+
+    // Occupancy: every posting page set, no more, no fewer.
+    std::vector<std::pair<Addr, Addr>> occ;
+    occ.reserve(expect.size());
+    for (const IndexPosting &p : expect)
+        occ.emplace_back(p.firstPage, p.firstPage + p.pages);
+    std::sort(occ.begin(), occ.end());
+    std::vector<std::pair<Addr, Addr>> merged;
+    for (const auto &iv : occ) {
+        if (!merged.empty() && iv.first <= merged.back().second)
+            merged.back().second =
+                std::max(merged.back().second, iv.second);
+        else
+            merged.push_back(iv);
+    }
+    std::vector<std::pair<Addr, Addr>> fromContainers;
+    for (const IndexContainer &c : index.containers) {
+        const Addr base = (Addr)c.chunk << traceIndexChunkShift;
+        if (c.runEncoded) {
+            for (std::size_t k = 0; k + 1 < c.vals.size(); k += 2) {
+                fromContainers.emplace_back(
+                    base + c.vals[k],
+                    base + c.vals[k] + c.vals[k + 1]);
+            }
+        } else {
+            for (std::size_t k = 0; k < c.vals.size(); ++k) {
+                fromContainers.emplace_back(base + c.vals[k],
+                                            base + c.vals[k] + 1);
+            }
+        }
+    }
+    std::vector<std::pair<Addr, Addr>> mergedC;
+    for (const auto &iv : fromContainers) {
+        if (!mergedC.empty() && iv.first <= mergedC.back().second)
+            mergedC.back().second =
+                std::max(mergedC.back().second, iv.second);
+        else
+            mergedC.push_back(iv);
+    }
+    if (merged != mergedC) {
+        failValidate(path, "occupancy containers disagree with the "
+                           "posting pages");
+    }
+
+    // Extents: every control event accounted for, referenced blocks
+    // really carry controls, and the union covers exactly the
+    // control-bearing blocks.
+    std::uint64_t extentControls = 0;
+    std::vector<bool> referenced(trace.blockCount(), false);
+    std::uint32_t prevObj = 0;
+    bool first = true;
+    for (const IndexExtent &e : index.extents) {
+        if (!first && e.object <= prevObj)
+            failValidate(path, "extents out of object order");
+        first = false;
+        prevObj = e.object;
+        extentControls += e.count;
+        for (std::uint32_t b : e.blocks) {
+            if (trace.block(b).controls() == 0) {
+                failValidate(path,
+                             "extent of object " +
+                                 std::to_string(e.object) +
+                                 " references the pure-write block " +
+                                 std::to_string(b));
+            }
+            referenced[b] = true;
+        }
+    }
+    if (extentControls != totalControls) {
+        failValidate(path, "extent control totals disagree with the "
+                           "block index");
+    }
+    for (std::size_t b = 0; b < trace.blockCount(); ++b) {
+        if ((trace.block(b).controls() > 0) != referenced[b]) {
+            failValidate(path, "extent coverage disagrees with "
+                               "block " +
+                                   std::to_string(b));
+        }
+    }
+}
+
+} // namespace edb::trace

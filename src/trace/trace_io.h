@@ -34,6 +34,8 @@
 #include <cstddef>
 #include <fstream>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -43,6 +45,8 @@
 #include "util/small_vec.h"
 
 namespace edb::trace {
+
+class TraceIndex;
 
 /**
  * Error reading or writing a trace artifact: unopenable file, bad
@@ -327,6 +331,36 @@ class MappedTrace
     /** True when the file is backed by an actual mmap (false on the
      *  read-into-memory fallback). */
     bool isMapped() const { return mapped_; }
+    /** The path the mapping was opened from. */
+    const std::string &path() const { return path_; }
+
+    /** FNV-1a64 digest of the whole mapped file — what a sidecar
+     *  index pins itself to. Computed on first use, then cached;
+     *  thread-safe. */
+    std::uint64_t contentDigest() const;
+
+    /**
+     * The attached sidecar index, or nullptr when none was found,
+     * the sidecar was rejected (stale/corrupt), or indexing is
+     * pinned off via EDB_TRACE_INDEX. Consumers treat a null index
+     * as "take the linear planning path" — never an error.
+     */
+    const TraceIndex *index() const { return index_.get(); }
+
+    /**
+     * Try to attach the sidecar at `path` (load + full validation
+     * against this mapping). On success the index becomes visible
+     * through index() and trace.idx.hits ticks; on any TraceError the
+     * sidecar is rejected, trace.idx.stale ticks, index() stays null,
+     * and false returns — auto-discovery must never turn a bad
+     * sidecar into a failure to open the trace itself.
+     */
+    bool openIndex(const std::string &index_path);
+
+    /** openIndex() at the default `<trace path>.edbi` location.
+     *  Quietly returns false (no stale tick) when no sidecar file
+     *  exists. The constructor runs this when traceIndexEnabled(). */
+    bool openIndex();
 
     /**
      * Decode block i into out, which must hold block(i).events events.
@@ -384,6 +418,11 @@ class MappedTrace
     std::uint64_t size_ = 0;
     bool mapped_ = false;
     std::vector<unsigned char> fallback_;
+
+    std::string path_;
+    std::unique_ptr<TraceIndex> index_;
+    mutable std::once_flag digest_once_;
+    mutable std::uint64_t content_digest_ = 0;
 
     std::string program_;
     ObjectRegistry registry_;

@@ -16,6 +16,7 @@
 #include <istream>
 #include <streambuf>
 
+#include "trace/index_format.h"
 #include "trace/trace_io.h"
 #include "trace/v2_detail.h"
 
@@ -70,6 +71,7 @@ obsNoteSkippedBlocks(std::uint64_t blocks, std::uint64_t writes)
 
 MappedTrace::MappedTrace(const std::string &path)
 {
+    path_ = path;
     load(path);
     try {
         parse(path);
@@ -81,6 +83,47 @@ MappedTrace::MappedTrace(const std::string &path)
             ::munmap((void *)data_, (std::size_t)size_);
 #endif
         throw;
+    }
+    if (traceIndexEnabled())
+        openIndex();
+}
+
+std::uint64_t
+MappedTrace::contentDigest() const
+{
+    std::call_once(digest_once_, [this] {
+        content_digest_ = fnv1a64(data_, (std::size_t)size_);
+    });
+    return content_digest_;
+}
+
+bool
+MappedTrace::openIndex()
+{
+    const std::string sidecar = traceIndexPathFor(path_);
+    std::ifstream probe(sidecar, std::ios::binary);
+    if (!probe)
+        return false; // absent is the common case, not a stale hit
+    probe.close();
+    return openIndex(sidecar);
+}
+
+bool
+MappedTrace::openIndex(const std::string &index_path)
+{
+    try {
+        auto idx = std::make_unique<TraceIndex>(
+            loadTraceIndex(index_path));
+        validateTraceIndex(*idx, *this, index_path);
+        index_ = std::move(idx);
+        obsNoteIndexOpen(true);
+        return true;
+    } catch (const TraceError &) {
+        // Stale or corrupt sidecar: plan linearly, never fail the
+        // trace open itself.
+        index_.reset();
+        obsNoteIndexOpen(false);
+        return false;
     }
 }
 

@@ -11,7 +11,8 @@
  * on a deliberate format revision, together with the expected counts
  * in tests/test_trace_corpus.cc.
  *
- * Usage: gen_trace_corpus <output-dir>
+ * Usage: gen_trace_corpus [--write-locality clustered|scattered]
+ *                         <output-dir>
  *
  * Writes:
  *   mini_mixed.v2.trc   installs/removes interleaved with writes, so
@@ -27,6 +28,11 @@
  *   mini_ghost.v2.trc   blocks whose page summaries match a target
  *                       predicate while containing zero matching
  *                       rows — a summary may only ever over-approximate
+ *   mini_scatter.v2.trc writes sprayed (or, with --write-locality
+ *                       clustered, packed) across a wide arena — the
+ *                       sidecar index's page-occupancy bitmap shape;
+ *                       the committed artifact is the scattered
+ *                       default
  */
 
 #include <cstdio>
@@ -195,21 +201,78 @@ ghostTrace()
     return tracer.finish();
 }
 
+/**
+ * Page-occupancy shapes for the sidecar trace index
+ * (trace/index_format.h). Scattered sprays single writes across a
+ * 4 MiB arena — hundreds of distinct summary pages, one posting per
+ * (page, block) pair, array-style bitmap containers. Clustered packs
+ * each phase's writes into one page pair — long occupancy runs, few
+ * postings. Both interleave short-lived heap objects so the
+ * per-object session extents stay non-trivial.
+ */
+trace::Trace
+localityTrace(bool clustered)
+{
+    Rng rng(0xED6705);
+    trace::Tracer tracer(clustered ? "mini_cluster" : "mini_scatter");
+    auto arena = tracer.declareGlobal("wide_arena", 1 << 22);
+    tracer.enterFunction("main");
+    for (int phase = 0; phase < 12; ++phase) {
+        auto h = tracer.heapAlloc("probe", 32 + rng.below(64));
+        // Clustered phases camp on one 16 KiB page pair; scattered
+        // ones pick a fresh page for every write.
+        const Addr camp = 16384 * (Addr)rng.below(256);
+        for (int i = 0; i < 160; ++i) {
+            const Addr off =
+                clustered
+                    ? camp + rng.below(16384 - 8)
+                    : 8192 * (Addr)rng.below(512) + rng.below(8184);
+            tracer.write(arena.addr + off, 1 + rng.below(8),
+                         tracer.internWriteSite("spray.c:6"));
+        }
+        tracer.write(h.addr + rng.below(24), 4,
+                     tracer.internWriteSite("spray.c:9"));
+        if (phase % 3 != 2)
+            tracer.heapFree(h);
+    }
+    tracer.exitFunction();
+    return tracer.finish();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: gen_trace_corpus <output-dir>\n");
+    bool clustered = false;
+    int argi = 1;
+    if (argc >= 3 &&
+        std::string(argv[1]) == "--write-locality") {
+        const std::string v = argv[2];
+        if (v == "clustered") {
+            clustered = true;
+        } else if (v != "scattered") {
+            std::fprintf(stderr,
+                         "unknown --write-locality '%s' (expected "
+                         "clustered or scattered)\n",
+                         v.c_str());
+            return 2;
+        }
+        argi = 3;
+    }
+    if (argc - argi != 1) {
+        std::fprintf(stderr,
+                     "usage: gen_trace_corpus [--write-locality "
+                     "clustered|scattered] <output-dir>\n");
         return 2;
     }
-    const std::string dir = argv[1];
+    const std::string dir = argv[argi];
 
     trace::Trace mixed = mixedTrace();
     trace::Trace writes = writesTrace();
     trace::Trace straddle = straddleTrace();
     trace::Trace ghost = ghostTrace();
+    trace::Trace scatter = localityTrace(clustered);
 
     // Small blocks so even mini traces span many of them.
     trace::WriteOptions v2;
@@ -222,6 +285,7 @@ main(int argc, char **argv)
     trace::saveTrace(mixed, dir + "/mini_mixed.v1.trc", v1);
     trace::saveTrace(straddle, dir + "/mini_straddle.v2.trc", v2);
     trace::saveTrace(ghost, dir + "/mini_ghost.v2.trc", v2);
+    trace::saveTrace(scatter, dir + "/mini_scatter.v2.trc", v2);
 
     std::printf("mini_mixed:    %zu events, %llu writes, %zu objects\n",
                 mixed.events.size(),
@@ -239,5 +303,11 @@ main(int argc, char **argv)
                 ghost.events.size(),
                 (unsigned long long)ghost.totalWrites,
                 ghost.registry.objectCount());
+    std::printf("mini_scatter:  %zu events, %llu writes, %zu objects "
+                "(%s)\n",
+                scatter.events.size(),
+                (unsigned long long)scatter.totalWrites,
+                scatter.registry.objectCount(),
+                clustered ? "clustered" : "scattered");
     return 0;
 }
